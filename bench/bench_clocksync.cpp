@@ -1,0 +1,216 @@
+// E11 — Clock synchronization atop ss-Byz-Agree (the paper's companion
+// construction: pulses from agreement make any Byzantine algorithm — here,
+// clock sync — self-stabilizing).
+//
+// Reported:
+//   (a) precision: max pairwise skew between correct logical clocks, sampled
+//       across the run, vs the construction's bound (≈ pulse skew + drift);
+//   (b) convergence: real time from a full-cluster transient fault until all
+//       correct clocks are back inside the precision envelope;
+//   (c) effective rate: logical-clock advance per unit real time (digital
+//       clock sync trades rate for bounded precision).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "adversary/adversaries.hpp"
+#include "clocksync/clock_sync.hpp"
+#include "harness/report.hpp"
+#include "sim/world.hpp"
+#include "util/stats.hpp"
+
+namespace ssbft {
+namespace {
+
+struct ClockCluster {
+  std::unique_ptr<World> world;
+  std::unique_ptr<Params> params;
+  std::vector<ClockSyncNode*> nodes;
+  std::uint32_t correct = 0;
+
+  ClockCluster(std::uint32_t n, std::uint32_t f, std::uint32_t byz,
+               std::uint64_t seed) {
+    WorldConfig wc;
+    wc.n = n;
+    wc.seed = seed;
+    world = std::make_unique<World>(wc);
+    params = std::make_unique<Params>(n, f, wc.d_bound());
+    nodes.assign(n, nullptr);
+    for (NodeId i = 0; i < n; ++i) {
+      if (i >= n - byz) {
+        world->set_behavior(
+            i, std::make_unique<RandomNoiseAdversary>(milliseconds(2)));
+        continue;
+      }
+      auto node =
+          std::make_unique<ClockSyncNode>(*params, ClockSyncConfig{});
+      nodes[i] = node.get();
+      world->set_behavior(i, std::move(node));
+    }
+    correct = n - byz;
+  }
+
+  [[nodiscard]] bool all_synced() const {
+    std::uint32_t c = 0;
+    for (const auto* node : nodes) {
+      if (node != nullptr && node->synchronized()) ++c;
+    }
+    return c == correct;
+  }
+
+  /// All correct nodes snapped to the same pulse counter (the instants the
+  /// precision bound speaks about; between them a snap is in flight and the
+  /// skew transiently equals the adjustment size).
+  [[nodiscard]] bool settled() const {
+    std::optional<std::uint64_t> counter;
+    for (const auto* node : nodes) {
+      if (node == nullptr) continue;
+      if (!node->synchronized() || !node->last_snap_counter()) return false;
+      if (counter && *counter != *node->last_snap_counter()) return false;
+      counter = node->last_snap_counter();
+    }
+    return counter.has_value();
+  }
+
+  [[nodiscard]] Duration skew() const {
+    Duration worst = Duration::zero();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i] == nullptr || !nodes[i]->synchronized()) continue;
+      for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+        if (nodes[j] == nullptr || !nodes[j]->synchronized()) continue;
+        worst = std::max(worst, abs(nodes[i]->clock() - nodes[j]->clock()));
+      }
+    }
+    return worst;
+  }
+};
+
+struct PrecisionRow {
+  SampleSet skew;             // settled instants only
+  SampleSet transition_skew;  // snap-in-flight instants
+  double rate = 0.0;
+  Duration bound{};
+  Duration cycle{};
+};
+
+PrecisionRow measure_precision(std::uint32_t n, std::uint32_t f,
+                               std::uint32_t byz, std::uint64_t seed) {
+  PrecisionRow row;
+  ClockCluster cc(n, f, byz, seed);
+  cc.world->start();
+  const Duration cycle = cc.nodes[0]->cycle();
+  row.cycle = cycle;
+  row.bound = cc.nodes[0]->precision_bound();
+  cc.world->run_for(4 * cycle);  // warm-up
+  const Duration c0 = cc.nodes[0]->clock();
+  const RealTime t0 = cc.world->now();
+  for (int sample = 0; sample < 400; ++sample) {
+    cc.world->run_for(cycle / 40);
+    if (!cc.all_synced()) continue;
+    (cc.settled() ? row.skew : row.transition_skew).add(cc.skew());
+  }
+  row.rate = (cc.nodes[0]->clock() - c0) / (cc.world->now() - t0);
+  return row;
+}
+
+Duration measure_convergence(std::uint32_t n, std::uint32_t f,
+                             std::uint64_t seed) {
+  ClockCluster cc(n, f, 0, seed);
+  cc.world->start();
+  const Duration cycle = cc.nodes[0]->cycle();
+  cc.world->run_for(4 * cycle);
+  for (NodeId i = 0; i < n; ++i) cc.world->scramble_node(i);
+  const RealTime fault_at = cc.world->now();
+  const Duration bound = cc.nodes[0]->precision_bound();
+  // First instant after which the cluster stays inside the envelope.
+  const Duration step = cycle / 20;
+  for (int i = 0; i < 400; ++i) {
+    cc.world->run_for(step);
+    if (cc.settled() && cc.skew() <= bound) {
+      return cc.world->now() - fault_at;
+    }
+  }
+  return Duration::max();
+}
+
+void BM_ClockPrecision(benchmark::State& state) {
+  const auto n = std::uint32_t(state.range(0));
+  const std::uint32_t f = (n - 1) / 3;
+  PrecisionRow row;
+  for (auto _ : state) {
+    row = measure_precision(n, f, f, 42);
+  }
+  if (!row.skew.empty()) {
+    state.counters["skew_max_us"] = row.skew.max() * 1e-3;
+    state.counters["bound_us"] = double(row.bound.ns()) * 1e-3;
+  }
+}
+BENCHMARK(BM_ClockPrecision)->Arg(4)->Arg(7)->Arg(13)->Unit(benchmark::kMillisecond);
+
+void print_tables() {
+  std::printf(
+      "\nE11a: clock-sync precision (f Byzantine noise nodes in rotation; "
+      "400 samples)\n");
+  Table precision({"n", "f(byz)", "cycle (ms)", "settled p50 (us)",
+                   "settled max (us)", "bound (us)", "within",
+                   "transition max (us)", "rate"});
+  for (std::uint32_t n : {4u, 7u, 10u, 13u}) {
+    const std::uint32_t f = (n - 1) / 3;
+    auto row = measure_precision(n, f, f, 42);
+    char rate[32];
+    std::snprintf(rate, sizeof rate, "%.6f", row.rate);
+    char p50[32], mx[32], bd[32], tr[32];
+    std::snprintf(p50, sizeof p50, "%.1f", row.skew.quantile(0.5) * 1e-3);
+    std::snprintf(mx, sizeof mx, "%.1f", row.skew.max() * 1e-3);
+    std::snprintf(bd, sizeof bd, "%.1f", double(row.bound.ns()) * 1e-3);
+    std::snprintf(tr, sizeof tr, "%.1f",
+                  row.transition_skew.empty()
+                      ? 0.0
+                      : row.transition_skew.max() * 1e-3);
+    precision.add_row({std::to_string(n), std::to_string(f),
+                       Table::fmt_ms(double(row.cycle.ns())), p50, mx, bd,
+                       row.skew.max() <= double(row.bound.ns()) ? "yes" : "NO",
+                       tr, rate});
+  }
+  precision.print();
+
+  std::printf(
+      "\nE11b: convergence after a full-cluster transient fault (all nodes "
+      "scrambled; time until skew re-enters the envelope)\n");
+  Table conv({"n", "f", "trials", "converge p50 (ms)", "converge max (ms)",
+              "cycles (p50)"});
+  for (std::uint32_t n : {4u, 7u, 13u}) {
+    const std::uint32_t f = (n - 1) / 3;
+    SampleSet times;
+    Duration cycle{};
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      ClockCluster probe(n, f, 0, seed);
+      probe.world->start();
+      cycle = probe.nodes[0]->cycle();
+      const Duration t = measure_convergence(n, f, seed);
+      if (t != Duration::max()) times.add(t);
+    }
+    char cyc[32];
+    std::snprintf(cyc, sizeof cyc, "%.2f",
+                  times.empty() ? 0.0
+                                : times.quantile(0.5) / double(cycle.ns()));
+    conv.add_row({std::to_string(n), std::to_string(f),
+                  std::to_string(std::uint32_t(times.size())),
+                  times.empty() ? "-" : Table::fmt_ms(times.quantile(0.5)),
+                  times.empty() ? "-" : Table::fmt_ms(times.max()), cyc});
+  }
+  conv.print();
+}
+
+}  // namespace
+}  // namespace ssbft
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  ssbft::print_tables();
+  return 0;
+}

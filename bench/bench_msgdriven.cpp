@@ -1,0 +1,155 @@
+// E4 — Message-driven vs time-driven rounds (the paper's systems headline).
+//
+// Paper claim (§1, §5): "the actual time for terminating the protocol
+// depends on the actual communication network speed and not on the worst
+// possible bound on message delivery time" — unlike TPS'87, whose rounds
+// each span a fixed, worst-case interval.
+//
+// Sweep the *actual* typical delay δa from δ/20 up to δ while both
+// protocols keep the same worst-case bound δ (hence the same Φ / phase
+// length). ss-Byz-Agree's latency must track δa; the TPS baseline's must
+// stay pinned at its phase grid. The expected shape: a large speed-up at
+// fast networks, shrinking toward ~1 as δa → δ.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "adversary/adversaries.hpp"
+#include "baseline/tps_node.hpp"
+#include "harness/metrics.hpp"
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace ssbft {
+namespace {
+
+/// ss-Byz-Agree: last correct decision time − proposal time.
+SampleSet ss_latency(Duration typical, std::uint32_t trials,
+                     std::uint64_t seed0) {
+  SampleSet latency;
+  for (std::uint32_t trial = 0; trial < trials; ++trial) {
+    Scenario sc;
+    sc.n = 7;
+    sc.f = 2;
+    sc.with_tail_faults(2);
+    sc.link_delay = DelayModel::exp_truncated(typical, sc.delta);
+    sc.with_proposal(milliseconds(5), 0, 7);
+    sc.run_for = milliseconds(300);
+    sc.seed = seed0 + trial;
+    Cluster cluster(sc);
+    cluster.run();
+    const RealTime t0 = cluster.proposals().empty()
+                            ? RealTime::zero()
+                            : cluster.proposals()[0].real_at;
+    RealTime last = RealTime::min();
+    for (const auto& d : cluster.decisions()) {
+      if (d.decision.decided()) last = std::max(last, d.real_at);
+    }
+    if (last > RealTime::min()) latency.add(last - t0);
+  }
+  return latency;
+}
+
+/// TPS baseline: last correct decision time − proposal (anchor) time.
+SampleSet tps_latency(Duration typical, std::uint32_t trials,
+                      std::uint64_t seed0) {
+  SampleSet latency;
+  for (std::uint32_t trial = 0; trial < trials; ++trial) {
+    WorldConfig wc;
+    wc.n = 7;
+    wc.seed = seed0 + trial;
+    wc.max_clock_offset = Duration::zero();  // baseline gets sync for free
+    wc.link_delay = DelayModel::exp_truncated(typical, wc.delta);
+    wc.proc_delay = DelayModel::uniform(Duration::zero(), wc.pi);
+    wc.has_delay_models = true;
+    World world(wc);
+    const Params params{7, 2, wc.d_bound()};
+    // Phase length must cover the worst case: Φb = 2d (send anywhere in the
+    // phase, deliver+process by the end even with straggler delays).
+    const Duration phase = 2 * params.d();
+    const LocalTime anchor = LocalTime::zero() + milliseconds(5);
+    std::vector<RealTime> decisions;
+    std::vector<TpsNode*> nodes(7, nullptr);
+    for (NodeId i = 0; i < 7; ++i) {
+      if (i >= 5) {
+        world.set_behavior(i, std::make_unique<SilentAdversary>());
+        continue;
+      }
+      auto node = std::make_unique<TpsNode>(
+          params, GeneralId{0}, anchor, phase,
+          [&decisions, &world](const Decision& d) {
+            if (d.decided()) decisions.push_back(world.now());
+          });
+      nodes[i] = node.get();
+      world.set_behavior(i, std::move(node));
+    }
+    world.start();
+    nodes[0]->propose(7);
+    world.run_until(RealTime::zero() + milliseconds(300));
+    RealTime last = RealTime::min();
+    for (RealTime t : decisions) last = std::max(last, t);
+    if (last > RealTime::min()) {
+      latency.add(last - (RealTime::zero() + milliseconds(5)));
+    }
+  }
+  return latency;
+}
+
+void print_table() {
+  const Duration delta = Scenario{}.delta;
+  std::printf("\nE4: message-driven (ss-Byz-Agree) vs time-driven (TPS'87) "
+              "decision latency as actual delay varies (bound δ=%.3fms "
+              "fixed)\n",
+              delta.millis());
+  Table table({"δa/δ", "ss p50 (ms)", "ss max (ms)", "tps p50 (ms)",
+               "tps max (ms)", "speed-up (p50)"});
+  CsvWriter csv("bench_msgdriven.csv",
+                {"ratio", "ss_p50_ms", "ss_max_ms", "tps_p50_ms",
+                 "tps_max_ms", "speedup"});
+  for (double ratio : {0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const Duration typical{std::int64_t(double(delta.ns()) * ratio)};
+    auto ss = ss_latency(typical, 25, 5000);
+    auto tps = tps_latency(typical, 25, 6000);
+    const double speedup =
+        ss.empty() || tps.empty() ? 0 : tps.quantile(0.5) / ss.quantile(0.5);
+    char ratio_s[16];
+    std::snprintf(ratio_s, sizeof ratio_s, "%.2f", ratio);
+    table.add_row({ratio_s, ss.empty() ? "-" : Table::fmt_ms(ss.quantile(0.5)),
+                   ss.empty() ? "-" : Table::fmt_ms(ss.max()),
+                   tps.empty() ? "-" : Table::fmt_ms(tps.quantile(0.5)),
+                   tps.empty() ? "-" : Table::fmt_ms(tps.max()),
+                   Table::fmt_ratio(speedup)});
+    csv.row({ratio, ss.empty() ? 0 : ss.quantile(0.5) * 1e-6,
+             ss.empty() ? 0 : ss.max() * 1e-6,
+             tps.empty() ? 0 : tps.quantile(0.5) * 1e-6,
+             tps.empty() ? 0 : tps.max() * 1e-6, speedup});
+  }
+  table.print();
+  std::printf("(Expected shape per the paper: ss tracks actual delay; tps is "
+              "pinned to its worst-case phase grid, so the speed-up shrinks "
+              "as δa → δ.)\n");
+}
+
+void BM_MsgDriven(benchmark::State& state) {
+  const double ratio = double(state.range(0)) / 100.0;
+  const Duration delta = Scenario{}.delta;
+  const Duration typical{std::int64_t(double(delta.ns()) * ratio)};
+  SampleSet ss;
+  for (auto _ : state) ss = ss_latency(typical, 10, 1);
+  if (!ss.empty()) state.counters["ss_p50_ms"] = ss.quantile(0.5) * 1e-6;
+}
+BENCHMARK(BM_MsgDriven)->Arg(5)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ssbft
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  ssbft::print_table();
+  return 0;
+}

@@ -1,0 +1,137 @@
+// E10 — Quorum-policy ablation (paper footnote 7).
+//
+// The paper's thresholds are n−f / n−2f; footnote 7 says the coherence
+// condition "can be replaced by (n+f)/2 correct nodes with some
+// modifications". QuorumPolicy::kMajority is that variant:
+// ⌊(n+f)/2⌋+1 / f+1.
+//
+// Two effects are measured, both functions of over-provisioning (n vs 3f+1):
+//   (1) Latency: every protocol stage waits for its q_high-th message, so a
+//       smaller quorum stops waiting for stragglers earlier. With link
+//       delays uniform in [δ/5, δ], the q-th order statistic of each wave
+//       drops as q drops.
+//   (2) Crash tolerance: with c > f crashed nodes, optimal quorums need
+//       n − c ≥ n − f alive (impossible), majority quorums keep deciding
+//       while n − c ≥ ⌊(n+f)/2⌋+1. Safety is unaffected either way.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "harness/metrics.hpp"
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "util/stats.hpp"
+
+namespace ssbft {
+namespace {
+
+struct QuorumRun {
+  SampleSet latency;
+  std::uint32_t trials = 0;
+  std::uint32_t decided = 0;
+  std::uint32_t agreement_violations = 0;
+};
+
+QuorumRun run_policy(std::uint32_t n, std::uint32_t f, QuorumPolicy policy,
+                     std::uint32_t crashes, std::uint32_t trials,
+                     std::uint64_t seed0) {
+  QuorumRun out;
+  for (std::uint32_t trial = 0; trial < trials; ++trial) {
+    Scenario sc;
+    sc.n = n;
+    sc.f = f;
+    sc.quorum_policy = policy;
+    sc.with_tail_faults(crashes);
+    sc.with_proposal(milliseconds(5), 0, 7);
+    sc.run_for = milliseconds(250);
+    sc.seed = seed0 + trial;
+    Cluster cluster(sc);
+    cluster.run();
+    ++out.trials;
+    const auto m = evaluate_run(cluster.decisions(), cluster.proposals(),
+                                cluster.correct_count(), cluster.params());
+    out.agreement_violations += m.agreement_violations;
+    if (m.unanimous_decides == 1) ++out.decided;
+    if (cluster.proposals().empty()) continue;
+    const RealTime t0 = cluster.proposals()[0].real_at;
+    for (const auto& d : cluster.decisions()) {
+      if (d.decision.decided()) out.latency.add(d.real_at - t0);
+    }
+  }
+  return out;
+}
+
+void BM_QuorumPolicy(benchmark::State& state) {
+  const auto n = std::uint32_t(state.range(0));
+  const auto policy =
+      state.range(1) == 0 ? QuorumPolicy::kOptimal : QuorumPolicy::kMajority;
+  QuorumRun r;
+  for (auto _ : state) {
+    r = run_policy(n, 2, policy, 2, 10, 7000);
+  }
+  if (!r.latency.empty()) {
+    state.counters["latency_p50_ms"] = r.latency.quantile(0.5) * 1e-6;
+  }
+  state.counters["decided_pct"] = 100.0 * r.decided / std::max(1u, r.trials);
+}
+BENCHMARK(BM_QuorumPolicy)
+    ->ArgsProduct({{7, 13, 19, 25}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+void print_latency_table() {
+  std::printf(
+      "\nE10a: quorum-policy latency (f=2 silent faults, 30 trials, link "
+      "delay ~ U[delta/5, delta])\n");
+  Table table({"n", "q_high opt", "q_high maj", "p50 opt (ms)", "p50 maj (ms)",
+               "p90 opt (ms)", "p90 maj (ms)", "speedup p50"});
+  for (std::uint32_t n : {7u, 13u, 19u, 25u}) {
+    const std::uint32_t f = 2;
+    auto opt = run_policy(n, f, QuorumPolicy::kOptimal, f, 30, 42);
+    auto maj = run_policy(n, f, QuorumPolicy::kMajority, f, 30, 42);
+    Params p_opt{n, f, microseconds(1050)};
+    Params p_maj = Params{n, f, microseconds(1050)}.set_quorum_policy(
+        QuorumPolicy::kMajority);
+    const double speedup = maj.latency.quantile(0.5) > 0
+                               ? opt.latency.quantile(0.5) /
+                                     maj.latency.quantile(0.5)
+                               : 0.0;
+    table.add_row({std::to_string(n), std::to_string(p_opt.q_high()),
+                   std::to_string(p_maj.q_high()),
+                   Table::fmt_ms(opt.latency.quantile(0.5)),
+                   Table::fmt_ms(maj.latency.quantile(0.5)),
+                   Table::fmt_ms(opt.latency.quantile(0.9)),
+                   Table::fmt_ms(maj.latency.quantile(0.9)),
+                   Table::fmt_ratio(speedup)});
+  }
+  table.print();
+}
+
+void print_crash_table() {
+  std::printf(
+      "\nE10b: liveness under c crashed nodes, n=13, f=2 (decided%% over 10 "
+      "trials; safety violations must be 0 everywhere)\n");
+  Table table({"crashes c", "optimal decided%", "majority decided%",
+               "agreement violations"});
+  for (std::uint32_t c : {0u, 2u, 3u, 4u, 5u, 6u}) {
+    const auto opt = run_policy(13, 2, QuorumPolicy::kOptimal, c, 10, 99);
+    const auto maj = run_policy(13, 2, QuorumPolicy::kMajority, c, 10, 99);
+    table.add_row(
+        {std::to_string(c),
+         std::to_string(100 * opt.decided / std::max(1u, opt.trials)),
+         std::to_string(100 * maj.decided / std::max(1u, maj.trials)),
+         std::to_string(opt.agreement_violations + maj.agreement_violations)});
+  }
+  table.print();
+}
+
+}  // namespace
+}  // namespace ssbft
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  ssbft::print_latency_table();
+  ssbft::print_crash_table();
+  return 0;
+}

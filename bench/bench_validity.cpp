@@ -1,0 +1,117 @@
+// E1 — Validity & Timeliness-2 under a correct General.
+//
+// Paper claims (§3, Timeliness validity; Theorem 3): with a correct General
+// G conforming to the Sending Validity Criteria, every correct node decides
+// G's value, with  t0 − d ≤ rt(τG) ≤ rt(τq) ≤ t0 + 4d.
+//
+// This bench sweeps n (with f = ⌊(n−1)/3⌋ actual Byzantine nodes) and
+// reports decision latency vs the 4d bound, plus agreement/validity checks.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "harness/metrics.hpp"
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "util/stats.hpp"
+
+namespace ssbft {
+namespace {
+
+struct ValidityResult {
+  std::uint32_t trials = 0;
+  std::uint32_t validity_ok = 0;
+  SampleSet latency;       // decision real − proposal real
+  SampleSet anchor_error;  // rt(τG) − t0 (paper: within [−d, +4d])
+};
+
+ValidityResult run_validity(std::uint32_t n, std::uint32_t f,
+                            std::uint32_t trials, std::uint64_t seed0) {
+  ValidityResult result;
+  for (std::uint32_t trial = 0; trial < trials; ++trial) {
+    Scenario sc;
+    sc.n = n;
+    sc.f = f;
+    sc.with_tail_faults(f);
+    sc.adversary = AdversaryKind::kSilent;
+    sc.with_proposal(milliseconds(5), 0, 11);
+    sc.run_for = milliseconds(150);
+    sc.seed = seed0 + trial;
+
+    Cluster cluster(sc);
+    cluster.run();
+    ++result.trials;
+
+    const auto metrics =
+        evaluate_run(cluster.decisions(), cluster.proposals(),
+                     cluster.correct_count(), cluster.params());
+    if (metrics.validity_violations == 0 &&
+        metrics.agreement_violations == 0) {
+      ++result.validity_ok;
+    }
+    if (cluster.proposals().empty()) continue;
+    const RealTime t0 = cluster.proposals()[0].real_at;
+    for (const auto& d : cluster.decisions()) {
+      if (!d.decision.decided()) continue;
+      result.latency.add(d.real_at - t0);
+      result.anchor_error.add(d.tau_g_real - t0);
+    }
+  }
+  return result;
+}
+
+void BM_Validity(benchmark::State& state) {
+  const auto n = std::uint32_t(state.range(0));
+  const std::uint32_t f = (n - 1) / 3;
+  ValidityResult result;
+  for (auto _ : state) {
+    result = run_validity(n, f, 20, 1000);
+  }
+  state.counters["validity_ok_pct"] =
+      100.0 * result.validity_ok / std::max(1u, result.trials);
+  if (!result.latency.empty()) {
+    state.counters["latency_p50_ms"] = result.latency.quantile(0.5) * 1e-6;
+    state.counters["latency_max_ms"] = result.latency.max() * 1e-6;
+  }
+}
+BENCHMARK(BM_Validity)->Arg(4)->Arg(7)->Arg(10)->Arg(13)->Unit(benchmark::kMillisecond);
+
+void print_table() {
+  std::printf("\nE1: Validity under a correct General (paper bound: decide "
+              "within t0+4d; here d=%.3fms)\n",
+              Scenario{}.make_params().d().millis());
+  Table table({"n", "f", "trials", "validity%", "latency p50 (ms)",
+               "latency max (ms)", "4d bound (ms)", "anchor err in [-d,4d]"});
+  for (std::uint32_t n : {4u, 7u, 10u, 13u, 16u, 25u}) {
+    const std::uint32_t f = (n - 1) / 3;
+    auto r = run_validity(n, f, 30, 42);
+    const Params params = [&] {
+      Scenario sc;
+      sc.n = n;
+      sc.f = f;
+      return sc.make_params();
+    }();
+    const double d_ns = double(params.d().ns());
+    bool anchor_ok = true;
+    for (double e : r.anchor_error.samples()) {
+      if (e < -d_ns || e > 4 * d_ns) anchor_ok = false;
+    }
+    table.add_row({std::to_string(n), std::to_string(f),
+                   std::to_string(r.trials),
+                   Table::fmt_ms(1e6 * 100.0 * r.validity_ok / r.trials),
+                   r.latency.empty() ? "-" : Table::fmt_ms(r.latency.quantile(0.5)),
+                   r.latency.empty() ? "-" : Table::fmt_ms(r.latency.max()),
+                   Table::fmt_ms(4 * d_ns), anchor_ok ? "yes" : "NO"});
+  }
+  table.print();
+}
+
+}  // namespace
+}  // namespace ssbft
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  ssbft::print_table();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// A replicated bank ledger on the pipelined log — the footnote-9 payoff in
+// application form.
+//
+// Four replicas each accept deposit/withdraw commands from local clients
+// and submit them to the pipelined replicated log (depth 4: four slots in
+// flight through concurrent indexed agreement instances). Every replica
+// applies the delivered command stream, in slot order, to its copy of the
+// accounts — and because delivery sequences are identical at all correct
+// replicas, so are the final balances, even though commands raced each
+// other across four concurrent agreements.
+//
+// Build & run:   ./build/examples/pipelined_bank
+#include <array>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "app/pipelined_log.hpp"
+#include "sim/world.hpp"
+
+using namespace ssbft;
+
+namespace {
+
+// Command encoding: account (8 bits) | signed amount (16 bits).
+std::uint32_t make_cmd(std::uint32_t account, std::int16_t amount) {
+  return (account << 16) | std::uint16_t(amount);
+}
+void apply(std::map<std::uint32_t, std::int64_t>& accounts,
+           std::uint32_t cmd) {
+  accounts[cmd >> 16] += std::int16_t(cmd & 0xFFFF);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint32_t kN = 4, kF = 1, kDepth = 4;
+
+  WorldConfig wc;
+  wc.n = kN;
+  wc.seed = 17;
+  World world(wc);
+  Params params{kN, kF, wc.d_bound()};
+
+  // Each replica's applied state, rebuilt from its delivery stream.
+  std::array<std::map<std::uint32_t, std::int64_t>, kN> ledgers;
+  std::array<std::vector<PipelinedEntry>, kN> streams;
+
+  std::vector<PipelinedLogNode*> replicas(kN, nullptr);
+  for (NodeId i = 0; i < kN; ++i) {
+    PipelineConfig cfg;
+    cfg.depth = kDepth;
+    auto sink = [&, i](const PipelinedEntry& entry) {
+      streams[i].push_back(entry);
+      if (!entry.skipped) apply(ledgers[i], entry.command);
+    };
+    auto node = std::make_unique<PipelinedLogNode>(params, cfg, sink);
+    replicas[i] = node.get();
+    world.set_behavior(i, std::move(node));
+  }
+  world.start();
+
+  // Client workload: deposits and withdrawals hitting different replicas.
+  struct Tx { NodeId via; std::uint32_t account; std::int16_t amount; };
+  const std::vector<Tx> workload = {
+      {0, 1, +500}, {1, 1, -120}, {2, 2, +900}, {3, 1, +75},
+      {0, 2, -300}, {1, 3, +42},  {2, 1, -55},  {3, 2, +10},
+      {0, 3, +7},   {1, 2, -1},
+  };
+  for (const auto& tx : workload) {
+    replicas[tx.via]->submit(make_cmd(tx.account, tx.amount));
+  }
+
+  world.run_for(6 * replicas[0]->slot_period());
+
+  std::printf("pipeline depth %u, slot period %.1f ms\n\n", kDepth,
+              replicas[0]->slot_period().millis());
+  std::printf("replica 0 delivery stream (slot order):\n");
+  for (const auto& e : streams[0]) {
+    if (e.skipped) {
+      std::printf("  slot %2llu  [skipped: proposer %u idle]\n",
+                  static_cast<unsigned long long>(e.slot), e.proposer);
+    } else {
+      std::printf("  slot %2llu  account %u %+d  (via replica %u)\n",
+                  static_cast<unsigned long long>(e.slot), e.command >> 16,
+                  int(std::int16_t(e.command & 0xFFFF)), e.proposer);
+    }
+  }
+
+  std::printf("\nfinal balances per replica:\n");
+  std::printf("%-10s", "account");
+  for (NodeId i = 0; i < kN; ++i) std::printf("  replica %u", i);
+  std::printf("\n");
+  for (std::uint32_t account = 1; account <= 3; ++account) {
+    std::printf("%-10u", account);
+    for (NodeId i = 0; i < kN; ++i) {
+      std::printf("  %9lld", static_cast<long long>(ledgers[i][account]));
+    }
+    std::printf("\n");
+  }
+
+  bool identical = true;
+  for (NodeId i = 1; i < kN; ++i) {
+    if (ledgers[i] != ledgers[0]) identical = false;
+  }
+  std::printf("\nledgers identical at all replicas: %s\n",
+              identical ? "yes" : "NO — agreement broken?!");
+  return identical ? 0 : 1;
+}

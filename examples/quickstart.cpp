@@ -1,0 +1,51 @@
+// Quickstart: 7 nodes, 2 Byzantine, one correct General proposing a value.
+//
+// Demonstrates the minimal public-API flow:
+//   Scenario → Cluster → run → inspect decisions.
+//
+// Build & run:   ./build/examples/quickstart
+#include <cstdio>
+
+#include "harness/metrics.hpp"
+#include "harness/runner.hpp"
+
+int main() {
+  using namespace ssbft;
+
+  Scenario sc;
+  sc.n = 7;                 // cluster size
+  sc.f = 2;                 // designed fault tolerance (n > 3f)
+  sc.with_tail_faults(2);   // nodes 5 and 6 are actually Byzantine
+  sc.adversary = AdversaryKind::kNoise;  // they flood random junk
+  sc.delta = milliseconds(1);            // network delay bound δ
+  sc.seed = 2024;
+
+  // Node 0, a correct General, proposes value 42 at t = 5ms.
+  sc.with_proposal(milliseconds(5), /*general=*/0, /*value=*/42);
+  sc.run_for = milliseconds(300);
+
+  Cluster cluster(sc);
+  cluster.run();
+
+  std::printf("d = %.3f ms, Phi = %.3f ms, Delta_agr = %.3f ms\n\n",
+              cluster.params().d().millis(), cluster.params().phi().millis(),
+              cluster.params().delta_agr().millis());
+
+  std::printf("%-6s %-10s %-8s %-16s\n", "node", "value", "general",
+              "real time (ms)");
+  for (const auto& d : cluster.decisions()) {
+    std::printf("%-6u %-10llu %-8u %-16.3f\n", d.decision.node,
+                static_cast<unsigned long long>(d.decision.value),
+                d.decision.general.node, d.real_at.millis());
+  }
+
+  const auto metrics = evaluate_run(cluster.decisions(), cluster.proposals(),
+                                    cluster.correct_count(), cluster.params());
+  std::printf("\nagreement violations: %u, validity violations: %u\n",
+              metrics.agreement_violations, metrics.validity_violations);
+  std::printf("decision skew: %.3f ms (paper bound 2d = %.3f ms)\n",
+              metrics.max_decision_skew.millis(),
+              (2 * cluster.params().d()).millis());
+  return metrics.agreement_violations + metrics.validity_violations == 0 ? 0
+                                                                         : 1;
+}

@@ -1,0 +1,107 @@
+// Replicated key-value store — a domain application of the replicated log.
+//
+// Commands are 32-bit words: op(4 bits) ‖ key(12 bits) ‖ value(16 bits).
+// Each correct node applies committed entries in slot order to a local
+// std::map; Agreement makes every replica's materialized state identical,
+// with 2/7 nodes Byzantine and clients submitting through different nodes.
+//
+// Build & run:   ./build/examples/replicated_kv
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "adversary/adversaries.hpp"
+#include "app/replicated_log.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using namespace ssbft;
+
+constexpr std::uint32_t kOpSet = 1;
+constexpr std::uint32_t kOpDel = 2;
+
+std::uint32_t make_cmd(std::uint32_t op, std::uint32_t key,
+                       std::uint32_t value) {
+  return (op << 28) | ((key & 0xFFF) << 16) | (value & 0xFFFF);
+}
+
+struct KvReplica {
+  std::map<std::uint32_t, std::uint32_t> state;
+
+  void apply(std::uint32_t cmd) {
+    const std::uint32_t op = cmd >> 28;
+    const std::uint32_t key = (cmd >> 16) & 0xFFF;
+    const std::uint32_t value = cmd & 0xFFFF;
+    if (op == kOpSet) {
+      state[key] = value;
+    } else if (op == kOpDel) {
+      state.erase(key);
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  WorldConfig wc;
+  wc.n = 7;
+  wc.seed = 4242;
+  World world(wc);
+  const Params params{7, 2, wc.d_bound()};
+
+  std::vector<ReplicatedLogNode*> nodes(7, nullptr);
+  for (NodeId i = 0; i < 7; ++i) {
+    if (i >= 5) {  // two Byzantine replicas flooding noise
+      world.set_behavior(i,
+                         std::make_unique<RandomNoiseAdversary>(milliseconds(2)));
+      continue;
+    }
+    auto node =
+        std::make_unique<ReplicatedLogNode>(params, LogConfig{}, nullptr);
+    nodes[i] = node.get();
+    world.set_behavior(i, std::move(node));
+  }
+  world.start();
+
+  // Clients hit different replicas: sets, an overwrite, and a delete.
+  nodes[0]->submit(make_cmd(kOpSet, 1, 100));  // x := 100
+  nodes[1]->submit(make_cmd(kOpSet, 2, 200));  // y := 200
+  nodes[2]->submit(make_cmd(kOpSet, 1, 150));  // x := 150 (overwrite)
+  nodes[3]->submit(make_cmd(kOpSet, 3, 300));  // z := 300
+  nodes[4]->submit(make_cmd(kOpDel, 2, 0));    // del y
+
+  world.run_until(RealTime::zero() + 30 * nodes[0]->slot_period());
+
+  // Materialize each replica's state from its committed log (slot order).
+  std::vector<KvReplica> replicas(5);
+  for (NodeId i = 0; i < 5; ++i) {
+    for (const auto& [slot, entry] : nodes[i]->log()) {
+      replicas[i].apply(entry.command);
+    }
+  }
+
+  std::printf("replica state after %zu committed entries:\n",
+              nodes[0]->log().size());
+  bool identical = true;
+  for (NodeId i = 0; i < 5; ++i) {
+    std::printf("  node %u:", i);
+    for (const auto& [key, value] : replicas[i].state) {
+      std::printf(" k%u=%u", key, value);
+    }
+    std::printf("\n");
+    if (replicas[i].state != replicas[0].state) identical = false;
+  }
+
+  // Expected materialized state: k1=150, k3=300 (k2 deleted). The exact
+  // overwrite order of k1 depends on slot order, but it is the SAME order
+  // everywhere — that is the guarantee. Check identity plus sanity.
+  const bool sane = replicas[0].state.count(3) == 1 &&
+                    replicas[0].state.count(2) == 0 &&
+                    replicas[0].state.count(1) == 1;
+  std::printf("\nreplicas %s, state %s\n",
+              identical ? "IDENTICAL" : "DIVERGED",
+              sane ? "as expected" : "UNEXPECTED");
+  return identical && sane ? 0 : 1;
+}

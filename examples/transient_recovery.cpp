@@ -1,0 +1,88 @@
+// Transient recovery: the paper's headline scenario, end to end.
+//
+// At t=0 a transient fault hits: every node's protocol state is scrambled
+// (bogus i_values, last(G)/last(G,m), ready flags, phantom broadcast
+// instances, even "already returned" beliefs), clocks lose any common
+// reference, forged messages sit on the wire, and the network itself drops
+// / corrupts / delays until ι0 = 10ms. No node is restarted and no outside
+// intervention happens.
+//
+// A correct General then proposes at a steady cadence. The example prints
+// the timeline: which proposals fail or half-fail during convergence, and
+// from when on every proposal yields a unanimous correct decision — well
+// before the paper's worst-case bound ∆stb.
+//
+// Build & run:   ./build/examples/transient_recovery
+#include <cstdio>
+
+#include "harness/metrics.hpp"
+#include "harness/runner.hpp"
+
+int main() {
+  using namespace ssbft;
+
+  Scenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.with_tail_faults(2);             // 2 Byzantine nodes, permanently
+  sc.adversary = AdversaryKind::kNoise;
+  sc.transient_scramble = true;       // arbitrary state at every node
+  sc.transient.spurious_per_node = 64;
+  sc.chaos_period = milliseconds(10); // network faulty until ι0
+  sc.seed = 2026;
+
+  const Params params = sc.make_params();
+  const Duration slot = params.delta_0() + 5 * params.d();
+  const int kRounds = 30;
+  for (int i = 0; i < kRounds; ++i) {
+    sc.with_proposal(sc.chaos_period + milliseconds(1) + i * slot, 0,
+                     1000 + Value(i));
+  }
+  sc.run_for = sc.chaos_period + kRounds * slot + milliseconds(100);
+
+  Cluster cluster(sc);
+  cluster.run();
+
+  std::printf("transient fault at t=0; network coherent from ι0=%.1fms; "
+              "∆stb bound = %.1fms\n\n",
+              sc.chaos_period.millis(), params.delta_stb().millis());
+  std::printf("%-8s %-12s %-10s %-28s\n", "round", "proposed at", "value",
+              "outcome");
+
+  const auto execs = cluster_executions(cluster.decisions(), cluster.params());
+  Duration convergence = Duration::zero();
+  bool converged = false;
+  for (int i = 0; i < kRounds; ++i) {
+    const Value value = 1000 + Value(i);
+    const RealTime at =
+        RealTime::zero() + sc.chaos_period + milliseconds(1) + i * slot;
+    const char* outcome = "no decision (still converging)";
+    for (const auto& e : execs) {
+      if (e.general.node != 0) continue;
+      if (e.agreed_value().value_or(kBottom) != value) continue;
+      if (e.decided_count() == cluster.correct_count()) {
+        outcome = "unanimous decision";
+        if (!converged) {
+          converged = true;
+          convergence = e.first_return() - (RealTime::zero() + sc.chaos_period);
+        }
+      } else {
+        outcome = "partial (some nodes still dirty)";
+      }
+      break;
+    }
+    std::printf("%-8d %-12.1f %-10llu %-28s\n", i, at.millis(),
+                static_cast<unsigned long long>(value), outcome);
+  }
+
+  if (converged) {
+    std::printf("\nconverged %.1fms after ι0 (paper bound ∆stb = %.1fms, "
+                "%.1f%% of it)\n",
+                convergence.millis(), params.delta_stb().millis(),
+                100.0 * double(convergence.ns()) /
+                    double(params.delta_stb().ns()));
+  } else {
+    std::printf("\nDID NOT CONVERGE — this would be a bug\n");
+  }
+  return converged ? 0 : 1;
+}

@@ -1,0 +1,140 @@
+// Byzantine node behaviors.
+//
+// Each strategy below exercises a different clause of the paper's proofs:
+//   Silent            — crash/omission (weakest; baseline f-resilience)
+//   RandomNoise       — arbitrary-content flooding (stress decay/cleanup)
+//   EquivocatingGeneral — different values to different halves (IA-4
+//                       Uniqueness, Agreement under a faulty General)
+//   StaggeredGeneral  — initiations spread in time across nodes (attacks
+//                       the τG consistency of Initiator-Accept, IA-1C/3A)
+//   SpamGeneral       — violates IG1/IG2 at will (tests that correct nodes'
+//                       pacing checks, not the General's manners, protect
+//                       the system)
+//   Replay            — records real traffic and replays it later (attacks
+//                       the freshness windows and ∆rmv decay)
+//   QuorumFaker       — sends support/approve/ready for phantom values to a
+//                       chosen subset (attacks Unforgeability, IA-2/TPS-2)
+//
+// Byzantine nodes have full message-content freedom but authenticated
+// identity (the network stamps the true sender, Def. 2.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/node.hpp"
+#include "util/types.hpp"
+
+namespace ssbft {
+
+/// Crash-faulty node: receives and ignores everything.
+class SilentAdversary : public NodeBehavior {
+ public:
+  void on_message(NodeContext&, const WireMessage&) override {}
+};
+
+/// Periodically floods random junk to everyone.
+class RandomNoiseAdversary : public NodeBehavior {
+ public:
+  explicit RandomNoiseAdversary(Duration period, std::uint32_t burst = 4)
+      : period_(period), burst_(burst) {}
+
+  void on_start(NodeContext& ctx) override;
+  void on_message(NodeContext&, const WireMessage&) override {}
+  void on_timer(NodeContext& ctx, std::uint64_t cookie) override;
+
+ private:
+  WireMessage random_message(NodeContext& ctx);
+  Duration period_;
+  std::uint32_t burst_;
+};
+
+/// A General that sends value `v0` to nodes with id < split and `v1` to the
+/// rest, then plays along with both waves of the primitive. split = n−1
+/// (one victim) is the sharpest variant: the v0 wave can complete while the
+/// victim must be pulled along by the relay.
+class EquivocatingGeneral : public NodeBehavior {
+ public:
+  /// split == 0 means "n/2" (half-and-half).
+  EquivocatingGeneral(Value v0, Value v1, Duration start_delay,
+                      std::uint32_t split = 0)
+      : v0_(v0), v1_(v1), start_delay_(start_delay), split_(split) {}
+
+  void on_start(NodeContext& ctx) override;
+  void on_message(NodeContext& ctx, const WireMessage& msg) override;
+  void on_timer(NodeContext& ctx, std::uint64_t cookie) override;
+
+ private:
+  Value v0_, v1_;
+  Duration start_delay_;
+  std::uint32_t split_;
+};
+
+/// A General that staggers its (Initiator, G, m) sends across the nodes
+/// over a span, hunting for the largest achievable τG disagreement.
+class StaggeredGeneral : public NodeBehavior {
+ public:
+  StaggeredGeneral(Value v, Duration start_delay, Duration span)
+      : v_(v), start_delay_(start_delay), span_(span) {}
+
+  void on_start(NodeContext& ctx) override;
+  void on_message(NodeContext&, const WireMessage&) override {}
+  void on_timer(NodeContext& ctx, std::uint64_t cookie) override;
+
+ private:
+  Value v_;
+  Duration start_delay_;
+  Duration span_;
+};
+
+/// A General initiating fresh values far faster than IG1 permits.
+class SpamGeneral : public NodeBehavior {
+ public:
+  explicit SpamGeneral(Duration period) : period_(period) {}
+
+  void on_start(NodeContext& ctx) override;
+  void on_message(NodeContext&, const WireMessage&) override {}
+  void on_timer(NodeContext& ctx, std::uint64_t cookie) override;
+
+ private:
+  Duration period_;
+  Value next_value_ = 100;
+};
+
+/// Records everything it hears and replays it verbatim after `delay`
+/// (the sender field is its own — identity is authenticated — but the
+/// payload replays a stale protocol step).
+class ReplayAdversary : public NodeBehavior {
+ public:
+  explicit ReplayAdversary(Duration delay, std::size_t max_store = 4096)
+      : delay_(delay), max_store_(max_store) {}
+
+  void on_message(NodeContext& ctx, const WireMessage& msg) override;
+  void on_timer(NodeContext& ctx, std::uint64_t cookie) override;
+
+ private:
+  Duration delay_;
+  std::size_t max_store_;
+  std::vector<WireMessage> store_;
+};
+
+/// Sends complete support/approve/ready waves for a phantom value (claiming
+/// General `g`) to a victim subset, trying to forge an I-accept.
+class QuorumFaker : public NodeBehavior {
+ public:
+  QuorumFaker(GeneralId g, Value phantom, Duration period,
+              std::vector<NodeId> victims)
+      : g_(g), phantom_(phantom), period_(period), victims_(std::move(victims)) {}
+
+  void on_start(NodeContext& ctx) override;
+  void on_message(NodeContext&, const WireMessage&) override {}
+  void on_timer(NodeContext& ctx, std::uint64_t cookie) override;
+
+ private:
+  GeneralId g_;
+  Value phantom_;
+  Duration period_;
+  std::vector<NodeId> victims_;
+};
+
+}  // namespace ssbft

@@ -1,0 +1,289 @@
+#include "app/pipelined_log.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "app/replicated_log.hpp"  // shared (slot, command) value encoding
+#include "util/assert.hpp"
+
+namespace ssbft {
+
+PipelinedLogNode::PipelinedLogNode(Params params, PipelineConfig config,
+                                   DeliverSink sink)
+    : config_(config), sink_(std::move(sink)) {
+  const Duration min_period = params.delta_0() + params.delta_agr();
+  slot_period_ = config_.slot_period == Duration::zero()
+                     ? min_period + 5 * params.d()
+                     : config_.slot_period;
+  SSBFT_EXPECTS(slot_period_ >= min_period);
+  const Duration slack = config_.timeout_slack == Duration::zero()
+                             ? 8 * params.d()
+                             : config_.timeout_slack;
+  watchdog_timeout_ = slot_period_ + params.delta_agr() + slack;
+  depth_ = std::max(1u, config_.depth);
+  agree_ = std::make_unique<SsByzNode>(
+      std::move(params),
+      [this](const Decision& decision) { on_decision(decision); });
+}
+
+PipelinedLogNode::~PipelinedLogNode() = default;
+
+NodeId PipelinedLogNode::proposer_for(std::uint64_t slot) const {
+  return NodeId(slot % (ctx_ ? ctx_->n() : 1));
+}
+
+std::uint32_t PipelinedLogNode::index_for(std::uint64_t slot) const {
+  // Consecutive slots owned by the same proposer (s, s+n, s+2n, ...) cycle
+  // through distinct instance indices, so a window never puts two in-flight
+  // slots of one proposer on the same (G, index) instance as long as
+  // depth ≤ n · max_indices.
+  const std::uint32_t n = ctx_ ? ctx_->n() : 1;
+  return std::uint32_t((slot / n) % agree_->params().max_indices());
+}
+
+void PipelinedLogNode::on_start(NodeContext& ctx) {
+  ctx_ = &ctx;
+  // The index space bounds how deep one proposer can pipeline.
+  depth_ = std::min(depth_, ctx.n() * agree_->params().max_indices());
+  agree_->on_start(ctx);
+  arm_watchdog();
+  set_pipe_timer(slot_period_, PipeTimer::kProposeDue, 0);
+}
+
+void PipelinedLogNode::on_message(NodeContext& ctx, const WireMessage& msg) {
+  agree_->on_message(ctx, msg);
+}
+
+void PipelinedLogNode::set_pipe_timer(Duration after, PipeTimer kind,
+                                      std::uint32_t payload) {
+  SSBFT_ASSERT(ctx_ != nullptr);
+  ctx_->set_timer_after(after, kPipeTimerBit |
+                                   (std::uint64_t(kind) << 32) | payload);
+}
+
+void PipelinedLogNode::on_timer(NodeContext& ctx, std::uint64_t cookie) {
+  if ((cookie & kPipeTimerBit) == 0) {
+    agree_->on_timer(ctx, cookie);
+    return;
+  }
+  const auto kind = PipeTimer((cookie >> 32) & 0xFF);
+  const auto payload = std::uint32_t(cookie);
+  switch (kind) {
+    case PipeTimer::kProposeDue:
+      propose_owned_slots();
+      set_pipe_timer(slot_period_, PipeTimer::kProposeDue, 0);
+      break;
+    case PipeTimer::kHoleGrace:
+      sweep_hole_grace();
+      break;
+    case PipeTimer::kWatchdog:
+      if (payload != std::uint32_t(watchdog_epoch_)) break;  // stale
+      // The window base made no progress for a whole timeout: its proposer
+      // is faulty or idle. Skip it; later slots may already be settled, so
+      // the base may jump several slots forward.
+      settle(low_, std::nullopt, proposer_for(low_));
+      arm_watchdog();
+      propose_owned_slots();
+      break;
+  }
+}
+
+void PipelinedLogNode::submit(std::uint32_t command) {
+  pending_.push_back(command);
+  propose_owned_slots();
+}
+
+void PipelinedLogNode::propose_owned_slots() {
+  if (ctx_ == nullptr) return;
+  // Assign queued commands to owned, unassigned slots in the window, then
+  // (re)propose every owned assigned slot that is still unsettled. A
+  // command moves from pending_ into assigned_ when it gets a slot, and
+  // back to the queue head if that slot is skipped under it.
+  for (std::uint64_t slot = low_; slot < low_ + depth_; ++slot) {
+    if (proposer_for(slot) != ctx_->id()) continue;
+    if (settled_.count(slot) != 0) continue;
+    if (assigned_.count(slot) == 0) {
+      if (pending_.empty()) continue;
+      assigned_[slot] = pending_.front();
+      pending_.pop_front();
+    }
+    if (proposed_.count(slot) != 0) continue;
+    const Value value =
+        ReplicatedLogNode::encode(slot, assigned_[slot]);
+    const ProposeStatus status = agree_->propose(value, index_for(slot));
+    if (status == ProposeStatus::kSent) {
+      proposed_.insert(slot);
+      ctx_->log().logf(LogLevel::kDebug, ctx_->id(),
+                       "pipeline propose slot=%llu idx=%u cmd=%u",
+                       static_cast<unsigned long long>(slot),
+                       index_for(slot), assigned_[slot]);
+    } else {
+      // Pacing refusal (healing after a scramble, or the previous wave on
+      // this index is younger than ∆0): retry shortly — the watchdog caps
+      // how long the slot can stall regardless.
+      set_pipe_timer(agree_->params().delta_0() / 2, PipeTimer::kProposeDue,
+                     0);
+    }
+  }
+}
+
+void PipelinedLogNode::on_decision(const Decision& decision) {
+  if (!decision.decided()) return;
+  std::uint64_t slot;
+  std::uint32_t command;
+  ReplicatedLogNode::decode(decision.value, slot, command);
+  // Rotation + index discipline: a slot may only be filled by its
+  // designated proposer through its designated instance index.
+  if (proposer_for(slot) != decision.general.node) return;
+  if (index_for(slot) != decision.general.index) return;
+  settle(slot, command, decision.general.node);
+}
+
+void PipelinedLogNode::settle(std::uint64_t slot,
+                              std::optional<std::uint32_t> command,
+                              NodeId proposer) {
+  if (const auto it = settled_.find(slot); it != settled_.end()) {
+    // Duplicate/late copy — except a genuine commit arriving for a slot we
+    // grace-holed: window bases can drift apart for arbitrarily long after
+    // a transient fault (a straggler proposes only when it next has work),
+    // so a local hole may race a remote proposal. The commit wins: it is
+    // unique by Agreement, so upgrading converges the settled map at every
+    // correct node no matter how the race interleaved. If the hole was
+    // already handed to the sink, that delivery-stream divergence is
+    // pre-coherence damage (see DESIGN.md / settled()).
+    if (command.has_value() && it->second.skipped) {
+      it->second.command = *command;
+      it->second.proposer = proposer;
+      it->second.skipped = false;
+      // Not re-delivered: the sink's stream stays strictly in slot order.
+      // If the hole already went out, the correction lives only in
+      // settled() — in-order consumers recover via state transfer.
+    }
+    return;
+  }
+
+  // Catch-up: a decision beyond our window means the cluster moved past us
+  // (a scrambled cursor left us behind). Jump the window base forward so
+  // our proposals rejoin the cluster; the slots we jumped over become hole
+  // candidates after the grace period — never immediately, because their
+  // agreements may still be in flight (including our own).
+  if (command.has_value() && slot >= low_ + depth_) {
+    const std::uint64_t target = slot + 1 - depth_;
+    begin_catchup(low_, target);
+    low_ = target;
+  }
+
+  PipelinedEntry entry;
+  entry.slot = slot;
+  entry.command = command.value_or(0);
+  entry.proposer = proposer;
+  entry.skipped = !command.has_value();
+  settled_.emplace(slot, entry);
+
+  // A committed own slot consumes its command; a skipped own slot releases
+  // the command back to the queue head for the next owned slot.
+  const auto assigned = assigned_.find(slot);
+  if (assigned != assigned_.end()) {
+    if (!command.has_value()) pending_.push_front(assigned->second);
+    assigned_.erase(assigned);
+  }
+  proposed_.erase(slot);
+  hole_due_.erase(slot);
+
+  // Advance the window base past everything settled.
+  const std::uint64_t old_low = low_;
+  while (settled_.count(low_) != 0) ++low_;
+  if (low_ != old_low) arm_watchdog();
+  flush_deliveries();
+  propose_owned_slots();
+}
+
+Duration PipelinedLogNode::hole_grace() const {
+  // Termination bounds any in-flight agreement by ∆agr (+7d if a node never
+  // explicitly invoked it); 8d also covers decision relay and τG skew.
+  return agree_->params().delta_agr() + 8 * agree_->params().d();
+}
+
+void PipelinedLogNode::begin_catchup(std::uint64_t from, std::uint64_t to) {
+  if (ctx_ == nullptr || from >= to) return;
+  const LocalTime due = ctx_->local_now() + hole_grace();
+  bool armed = false;
+  for (std::uint64_t u = from; u < to; ++u) {
+    if (settled_.count(u) != 0 || hole_due_.count(u) != 0) continue;
+    hole_due_.emplace(u, due);
+    armed = true;
+  }
+  if (armed) {
+    set_pipe_timer(hole_grace() + agree_->params().d(), PipeTimer::kHoleGrace,
+                   0);
+  }
+}
+
+void PipelinedLogNode::sweep_hole_grace() {
+  if (ctx_ == nullptr) return;
+  const LocalTime now = ctx_->local_now();
+  // Collect first: settle() mutates hole_due_.
+  std::vector<std::uint64_t> due;
+  for (const auto& [slot, deadline] : hole_due_) {
+    if (deadline <= now && settled_.count(slot) == 0) due.push_back(slot);
+  }
+  for (const std::uint64_t slot : due) {
+    settle(slot, std::nullopt, proposer_for(slot));
+  }
+  // Drop satisfied/expired records; future deadlines stay armed.
+  for (auto it = hole_due_.begin(); it != hole_due_.end();) {
+    if (it->second <= now || settled_.count(it->first) != 0) {
+      it = hole_due_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PipelinedLogNode::flush_deliveries() {
+  while (true) {
+    const auto it = settled_.find(deliver_next_);
+    if (it != settled_.end()) {
+      if (sink_) sink_(it->second);
+      ++deliver_next_;
+      continue;
+    }
+    if (deliver_next_ < low_ && hole_due_.count(deliver_next_) == 0) {
+      // In stable operation low_ only moves over contiguously settled
+      // slots, so a gap here means a scrambled cursor (or a catch-up jump
+      // whose grace record was itself scrambled away). Nothing below low_
+      // will be proposed again: queue the slot for hole release after the
+      // grace period, in case its agreement is still in flight.
+      begin_catchup(deliver_next_, low_);
+      break;
+    }
+    break;
+  }
+}
+
+void PipelinedLogNode::arm_watchdog() {
+  if (ctx_ == nullptr) return;
+  ++watchdog_epoch_;
+  set_pipe_timer(watchdog_timeout_, PipeTimer::kWatchdog,
+                 std::uint32_t(watchdog_epoch_));
+}
+
+void PipelinedLogNode::scramble(NodeContext& ctx, Rng& rng) {
+  agree_->scramble(ctx, rng);
+  low_ = rng.next_below(64);
+  deliver_next_ = std::min(low_, std::uint64_t(rng.next_below(64)));
+  if (rng.next_bool(0.4)) {
+    PipelinedEntry junk;
+    junk.slot = low_ + rng.next_below(depth_);
+    junk.command = std::uint32_t(rng.next_u64());
+    junk.proposer = NodeId(rng.next_below(ctx.n()));
+    settled_.emplace(junk.slot, junk);
+  }
+  assigned_.clear();
+  proposed_.clear();
+  hole_due_.clear();
+  arm_watchdog();
+}
+
+}  // namespace ssbft

@@ -1,0 +1,173 @@
+#include "app/replicated_log.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace ssbft {
+
+Value ReplicatedLogNode::encode(std::uint64_t slot, std::uint32_t command) {
+  // Slot masked to 31 bits keeps the value clear of kBottom (all ones).
+  return ((slot & 0x7FFFFFFF) << 32) | command;
+}
+
+void ReplicatedLogNode::decode(Value value, std::uint64_t& slot,
+                               std::uint32_t& command) {
+  slot = (value >> 32) & 0x7FFFFFFF;
+  command = std::uint32_t(value & 0xFFFFFFFF);
+}
+
+ReplicatedLogNode::ReplicatedLogNode(Params params, LogConfig config,
+                                     CommitSink sink)
+    : config_(config), sink_(std::move(sink)) {
+  const Duration min_period = params.delta_0() + params.delta_agr();
+  slot_period_ = config_.slot_period == Duration::zero()
+                     ? min_period + 5 * params.d()
+                     : config_.slot_period;
+  SSBFT_EXPECTS(slot_period_ >= min_period);
+  const Duration slack = config_.timeout_slack == Duration::zero()
+                             ? 8 * params.d()
+                             : config_.timeout_slack;
+  watchdog_timeout_ = slot_period_ + params.delta_agr() + slack;
+  agree_ = std::make_unique<SsByzNode>(
+      std::move(params),
+      [this](const Decision& decision) { on_decision(decision); });
+}
+
+ReplicatedLogNode::~ReplicatedLogNode() = default;
+
+NodeId ReplicatedLogNode::proposer_for(std::uint64_t slot) const {
+  return NodeId(slot % (ctx_ ? ctx_->n() : 1));
+}
+
+void ReplicatedLogNode::on_start(NodeContext& ctx) {
+  ctx_ = &ctx;
+  agree_->on_start(ctx);
+  arm_watchdog();
+  schedule_own_slot();
+}
+
+void ReplicatedLogNode::on_message(NodeContext& ctx, const WireMessage& msg) {
+  agree_->on_message(ctx, msg);
+}
+
+void ReplicatedLogNode::on_timer(NodeContext& ctx, std::uint64_t cookie) {
+  if ((cookie & kLogTimerBit) == 0) {
+    agree_->on_timer(ctx, cookie);
+    return;
+  }
+  const auto kind = LogTimer((cookie >> 32) & 0xFF);
+  const auto payload = std::uint32_t(cookie);
+  switch (kind) {
+    case LogTimer::kSlotDue:
+      maybe_propose();
+      break;
+    case LogTimer::kWatchdog:
+      if (payload != std::uint32_t(watchdog_epoch_)) break;  // stale
+      // The slot's proposer is presumed faulty or idle: advance the cursor
+      // (the slot stays empty — only decisions create entries) and let the
+      // next proposer go. A late decision can still fill the hole.
+      ++cursor_;
+      last_activity_ = ctx.local_now();
+      arm_watchdog();
+      schedule_own_slot();
+      maybe_propose();
+      break;
+  }
+}
+
+void ReplicatedLogNode::submit(std::uint32_t command) {
+  pending_.push_back(command);
+}
+
+void ReplicatedLogNode::maybe_propose() {
+  if (ctx_ == nullptr) return;
+  if (proposer_for(cursor_) != ctx_->id()) return;
+  if (pending_.empty()) return;  // nothing to say; watchdog will skip us
+  if (log_.count(cursor_) != 0) return;  // already settled
+  const Value value = encode(cursor_, pending_.front());
+  const ProposeStatus status = agree_->propose(value);
+  if (status == ProposeStatus::kSent) {
+    ctx_->log().logf(LogLevel::kDebug, ctx_->id(),
+                     "log propose slot=%llu cmd=%u",
+                     static_cast<unsigned long long>(cursor_),
+                     pending_.front());
+    return;
+  }
+  // Refused (General-pacing state still healing after a scramble). Retry
+  // while the slot is still ours — pacing clears within bounded time, and
+  // the watchdog caps how long we hold the slot regardless.
+  ctx_->set_timer_after(agree_->params().delta_0() / 2,
+                        kLogTimerBit |
+                            (std::uint64_t(LogTimer::kSlotDue) << 32));
+}
+
+void ReplicatedLogNode::on_decision(const Decision& decision) {
+  if (!decision.decided()) return;
+  std::uint64_t slot;
+  std::uint32_t command;
+  decode(decision.value, slot, command);
+  // Only the rotation's designated proposer may fill a slot; anything else
+  // is a Byzantine node proposing outside its turn.
+  if (proposer_for(slot) != decision.general.node) return;
+  if (log_.count(slot) != 0) return;  // duplicate/late copy, already settled
+
+  CommittedEntry entry;
+  entry.slot = slot;
+  entry.command = command;
+  entry.proposer = decision.general.node;
+  entry.at = ctx_ ? ctx_->local_now() : LocalTime{};
+  log_.emplace(slot, entry);
+  last_activity_ = entry.at;
+  cursor_ = std::max(cursor_, slot + 1);
+
+  // Consume our own command once it is committed.
+  if (ctx_ && entry.proposer == ctx_->id() && !pending_.empty() &&
+      pending_.front() == command) {
+    pending_.erase(pending_.begin());
+  }
+  arm_watchdog();
+  schedule_own_slot();
+  if (sink_) sink_(entry);
+}
+
+void ReplicatedLogNode::schedule_own_slot() {
+  if (ctx_ == nullptr) return;
+  if (proposer_for(cursor_) != ctx_->id()) return;
+  const LocalTime base = last_activity_.value_or(ctx_->local_now());
+  const std::uint64_t cookie =
+      kLogTimerBit | (std::uint64_t(LogTimer::kSlotDue) << 32);
+  ctx_->set_timer(base + slot_period_, cookie);
+}
+
+void ReplicatedLogNode::arm_watchdog() {
+  if (ctx_ == nullptr) return;
+  ++watchdog_epoch_;
+  const std::uint64_t cookie = kLogTimerBit |
+                               (std::uint64_t(LogTimer::kWatchdog) << 32) |
+                               std::uint32_t(watchdog_epoch_);
+  ctx_->set_timer_after(watchdog_timeout_, cookie);
+}
+
+void ReplicatedLogNode::scramble(NodeContext& ctx, Rng& rng) {
+  agree_->scramble(ctx, rng);
+  // Application state is fair game for a transient fault too.
+  cursor_ = rng.next_below(64);
+  if (rng.next_bool(0.3)) {
+    CommittedEntry junk;
+    junk.slot = rng.next_below(64);
+    junk.command = std::uint32_t(rng.next_u64());
+    junk.proposer = NodeId(rng.next_below(ctx.n()));
+    junk.at = ctx.local_now();
+    log_.emplace(junk.slot, junk);
+  }
+  if (rng.next_bool(0.5)) {
+    last_activity_ = ctx.local_now() - Duration{rng.next_in(0, slot_period_.ns())};
+  } else {
+    last_activity_.reset();
+  }
+  arm_watchdog();
+}
+
+}  // namespace ssbft

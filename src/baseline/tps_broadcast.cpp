@@ -1,0 +1,113 @@
+#include "baseline/tps_broadcast.hpp"
+
+#include <utility>
+
+namespace ssbft {
+
+TpsBroadcast::TpsBroadcast(const Params& params, GeneralId general,
+                           LocalTime anchor, Duration phase_len,
+                           AcceptFn on_accept)
+    : params_(params),
+      general_(general),
+      anchor_(anchor),
+      phase_len_(phase_len),
+      on_accept_(std::move(on_accept)) {}
+
+void TpsBroadcast::broadcast(Value m, std::uint32_t k) {
+  pending_broadcasts_.emplace_back(m, k);
+}
+
+void TpsBroadcast::buffer(const WireMessage& msg) { buffer_.push_back(msg); }
+
+void TpsBroadcast::send(NodeContext& ctx, MsgKind kind, const Key& key) {
+  WireMessage msg;
+  msg.kind = kind;
+  msg.general = general_;
+  msg.value = key.m;
+  msg.broadcaster = key.p;
+  msg.round = key.k;
+  ctx.send_all(msg);
+}
+
+void TpsBroadcast::on_phase(NodeContext& ctx, std::uint32_t j) {
+  // Drain the buffer accumulated since the previous boundary.
+  for (const WireMessage& msg : buffer_) {
+    const Key key{msg.broadcaster, msg.value, msg.round};
+    auto& inst = insts_[key];
+    switch (msg.kind) {
+      case MsgKind::kBcastInit:
+        if (msg.sender == msg.broadcaster) inst.init_from_p = true;
+        break;
+      case MsgKind::kBcastEcho:
+        inst.echo_senders.insert(msg.sender);
+        break;
+      case MsgKind::kBcastInitPrime:
+        inst.init_prime_senders.insert(msg.sender);
+        break;
+      case MsgKind::kBcastEchoPrime:
+        inst.echo_prime_senders.insert(msg.sender);
+        break;
+      default:
+        break;
+    }
+  }
+  buffer_.clear();
+
+  // Launch broadcasts whose initiation phase (2k) has arrived.
+  for (auto it = pending_broadcasts_.begin();
+       it != pending_broadcasts_.end();) {
+    if (j >= 2 * it->second) {
+      send(ctx, MsgKind::kBcastInit, Key{ctx.id(), it->first, it->second});
+      it = pending_broadcasts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  for (auto& [key, inst] : insts_) evaluate(ctx, key, inst, j);
+}
+
+void TpsBroadcast::evaluate(NodeContext& ctx, const Key& key, Instance& inst,
+                            std::uint32_t j) {
+  const std::uint32_t k = key.k;
+
+  // Identical structure to msgd-broadcast's W/X/Y/Z — but gated on the
+  // lock-step phase index, never on actual message arrival times.
+  if (j <= 2 * k && inst.init_from_p && !inst.echo_sent) {
+    inst.echo_sent = true;
+    send(ctx, MsgKind::kBcastEcho, key);
+  }
+  if (j <= 2 * k + 1) {
+    if (inst.echo_senders.size() >= params_.q_low() &&
+        !inst.init_prime_sent) {
+      inst.init_prime_sent = true;
+      send(ctx, MsgKind::kBcastInitPrime, key);
+    }
+    if (inst.echo_senders.size() >= params_.q_high() && !inst.accepted) {
+      inst.accepted = true;
+      on_accept_(key.p, key.m, key.k);
+    }
+  }
+  if (j <= 2 * k + 2) {
+    if (inst.init_prime_senders.size() >= params_.q_low()) {
+      broadcasters_.insert(key.p);
+    }
+    if (inst.init_prime_senders.size() >= params_.q_high() &&
+        !inst.echo_prime_sent) {
+      inst.echo_prime_sent = true;
+      send(ctx, MsgKind::kBcastEchoPrime, key);
+    }
+  }
+  if (inst.echo_prime_senders.size() >= params_.q_low() &&
+      !inst.echo_prime_sent) {
+    inst.echo_prime_sent = true;
+    send(ctx, MsgKind::kBcastEchoPrime, key);
+  }
+  if (inst.echo_prime_senders.size() >= params_.q_high() &&
+      !inst.accepted) {
+    inst.accepted = true;
+    on_accept_(key.p, key.m, key.k);
+  }
+}
+
+}  // namespace ssbft

@@ -1,0 +1,85 @@
+// Lock-step (time-driven) reliable broadcast — the Toueg–Perry–Srikanth
+// primitive [14] that msgd-broadcast re-derives in message-driven form.
+//
+// This is the comparison baseline for experiment E4. Nodes share a
+// synchronized anchor A (the baseline *assumes* initial synchronization —
+// exactly the assumption the paper removes) and advance in fixed-length
+// phases: message buffers are examined, and messages sent, only at phase
+// boundaries A + j·Φb. The message pattern and quorum tests are identical
+// to msgd-broadcast; only the timing discipline differs, so any latency
+// difference measured between the two is attributable to message-driven
+// rounds, not to protocol structure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/params.hpp"
+#include "sim/node.hpp"
+#include "util/types.hpp"
+
+namespace ssbft {
+
+class TpsBroadcast {
+ public:
+  using AcceptFn = std::function<void(NodeId p, Value m, std::uint32_t k)>;
+
+  /// `phase_len` is Φb, the fixed round half-length; must cover worst-case
+  /// delivery (≥ d) or the synchrony assumption is violated.
+  TpsBroadcast(const Params& params, GeneralId general, LocalTime anchor,
+               Duration phase_len, AcceptFn on_accept);
+
+  /// Queue (init, p, m, k) for dissemination at the phase-2k boundary.
+  void broadcast(Value m, std::uint32_t k);
+
+  /// Buffer a message; it is processed at the next phase boundary.
+  void buffer(const WireMessage& msg);
+
+  /// Execute the phase boundary with index `j` (called by the node's
+  /// phase timer): drain buffers, evaluate all instances, emit sends.
+  void on_phase(NodeContext& ctx, std::uint32_t j);
+
+  [[nodiscard]] const std::set<NodeId>& broadcasters() const {
+    return broadcasters_;
+  }
+  [[nodiscard]] LocalTime anchor() const { return anchor_; }
+  [[nodiscard]] Duration phase_len() const { return phase_len_; }
+
+ private:
+  struct Key {
+    NodeId p = kNoNode;
+    Value m = kBottom;
+    std::uint32_t k = 0;
+    auto operator<=>(const Key&) const = default;
+  };
+  struct Instance {
+    bool init_from_p = false;
+    std::set<NodeId> echo_senders;
+    std::set<NodeId> init_prime_senders;
+    std::set<NodeId> echo_prime_senders;
+    bool echo_sent = false;
+    bool init_prime_sent = false;
+    bool echo_prime_sent = false;
+    bool accepted = false;
+  };
+
+  void send(NodeContext& ctx, MsgKind kind, const Key& key);
+  void evaluate(NodeContext& ctx, const Key& key, Instance& inst,
+                std::uint32_t j);
+
+  const Params& params_;
+  GeneralId general_;
+  LocalTime anchor_;
+  Duration phase_len_;
+  AcceptFn on_accept_;
+
+  std::vector<WireMessage> buffer_;
+  std::vector<std::pair<Value, std::uint32_t>> pending_broadcasts_;
+  std::map<Key, Instance> insts_;
+  std::set<NodeId> broadcasters_;
+};
+
+}  // namespace ssbft

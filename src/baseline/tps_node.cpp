@@ -1,0 +1,171 @@
+#include "baseline/tps_node.hpp"
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace ssbft {
+
+TpsNode::TpsNode(Params params, GeneralId general, LocalTime anchor,
+                 Duration phase_len, DecisionSink sink)
+    : params_(std::move(params)),
+      general_(general),
+      anchor_(anchor),
+      phase_len_(phase_len),
+      sink_(std::move(sink)) {}
+
+TpsNode::~TpsNode() = default;
+
+void TpsNode::on_start(NodeContext& ctx) {
+  ctx_ = &ctx;
+  bcast_ = std::make_unique<TpsBroadcast>(
+      params_, general_, anchor_, phase_len_,
+      [this](NodeId p, Value m, std::uint32_t k) {
+        on_bcast_accept(*ctx_, p, m, k);
+      });
+  // Phase timers: one per boundary up to the protocol horizon (U1 analog at
+  // phase 2f+1, plus the trailing relay phases).
+  const std::uint32_t horizon = 2 * params_.f() + 6;
+  for (std::uint32_t j = 0; j <= horizon; ++j) {
+    ctx.set_timer(anchor_ + std::int64_t(j) * phase_len_, j);
+  }
+}
+
+void TpsNode::propose(Value m) { propose_value_ = m; }
+
+void TpsNode::on_message(NodeContext& /*ctx*/, const WireMessage& msg) {
+  if (msg.general != general_) return;
+  switch (msg.kind) {
+    case MsgKind::kTpsGeneral:
+      // Round-0 value from the General; synchrony says every correct node
+      // has it by the phase-1 boundary. Equivocation is detectable here.
+      if (msg.sender == general_.node) {
+        if (general_value_ && *general_value_ != msg.value) {
+          general_value_equivocation_ = true;
+        }
+        general_value_ = msg.value;
+      }
+      break;
+    case MsgKind::kBcastInit:
+    case MsgKind::kBcastEcho:
+    case MsgKind::kBcastInitPrime:
+    case MsgKind::kBcastEchoPrime:
+      if (bcast_) bcast_->buffer(msg);
+      break;
+    default:
+      break;
+  }
+}
+
+void TpsNode::on_timer(NodeContext& ctx, std::uint64_t cookie) {
+  on_phase(ctx, std::uint32_t(cookie));
+}
+
+void TpsNode::on_phase(NodeContext& ctx, std::uint32_t j) {
+  last_phase_ = j;
+
+  // General: disseminate at the phase-0 boundary.
+  if (j == 0 && propose_value_ && ctx.id() == general_.node) {
+    WireMessage msg;
+    msg.kind = MsgKind::kTpsGeneral;
+    msg.general = general_;
+    msg.value = *propose_value_;
+    ctx.send_all(msg);
+  }
+
+  if (bcast_) bcast_->on_phase(ctx, j);
+  if (returned_) return;
+
+  // R analog (phase 1): adopt the General's unequivocal round-0 value.
+  if (j == 1 && general_value_ && !general_value_equivocation_) {
+    const Value m = *general_value_;
+    bcast_->broadcast(m, 1);
+    bcast_->on_phase(ctx, j);  // emit the init this same boundary
+    do_return(ctx, m);
+    return;
+  }
+
+  check_chain(ctx, j);
+
+  // T analog: at phase 2r+1, fewer than r−1 identified broadcasters ⇒ ⊥.
+  if (j >= 3 && j % 2 == 1) {
+    const std::uint32_t r = (j - 1) / 2;
+    if (r <= params_.f() && bcast_->broadcasters().size() + 1 < r) {
+      do_return(ctx, kBottom);
+      return;
+    }
+  }
+  // U analog: hard deadline at phase 2f+1.
+  if (j >= 2 * params_.f() + 1) {
+    do_return(ctx, kBottom);
+  }
+}
+
+std::uint32_t TpsNode::chain_length(
+    const std::map<std::uint32_t, std::set<NodeId>>& rounds) const {
+  // Same distinct-representatives requirement as ss-Byz-Agree's S1.
+  std::vector<std::vector<NodeId>> cand;
+  for (std::uint32_t r = 1; r <= params_.f() + 1; ++r) {
+    const auto it = rounds.find(r);
+    if (it == rounds.end()) break;
+    std::vector<NodeId> nodes;
+    for (NodeId p : it->second) {
+      if (p != general_.node) nodes.push_back(p);
+    }
+    if (nodes.empty()) break;
+    cand.push_back(std::move(nodes));
+  }
+  std::map<NodeId, std::uint32_t> matched_to;
+  std::uint32_t matched = 0;
+  for (std::uint32_t round = 0; round < cand.size(); ++round) {
+    std::set<NodeId> visited;
+    std::function<bool(std::uint32_t)> augment = [&](std::uint32_t r) -> bool {
+      for (NodeId p : cand[r]) {
+        if (visited.count(p)) continue;
+        visited.insert(p);
+        const auto it = matched_to.find(p);
+        if (it == matched_to.end() || augment(it->second)) {
+          matched_to[p] = r;
+          return true;
+        }
+      }
+      return false;
+    };
+    if (!augment(round)) break;
+    ++matched;
+  }
+  return matched;
+}
+
+void TpsNode::check_chain(NodeContext& ctx, std::uint32_t j) {
+  for (const auto& [value, rounds] : accepts_) {
+    const std::uint32_t r = chain_length(rounds);
+    if (r == 0) continue;
+    if (j <= 2 * r + 1) {  // S analog: within the round-r deadline
+      bcast_->broadcast(value, r + 1);
+      bcast_->on_phase(ctx, j);
+      do_return(ctx, value);
+      return;
+    }
+  }
+}
+
+void TpsNode::on_bcast_accept(NodeContext& ctx, NodeId p, Value m,
+                              std::uint32_t k) {
+  accepts_[m][k].insert(p);
+  if (!returned_) check_chain(ctx, last_phase_);
+}
+
+void TpsNode::do_return(NodeContext& ctx, Value value) {
+  returned_ = true;
+  Decision decision;
+  decision.node = ctx.id();
+  decision.general = general_;
+  decision.value = value;
+  decision.tau_g = anchor_;
+  decision.at = ctx.local_now();
+  result_ = decision;
+  if (sink_) sink_(decision);
+}
+
+}  // namespace ssbft

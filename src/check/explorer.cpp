@@ -1,0 +1,113 @@
+#include "check/explorer.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "harness/metrics.hpp"
+#include "harness/runner.hpp"
+#include "util/rng.hpp"
+
+namespace ssbft {
+namespace {
+
+/// Per-trial schedule controller: digits of `trial` in base |palette| drive
+/// the first `depth` messages (exhaustive prefix tree); a trial-seeded RNG
+/// drives the tail.
+class ScheduleChooser {
+ public:
+  ScheduleChooser(const std::vector<Duration>& palette, std::uint64_t trial,
+                  std::uint32_t depth)
+      : palette_(palette), depth_(depth), tail_rng_(0x5EED0000 + trial) {
+    std::uint64_t digits = trial;
+    for (std::uint32_t i = 0; i < depth_; ++i) {
+      prefix_.push_back(std::size_t(digits % palette_.size()));
+      digits /= palette_.size();
+    }
+  }
+
+  [[nodiscard]] Duration choose(std::uint64_t seq) {
+    if (seq < depth_) return palette_[prefix_[std::size_t(seq)]];
+    return palette_[tail_rng_.next_below(palette_.size())];
+  }
+
+ private:
+  const std::vector<Duration>& palette_;
+  std::uint32_t depth_;
+  Rng tail_rng_;
+  std::vector<std::size_t> prefix_;
+};
+
+void check_trial(const Cluster& cluster, std::uint64_t trial,
+                 bool expect_validity, RealTime check_after,
+                 ExplorerReport& report) {
+  const Params& params = cluster.params();
+  const auto executions =
+      cluster_executions(cluster.decisions(), params);
+  for (const auto& exec : executions) {
+    if (exec.first_return() < check_after) continue;  // pre-stability
+    ++report.executions_checked;
+    report.decisions_seen += exec.decided_count();
+    if (!exec.agreement_holds()) {
+      report.violations.push_back(
+          {trial, "Agreement violated for General " +
+                      std::to_string(exec.general.node)});
+    }
+    if (exec.decided_count() > 0 && exec.decision_skew() > 3 * params.d()) {
+      report.violations.push_back(
+          {trial, "Timeliness-1a: decision skew " +
+                      std::to_string(exec.decision_skew().ns()) + "ns > 3d"});
+    }
+    if (exec.tau_g_skew() > 6 * params.d()) {
+      report.violations.push_back(
+          {trial, "Timeliness-1b: anchor skew " +
+                      std::to_string(exec.tau_g_skew().ns()) + "ns > 6d"});
+    }
+  }
+  if (expect_validity) {
+    const auto metrics =
+        evaluate_run(cluster.decisions(), cluster.proposals(),
+                     cluster.correct_count(), params);
+    if (metrics.validity_violations != 0) {
+      report.violations.push_back({trial, "Validity violated"});
+    }
+    if (metrics.agreement_violations != 0) {
+      report.violations.push_back({trial, "Agreement (run-level) violated"});
+    }
+  }
+}
+
+}  // namespace
+
+ExplorerReport explore(const ExplorerConfig& config) {
+  ExplorerReport report;
+
+  std::vector<Duration> palette = config.palette;
+  if (palette.empty()) {
+    const Params params = config.base.make_params();
+    palette = {microseconds(1), params.d() / 2,
+               config.base.delta + config.base.pi};
+  }
+
+  report.prefix_combinations = 1;
+  for (std::uint32_t i = 0; i < config.systematic_depth; ++i) {
+    report.prefix_combinations *= palette.size();
+  }
+
+  for (std::uint64_t trial = 0; trial < config.trials; ++trial) {
+    Scenario sc = config.base;
+    sc.seed = 0xC0FFEE ^ trial;  // drives drift phases and the adversary
+    Cluster cluster(sc);
+    ScheduleChooser chooser(palette, trial, config.systematic_depth);
+    cluster.world().network().set_delay_oracle(
+        [&chooser](NodeId, NodeId, const WireMessage&, std::uint64_t seq) {
+          return std::optional<Duration>{chooser.choose(seq)};
+        });
+    cluster.run();
+    ++report.trials;
+    check_trial(cluster, trial, config.expect_validity, config.check_after,
+                report);
+  }
+  return report;
+}
+
+}  // namespace ssbft

@@ -1,0 +1,74 @@
+// Bounded adversarial-schedule explorer.
+//
+// Seeded random runs (the stress tests) sample delay schedules from a
+// benign distribution; the sharpest counterexamples to agreement protocols
+// live in *adversarially chosen* schedules — a message racing a freshness
+// window, one node's quorum completing a phase early, stragglers pinned at
+// δ. This module hands the network's per-message delays to a controller and
+// explores the schedule space two ways:
+//
+//   * systematically — the first `systematic_depth` messages take every
+//     combination from a small palette of extreme delays (a |palette|^depth
+//     tree, enumerated exhaustively across trials);
+//   * randomly — every later message draws a palette delay from a
+//     trial-seeded RNG, so deep schedules still vary wildly.
+//
+// Every trial checks the paper's safety properties on the observed
+// decisions: Agreement (unique non-⊥ value per execution), Timeliness-1a/1b
+// skew bounds, and workload validity. The palette is clamped inside the
+// bounded-delay envelope, so any violation found is a genuine
+// counterexample to the protocol under the paper's own model — none is
+// expected; the explorer exists to back that expectation with coverage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "util/time.hpp"
+
+namespace ssbft {
+
+struct ExplorerConfig {
+  /// Scenario template: topology, faults, workload. The explorer overrides
+  /// the seed per trial.
+  Scenario base;
+  /// Trials ≥ palette^systematic_depth gives full coverage of the prefix
+  /// tree; extra trials vary the random tail.
+  std::uint32_t trials = 256;
+  /// Messages whose delay is enumerated exhaustively (tree depth).
+  std::uint32_t systematic_depth = 5;
+  /// Delay palette; empty ⇒ {≈0, d/2, δ+π} (fast / middling / worst-case).
+  std::vector<Duration> palette;
+  /// Validity checking: expect exactly the scenario's correct-General
+  /// proposals to decide (set false under Byzantine-General adversaries).
+  bool expect_validity = true;
+  /// Safety is judged only for executions whose first return is at/after
+  /// this real time. The paper's properties hold "once the system is
+  /// stable": for scenarios starting from a transient scramble, set this to
+  /// ∆stb — anything decided earlier is pre-coherence behaviour the model
+  /// makes no claims about.
+  RealTime check_after{};
+};
+
+struct ScheduleViolation {
+  std::uint64_t trial = 0;
+  std::string what;
+};
+
+struct ExplorerReport {
+  std::uint32_t trials = 0;
+  std::uint64_t prefix_combinations = 0;  // size of the systematic tree
+  std::uint32_t executions_checked = 0;
+  std::uint32_t decisions_seen = 0;
+  std::vector<ScheduleViolation> violations;
+
+  [[nodiscard]] bool clean() const { return violations.empty(); }
+};
+
+/// Run the exploration. Deterministic: a given config always explores the
+/// same schedules and returns the same report.
+[[nodiscard]] ExplorerReport explore(const ExplorerConfig& config);
+
+}  // namespace ssbft

@@ -1,0 +1,119 @@
+#include "clocksync/clock_sync.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace ssbft {
+
+ClockSyncNode::ClockSyncNode(Params params, ClockSyncConfig config,
+                             AdjustSink sink)
+    : config_(config), modulus_(config.modulus), sink_(std::move(sink)) {
+  PulseConfig pc;
+  pc.cycle = config_.cycle;
+  pc.timeout_slack = config_.timeout_slack;
+  pulse_ = std::make_unique<PulseSyncNode>(
+      std::move(params), pc,
+      [this](const PulseEvent& event) { on_pulse(event); });
+  if (modulus_ != Duration::zero()) {
+    SSBFT_EXPECTS(modulus_ >= 4 * pulse_->cycle());
+    // Circular residuals make slewing ill-defined; bounded clocks step.
+    SSBFT_EXPECTS(config_.adjust == AdjustMode::kStep);
+  }
+  if (config_.slew_rate != 0.0) {
+    SSBFT_EXPECTS(config_.slew_rate > 0.0 && config_.slew_rate < 1.0);
+    slew_rate_ = config_.slew_rate;
+  }
+}
+
+ClockSyncNode::~ClockSyncNode() = default;
+
+void ClockSyncNode::on_start(NodeContext& ctx) {
+  ctx_ = &ctx;
+  anchor_ = ctx.local_now();
+  pulse_->on_start(ctx);
+}
+
+void ClockSyncNode::on_message(NodeContext& ctx, const WireMessage& msg) {
+  pulse_->on_message(ctx, msg);
+}
+
+void ClockSyncNode::on_timer(NodeContext& ctx, std::uint64_t cookie) {
+  pulse_->on_timer(ctx, cookie);
+}
+
+void ClockSyncNode::scramble(NodeContext& ctx, Rng& rng) {
+  pulse_->scramble(ctx, rng);
+  // Arbitrary clock state: any base, any anchor within timer range, and the
+  // node may even believe it is synchronized (the worst case).
+  base_ = Duration{rng.next_in(-(1LL << 40), 1LL << 40)};
+  if (modulus_ != Duration::zero()) base_ = wrap(base_);
+  anchor_ = ctx.local_now() - Duration{rng.next_in(0, 1LL << 30)};
+  residual_ = Duration{rng.next_in(0, 1LL << 28)};
+  synchronized_ = rng.next_bool(0.5);
+  last_snap_counter_ =
+      synchronized_ ? std::optional<std::uint64_t>{rng.next_u64() % 1000}
+                    : std::nullopt;
+}
+
+Duration ClockSyncNode::wrap(Duration c) const {
+  if (modulus_ == Duration::zero()) return c;
+  std::int64_t v = c.ns() % modulus_.ns();
+  if (v < 0) v += modulus_.ns();
+  return Duration{v};
+}
+
+Duration ClockSyncNode::circular_delta(Duration a, Duration b) const {
+  if (modulus_ == Duration::zero()) return a - b;
+  Duration diff = wrap(a - b);
+  if (diff > modulus_ / 2) diff -= modulus_;
+  return diff;
+}
+
+Duration ClockSyncNode::clock() const {
+  const Duration elapsed =
+      ctx_ == nullptr ? Duration::zero() : ctx_->local_now() - anchor_;
+  Duration reading = base_ + elapsed;
+  if (residual_ > Duration::zero()) {
+    // kSlew: the unabsorbed part of a backward correction still shows; it
+    // shrinks at slew_rate per unit of local time, so d(reading)/dτ =
+    // 1 − slew_rate > 0 — strictly monotone.
+    const auto absorbed =
+        Duration{std::int64_t(slew_rate_ * double(elapsed.ns()))};
+    reading += std::max(Duration::zero(), residual_ - absorbed);
+  }
+  return wrap(reading);
+}
+
+Duration ClockSyncNode::precision_bound() const {
+  const Params& p = pulse_->params();
+  // Snap instants ≤ 3d apart (Timeliness-1a); between snaps the clocks
+  // free-run on hardware timers whose relative rate differs by ≤ 2ρ. The
+  // 3d pulse skew itself is a real-time bound; reading it on a local timer
+  // costs another factor (1+ρ), absorbed in the +d slack below.
+  return 4 * p.d();
+}
+
+void ClockSyncNode::on_pulse(const PulseEvent& event) {
+  SSBFT_ASSERT(ctx_ != nullptr);
+  const Duration target = wrap(std::int64_t(event.counter) * pulse_->cycle());
+  const Duration previous = clock();
+  const Duration adjustment = circular_delta(target, previous);
+  base_ = target;
+  anchor_ = event.at;
+  if (config_.adjust == AdjustMode::kSlew && synchronized_ &&
+      adjustment < Duration::zero()) {
+    // We were ahead of the snap target: absorb the backward correction by
+    // under-running instead of stepping back. (An unsynchronized clock is
+    // free-running garbage — stepping it is fine and faster.)
+    residual_ = -adjustment;
+  } else {
+    residual_ = Duration::zero();
+  }
+  synchronized_ = true;
+  last_snap_counter_ = event.counter;
+  if (sink_) sink_(ClockAdjustment{event.counter, adjustment, event.at});
+}
+
+}  // namespace ssbft

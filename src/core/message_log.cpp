@@ -1,0 +1,117 @@
+#include "core/message_log.hpp"
+
+#include <algorithm>
+
+namespace ssbft {
+
+void ArrivalLog::note(const ArrivalKey& key, NodeId sender, LocalTime at) {
+  auto& senders = map_[key];
+  auto [it, inserted] = senders.try_emplace(sender, at);
+  if (!inserted && it->second < at) it->second = at;
+}
+
+std::uint32_t ArrivalLog::distinct_in_window(const ArrivalKey& key,
+                                             LocalTime from,
+                                             LocalTime to) const {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return 0;
+  std::uint32_t count = 0;
+  for (const auto& [sender, at] : it->second) {
+    if (at >= from && at <= to) ++count;
+  }
+  return count;
+}
+
+std::optional<Duration> ArrivalLog::shortest_window(const ArrivalKey& key,
+                                                    std::uint32_t quorum,
+                                                    LocalTime now,
+                                                    Duration max_window) const {
+  if (quorum == 0) return Duration::zero();
+  const auto it = map_.find(key);
+  if (it == map_.end() || it->second.size() < quorum) return std::nullopt;
+
+  // Windows end at `now`, so a window of size α contains a sender iff its
+  // latest arrival is ≥ now−α; the quorum-th most recent latest-arrival
+  // determines the minimal α.
+  std::vector<LocalTime> latest;
+  latest.reserve(it->second.size());
+  for (const auto& [sender, at] : it->second) {
+    if (at <= now && at >= now - max_window) latest.push_back(at);
+  }
+  if (latest.size() < quorum) return std::nullopt;
+  std::nth_element(latest.begin(), latest.begin() + (quorum - 1), latest.end(),
+                   [](LocalTime a, LocalTime b) { return a > b; });
+  return now - latest[quorum - 1];
+}
+
+std::uint32_t ArrivalLog::distinct_total(const ArrivalKey& key) const {
+  const auto it = map_.find(key);
+  return it == map_.end() ? 0 : std::uint32_t(it->second.size());
+}
+
+std::vector<Value> ArrivalLog::values_with(MsgKind kind) const {
+  std::vector<Value> values;
+  for (const auto& [key, senders] : map_) {
+    if (key.kind != kind || senders.empty()) continue;
+    if (std::find(values.begin(), values.end(), key.value) == values.end()) {
+      values.push_back(key.value);
+    }
+  }
+  return values;
+}
+
+void ArrivalLog::erase_if(const std::function<bool(const ArrivalKey&)>& pred) {
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (pred(it->first)) {
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ArrivalLog::decay(LocalTime now, Duration keep) {
+  for (auto it = map_.begin(); it != map_.end();) {
+    auto& senders = it->second;
+    for (auto s = senders.begin(); s != senders.end();) {
+      if (s->second > now || s->second < now - keep) {
+        s = senders.erase(s);
+      } else {
+        ++s;
+      }
+    }
+    if (senders.empty()) {
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ArrivalLog::clear() { map_.clear(); }
+
+std::size_t ArrivalLog::total_arrivals() const {
+  std::size_t total = 0;
+  for (const auto& [key, senders] : map_) total += senders.size();
+  return total;
+}
+
+void ArrivalLog::scramble(Rng& rng, LocalTime now, Duration span,
+                          std::uint32_t n_nodes, std::uint32_t entries) {
+  static constexpr MsgKind kKinds[] = {MsgKind::kSupport, MsgKind::kApprove,
+                                       MsgKind::kReady, MsgKind::kBcastEcho,
+                                       MsgKind::kBcastEchoPrime};
+  for (std::uint32_t i = 0; i < entries; ++i) {
+    ArrivalKey key;
+    key.kind = kKinds[rng.next_below(std::size(kKinds))];
+    key.value = rng.next_below(4);
+    if (key.kind == MsgKind::kBcastEcho || key.kind == MsgKind::kBcastEchoPrime) {
+      key.broadcaster = NodeId(rng.next_below(n_nodes));
+      key.round = std::uint32_t(rng.next_below(8)) + 1;
+    }
+    const LocalTime at = now + Duration{rng.next_in(-span.ns(), span.ns())};
+    note(key, NodeId(rng.next_below(n_nodes)), at);
+  }
+}
+
+}  // namespace ssbft

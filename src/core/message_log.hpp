@@ -1,0 +1,97 @@
+// Timestamped message-arrival log with sliding-window quorum queries.
+//
+// Initiator-Accept's blocks L and M test conditions of the form "received
+// (kind, G, m) from ≥ k distinct nodes within [τq−w, τq]" — windows always
+// end at the current local time, so only each sender's *latest* arrival is
+// relevant, and the log stores exactly that. Block L1 additionally asks for
+// the *shortest* such window (the α ≤ 4d in Fig. 2); Block N counts distinct
+// senders with no window at all. msgd-broadcast reuses the same structure
+// keyed additionally by (broadcaster, round).
+//
+// Everything here decays (Fig. 2/3 cleanup): arrivals older than the keep
+// horizon — or stamped in the future, which can only happen after a
+// transient fault — are purged before every query.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/wire.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace ssbft {
+
+/// Log key: message kind + value (+ broadcaster/round for msgd-broadcast;
+/// Initiator-Accept leaves them at their defaults).
+struct ArrivalKey {
+  MsgKind kind = MsgKind::kInitiator;
+  Value value = kBottom;
+  NodeId broadcaster = kNoNode;
+  std::uint32_t round = 0;
+
+  friend bool operator==(const ArrivalKey&, const ArrivalKey&) = default;
+};
+
+struct ArrivalKeyHash {
+  std::size_t operator()(const ArrivalKey& k) const noexcept {
+    std::size_t h = std::hash<std::uint64_t>{}(k.value);
+    h ^= std::hash<std::uint32_t>{}(k.broadcaster) + 0x9e3779b9 + (h << 6);
+    h ^= (std::size_t(k.kind) << 8 | k.round) + 0x9e3779b9 + (h << 6);
+    return h;
+  }
+};
+
+class ArrivalLog {
+ public:
+  /// Record an arrival at local time `at` (keeps the latest per sender).
+  /// Contract: in normal operation `at` is the receipt time (the caller's
+  /// local now), so per-sender timestamps are monotone; non-monotone or
+  /// future stamps only enter through scramble() and are purged by decay().
+  /// The latest-per-sender representation is exact under this contract
+  /// because every window query ends at the caller's current time.
+  void note(const ArrivalKey& key, NodeId sender, LocalTime at);
+
+  /// Distinct senders with an arrival in [from, to].
+  [[nodiscard]] std::uint32_t distinct_in_window(const ArrivalKey& key,
+                                                 LocalTime from,
+                                                 LocalTime to) const;
+
+  /// Smallest α ≤ max_window such that [now−α, now] holds arrivals from
+  /// ≥ `quorum` distinct senders; nullopt if no such α exists.
+  [[nodiscard]] std::optional<Duration> shortest_window(const ArrivalKey& key,
+                                                        std::uint32_t quorum,
+                                                        LocalTime now,
+                                                        Duration max_window) const;
+
+  /// Distinct senders irrespective of time (Block N; decay still applies).
+  [[nodiscard]] std::uint32_t distinct_total(const ArrivalKey& key) const;
+
+  /// All values that currently have arrivals of `kind` (candidate set for
+  /// per-value rule evaluation).
+  [[nodiscard]] std::vector<Value> values_with(MsgKind kind) const;
+
+  /// Remove every record whose key satisfies `pred` (N4's "remove all (G,m)
+  /// messages", per-value resets).
+  void erase_if(const std::function<bool(const ArrivalKey&)>& pred);
+
+  /// Cleanup: drop arrivals older than now−keep or later than now.
+  void decay(LocalTime now, Duration keep);
+
+  void clear();
+  [[nodiscard]] std::size_t total_arrivals() const;
+
+  /// Transient fault: populate with arbitrary arrivals around `now`.
+  void scramble(Rng& rng, LocalTime now, Duration span, std::uint32_t n_nodes,
+                std::uint32_t entries);
+
+ private:
+  using SenderMap = std::unordered_map<NodeId, LocalTime>;
+  std::unordered_map<ArrivalKey, SenderMap, ArrivalKeyHash> map_;
+};
+
+}  // namespace ssbft

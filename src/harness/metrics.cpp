@@ -1,0 +1,144 @@
+#include "harness/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ssbft {
+
+std::uint32_t Execution::decided_count() const {
+  std::uint32_t count = 0;
+  for (const auto& r : returns) {
+    if (r.decision.decided()) ++count;
+  }
+  return count;
+}
+
+std::uint32_t Execution::abort_count() const {
+  return std::uint32_t(returns.size()) - decided_count();
+}
+
+std::optional<Value> Execution::agreed_value() const {
+  std::optional<Value> value;
+  for (const auto& r : returns) {
+    if (!r.decision.decided()) continue;
+    if (value && *value != r.decision.value) return std::nullopt;
+    value = r.decision.value;
+  }
+  return value;
+}
+
+bool Execution::agreement_holds() const {
+  return decided_count() == 0 || agreed_value().has_value();
+}
+
+Duration Execution::decision_skew() const {
+  RealTime lo = RealTime::max(), hi = RealTime::min();
+  for (const auto& r : returns) {
+    if (!r.decision.decided()) continue;
+    lo = std::min(lo, r.real_at);
+    hi = std::max(hi, r.real_at);
+  }
+  return hi >= lo ? hi - lo : Duration::zero();
+}
+
+Duration Execution::tau_g_skew() const {
+  RealTime lo = RealTime::max(), hi = RealTime::min();
+  for (const auto& r : returns) {
+    if (!r.decision.decided()) continue;
+    lo = std::min(lo, r.tau_g_real);
+    hi = std::max(hi, r.tau_g_real);
+  }
+  return hi >= lo ? hi - lo : Duration::zero();
+}
+
+RealTime Execution::first_return() const {
+  RealTime t = RealTime::max();
+  for (const auto& r : returns) t = std::min(t, r.real_at);
+  return t;
+}
+
+RealTime Execution::last_return() const {
+  RealTime t = RealTime::min();
+  for (const auto& r : returns) t = std::max(t, r.real_at);
+  return t;
+}
+
+std::vector<Execution> cluster_executions(
+    const std::vector<TimedDecision>& decisions, const Params& params) {
+  // Partition by General, sort by the anchor rt(τG), and split where
+  // consecutive anchors are > 4d apart: within one execution anchors lie
+  // within 6d of each other (IA-3A / Timeliness-1b), while distinct
+  // executions are separated by > 4d (IA-4 Uniqueness) — and in practice by
+  // ≥ ∆0. Splitting a pathological 5d-spread execution is safe: both halves
+  // carry the same decided value, so no false violation can result.
+  std::map<NodeId, std::vector<TimedDecision>> by_general;
+  for (const auto& d : decisions) {
+    by_general[d.decision.general.node].push_back(d);
+  }
+
+  std::vector<Execution> executions;
+  for (auto& [general, list] : by_general) {
+    std::sort(list.begin(), list.end(),
+              [](const TimedDecision& a, const TimedDecision& b) {
+                return a.tau_g_real < b.tau_g_real;
+              });
+    Execution current;
+    current.general = GeneralId{general};
+    for (const auto& d : list) {
+      if (!current.returns.empty() &&
+          d.tau_g_real - current.returns.back().tau_g_real > 4 * params.d()) {
+        executions.push_back(std::move(current));
+        current = Execution{};
+        current.general = GeneralId{general};
+      }
+      current.returns.push_back(d);
+    }
+    if (!current.returns.empty()) executions.push_back(std::move(current));
+  }
+  std::sort(executions.begin(), executions.end(),
+            [](const Execution& a, const Execution& b) {
+              return a.first_return() < b.first_return();
+            });
+  return executions;
+}
+
+RunMetrics evaluate_run(const std::vector<TimedDecision>& decisions,
+                        const std::vector<TimedProposal>& expected,
+                        std::uint32_t correct_nodes, const Params& params) {
+  RunMetrics metrics;
+  const auto executions = cluster_executions(decisions, params);
+  metrics.executions = std::uint32_t(executions.size());
+
+  for (const auto& exec : executions) {
+    if (!exec.agreement_holds()) ++metrics.agreement_violations;
+    if (exec.decided_count() == correct_nodes && exec.agreement_holds()) {
+      ++metrics.unanimous_decides;
+    }
+    metrics.max_decision_skew =
+        std::max(metrics.max_decision_skew, exec.decision_skew());
+    metrics.max_tau_g_skew =
+        std::max(metrics.max_tau_g_skew, exec.tau_g_skew());
+  }
+
+  // Validity: each admitted proposal by a correct General must yield an
+  // execution in which every correct node decides that value.
+  for (const auto& proposal : expected) {
+    if (proposal.status != ProposeStatus::kSent) continue;
+    bool satisfied = false;
+    for (const auto& exec : executions) {
+      if (exec.general.node != proposal.general) continue;
+      if (exec.first_return() + params.delta_agr() < proposal.real_at) continue;
+      if (exec.first_return() > proposal.real_at + params.delta_agr()) continue;
+      const auto value = exec.agreed_value();
+      if (value && *value == proposal.value &&
+          exec.decided_count() == correct_nodes) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) ++metrics.validity_violations;
+  }
+  return metrics;
+}
+
+}  // namespace ssbft

@@ -1,0 +1,64 @@
+// Metrics: turns the Cluster's raw decision stream into the quantities the
+// paper's theorems bound.
+//
+// Decisions are clustered into *executions* (per General, separated by gaps
+// larger than the protocol horizon), then each execution is checked for:
+//   - Agreement   (no two correct nodes decide different non-⊥ values)
+//   - Validity    (everyone decides the correct General's value)
+//   - decision skew        max |rt(τq) − rt(τq')|      (bound: 3d / 2d)
+//   - τG skew              max |rt(τG_q) − rt(τG_q')|  (bound: 6d / d)
+//   - latency              decision − proposal          (bound: ∆agr)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/params.hpp"
+#include "harness/runner.hpp"
+
+namespace ssbft {
+
+/// One protocol execution as observed across the cluster.
+struct Execution {
+  GeneralId general{};
+  std::vector<TimedDecision> returns;  // decisions and aborts
+
+  [[nodiscard]] std::uint32_t decided_count() const;
+  [[nodiscard]] std::uint32_t abort_count() const;
+  /// The unique decided value; nullopt if none or conflicting.
+  [[nodiscard]] std::optional<Value> agreed_value() const;
+  [[nodiscard]] bool agreement_holds() const;
+  /// Max pairwise real-time distance between decisions (non-⊥ only).
+  [[nodiscard]] Duration decision_skew() const;
+  /// Max pairwise real-time distance between τG estimates (all returns).
+  [[nodiscard]] Duration tau_g_skew() const;
+  [[nodiscard]] RealTime first_return() const;
+  [[nodiscard]] RealTime last_return() const;
+};
+
+/// Group raw decisions into executions: same General, gap between
+/// consecutive returns ≤ horizon (default: ∆agr + 7d covers Termination).
+[[nodiscard]] std::vector<Execution> cluster_executions(
+    const std::vector<TimedDecision>& decisions, const Params& params);
+
+/// Cross-execution summary for a whole run.
+struct RunMetrics {
+  std::uint32_t executions = 0;
+  std::uint32_t agreement_violations = 0;
+  std::uint32_t validity_violations = 0;  // vs expected (general, value) list
+  std::uint32_t unanimous_decides = 0;    // all correct nodes decided same
+  Duration max_decision_skew{};
+  Duration max_tau_g_skew{};
+};
+
+/// Evaluate a run. `expected` maps proposals that *should* decide (correct
+/// General workload) — used for validity accounting; pass the cluster's
+/// admitted proposals. `correct_nodes` is the number of correct nodes that
+/// must appear in a unanimous execution.
+[[nodiscard]] RunMetrics evaluate_run(const std::vector<TimedDecision>& decisions,
+                                      const std::vector<TimedProposal>& expected,
+                                      std::uint32_t correct_nodes,
+                                      const Params& params);
+
+}  // namespace ssbft

@@ -1,0 +1,56 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ssbft {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SSBFT_EXPECTS(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  const auto rule = [&] {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      std::fputc('+', out);
+      for (std::size_t i = 0; i < widths[c] + 2; ++i) std::fputc('-', out);
+    }
+    std::fputs("+\n", out);
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::fprintf(out, "| %-*s ", int(widths[c]), cells[c].c_str());
+    }
+    std::fputs("|\n", out);
+  };
+  rule();
+  line(columns_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+std::string Table::fmt_ms(double ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", ns * 1e-6);
+  return buf;
+}
+
+std::string Table::fmt_ratio(double r) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2fx", r);
+  return buf;
+}
+
+std::string Table::fmt_int(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace ssbft

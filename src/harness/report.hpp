@@ -1,0 +1,28 @@
+// Fixed-width table printer for bench output — every bench prints the rows
+// the EXPERIMENTS.md tables record (paper bound vs measured).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ssbft {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::FILE* out = stdout) const;
+
+  /// Format helpers.
+  static std::string fmt_ms(double ns);
+  static std::string fmt_ratio(double r);
+  static std::string fmt_int(std::uint64_t v);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ssbft

@@ -1,0 +1,120 @@
+#include "harness/runner.hpp"
+
+#include <utility>
+
+#include "adversary/adversaries.hpp"
+#include "util/assert.hpp"
+
+namespace ssbft {
+
+namespace {
+
+std::unique_ptr<NodeBehavior> make_adversary(const Scenario& sc, NodeId id) {
+  switch (sc.adversary) {
+    case AdversaryKind::kSilent:
+      return std::make_unique<SilentAdversary>();
+    case AdversaryKind::kNoise:
+      return std::make_unique<RandomNoiseAdversary>(sc.adversary_period);
+    case AdversaryKind::kEquivocatingGeneral:
+      return std::make_unique<EquivocatingGeneral>(
+          sc.equivocate_v0, sc.equivocate_v1, sc.adversary_start,
+          sc.equivocate_split);
+    case AdversaryKind::kStaggeredGeneral:
+      return std::make_unique<StaggeredGeneral>(
+          sc.equivocate_v0, sc.adversary_start, sc.stagger_span);
+    case AdversaryKind::kSpamGeneral:
+      return std::make_unique<SpamGeneral>(sc.adversary_period);
+    case AdversaryKind::kReplay:
+      return std::make_unique<ReplayAdversary>(sc.adversary_period * 8);
+    case AdversaryKind::kQuorumFaker: {
+      std::vector<NodeId> victims;
+      for (NodeId v = 0; v < sc.n / 2; ++v) victims.push_back(v);
+      return std::make_unique<QuorumFaker>(GeneralId{id}, sc.equivocate_v0,
+                                           sc.adversary_period,
+                                           std::move(victims));
+    }
+  }
+  return std::make_unique<SilentAdversary>();
+}
+
+}  // namespace
+
+Cluster::Cluster(const Scenario& scenario)
+    : scenario_(scenario), params_(scenario.make_params()) {
+  build();
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::build() {
+  WorldConfig wc;
+  wc.n = scenario_.n;
+  wc.delta = scenario_.delta;
+  wc.pi = scenario_.pi;
+  wc.rho = scenario_.rho;
+  if (scenario_.link_delay) {
+    wc.link_delay = *scenario_.link_delay;
+    wc.proc_delay = DelayModel::uniform(Duration::zero(), scenario_.pi);
+    wc.has_delay_models = true;
+  }
+  wc.seed = scenario_.seed;
+  wc.log_level = scenario_.log_level;
+  world_ = std::make_unique<World>(wc);
+
+  protocol_nodes_.assign(scenario_.n, nullptr);
+  for (NodeId id = 0; id < scenario_.n; ++id) {
+    if (scenario_.is_byzantine(id)) {
+      world_->set_behavior(id, make_adversary(scenario_, id));
+      continue;
+    }
+    ++correct_count_;
+    auto sink = [this](const Decision& decision) {
+      TimedDecision td;
+      td.decision = decision;
+      td.real_at = world_->now();
+      td.tau_g_real = world_->real_at(decision.node, decision.tau_g);
+      decisions_.push_back(td);
+    };
+    auto node = std::make_unique<SsByzNode>(params_, sink);
+    protocol_nodes_[id] = node.get();
+    world_->set_behavior(id, std::move(node));
+  }
+
+  if (scenario_.chaos_period > Duration::zero()) {
+    world_->network().set_faulty_until(RealTime::zero() +
+                                       scenario_.chaos_period);
+  }
+
+  for (const auto& proposal : scenario_.proposals) {
+    propose_at(proposal.at, proposal.general, proposal.value);
+  }
+}
+
+SsByzNode* Cluster::node(NodeId id) {
+  SSBFT_EXPECTS(id < scenario_.n);
+  return protocol_nodes_[id];
+}
+
+void Cluster::propose_at(Duration at, NodeId general, Value value) {
+  SSBFT_EXPECTS(general < scenario_.n);
+  world_->queue().schedule(RealTime::zero() + at, [this, general, value] {
+    SsByzNode* node = protocol_nodes_[general];
+    if (node == nullptr) return;  // Byzantine "General": adversary's job
+    const ProposeStatus status = node->propose(value);
+    proposals_.push_back(
+        TimedProposal{world_->now(), general, value, status});
+  });
+}
+
+void Cluster::run() {
+  SSBFT_EXPECTS(!ran_);
+  ran_ = true;
+  world_->start();
+  if (scenario_.transient_scramble) {
+    FaultInjector injector(*world_);
+    injector.transient_fault(scenario_.transient);
+  }
+  world_->run_until(RealTime::zero() + scenario_.run_for);
+}
+
+}  // namespace ssbft

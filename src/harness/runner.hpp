@@ -1,0 +1,73 @@
+// Cluster: builds a World from a Scenario and records everything the
+// metrics layer needs — decisions stamped with *real* time (which the nodes
+// themselves never see), actual proposal times, and network statistics.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/node.hpp"
+#include "harness/scenario.hpp"
+#include "sim/world.hpp"
+
+namespace ssbft {
+
+/// A Decision plus the omniscient real-time view of it.
+struct TimedDecision {
+  Decision decision{};
+  RealTime real_at{};     // real time of the return
+  RealTime tau_g_real{};  // rt(τG): the node's anchor mapped to real time
+};
+
+/// A proposal that was actually admitted by the General role.
+struct TimedProposal {
+  RealTime real_at{};
+  NodeId general = kNoNode;
+  Value value = kBottom;
+  ProposeStatus status = ProposeStatus::kSent;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const Scenario& scenario);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] World& world() { return *world_; }
+  [[nodiscard]] const Params& params() const { return params_; }
+  [[nodiscard]] const Scenario& scenario() const { return scenario_; }
+
+  /// The protocol node at `id`, or nullptr if `id` is Byzantine.
+  [[nodiscard]] SsByzNode* node(NodeId id);
+
+  /// Schedule a proposal (in addition to the scenario's workload).
+  void propose_at(Duration at, NodeId general, Value value);
+
+  /// Run the whole scenario (start + run_for). Can be called piecewise via
+  /// world().run_*; decisions accumulate either way.
+  void run();
+
+  [[nodiscard]] const std::vector<TimedDecision>& decisions() const {
+    return decisions_;
+  }
+  [[nodiscard]] const std::vector<TimedProposal>& proposals() const {
+    return proposals_;
+  }
+  [[nodiscard]] std::uint32_t correct_count() const { return correct_count_; }
+
+ private:
+  void build();
+
+  Scenario scenario_;
+  Params params_;
+  std::unique_ptr<World> world_;
+  std::vector<TimedDecision> decisions_;
+  std::vector<TimedProposal> proposals_;
+  std::vector<SsByzNode*> protocol_nodes_;  // indexed by NodeId, may be null
+  std::uint32_t correct_count_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace ssbft

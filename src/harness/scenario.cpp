@@ -1,0 +1,51 @@
+#include "harness/scenario.hpp"
+
+#include <algorithm>
+
+#include "sim/world.hpp"
+
+namespace ssbft {
+
+const char* to_string(AdversaryKind kind) {
+  switch (kind) {
+    case AdversaryKind::kSilent: return "silent";
+    case AdversaryKind::kNoise: return "noise";
+    case AdversaryKind::kEquivocatingGeneral: return "equivocating-general";
+    case AdversaryKind::kStaggeredGeneral: return "staggered-general";
+    case AdversaryKind::kSpamGeneral: return "spam-general";
+    case AdversaryKind::kReplay: return "replay";
+    case AdversaryKind::kQuorumFaker: return "quorum-faker";
+  }
+  return "?";
+}
+
+Params Scenario::make_params() const {
+  WorldConfig wc;
+  wc.delta = delta;
+  wc.pi = pi;
+  wc.rho = rho;
+  Params params{n, f, wc.d_bound()};
+  if (r1_window != Duration::zero()) params.set_r1_window(r1_window);
+  params.set_cleanup_enabled(cleanup_enabled);
+  params.set_quorum_policy(quorum_policy);
+  return params;
+}
+
+bool Scenario::is_byzantine(NodeId id) const {
+  return std::find(byz_nodes.begin(), byz_nodes.end(), id) != byz_nodes.end();
+}
+
+Scenario& Scenario::with_tail_faults(std::uint32_t count) {
+  byz_nodes.clear();
+  for (std::uint32_t i = 0; i < count && i < n; ++i) {
+    byz_nodes.push_back(n - 1 - i);
+  }
+  return *this;
+}
+
+Scenario& Scenario::with_proposal(Duration at, NodeId general, Value value) {
+  proposals.push_back(Proposal{at, general, value});
+  return *this;
+}
+
+}  // namespace ssbft

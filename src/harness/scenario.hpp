@@ -1,0 +1,92 @@
+// Declarative experiment scenarios.
+//
+// A Scenario describes one simulated deployment: cluster size, fault mix,
+// delay distribution, workload (who proposes what, when), and whether the
+// run starts from a transient-fault state. The Cluster (runner.hpp) turns
+// it into a World; every bench and integration test is phrased this way so
+// experiments are reproducible from (Scenario, seed) alone.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/params.hpp"
+#include "sim/delay_model.hpp"
+#include "sim/fault_injector.hpp"
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace ssbft {
+
+enum class AdversaryKind {
+  kSilent,
+  kNoise,
+  kEquivocatingGeneral,
+  kStaggeredGeneral,
+  kSpamGeneral,
+  kReplay,
+  kQuorumFaker,
+};
+
+[[nodiscard]] const char* to_string(AdversaryKind kind);
+
+struct Scenario {
+  // --- topology / model -------------------------------------------------
+  std::uint32_t n = 7;
+  std::uint32_t f = 2;  // design bound; actual faults = byz_nodes.size()
+  Duration delta = milliseconds(1);
+  Duration pi = microseconds(50);
+  double rho = 1e-4;
+  /// Actual link-delay distribution (≤ δ). Unset ⇒ uniform [δ/5, δ].
+  std::optional<DelayModel> link_delay;
+
+  // --- faults ------------------------------------------------------------
+  std::vector<NodeId> byz_nodes;  // which nodes are Byzantine (may be empty)
+  AdversaryKind adversary = AdversaryKind::kSilent;
+  /// Adversary knobs (used by the kinds that need them).
+  Value equivocate_v0 = 1, equivocate_v1 = 2;
+  std::uint32_t equivocate_split = 0;  // 0 ⇒ n/2
+  Duration adversary_start = milliseconds(2);
+  Duration adversary_period = milliseconds(1);
+  Duration stagger_span = milliseconds(4);
+
+  // --- initial state -----------------------------------------------------
+  bool transient_scramble = false;
+  TransientFaultConfig transient{};
+  /// Network behaves arbitrarily for this long after t=0 (ι0).
+  Duration chaos_period = Duration::zero();
+
+  // --- ablation knobs ------------------------------------------------------
+  /// Override Block R's freshness window (zero ⇒ default 5d; Fig. 1's
+  /// literal value is 4d — see bench_ablation).
+  Duration r1_window = Duration::zero();
+  /// Disable the cleanup/decay blocks (removes self-stabilization).
+  bool cleanup_enabled = true;
+  /// Message-count thresholds (footnote 7): kOptimal = n−f/n−2f,
+  /// kMajority = ⌊(n+f)/2⌋+1 / f+1.
+  QuorumPolicy quorum_policy = QuorumPolicy::kOptimal;
+
+  // --- workload ----------------------------------------------------------
+  struct Proposal {
+    Duration at{};        // real-time offset from t=0
+    NodeId general = 0;   // must be a correct node to take effect
+    Value value = 1;
+  };
+  std::vector<Proposal> proposals;
+
+  // --- run control ---------------------------------------------------------
+  Duration run_for = milliseconds(200);
+  std::uint64_t seed = 1;
+  LogLevel log_level = LogLevel::kWarn;
+
+  [[nodiscard]] Params make_params() const;
+  [[nodiscard]] bool is_byzantine(NodeId id) const;
+
+  /// Convenience: mark the last `count` nodes Byzantine.
+  Scenario& with_tail_faults(std::uint32_t count);
+  /// Convenience: one proposal by `general` at `at`.
+  Scenario& with_proposal(Duration at, NodeId general, Value value);
+};
+
+}  // namespace ssbft

@@ -1,0 +1,137 @@
+#include "pulse/pulse_sync.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace ssbft {
+
+PulseSyncNode::PulseSyncNode(Params params, PulseConfig config,
+                             PulseSink sink)
+    : config_(config), sink_(std::move(sink)) {
+  const Duration min_cycle = params.delta_0() + params.delta_agr();
+  cycle_ = config_.cycle == Duration::zero() ? 2 * min_cycle : config_.cycle;
+  SSBFT_EXPECTS(cycle_ >= min_cycle);
+  const Duration slack = config_.timeout_slack == Duration::zero()
+                             ? 8 * params.d()
+                             : config_.timeout_slack;
+  watchdog_timeout_ = cycle_ + params.delta_agr() + slack;
+  agree_ = std::make_unique<SsByzNode>(
+      std::move(params),
+      [this](const Decision& decision) { on_decision(decision); });
+}
+
+PulseSyncNode::~PulseSyncNode() = default;
+
+NodeId PulseSyncNode::general_for(std::uint64_t counter) const {
+  return NodeId(counter % (ctx_ ? ctx_->n() : 1));
+}
+
+void PulseSyncNode::on_start(NodeContext& ctx) {
+  ctx_ = &ctx;
+  agree_->on_start(ctx);
+  // Cold start: everyone waits out one watchdog period; the rotation then
+  // produces a proposer. (A warm system pulses long before that.)
+  arm_watchdog();
+  schedule_own_slot();
+}
+
+void PulseSyncNode::on_message(NodeContext& ctx, const WireMessage& msg) {
+  agree_->on_message(ctx, msg);
+}
+
+void PulseSyncNode::on_timer(NodeContext& ctx, std::uint64_t cookie) {
+  if ((cookie & kPulseTimerBit) == 0) {
+    agree_->on_timer(ctx, cookie);
+    return;
+  }
+  const auto kind = PulseTimer((cookie >> 32) & 0xFF);
+  const auto payload = std::uint64_t(std::uint32_t(cookie));
+  switch (kind) {
+    case PulseTimer::kProposeDue:
+      maybe_propose();
+      break;
+    case PulseTimer::kWatchdog:
+      if (payload != (watchdog_epoch_ & 0xFFFFFFFF)) break;  // stale
+      // No pulse for a whole timeout: the scheduled General is presumed
+      // faulty. Advance the rotation; the new designee proposes.
+      ++counter_;
+      arm_watchdog();
+      maybe_propose();
+      break;
+  }
+}
+
+void PulseSyncNode::maybe_propose() {
+  if (ctx_ == nullptr) return;
+  if (general_for(counter_) != ctx_->id()) return;
+  // Propose the current counter as the agreement value. Refusals (IG1/IG3
+  // pacing after scrambles) are fine — the watchdog will rotate onwards.
+  const ProposeStatus status = agree_->propose(Value(counter_));
+  ctx_->log().logf(LogLevel::kDebug, ctx_->id(), "pulse propose c=%llu: %s",
+                   static_cast<unsigned long long>(counter_),
+                   to_string(status));
+}
+
+void PulseSyncNode::on_decision(const Decision& decision) {
+  if (!decision.decided()) return;
+  const auto c = std::uint64_t(decision.value);
+  // Only honour the rotation: value c must come from General c mod n.
+  // (A Byzantine node can still be *its own* slots' General — rotation
+  // guarantees ≥ n−f of every n consecutive slots are correct-led.)
+  if (general_for(c) != decision.general.node) return;
+  // Stale/duplicate executions must not move the counter backwards — but a
+  // node whose counter is pure scramble-garbage (it has never pulsed) may
+  // adopt anything the cluster agrees on. Counters converge *upwards*: the
+  // highest scrambled counter reaches its rotation slot within ≤ n watchdog
+  // periods, proposes, and one decision pulls every correct node onto it.
+  if (c < counter_ && last_pulse_.has_value()) return;
+  counter_ = c + 1;
+  fire_pulse(c);
+  arm_watchdog();
+  schedule_own_slot();
+}
+
+void PulseSyncNode::fire_pulse(std::uint64_t counter) {
+  SSBFT_ASSERT(ctx_ != nullptr);
+  const LocalTime now = ctx_->local_now();
+  last_pulse_ = now;
+  ctx_->log().logf(LogLevel::kDebug, ctx_->id(), "PULSE c=%llu",
+                   static_cast<unsigned long long>(counter));
+  if (sink_) sink_(PulseEvent{counter, now});
+}
+
+void PulseSyncNode::schedule_own_slot() {
+  if (ctx_ == nullptr) return;
+  if (general_for(counter_) != ctx_->id()) return;
+  // Our slot: propose one cycle after the last pulse (or after one cycle
+  // from now on a cold start).
+  const LocalTime base = last_pulse_.value_or(ctx_->local_now());
+  const std::uint64_t cookie =
+      kPulseTimerBit | (std::uint64_t(PulseTimer::kProposeDue) << 32);
+  ctx_->set_timer(base + cycle_, cookie);
+}
+
+void PulseSyncNode::arm_watchdog() {
+  if (ctx_ == nullptr) return;
+  ++watchdog_epoch_;
+  const std::uint64_t cookie = kPulseTimerBit |
+                               (std::uint64_t(PulseTimer::kWatchdog) << 32) |
+                               (watchdog_epoch_ & 0xFFFFFFFF);
+  ctx_->set_timer_after(watchdog_timeout_, cookie);
+}
+
+void PulseSyncNode::scramble(NodeContext& ctx, Rng& rng) {
+  agree_->scramble(ctx, rng);
+  counter_ = rng.next_u64() % 1000;
+  if (rng.next_bool(0.5)) {
+    last_pulse_ = ctx.local_now() -
+                  Duration{rng.next_in(0, 2 * watchdog_timeout_.ns())};
+  } else {
+    last_pulse_.reset();
+  }
+  // The node's main loop keeps running; its watchdog re-arms.
+  arm_watchdog();
+}
+
+}  // namespace ssbft

@@ -1,0 +1,69 @@
+// Drifting local clock (paper Def. 1, Bounded Drift).
+//
+//   τ(t) = offset + rate · t        with rate ∈ [1−ρ, 1+ρ]
+//
+// Offsets are arbitrary — after a transient fault nodes share no time
+// reference whatsoever (§2), and the fault injector may re-randomize the
+// offset at any point. The paper allows local time to wrap; we document the
+// paper's own assumption instead: the wrap-around period exceeds a constant
+// factor of the longest interval ever measured, so 63 bits of nanoseconds
+// (≈292 years) trivially satisfies it at experiment scale.
+#pragma once
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace ssbft {
+
+class DriftingClock {
+ public:
+  DriftingClock() = default;
+
+  /// rate must lie in (0, 2); protocol guarantees only hold for
+  /// rate ∈ [1−ρ, 1+ρ], but a *faulty* node's clock may be anything.
+  DriftingClock(double rate, Duration offset) : rate_(rate), offset_(offset) {
+    SSBFT_EXPECTS(rate > 0.0);
+  }
+
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] Duration offset() const { return offset_; }
+
+  void set_offset(Duration offset) { offset_ = offset; }
+  void set_rate(double rate) {
+    SSBFT_EXPECTS(rate > 0.0);
+    rate_ = rate;
+  }
+
+  /// Local reading at real time t.
+  [[nodiscard]] LocalTime local_at(RealTime t) const {
+    return LocalTime{offset_.ns() + scale(t.ns(), rate_)};
+  }
+
+  /// Earliest real time at which the local reading is >= `tau`.
+  /// (Inverse of local_at up to integer rounding; local_at(real_at(τ)) ≥ τ.)
+  [[nodiscard]] RealTime real_at(LocalTime tau) const {
+    const std::int64_t delta = tau.ns() - offset_.ns();
+    return RealTime{scale_up(delta, 1.0 / rate_)};
+  }
+
+  /// A local-duration measured on this clock corresponding to real duration.
+  [[nodiscard]] Duration local_duration(Duration real) const {
+    return Duration{scale(real.ns(), rate_)};
+  }
+
+ private:
+  static std::int64_t scale(std::int64_t ns, double rate) {
+    return static_cast<std::int64_t>(double(ns) * rate);
+  }
+  static std::int64_t scale_up(std::int64_t ns, double inv_rate) {
+    const double v = double(ns) * inv_rate;
+    auto r = static_cast<std::int64_t>(v);
+    if (double(r) < v) ++r;
+    return r;
+  }
+
+  double rate_ = 1.0;
+  Duration offset_{};
+};
+
+}  // namespace ssbft

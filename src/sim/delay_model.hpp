@@ -1,0 +1,53 @@
+// Message-delay distributions for the bounded-delay network (Def. 2).
+//
+// Whatever the distribution, a non-faulty network truncates at the bound δ;
+// the *shape* below δ is exactly what experiment E4 sweeps to demonstrate
+// the message-driven speed-up (the protocol finishes at actual speed, the
+// time-driven baseline at worst-case speed).
+#pragma once
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace ssbft {
+
+struct DelayModel {
+  enum class Kind {
+    kConstant,   // always `typical`
+    kUniform,    // uniform in [min, max]
+    kExpTrunc,   // exponential(mean=typical) truncated to [min, max]
+  };
+
+  Kind kind = Kind::kUniform;
+  Duration min = Duration::zero();
+  Duration typical = Duration::zero();  // kConstant value / kExpTrunc mean
+  Duration max = Duration::zero();      // hard bound (δ or π)
+
+  [[nodiscard]] static DelayModel constant(Duration v) {
+    return {Kind::kConstant, v, v, v};
+  }
+  [[nodiscard]] static DelayModel uniform(Duration lo, Duration hi) {
+    SSBFT_EXPECTS(lo <= hi);
+    return {Kind::kUniform, lo, (lo + hi) / 2, hi};
+  }
+  [[nodiscard]] static DelayModel exp_truncated(Duration mean, Duration cap) {
+    SSBFT_EXPECTS(mean <= cap);
+    return {Kind::kExpTrunc, Duration::zero(), mean, cap};
+  }
+
+  [[nodiscard]] Duration sample(Rng& rng) const {
+    switch (kind) {
+      case Kind::kConstant:
+        return typical;
+      case Kind::kUniform:
+        return Duration{rng.next_in(min.ns(), max.ns())};
+      case Kind::kExpTrunc:
+        return min + Duration{static_cast<std::int64_t>(rng.next_exp_truncated(
+                         double(typical.ns()), double((max - min).ns())))};
+    }
+    return max;
+  }
+};
+
+}  // namespace ssbft

@@ -1,0 +1,34 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace ssbft {
+
+void EventQueue::schedule(RealTime when, Action action) {
+  SSBFT_EXPECTS(when >= now_);
+  heap_.push(Entry{when, seq_++, std::move(action)});
+}
+
+RealTime EventQueue::next_time() const {
+  SSBFT_EXPECTS(!heap_.empty());
+  return heap_.top().when;
+}
+
+void EventQueue::run_one() {
+  SSBFT_EXPECTS(!heap_.empty());
+  // priority_queue::top() is const; the action is moved out via const_cast,
+  // which is safe because the entry is popped immediately after.
+  auto& top = const_cast<Entry&>(heap_.top());
+  now_ = top.when;
+  Action action = std::move(top.action);
+  heap_.pop();
+  ++dispatched_;
+  action();
+}
+
+void EventQueue::run_until(RealTime deadline) {
+  while (!heap_.empty() && heap_.top().when <= deadline) run_one();
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace ssbft

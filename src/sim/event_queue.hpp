@@ -1,0 +1,64 @@
+// Deterministic discrete-event queue.
+//
+// Events at equal real-time are dispatched in insertion order (a strictly
+// monotone sequence number breaks ties), so a run is a pure function of the
+// seed — a property every test and bench in this repository leans on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace ssbft {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `action` at absolute real-time `when`. `when` must not precede
+  /// the last dispatched event (no time travel).
+  void schedule(RealTime when, Action action);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Real-time of the next event; EXPECTS non-empty.
+  [[nodiscard]] RealTime next_time() const;
+
+  /// Dispatch the next event, advancing `now()` to its time.
+  void run_one();
+
+  /// Dispatch all events with time <= deadline (inclusive); `now()` ends at
+  /// max(now, deadline).
+  void run_until(RealTime deadline);
+
+  /// Current simulation time (time of the last dispatched event).
+  [[nodiscard]] RealTime now() const { return now_; }
+
+  /// Number of events dispatched so far.
+  [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct Entry {
+    RealTime when;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  RealTime now_{};
+  std::uint64_t seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace ssbft

@@ -1,0 +1,40 @@
+#include "sim/fault_injector.hpp"
+
+namespace ssbft {
+
+WireMessage FaultInjector::random_message(Rng& rng) const {
+  WireMessage msg;
+  msg.kind = MsgKind(rng.next_below(std::uint64_t(MsgKind::kNumKinds)));
+  msg.sender = NodeId(rng.next_below(world_.n()));
+  msg.general = GeneralId{NodeId(rng.next_below(world_.n()))};
+  // Mix plausible-looking small values with arbitrary ones: small values
+  // collide with real workload values, which is the nastier case.
+  msg.value = rng.next_bool(0.5) ? rng.next_below(4) : rng.next_u64();
+  msg.broadcaster = NodeId(rng.next_below(world_.n()));
+  msg.round = std::uint32_t(rng.next_below(2 * world_.n() + 2));
+  return msg;
+}
+
+void FaultInjector::transient_fault(const TransientFaultConfig& config) {
+  Rng& rng = world_.rng();
+
+  if (config.scramble_clocks) {
+    for (NodeId id = 0; id < world_.n(); ++id) {
+      world_.clock(id).set_offset(
+          Duration{rng.next_in(0, config.max_clock_offset.ns())});
+    }
+  }
+
+  if (config.scramble_state) {
+    for (NodeId id = 0; id < world_.n(); ++id) world_.scramble_node(id);
+  }
+
+  for (NodeId dest = 0; dest < world_.n(); ++dest) {
+    for (std::uint32_t i = 0; i < config.spurious_per_node; ++i) {
+      const Duration delay{rng.next_in(0, config.spurious_span.ns())};
+      world_.network().inject_raw(dest, random_message(rng), delay);
+    }
+  }
+}
+
+}  // namespace ssbft

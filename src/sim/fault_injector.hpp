@@ -1,0 +1,46 @@
+// Transient-fault injector.
+//
+// The paper's fault model (§1–2) allows a transient event to leave *every*
+// node with arbitrary variable values and the network with arbitrary
+// messages in flight. This module realizes exactly that: it scrambles each
+// behavior's state (via NodeBehavior::scramble) and plants a burst of
+// spurious, possibly sender-forged messages on the wire. Self-stabilization
+// experiments start from the state this produces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/world.hpp"
+
+namespace ssbft {
+
+struct TransientFaultConfig {
+  /// Spurious messages planted per node (destination-wise).
+  std::uint32_t spurious_per_node = 32;
+  /// In-flight spurious messages are delivered within this span.
+  Duration spurious_span = milliseconds(5);
+  /// Scramble node-local protocol state?
+  bool scramble_state = true;
+  /// Re-randomize clock offsets (lose any common time reference)?
+  bool scramble_clocks = true;
+  Duration max_clock_offset = seconds(1);
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(World& world) : world_(world) {}
+
+  /// Unleash a transient fault *now*: forge messages, scramble state and
+  /// clocks per `config`. Deterministic given the world's RNG state.
+  void transient_fault(const TransientFaultConfig& config);
+
+  /// A single spurious message with uniformly random fields (any kind, any
+  /// claimed sender, any value/round) addressed to `dest`.
+  WireMessage random_message(Rng& rng) const;
+
+ private:
+  World& world_;
+};
+
+}  // namespace ssbft

@@ -1,0 +1,117 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace ssbft {
+
+Network::Network(EventQueue& queue, std::uint32_t n, DelayModel link_delay,
+                 DelayModel proc_delay, ChaosConfig chaos, Rng rng,
+                 DeliverFn deliver)
+    : queue_(queue),
+      n_(n),
+      link_delay_(link_delay),
+      proc_delay_(proc_delay),
+      chaos_(chaos),
+      rng_(rng),
+      deliver_(std::move(deliver)) {
+  SSBFT_EXPECTS(n_ > 0);
+  if (chaos_.max_delay == Duration::zero()) {
+    chaos_.max_delay = link_delay_.max * 20;
+  }
+}
+
+void Network::send(NodeId from, NodeId dest, WireMessage msg) {
+  SSBFT_EXPECTS(dest < n_);
+  msg.sender = from;  // authenticated identity (Def. 2.2)
+  ++stats_.sent;
+  stats_.per_kind[std::size_t(msg.kind)]++;
+  tap(TapEvent::Kind::kSent, from, dest, msg);
+  route(dest, msg);
+}
+
+void Network::send_all(NodeId from, const WireMessage& msg) {
+  for (NodeId dest = 0; dest < n_; ++dest) send(from, dest, msg);
+}
+
+void Network::inject_raw(NodeId dest, WireMessage msg, Duration delay) {
+  SSBFT_EXPECTS(dest < n_);
+  ++stats_.forged;
+  tap(TapEvent::Kind::kForged, kNoNode, dest, msg);
+  queue_.schedule(queue_.now() + delay,
+                  [this, dest, msg] { deliver_(dest, msg); });
+}
+
+void Network::route(NodeId dest, WireMessage msg) {
+  const bool faulty = queue_.now() < faulty_until_;
+  if (faulty) {
+    if (rng_.next_bool(chaos_.drop_prob)) {
+      ++stats_.dropped;
+      tap(TapEvent::Kind::kDropped, msg.sender, dest, msg);
+      return;
+    }
+    if (rng_.next_bool(chaos_.corrupt_prob)) {
+      // A faulty network may tamper with anything, including the sender.
+      corrupt(msg);
+      ++stats_.corrupted;
+    }
+    const Duration delay{rng_.next_in(0, chaos_.max_delay.ns())};
+    queue_.schedule(queue_.now() + delay, [this, dest, msg] {
+      ++stats_.delivered;
+      tap(TapEvent::Kind::kDelivered, msg.sender, dest, msg);
+      deliver_(dest, msg);
+    });
+    if (rng_.next_bool(chaos_.duplicate_prob)) {
+      ++stats_.duplicated;
+      const Duration dup_delay{rng_.next_in(0, chaos_.max_delay.ns())};
+      queue_.schedule(queue_.now() + dup_delay, [this, dest, msg] {
+        ++stats_.delivered;
+        tap(TapEvent::Kind::kDelivered, msg.sender, dest, msg);
+        deliver_(dest, msg);
+      });
+    }
+    return;
+  }
+
+  // Non-faulty: arrival within δ, processing within π of arrival. The
+  // destination handler runs once processing completes.
+  Duration delay = link_delay_.sample(rng_) + proc_delay_.sample(rng_);
+  if (oracle_) {
+    if (const auto chosen = oracle_(msg.sender, dest, msg, oracle_seq_++)) {
+      // Clamp into the non-faulty envelope: the oracle steers the schedule
+      // but cannot break the bounded-delay model.
+      delay = std::clamp(*chosen, Duration::zero(),
+                         link_delay_.max + proc_delay_.max);
+    }
+  }
+  queue_.schedule(queue_.now() + delay, [this, dest, msg] {
+    ++stats_.delivered;
+    tap(TapEvent::Kind::kDelivered, msg.sender, dest, msg);
+    deliver_(dest, msg);
+  });
+}
+
+void Network::corrupt(WireMessage& msg) {
+  switch (rng_.next_below(5)) {
+    case 0: msg.kind = MsgKind(rng_.next_below(std::uint64_t(MsgKind::kNumKinds))); break;
+    case 1: msg.sender = NodeId(rng_.next_below(n_)); break;
+    case 2: msg.value = rng_.next_u64(); break;
+    case 3: msg.general = GeneralId{NodeId(rng_.next_below(n_))}; break;
+    case 4: msg.round = std::uint32_t(rng_.next_below(64)); break;
+  }
+}
+
+void Network::tap(TapEvent::Kind kind, NodeId from, NodeId to,
+                  const WireMessage& msg) {
+  if (!tap_) return;
+  TapEvent event;
+  event.kind = kind;
+  event.at = queue_.now();
+  event.from = from;
+  event.to = to;
+  event.msg = msg;
+  tap_(event);
+}
+}  // namespace ssbft

@@ -1,0 +1,102 @@
+// Bounded-delay authenticated message-passing network (paper Def. 2).
+//
+// While non-faulty, every message is delivered within δ and processed within
+// π of arrival, and the sender identity is never tampered with. While
+// *faulty* (the transient period before ι0), the network may drop, delay
+// beyond δ, duplicate, or corrupt messages — and the fault injector may
+// plant messages with forged senders, modelling arbitrary in-flight state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "sim/delay_model.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/tap.hpp"
+#include "sim/wire.hpp"
+#include "util/rng.hpp"
+
+namespace ssbft {
+
+/// Misbehaviour applied while the network is faulty.
+struct ChaosConfig {
+  double drop_prob = 0.4;
+  double duplicate_prob = 0.15;
+  double corrupt_prob = 0.25;
+  /// Delay cap during chaos; may exceed δ arbitrarily.
+  Duration max_delay = Duration::zero();  // 0 => 20×δ chosen at construction
+};
+
+struct NetworkStats {
+  std::uint64_t sent = 0;        // send() calls admitted to the network
+  std::uint64_t delivered = 0;   // copies handed to a destination
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t forged = 0;      // injected with a fake sender
+  std::array<std::uint64_t, std::size_t(MsgKind::kNumKinds)> per_kind{};
+};
+
+class Network {
+ public:
+  using DeliverFn = std::function<void(NodeId dest, const WireMessage&)>;
+
+  /// `deliver` is invoked at the (real) instant the destination finishes
+  /// processing the message — i.e. arrival + processing delay.
+  Network(EventQueue& queue, std::uint32_t n, DelayModel link_delay,
+          DelayModel proc_delay, ChaosConfig chaos, Rng rng,
+          DeliverFn deliver);
+
+  /// Authenticated send: `msg.sender` is overwritten with `from`.
+  void send(NodeId from, NodeId dest, WireMessage msg);
+  void send_all(NodeId from, const WireMessage& msg);
+
+  /// Fault-injector backdoor: place a message (possibly with a forged
+  /// sender) on the wire, delivered after `delay`.
+  void inject_raw(NodeId dest, WireMessage msg, Duration delay);
+
+  /// The network behaves arbitrarily until `t`; from `t` on it is non-faulty
+  /// (Def. 3 then starts its ∆net countdown).
+  void set_faulty_until(RealTime t) { faulty_until_ = t; }
+  [[nodiscard]] RealTime faulty_until() const { return faulty_until_; }
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// Attach a wire-level observer (see sim/tap.hpp). Pass nullptr to detach.
+  void set_tap(TapFn tap) { tap_ = std::move(tap); }
+
+  /// Adversarial scheduling hook (src/check): when set, consulted per
+  /// non-faulty message; a returned value replaces the sampled link+proc
+  /// delay. The oracle must respect the model bound (≤ δ+π) for results to
+  /// say anything about the paper's claims — the explorer clamps. Return
+  /// nullopt to fall back to sampling. `seq` counts oracle consultations.
+  using DelayOracle = std::function<std::optional<Duration>(
+      NodeId from, NodeId dest, const WireMessage& msg, std::uint64_t seq)>;
+  void set_delay_oracle(DelayOracle oracle) { oracle_ = std::move(oracle); }
+
+  [[nodiscard]] Duration max_link_delay() const { return link_delay_.max; }
+  [[nodiscard]] Duration max_proc_delay() const { return proc_delay_.max; }
+
+ private:
+  void route(NodeId dest, WireMessage msg);
+  void corrupt(WireMessage& msg);
+  void tap(TapEvent::Kind kind, NodeId from, NodeId to, const WireMessage& msg);
+
+  EventQueue& queue_;
+  std::uint32_t n_;
+  DelayModel link_delay_;
+  DelayModel proc_delay_;
+  ChaosConfig chaos_;
+  Rng rng_;
+  DeliverFn deliver_;
+  RealTime faulty_until_{RealTime::min()};
+  NetworkStats stats_;
+  TapFn tap_;
+  DelayOracle oracle_;
+  std::uint64_t oracle_seq_ = 0;
+};
+
+}  // namespace ssbft

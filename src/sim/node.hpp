@@ -1,0 +1,64 @@
+// Node abstraction: the boundary between the simulator and any protocol.
+//
+// A NodeBehavior sees only what a real process would see — its own id, its
+// own (drifting) local clock, message arrivals, and timers it set itself.
+// Real time exists solely on the simulator side of this interface; that is
+// what makes the self-stabilization claims honest to measure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/wire.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace ssbft {
+
+/// Per-node services provided by the World. Lifetime: owned by the World,
+/// outlives every behavior attached to the node.
+class NodeContext {
+ public:
+  virtual ~NodeContext() = default;
+
+  [[nodiscard]] virtual NodeId id() const = 0;
+  [[nodiscard]] virtual std::uint32_t n() const = 0;
+
+  /// This node's current timer reading τ.
+  [[nodiscard]] virtual LocalTime local_now() const = 0;
+
+  /// Unicast. The network stamps the true sender (authenticated channel,
+  /// Def. 2.2) — a Byzantine node may lie about *content* but not identity.
+  virtual void send(NodeId dest, WireMessage msg) = 0;
+
+  /// "send to all" in the paper's sense: every node including self, each
+  /// copy subject to independent network delay.
+  virtual void send_all(WireMessage msg) = 0;
+
+  /// Fire on_timer(cookie) when the local clock reads `when` (or immediately
+  /// if already past). Timers are not cancellable; handlers must tolerate
+  /// stale fires — which they must anyway, under the transient-fault model.
+  virtual void set_timer(LocalTime when, std::uint64_t cookie) = 0;
+  virtual void set_timer_after(Duration local_delay, std::uint64_t cookie) = 0;
+
+  virtual Rng& rng() = 0;
+  virtual Logger& log() = 0;
+};
+
+/// A protocol (or adversary) running on one node.
+class NodeBehavior {
+ public:
+  virtual ~NodeBehavior() = default;
+
+  virtual void on_start(NodeContext&) {}
+  virtual void on_message(NodeContext&, const WireMessage&) = 0;
+  virtual void on_timer(NodeContext&, std::uint64_t /*cookie*/) {}
+
+  /// Transient-fault hook: overwrite all protocol state with adversarially
+  /// chosen garbage. Default: stateless behavior, nothing to scramble.
+  virtual void scramble(NodeContext&, Rng&) {}
+};
+
+}  // namespace ssbft

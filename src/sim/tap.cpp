@@ -1,0 +1,54 @@
+#include "sim/tap.hpp"
+
+namespace ssbft {
+
+const char* to_string(TapEvent::Kind kind) {
+  switch (kind) {
+    case TapEvent::Kind::kSent: return "sent";
+    case TapEvent::Kind::kDelivered: return "delivered";
+    case TapEvent::Kind::kDropped: return "dropped";
+    case TapEvent::Kind::kForged: return "forged";
+  }
+  return "?";
+}
+
+std::string to_string(const TapEvent& event) {
+  char head[96];
+  std::snprintf(head, sizeof head, "[%12.6fms %-9s %2d -> %2d] ",
+                event.at.millis(), to_string(event.kind),
+                event.from == kNoNode ? -1 : int(event.from),
+                event.to == kNoNode ? -1 : int(event.to));
+  return std::string(head) + to_string(event.msg);
+}
+
+void TraceRecorder::record(const TapEvent& event) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(event);
+}
+
+void TraceRecorder::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::vector<TapEvent> TraceRecorder::filter(
+    const std::function<bool(const TapEvent&)>& pred) const {
+  std::vector<TapEvent> out;
+  for (const auto& event : events_) {
+    if (pred(event)) out.push_back(event);
+  }
+  return out;
+}
+
+std::size_t TraceRecorder::count(TapEvent::Kind kind, MsgKind msg_kind) const {
+  std::size_t total = 0;
+  for (const auto& event : events_) {
+    if (event.kind == kind && event.msg.kind == msg_kind) ++total;
+  }
+  return total;
+}
+
+}  // namespace ssbft

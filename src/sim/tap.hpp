@@ -1,0 +1,67 @@
+// Network tap: an observer stream of every wire-level event, for debugging,
+// test assertions, and offline trace analysis. The tap sees events the
+// moment the network processes them (omnisciently, in real time) — protocol
+// code never does.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/wire.hpp"
+#include "util/time.hpp"
+
+namespace ssbft {
+
+struct TapEvent {
+  enum class Kind : std::uint8_t {
+    kSent,       // admitted to the network by a node
+    kDelivered,  // handed to the destination (post processing delay)
+    kDropped,    // lost during a network-faulty period
+    kForged,     // injected by the fault injector (sender unauthenticated)
+  };
+
+  Kind kind = Kind::kSent;
+  RealTime at{};
+  NodeId from = kNoNode;  // kNoNode for forged injections
+  NodeId to = kNoNode;
+  WireMessage msg{};
+};
+
+[[nodiscard]] const char* to_string(TapEvent::Kind kind);
+[[nodiscard]] std::string to_string(const TapEvent& event);
+
+using TapFn = std::function<void(const TapEvent&)>;
+
+/// Convenience recorder with filtering and bounded memory.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 1 << 16)
+      : capacity_(capacity) {}
+
+  /// The callback to hand to Network::set_tap.
+  [[nodiscard]] TapFn tap() {
+    return [this](const TapEvent& event) { record(event); };
+  }
+
+  void record(const TapEvent& event);
+
+  [[nodiscard]] const std::vector<TapEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t dropped_records() const { return dropped_; }
+  void clear();
+
+  /// Events matching a predicate (e.g. one conversation).
+  [[nodiscard]] std::vector<TapEvent> filter(
+      const std::function<bool(const TapEvent&)>& pred) const;
+
+  /// Count of events with the given tap kind and message kind.
+  [[nodiscard]] std::size_t count(TapEvent::Kind kind, MsgKind msg_kind) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TapEvent> events_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace ssbft

@@ -1,0 +1,33 @@
+#include "sim/wire.hpp"
+
+namespace ssbft {
+
+const char* to_string(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kInitiator: return "Initiator";
+    case MsgKind::kSupport: return "support";
+    case MsgKind::kApprove: return "approve";
+    case MsgKind::kReady: return "ready";
+    case MsgKind::kBcastInit: return "init";
+    case MsgKind::kBcastEcho: return "echo";
+    case MsgKind::kBcastInitPrime: return "init'";
+    case MsgKind::kBcastEchoPrime: return "echo'";
+    case MsgKind::kTpsGeneral: return "tps-general";
+    case MsgKind::kNumKinds: break;
+  }
+  return "?";
+}
+
+std::string to_string(const WireMessage& m) {
+  std::string s = "(";
+  s += to_string(m.kind);
+  s += ", G=" + std::to_string(m.general.node);
+  s += ", m=" + std::to_string(m.value);
+  if (m.broadcaster != kNoNode) s += ", p=" + std::to_string(m.broadcaster);
+  if (m.round != 0) s += ", k=" + std::to_string(m.round);
+  s += ", from=" + std::to_string(m.sender);
+  s += ")";
+  return s;
+}
+
+}  // namespace ssbft

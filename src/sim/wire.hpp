@@ -1,0 +1,54 @@
+// Wire-level message format.
+//
+// Every protocol in the repository (Initiator-Accept, msgd-broadcast,
+// ss-Byz-Agree bookkeeping, and the TPS'87 baseline) exchanges instances of
+// one flat POD message. A single flat struct keeps the simulator protocol-
+// agnostic, lets the Byzantine adversary forge arbitrary content, and makes
+// "arbitrary spurious messages in flight" (the transient-fault model)
+// trivially expressible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace ssbft {
+
+enum class MsgKind : std::uint8_t {
+  // --- Initiator-Accept primitive (paper Fig. 2) ---
+  kInitiator,   // (Initiator, G, m)      — General's initiation
+  kSupport,     // (support, G, m)
+  kApprove,     // (approve, G, m)
+  kReady,       // (ready, G, m)
+  // --- msgd-broadcast primitive (paper Fig. 3); also reused, with
+  //     time-driven semantics, by the TPS'87 baseline ---
+  kBcastInit,       // (init, p, m, k)
+  kBcastEcho,       // (echo, p, m, k)
+  kBcastInitPrime,  // (init', p, m, k)
+  kBcastEchoPrime,  // (echo', p, m, k)
+  // --- TPS'87 baseline round-0 value dissemination ---
+  kTpsGeneral,  // General's value broadcast in the synchronous baseline
+
+  kNumKinds,
+};
+
+[[nodiscard]] const char* to_string(MsgKind kind);
+
+/// One message on the wire. `sender` is authenticated by the network when it
+/// is non-faulty (Def. 2.2): Network::send overwrites it with the true
+/// origin. Only the transient-fault injector may plant forged senders.
+struct WireMessage {
+  MsgKind kind = MsgKind::kInitiator;
+  NodeId sender = kNoNode;
+  GeneralId general{};     // the agreement instance this belongs to
+  Value value = kBottom;   // m
+  NodeId broadcaster = kNoNode;  // p in (p, m, k); unused by Initiator-Accept
+  std::uint32_t round = 0;       // k in (p, m, k); unused by Initiator-Accept
+
+  friend bool operator==(const WireMessage&, const WireMessage&) = default;
+};
+
+[[nodiscard]] std::string to_string(const WireMessage& m);
+
+}  // namespace ssbft

@@ -1,0 +1,114 @@
+// The World: n nodes, their clocks, the network, and the event loop.
+//
+// The World is the only component that sees both real time and every node's
+// local time; protocol behaviors run entirely behind the NodeContext
+// interface. Tests and the harness use the World's omniscient accessors to
+// check the paper's real-time bounds (skews, convergence times).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "sim/node.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace ssbft {
+
+struct WorldConfig {
+  std::uint32_t n = 4;
+
+  /// Network bound δ and processing bound π (real time). The model constant
+  /// d = (δ+π)(1+ρ) is derived; see d_bound().
+  Duration delta = milliseconds(1);
+  Duration pi = microseconds(50);
+  /// Clock drift bound ρ for non-faulty nodes.
+  double rho = 1e-4;
+
+  /// Actual delay distributions; defaults (set at construction if kind-less)
+  /// are uniform over [δ/5, δ] and [0, π].
+  DelayModel link_delay{};
+  DelayModel proc_delay{};
+  bool has_delay_models = false;
+
+  /// Spread of initial clock offsets (arbitrary after a transient fault).
+  Duration max_clock_offset = seconds(1);
+
+  ChaosConfig chaos{};
+  std::uint64_t seed = 1;
+  LogLevel log_level = LogLevel::kWarn;
+
+  /// d = (δ+π)(1+ρ), the paper's bound on send+process as measured on any
+  /// non-faulty local timer.
+  [[nodiscard]] Duration d_bound() const {
+    const double ns = double((delta + pi).ns()) * (1.0 + rho);
+    return Duration{static_cast<std::int64_t>(ns) + 1};
+  }
+};
+
+class World {
+ public:
+  explicit World(WorldConfig config);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] std::uint32_t n() const { return config_.n; }
+  [[nodiscard]] const WorldConfig& config() const { return config_; }
+
+  /// Install the protocol/adversary running on `id`. May be called again
+  /// later (Byzantine turnover, node recovery); the new behavior's on_start
+  /// runs at the current instant if the world has started.
+  void set_behavior(NodeId id, std::unique_ptr<NodeBehavior> behavior);
+  [[nodiscard]] NodeBehavior* behavior(NodeId id);
+
+  /// Calls on_start on every installed behavior. Idempotent per behavior.
+  void start();
+
+  void run_until(RealTime t);
+  void run_for(Duration d) { run_until(now() + d); }
+  /// Drain every pending event (useful for quiescence tests).
+  void run_to_quiescence(RealTime hard_deadline);
+
+  [[nodiscard]] RealTime now() const { return queue_.now(); }
+  [[nodiscard]] LocalTime local_now(NodeId id) const;
+  [[nodiscard]] RealTime real_at(NodeId id, LocalTime tau) const;
+
+  [[nodiscard]] DriftingClock& clock(NodeId id);
+  [[nodiscard]] Network& network() { return *network_; }
+  [[nodiscard]] EventQueue& queue() { return queue_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] Logger& log() { return logger_; }
+
+  /// Invoke NodeBehavior::scramble on `id` (transient fault on that node).
+  void scramble_node(NodeId id);
+
+ private:
+  class ContextImpl;
+
+  void deliver(NodeId dest, const WireMessage& msg);
+
+  WorldConfig config_;
+  Rng rng_;
+  Logger logger_;
+  EventQueue queue_;
+  std::unique_ptr<Network> network_;
+
+  struct NodeSlot {
+    DriftingClock clock;
+    std::unique_ptr<NodeBehavior> behavior;
+    std::unique_ptr<ContextImpl> context;
+    Rng rng{0};
+    bool started = false;
+  };
+  std::vector<NodeSlot> nodes_;
+  bool started_ = false;
+};
+
+}  // namespace ssbft

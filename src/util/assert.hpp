@@ -1,0 +1,39 @@
+// Contract-checking macros, in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (I.6, I.8). Violations abort with a diagnostic: in a
+// simulator for a fault-tolerance protocol, continuing past a broken
+// invariant would silently invalidate every measurement downstream.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ssbft::detail {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "ssbft: %s failed: %s (%s:%d)\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace ssbft::detail
+
+#define SSBFT_EXPECTS(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::ssbft::detail::contract_violation("precondition", #cond, __FILE__,   \
+                                          __LINE__);                         \
+  } while (0)
+
+#define SSBFT_ENSURES(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::ssbft::detail::contract_violation("postcondition", #cond, __FILE__,  \
+                                          __LINE__);                         \
+  } while (0)
+
+#define SSBFT_ASSERT(cond)                                                   \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::ssbft::detail::contract_violation("invariant", #cond, __FILE__,      \
+                                          __LINE__);                         \
+  } while (0)

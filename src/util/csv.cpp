@@ -1,0 +1,38 @@
+#include "util/csv.hpp"
+
+#include "util/assert.hpp"
+
+namespace ssbft {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
+    : file_(std::fopen(path.c_str(), "w")), columns_(columns.size()) {
+  if (!file_) return;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    std::fprintf(file_, "%s%s", columns[i].c_str(),
+                 i + 1 == columns.size() ? "\n" : ",");
+  }
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_) std::fclose(file_);
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  if (!file_) return;
+  SSBFT_EXPECTS(values.size() == columns_);
+  std::size_t i = 0;
+  for (double v : values) {
+    std::fprintf(file_, "%.9g%s", v, ++i == values.size() ? "\n" : ",");
+  }
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  if (!file_) return;
+  SSBFT_EXPECTS(values.size() == columns_);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::fprintf(file_, "%s%s", values[i].c_str(),
+                 i + 1 == values.size() ? "\n" : ",");
+  }
+}
+
+}  // namespace ssbft

@@ -1,0 +1,32 @@
+// Tiny CSV writer used by the bench harness to dump raw series next to the
+// human-readable tables (so plots can be regenerated offline).
+#pragma once
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ssbft {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws nothing; a
+  /// failed open degrades to a no-op writer (benches still print tables).
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+
+  void row(std::initializer_list<double> values);
+  void row(const std::vector<std::string>& values);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace ssbft

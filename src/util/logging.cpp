@@ -1,0 +1,28 @@
+#include "util/logging.hpp"
+
+namespace ssbft {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Logger::logf(LogLevel level, NodeId node, const char* fmt, ...) {
+  if (!enabled(level)) return;
+  std::fprintf(sink_, "[%12.6fms %-5s n%02u] ", now_.millis(), to_string(level),
+               node);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(sink_, fmt, args);
+  va_end(args);
+  std::fputc('\n', sink_);
+}
+
+}  // namespace ssbft

@@ -1,0 +1,42 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded by design (deterministic replay), so the
+// logger needs no synchronization. Protocol modules log through a Logger
+// reference owned by the World, which prefixes sim time and node id.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace ssbft {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+const char* to_string(LogLevel level);
+
+class Logger {
+ public:
+  explicit Logger(LogLevel level = LogLevel::kWarn, std::FILE* sink = stderr)
+      : level_(level), sink_(sink) {}
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::kOff; }
+
+  /// Current simulation time for prefixing; the World updates this.
+  void set_now(RealTime now) { now_ = now; }
+
+  void logf(LogLevel level, NodeId node, const char* fmt, ...)
+      __attribute__((format(printf, 4, 5)));
+
+ private:
+  LogLevel level_;
+  std::FILE* sink_;
+  RealTime now_{};
+};
+
+}  // namespace ssbft

@@ -1,0 +1,44 @@
+// Deterministic, splittable pseudo-random generator.
+//
+// Every simulation run is reproducible from a single 64-bit seed. We use
+// xoshiro256** seeded via splitmix64 — fast, well-tested statistically, and
+// trivially re-implementable (no dependence on libstdc++'s unspecified
+// std::mt19937 distribution behaviour across platforms).
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace ssbft {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform over all 64-bit values.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// true with probability p.
+  bool next_bool(double p);
+
+  /// Exponential with the given mean, truncated to [0, cap].
+  double next_exp_truncated(double mean, double cap);
+
+  /// Derive an independent child stream (for per-node / per-link RNGs).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace ssbft

@@ -1,0 +1,98 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace ssbft {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / double(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return count_ ? mean_ : 0; }
+
+double RunningStats::variance() const {
+  return count_ > 1 ? m2_ / double(count_ - 1) : 0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+double RunningStats::min() const { return min_; }
+double RunningStats::max() const { return max_; }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto total = count_ + other.count_;
+  m2_ += other.m2_ +
+         delta * delta * double(count_) * double(other.count_) / double(total);
+  mean_ += delta * double(other.count_) / double(total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = total;
+}
+
+void SampleSet::ensure_sorted() {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::quantile(double q) {
+  SSBFT_EXPECTS(!samples_.empty());
+  SSBFT_EXPECTS(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  const double pos = q * double(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - double(lo);
+  return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0;
+  double sum = 0;
+  for (double x : samples_) sum += x;
+  return sum / double(samples_.size());
+}
+
+double SampleSet::min() {
+  SSBFT_EXPECTS(!samples_.empty());
+  ensure_sorted();
+  return samples_.front();
+}
+
+double SampleSet::max() {
+  SSBFT_EXPECTS(!samples_.empty());
+  ensure_sorted();
+  return samples_.back();
+}
+
+std::string summarize_ns(SampleSet& s) {
+  if (s.empty()) return "n=0";
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "n=%zu mean=%.3fms p50=%.3fms p90=%.3fms p99=%.3fms max=%.3fms",
+                s.size(), s.mean() * 1e-6, s.quantile(0.5) * 1e-6,
+                s.quantile(0.9) * 1e-6, s.quantile(0.99) * 1e-6,
+                s.max() * 1e-6);
+  return buf;
+}
+
+}  // namespace ssbft

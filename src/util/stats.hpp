@@ -1,0 +1,63 @@
+// Online statistics and simple fixed-resolution histograms, used by the
+// harness and the benches to summarize measured protocol timings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace ssbft {
+
+/// Welford-style running summary: count / mean / variance / min / max.
+class RunningStats {
+ public:
+  void add(double x);
+  void add(Duration d) { add(double(d.ns())); }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  void merge(const RunningStats& other);
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Stores every sample; supports exact quantiles. Fine at simulation scale.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void add(Duration d) { add(double(d.ns())); }
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double quantile(double q);      // q in [0,1]
+  [[nodiscard]] double median() { return quantile(0.5); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min();
+  [[nodiscard]] double max();
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted();
+
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+/// Render a one-line summary like "n=100 mean=1.23ms p50=... p99=... max=...",
+/// interpreting samples as nanoseconds.
+std::string summarize_ns(SampleSet& s);
+
+}  // namespace ssbft

@@ -1,0 +1,104 @@
+// Strong time types for the simulator and protocol.
+//
+// The paper distinguishes real-time `t` from a node's local-time reading `τ`
+// (§2). We mirror that distinction in the type system: RealTime and
+// LocalTime are distinct nanosecond-resolution types and cannot be mixed
+// arithmetically; Duration is the common difference type. Only the clock
+// model (sim/clock.hpp) converts between the two.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace ssbft {
+
+/// Signed time difference in nanoseconds. Used for both real and local
+/// intervals; the paper's `d`, `Φ`, `∆agr`, ... are all Durations.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double seconds() const { return double(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double millis() const { return double(ns_) * 1e-6; }
+  [[nodiscard]] constexpr double micros() const { return double(ns_) * 1e-3; }
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{ns_ / k}; }
+  constexpr double operator/(Duration o) const { return double(ns_) / double(o.ns_); }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+constexpr Duration operator*(std::int64_t k, Duration d) { return d * k; }
+
+constexpr Duration nanoseconds(std::int64_t v) { return Duration{v}; }
+constexpr Duration microseconds(std::int64_t v) { return Duration{v * 1'000}; }
+constexpr Duration milliseconds(std::int64_t v) { return Duration{v * 1'000'000}; }
+constexpr Duration seconds(std::int64_t v) { return Duration{v * 1'000'000'000}; }
+
+namespace detail {
+
+// CRTP base for the two time-point flavours. `Tag` makes them distinct types.
+template <class Tag>
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double seconds() const { return double(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double millis() const { return double(ns_) * 1e-6; }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{ns_ + d.ns()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{ns_ - d.ns()}; }
+  constexpr Duration operator-(TimePoint o) const { return Duration{ns_ - o.ns_}; }
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  [[nodiscard]] static constexpr TimePoint zero() { return TimePoint{0}; }
+  [[nodiscard]] static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+  [[nodiscard]] static constexpr TimePoint min() {
+    return TimePoint{std::numeric_limits<std::int64_t>::min()};
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace detail
+
+struct RealTag {};
+struct LocalTag {};
+
+/// Global simulation time `t`. Only the simulator sees it directly.
+using RealTime = detail::TimePoint<RealTag>;
+/// A node's own timer reading `τ`. All protocol logic runs on LocalTime.
+using LocalTime = detail::TimePoint<LocalTag>;
+
+[[nodiscard]] inline Duration abs(Duration d) {
+  return d < Duration::zero() ? -d : d;
+}
+
+[[nodiscard]] inline std::string to_string(Duration d) {
+  return std::to_string(d.ns()) + "ns";
+}
+
+}  // namespace ssbft

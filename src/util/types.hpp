@@ -1,0 +1,49 @@
+// Core identifier and value types shared by every layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ssbft {
+
+/// Dense node identifier in [0, n). The network authenticates it: a
+/// non-faulty network never mis-attributes a sender (Def. 2.2).
+using NodeId = std::uint32_t;
+
+constexpr NodeId kNoNode = ~NodeId{0};
+
+/// Agreement values. The paper treats `m` abstractly; a 64-bit payload is
+/// enough to encode any test/bench workload, and keeps messages POD.
+using Value = std::uint64_t;
+
+/// Distinguished "null"/⊥ outcome of the agreement protocol.
+constexpr Value kBottom = ~Value{0};
+
+/// Identifies one agreement instance: the General that (allegedly)
+/// initiated it, plus an invocation index. One ss-Byz-Agree instance runs
+/// per (General, index) pair. Index 0 is the paper's base protocol (§3);
+/// non-zero indices realize footnote 9: "One can expand the protocol to a
+/// number of concurrent invocations by using an index to differentiate
+/// among the concurrent invocations." Every per-instance data structure —
+/// message logs, freshness windows, pacing state — is keyed by the full
+/// pair, so each indexed instance converges independently.
+struct GeneralId {
+  NodeId node = kNoNode;
+  std::uint32_t index = 0;
+
+  friend bool operator==(GeneralId, GeneralId) = default;
+  friend auto operator<=>(GeneralId, GeneralId) = default;
+};
+
+}  // namespace ssbft
+
+template <>
+struct std::hash<ssbft::GeneralId> {
+  std::size_t operator()(const ssbft::GeneralId& g) const noexcept {
+    const std::size_t h = std::hash<ssbft::NodeId>{}(g.node);
+    // splitmix-style combine keeps (node, index) pairs well spread.
+    return h ^ (std::hash<std::uint32_t>{}(g.index) + 0x9e3779b97f4a7c15ULL +
+                (h << 6) + (h >> 2));
+  }
+};

@@ -1,0 +1,146 @@
+// Unit/behavioral tests for the adversary strategies themselves: each must
+// actually emit the traffic pattern it advertises (otherwise the resilience
+// tests that rely on them prove nothing).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "adversary/adversaries.hpp"
+#include "sim/world.hpp"
+
+namespace ssbft {
+namespace {
+
+class Recorder : public NodeBehavior {
+ public:
+  void on_message(NodeContext&, const WireMessage& msg) override {
+    received.push_back(msg);
+  }
+  std::vector<WireMessage> received;
+};
+
+struct AdversaryFixture {
+  explicit AdversaryFixture(std::uint32_t n, std::uint64_t seed = 3) {
+    WorldConfig wc;
+    wc.n = n;
+    wc.seed = seed;
+    world = std::make_unique<World>(wc);
+    recorders.resize(n);
+    for (NodeId i = 1; i < n; ++i) {
+      auto r = std::make_unique<Recorder>();
+      recorders[i] = r.get();
+      world->set_behavior(i, std::move(r));
+    }
+  }
+  std::unique_ptr<World> world;
+  std::vector<Recorder*> recorders;
+};
+
+TEST(AdversaryTest, SilentSendsNothing) {
+  AdversaryFixture fx(4);
+  fx.world->set_behavior(0, std::make_unique<SilentAdversary>());
+  fx.world->start();
+  fx.world->run_for(milliseconds(50));
+  for (NodeId i = 1; i < 4; ++i) EXPECT_TRUE(fx.recorders[i]->received.empty());
+}
+
+TEST(AdversaryTest, NoiseFloodsPeriodically) {
+  AdversaryFixture fx(4);
+  fx.world->set_behavior(
+      0, std::make_unique<RandomNoiseAdversary>(milliseconds(1), 4));
+  fx.world->start();
+  fx.world->run_for(milliseconds(20));
+  std::size_t total = 0;
+  for (NodeId i = 1; i < 4; ++i) total += fx.recorders[i]->received.size();
+  // ~20 bursts of 4 messages; sender identity always authenticated as 0.
+  EXPECT_GE(total, 40u);
+  for (NodeId i = 1; i < 4; ++i) {
+    for (const auto& msg : fx.recorders[i]->received) {
+      EXPECT_EQ(msg.sender, 0u);
+    }
+  }
+}
+
+TEST(AdversaryTest, EquivocatorSplitsValuesAtTheConfiguredIndex) {
+  AdversaryFixture fx(6);
+  fx.world->set_behavior(0, std::make_unique<EquivocatingGeneral>(
+                                11, 22, milliseconds(1), /*split=*/4));
+  fx.world->start();
+  fx.world->run_for(milliseconds(10));
+  for (NodeId i = 1; i < 6; ++i) {
+    ASSERT_EQ(fx.recorders[i]->received.size(), 1u) << "node " << i;
+    const auto& msg = fx.recorders[i]->received[0];
+    EXPECT_EQ(msg.kind, MsgKind::kInitiator);
+    EXPECT_EQ(msg.value, i < 4 ? 11u : 22u);
+  }
+}
+
+TEST(AdversaryTest, StaggeredSendsOneInitiatorPerNodeWithinSpan) {
+  AdversaryFixture fx(6, 5);
+  fx.world->set_behavior(0, std::make_unique<StaggeredGeneral>(
+                                9, milliseconds(1), milliseconds(10)));
+  fx.world->start();
+  fx.world->run_for(milliseconds(30));
+  for (NodeId i = 1; i < 6; ++i) {
+    ASSERT_EQ(fx.recorders[i]->received.size(), 1u);
+    EXPECT_EQ(fx.recorders[i]->received[0].kind, MsgKind::kInitiator);
+    EXPECT_EQ(fx.recorders[i]->received[0].value, 9u);
+  }
+}
+
+TEST(AdversaryTest, SpamGeneralViolatesDelta0WithFreshValues) {
+  AdversaryFixture fx(3);
+  fx.world->set_behavior(0, std::make_unique<SpamGeneral>(milliseconds(2)));
+  fx.world->start();
+  fx.world->run_for(milliseconds(21));
+  ASSERT_GE(fx.recorders[1]->received.size(), 9u);
+  std::set<Value> values;
+  for (const auto& msg : fx.recorders[1]->received) {
+    EXPECT_EQ(msg.kind, MsgKind::kInitiator);
+    values.insert(msg.value);
+  }
+  // Every initiation used a fresh value.
+  EXPECT_EQ(values.size(), fx.recorders[1]->received.size());
+}
+
+TEST(AdversaryTest, ReplayerEchoesObservedTrafficAfterDelay) {
+  AdversaryFixture fx(3);
+  fx.world->set_behavior(0, std::make_unique<ReplayAdversary>(milliseconds(5)));
+  fx.world->start();
+  // Feed the replayer one message.
+  WireMessage original;
+  original.kind = MsgKind::kApprove;
+  original.general = GeneralId{1};
+  original.value = 42;
+  fx.world->network().send(1, 0, original);
+  fx.world->run_for(milliseconds(3));
+  EXPECT_TRUE(fx.recorders[2]->received.empty());  // not replayed yet
+  fx.world->run_for(milliseconds(10));
+  ASSERT_EQ(fx.recorders[2]->received.size(), 1u);
+  const auto& replayed = fx.recorders[2]->received[0];
+  EXPECT_EQ(replayed.kind, MsgKind::kApprove);
+  EXPECT_EQ(replayed.value, 42u);
+  EXPECT_EQ(replayed.sender, 0u);  // identity still authenticated
+}
+
+TEST(AdversaryTest, QuorumFakerTargetsOnlyVictims) {
+  AdversaryFixture fx(5);
+  fx.world->set_behavior(0, std::make_unique<QuorumFaker>(
+                                GeneralId{0}, 77, milliseconds(2),
+                                std::vector<NodeId>{1, 2}));
+  fx.world->start();
+  fx.world->run_for(milliseconds(10));
+  EXPECT_FALSE(fx.recorders[1]->received.empty());
+  EXPECT_FALSE(fx.recorders[2]->received.empty());
+  EXPECT_TRUE(fx.recorders[3]->received.empty());
+  EXPECT_TRUE(fx.recorders[4]->received.empty());
+  // The fake wave covers all four Initiator-Accept message kinds.
+  std::set<MsgKind> kinds;
+  for (const auto& msg : fx.recorders[1]->received) kinds.insert(msg.kind);
+  EXPECT_EQ(kinds.size(), 4u);
+}
+
+}  // namespace
+}  // namespace ssbft

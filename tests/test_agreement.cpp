@@ -1,0 +1,479 @@
+// Protocol-level tests: ss-Byz-Agree against §3's Agreement / Validity /
+// Termination / Timeliness properties, under correct and Byzantine
+// Generals, including custom in-test adversaries.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "adversary/adversaries.hpp"
+#include "harness/metrics.hpp"
+#include "harness/runner.hpp"
+
+namespace ssbft {
+namespace {
+
+// --- Validity -------------------------------------------------------------
+
+TEST(AgreementTest, ValidityAcrossClusterSizes) {
+  for (std::uint32_t n : {4u, 7u, 10u, 13u}) {
+    const std::uint32_t f = (n - 1) / 3;
+    Scenario sc;
+    sc.n = n;
+    sc.f = f;
+    sc.with_tail_faults(f);
+    sc.with_proposal(milliseconds(5), 0, 77);
+    sc.run_for = milliseconds(300);
+    sc.seed = 100 + n;
+    Cluster cluster(sc);
+    cluster.run();
+    const auto m = evaluate_run(cluster.decisions(), cluster.proposals(),
+                                cluster.correct_count(), cluster.params());
+    EXPECT_EQ(m.validity_violations, 0u) << "n=" << n;
+    EXPECT_EQ(m.agreement_violations, 0u) << "n=" << n;
+  }
+}
+
+TEST(AgreementTest, DecisionValueIsTheGeneralsValue) {
+  Scenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.with_tail_faults(2);
+  sc.with_proposal(milliseconds(5), 3, 0xDEADBEEF);  // General = node 3
+  sc.run_for = milliseconds(300);
+  Cluster cluster(sc);
+  cluster.run();
+  ASSERT_EQ(cluster.decisions().size(), 5u);
+  for (const auto& d : cluster.decisions()) {
+    EXPECT_EQ(d.decision.value, 0xDEADBEEFu);
+    EXPECT_EQ(d.decision.general.node, 3u);
+  }
+}
+
+// --- Timeliness -------------------------------------------------------------
+
+TEST(AgreementTest, Timeliness1a_DecisionSkewWithin2dUnderValidity) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    Scenario sc;
+    sc.n = 7;
+    sc.f = 2;
+    sc.with_tail_faults(2);
+    sc.with_proposal(milliseconds(5), 0, 7);
+    sc.run_for = milliseconds(300);
+    sc.seed = seed;
+    Cluster cluster(sc);
+    cluster.run();
+    const auto execs = cluster_executions(cluster.decisions(), cluster.params());
+    ASSERT_EQ(execs.size(), 1u);
+    EXPECT_LE(execs[0].decision_skew(), 2 * cluster.params().d())
+        << "seed " << seed;
+  }
+}
+
+TEST(AgreementTest, Timeliness1b_AnchorSkewWithin6d) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    Scenario sc;
+    sc.n = 10;
+    sc.f = 3;
+    sc.with_tail_faults(3);
+    sc.with_proposal(milliseconds(5), 0, 7);
+    sc.run_for = milliseconds(400);
+    sc.seed = seed;
+    Cluster cluster(sc);
+    cluster.run();
+    const auto execs = cluster_executions(cluster.decisions(), cluster.params());
+    ASSERT_EQ(execs.size(), 1u);
+    EXPECT_LE(execs[0].tau_g_skew(), 6 * cluster.params().d());
+  }
+}
+
+TEST(AgreementTest, Timeliness1d_AnchorPrecedesDecisionWithinDeltaAgr) {
+  Scenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.with_tail_faults(2);
+  sc.with_proposal(milliseconds(5), 0, 7);
+  sc.run_for = milliseconds(300);
+  Cluster cluster(sc);
+  cluster.run();
+  ASSERT_FALSE(cluster.decisions().empty());
+  for (const auto& d : cluster.decisions()) {
+    EXPECT_LE(d.tau_g_real, d.real_at);                       // rt(τG) ≤ rt(τq)
+    EXPECT_LE(d.real_at - d.tau_g_real, cluster.params().delta_agr());
+  }
+}
+
+TEST(AgreementTest, Timeliness3_TerminationWithinDeltaAgr) {
+  Scenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.with_tail_faults(2);
+  sc.with_proposal(milliseconds(5), 0, 7);
+  sc.run_for = milliseconds(400);
+  Cluster cluster(sc);
+  cluster.run();
+  const RealTime t0 = cluster.proposals().at(0).real_at;
+  ASSERT_EQ(cluster.decisions().size(), 5u);
+  for (const auto& d : cluster.decisions()) {
+    EXPECT_LE(d.real_at - t0, cluster.params().delta_agr() + 7 * cluster.params().d());
+  }
+}
+
+// --- Byzantine Generals: Agreement must still hold --------------------------
+
+TEST(AgreementTest, EquivocatingGeneralNeverSplitsDecisions) {
+  for (std::uint64_t seed : {21u, 22u, 23u, 24u, 25u}) {
+    Scenario sc;
+    sc.n = 7;
+    sc.f = 2;
+    sc.byz_nodes = {0, 6};  // node 0 equivocates as General; node 6 silent
+    sc.adversary = AdversaryKind::kEquivocatingGeneral;
+    sc.run_for = milliseconds(500);
+    sc.seed = seed;
+    Cluster cluster(sc);
+    cluster.run();
+    const auto m = evaluate_run(cluster.decisions(), {}, cluster.correct_count(),
+                                cluster.params());
+    EXPECT_EQ(m.agreement_violations, 0u) << "seed " << seed;
+  }
+}
+
+TEST(AgreementTest, StaggeredGeneralNeverSplitsDecisions) {
+  for (std::uint64_t seed : {31u, 32u, 33u, 34u}) {
+    Scenario sc;
+    sc.n = 7;
+    sc.f = 2;
+    sc.byz_nodes = {0};
+    sc.adversary = AdversaryKind::kStaggeredGeneral;
+    sc.stagger_span = milliseconds(6);
+    sc.run_for = milliseconds(500);
+    sc.seed = seed;
+    Cluster cluster(sc);
+    cluster.run();
+    const auto m = evaluate_run(cluster.decisions(), {}, cluster.correct_count(),
+                                cluster.params());
+    EXPECT_EQ(m.agreement_violations, 0u) << "seed " << seed;
+  }
+}
+
+TEST(AgreementTest, SpamGeneralCannotCauseDisagreementNorStarvation) {
+  Scenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.byz_nodes = {5, 6};
+  sc.adversary = AdversaryKind::kSpamGeneral;
+  sc.adversary_period = milliseconds(2);  // violates ∆0 = 13d wildly
+  sc.with_proposal(milliseconds(40), 0, 7);  // correct General in parallel
+  sc.run_for = milliseconds(400);
+  sc.seed = 41;
+  Cluster cluster(sc);
+  cluster.run();
+  const auto m = evaluate_run(cluster.decisions(), cluster.proposals(),
+                              cluster.correct_count(), cluster.params());
+  EXPECT_EQ(m.agreement_violations, 0u);
+  // The correct General's agreement still goes through (no starvation).
+  EXPECT_EQ(m.validity_violations, 0u);
+}
+
+// A Byzantine General that initiates properly, then crashes mid-protocol
+// (sends Initiator but never participates further).
+class CrashAfterInitiate : public NodeBehavior {
+ public:
+  explicit CrashAfterInitiate(Value v, Duration at) : v_(v), at_(at) {}
+  void on_start(NodeContext& ctx) override { ctx.set_timer_after(at_, 0); }
+  void on_message(NodeContext&, const WireMessage&) override {}
+  void on_timer(NodeContext& ctx, std::uint64_t) override {
+    if (sent_) return;
+    sent_ = true;
+    WireMessage msg;
+    msg.kind = MsgKind::kInitiator;
+    msg.general = GeneralId{ctx.id()};
+    msg.value = v_;
+    ctx.send_all(msg);
+  }
+
+ private:
+  Value v_;
+  Duration at_;
+  bool sent_ = false;
+};
+
+TEST(AgreementTest, GeneralCrashingAfterInitiateStillAgreesOrAllAbort) {
+  // n−1 correct nodes receive the initiation; the General contributes no
+  // support/echo afterwards. With n−f correct nodes the wave completes
+  // without it — and whatever happens, Agreement holds.
+  for (std::uint64_t seed : {51u, 52u, 53u}) {
+    Scenario sc;
+    sc.n = 7;
+    sc.f = 2;
+    sc.byz_nodes = {0};
+    sc.run_for = milliseconds(500);
+    sc.seed = seed;
+    Cluster cluster(sc);
+    cluster.world().set_behavior(
+        0, std::make_unique<CrashAfterInitiate>(9, milliseconds(5)));
+    cluster.run();
+    const auto execs = cluster_executions(cluster.decisions(), cluster.params());
+    for (const auto& e : execs) {
+      EXPECT_TRUE(e.agreement_holds()) << "seed " << seed;
+      // Relay: if anyone decided, everyone decided (6 correct nodes).
+      if (e.decided_count() > 0) EXPECT_EQ(e.decided_count(), 6u);
+    }
+  }
+}
+
+// A General that initiates to only a subset of the nodes.
+class PartialInitiator : public NodeBehavior {
+ public:
+  PartialInitiator(Value v, Duration at, std::uint32_t count)
+      : v_(v), at_(at), count_(count) {}
+  void on_start(NodeContext& ctx) override { ctx.set_timer_after(at_, 0); }
+  void on_message(NodeContext&, const WireMessage&) override {}
+  void on_timer(NodeContext& ctx, std::uint64_t) override {
+    WireMessage msg;
+    msg.kind = MsgKind::kInitiator;
+    msg.general = GeneralId{ctx.id()};
+    msg.value = v_;
+    for (NodeId dest = 0; dest < count_ && dest < ctx.n(); ++dest) {
+      ctx.send(dest, msg);
+    }
+  }
+
+ private:
+  Value v_;
+  Duration at_;
+  std::uint32_t count_;
+};
+
+TEST(AgreementTest, PartialInitiationAllOrNothing) {
+  // Sweep the subset size; in every case either all 6 correct nodes decide
+  // the same value or none decides (⊥/no-return) — never a mix.
+  for (std::uint32_t subset = 1; subset <= 6; ++subset) {
+    for (std::uint64_t seed : {61u, 62u}) {
+      Scenario sc;
+      sc.n = 7;
+      sc.f = 2;
+      sc.byz_nodes = {6};
+      sc.run_for = milliseconds(500);
+      sc.seed = seed + subset;
+      Cluster cluster(sc);
+      cluster.world().set_behavior(
+          6, std::make_unique<PartialInitiator>(9, milliseconds(5), subset));
+      cluster.run();
+      const auto execs =
+          cluster_executions(cluster.decisions(), cluster.params());
+      for (const auto& e : execs) {
+        EXPECT_TRUE(e.agreement_holds())
+            << "subset=" << subset << " seed=" << seed;
+        if (e.decided_count() > 0) {
+          EXPECT_EQ(e.decided_count(), 6u)
+              << "subset=" << subset << " seed=" << seed;
+        }
+      }
+    }
+  }
+}
+
+// --- Recurrent agreement -----------------------------------------------------
+
+TEST(AgreementTest, RecurrentProposalsAllDecide) {
+  Scenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.with_tail_faults(2);
+  sc.run_for = milliseconds(600);
+  sc.seed = 71;
+  const Duration gap = sc.make_params().delta_0() + 5 * sc.make_params().d();
+  for (int i = 0; i < 5; ++i) {
+    sc.with_proposal(milliseconds(5) + i * gap, 0, 100 + Value(i));
+  }
+  Cluster cluster(sc);
+  cluster.run();
+  const auto m = evaluate_run(cluster.decisions(), cluster.proposals(),
+                              cluster.correct_count(), cluster.params());
+  EXPECT_EQ(m.validity_violations, 0u);
+  EXPECT_EQ(m.agreement_violations, 0u);
+  EXPECT_EQ(m.executions, 5u);
+}
+
+TEST(AgreementTest, MultipleGeneralsRunConcurrently) {
+  // Different Generals have independent instances; concurrent agreements
+  // must not interfere.
+  Scenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.with_tail_faults(2);
+  sc.with_proposal(milliseconds(5), 0, 10);
+  sc.with_proposal(milliseconds(5), 1, 20);
+  sc.with_proposal(milliseconds(6), 2, 30);
+  sc.run_for = milliseconds(400);
+  sc.seed = 81;
+  Cluster cluster(sc);
+  cluster.run();
+  const auto m = evaluate_run(cluster.decisions(), cluster.proposals(),
+                              cluster.correct_count(), cluster.params());
+  EXPECT_EQ(m.validity_violations, 0u);
+  EXPECT_EQ(m.agreement_violations, 0u);
+  EXPECT_EQ(m.executions, 3u);
+}
+
+TEST(AgreementTest, LaggardGeneralDoesNotFalselyTriggerIg3Backoff) {
+  // Regression: with seed 7 and rotating Generals, General 2's own inbound
+  // messages once arrived so bunched that it reached N4 via Block N's
+  // amplification without ever executing M4; the IG3 monitor then wrongly
+  // declared the invocation failed and silenced the General for ∆reset.
+  Scenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.with_tail_faults(2);
+  sc.adversary = AdversaryKind::kNoise;
+  sc.seed = 7;
+  const Params params = sc.make_params();
+  const Duration slot = params.delta_0() + 5 * params.d();
+  for (int i = 0; i < 12; ++i) {
+    sc.with_proposal(milliseconds(5) + i * slot, NodeId(i % 3),
+                     0xC0DE0000 + Value(i));
+  }
+  sc.run_for = milliseconds(5) + 12 * slot + milliseconds(100);
+  Cluster cluster(sc);
+  cluster.run();
+  for (const auto& p : cluster.proposals()) {
+    EXPECT_EQ(p.status, ProposeStatus::kSent)
+        << "general " << p.general << " refused: " << to_string(p.status);
+  }
+  const auto m = evaluate_run(cluster.decisions(), cluster.proposals(),
+                              cluster.correct_count(), cluster.params());
+  EXPECT_EQ(m.validity_violations, 0u);
+  EXPECT_EQ(m.executions, 12u);
+}
+
+TEST(AgreementTest, ProposePacingIsEnforced) {
+  Scenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.with_proposal(milliseconds(5), 0, 1);
+  sc.with_proposal(milliseconds(6), 0, 2);  // < ∆0 after the first: refused
+  sc.run_for = milliseconds(200);
+  Cluster cluster(sc);
+  cluster.run();
+  ASSERT_EQ(cluster.proposals().size(), 2u);
+  EXPECT_EQ(cluster.proposals()[0].status, ProposeStatus::kSent);
+  EXPECT_EQ(cluster.proposals()[1].status, ProposeStatus::kTooSoon);
+}
+
+TEST(AgreementTest, SameValuePacingUsesDeltaV) {
+  Scenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  const Params params = sc.make_params();
+  sc.with_proposal(milliseconds(5), 0, 1);
+  // After ∆0 but before ∆v, same value: refused with the specific status.
+  sc.with_proposal(milliseconds(5) + params.delta_0() + milliseconds(2), 0, 1);
+  // Different value at the same spacing: accepted.
+  sc.with_proposal(milliseconds(5) + 2 * (params.delta_0() + milliseconds(2)),
+                   0, 2);
+  sc.run_for = milliseconds(400);
+  Cluster cluster(sc);
+  cluster.run();
+  ASSERT_EQ(cluster.proposals().size(), 3u);
+  EXPECT_EQ(cluster.proposals()[0].status, ProposeStatus::kSent);
+  EXPECT_EQ(cluster.proposals()[1].status, ProposeStatus::kTooSoonSameValue);
+  EXPECT_EQ(cluster.proposals()[2].status, ProposeStatus::kSent);
+}
+
+// --- Separation (Timeliness-4) ----------------------------------------------
+
+TEST(AgreementTest, Separation_DistinctValuesAnchor4dApart) {
+  Scenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.with_tail_faults(2);
+  const Duration gap = sc.make_params().delta_0() + 5 * sc.make_params().d();
+  sc.with_proposal(milliseconds(5), 0, 1);
+  sc.with_proposal(milliseconds(5) + gap, 0, 2);
+  sc.run_for = milliseconds(500);
+  sc.seed = 91;
+  Cluster cluster(sc);
+  cluster.run();
+  // Pairwise: decisions on different values by the same General must have
+  // anchors > 4d apart in real time.
+  for (const auto& a : cluster.decisions()) {
+    for (const auto& b : cluster.decisions()) {
+      if (!a.decision.decided() || !b.decision.decided()) continue;
+      if (a.decision.value == b.decision.value) continue;
+      EXPECT_GT(abs(a.tau_g_real - b.tau_g_real), 4 * cluster.params().d());
+    }
+  }
+}
+
+// --- Noise / replay resilience ------------------------------------------------
+
+TEST(AgreementTest, LateAnchorReplayDecidesViaSPathExactlyOnce) {
+  // Regression: a node whose I-accept arrives *after* it already buffered a
+  // complete round-1 broadcast decides synchronously inside set_anchor's
+  // replay (S-path); Block R must not fire a second return. n=13 with noise
+  // faults and seed 3003 reproduced the original double-return.
+  Scenario sc;
+  sc.n = 13;
+  sc.f = 4;
+  sc.with_tail_faults(0);
+  sc.adversary = AdversaryKind::kNoise;
+  sc.adversary_period = milliseconds(1);
+  sc.with_proposal(milliseconds(5), 0, 7);
+  sc.run_for = milliseconds(400);
+  sc.seed = 3003;
+  Cluster cluster(sc);
+  cluster.run();  // must not abort on the !returned_ invariant
+  const auto m = evaluate_run(cluster.decisions(), cluster.proposals(),
+                              cluster.correct_count(), cluster.params());
+  EXPECT_EQ(m.agreement_violations, 0u);
+  EXPECT_EQ(m.validity_violations, 0u);
+  // Each correct node returns exactly once for this execution.
+  EXPECT_EQ(cluster.decisions().size(), cluster.correct_count());
+}
+
+TEST(AgreementTest, NoiseFloodDoesNotBreakAgreement) {
+  Scenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.with_tail_faults(2);
+  sc.adversary = AdversaryKind::kNoise;
+  sc.adversary_period = microseconds(300);
+  sc.with_proposal(milliseconds(10), 0, 7);
+  sc.run_for = milliseconds(400);
+  sc.seed = 101;
+  Cluster cluster(sc);
+  cluster.run();
+  const auto m = evaluate_run(cluster.decisions(), cluster.proposals(),
+                              cluster.correct_count(), cluster.params());
+  EXPECT_EQ(m.agreement_violations, 0u);
+  EXPECT_EQ(m.validity_violations, 0u);
+}
+
+TEST(AgreementTest, ReplayedTrafficDoesNotForgeASecondDecision) {
+  Scenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.with_tail_faults(2);
+  sc.adversary = AdversaryKind::kReplay;
+  sc.adversary_period = milliseconds(1);  // replay delay = 8ms
+  sc.with_proposal(milliseconds(10), 0, 7);
+  sc.run_for = milliseconds(500);
+  sc.seed = 111;
+  Cluster cluster(sc);
+  cluster.run();
+  const auto m = evaluate_run(cluster.decisions(), cluster.proposals(),
+                              cluster.correct_count(), cluster.params());
+  EXPECT_EQ(m.agreement_violations, 0u);
+  EXPECT_EQ(m.validity_violations, 0u);
+  // Exactly one execution for the General — replays must not spawn another.
+  const auto execs = cluster_executions(cluster.decisions(), cluster.params());
+  std::uint32_t for_general0 = 0;
+  for (const auto& e : execs) {
+    if (e.general.node == 0) ++for_general0;
+  }
+  EXPECT_EQ(for_general0, 1u);
+}
+
+}  // namespace
+}  // namespace ssbft

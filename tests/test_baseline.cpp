@@ -1,0 +1,182 @@
+// Baseline tests: the TPS'87-style time-driven agreement — both that it
+// works under its (strong) assumptions, and that it exhibits exactly the
+// weaknesses the paper's protocol removes: latency pinned to worst-case
+// phase length, and collapse when the synchronized-start assumption breaks.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "adversary/adversaries.hpp"
+#include "baseline/tps_node.hpp"
+#include "core/params.hpp"
+#include "sim/world.hpp"
+
+namespace ssbft {
+namespace {
+
+struct TimedRec {
+  Decision decision;
+  RealTime real_at;
+};
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void build(std::uint32_t n, std::uint32_t f, std::uint64_t seed,
+             Duration phase_len, std::uint32_t byz = 0,
+             bool synchronized = true) {
+    WorldConfig wc;
+    wc.n = n;
+    wc.seed = seed;
+    // The baseline ASSUMES synchronized clocks; grant or deny them. Drift is
+    // also zeroed so phase boundaries land on exact real instants.
+    wc.rho = 0.0;
+    wc.max_clock_offset = synchronized ? Duration::zero() : milliseconds(30);
+    world_ = std::make_unique<World>(wc);
+    params_ = std::make_unique<Params>(n, f, wc.d_bound());
+    phase_len_ = phase_len;
+    nodes_.assign(n, nullptr);
+    for (NodeId i = 0; i < n; ++i) {
+      if (i >= n - byz) {
+        world_->set_behavior(i, std::make_unique<SilentAdversary>());
+        continue;
+      }
+      auto sink = [this](const Decision& d) {
+        decisions_.push_back(TimedRec{d, world_->now()});
+      };
+      // Anchor at local time = phase_len (all clocks equal when
+      // synchronized ⇒ common real anchor).
+      auto node = std::make_unique<TpsNode>(
+          *params_, GeneralId{0}, LocalTime::zero() + phase_len, phase_len,
+          sink);
+      nodes_[i] = node.get();
+      world_->set_behavior(i, std::move(node));
+    }
+  }
+
+  void run(Duration for_time) {
+    world_->start();
+    world_->run_until(RealTime::zero() + for_time);
+  }
+
+  std::unique_ptr<World> world_;
+  std::unique_ptr<Params> params_;
+  Duration phase_len_{};
+  std::vector<TpsNode*> nodes_;
+  std::vector<TimedRec> decisions_;
+};
+
+TEST_F(BaselineTest, CorrectGeneralAllDecide) {
+  build(7, 2, 1, /*phase_len=*/milliseconds(3));
+  nodes_[0]->propose(42);
+  run(milliseconds(100));
+  ASSERT_EQ(decisions_.size(), 7u);
+  for (const auto& d : decisions_) {
+    EXPECT_TRUE(d.decision.decided());
+    EXPECT_EQ(d.decision.value, 42u);
+  }
+}
+
+TEST_F(BaselineTest, ToleratesSilentFaults) {
+  build(7, 2, 2, milliseconds(3), /*byz=*/2);
+  nodes_[0]->propose(9);
+  run(milliseconds(100));
+  ASSERT_EQ(decisions_.size(), 5u);
+  for (const auto& d : decisions_) EXPECT_EQ(d.decision.value, 9u);
+}
+
+TEST_F(BaselineTest, DecisionsQuantizedToPhaseBoundaries) {
+  build(7, 2, 3, milliseconds(3));
+  nodes_[0]->propose(1);
+  run(milliseconds(100));
+  ASSERT_FALSE(decisions_.empty());
+  // Every decision happens exactly at a phase boundary: anchor + j·Φb.
+  for (const auto& d : decisions_) {
+    const std::int64_t since_anchor = d.real_at.ns() - phase_len_.ns();
+    EXPECT_EQ(since_anchor % phase_len_.ns(), 0)
+        << "decision at " << d.real_at.ns();
+  }
+}
+
+TEST_F(BaselineTest, LatencyIndependentOfActualNetworkSpeed) {
+  // THE contrast with msgd rounds: speed up the actual network 50× and the
+  // baseline's decision time does not move (same phase boundary).
+  auto decision_time = [&](Duration typical_delay) {
+    WorldConfig wc;
+    wc.n = 7;
+    wc.seed = 4;
+    wc.max_clock_offset = Duration::zero();
+    wc.link_delay = DelayModel::exp_truncated(typical_delay, wc.delta);
+    wc.proc_delay = DelayModel::uniform(Duration::zero(), wc.pi);
+    wc.has_delay_models = true;
+    World world(wc);
+    Params params{7, 2, wc.d_bound()};
+    std::vector<RealTime> times;
+    std::vector<TpsNode*> nodes(7, nullptr);
+    for (NodeId i = 0; i < 7; ++i) {
+      auto node = std::make_unique<TpsNode>(
+          params, GeneralId{0}, LocalTime::zero() + milliseconds(3),
+          milliseconds(3),
+          [&times, &world](const Decision&) { times.push_back(world.now()); });
+      nodes[i] = node.get();
+      world.set_behavior(i, std::move(node));
+    }
+    world.start();
+    nodes[0]->propose(5);
+    world.run_until(RealTime::zero() + milliseconds(100));
+    RealTime last = RealTime::min();
+    for (RealTime t : times) last = std::max(last, t);
+    return last;
+  };
+  const RealTime slow = decision_time(microseconds(900));
+  const RealTime fast = decision_time(microseconds(20));
+  EXPECT_EQ(slow, fast);  // identical phase boundary, to the nanosecond
+}
+
+TEST_F(BaselineTest, BreaksWithoutSynchronizedStart) {
+  // Deny the synchronization assumption (clock offsets up to 30ms): the
+  // lock-step baseline cannot reach unanimous agreement — this is the gap
+  // ss-Byz-Agree closes.
+  build(7, 2, 5, milliseconds(3), /*byz=*/0, /*synchronized=*/false);
+  nodes_[0]->propose(42);
+  run(milliseconds(200));
+  std::uint32_t decided = 0;
+  for (const auto& d : decisions_) {
+    if (d.decision.decided()) ++decided;
+  }
+  EXPECT_LT(decided, 7u);
+}
+
+TEST_F(BaselineTest, EquivocationDetectedLeadsToAbortOrAgreement) {
+  // Byzantine General sends different values to different halves at
+  // phase 0. Whatever happens, correct nodes never split.
+  WorldConfig wc;
+  wc.n = 7;
+  wc.seed = 6;
+  wc.max_clock_offset = Duration::zero();
+  World world(wc);
+  Params params{7, 2, wc.d_bound()};
+  std::vector<TimedRec> decisions;
+  world.set_behavior(0, std::make_unique<EquivocatingGeneral>(
+                            1, 2, milliseconds(3)));
+  for (NodeId i = 1; i < 7; ++i) {
+    world.set_behavior(i, std::make_unique<TpsNode>(
+                              params, GeneralId{0},
+                              LocalTime::zero() + milliseconds(3),
+                              milliseconds(3), [&](const Decision& d) {
+                                decisions.push_back(TimedRec{d, world.now()});
+                              }));
+  }
+  world.start();
+  world.run_until(RealTime::zero() + milliseconds(200));
+  // Agreement among deciders.
+  Value agreed = kBottom;
+  for (const auto& d : decisions) {
+    if (!d.decision.decided()) continue;
+    if (agreed == kBottom) agreed = d.decision.value;
+    EXPECT_EQ(d.decision.value, agreed);
+  }
+}
+
+}  // namespace
+}  // namespace ssbft

@@ -1,0 +1,227 @@
+// White-box, line-level tests of msgd-broadcast (Fig. 3): the W/X/Y/Z
+// deadline ladder, quorum thresholds, rush-through, and anchor buffering —
+// all driven through a MockContext with exact time control.
+//
+// Cluster shape: n = 7, f = 2 ⇒ n−f = 5, n−2f = 3; Φ = 8d.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/msgd_broadcast.hpp"
+#include "core/params.hpp"
+#include "mock_context.hpp"
+
+namespace ssbft {
+namespace {
+
+constexpr Value kM = 9;
+constexpr NodeId kP = 3;  // broadcaster under test
+constexpr std::uint32_t kK = 1;
+
+struct AcceptRec {
+  NodeId p;
+  Value m;
+  std::uint32_t k;
+};
+
+class BcastLineTest : public ::testing::Test {
+ protected:
+  BcastLineTest() : params_(7, 2, milliseconds(1)), ctx_(/*id=*/1, /*n=*/7) {
+    bc_ = std::make_unique<MsgdBroadcast>(
+        params_, GeneralId{0}, [this](NodeId p, Value m, std::uint32_t k) {
+          accepts_.push_back({p, m, k});
+        });
+  }
+
+  Duration d() const { return params_.d(); }
+  Duration phi() const { return params_.phi(); }
+
+  void anchor_now() { bc_->set_anchor(ctx_, ctx_.local_now()); }
+
+  void deliver(MsgKind kind, NodeId sender, NodeId p = kP,
+               std::uint32_t k = kK) {
+    WireMessage msg;
+    msg.kind = kind;
+    msg.sender = sender;
+    msg.general = GeneralId{0};
+    msg.value = kM;
+    msg.broadcaster = p;
+    msg.round = k;
+    bc_->on_message(ctx_, msg);
+  }
+
+  void deliver_quorum(MsgKind kind, std::uint32_t count) {
+    for (NodeId s = 0; s < count; ++s) deliver(kind, s);
+  }
+
+  Params params_;
+  MockContext ctx_;
+  std::unique_ptr<MsgdBroadcast> bc_;
+  std::vector<AcceptRec> accepts_;
+};
+
+// --- Block W ----------------------------------------------------------------
+
+TEST_F(BcastLineTest, W_EchoOnlyForAuthenticInit) {
+  anchor_now();
+  deliver(MsgKind::kBcastInit, /*sender=*/5, /*p=*/kP);  // forged: sender ≠ p
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kBcastEcho), 0u);
+  deliver(MsgKind::kBcastInit, /*sender=*/kP, /*p=*/kP);
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kBcastEcho), 1u);
+}
+
+TEST_F(BcastLineTest, W_EchoDeadlineIs2kPhi) {
+  anchor_now();
+  ctx_.advance(2 * kK * phi() + Duration{1});  // past τG + 2kΦ
+  deliver(MsgKind::kBcastInit, kP, kP);
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kBcastEcho), 0u);
+}
+
+TEST_F(BcastLineTest, W_EchoSentOnlyOnce) {
+  anchor_now();
+  deliver(MsgKind::kBcastInit, kP, kP);
+  deliver(MsgKind::kBcastInit, kP, kP);
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kBcastEcho), 1u);
+}
+
+// --- Block X ----------------------------------------------------------------
+
+TEST_F(BcastLineTest, X3_InitPrimeAtNMinus2fEchoes) {
+  anchor_now();
+  deliver_quorum(MsgKind::kBcastEcho, 2);
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kBcastInitPrime), 0u);
+  deliver(MsgKind::kBcastEcho, 2);
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kBcastInitPrime), 1u);
+}
+
+TEST_F(BcastLineTest, X5_AcceptAtNMinusFEchoesWithinDeadline) {
+  anchor_now();
+  deliver_quorum(MsgKind::kBcastEcho, 5);
+  ASSERT_EQ(accepts_.size(), 1u);
+  EXPECT_EQ(accepts_[0].p, kP);
+  EXPECT_EQ(accepts_[0].k, kK);
+}
+
+TEST_F(BcastLineTest, X_DeadlineIs2kPlus1Phi) {
+  anchor_now();
+  ctx_.advance((2 * kK + 1) * phi() + Duration{1});
+  deliver_quorum(MsgKind::kBcastEcho, 5);
+  EXPECT_TRUE(accepts_.empty());  // too late for the X-path
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kBcastInitPrime), 0u);
+}
+
+TEST_F(BcastLineTest, RushThrough_NoWaitingForPhaseBoundaries) {
+  // Everything can land at the anchor instant itself — acceptance is
+  // immediate, demonstrating message-driven progress.
+  anchor_now();
+  deliver(MsgKind::kBcastInit, kP, kP);
+  deliver_quorum(MsgKind::kBcastEcho, 5);
+  EXPECT_EQ(accepts_.size(), 1u);  // zero time elapsed since anchor
+}
+
+// --- Block Y ----------------------------------------------------------------
+
+TEST_F(BcastLineTest, Y3_BroadcastersAtNMinus2fInitPrimes) {
+  anchor_now();
+  deliver_quorum(MsgKind::kBcastInitPrime, 3);
+  EXPECT_EQ(bc_->broadcasters().count(kP), 1u);
+}
+
+TEST_F(BcastLineTest, Y5_EchoPrimeAtNMinusFInitPrimes) {
+  anchor_now();
+  deliver_quorum(MsgKind::kBcastInitPrime, 5);
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kBcastEchoPrime), 1u);
+}
+
+TEST_F(BcastLineTest, Y_DeadlineIs2kPlus2Phi) {
+  anchor_now();
+  ctx_.advance((2 * kK + 2) * phi() + Duration{1});
+  deliver_quorum(MsgKind::kBcastInitPrime, 5);
+  EXPECT_EQ(bc_->broadcasters().count(kP), 0u);
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kBcastEchoPrime), 0u);
+}
+
+// --- Block Z (untimed) --------------------------------------------------------
+
+TEST_F(BcastLineTest, Z3_EchoPrimeAmplifiesAtAnyTime) {
+  anchor_now();
+  ctx_.advance(10 * phi());  // far past every other deadline
+  deliver_quorum(MsgKind::kBcastEchoPrime, 3);
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kBcastEchoPrime), 1u);
+}
+
+TEST_F(BcastLineTest, Z5_AcceptViaEchoPrimeAtAnyTime) {
+  anchor_now();
+  ctx_.advance(10 * phi());
+  deliver_quorum(MsgKind::kBcastEchoPrime, 5);
+  ASSERT_EQ(accepts_.size(), 1u);
+}
+
+TEST_F(BcastLineTest, AcceptHappensAtMostOnce) {
+  anchor_now();
+  deliver_quorum(MsgKind::kBcastEcho, 5);     // X5 accept
+  deliver_quorum(MsgKind::kBcastEchoPrime, 5);  // Z5 would accept again
+  EXPECT_EQ(accepts_.size(), 1u);
+}
+
+// --- anchor buffering ----------------------------------------------------------
+
+TEST_F(BcastLineTest, MessagesBufferUntilAnchorSet) {
+  deliver(MsgKind::kBcastInit, kP, kP);
+  deliver_quorum(MsgKind::kBcastEcho, 5);
+  EXPECT_TRUE(accepts_.empty());
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kBcastEcho), 0u);
+  anchor_now();  // replay: echo + accept fire now
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kBcastEcho), 1u);
+  EXPECT_EQ(accepts_.size(), 1u);
+}
+
+TEST_F(BcastLineTest, SeparateRoundsAreIndependent) {
+  anchor_now();
+  for (NodeId s = 0; s < 5; ++s) deliver(MsgKind::kBcastEcho, s, kP, 1);
+  for (NodeId s = 0; s < 5; ++s) deliver(MsgKind::kBcastEcho, s, kP, 2);
+  ASSERT_EQ(accepts_.size(), 2u);
+  EXPECT_EQ(accepts_[0].k, 1u);
+  EXPECT_EQ(accepts_[1].k, 2u);
+}
+
+TEST_F(BcastLineTest, SeparateBroadcastersAreIndependent) {
+  anchor_now();
+  for (NodeId s = 0; s < 5; ++s) deliver(MsgKind::kBcastEcho, s, 3, kK);
+  for (NodeId s = 0; s < 5; ++s) deliver(MsgKind::kBcastEcho, s, 4, kK);
+  ASSERT_EQ(accepts_.size(), 2u);
+  EXPECT_EQ(accepts_[0].p, 3u);
+  EXPECT_EQ(accepts_[1].p, 4u);
+}
+
+TEST_F(BcastLineTest, LaterRoundsGetProportionallyLaterDeadlines) {
+  // Round k = 3's X-deadline is (2·3+1)Φ — echoes at 6Φ still count...
+  anchor_now();
+  ctx_.advance(6 * phi());
+  for (NodeId s = 0; s < 5; ++s) deliver(MsgKind::kBcastEcho, s, kP, 3);
+  EXPECT_EQ(accepts_.size(), 1u);
+  // ...while round 1's expired long ago (checked in X_DeadlineIs2kPlus1Phi).
+}
+
+TEST_F(BcastLineTest, CleanupDropsStaleInstances) {
+  anchor_now();
+  deliver(MsgKind::kBcastEcho, 0);
+  EXPECT_EQ(bc_->instance_count(), 1u);
+  ctx_.advance(params_.bcast_cleanup() + Duration{1});
+  deliver(MsgKind::kBcastEcho, 1, /*p=*/5, /*k=*/2);  // triggers cleanup
+  EXPECT_EQ(bc_->instance_count(), 1u);  // only the fresh instance
+}
+
+TEST_F(BcastLineTest, BroadcastSendsInitForSelf) {
+  anchor_now();
+  bc_->broadcast(ctx_, kM, 2);
+  ASSERT_GE(ctx_.sent.size(), 7u);
+  const auto& msg = ctx_.sent[0].msg;
+  EXPECT_EQ(msg.kind, MsgKind::kBcastInit);
+  EXPECT_EQ(msg.broadcaster, ctx_.id());
+  EXPECT_EQ(msg.round, 2u);
+}
+
+}  // namespace
+}  // namespace ssbft

@@ -1,0 +1,355 @@
+// Clock-synchronization layer tests: precision (skew between correct
+// nodes' logical clocks), self-stabilization from scrambled clock state,
+// bounded-clock wrap-around, rate accuracy, and resilience to Byzantine
+// rotation slots.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "adversary/adversaries.hpp"
+#include "clocksync/clock_sync.hpp"
+#include "sim/world.hpp"
+
+namespace ssbft {
+namespace {
+
+struct ClockFixtureOptions {
+  std::uint32_t n = 7;
+  std::uint32_t f = 2;
+  std::uint64_t seed = 1;
+  std::uint32_t byz_count = 0;
+  Duration modulus = Duration::zero();
+  AdjustMode adjust = AdjustMode::kStep;
+};
+
+class ClockFixture {
+ public:
+  explicit ClockFixture(const ClockFixtureOptions& opt) {
+    WorldConfig wc;
+    wc.n = opt.n;
+    wc.seed = opt.seed;
+    world = std::make_unique<World>(wc);
+    params = std::make_unique<Params>(opt.n, opt.f, wc.d_bound());
+    nodes.assign(opt.n, nullptr);
+    for (NodeId i = 0; i < opt.n; ++i) {
+      if (i >= opt.n - opt.byz_count) {
+        world->set_behavior(
+            i, std::make_unique<RandomNoiseAdversary>(milliseconds(2)));
+        continue;
+      }
+      ClockSyncConfig cfg;
+      cfg.modulus = opt.modulus;
+      cfg.adjust = opt.adjust;
+      auto sink = [this, i](const ClockAdjustment& adj) {
+        adjustments.push_back({i, adj});
+      };
+      auto node = std::make_unique<ClockSyncNode>(*params, cfg, sink);
+      nodes[i] = node.get();
+      world->set_behavior(i, std::move(node));
+    }
+    correct_count = opt.n - opt.byz_count;
+  }
+
+  /// Max pairwise circular distance between synchronized correct clocks,
+  /// sampled at the current real instant.
+  [[nodiscard]] Duration sample_skew() const {
+    Duration worst = Duration::zero();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i] == nullptr || !nodes[i]->synchronized()) continue;
+      for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+        if (nodes[j] == nullptr || !nodes[j]->synchronized()) continue;
+        Duration diff = nodes[i]->clock() - nodes[j]->clock();
+        const Duration m = nodes[i]->modulus();
+        if (m != Duration::zero()) {
+          // circular distance
+          Duration w = Duration{((diff.ns() % m.ns()) + m.ns()) % m.ns()};
+          if (w > m / 2) w = m - w;
+          diff = w;
+        }
+        worst = std::max(worst, abs(diff));
+      }
+    }
+    return worst;
+  }
+
+  [[nodiscard]] std::uint32_t synchronized_count() const {
+    std::uint32_t count = 0;
+    for (const auto* node : nodes) {
+      if (node != nullptr && node->synchronized()) ++count;
+    }
+    return count;
+  }
+
+  /// True when every correct node has snapped to the same pulse counter —
+  /// the instants at which the precision bound applies (see
+  /// ClockSyncNode::last_snap_counter).
+  [[nodiscard]] bool settled() const {
+    std::optional<std::uint64_t> counter;
+    for (const auto* node : nodes) {
+      if (node == nullptr) continue;
+      if (!node->synchronized() || !node->last_snap_counter()) return false;
+      if (counter && *counter != *node->last_snap_counter()) return false;
+      counter = node->last_snap_counter();
+    }
+    return counter.has_value();
+  }
+
+  std::unique_ptr<World> world;
+  std::unique_ptr<Params> params;
+  std::vector<ClockSyncNode*> nodes;
+  std::vector<std::pair<NodeId, ClockAdjustment>> adjustments;
+  std::uint32_t correct_count = 0;
+};
+
+TEST(ClockSyncTest, AllCorrectNodesSynchronize) {
+  ClockFixture fx({.n = 4, .f = 1});
+  fx.world->start();
+  const Duration cycle = fx.nodes[0]->cycle();
+  fx.world->run_for(4 * cycle);
+  EXPECT_EQ(fx.synchronized_count(), fx.correct_count);
+}
+
+TEST(ClockSyncTest, PrecisionBoundHoldsAtSampledInstants) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    ClockFixture fx({.n = 7, .f = 2, .seed = seed});
+    fx.world->start();
+    const Duration cycle = fx.nodes[0]->cycle();
+    fx.world->run_for(3 * cycle);  // warm
+    const Duration bound = fx.nodes[0]->precision_bound();
+    for (int sample = 0; sample < 40; ++sample) {
+      fx.world->run_for(cycle / 10);
+      if (!fx.settled()) continue;  // snap in flight: bound does not apply
+      EXPECT_LE(fx.sample_skew(), bound)
+          << "seed " << seed << " sample " << sample;
+    }
+  }
+}
+
+TEST(ClockSyncTest, ClockAdvancesMonotonicallyBetweenSnaps) {
+  ClockFixture fx({.n = 4, .f = 1});
+  fx.world->start();
+  const Duration cycle = fx.nodes[0]->cycle();
+  fx.world->run_for(3 * cycle);
+  ASSERT_TRUE(fx.nodes[0]->synchronized());
+  Duration prev = fx.nodes[0]->clock();
+  // Unbounded clock: strictly non-decreasing between samples. (Snaps pull
+  // *backwards* only by the agreement-latency excess, which stays below the
+  // inter-sample gap here.)
+  for (int i = 0; i < 30; ++i) {
+    fx.world->run_for(cycle / 7);
+    const Duration now = fx.nodes[0]->clock();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(ClockSyncTest, StableAdjustmentsAreLatencySized) {
+  ClockFixture fx({.n = 7, .f = 2});
+  fx.world->start();
+  const Duration cycle = fx.nodes[0]->cycle();
+  fx.world->run_for(8 * cycle);
+  ASSERT_GT(fx.adjustments.size(), fx.correct_count * 3);
+  // Skip each node's first snap (cold start is unsynchronized free-run);
+  // subsequent corrections are bounded by the agreement latency, which is
+  // < ∆agr by Termination — far below a full cycle.
+  std::vector<std::uint32_t> seen(fx.nodes.size(), 0);
+  for (const auto& [node, adj] : fx.adjustments) {
+    if (++seen[node] == 1) continue;
+    EXPECT_LE(abs(adj.amount), fx.params->delta_agr())
+        << "node " << node << " pulse " << adj.pulse_counter;
+  }
+}
+
+TEST(ClockSyncTest, LogicalRateIsConstantBounded) {
+  ClockFixture fx({.n = 4, .f = 1});
+  fx.world->start();
+  const Duration cycle = fx.nodes[0]->cycle();
+  fx.world->run_for(3 * cycle);
+  ASSERT_TRUE(fx.nodes[0]->synchronized());
+  const Duration c0 = fx.nodes[0]->clock();
+  const RealTime t0 = fx.world->now();
+  fx.world->run_for(12 * cycle);
+  const Duration advance = fx.nodes[0]->clock() - c0;
+  const Duration real = fx.world->now() - t0;
+  const double rate = advance / real;
+  // Logical clocks snap to c·cycle while real pulse gaps are cycle+latency:
+  // a constant-bounded rate strictly below 1, well above 1/2 for any sane
+  // latency (here ∆agr ≪ cycle).
+  EXPECT_GT(rate, 0.5);
+  EXPECT_LE(rate, 1.0 + 1e-3);
+}
+
+// --- self-stabilization ------------------------------------------------------
+
+TEST(ClockSyncTest, ConvergesFromScrambledClockState) {
+  for (std::uint64_t seed : {5u, 6u, 7u}) {
+    ClockFixture fx({.n = 7, .f = 2, .seed = seed});
+    fx.world->start();
+    const Duration cycle = fx.nodes[0]->cycle();
+    fx.world->run_for(3 * cycle);
+    // Transient fault: scramble every node's clock AND protocol state.
+    for (NodeId i = 0; i < 7; ++i) fx.world->scramble_node(i);
+    // Convergence bound: the highest scrambled pulse counter must reach
+    // its rotation slot before its decision can pull everyone up — worst
+    // case n watchdog periods (≈ 10 cycles here at n = 7) plus the
+    // IG-pacing heal (∆reset). 14 cycles covers it with margin.
+    fx.world->run_for(14 * cycle);
+    EXPECT_EQ(fx.synchronized_count(), fx.correct_count) << "seed " << seed;
+    const Duration bound = fx.nodes[0]->precision_bound();
+    Duration worst = Duration::zero();
+    std::uint32_t settled_samples = 0;
+    for (int sample = 0; sample < 40; ++sample) {
+      fx.world->run_for(cycle / 10);
+      if (!fx.settled()) continue;
+      ++settled_samples;
+      worst = std::max(worst, fx.sample_skew());
+    }
+    EXPECT_GE(settled_samples, 10u) << "seed " << seed;
+    EXPECT_LE(worst, bound) << "seed " << seed;
+  }
+}
+
+TEST(ClockSyncTest, ScrambledBelievedSyncIsOverwrittenNotTrusted) {
+  ClockFixture fx({.n = 4, .f = 1, .seed = 9});
+  fx.world->start();
+  const Duration cycle = fx.nodes[0]->cycle();
+  fx.world->run_for(3 * cycle);
+  fx.world->scramble_node(0);  // node 0 now holds garbage base/anchor
+  fx.world->run_for(3 * cycle);
+  // After pulses resume, node 0's reading is pulled back into the envelope.
+  ASSERT_TRUE(fx.settled());
+  EXPECT_LE(fx.sample_skew(), fx.nodes[0]->precision_bound());
+}
+
+// --- Byzantine resilience ----------------------------------------------------
+
+TEST(ClockSyncTest, PrecisionSurvivesByzantineRotationSlots) {
+  ClockFixture fx({.n = 7, .f = 2, .seed = 11, .byz_count = 2});
+  fx.world->start();
+  const Duration cycle = fx.nodes[0]->cycle();
+  // Byzantine nodes own 2 of every 7 rotation slots; watchdogs skip them.
+  fx.world->run_for(10 * cycle);
+  EXPECT_EQ(fx.synchronized_count(), fx.correct_count);
+  const Duration bound = fx.nodes[0]->precision_bound();
+  for (int sample = 0; sample < 20; ++sample) {
+    fx.world->run_for(cycle / 10);
+    if (!fx.settled()) continue;
+    EXPECT_LE(fx.sample_skew(), bound) << "sample " << sample;
+  }
+}
+
+// --- bounded clocks ----------------------------------------------------------
+
+TEST(ClockSyncTest, BoundedClockWrapsAndStaysPrecise) {
+  ClockFixtureOptions opt{.n = 4, .f = 1, .seed = 3};
+  // Small modulus: wraps every ~5 pulses.
+  ClockFixture probe({.n = 4, .f = 1});
+  probe.world->start();
+  opt.modulus = 5 * probe.nodes[0]->cycle();
+  ClockFixture fx(opt);
+  fx.world->start();
+  const Duration cycle = fx.nodes[0]->cycle();
+  fx.world->run_for(14 * cycle);  // ≥ 2 full wraps
+  EXPECT_EQ(fx.synchronized_count(), fx.correct_count);
+  for (const auto* node : fx.nodes) {
+    if (node == nullptr) continue;
+    EXPECT_GE(node->clock(), Duration::zero());
+    EXPECT_LT(node->clock(), opt.modulus);
+  }
+  if (fx.settled()) {
+    EXPECT_LE(fx.sample_skew(), fx.nodes[0]->precision_bound());
+  }
+}
+
+// --- slewed (monotonic) corrections ------------------------------------------
+
+TEST(ClockSyncTest, StepModeCanRunBackwardsAfterSkippedSlots) {
+  // Baseline for the slew tests: with a Byzantine node in rotation, the
+  // pulse gap across its skipped slot exceeds a cycle, so the next snap
+  // steps the clock BACKWARDS in kStep mode. Finding such a decrease
+  // proves the monotonicity test below actually bites.
+  ClockFixture fx({.n = 4, .f = 1, .seed = 21, .byz_count = 1});
+  fx.world->start();
+  const Duration cycle = fx.nodes[0]->cycle();
+  fx.world->run_for(3 * cycle);
+  bool saw_decrease = false;
+  Duration prev = fx.nodes[0]->clock();
+  for (int i = 0; i < 600 && !saw_decrease; ++i) {
+    fx.world->run_for(cycle / 50);
+    const Duration now = fx.nodes[0]->clock();
+    if (now < prev) saw_decrease = true;
+    prev = now;
+  }
+  EXPECT_TRUE(saw_decrease);
+}
+
+TEST(ClockSyncTest, SlewedClockIsStrictlyMonotonic) {
+  // Same regime, kSlew: backward corrections are absorbed by under-running
+  // (rate 1 − slew_rate > 0), so readings never decrease.
+  ClockFixture fx({.n = 4, .f = 1, .seed = 21, .byz_count = 1,
+                   .adjust = AdjustMode::kSlew});
+  fx.world->start();
+  const Duration cycle = fx.nodes[0]->cycle();
+  fx.world->run_for(3 * cycle);
+  Duration prev = fx.nodes[0]->clock();
+  for (int i = 0; i < 600; ++i) {
+    fx.world->run_for(cycle / 50);
+    const Duration now = fx.nodes[0]->clock();
+    EXPECT_GE(now, prev) << "sample " << i;
+    prev = now;
+  }
+}
+
+TEST(ClockSyncTest, SlewedClockRejoinsTheEnvelopeAfterAbsorption) {
+  // After a backward correction of size R, a slewing node is back inside
+  // the settled envelope within R / slew_rate local time. With R ≤ one
+  // watchdog overshoot and the default slew_rate = 0.1, a couple of cycles
+  // suffice here.
+  ClockFixture fx({.n = 7, .f = 2, .seed = 23, .byz_count = 2,
+                   .adjust = AdjustMode::kSlew});
+  fx.world->start();
+  const Duration cycle = fx.nodes[0]->cycle();
+  fx.world->run_for(10 * cycle);
+  // Quiet tail: measure only instants where everyone is settled; allow the
+  // residual-absorption transient by taking the minimum skew seen.
+  Duration best = Duration::max();
+  for (int sample = 0; sample < 60; ++sample) {
+    fx.world->run_for(cycle / 10);
+    if (!fx.settled()) continue;
+    best = std::min(best, fx.sample_skew());
+  }
+  EXPECT_LE(best, fx.nodes[0]->precision_bound());
+}
+
+TEST(ClockSyncTest, SlewRequiresUnboundedClock) {
+  ClockFixture probe({.n = 4, .f = 1});
+  probe.world->start();
+  Params params{4, 1, microseconds(1050)};
+  ClockSyncConfig cfg;
+  cfg.modulus = 5 * probe.nodes[0]->cycle();
+  cfg.adjust = AdjustMode::kSlew;
+  EXPECT_DEATH(ClockSyncNode(params, cfg), "precondition");
+}
+
+TEST(ClockSyncTest, SlewRateValidated) {
+  Params params{4, 1, microseconds(1050)};
+  ClockSyncConfig cfg;
+  cfg.adjust = AdjustMode::kSlew;
+  cfg.slew_rate = 1.5;  // must be in (0, 1)
+  EXPECT_DEATH(ClockSyncNode(params, cfg), "precondition");
+}
+
+TEST(ClockSyncTest, BoundedClockRejectsTinyModulus) {
+  ClockFixture probe({.n = 4, .f = 1});
+  probe.world->start();
+  const Duration cycle = probe.nodes[0]->cycle();
+  Params params{4, 1, microseconds(1050)};
+  ClockSyncConfig cfg;
+  cfg.modulus = cycle;  // < 4·cycle ⇒ ambiguous snap targets
+  EXPECT_DEATH(ClockSyncNode(params, cfg), "precondition");
+}
+
+}  // namespace
+}  // namespace ssbft

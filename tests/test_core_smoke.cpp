@@ -1,0 +1,52 @@
+// End-to-end smoke tests: a correct General reaches agreement.
+#include <gtest/gtest.h>
+
+#include "harness/metrics.hpp"
+#include "harness/runner.hpp"
+
+namespace ssbft {
+namespace {
+
+TEST(CoreSmokeTest, CorrectGeneralAllCorrectNodesDecide) {
+  Scenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.byz_nodes = {};  // no actual faults
+  sc.with_proposal(milliseconds(5), /*general=*/0, /*value=*/42);
+  sc.run_for = milliseconds(100);
+  sc.seed = 1;
+
+  Cluster cluster(sc);
+  cluster.run();
+
+  const auto& decisions = cluster.decisions();
+  ASSERT_EQ(decisions.size(), 4u);
+  for (const auto& d : decisions) {
+    EXPECT_TRUE(d.decision.decided());
+    EXPECT_EQ(d.decision.value, 42u);
+    EXPECT_EQ(d.decision.general.node, 0u);
+  }
+}
+
+TEST(CoreSmokeTest, ValidityWithSilentFaults) {
+  Scenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.with_tail_faults(2);
+  sc.adversary = AdversaryKind::kSilent;
+  sc.with_proposal(milliseconds(5), 0, 7);
+  sc.run_for = milliseconds(300);
+  sc.seed = 3;
+
+  Cluster cluster(sc);
+  cluster.run();
+
+  const auto metrics = evaluate_run(cluster.decisions(), cluster.proposals(),
+                                    cluster.correct_count(), cluster.params());
+  EXPECT_EQ(metrics.agreement_violations, 0u);
+  EXPECT_EQ(metrics.validity_violations, 0u);
+  EXPECT_GE(metrics.unanimous_decides, 1u);
+}
+
+}  // namespace
+}  // namespace ssbft

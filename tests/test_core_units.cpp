@@ -1,0 +1,297 @@
+// Unit tests: core bookkeeping — Params, TimedVar, ArrivalLog, wire format.
+#include <gtest/gtest.h>
+
+#include "core/message_log.hpp"
+#include "core/params.hpp"
+#include "core/timed_var.hpp"
+#include "sim/wire.hpp"
+
+namespace ssbft {
+namespace {
+
+// --------------------------------------------------------------- params --
+
+TEST(ParamsTest, DerivedConstantsMatchPaper) {
+  const Duration d = milliseconds(1);
+  const Params p{7, 2, d};
+  EXPECT_EQ(p.tau_g_skew(), 6 * d);
+  EXPECT_EQ(p.phi(), 8 * d);                       // Φ = 6d + 2d
+  EXPECT_EQ(p.delta_agr(), 5 * p.phi());           // (2f+1)Φ, f=2
+  EXPECT_EQ(p.delta_0(), 13 * d);
+  EXPECT_EQ(p.delta_rmv(), p.delta_agr() + p.delta_0());
+  EXPECT_EQ(p.delta_v(), 15 * d + 2 * p.delta_rmv());
+  EXPECT_EQ(p.delta_node(), p.delta_v() + p.delta_agr());
+  EXPECT_EQ(p.delta_reset(), 20 * d + 4 * p.delta_rmv());
+  EXPECT_EQ(p.delta_stb(), 2 * p.delta_reset());
+  EXPECT_EQ(p.agree_cleanup(), p.delta_agr() + 3 * d);
+  EXPECT_EQ(p.bcast_cleanup(), 7 * p.phi());       // (2f+3)Φ
+}
+
+TEST(ParamsTest, QuorumSizes) {
+  const Params p{10, 3, milliseconds(1)};
+  EXPECT_EQ(p.n_minus_f(), 7u);
+  EXPECT_EQ(p.n_minus_2f(), 4u);
+  // n−2f ≥ f+1: any n−2f set contains a correct node.
+  EXPECT_GE(p.n_minus_2f(), p.f() + 1);
+}
+
+TEST(ParamsTest, FZeroIsAllowed) {
+  const Params p{4, 0, milliseconds(1)};
+  EXPECT_EQ(p.delta_agr(), p.phi());  // (2·0+1)Φ
+}
+
+TEST(ParamsDeathTest, RejectsInsufficientResilience) {
+  EXPECT_DEATH((Params{6, 2, milliseconds(1)}), "precondition");  // n = 3f
+  EXPECT_DEATH((Params{3, 1, milliseconds(1)}), "precondition");
+  EXPECT_DEATH((Params{4, 1, Duration::zero()}), "precondition");
+}
+
+// ------------------------------------------------------------- TimedVar --
+
+TEST(TimedVarTest, StartsBottom) {
+  TimedVar v;
+  EXPECT_TRUE(v.is_bottom());
+  EXPECT_FALSE(v.get().has_value());
+}
+
+TEST(TimedVarTest, SetAndGet) {
+  TimedVar v;
+  v.set(LocalTime{100}, LocalTime{90});
+  ASSERT_TRUE(v.get().has_value());
+  EXPECT_EQ(*v.get(), LocalTime{90});
+}
+
+TEST(TimedVarTest, ResetToBottom) {
+  TimedVar v;
+  v.set(LocalTime{100}, LocalTime{90});
+  v.reset(LocalTime{110});
+  EXPECT_TRUE(v.is_bottom());
+}
+
+TEST(TimedVarTest, HistoricalQueryExact) {
+  // Block K needs "last(G,m) = ⊥ at τq − d": exact history.
+  TimedVar v;
+  v.set(LocalTime{100}, LocalTime{100});
+  v.reset(LocalTime{200});
+  v.set(LocalTime{300}, LocalTime{300});
+
+  EXPECT_FALSE(v.value_at(LocalTime{50}).has_value());   // before any set
+  EXPECT_TRUE(v.value_at(LocalTime{100}).has_value());   // at the set
+  EXPECT_TRUE(v.value_at(LocalTime{150}).has_value());
+  EXPECT_FALSE(v.value_at(LocalTime{250}).has_value());  // after reset
+  EXPECT_TRUE(v.value_at(LocalTime{350}).has_value());
+}
+
+TEST(TimedVarTest, CleanupExpiresOldValue) {
+  TimedVar v;
+  v.set(LocalTime{100}, LocalTime{100});
+  v.cleanup(LocalTime{100} + milliseconds(10), /*expiry=*/milliseconds(5),
+            /*history_keep=*/milliseconds(50));
+  EXPECT_TRUE(v.is_bottom());
+}
+
+TEST(TimedVarTest, CleanupKeepsFreshValue) {
+  TimedVar v;
+  v.set(LocalTime{100}, LocalTime{100});
+  v.cleanup(LocalTime{100} + milliseconds(3), milliseconds(5),
+            milliseconds(50));
+  EXPECT_FALSE(v.is_bottom());
+}
+
+TEST(TimedVarTest, CleanupDropsFutureValue) {
+  // "Each time-stamped entry that is clearly wrong ... is removed" — a
+  // future value can only come from a transient fault.
+  TimedVar v;
+  v.set(LocalTime{100}, LocalTime{100} + seconds(10));
+  v.cleanup(LocalTime{200}, milliseconds(5), milliseconds(50));
+  EXPECT_TRUE(v.is_bottom());
+}
+
+TEST(TimedVarTest, HistoryTrimPreservesWindowQueries) {
+  TimedVar v;
+  for (int i = 1; i <= 100; ++i) {
+    v.set(LocalTime{i * 1000}, LocalTime{i * 1000});
+  }
+  v.cleanup(LocalTime{100'000}, Duration{1'000'000}, /*keep=*/Duration{5'000});
+  // Queries within the keep window still resolve.
+  EXPECT_TRUE(v.value_at(LocalTime{97'000}).has_value());
+  EXPECT_TRUE(v.value_at(LocalTime{100'000}).has_value());
+}
+
+TEST(TimedVarTest, ScrambleThenCleanupHeals) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    TimedVar v;
+    const LocalTime now{1'000'000};
+    v.scramble(rng, now, milliseconds(1));
+    // One cleanup pass must leave the variable in a sane state: either ⊥ or
+    // a value within [now − expiry, now].
+    v.cleanup(now, milliseconds(2), milliseconds(10));
+    if (!v.is_bottom()) {
+      EXPECT_LE(*v.get(), now);
+      EXPECT_GE(*v.get(), now - milliseconds(2));
+    }
+  }
+}
+
+// ------------------------------------------------------------ ArrivalLog --
+
+ArrivalKey support_key(Value m) {
+  return ArrivalKey{MsgKind::kSupport, m, kNoNode, 0};
+}
+
+TEST(ArrivalLogTest, CountsDistinctSendersOnly) {
+  ArrivalLog log;
+  log.note(support_key(1), 0, LocalTime{100});
+  log.note(support_key(1), 0, LocalTime{110});  // duplicate sender
+  log.note(support_key(1), 1, LocalTime{120});
+  EXPECT_EQ(log.distinct_in_window(support_key(1), LocalTime{0}, LocalTime{200}),
+            2u);
+  EXPECT_EQ(log.distinct_total(support_key(1)), 2u);
+}
+
+TEST(ArrivalLogTest, WindowBoundsAreInclusive) {
+  ArrivalLog log;
+  log.note(support_key(1), 0, LocalTime{100});
+  EXPECT_EQ(log.distinct_in_window(support_key(1), LocalTime{100}, LocalTime{100}),
+            1u);
+  EXPECT_EQ(log.distinct_in_window(support_key(1), LocalTime{101}, LocalTime{200}),
+            0u);
+  EXPECT_EQ(log.distinct_in_window(support_key(1), LocalTime{0}, LocalTime{99}),
+            0u);
+}
+
+TEST(ArrivalLogTest, KeysAreIndependent) {
+  ArrivalLog log;
+  log.note(support_key(1), 0, LocalTime{100});
+  log.note(support_key(2), 1, LocalTime{100});
+  log.note(ArrivalKey{MsgKind::kApprove, 1, kNoNode, 0}, 2, LocalTime{100});
+  EXPECT_EQ(log.distinct_total(support_key(1)), 1u);
+  EXPECT_EQ(log.distinct_total(support_key(2)), 1u);
+  EXPECT_EQ(log.distinct_total(ArrivalKey{MsgKind::kApprove, 1, kNoNode, 0}),
+            1u);
+}
+
+TEST(ArrivalLogTest, LatestArrivalPerSenderWins) {
+  // Windows end at "now", so only the latest arrival per sender matters.
+  ArrivalLog log;
+  log.note(support_key(1), 0, LocalTime{100});
+  log.note(support_key(1), 0, LocalTime{500});
+  EXPECT_EQ(log.distinct_in_window(support_key(1), LocalTime{400}, LocalTime{600}),
+            1u);
+}
+
+TEST(ArrivalLogTest, ShortestWindowFindsMinimalAlpha) {
+  ArrivalLog log;
+  log.note(support_key(1), 0, LocalTime{100});
+  log.note(support_key(1), 1, LocalTime{150});
+  log.note(support_key(1), 2, LocalTime{190});
+  const LocalTime now{200};
+  // quorum 2: two newest are at 150 and 190 ⇒ α = 200−150 = 50.
+  auto alpha = log.shortest_window(support_key(1), 2, now, Duration{1000});
+  ASSERT_TRUE(alpha.has_value());
+  EXPECT_EQ(alpha->ns(), 50);
+  // quorum 3: α = 100.
+  alpha = log.shortest_window(support_key(1), 3, now, Duration{1000});
+  ASSERT_TRUE(alpha.has_value());
+  EXPECT_EQ(alpha->ns(), 100);
+}
+
+TEST(ArrivalLogTest, ShortestWindowRespectsMaxWindow) {
+  ArrivalLog log;
+  log.note(support_key(1), 0, LocalTime{100});
+  log.note(support_key(1), 1, LocalTime{900});
+  EXPECT_FALSE(
+      log.shortest_window(support_key(1), 2, LocalTime{1000}, Duration{500})
+          .has_value());
+  EXPECT_TRUE(
+      log.shortest_window(support_key(1), 2, LocalTime{1000}, Duration{900})
+          .has_value());
+}
+
+TEST(ArrivalLogTest, ShortestWindowZeroQuorum) {
+  ArrivalLog log;
+  EXPECT_EQ(log.shortest_window(support_key(1), 0, LocalTime{10}, Duration{5}),
+            Duration::zero());
+}
+
+TEST(ArrivalLogTest, DecayRemovesOldAndFuture) {
+  ArrivalLog log;
+  log.note(support_key(1), 0, LocalTime{100});        // old
+  log.note(support_key(1), 1, LocalTime{900});        // fresh
+  log.note(support_key(1), 2, LocalTime{5000});       // future (transient junk)
+  log.decay(LocalTime{1000}, /*keep=*/Duration{500});
+  EXPECT_EQ(log.distinct_total(support_key(1)), 1u);
+  EXPECT_EQ(log.distinct_in_window(support_key(1), LocalTime{900}, LocalTime{900}),
+            1u);
+}
+
+TEST(ArrivalLogTest, EraseIfRemovesMatchingValues) {
+  ArrivalLog log;
+  log.note(support_key(1), 0, LocalTime{100});
+  log.note(support_key(2), 0, LocalTime{100});
+  log.erase_if([](const ArrivalKey& k) { return k.value == 1; });
+  EXPECT_EQ(log.distinct_total(support_key(1)), 0u);
+  EXPECT_EQ(log.distinct_total(support_key(2)), 1u);
+}
+
+TEST(ArrivalLogTest, ValuesWithKind) {
+  ArrivalLog log;
+  log.note(support_key(1), 0, LocalTime{100});
+  log.note(support_key(7), 0, LocalTime{100});
+  log.note(ArrivalKey{MsgKind::kReady, 9, kNoNode, 0}, 0, LocalTime{100});
+  const auto values = log.values_with(MsgKind::kSupport);
+  EXPECT_EQ(values.size(), 2u);
+  EXPECT_EQ(log.values_with(MsgKind::kReady).size(), 1u);
+  EXPECT_TRUE(log.values_with(MsgKind::kApprove).empty());
+}
+
+TEST(ArrivalLogTest, BroadcastKeysDistinguishRoundAndBroadcaster) {
+  ArrivalLog log;
+  const ArrivalKey k1{MsgKind::kBcastEcho, 1, 3, 1};
+  const ArrivalKey k2{MsgKind::kBcastEcho, 1, 3, 2};
+  const ArrivalKey k3{MsgKind::kBcastEcho, 1, 4, 1};
+  log.note(k1, 0, LocalTime{10});
+  log.note(k2, 0, LocalTime{10});
+  log.note(k3, 0, LocalTime{10});
+  EXPECT_EQ(log.distinct_total(k1), 1u);
+  EXPECT_EQ(log.distinct_total(k2), 1u);
+  EXPECT_EQ(log.distinct_total(k3), 1u);
+}
+
+TEST(ArrivalLogTest, ScrambleThenDecayBoundsState) {
+  Rng rng(3);
+  ArrivalLog log;
+  log.scramble(rng, LocalTime{1'000'000}, milliseconds(5), 10, 100);
+  EXPECT_GT(log.total_arrivals(), 0u);
+  // Decay with a tiny keep horizon wipes everything not in (now−keep, now].
+  log.decay(LocalTime{1'000'000} + seconds(10), Duration{1});
+  EXPECT_EQ(log.total_arrivals(), 0u);
+}
+
+// ----------------------------------------------------------------- wire --
+
+TEST(WireTest, KindNamesAreStable) {
+  EXPECT_STREQ(to_string(MsgKind::kInitiator), "Initiator");
+  EXPECT_STREQ(to_string(MsgKind::kSupport), "support");
+  EXPECT_STREQ(to_string(MsgKind::kApprove), "approve");
+  EXPECT_STREQ(to_string(MsgKind::kReady), "ready");
+  EXPECT_STREQ(to_string(MsgKind::kBcastInit), "init");
+  EXPECT_STREQ(to_string(MsgKind::kBcastEchoPrime), "echo'");
+}
+
+TEST(WireTest, MessageToStringMentionsFields) {
+  WireMessage msg;
+  msg.kind = MsgKind::kSupport;
+  msg.general = GeneralId{3};
+  msg.value = 42;
+  msg.sender = 5;
+  const std::string s = to_string(msg);
+  EXPECT_NE(s.find("support"), std::string::npos);
+  EXPECT_NE(s.find("G=3"), std::string::npos);
+  EXPECT_NE(s.find("m=42"), std::string::npos);
+  EXPECT_NE(s.find("from=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssbft

@@ -1,0 +1,129 @@
+// Schedule-explorer tests: adversarially chosen (but model-conforming)
+// delay schedules must never produce a safety violation — across correct
+// Generals, equivocating Generals, quorum fakers, and transient-fault
+// starts. Also sanity-checks the explorer machinery itself (determinism,
+// prefix-tree coverage, oracle clamping).
+#include <gtest/gtest.h>
+
+#include "check/explorer.hpp"
+#include "harness/runner.hpp"
+
+namespace ssbft {
+namespace {
+
+Scenario small_cluster() {
+  Scenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.with_tail_faults(1);
+  sc.with_proposal(milliseconds(5), 0, 42);
+  sc.run_for = milliseconds(150);
+  return sc;
+}
+
+TEST(ExplorerTest, CorrectGeneralSurvivesSystematicSchedules) {
+  ExplorerConfig config;
+  config.base = small_cluster();
+  config.trials = 243;  // 3^5: full prefix tree
+  config.systematic_depth = 5;
+  const auto report = explore(config);
+  EXPECT_EQ(report.trials, 243u);
+  EXPECT_EQ(report.prefix_combinations, 243u);
+  EXPECT_GT(report.decisions_seen, 0u);
+  EXPECT_TRUE(report.clean()) << report.violations.size() << " violations; "
+                              << (report.violations.empty()
+                                      ? ""
+                                      : report.violations[0].what);
+}
+
+TEST(ExplorerTest, EquivocatingGeneralSurvivesSystematicSchedules) {
+  ExplorerConfig config;
+  config.base = small_cluster();
+  config.base.proposals.clear();
+  config.base.adversary = AdversaryKind::kEquivocatingGeneral;
+  config.base.equivocate_split = 3;  // one victim: the sharpest variant
+  config.expect_validity = false;    // a faulty General has no validity claim
+  config.trials = 243;
+  config.systematic_depth = 5;
+  const auto report = explore(config);
+  EXPECT_EQ(report.trials, 243u);
+  EXPECT_TRUE(report.clean()) << (report.violations.empty()
+                                      ? ""
+                                      : report.violations[0].what);
+}
+
+TEST(ExplorerTest, QuorumFakerSurvivesSystematicSchedules) {
+  ExplorerConfig config;
+  config.base = small_cluster();
+  config.base.adversary = AdversaryKind::kQuorumFaker;
+  config.expect_validity = false;  // fakers may suppress some executions
+  config.trials = 128;
+  config.systematic_depth = 4;
+  const auto report = explore(config);
+  EXPECT_TRUE(report.clean()) << (report.violations.empty()
+                                      ? ""
+                                      : report.violations[0].what);
+}
+
+TEST(ExplorerTest, TransientStartSurvivesRandomTailSchedules) {
+  ExplorerConfig config;
+  config.base = small_cluster();
+  config.base.transient_scramble = true;
+  const Duration stb = config.base.make_params().delta_stb();
+  config.base.proposals.clear();
+  config.base.with_proposal(stb + milliseconds(5), 0, 42);
+  config.base.run_for = stb + milliseconds(150);
+  config.check_after = RealTime::zero() + stb;  // paper: claims start at ∆stb
+  config.trials = 64;
+  config.systematic_depth = 3;
+  const auto report = explore(config);
+  EXPECT_TRUE(report.clean()) << (report.violations.empty()
+                                      ? ""
+                                      : report.violations[0].what);
+}
+
+TEST(ExplorerTest, LargerClusterSpotCheck) {
+  ExplorerConfig config;
+  config.base = small_cluster();
+  config.base.n = 7;
+  config.base.f = 2;
+  config.base.byz_nodes.clear();
+  config.base.with_tail_faults(2);
+  config.trials = 54;  // 27 systematic prefixes × 2 random tails
+  config.systematic_depth = 3;
+  const auto report = explore(config);
+  EXPECT_TRUE(report.clean()) << (report.violations.empty()
+                                      ? ""
+                                      : report.violations[0].what);
+}
+
+TEST(ExplorerTest, DeterministicAcrossRuns) {
+  ExplorerConfig config;
+  config.base = small_cluster();
+  config.trials = 27;
+  config.systematic_depth = 3;
+  const auto a = explore(config);
+  const auto b = explore(config);
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.executions_checked, b.executions_checked);
+  EXPECT_EQ(a.decisions_seen, b.decisions_seen);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+}
+
+TEST(ExplorerTest, ExtremePaletteStaysInsideModelEnvelope) {
+  // A palette far beyond δ+π must be clamped by the oracle hook — the run
+  // then still satisfies the model, so no violation may be reported.
+  ExplorerConfig config;
+  config.base = small_cluster();
+  config.palette = {Duration::zero(), seconds(10)};  // clamped to δ+π
+  config.trials = 32;
+  config.systematic_depth = 5;
+  const auto report = explore(config);
+  EXPECT_TRUE(report.clean()) << (report.violations.empty()
+                                      ? ""
+                                      : report.violations[0].what);
+  EXPECT_GT(report.decisions_seen, 0u);
+}
+
+}  // namespace
+}  // namespace ssbft

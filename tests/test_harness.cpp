@@ -1,0 +1,212 @@
+// Unit tests: harness layer — execution clustering, metrics, scenarios,
+// adversary construction, report tables.
+#include <gtest/gtest.h>
+
+#include "harness/metrics.hpp"
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+
+namespace ssbft {
+namespace {
+
+TimedDecision make_decision(NodeId node, NodeId general, Value value,
+                            std::int64_t at_ns, std::int64_t tau_g_ns = 0) {
+  TimedDecision td;
+  td.decision.node = node;
+  td.decision.general = GeneralId{general};
+  td.decision.value = value;
+  td.real_at = RealTime{at_ns};
+  td.tau_g_real = RealTime{tau_g_ns ? tau_g_ns : at_ns - 1000};
+  return td;
+}
+
+Params test_params() { return Params{7, 2, milliseconds(1)}; }
+
+// ----------------------------------------------------------- clustering --
+
+TEST(MetricsTest, SingleExecutionClustersTogether) {
+  const Params p = test_params();
+  std::vector<TimedDecision> ds;
+  for (NodeId i = 0; i < 5; ++i) {
+    ds.push_back(make_decision(i, 0, 7, 1'000'000 + i * 1000));
+  }
+  const auto execs = cluster_executions(ds, p);
+  ASSERT_EQ(execs.size(), 1u);
+  EXPECT_EQ(execs[0].returns.size(), 5u);
+  EXPECT_EQ(execs[0].decided_count(), 5u);
+}
+
+TEST(MetricsTest, LargeGapSplitsExecutions) {
+  const Params p = test_params();
+  const std::int64_t horizon = (p.delta_agr() + 7 * p.d()).ns();
+  std::vector<TimedDecision> ds;
+  ds.push_back(make_decision(0, 0, 7, 1'000'000));
+  ds.push_back(make_decision(1, 0, 7, 1'000'000 + horizon + 1));
+  const auto execs = cluster_executions(ds, p);
+  EXPECT_EQ(execs.size(), 2u);
+}
+
+TEST(MetricsTest, DifferentGeneralsAreSeparateExecutions) {
+  const Params p = test_params();
+  std::vector<TimedDecision> ds;
+  ds.push_back(make_decision(0, 0, 7, 1'000'000));
+  ds.push_back(make_decision(0, 1, 7, 1'000'000));
+  const auto execs = cluster_executions(ds, p);
+  EXPECT_EQ(execs.size(), 2u);
+}
+
+TEST(MetricsTest, ExecutionsSortedByFirstReturn) {
+  const Params p = test_params();
+  std::vector<TimedDecision> ds;
+  ds.push_back(make_decision(0, 1, 7, 5'000'000));
+  ds.push_back(make_decision(0, 0, 7, 1'000'000));
+  const auto execs = cluster_executions(ds, p);
+  ASSERT_EQ(execs.size(), 2u);
+  EXPECT_EQ(execs[0].general.node, 0u);
+  EXPECT_EQ(execs[1].general.node, 1u);
+}
+
+// --------------------------------------------------------------- checks --
+
+TEST(MetricsTest, AgreementViolationDetected) {
+  const Params p = test_params();
+  std::vector<TimedDecision> ds;
+  ds.push_back(make_decision(0, 0, 7, 1'000'000));
+  ds.push_back(make_decision(1, 0, 8, 1'001'000));  // different value!
+  const auto m = evaluate_run(ds, {}, 5, p);
+  EXPECT_EQ(m.agreement_violations, 1u);
+}
+
+TEST(MetricsTest, AbortsDoNotCountAsDisagreement) {
+  const Params p = test_params();
+  std::vector<TimedDecision> ds;
+  ds.push_back(make_decision(0, 0, 7, 1'000'000));
+  ds.push_back(make_decision(1, 0, kBottom, 1'001'000));  // abort (⊥)
+  const auto m = evaluate_run(ds, {}, 5, p);
+  EXPECT_EQ(m.agreement_violations, 0u);
+  const auto execs = cluster_executions(ds, p);
+  ASSERT_EQ(execs.size(), 1u);
+  EXPECT_EQ(execs[0].decided_count(), 1u);
+  EXPECT_EQ(execs[0].abort_count(), 1u);
+}
+
+TEST(MetricsTest, ValidityViolationWhenNobodyDecides) {
+  const Params p = test_params();
+  std::vector<TimedProposal> proposals;
+  proposals.push_back(
+      TimedProposal{RealTime{1'000'000}, 0, 7, ProposeStatus::kSent});
+  const auto m = evaluate_run({}, proposals, 5, p);
+  EXPECT_EQ(m.validity_violations, 1u);
+}
+
+TEST(MetricsTest, ValiditySatisfiedByMatchingExecution) {
+  const Params p = test_params();
+  std::vector<TimedProposal> proposals;
+  proposals.push_back(
+      TimedProposal{RealTime{1'000'000}, 0, 7, ProposeStatus::kSent});
+  std::vector<TimedDecision> ds;
+  for (NodeId i = 0; i < 5; ++i) {
+    ds.push_back(make_decision(i, 0, 7, 2'000'000 + i * 1000));
+  }
+  const auto m = evaluate_run(ds, proposals, 5, p);
+  EXPECT_EQ(m.validity_violations, 0u);
+  EXPECT_EQ(m.unanimous_decides, 1u);
+}
+
+TEST(MetricsTest, RefusedProposalsAreNotValidityObligations) {
+  const Params p = test_params();
+  std::vector<TimedProposal> proposals;
+  proposals.push_back(
+      TimedProposal{RealTime{1'000'000}, 0, 7, ProposeStatus::kTooSoon});
+  const auto m = evaluate_run({}, proposals, 5, p);
+  EXPECT_EQ(m.validity_violations, 0u);
+}
+
+TEST(MetricsTest, SkewsComputedOverDecidersOnly) {
+  const Params p = test_params();
+  std::vector<TimedDecision> ds;
+  ds.push_back(make_decision(0, 0, 7, 1'000'000, 500'000));
+  ds.push_back(make_decision(1, 0, 7, 1'500'000, 800'000));
+  ds.push_back(make_decision(2, 0, kBottom, 9'000'000, 100'000));  // abort
+  const auto execs = cluster_executions(ds, p);
+  ASSERT_EQ(execs.size(), 1u);
+  EXPECT_EQ(execs[0].decision_skew(), Duration{500'000});
+  EXPECT_EQ(execs[0].tau_g_skew(), Duration{300'000});
+}
+
+// -------------------------------------------------------------- scenario --
+
+TEST(ScenarioTest, TailFaultsMarkTheRightNodes) {
+  Scenario sc;
+  sc.n = 7;
+  sc.with_tail_faults(2);
+  EXPECT_TRUE(sc.is_byzantine(6));
+  EXPECT_TRUE(sc.is_byzantine(5));
+  EXPECT_FALSE(sc.is_byzantine(0));
+  EXPECT_FALSE(sc.is_byzantine(4));
+}
+
+TEST(ScenarioTest, MakeParamsDerivesD) {
+  Scenario sc;
+  sc.delta = milliseconds(2);
+  sc.pi = microseconds(100);
+  sc.rho = 1e-3;
+  const Params p = sc.make_params();
+  // d = (δ+π)(1+ρ), rounded up.
+  EXPECT_GE(p.d().ns(), 2'100'000);
+  EXPECT_LE(p.d().ns(), 2'102'200);
+}
+
+TEST(ClusterTest, ByzantineNodesHaveNoProtocolNode) {
+  Scenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.with_tail_faults(1);
+  Cluster cluster(sc);
+  EXPECT_EQ(cluster.node(3), nullptr);
+  EXPECT_NE(cluster.node(0), nullptr);
+  EXPECT_EQ(cluster.correct_count(), 3u);
+}
+
+TEST(ClusterTest, ProposalByByzantineNodeIsIgnored) {
+  Scenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.with_tail_faults(1);
+  sc.with_proposal(milliseconds(1), 3, 9);  // node 3 is Byzantine
+  sc.run_for = milliseconds(50);
+  Cluster cluster(sc);
+  cluster.run();
+  EXPECT_TRUE(cluster.proposals().empty());
+  EXPECT_TRUE(cluster.decisions().empty());
+}
+
+// ---------------------------------------------------------------- report --
+
+TEST(ReportTest, TablePrintsAllCells) {
+  Table t({"col_a", "b"});
+  t.add_row({"1", "two"});
+  t.add_row({"333", "4"});
+  // Print to a memstream and check content.
+  char* buf = nullptr;
+  std::size_t size = 0;
+  std::FILE* mem = open_memstream(&buf, &size);
+  ASSERT_NE(mem, nullptr);
+  t.print(mem);
+  std::fclose(mem);
+  const std::string out(buf, size);
+  free(buf);
+  EXPECT_NE(out.find("col_a"), std::string::npos);
+  EXPECT_NE(out.find("two"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(ReportTest, Formatters) {
+  EXPECT_EQ(Table::fmt_ms(1'500'000), "1.500");
+  EXPECT_EQ(Table::fmt_ratio(2.5), "2.50x");
+  EXPECT_EQ(Table::fmt_int(42), "42");
+}
+
+}  // namespace
+}  // namespace ssbft

@@ -1,0 +1,306 @@
+// White-box, line-level tests of the Initiator-Accept blocks (Fig. 2),
+// driven through a MockContext with exact local-time control. Each test
+// probes one line's window/threshold at its boundary.
+//
+// Cluster shape throughout: n = 7, f = 2 ⇒ quorums n−f = 5, n−2f = 3.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/initiator_accept.hpp"
+#include "core/params.hpp"
+#include "mock_context.hpp"
+
+namespace ssbft {
+namespace {
+
+constexpr NodeId kGeneral = 0;
+constexpr Value kM = 7;
+
+class IaLineTest : public ::testing::Test {
+ protected:
+  IaLineTest()
+      : params_(7, 2, milliseconds(1)), ctx_(/*id=*/1, /*n=*/7) {
+    ia_ = std::make_unique<InitiatorAccept>(
+        params_, GeneralId{kGeneral},
+        [this](Value m, LocalTime tau_g) { accepts_.push_back({m, tau_g}); });
+  }
+
+  Duration d() const { return params_.d(); }
+
+  void deliver(MsgKind kind, NodeId sender, Value m = kM) {
+    WireMessage msg;
+    msg.kind = kind;
+    msg.sender = sender;
+    msg.general = GeneralId{kGeneral};
+    msg.value = m;
+    ia_->on_message(ctx_, msg);
+  }
+
+  /// Deliver `count` messages from distinct senders, `gap` apart in time.
+  void deliver_wave(MsgKind kind, std::uint32_t count, Duration gap,
+                    Value m = kM, NodeId first_sender = 0) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (i > 0) ctx_.advance(gap);
+      deliver(kind, first_sender + NodeId(i), m);
+    }
+  }
+
+  Params params_;
+  MockContext ctx_;
+  std::unique_ptr<InitiatorAccept> ia_;
+  std::vector<std::pair<Value, LocalTime>> accepts_;
+};
+
+// --- Block K ---------------------------------------------------------------
+
+TEST_F(IaLineTest, K_InvokeSendsSupportAndRecordsIValue) {
+  const LocalTime before = ctx_.local_now();
+  ia_->invoke(ctx_, kM);
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kSupport), 1u);
+  // K2: recording time = τq − d.
+  ASSERT_TRUE(ia_->i_value_of(kM).has_value());
+  EXPECT_EQ(*ia_->i_value_of(kM), before - d());
+}
+
+TEST_F(IaLineTest, K1_BlocksSecondInvokeWithinD) {
+  ia_->invoke(ctx_, kM);
+  ctx_.clear_sent();
+  ctx_.advance(d() / 2);
+  ia_->invoke(ctx_, kM);  // support sent within [τ−d, τ] ⇒ refused
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kSupport), 0u);
+}
+
+TEST_F(IaLineTest, K1_BlocksDifferentValueWhileIValuesHeld) {
+  ia_->invoke(ctx_, kM);
+  ctx_.clear_sent();
+  ctx_.advance(3 * d());
+  ia_->invoke(ctx_, kM + 1);  // i_values[G, kM] ≠ ⊥ ⇒ refused
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kSupport), 0u);
+}
+
+TEST_F(IaLineTest, K1_BlocksWhileLastGmRemembered) {
+  ia_->invoke(ctx_, kM);
+  // i_values expire after ∆rmv, but lastq(G,m) persists 2∆rmv + 9d.
+  ctx_.advance(params_.delta_rmv() + 2 * d());
+  ctx_.clear_sent();
+  ia_->invoke(ctx_, kM);
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kSupport), 0u);
+
+  // Past 2∆rmv + 9d (+d for the "at τq − d" history probe), it passes.
+  ctx_.advance(params_.delta_rmv() + 9 * d());
+  ctx_.clear_sent();
+  ia_->invoke(ctx_, kM);
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kSupport), 1u);
+}
+
+// --- Block L ---------------------------------------------------------------
+
+TEST_F(IaLineTest, L1_RequiresNMinus2fDistinctSupports) {
+  deliver_wave(MsgKind::kSupport, 2, microseconds(50));  // one short of 3
+  EXPECT_FALSE(ia_->i_value_of(kM).has_value());
+  ctx_.advance(microseconds(50));
+  deliver(MsgKind::kSupport, 6);
+  EXPECT_TRUE(ia_->i_value_of(kM).has_value());
+}
+
+TEST_F(IaLineTest, L1_DuplicateSendersDoNotCount) {
+  for (int i = 0; i < 5; ++i) {
+    deliver(MsgKind::kSupport, /*sender=*/3);
+    ctx_.advance(microseconds(10));
+  }
+  EXPECT_FALSE(ia_->i_value_of(kM).has_value());
+}
+
+TEST_F(IaLineTest, L1_WindowIsAtMost4d) {
+  // Three supports spread across > 4d never sit in one window together.
+  deliver(MsgKind::kSupport, 0);
+  ctx_.advance(2 * d() + Duration{1});
+  deliver(MsgKind::kSupport, 1);
+  ctx_.advance(2 * d() + Duration{1});
+  deliver(MsgKind::kSupport, 2);
+  EXPECT_FALSE(ia_->i_value_of(kM).has_value());
+}
+
+TEST_F(IaLineTest, L2_RecordingIsNowMinusAlphaMinus2d) {
+  // Three supports at the same instant: α = 0, recording = τq − 2d.
+  const LocalTime t = ctx_.local_now();
+  deliver(MsgKind::kSupport, 0);
+  deliver(MsgKind::kSupport, 1);
+  deliver(MsgKind::kSupport, 2);
+  ASSERT_TRUE(ia_->i_value_of(kM).has_value());
+  EXPECT_EQ(*ia_->i_value_of(kM), t - 2 * d());
+}
+
+TEST_F(IaLineTest, L2_TakesMaxOverReEvaluations) {
+  // An early tight window sets a recording; later fresher supports raise it.
+  deliver_wave(MsgKind::kSupport, 3, Duration{0});
+  const LocalTime first = *ia_->i_value_of(kM);
+  // A full fresh n−2f window (three newer senders) shifts the shortest
+  // window forward and raises the recording.
+  ctx_.advance(d());
+  deliver(MsgKind::kSupport, 3);
+  deliver(MsgKind::kSupport, 4);
+  deliver(MsgKind::kSupport, 5);
+  ASSERT_TRUE(ia_->i_value_of(kM).has_value());
+  EXPECT_GT(*ia_->i_value_of(kM), first);
+}
+
+TEST_F(IaLineTest, L3_ApproveNeedsNMinusFWithin2d) {
+  // 5 supports spread exactly over 2d: window [τ−2d, τ] still contains all.
+  deliver_wave(MsgKind::kSupport, 5, d() / 2);
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kApprove), 1u);
+}
+
+TEST_F(IaLineTest, L3_SupportsSpreadBeyond2dDoNotApprove) {
+  // Gaps of 0.7d between 5 supports ⇒ span 2.8d > 2d at every evaluation.
+  deliver_wave(MsgKind::kSupport, 5, (7 * d()) / 10);
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kApprove), 0u);
+}
+
+// --- Block M ---------------------------------------------------------------
+
+TEST_F(IaLineTest, M2_ReadyFlagAtNMinus2fApprovesWithin5d) {
+  deliver_wave(MsgKind::kApprove, 3, d());
+  EXPECT_TRUE(ia_->ready_set(kM));
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kReady), 0u);  // M3 not yet (3 < 5)
+}
+
+TEST_F(IaLineTest, M3_ReadySentAtNMinusFApprovesWithin3d) {
+  deliver_wave(MsgKind::kApprove, 5, d() / 2);
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kReady), 1u);
+}
+
+TEST_F(IaLineTest, M3_ApprovesSpreadBeyond3dDoNotSendReady) {
+  deliver_wave(MsgKind::kApprove, 5, d());  // span 4d > 3d
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kReady), 0u);
+  EXPECT_TRUE(ia_->ready_set(kM));  // but M1's 5d window did fire
+}
+
+// --- Block N ---------------------------------------------------------------
+
+TEST_F(IaLineTest, N_IsUntimedButNeedsReadyFlag) {
+  // 5 readys spread over 8d: no time window applies to Block N...
+  deliver_wave(MsgKind::kReady, 5, 2 * d());
+  EXPECT_TRUE(accepts_.empty());  // ...but readyG,m was never set
+  // Now the approve quorum arrives; ready flag set; N4 fires on the next
+  // event even though the ready messages are old.
+  deliver_wave(MsgKind::kApprove, 3, Duration{0}, kM, 0);
+  ASSERT_EQ(accepts_.size(), 1u);
+  EXPECT_EQ(accepts_[0].first, kM);
+}
+
+TEST_F(IaLineTest, N2_AmplifiesAtNMinus2fReadys) {
+  deliver_wave(MsgKind::kApprove, 3, Duration{0});  // sets ready flag
+  ctx_.clear_sent();
+  deliver_wave(MsgKind::kReady, 3, microseconds(10));
+  EXPECT_GE(ctx_.broadcasts_of(MsgKind::kReady), 1u);  // N2 amplification
+  EXPECT_TRUE(accepts_.empty());                       // N3 needs 5
+}
+
+TEST_F(IaLineTest, N4_SetsAnchorFromIValuesAndClearsState) {
+  const LocalTime t0 = ctx_.local_now();
+  deliver_wave(MsgKind::kSupport, 5, d() / 4);  // sets i_values + approve
+  deliver_wave(MsgKind::kApprove, 5, Duration{0});
+  deliver_wave(MsgKind::kReady, 5, Duration{0});
+  ASSERT_EQ(accepts_.size(), 1u);
+  // Anchor = recording time from L2, in the past relative to the accept.
+  EXPECT_LT(accepts_[0].second, ctx_.local_now());
+  EXPECT_GE(accepts_[0].second, t0 - 2 * d() - Duration{1});
+  // i_values cleared; (G,m) messages erased.
+  EXPECT_FALSE(ia_->i_value_of(kM).has_value());
+  EXPECT_EQ(ia_->log_size(), 0u);
+}
+
+TEST_F(IaLineTest, N4_IgnoreWindowBlocksReplaysFor3d) {
+  deliver_wave(MsgKind::kSupport, 5, Duration{0});
+  deliver_wave(MsgKind::kApprove, 5, Duration{0});
+  deliver_wave(MsgKind::kReady, 5, Duration{0});
+  ASSERT_EQ(accepts_.size(), 1u);
+  // Replay the whole wave within 3d: dropped wholesale.
+  ctx_.advance(d());
+  deliver_wave(MsgKind::kSupport, 5, Duration{0});
+  deliver_wave(MsgKind::kApprove, 5, Duration{0});
+  deliver_wave(MsgKind::kReady, 5, Duration{0});
+  EXPECT_EQ(accepts_.size(), 1u);
+  EXPECT_EQ(ia_->log_size(), 0u);
+}
+
+TEST_F(IaLineTest, N4_AtMostOncePerExecution) {
+  deliver_wave(MsgKind::kSupport, 5, Duration{0});
+  deliver_wave(MsgKind::kApprove, 5, Duration{0});
+  deliver_wave(MsgKind::kReady, 7, Duration{0});  // even extra readys
+  EXPECT_EQ(accepts_.size(), 1u);
+}
+
+// --- resend suppression ------------------------------------------------------
+
+TEST_F(IaLineTest, ResendCappedAtOncePerD) {
+  deliver_wave(MsgKind::kSupport, 5, Duration{0});  // L4 fires
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kApprove), 1u);
+  // Condition still true on further arrivals within d: no duplicate send.
+  ctx_.advance(d() / 2);
+  deliver(MsgKind::kSupport, 5);
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kApprove), 1u);
+  // Past d, the line re-fires and re-sends.
+  ctx_.advance(d());
+  deliver(MsgKind::kSupport, 6);
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kApprove), 2u);
+}
+
+// --- cleanup ----------------------------------------------------------------
+
+TEST_F(IaLineTest, MessagesDecayAfterDeltaRmv) {
+  deliver_wave(MsgKind::kSupport, 2, Duration{0});
+  EXPECT_EQ(ia_->log_size(), 2u);
+  ctx_.advance(params_.delta_rmv() + Duration{1});
+  deliver(MsgKind::kApprove, 0, kM + 1);  // any event triggers cleanup
+  EXPECT_EQ(ia_->log_size(), 1u);         // only the fresh approve remains
+}
+
+TEST_F(IaLineTest, FutureStampedStateIsPurged) {
+  // Plant garbage via scramble, then verify one cleanup pass sanitizes:
+  // no future i_values survive.
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    ia_->scramble(ctx_, rng);
+    deliver(MsgKind::kSupport, 0, kM);  // triggers cleanup
+    for (Value m : ia_->i_value_keys()) {
+      const auto v = ia_->i_value_of(m);
+      if (v) EXPECT_LE(*v, ctx_.local_now());
+    }
+    ia_->reset();
+  }
+}
+
+TEST_F(IaLineTest, ReadyFlagDecaysAfterDeltaRmv) {
+  deliver_wave(MsgKind::kApprove, 3, Duration{0});
+  EXPECT_TRUE(ia_->ready_set(kM));
+  ctx_.advance(params_.delta_rmv() + Duration{1});
+  deliver(MsgKind::kSupport, 0, kM + 2);  // trigger cleanup
+  EXPECT_FALSE(ia_->ready_set(kM));
+}
+
+// --- uniqueness mechanics -----------------------------------------------------
+
+TEST_F(IaLineTest, SupportForSecondValueBlockedAfterAccept) {
+  deliver_wave(MsgKind::kSupport, 5, Duration{0});
+  deliver_wave(MsgKind::kApprove, 5, Duration{0});
+  deliver_wave(MsgKind::kReady, 5, Duration{0});
+  ASSERT_EQ(accepts_.size(), 1u);
+  // lastq(G) is set: an invocation for a different value within ∆0 − 6d is
+  // refused at Block K.
+  ctx_.advance(4 * d());
+  ctx_.clear_sent();
+  ia_->invoke(ctx_, kM + 1);
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kSupport), 0u);
+  // After ∆0 − 6d (= 7d), lastq(G) expired; a new value is acceptable.
+  ctx_.advance(4 * d());
+  ia_->invoke(ctx_, kM + 1);
+  EXPECT_EQ(ctx_.broadcasts_of(MsgKind::kSupport), 1u);
+}
+
+}  // namespace
+}  // namespace ssbft

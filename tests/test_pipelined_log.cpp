@@ -1,0 +1,320 @@
+// Footnote-9 machinery tests: concurrent indexed invocations at the
+// protocol layer, and the pipelined replicated log built on them —
+// identical delivery sequences at all correct nodes, in-order delivery
+// across concurrent slots, throughput scaling with depth, fault skips, and
+// convergence after transient scrambles.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "adversary/adversaries.hpp"
+#include "app/pipelined_log.hpp"
+#include "harness/metrics.hpp"
+#include "harness/runner.hpp"
+#include "sim/world.hpp"
+
+namespace ssbft {
+namespace {
+
+// --- indexed concurrent invocations at the SsByzNode layer ------------------
+
+TEST(IndexedInvocationTest, ConcurrentIndicesDecideIndependently) {
+  // One General runs three agreements at once on indices 0, 1, 2; all three
+  // must decide, each on its own value, at every correct node.
+  Scenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.with_tail_faults(2);
+  sc.run_for = milliseconds(400);
+  Cluster cluster(sc);
+  cluster.world().start();
+  cluster.world().queue().schedule(
+      cluster.world().now() + milliseconds(5), [&] {
+        for (std::uint32_t index = 0; index < 3; ++index) {
+          EXPECT_EQ(cluster.node(0)->propose(100 + index, index),
+                    ProposeStatus::kSent);
+        }
+      });
+  cluster.world().run_for(milliseconds(400));
+
+  std::map<std::uint32_t, std::map<NodeId, Value>> by_index;
+  for (const auto& d : cluster.decisions()) {
+    if (!d.decision.decided()) continue;
+    EXPECT_EQ(d.decision.general.node, 0u);
+    by_index[d.decision.general.index][d.decision.node] = d.decision.value;
+  }
+  ASSERT_EQ(by_index.size(), 3u);
+  for (std::uint32_t index = 0; index < 3; ++index) {
+    ASSERT_EQ(by_index[index].size(), 5u) << "index " << index;
+    for (const auto& [node, value] : by_index[index]) {
+      EXPECT_EQ(value, 100 + index) << "node " << node;
+    }
+  }
+}
+
+TEST(IndexedInvocationTest, PacingIsPerIndex) {
+  // IG1 refuses a second initiation on the SAME index within ∆0, but a
+  // fresh index is immediately available — that is footnote 9's point.
+  Scenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.with_tail_faults(1);
+  sc.run_for = milliseconds(100);
+  Cluster cluster(sc);
+  cluster.world().start();
+  cluster.world().queue().schedule(
+      cluster.world().now() + milliseconds(5), [&] {
+        EXPECT_EQ(cluster.node(0)->propose(1, 0), ProposeStatus::kSent);
+        EXPECT_EQ(cluster.node(0)->propose(2, 0), ProposeStatus::kTooSoon);
+        EXPECT_EQ(cluster.node(0)->propose(2, 1), ProposeStatus::kSent);
+        EXPECT_EQ(cluster.node(0)->propose(3, 1), ProposeStatus::kTooSoon);
+      });
+  cluster.world().run_for(milliseconds(100));
+}
+
+TEST(IndexedInvocationTest, IndexBeyondBoundIsRejectedAtReceivers) {
+  // Messages carrying index ≥ max_indices are dropped: a Byzantine sender
+  // cannot blow up the per-General instance table.
+  Scenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.run_for = milliseconds(50);
+  Cluster cluster(sc);
+  cluster.world().start();
+  const std::uint32_t beyond = cluster.params().max_indices();
+  cluster.world().queue().schedule(
+      cluster.world().now() + milliseconds(2), [&] {
+        WireMessage msg;
+        msg.kind = MsgKind::kInitiator;
+        msg.general = GeneralId{3, beyond};
+        msg.value = 7;
+        msg.sender = 3;
+        cluster.world().network().inject_raw(0, msg, microseconds(100));
+      });
+  cluster.world().run_for(milliseconds(50));
+  EXPECT_FALSE(cluster.node(0)->has_instance(GeneralId{3, beyond}));
+}
+
+// --- pipelined log -----------------------------------------------------------
+
+struct Delivered {
+  NodeId node;
+  PipelinedEntry entry;
+};
+
+class PipelineFixture {
+ public:
+  PipelineFixture(std::uint32_t n, std::uint32_t f, std::uint32_t depth,
+                  std::uint64_t seed, std::uint32_t byz_count = 0) {
+    WorldConfig wc;
+    wc.n = n;
+    wc.seed = seed;
+    world = std::make_unique<World>(wc);
+    params = std::make_unique<Params>(n, f, wc.d_bound());
+    nodes.assign(n, nullptr);
+    for (NodeId i = 0; i < n; ++i) {
+      if (i >= n - byz_count) {
+        world->set_behavior(
+            i, std::make_unique<RandomNoiseAdversary>(milliseconds(2)));
+        continue;
+      }
+      PipelineConfig cfg;
+      cfg.depth = depth;
+      auto sink = [this, i](const PipelinedEntry& entry) {
+        deliveries.push_back({i, entry});
+      };
+      auto node = std::make_unique<PipelinedLogNode>(*params, cfg, sink);
+      nodes[i] = node.get();
+      world->set_behavior(i, std::move(node));
+    }
+    correct_count = n - byz_count;
+  }
+
+  /// Per-node delivery sequences (slot order is guaranteed per node).
+  [[nodiscard]] std::map<NodeId, std::vector<PipelinedEntry>> sequences()
+      const {
+    std::map<NodeId, std::vector<PipelinedEntry>> out;
+    for (const auto& d : deliveries) out[d.node].push_back(d.entry);
+    return out;
+  }
+
+  /// All correct nodes delivered the same committed sequence up to the
+  /// shortest prefix (skipped holes excluded from the comparison payload).
+  [[nodiscard]] bool committed_prefixes_agree() const {
+    std::vector<std::vector<PipelinedEntry>> committed;
+    for (const auto& [node, seq] : sequences()) {
+      committed.emplace_back();
+      for (const auto& e : seq) {
+        if (!e.skipped) committed.back().push_back(e);
+      }
+    }
+    if (committed.empty()) return true;
+    std::size_t shortest = committed[0].size();
+    for (const auto& seq : committed) shortest = std::min(shortest, seq.size());
+    for (std::size_t i = 0; i < shortest; ++i) {
+      for (const auto& seq : committed) {
+        if (!(seq[i] == committed[0][i])) return false;
+      }
+    }
+    return true;
+  }
+
+  std::unique_ptr<World> world;
+  std::unique_ptr<Params> params;
+  std::vector<PipelinedLogNode*> nodes;
+  std::vector<Delivered> deliveries;
+  std::uint32_t correct_count = 0;
+};
+
+TEST(PipelinedLogTest, DeliversSubmittedCommandsInSlotOrder) {
+  PipelineFixture fx(4, 1, 4, 1);
+  fx.world->start();
+  for (NodeId i = 0; i < 4; ++i) {
+    for (std::uint32_t c = 0; c < 3; ++c) fx.nodes[i]->submit(100 * i + c);
+  }
+  fx.world->run_for(10 * fx.nodes[0]->slot_period());
+  const auto seqs = fx.sequences();
+  ASSERT_EQ(seqs.size(), 4u);
+  for (const auto& [node, seq] : seqs) {
+    ASSERT_FALSE(seq.empty()) << "node " << node;
+    for (std::size_t i = 1; i < seq.size(); ++i) {
+      EXPECT_EQ(seq[i].slot, seq[i - 1].slot + 1) << "node " << node;
+    }
+  }
+  EXPECT_TRUE(fx.committed_prefixes_agree());
+}
+
+TEST(PipelinedLogTest, AllSubmittedCommandsCommitExactlyOnce) {
+  PipelineFixture fx(4, 1, 4, 2);
+  fx.world->start();
+  std::vector<std::uint32_t> submitted;
+  for (NodeId i = 0; i < 4; ++i) {
+    for (std::uint32_t c = 0; c < 4; ++c) {
+      fx.nodes[i]->submit(1000 * (i + 1) + c);
+      submitted.push_back(1000 * (i + 1) + c);
+    }
+  }
+  fx.world->run_for(14 * fx.nodes[0]->slot_period());
+  // Node 0's committed view contains every submitted command exactly once.
+  const auto seqs = fx.sequences();
+  std::map<std::uint32_t, int> count;
+  for (const auto& e : seqs.at(0)) {
+    if (!e.skipped) ++count[e.command];
+  }
+  for (std::uint32_t c : submitted) {
+    EXPECT_EQ(count[c], 1) << "command " << c;
+  }
+}
+
+TEST(PipelinedLogTest, ThroughputScalesWithDepth) {
+  // Same over-subscribed workload, same (short) wall-clock budget; with 4
+  // slots in flight the committed count must at least double.
+  auto committed_with_depth = [](std::uint32_t depth) {
+    PipelineFixture fx(4, 1, depth, 7);
+    fx.world->start();
+    for (NodeId i = 0; i < 4; ++i) {
+      for (std::uint32_t c = 0; c < 40; ++c) fx.nodes[i]->submit(100 * i + c);
+    }
+    fx.world->run_for(fx.nodes[0]->slot_period());
+    const auto seqs = fx.sequences();
+    std::size_t committed = 0;
+    if (seqs.count(0) != 0) {
+      for (const auto& e : seqs.at(0)) {
+        if (!e.skipped) ++committed;
+      }
+    }
+    return committed;
+  };
+  const std::size_t d1 = committed_with_depth(1);
+  const std::size_t d4 = committed_with_depth(4);
+  EXPECT_GE(d4, 2 * d1) << "depth-1: " << d1 << " depth-4: " << d4;
+}
+
+TEST(PipelinedLogTest, FaultyProposersSlotsAreSkippedNotBlocking) {
+  PipelineFixture fx(7, 2, 4, 3, 2);  // nodes 5, 6 Byzantine
+  fx.world->start();
+  for (NodeId i = 0; i < 5; ++i) fx.nodes[i]->submit(42 + i);
+  fx.world->run_for(14 * fx.nodes[0]->slot_period());
+  const auto seqs = fx.sequences();
+  // Delivery proceeded past the Byzantine proposers' slots...
+  std::size_t committed = 0;
+  for (const auto& e : seqs.at(0)) {
+    if (!e.skipped) ++committed;
+  }
+  EXPECT_GE(committed, 5u);
+  // ...and no slot owned by a Byzantine node ever committed a command.
+  for (const auto& [node, seq] : seqs) {
+    for (const auto& e : seq) {
+      if (e.proposer >= 5) EXPECT_TRUE(e.skipped) << "slot " << e.slot;
+    }
+  }
+  EXPECT_TRUE(fx.committed_prefixes_agree());
+}
+
+TEST(PipelinedLogTest, WorkSubmittedAfterScrambleCommitsConsistently) {
+  // A transient fault scrambles agreement state, window cursors, delivery
+  // cursors AND plants junk entries. The convergence guarantee mirrors the
+  // sequential log's: every command submitted after the system settles is
+  // committed at every correct node with an identical (slot, command,
+  // proposer) record. (Junk entries delivered from pre-coherence state are
+  // application damage the agreement layer does not retroactively heal —
+  // documented in DESIGN.md.)
+  for (std::uint64_t seed : {11u, 12u}) {
+    PipelineFixture fx(4, 1, 4, seed);
+    fx.world->start();
+    for (NodeId i = 0; i < 4; ++i) fx.nodes[i]->submit(7 + i);
+    fx.world->run_for(4 * fx.nodes[0]->slot_period());
+    for (NodeId i = 0; i < 4; ++i) fx.world->scramble_node(i);
+    fx.world->run_for(fx.params->delta_stb());
+    fx.deliveries.clear();  // judge only post-settle behaviour
+    for (NodeId i = 0; i < 4; ++i) fx.nodes[i]->submit(1000 + i);
+    fx.world->run_for(30 * fx.nodes[0]->slot_period());
+
+    // Per-slot agreement: every post-settle command lands in every correct
+    // node's settled map with an identical (slot, command, proposer)
+    // record. (Delivery *streams* re-converge only above the post-fault
+    // horizon — a scrambled cursor may have already passed the slot; that
+    // is pre-coherence damage, healed by state transfer in production, not
+    // by the agreement layer. See DESIGN.md.)
+    for (std::uint32_t cmd = 1000; cmd < 1004; ++cmd) {
+      std::optional<PipelinedEntry> reference;
+      for (NodeId i = 0; i < 4; ++i) {
+        std::optional<PipelinedEntry> found;
+        for (const auto& [slot, e] : fx.nodes[i]->settled()) {
+          if (!e.skipped && e.command == cmd) {
+            found = e;
+            break;
+          }
+        }
+        ASSERT_TRUE(found.has_value())
+            << "seed " << seed << " node " << i << " never committed " << cmd;
+        if (!reference) {
+          reference = found;
+        } else {
+          EXPECT_TRUE(*found == *reference)
+              << "seed " << seed << " cmd " << cmd << " diverged";
+        }
+      }
+    }
+  }
+}
+
+TEST(PipelinedLogTest, DepthIsClampedToIndexSpace) {
+  WorldConfig wc;
+  wc.n = 4;
+  World world(wc);
+  Params params{4, 1, wc.d_bound()};
+  params.set_max_indices(2);
+  PipelineConfig cfg;
+  cfg.depth = 1000;  // absurd: must clamp to n · max_indices = 8
+  auto node = std::make_unique<PipelinedLogNode>(params, cfg, nullptr);
+  auto* raw = node.get();
+  world.set_behavior(0, std::move(node));
+  world.start();
+  EXPECT_EQ(raw->depth(), 8u);
+}
+
+}  // namespace
+}  // namespace ssbft

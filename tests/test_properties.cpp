@@ -1,0 +1,224 @@
+// Property-style parameterized sweeps: Agreement/Validity/Timeliness must
+// hold across the whole grid of cluster sizes × adversaries × delay models ×
+// seeds. Each point is one seeded simulation; the assertions are the
+// paper's invariants, so any counterexample is a protocol (or model) bug.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "harness/metrics.hpp"
+#include "harness/runner.hpp"
+
+namespace ssbft {
+namespace {
+
+// --------------------------------------------------------------------------
+// Sweep 1: correct General across (n, adversary, seed).
+// --------------------------------------------------------------------------
+
+using CorrectGeneralParams =
+    std::tuple<std::uint32_t /*n*/, AdversaryKind, std::uint64_t /*seed*/>;
+
+class CorrectGeneralSweep
+    : public ::testing::TestWithParam<CorrectGeneralParams> {};
+
+TEST_P(CorrectGeneralSweep, ValidityAgreementTimeliness) {
+  const auto [n, adversary, seed] = GetParam();
+  const std::uint32_t f = (n - 1) / 3;
+
+  Scenario sc;
+  sc.n = n;
+  sc.f = f;
+  sc.with_tail_faults(f);
+  sc.adversary = adversary;
+  sc.adversary_period = milliseconds(1);
+  sc.with_proposal(milliseconds(10), 0, 7);
+  sc.run_for = milliseconds(400);
+  sc.seed = seed;
+
+  Cluster cluster(sc);
+  cluster.run();
+  const auto m = evaluate_run(cluster.decisions(), cluster.proposals(),
+                              cluster.correct_count(), cluster.params());
+  EXPECT_EQ(m.agreement_violations, 0u);
+  EXPECT_EQ(m.validity_violations, 0u);
+  // Timeliness: decision skew ≤ 3d (2d with validity, but adversaries other
+  // than silent may force the general bound), τG skew ≤ 6d.
+  EXPECT_LE(m.max_decision_skew, 3 * cluster.params().d());
+  EXPECT_LE(m.max_tau_g_skew, 6 * cluster.params().d());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CorrectGeneralSweep,
+    ::testing::Combine(::testing::Values(4u, 7u, 10u, 13u),
+                       ::testing::Values(AdversaryKind::kSilent,
+                                         AdversaryKind::kNoise,
+                                         AdversaryKind::kQuorumFaker,
+                                         AdversaryKind::kReplay),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const ::testing::TestParamInfo<CorrectGeneralParams>& info) {
+      std::string name = to_string(std::get<1>(info.param));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return "n" + std::to_string(std::get<0>(info.param)) + "_" + name +
+             "_s" + std::to_string(std::get<2>(info.param));
+    });
+
+// --------------------------------------------------------------------------
+// Sweep 2: Byzantine General across (n, attack, seed) — safety only.
+// --------------------------------------------------------------------------
+
+using ByzGeneralParams =
+    std::tuple<std::uint32_t, AdversaryKind, std::uint64_t>;
+
+class ByzantineGeneralSweep
+    : public ::testing::TestWithParam<ByzGeneralParams> {};
+
+TEST_P(ByzantineGeneralSweep, AgreementAndRelayHold) {
+  const auto [n, attack, seed] = GetParam();
+  const std::uint32_t f = (n - 1) / 3;
+
+  Scenario sc;
+  sc.n = n;
+  sc.f = f;
+  // The General itself (node 0) is Byzantine; remaining budget at the tail.
+  sc.byz_nodes = {0};
+  for (std::uint32_t i = 1; i < f; ++i) sc.byz_nodes.push_back(n - i);
+  sc.adversary = attack;
+  sc.adversary_period = milliseconds(2);
+  sc.stagger_span = milliseconds(5);
+  sc.run_for = milliseconds(500);
+  sc.seed = seed;
+
+  Cluster cluster(sc);
+  cluster.run();
+
+  const auto execs = cluster_executions(cluster.decisions(), cluster.params());
+  const RealTime horizon = RealTime::zero() + sc.run_for -
+                           (cluster.params().delta_agr() + 7 * cluster.params().d());
+  for (const auto& e : execs) {
+    // Agreement: no two correct nodes decide differently.
+    EXPECT_TRUE(e.agreement_holds());
+    // Executions still in flight when the run ended can't be judged for
+    // relay completeness.
+    if (e.first_return() > horizon) continue;
+    // Relay: a decision anywhere ⇒ decisions everywhere (all correct nodes).
+    if (e.decided_count() > 0) {
+      EXPECT_EQ(e.decided_count(), cluster.correct_count());
+      EXPECT_LE(e.decision_skew(), 3 * cluster.params().d());
+      EXPECT_LE(e.tau_g_skew(), 6 * cluster.params().d());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ByzantineGeneralSweep,
+    ::testing::Combine(::testing::Values(4u, 7u, 10u),
+                       ::testing::Values(AdversaryKind::kEquivocatingGeneral,
+                                         AdversaryKind::kStaggeredGeneral,
+                                         AdversaryKind::kSpamGeneral),
+                       ::testing::Values(1u, 2u, 3u, 4u)),
+    [](const ::testing::TestParamInfo<ByzGeneralParams>& info) {
+      std::string name = to_string(std::get<1>(info.param));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return "n" + std::to_string(std::get<0>(info.param)) + "_" + name +
+             "_s" + std::to_string(std::get<2>(info.param));
+    });
+
+// --------------------------------------------------------------------------
+// Sweep 3: delay-model robustness — validity under every delay shape.
+// --------------------------------------------------------------------------
+
+struct DelayCase {
+  const char* name;
+  DelayModel model;
+};
+
+class DelayModelSweep : public ::testing::TestWithParam<DelayCase> {};
+
+TEST_P(DelayModelSweep, ValidityHolds) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Scenario sc;
+    sc.n = 7;
+    sc.f = 2;
+    sc.with_tail_faults(2);
+    sc.link_delay = GetParam().model;
+    sc.with_proposal(milliseconds(10), 0, 7);
+    sc.run_for = milliseconds(400);
+    sc.seed = seed;
+    Cluster cluster(sc);
+    cluster.run();
+    const auto m = evaluate_run(cluster.decisions(), cluster.proposals(),
+                                cluster.correct_count(), cluster.params());
+    EXPECT_EQ(m.agreement_violations, 0u) << GetParam().name << " s" << seed;
+    EXPECT_EQ(m.validity_violations, 0u) << GetParam().name << " s" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DelayModelSweep,
+    ::testing::Values(
+        DelayCase{"constant_min", DelayModel::constant(microseconds(50))},
+        DelayCase{"constant_at_bound", DelayModel::constant(milliseconds(1))},
+        DelayCase{"uniform_full",
+                  DelayModel::uniform(microseconds(200), milliseconds(1))},
+        DelayCase{"exp_fast",
+                  DelayModel::exp_truncated(microseconds(100), milliseconds(1))},
+        DelayCase{"exp_heavy",
+                  DelayModel::exp_truncated(microseconds(600), milliseconds(1))}),
+    [](const ::testing::TestParamInfo<DelayCase>& info) {
+      return info.param.name;
+    });
+
+// --------------------------------------------------------------------------
+// Sweep 4: stabilization across seeds (property: convergence always happens).
+// --------------------------------------------------------------------------
+
+class StabilizationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StabilizationSweep, ConvergesAndAgrees) {
+  Scenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.with_tail_faults(2);
+  sc.transient_scramble = true;
+  sc.transient.spurious_per_node = 48;
+  sc.chaos_period = milliseconds(8);
+  sc.seed = GetParam();
+  const Params params = sc.make_params();
+  const Duration stable_at = sc.chaos_period + params.delta_stb();
+  sc.with_proposal(stable_at + milliseconds(1), 0, 42);
+  sc.run_for = stable_at + milliseconds(150);
+
+  Cluster cluster(sc);
+  cluster.run();
+
+  std::uint32_t decided = 0;
+  for (const auto& d : cluster.decisions()) {
+    if (d.real_at >= RealTime::zero() + stable_at &&
+        d.decision.general.node == 0 && d.decision.decided()) {
+      EXPECT_EQ(d.decision.value, 42u);
+      ++decided;
+    }
+  }
+  EXPECT_EQ(decided, cluster.correct_count());
+
+  // And the post-stabilization record is violation-free.
+  std::vector<TimedDecision> post;
+  for (const auto& d : cluster.decisions()) {
+    if (d.real_at >= RealTime::zero() + stable_at) post.push_back(d);
+  }
+  const auto m = evaluate_run(post, {}, cluster.correct_count(), params);
+  EXPECT_EQ(m.agreement_violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StabilizationSweep,
+                         ::testing::Range(std::uint64_t{100},
+                                          std::uint64_t{116}));
+
+}  // namespace
+}  // namespace ssbft

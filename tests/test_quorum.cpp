@@ -1,0 +1,249 @@
+// Footnote-7 quorum policy: the paper notes the Quorum coherence condition
+// "can be replaced by (n+f)/2 correct nodes with some modifications to the
+// structure of the protocol". QuorumPolicy::kMajority realizes that
+// variant: thresholds ⌊(n+f)/2⌋+1 / f+1 instead of n−f / n−2f.
+//
+// These tests check (a) the threshold arithmetic preserves the three
+// intersection facts every proof uses, (b) the full protocol keeps all of
+// Agreement / Validity / Timeliness under either policy, and (c) the
+// liveness separation: in an over-provisioned cluster (n ≫ 3f+1) majority
+// quorums keep deciding with more than f crashed nodes where optimal
+// quorums stall — the exact trade footnote 7 describes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "harness/metrics.hpp"
+#include "harness/runner.hpp"
+
+namespace ssbft {
+namespace {
+
+Params make_params(std::uint32_t n, std::uint32_t f, QuorumPolicy policy) {
+  return Params{n, f, microseconds(1050)}.set_quorum_policy(policy);
+}
+
+// --- threshold arithmetic ---------------------------------------------------
+
+using QuorumMathCase = std::tuple<std::uint32_t, std::uint32_t, QuorumPolicy>;
+
+class QuorumMathTest : public ::testing::TestWithParam<QuorumMathCase> {};
+
+TEST_P(QuorumMathTest, HighQuorumsIntersectInACorrectNode) {
+  const auto [n, f, policy] = GetParam();
+  const auto params = make_params(n, f, policy);
+  // Two q_high-sized sets overlap in ≥ 2·q_high − n nodes; strictly more
+  // than f of them means at least one correct node is in both.
+  EXPECT_GT(2 * params.q_high(), params.n() + params.f());
+}
+
+TEST_P(QuorumMathTest, LowQuorumContainsACorrectNode) {
+  const auto [n, f, policy] = GetParam();
+  const auto params = make_params(n, f, policy);
+  EXPECT_GE(params.q_low(), params.f() + 1);
+}
+
+TEST_P(QuorumMathTest, HighQuorumAmplifiesToLowQuorumEverywhere) {
+  const auto [n, f, policy] = GetParam();
+  const auto params = make_params(n, f, policy);
+  // A high quorum observed at one node contains ≥ q_high − f correct
+  // senders, whose messages reach every node: a low quorum everywhere.
+  EXPECT_GE(params.q_high() - params.f(), params.q_low());
+}
+
+TEST_P(QuorumMathTest, ThresholdsAreReachableByCorrectNodesAlone) {
+  const auto [n, f, policy] = GetParam();
+  const auto params = make_params(n, f, policy);
+  EXPECT_LE(params.q_high(), params.n() - params.f());
+  EXPECT_LE(params.q_low(), params.q_high());
+}
+
+std::vector<QuorumMathCase> quorum_math_cases() {
+  std::vector<QuorumMathCase> cases;
+  for (std::uint32_t f = 0; f <= 6; ++f) {
+    for (std::uint32_t n = std::max(2u, 3 * f + 1); n <= 3 * f + 9; ++n) {
+      cases.emplace_back(n, f, QuorumPolicy::kOptimal);
+      cases.emplace_back(n, f, QuorumPolicy::kMajority);
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuorumMathTest, ::testing::ValuesIn(quorum_math_cases()),
+    [](const ::testing::TestParamInfo<QuorumMathCase>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "f" +
+             std::to_string(std::get<1>(info.param)) + "_" +
+             to_string(std::get<2>(info.param));
+    });
+
+TEST(QuorumMathTest, PoliciesCoincideAtMinimalN) {
+  // n = 3f+1 is the tight case: (n+f)/2+1 = 2f+1 = n−f and f+1 = n−2f.
+  for (std::uint32_t f : {1u, 2u, 3u, 5u}) {
+    const std::uint32_t n = 3 * f + 1;
+    const auto opt = make_params(n, f, QuorumPolicy::kOptimal);
+    const auto maj = make_params(n, f, QuorumPolicy::kMajority);
+    EXPECT_EQ(opt.q_high(), maj.q_high()) << "f=" << f;
+    EXPECT_EQ(opt.q_low(), maj.q_low()) << "f=" << f;
+  }
+}
+
+TEST(QuorumMathTest, MajorityIsStrictlySmallerWhenOverProvisioned) {
+  // Strict shrink needs n ≥ 3f+3 (at n=3f+1 and 3f+2 the pairs coincide).
+  for (std::uint32_t n : {9u, 13u, 25u}) {
+    const std::uint32_t f = 2;
+    const auto opt = make_params(n, f, QuorumPolicy::kOptimal);
+    const auto maj = make_params(n, f, QuorumPolicy::kMajority);
+    EXPECT_LT(maj.q_high(), opt.q_high()) << "n=" << n;
+    EXPECT_LT(maj.q_low(), opt.q_low()) << "n=" << n;
+  }
+}
+
+// --- full-protocol properties under either policy ---------------------------
+
+struct QuorumScenarioCase {
+  std::uint32_t n;
+  std::uint32_t f;
+  QuorumPolicy policy;
+  AdversaryKind adversary;
+};
+
+class QuorumProtocolTest : public ::testing::TestWithParam<QuorumScenarioCase> {
+};
+
+TEST_P(QuorumProtocolTest, AgreementAndValidityHold) {
+  const auto& param = GetParam();
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Scenario sc;
+    sc.n = param.n;
+    sc.f = param.f;
+    sc.quorum_policy = param.policy;
+    sc.with_tail_faults(param.f);
+    sc.adversary = param.adversary;
+    sc.with_proposal(milliseconds(5), 0, 42);
+    sc.run_for = milliseconds(300);
+    sc.seed = seed;
+    Cluster cluster(sc);
+    cluster.run();
+    const auto m = evaluate_run(cluster.decisions(), cluster.proposals(),
+                                cluster.correct_count(), cluster.params());
+    EXPECT_EQ(m.agreement_violations, 0u) << "seed " << seed;
+    if (param.adversary == AdversaryKind::kSilent) {
+      EXPECT_EQ(m.validity_violations, 0u) << "seed " << seed;
+    }
+  }
+}
+
+TEST_P(QuorumProtocolTest, TimelinessBoundsHold) {
+  const auto& param = GetParam();
+  if (param.adversary != AdversaryKind::kSilent) GTEST_SKIP();
+  Scenario sc;
+  sc.n = param.n;
+  sc.f = param.f;
+  sc.quorum_policy = param.policy;
+  sc.with_tail_faults(param.f);
+  sc.with_proposal(milliseconds(5), 0, 42);
+  sc.run_for = milliseconds(300);
+  Cluster cluster(sc);
+  cluster.run();
+  const auto execs = cluster_executions(cluster.decisions(), cluster.params());
+  ASSERT_EQ(execs.size(), 1u);
+  EXPECT_LE(execs[0].decision_skew(), 2 * cluster.params().d());
+  EXPECT_LE(execs[0].tau_g_skew(), 6 * cluster.params().d());
+}
+
+std::vector<QuorumScenarioCase> quorum_protocol_cases() {
+  std::vector<QuorumScenarioCase> cases;
+  for (QuorumPolicy policy : {QuorumPolicy::kOptimal, QuorumPolicy::kMajority}) {
+    for (auto [n, f] : {std::pair{4u, 1u}, {7u, 2u}, {13u, 2u}, {10u, 3u}}) {
+      cases.push_back({n, f, policy, AdversaryKind::kSilent});
+    }
+    cases.push_back({7u, 2u, policy, AdversaryKind::kEquivocatingGeneral});
+    cases.push_back({13u, 2u, policy, AdversaryKind::kQuorumFaker});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuorumProtocolTest, ::testing::ValuesIn(quorum_protocol_cases()),
+    [](const ::testing::TestParamInfo<QuorumScenarioCase>& info) {
+      std::string name = "n" + std::to_string(info.param.n) + "f" +
+                         std::to_string(info.param.f) + "_" +
+                         std::string(to_string(info.param.policy)) + "_" +
+                         to_string(info.param.adversary);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// --- the liveness separation footnote 7 buys --------------------------------
+
+RunMetrics run_with_crashes(QuorumPolicy policy, std::uint32_t crashes) {
+  Scenario sc;
+  sc.n = 13;
+  sc.f = 2;  // design bound; the extra crashes exceed it deliberately
+  sc.quorum_policy = policy;
+  sc.with_tail_faults(crashes);  // silent = crash faults
+  sc.with_proposal(milliseconds(5), 0, 42);
+  sc.run_for = milliseconds(400);
+  Cluster cluster(sc);
+  cluster.run();
+  return evaluate_run(cluster.decisions(), cluster.proposals(),
+                      cluster.correct_count(), cluster.params());
+}
+
+TEST(QuorumLivenessTest, OptimalStallsBeyondFCrashesMajorityProceeds) {
+  // n=13, f=2: optimal q_high = 11 needs all but 2 nodes alive; majority
+  // q_high = 8 keeps working with up to 5 crashed. With 4 crashes:
+  const auto optimal = run_with_crashes(QuorumPolicy::kOptimal, 4);
+  const auto majority = run_with_crashes(QuorumPolicy::kMajority, 4);
+  EXPECT_EQ(optimal.unanimous_decides, 0u)
+      << "optimal quorums should stall with > f crashes";
+  EXPECT_EQ(majority.unanimous_decides, 1u)
+      << "majority quorums should still decide with 4 crashes";
+  EXPECT_EQ(majority.agreement_violations, 0u);
+  EXPECT_EQ(majority.validity_violations, 0u);
+}
+
+TEST(QuorumLivenessTest, BothPoliciesDecideAtExactlyFCrashes) {
+  for (QuorumPolicy policy :
+       {QuorumPolicy::kOptimal, QuorumPolicy::kMajority}) {
+    const auto m = run_with_crashes(policy, 2);
+    EXPECT_EQ(m.unanimous_decides, 1u) << to_string(policy);
+    EXPECT_EQ(m.agreement_violations, 0u) << to_string(policy);
+  }
+}
+
+TEST(QuorumLivenessTest, MajorityStallsPastItsOwnBound) {
+  // Majority q_high = 8 over 13 nodes: with 6 crashed only 7 remain.
+  const auto m = run_with_crashes(QuorumPolicy::kMajority, 6);
+  EXPECT_EQ(m.unanimous_decides, 0u);
+  EXPECT_EQ(m.agreement_violations, 0u);  // safety never degrades
+}
+
+// --- self-stabilization is policy-independent --------------------------------
+
+TEST(QuorumStabilizationTest, MajorityConvergesFromScrambledState) {
+  Scenario sc;
+  sc.n = 13;
+  sc.f = 2;
+  sc.quorum_policy = QuorumPolicy::kMajority;
+  sc.with_tail_faults(2);
+  sc.transient_scramble = true;
+  const Duration stb = sc.make_params().delta_stb();
+  sc.with_proposal(stb + milliseconds(5), 0, 99);
+  sc.run_for = stb + milliseconds(300);
+  Cluster cluster(sc);
+  cluster.run();
+  const auto m = evaluate_run(cluster.decisions(), cluster.proposals(),
+                              cluster.correct_count(), cluster.params());
+  EXPECT_EQ(m.agreement_violations, 0u);
+  EXPECT_EQ(m.validity_violations, 0u);
+  EXPECT_EQ(m.unanimous_decides, 1u);
+}
+
+}  // namespace
+}  // namespace ssbft

@@ -1,0 +1,193 @@
+// Fault-turnover and recovery tests.
+//
+// The paper's model lets nodes *recover*: a faulty node that resumes
+// obeying the protocol is non-faulty again, and becomes correct after
+// ∆node of continuous good behavior (Def. 1/4, Corollary 6). The World
+// supports this via behavior replacement; these tests exercise
+// Byzantine→correct turnover, correct→Byzantine turnover (within the f
+// budget), and late joiners.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/adversaries.hpp"
+#include "harness/metrics.hpp"
+#include "harness/runner.hpp"
+
+namespace ssbft {
+namespace {
+
+std::unique_ptr<SsByzNode> make_protocol_node(Cluster& cluster,
+                                              std::vector<TimedDecision>* out) {
+  auto sink = [&cluster, out](const Decision& decision) {
+    TimedDecision td;
+    td.decision = decision;
+    td.real_at = cluster.world().now();
+    td.tau_g_real = cluster.world().real_at(decision.node, decision.tau_g);
+    out->push_back(td);
+  };
+  return std::make_unique<SsByzNode>(cluster.params(), sink);
+}
+
+TEST(RecoveryTest, ByzantineNodeRecoversAndRejoinsAgreement) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Scenario sc;
+    sc.n = 7;
+    sc.f = 2;
+    sc.byz_nodes = {5, 6};
+    sc.adversary = AdversaryKind::kNoise;
+    sc.seed = seed;
+    sc.run_for = milliseconds(1);  // run() driven manually below
+    Cluster cluster(sc);
+    std::vector<TimedDecision> recovered_decisions;
+
+    cluster.world().start();
+    cluster.world().run_until(RealTime::zero() + milliseconds(30));
+
+    // Node 6 stops being Byzantine and starts running the protocol with a
+    // fresh (arbitrary-from-its-view) state. After ∆node of good behavior
+    // it must participate fully.
+    cluster.world().set_behavior(
+        6, make_protocol_node(cluster, &recovered_decisions));
+    const Params& params = cluster.params();
+    const Duration wait = params.delta_node();
+    const RealTime propose_at =
+        RealTime::zero() + milliseconds(30) + wait + milliseconds(1);
+    cluster.propose_at((propose_at - RealTime::zero()), 0, 42);
+    cluster.world().run_until(propose_at + milliseconds(100));
+
+    // The recovered node decided the same value as everyone else.
+    ASSERT_EQ(recovered_decisions.size(), 1u) << "seed " << seed;
+    EXPECT_EQ(recovered_decisions[0].decision.value, 42u);
+    // And the original correct nodes all decided too.
+    std::uint32_t decided = 0;
+    for (const auto& d : cluster.decisions()) {
+      if (d.decision.decided() && d.decision.general.node == 0) ++decided;
+    }
+    EXPECT_EQ(decided, cluster.correct_count());
+  }
+}
+
+TEST(RecoveryTest, TurnoverWithinBudgetPreservesAgreement) {
+  // One Byzantine node recovers while another correct node turns Byzantine:
+  // the instantaneous count never exceeds f. Agreements before and after
+  // the swap must both succeed.
+  Scenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.byz_nodes = {6};
+  sc.adversary = AdversaryKind::kNoise;
+  sc.seed = 11;
+  sc.run_for = milliseconds(1);
+  Cluster cluster(sc);
+  std::vector<TimedDecision> recovered_decisions;
+  const Params& params = cluster.params();
+
+  cluster.world().start();
+  cluster.propose_at(milliseconds(5), 0, 1);
+  cluster.world().run_until(RealTime::zero() + milliseconds(40));
+
+  // Swap: node 6 recovers, node 4 goes Byzantine (budget still ≤ f = 2).
+  cluster.world().set_behavior(
+      6, make_protocol_node(cluster, &recovered_decisions));
+  cluster.world().set_behavior(
+      4, std::make_unique<RandomNoiseAdversary>(milliseconds(1)));
+
+  const Duration settle = params.delta_node();
+  cluster.propose_at(milliseconds(40) + settle, 0, 2);
+  cluster.world().run_until(RealTime::zero() + milliseconds(40) + settle +
+                            milliseconds(120));
+
+  // Post-swap agreement: nodes 0,1,2,3,5 plus recovered node 6 — six
+  // correct nodes — decide value 2.
+  std::uint32_t post_deciders = 0;
+  for (const auto& d : cluster.decisions()) {
+    if (d.decision.decided() && d.decision.value == 2) ++post_deciders;
+  }
+  for (const auto& d : recovered_decisions) {
+    if (d.decision.decided() && d.decision.value == 2) ++post_deciders;
+  }
+  EXPECT_EQ(post_deciders, 6u);
+
+  // Nothing, before or after, may disagree.
+  std::vector<TimedDecision> all = cluster.decisions();
+  all.insert(all.end(), recovered_decisions.begin(), recovered_decisions.end());
+  const auto m = evaluate_run(all, {}, 6, params);
+  EXPECT_EQ(m.agreement_violations, 0u);
+}
+
+TEST(RecoveryTest, ScrambledRecoveredNodeCannotPoisonOthers) {
+  // A recovering node comes back with maximally bad state (scrambled), yet
+  // counts against nobody: the other n−f correct nodes still satisfy
+  // validity immediately, and the recovered node converges by ∆node.
+  Scenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.byz_nodes = {6};
+  sc.adversary = AdversaryKind::kSilent;
+  sc.seed = 21;
+  sc.run_for = milliseconds(1);
+  Cluster cluster(sc);
+  std::vector<TimedDecision> recovered_decisions;
+
+  cluster.world().start();
+  cluster.world().set_behavior(
+      6, make_protocol_node(cluster, &recovered_decisions));
+  cluster.world().scramble_node(6);  // recovery with arbitrary memory
+
+  // Immediately propose — the scrambled node may sit this one out, but the
+  // others must decide (they form an n−f correct quorum without it).
+  cluster.propose_at(milliseconds(2), 0, 9);
+  cluster.world().run_until(RealTime::zero() + milliseconds(80));
+  std::uint32_t early = 0;
+  for (const auto& d : cluster.decisions()) {
+    if (d.decision.decided() && d.decision.value == 9) ++early;
+  }
+  EXPECT_EQ(early, cluster.correct_count());
+
+  // After ∆node, the recovered node participates and decides too.
+  const Duration settle = cluster.params().delta_node();
+  cluster.propose_at(milliseconds(80) + settle, 0, 10);
+  cluster.world().run_until(RealTime::zero() + milliseconds(80) + settle +
+                            milliseconds(100));
+  bool recovered_decided = false;
+  for (const auto& d : recovered_decisions) {
+    if (d.decision.decided() && d.decision.value == 10) recovered_decided = true;
+  }
+  EXPECT_TRUE(recovered_decided);
+}
+
+TEST(RecoveryTest, RepeatedScramblesOfMinorityNeverBreakAgreement) {
+  // Keep re-scrambling one rotating correct node between agreements; no
+  // execution may ever split.
+  Scenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.with_tail_faults(2);
+  sc.seed = 31;
+  sc.run_for = milliseconds(1);
+  Cluster cluster(sc);
+  const Params& params = cluster.params();
+  cluster.world().start();
+
+  // Each round: scramble, wait out the decay horizon (∆reset bounds every
+  // variable), propose, let the agreement finish.
+  const Duration slot = params.delta_reset() + milliseconds(30);
+  for (int round = 0; round < 4; ++round) {
+    const Duration base = round * slot;
+    cluster.world().run_until(RealTime::zero() + base + milliseconds(1));
+    cluster.world().scramble_node(NodeId(1 + (round % 4)));
+    // Propose only after the scrambled node's garbage pacing state decayed
+    // (∆reset bounds every variable).
+    cluster.propose_at(base + params.delta_reset() + milliseconds(1), 0,
+                       100 + Value(round));
+    cluster.world().run_until(RealTime::zero() + base + slot);
+  }
+  const auto m = evaluate_run(cluster.decisions(), {}, cluster.correct_count(),
+                              params);
+  EXPECT_EQ(m.agreement_violations, 0u);
+  EXPECT_GE(m.unanimous_decides, 3u);
+}
+
+}  // namespace
+}  // namespace ssbft

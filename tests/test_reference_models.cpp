@@ -1,0 +1,243 @@
+// Reference-model property tests: the optimized core data structures are
+// fuzzed against naive, obviously-correct oracles over thousands of random
+// operation sequences. Any divergence is a real bug in the fast path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/message_log.hpp"
+#include "core/timed_var.hpp"
+#include "util/rng.hpp"
+
+namespace ssbft {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ArrivalLog vs. a keep-everything oracle.
+// ---------------------------------------------------------------------------
+
+/// Naive oracle: stores every arrival; answers window queries by scanning.
+class ArrivalOracle {
+ public:
+  void note(const ArrivalKey& key, NodeId sender, LocalTime at) {
+    arrivals_.push_back({key, sender, at});
+  }
+
+  std::uint32_t distinct_in_window(const ArrivalKey& key, LocalTime from,
+                                   LocalTime to) const {
+    std::set<NodeId> senders;
+    for (const auto& a : arrivals_) {
+      if (a.key == key && a.at >= from && a.at <= to && !erased(a)) {
+        senders.insert(a.sender);
+      }
+    }
+    return std::uint32_t(senders.size());
+  }
+
+  std::optional<Duration> shortest_window(const ArrivalKey& key,
+                                          std::uint32_t quorum, LocalTime now,
+                                          Duration max_window) const {
+    if (quorum == 0) return Duration::zero();
+    // Scan all candidate α: the answers are determined by arrival times, so
+    // test each arrival's time as the window start.
+    std::optional<Duration> best;
+    for (const auto& a : arrivals_) {
+      if (!(a.key == key) || erased(a)) continue;
+      if (a.at > now || a.at < now - max_window) continue;
+      const Duration alpha = now - a.at;
+      if (distinct_in_window(key, now - alpha, now) >= quorum) {
+        if (!best || alpha < *best) best = alpha;
+      }
+    }
+    return best;
+  }
+
+  std::uint32_t distinct_total(const ArrivalKey& key) const {
+    std::set<NodeId> senders;
+    for (const auto& a : arrivals_) {
+      if (a.key == key && !erased(a)) senders.insert(a.sender);
+    }
+    return std::uint32_t(senders.size());
+  }
+
+  void decay(LocalTime now, Duration keep) {
+    arrivals_.erase(std::remove_if(arrivals_.begin(), arrivals_.end(),
+                                   [&](const Arrival& a) {
+                                     return a.at > now || a.at < now - keep;
+                                   }),
+                    arrivals_.end());
+  }
+
+  void erase_value(Value value) {
+    arrivals_.erase(std::remove_if(arrivals_.begin(), arrivals_.end(),
+                                   [&](const Arrival& a) {
+                                     return a.key.value == value;
+                                   }),
+                    arrivals_.end());
+  }
+
+ private:
+  struct Arrival {
+    ArrivalKey key;
+    NodeId sender;
+    LocalTime at;
+  };
+  // Duplicate (key, sender) pairs: only the latest counts in the real log;
+  // mirror that by treating older duplicates as erased.
+  bool erased(const Arrival& a) const {
+    for (const auto& other : arrivals_) {
+      if (other.key == a.key && other.sender == a.sender &&
+          other.at > a.at) {
+        return true;
+      }
+    }
+    return false;
+  }
+  std::vector<Arrival> arrivals_;
+};
+
+TEST(ReferenceModelTest, ArrivalLogMatchesOracle) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    ArrivalLog log;
+    ArrivalOracle oracle;
+    LocalTime now{1'000'000};
+
+    const auto random_key = [&rng] {
+      ArrivalKey key;
+      key.kind = rng.next_bool(0.5) ? MsgKind::kSupport : MsgKind::kApprove;
+      key.value = rng.next_below(3);
+      return key;
+    };
+
+    for (int step = 0; step < 600; ++step) {
+      now += Duration{rng.next_in(0, 2000)};
+      const auto op = rng.next_below(10);
+      if (op < 6) {
+        // Arrivals are stamped at receipt time — note()'s contract: `at`
+        // is the caller's local now (monotone per node).
+        const ArrivalKey key = random_key();
+        const NodeId sender = NodeId(rng.next_below(6));
+        log.note(key, sender, now);
+        oracle.note(key, sender, now);
+      } else if (op < 8) {
+        const Duration keep{rng.next_in(1'000, 40'000)};
+        log.decay(now, keep);
+        oracle.decay(now, keep);
+      } else if (op == 8) {
+        const Value value = rng.next_below(3);
+        log.erase_if([value](const ArrivalKey& k) { return k.value == value; });
+        oracle.erase_value(value);
+      } else {
+        // Query step: compare every query on a few random keys.
+        for (int q = 0; q < 3; ++q) {
+          const ArrivalKey key = random_key();
+          const Duration w{rng.next_in(0, 20'000)};
+          ASSERT_EQ(log.distinct_in_window(key, now - w, now),
+                    oracle.distinct_in_window(key, now - w, now))
+              << "seed " << seed << " step " << step;
+          ASSERT_EQ(log.distinct_total(key), oracle.distinct_total(key))
+              << "seed " << seed << " step " << step;
+          const auto quorum = std::uint32_t(rng.next_below(5)) + 1;
+          const Duration max_w{rng.next_in(0, 20'000)};
+          const auto a = log.shortest_window(key, quorum, now, max_w);
+          const auto b = oracle.shortest_window(key, quorum, now, max_w);
+          ASSERT_EQ(a.has_value(), b.has_value())
+              << "seed " << seed << " step " << step;
+          if (a) {
+            ASSERT_EQ(a->ns(), b->ns())
+                << "seed " << seed << " step " << step;
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TimedVar vs. an eager oracle that applies expiry continuously.
+// ---------------------------------------------------------------------------
+
+/// Oracle: records (time, value) sets/resets; derives the value at any time
+/// by replaying the history with eager expiry.
+class TimedVarOracle {
+ public:
+  void set(LocalTime at, LocalTime value) { ops_.push_back({at, value}); }
+  void reset(LocalTime at) { ops_.push_back({at, std::nullopt}); }
+
+  std::optional<LocalTime> value_at(LocalTime when, Duration expiry) const {
+    std::optional<LocalTime> value;
+    LocalTime value_since{};
+    for (const auto& op : ops_) {
+      if (op.at > when) break;
+      value = op.value;
+      value_since = op.at;
+    }
+    (void)value_since;
+    if (value && (*value > when || *value < when - expiry)) {
+      // Eager cleanup would have dropped it by `when` (future values at the
+      // next instant; expired ones at value + expiry).
+      if (*value < when - expiry) return std::nullopt;
+      // Future-stamped: the lazy implementation only heals these when
+      // cleanup runs; tolerate both by not asserting on them (the fuzz
+      // driver below never sets future values).
+    }
+    return value;
+  }
+
+ private:
+  struct Op {
+    LocalTime at;
+    std::optional<LocalTime> value;
+  };
+  std::vector<Op> ops_;
+};
+
+TEST(ReferenceModelTest, TimedVarMatchesEagerOracle) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    TimedVar var;
+    TimedVarOracle oracle;
+    LocalTime now{1'000'000};
+    const Duration expiry{20'000};
+    const Duration keep{200'000};
+
+    for (int step = 0; step < 400; ++step) {
+      now += Duration{rng.next_in(1, 5'000)};
+      const auto op = rng.next_below(8);
+      if (op < 3) {
+        // Sets always use a (possibly slightly past) non-future value, as
+        // the protocol does (last(G,m) := τq, i_values := τq − d...).
+        const LocalTime value = now - Duration{rng.next_in(0, 3'000)};
+        var.set(now, value);
+        oracle.set(now, value);
+      } else if (op < 4) {
+        var.reset(now);
+        oracle.reset(now);
+      } else if (op < 6) {
+        var.cleanup(now, expiry, keep);
+      } else {
+        // Historical query at a random offset within the kept horizon;
+        // run cleanup first (the protocol always does).
+        var.cleanup(now, expiry, keep);
+        const LocalTime probe = now - Duration{rng.next_in(0, 30'000)};
+        const auto got = var.value_at(probe);
+        const auto want = oracle.value_at(probe, expiry);
+        ASSERT_EQ(got.has_value(), want.has_value())
+            << "seed " << seed << " step " << step << " probe "
+            << probe.ns();
+        if (got) {
+          ASSERT_EQ(got->ns(), want->ns())
+              << "seed " << seed << " step " << step;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ssbft

@@ -1,0 +1,192 @@
+// Replicated-log (state machine replication) tests: identical logs at all
+// correct nodes, liveness past faulty proposers, hole-filling via relay,
+// and convergence of the committed suffix after a transient scramble.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "adversary/adversaries.hpp"
+#include "app/replicated_log.hpp"
+#include "sim/world.hpp"
+
+namespace ssbft {
+namespace {
+
+class LogFixture {
+ public:
+  LogFixture(std::uint32_t n, std::uint32_t f, std::uint64_t seed,
+             std::uint32_t byz_count = 0) {
+    WorldConfig wc;
+    wc.n = n;
+    wc.seed = seed;
+    world = std::make_unique<World>(wc);
+    params = std::make_unique<Params>(n, f, wc.d_bound());
+    nodes.assign(n, nullptr);
+    for (NodeId i = 0; i < n; ++i) {
+      if (i >= n - byz_count) {
+        world->set_behavior(
+            i, std::make_unique<RandomNoiseAdversary>(milliseconds(2)));
+        continue;
+      }
+      auto node =
+          std::make_unique<ReplicatedLogNode>(*params, LogConfig{}, nullptr);
+      nodes[i] = node.get();
+      world->set_behavior(i, std::move(node));
+    }
+    correct_count = n - byz_count;
+  }
+
+  /// Are all correct logs identical (ignoring local commit times)?
+  [[nodiscard]] bool logs_identical() const {
+    const ReplicatedLogNode* reference = nullptr;
+    for (auto* node : nodes) {
+      if (node == nullptr) continue;
+      if (reference == nullptr) {
+        reference = node;
+        continue;
+      }
+      if (node->log().size() != reference->log().size()) return false;
+      auto it_a = node->log().begin();
+      auto it_b = reference->log().begin();
+      for (; it_a != node->log().end(); ++it_a, ++it_b) {
+        if (it_a->first != it_b->first || !(it_a->second == it_b->second)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  std::unique_ptr<World> world;
+  std::unique_ptr<Params> params;
+  std::vector<ReplicatedLogNode*> nodes;
+  std::uint32_t correct_count = 0;
+};
+
+TEST(ReplicatedLogTest, EncodeDecodeRoundTrip) {
+  for (std::uint64_t slot : {0ull, 1ull, 12345ull, 0x7FFFFFFFull}) {
+    for (std::uint32_t cmd : {0u, 1u, 0xABCDEF01u, 0xFFFFFFFEu}) {
+      const Value v = ReplicatedLogNode::encode(slot, cmd);
+      EXPECT_NE(v, kBottom);
+      std::uint64_t s;
+      std::uint32_t c;
+      ReplicatedLogNode::decode(v, s, c);
+      EXPECT_EQ(s, slot);
+      EXPECT_EQ(c, cmd);
+    }
+  }
+}
+
+TEST(ReplicatedLogTest, CommandsCommitInSlotOrderOnAllNodes) {
+  LogFixture fx(4, 1, 1);
+  fx.world->start();
+  // Every node submits a few commands; rotation drains them.
+  for (NodeId i = 0; i < 4; ++i) {
+    for (std::uint32_t k = 0; k < 2; ++k) {
+      fx.nodes[i]->submit(100 * (i + 1) + k);
+    }
+  }
+  fx.world->run_for(16 * fx.nodes[0]->slot_period());
+  EXPECT_TRUE(fx.logs_identical());
+  ASSERT_GE(fx.nodes[0]->log().size(), 6u);
+  // Slot → proposer respects the rotation.
+  for (const auto& [slot, entry] : fx.nodes[0]->log()) {
+    EXPECT_EQ(entry.proposer, NodeId(slot % 4));
+  }
+}
+
+TEST(ReplicatedLogTest, PendingCommandsDrain) {
+  LogFixture fx(4, 1, 3);
+  fx.world->start();
+  fx.nodes[2]->submit(777);
+  fx.nodes[2]->submit(778);
+  fx.world->run_for(20 * fx.nodes[0]->slot_period());
+  EXPECT_EQ(fx.nodes[2]->pending(), 0u);
+  // Both commands are in everyone's log.
+  std::vector<std::uint32_t> committed;
+  for (const auto& [slot, entry] : fx.nodes[0]->log()) {
+    if (entry.proposer == 2) committed.push_back(entry.command);
+  }
+  ASSERT_GE(committed.size(), 2u);
+  EXPECT_EQ(committed[0], 777u);
+  EXPECT_EQ(committed[1], 778u);
+}
+
+TEST(ReplicatedLogTest, FaultyProposersAreSkippedWithoutStallingTheLog) {
+  LogFixture fx(7, 2, 5, /*byz_count=*/2);  // proposers 5,6 are noise
+  fx.world->start();
+  for (NodeId i = 0; i < 5; ++i) fx.nodes[i]->submit(500 + i);
+  fx.world->run_for(24 * fx.nodes[0]->slot_period());
+  EXPECT_TRUE(fx.logs_identical());
+  // All five submissions committed despite 2/7 proposers being Byzantine.
+  std::uint32_t committed = 0;
+  for (const auto& [slot, entry] : fx.nodes[0]->log()) {
+    if (entry.command >= 500 && entry.command < 505) ++committed;
+    // No slot owned by a Byzantine proposer carries a committed entry
+    // (noise can't drive an agreement through).
+    EXPECT_LT(entry.proposer, 5u);
+  }
+  EXPECT_EQ(committed, 5u);
+}
+
+TEST(ReplicatedLogTest, LogsIdenticalUnderContinuousSubmission) {
+  for (std::uint64_t seed : {7u, 8u}) {
+    LogFixture fx(7, 2, seed, 2);
+    fx.world->start();
+    // Keep refilling every correct node's queue over time.
+    const Duration period = fx.nodes[0]->slot_period();
+    for (int burst = 0; burst < 6; ++burst) {
+      fx.world->queue().schedule(
+          RealTime::zero() + burst * 4 * period, [&fx, burst] {
+            for (NodeId i = 0; i < 5; ++i) {
+              fx.nodes[i]->submit(std::uint32_t(1000 + 10 * burst + i));
+            }
+          });
+    }
+    fx.world->run_for(30 * period);
+    EXPECT_TRUE(fx.logs_identical()) << "seed " << seed;
+    EXPECT_GE(fx.nodes[0]->log().size(), 12u);
+  }
+}
+
+TEST(ReplicatedLogTest, WorkSubmittedAfterScrambleCommitsConsistently) {
+  // A transient fault scrambles agreement state, slot cursors, AND the
+  // application log (junk entries). The guarantee after convergence: every
+  // command submitted post-settle is committed at every correct node with
+  // an identical (slot, command, proposer) record. (Pre-coherence junk
+  // entries are application state the protocol does not retroactively heal
+  // — that is outside the agreement problem and documented as such.)
+  LogFixture fx(7, 2, 11, 2);
+  fx.world->start();
+  for (NodeId i = 0; i < 5; ++i) fx.world->scramble_node(i);
+
+  fx.world->run_for(fx.params->delta_stb());
+  for (NodeId i = 0; i < 5; ++i) fx.nodes[i]->submit(9000 + i);
+  fx.world->run_for(30 * fx.nodes[0]->slot_period());
+
+  for (std::uint32_t cmd = 9000; cmd < 9005; ++cmd) {
+    std::optional<CommittedEntry> reference;
+    for (NodeId i = 0; i < 5; ++i) {
+      std::optional<CommittedEntry> found;
+      for (const auto& [slot, entry] : fx.nodes[i]->log()) {
+        if (entry.command == cmd) {
+          found = entry;
+          break;
+        }
+      }
+      ASSERT_TRUE(found.has_value())
+          << "node " << i << " never committed cmd " << cmd;
+      if (!reference) {
+        reference = found;
+      } else {
+        EXPECT_TRUE(*found == *reference) << "cmd " << cmd << " diverged";
+      }
+    }
+  }
+  for (NodeId i = 0; i < 5; ++i) EXPECT_EQ(fx.nodes[i]->pending(), 0u);
+}
+
+}  // namespace
+}  // namespace ssbft

@@ -1,0 +1,381 @@
+// Unit tests: simulation substrate (event queue, clocks, network, world).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/delay_model.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/network.hpp"
+#include "sim/world.hpp"
+
+namespace ssbft {
+namespace {
+
+// ---------------------------------------------------------- event queue --
+
+TEST(EventQueueTest, DispatchesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(RealTime{30}, [&] { order.push_back(3); });
+  q.schedule(RealTime{10}, [&] { order.push_back(1); });
+  q.schedule(RealTime{20}, [&] { order.push_back(2); });
+  q.run_until(RealTime{100});
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.dispatched(), 3u);
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(RealTime{5}, [&order, i] { order.push_back(i); });
+  }
+  q.run_until(RealTime{5});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(RealTime{1}, [&] {
+    ++fired;
+    q.schedule(RealTime{2}, [&] { ++fired; });
+  });
+  q.run_until(RealTime{10});
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), RealTime{10});
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(RealTime{5}, [&] { ++fired; });
+  q.schedule(RealTime{15}, [&] { ++fired; });
+  q.run_until(RealTime{10});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), RealTime{10});
+  q.run_until(RealTime{20});
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastAborts) {
+  EventQueue q;
+  q.schedule(RealTime{10}, [] {});
+  q.run_until(RealTime{10});
+  EXPECT_DEATH(q.schedule(RealTime{5}, [] {}), "precondition");
+}
+
+// ---------------------------------------------------------------- clock --
+
+TEST(ClockTest, IdentityClock) {
+  DriftingClock c{1.0, Duration::zero()};
+  EXPECT_EQ(c.local_at(RealTime{12345}).ns(), 12345);
+  EXPECT_EQ(c.real_at(LocalTime{12345}).ns(), 12345);
+}
+
+TEST(ClockTest, OffsetApplies) {
+  DriftingClock c{1.0, milliseconds(5)};
+  EXPECT_EQ(c.local_at(RealTime::zero()), LocalTime{milliseconds(5).ns()});
+}
+
+TEST(ClockTest, RateScales) {
+  DriftingClock c{2.0, Duration::zero()};
+  EXPECT_EQ(c.local_at(RealTime{1000}).ns(), 2000);
+}
+
+TEST(ClockTest, RoundTripWithinOneTick) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double rate = 1.0 + (rng.next_double() - 0.5) * 2e-4;
+    DriftingClock c{rate, Duration{rng.next_in(-1'000'000, 1'000'000)}};
+    const LocalTime tau{rng.next_in(0, 1'000'000'000)};
+    const RealTime t = c.real_at(tau);
+    // real_at returns the earliest real time with reading >= tau.
+    EXPECT_GE(c.local_at(t), tau);
+    EXPECT_LT(c.local_at(t) - tau, Duration{3});
+  }
+}
+
+TEST(ClockTest, DriftBoundHolds) {
+  const double rho = 1e-4;
+  DriftingClock c{1.0 + rho, milliseconds(3)};
+  const Duration real_iv = seconds(1);
+  const Duration local_iv =
+      c.local_at(RealTime::zero() + real_iv) - c.local_at(RealTime::zero());
+  EXPECT_LE(double(local_iv.ns()), (1 + rho) * double(real_iv.ns()) + 1);
+  EXPECT_GE(double(local_iv.ns()), (1 - rho) * double(real_iv.ns()) - 1);
+}
+
+// ---------------------------------------------------------- delay model --
+
+TEST(DelayModelTest, ConstantAlwaysTypical) {
+  Rng rng(1);
+  const auto m = DelayModel::constant(microseconds(70));
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(m.sample(rng), microseconds(70));
+}
+
+TEST(DelayModelTest, UniformWithinBounds) {
+  Rng rng(2);
+  const auto m = DelayModel::uniform(microseconds(10), microseconds(90));
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = m.sample(rng);
+    EXPECT_GE(v, microseconds(10));
+    EXPECT_LE(v, microseconds(90));
+  }
+}
+
+TEST(DelayModelTest, ExpTruncatedWithinBounds) {
+  Rng rng(3);
+  const auto m = DelayModel::exp_truncated(microseconds(20), microseconds(100));
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = m.sample(rng);
+    EXPECT_GE(v, Duration::zero());
+    EXPECT_LE(v, microseconds(100));
+  }
+}
+
+// -------------------------------------------------------------- network --
+
+class RecordingBehavior : public NodeBehavior {
+ public:
+  void on_message(NodeContext&, const WireMessage& msg) override {
+    received.push_back(msg);
+  }
+  std::vector<WireMessage> received;
+};
+
+WorldConfig small_world_config(std::uint32_t n, std::uint64_t seed = 1) {
+  WorldConfig wc;
+  wc.n = n;
+  wc.delta = milliseconds(1);
+  wc.pi = microseconds(50);
+  wc.seed = seed;
+  return wc;
+}
+
+TEST(NetworkTest, DeliversWithinBound) {
+  World world(small_world_config(3));
+  auto* receiver = new RecordingBehavior();
+  world.set_behavior(1, std::unique_ptr<NodeBehavior>(receiver));
+  world.start();
+
+  WireMessage msg;
+  msg.kind = MsgKind::kSupport;
+  msg.value = 7;
+  world.network().send(0, 1, msg);
+  world.run_for(world.config().delta + world.config().pi);
+
+  ASSERT_EQ(receiver->received.size(), 1u);
+  EXPECT_EQ(receiver->received[0].value, 7u);
+  EXPECT_EQ(receiver->received[0].sender, 0u);  // authenticated
+}
+
+TEST(NetworkTest, SenderIdentityIsAuthenticated) {
+  World world(small_world_config(3));
+  auto* receiver = new RecordingBehavior();
+  world.set_behavior(2, std::unique_ptr<NodeBehavior>(receiver));
+  world.start();
+
+  WireMessage msg;
+  msg.sender = 1;  // lie about the origin
+  world.network().send(0, 2, msg);
+  world.run_for(milliseconds(2));
+  ASSERT_EQ(receiver->received.size(), 1u);
+  EXPECT_EQ(receiver->received[0].sender, 0u);  // overwritten with truth
+}
+
+TEST(NetworkTest, SendAllReachesEveryNodeIncludingSelf) {
+  World world(small_world_config(4));
+  std::vector<RecordingBehavior*> receivers;
+  for (NodeId i = 0; i < 4; ++i) {
+    auto* r = new RecordingBehavior();
+    receivers.push_back(r);
+    world.set_behavior(i, std::unique_ptr<NodeBehavior>(r));
+  }
+  world.start();
+  world.network().send_all(2, WireMessage{});
+  world.run_for(milliseconds(2));
+  for (auto* r : receivers) EXPECT_EQ(r->received.size(), 1u);
+}
+
+TEST(NetworkTest, InjectRawCanForgeSenders) {
+  World world(small_world_config(3));
+  auto* receiver = new RecordingBehavior();
+  world.set_behavior(0, std::unique_ptr<NodeBehavior>(receiver));
+  world.start();
+
+  WireMessage msg;
+  msg.sender = 2;  // forged — allowed only through the fault injector path
+  world.network().inject_raw(0, msg, microseconds(10));
+  world.run_for(milliseconds(1));
+  ASSERT_EQ(receiver->received.size(), 1u);
+  EXPECT_EQ(receiver->received[0].sender, 2u);
+  EXPECT_EQ(world.network().stats().forged, 1u);
+}
+
+TEST(NetworkTest, ChaosPeriodCanDropMessages) {
+  auto wc = small_world_config(2, 99);
+  wc.chaos.drop_prob = 1.0;
+  wc.chaos.duplicate_prob = 0.0;
+  wc.chaos.corrupt_prob = 0.0;
+  World world(wc);
+  auto* receiver = new RecordingBehavior();
+  world.set_behavior(1, std::unique_ptr<NodeBehavior>(receiver));
+  world.start();
+  world.network().set_faulty_until(RealTime::zero() + milliseconds(10));
+
+  world.network().send(0, 1, WireMessage{});
+  world.run_for(milliseconds(5));
+  EXPECT_TRUE(receiver->received.empty());
+  EXPECT_EQ(world.network().stats().dropped, 1u);
+
+  // After the chaos period, delivery resumes.
+  world.run_for(milliseconds(6));  // now past faulty_until
+  world.network().send(0, 1, WireMessage{});
+  world.run_for(milliseconds(10));
+  EXPECT_EQ(receiver->received.size(), 1u);
+}
+
+TEST(NetworkTest, StatsCountPerKind) {
+  World world(small_world_config(2));
+  world.set_behavior(0, std::make_unique<RecordingBehavior>());
+  world.set_behavior(1, std::make_unique<RecordingBehavior>());
+  world.start();
+  WireMessage msg;
+  msg.kind = MsgKind::kApprove;
+  world.network().send(0, 1, msg);
+  world.network().send(0, 1, msg);
+  EXPECT_EQ(world.network().stats().per_kind[std::size_t(MsgKind::kApprove)],
+            2u);
+  EXPECT_EQ(world.network().stats().sent, 2u);
+}
+
+// ---------------------------------------------------------------- world --
+
+class TimerBehavior : public NodeBehavior {
+ public:
+  void on_start(NodeContext& ctx) override {
+    ctx.set_timer_after(milliseconds(3), 42);
+  }
+  void on_message(NodeContext&, const WireMessage&) override {}
+  void on_timer(NodeContext& ctx, std::uint64_t cookie) override {
+    fired_cookie = cookie;
+    fired_at = ctx.local_now();
+  }
+  std::uint64_t fired_cookie = 0;
+  LocalTime fired_at{};
+};
+
+TEST(WorldTest, LocalTimersFireAtLocalTime) {
+  World world(small_world_config(2, 31));
+  auto* behavior = new TimerBehavior();
+  world.set_behavior(0, std::unique_ptr<NodeBehavior>(behavior));
+  const LocalTime start = world.local_now(0);
+  world.start();
+  world.run_for(milliseconds(5));
+  EXPECT_EQ(behavior->fired_cookie, 42u);
+  const Duration elapsed = behavior->fired_at - start;
+  EXPECT_GE(elapsed, milliseconds(3));
+  EXPECT_LT(elapsed, milliseconds(3) + microseconds(10));
+}
+
+TEST(WorldTest, ClockOffsetsAreArbitraryButQueryable) {
+  World world(small_world_config(5, 77));
+  // local_now differs across nodes (offsets up to max_clock_offset).
+  bool any_diff = false;
+  for (NodeId i = 1; i < 5; ++i) {
+    if (world.local_now(i) != world.local_now(0)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+  // real_at inverts local_at.
+  for (NodeId i = 0; i < 5; ++i) {
+    const LocalTime tau = world.local_now(i) + milliseconds(7);
+    const RealTime t = world.real_at(i, tau);
+    EXPECT_GE(world.clock(i).local_at(t), tau);
+  }
+}
+
+TEST(WorldTest, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    World world(small_world_config(4, seed));
+    auto* r = new RecordingBehavior();
+    world.set_behavior(3, std::unique_ptr<NodeBehavior>(r));
+    world.start();
+    for (int i = 0; i < 20; ++i) {
+      WireMessage msg;
+      msg.value = Value(i);
+      world.network().send(0, 3, msg);
+    }
+    world.run_for(milliseconds(10));
+    std::vector<Value> values;
+    for (const auto& m : r->received) values.push_back(m.value);
+    return values;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(WorldTest, BehaviorReplacementTakesEffect) {
+  World world(small_world_config(2));
+  auto* first = new RecordingBehavior();
+  world.set_behavior(1, std::unique_ptr<NodeBehavior>(first));
+  world.start();
+  world.network().send(0, 1, WireMessage{});
+  world.run_for(milliseconds(2));
+  EXPECT_EQ(first->received.size(), 1u);
+
+  auto* second = new RecordingBehavior();
+  world.set_behavior(1, std::unique_ptr<NodeBehavior>(second));
+  world.network().send(0, 1, WireMessage{});
+  world.run_for(milliseconds(2));
+  EXPECT_EQ(second->received.size(), 1u);
+}
+
+// ------------------------------------------------------- fault injector --
+
+TEST(FaultInjectorTest, PlantsSpuriousMessages) {
+  World world(small_world_config(3, 13));
+  std::vector<RecordingBehavior*> receivers;
+  for (NodeId i = 0; i < 3; ++i) {
+    auto* r = new RecordingBehavior();
+    receivers.push_back(r);
+    world.set_behavior(i, std::unique_ptr<NodeBehavior>(r));
+  }
+  world.start();
+
+  FaultInjector injector(world);
+  TransientFaultConfig config;
+  config.spurious_per_node = 10;
+  config.scramble_state = false;
+  config.scramble_clocks = false;
+  injector.transient_fault(config);
+  world.run_for(config.spurious_span + milliseconds(1));
+
+  for (auto* r : receivers) EXPECT_EQ(r->received.size(), 10u);
+  EXPECT_EQ(world.network().stats().forged, 30u);
+}
+
+TEST(FaultInjectorTest, ScramblesClocks) {
+  World world(small_world_config(4, 17));
+  std::vector<LocalTime> before;
+  for (NodeId i = 0; i < 4; ++i) before.push_back(world.local_now(i));
+
+  FaultInjector injector(world);
+  TransientFaultConfig config;
+  config.spurious_per_node = 0;
+  config.scramble_state = false;
+  config.scramble_clocks = true;
+  injector.transient_fault(config);
+
+  bool changed = false;
+  for (NodeId i = 0; i < 4; ++i) {
+    if (world.local_now(i) != before[i]) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+}  // namespace
+}  // namespace ssbft

@@ -1,0 +1,169 @@
+// Stress and edge-configuration tests: adversary cocktails (every Byzantine
+// node runs a different strategy), extreme model parameters, large
+// clusters, and repeated transient faults.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/adversaries.hpp"
+#include "harness/metrics.hpp"
+#include "harness/runner.hpp"
+
+namespace ssbft {
+namespace {
+
+TEST(StressTest, MixedAdversaryCocktail) {
+  // n = 13, f = 4: four Byzantine nodes each running a different attack —
+  // noise flood, replay, quorum forging, and an equivocating would-be
+  // General — simultaneously, while a correct General works.
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Scenario sc;
+    sc.n = 13;
+    sc.f = 4;
+    sc.byz_nodes = {9, 10, 11, 12};
+    sc.seed = seed;
+    sc.run_for = milliseconds(500);
+    const Params params = sc.make_params();
+    const Duration gap = params.delta_0() + 5 * params.d();
+    for (int i = 0; i < 4; ++i) {
+      sc.with_proposal(milliseconds(10) + i * gap, 0, 50 + Value(i));
+    }
+    Cluster cluster(sc);
+    cluster.world().set_behavior(
+        9, std::make_unique<RandomNoiseAdversary>(microseconds(400)));
+    cluster.world().set_behavior(
+        10, std::make_unique<ReplayAdversary>(milliseconds(6)));
+    cluster.world().set_behavior(
+        11, std::make_unique<QuorumFaker>(GeneralId{0}, 666, milliseconds(1),
+                                          std::vector<NodeId>{0, 1, 2, 3}));
+    cluster.world().set_behavior(
+        12, std::make_unique<EquivocatingGeneral>(70, 71, milliseconds(4)));
+    cluster.run();
+
+    const auto m = evaluate_run(cluster.decisions(), cluster.proposals(),
+                                cluster.correct_count(), params);
+    EXPECT_EQ(m.agreement_violations, 0u) << "seed " << seed;
+    EXPECT_EQ(m.validity_violations, 0u) << "seed " << seed;
+    // The phantom value 666 is never decided (IA-2 unforgeability).
+    for (const auto& d : cluster.decisions()) {
+      EXPECT_NE(d.decision.value, 666u);
+    }
+  }
+}
+
+TEST(StressTest, LargeClusterWithFullFaultBudget) {
+  Scenario sc;
+  sc.n = 31;
+  sc.f = 10;
+  sc.with_tail_faults(10);
+  sc.adversary = AdversaryKind::kNoise;
+  sc.adversary_period = milliseconds(2);
+  sc.with_proposal(milliseconds(5), 0, 7);
+  sc.run_for = milliseconds(200);
+  sc.seed = 17;
+  Cluster cluster(sc);
+  cluster.run();
+  const auto m = evaluate_run(cluster.decisions(), cluster.proposals(),
+                              cluster.correct_count(), cluster.params());
+  EXPECT_EQ(m.agreement_violations, 0u);
+  EXPECT_EQ(m.validity_violations, 0u);
+  EXPECT_LE(m.max_decision_skew, 2 * cluster.params().d());
+}
+
+TEST(StressTest, TinyDeltaAndLargeDrift) {
+  // δ = 50µs with ρ = 1% (10⁴× the paper's typical drift): the derived d
+  // absorbs it and the protocol still meets its bounds.
+  Scenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.with_tail_faults(2);
+  sc.delta = microseconds(50);
+  sc.pi = microseconds(5);
+  sc.rho = 0.01;
+  sc.with_proposal(milliseconds(1), 0, 7);
+  sc.run_for = milliseconds(50);
+  sc.seed = 23;
+  Cluster cluster(sc);
+  cluster.run();
+  const auto m = evaluate_run(cluster.decisions(), cluster.proposals(),
+                              cluster.correct_count(), cluster.params());
+  EXPECT_EQ(m.validity_violations, 0u);
+  EXPECT_EQ(m.agreement_violations, 0u);
+}
+
+TEST(StressTest, ZeroProcessingDelay) {
+  Scenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.pi = Duration{1};  // effectively instant processing
+  sc.with_proposal(milliseconds(2), 0, 7);
+  sc.run_for = milliseconds(60);
+  Cluster cluster(sc);
+  cluster.run();
+  EXPECT_EQ(cluster.decisions().size(), 4u);
+}
+
+TEST(StressTest, RepeatedTransientFaults) {
+  // Hit the system with a fresh transient fault every ∆stb, and verify it
+  // re-converges after each one.
+  Scenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.with_tail_faults(2);
+  sc.adversary = AdversaryKind::kNoise;
+  sc.seed = 31;
+  sc.run_for = milliseconds(1);
+  Cluster cluster(sc);
+  const Params& params = cluster.params();
+  cluster.world().start();
+
+  const Duration epoch = params.delta_stb() + milliseconds(120);
+  std::uint32_t recovered = 0;
+  for (int round = 0; round < 3; ++round) {
+    const Duration base = round * epoch;
+    cluster.world().run_until(RealTime::zero() + base + milliseconds(1));
+    FaultInjector injector(cluster.world());
+    TransientFaultConfig fault;
+    fault.spurious_per_node = 48;
+    injector.transient_fault(fault);
+    cluster.propose_at(base + params.delta_stb() + milliseconds(1), 0,
+                       300 + Value(round));
+    cluster.world().run_until(RealTime::zero() + base + epoch);
+
+    std::uint32_t decided = 0;
+    for (const auto& d : cluster.decisions()) {
+      if (d.decision.decided() && d.decision.value == 300 + Value(round)) {
+        ++decided;
+      }
+    }
+    if (decided == cluster.correct_count()) ++recovered;
+  }
+  EXPECT_EQ(recovered, 3u);
+
+  const auto m =
+      evaluate_run(cluster.decisions(), {}, cluster.correct_count(), params);
+  EXPECT_EQ(m.agreement_violations, 0u);
+}
+
+TEST(StressTest, ManyConcurrentGenerals) {
+  // Every correct node proposes at once: n−f concurrent instances.
+  Scenario sc;
+  sc.n = 10;
+  sc.f = 3;
+  sc.with_tail_faults(3);
+  sc.run_for = milliseconds(300);
+  sc.seed = 41;
+  for (NodeId g = 0; g < 7; ++g) {
+    sc.with_proposal(milliseconds(5), g, 900 + Value(g));
+  }
+  Cluster cluster(sc);
+  cluster.run();
+  const auto m = evaluate_run(cluster.decisions(), cluster.proposals(),
+                              cluster.correct_count(), cluster.params());
+  EXPECT_EQ(m.agreement_violations, 0u);
+  EXPECT_EQ(m.validity_violations, 0u);
+  EXPECT_EQ(m.executions, 7u);
+}
+
+}  // namespace
+}  // namespace ssbft

@@ -1,0 +1,189 @@
+// Cross-module parameterized sweeps: the layered stack (agreement → pulse →
+// clock sync; agreement → indexed instances → pipelined log) re-verified
+// property-style across cluster sizes, fault loads, pipeline depths and
+// quorum policies. Each instantiation asserts the end-to-end invariant the
+// stack promises, not implementation details.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adversary/adversaries.hpp"
+#include "app/pipelined_log.hpp"
+#include "clocksync/clock_sync.hpp"
+#include "sim/world.hpp"
+
+namespace ssbft {
+namespace {
+
+// --- clock-sync sweep --------------------------------------------------------
+
+struct ClockCase {
+  std::uint32_t n;
+  std::uint32_t f;
+  std::uint32_t byz;
+  std::uint64_t seed;
+};
+
+class ClockSweep : public ::testing::TestWithParam<ClockCase> {};
+
+TEST_P(ClockSweep, SettledPrecisionWithinBound) {
+  const auto& param = GetParam();
+  WorldConfig wc;
+  wc.n = param.n;
+  wc.seed = param.seed;
+  World world(wc);
+  Params params{param.n, param.f, wc.d_bound()};
+  std::vector<ClockSyncNode*> nodes(param.n, nullptr);
+  for (NodeId i = 0; i < param.n; ++i) {
+    if (i >= param.n - param.byz) {
+      world.set_behavior(
+          i, std::make_unique<RandomNoiseAdversary>(milliseconds(2)));
+      continue;
+    }
+    auto node = std::make_unique<ClockSyncNode>(params, ClockSyncConfig{});
+    nodes[i] = node.get();
+    world.set_behavior(i, std::move(node));
+  }
+  world.start();
+  ClockSyncNode* first = nullptr;
+  for (auto* node : nodes) {
+    if (node != nullptr) {
+      first = node;
+      break;
+    }
+  }
+  ASSERT_NE(first, nullptr);
+  const Duration cycle = first->cycle();
+  world.run_for(5 * cycle);
+
+  const auto settled = [&] {
+    std::optional<std::uint64_t> counter;
+    for (const auto* node : nodes) {
+      if (node == nullptr) continue;
+      if (!node->synchronized() || !node->last_snap_counter()) return false;
+      if (counter && *counter != *node->last_snap_counter()) return false;
+      counter = node->last_snap_counter();
+    }
+    return counter.has_value();
+  };
+  const auto skew = [&] {
+    Duration worst = Duration::zero();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i] == nullptr) continue;
+      for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+        if (nodes[j] == nullptr) continue;
+        worst = std::max(worst, abs(nodes[i]->clock() - nodes[j]->clock()));
+      }
+    }
+    return worst;
+  };
+
+  std::uint32_t settled_samples = 0;
+  for (int sample = 0; sample < 30; ++sample) {
+    world.run_for(cycle / 10);
+    if (!settled()) continue;
+    ++settled_samples;
+    EXPECT_LE(skew(), first->precision_bound()) << "sample " << sample;
+  }
+  EXPECT_GE(settled_samples, 15u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClockSweep,
+    ::testing::Values(ClockCase{4, 1, 0, 1}, ClockCase{4, 1, 1, 2},
+                      ClockCase{7, 2, 0, 3}, ClockCase{7, 2, 2, 4},
+                      ClockCase{10, 3, 3, 5}, ClockCase{13, 4, 4, 6}),
+    [](const ::testing::TestParamInfo<ClockCase>& info) {
+      return "n" + std::to_string(info.param.n) + "f" +
+             std::to_string(info.param.f) + "byz" +
+             std::to_string(info.param.byz);
+    });
+
+// --- pipelined-log sweep -------------------------------------------------------
+
+struct PipeCase {
+  std::uint32_t n;
+  std::uint32_t f;
+  std::uint32_t depth;
+  std::uint32_t byz;
+  std::uint64_t seed;
+};
+
+class PipelineSweep : public ::testing::TestWithParam<PipeCase> {};
+
+TEST_P(PipelineSweep, CommittedSlotsIdenticalAcrossReplicas) {
+  const auto& param = GetParam();
+  WorldConfig wc;
+  wc.n = param.n;
+  wc.seed = param.seed;
+  World world(wc);
+  Params params{param.n, param.f, wc.d_bound()};
+  std::vector<PipelinedLogNode*> nodes(param.n, nullptr);
+  for (NodeId i = 0; i < param.n; ++i) {
+    if (i >= param.n - param.byz) {
+      world.set_behavior(
+          i, std::make_unique<RandomNoiseAdversary>(milliseconds(2)));
+      continue;
+    }
+    PipelineConfig cfg;
+    cfg.depth = param.depth;
+    auto node = std::make_unique<PipelinedLogNode>(params, cfg, nullptr);
+    nodes[i] = node.get();
+    world.set_behavior(i, std::move(node));
+  }
+  world.start();
+  PipelinedLogNode* first = nullptr;
+  for (auto* node : nodes) {
+    if (node != nullptr) {
+      first = node;
+      break;
+    }
+  }
+  ASSERT_NE(first, nullptr);
+  for (NodeId i = 0; i < param.n; ++i) {
+    if (nodes[i] == nullptr) continue;
+    for (std::uint32_t c = 0; c < 4; ++c) nodes[i]->submit(100 * i + c);
+  }
+  world.run_for(12 * first->slot_period());
+
+  // Every committed slot present at two replicas carries the same record,
+  // and a healthy majority of submitted commands committed somewhere.
+  std::map<std::uint64_t, PipelinedEntry> reference;
+  std::size_t commits = 0;
+  for (const auto* node : nodes) {
+    if (node == nullptr) continue;
+    for (const auto& [slot, entry] : node->settled()) {
+      if (entry.skipped) continue;
+      ++commits;
+      const auto it = reference.find(slot);
+      if (it == reference.end()) {
+        reference.emplace(slot, entry);
+      } else {
+        EXPECT_TRUE(it->second == entry) << "slot " << slot << " diverged";
+      }
+    }
+  }
+  const std::size_t correct = param.n - param.byz;
+  EXPECT_GE(commits, correct * 4u / 2)
+      << "fewer than half the submitted commands committed";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelineSweep,
+    ::testing::Values(PipeCase{4, 1, 1, 0, 1}, PipeCase{4, 1, 4, 0, 2},
+                      PipeCase{4, 1, 8, 1, 3}, PipeCase{7, 2, 4, 0, 4},
+                      PipeCase{7, 2, 4, 2, 5}, PipeCase{7, 2, 14, 2, 6},
+                      PipeCase{10, 3, 4, 3, 7}, PipeCase{13, 4, 8, 4, 8}),
+    [](const ::testing::TestParamInfo<PipeCase>& info) {
+      return "n" + std::to_string(info.param.n) + "f" +
+             std::to_string(info.param.f) + "d" +
+             std::to_string(info.param.depth) + "byz" +
+             std::to_string(info.param.byz);
+    });
+
+}  // namespace
+}  // namespace ssbft

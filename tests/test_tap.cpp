@@ -1,0 +1,121 @@
+// Network tap / trace recorder tests.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/runner.hpp"
+#include "sim/tap.hpp"
+
+namespace ssbft {
+namespace {
+
+TEST(TapTest, RecordsSentAndDelivered) {
+  Scenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.with_proposal(milliseconds(2), 0, 7);
+  sc.run_for = milliseconds(60);
+  Cluster cluster(sc);
+  TraceRecorder recorder;
+  cluster.world().network().set_tap(recorder.tap());
+  cluster.run();
+
+  // One Initiator broadcast: 4 sends, 4 deliveries.
+  EXPECT_EQ(recorder.count(TapEvent::Kind::kSent, MsgKind::kInitiator), 4u);
+  EXPECT_EQ(recorder.count(TapEvent::Kind::kDelivered, MsgKind::kInitiator),
+            4u);
+  // The full wave ran: supports, approves, readys all on the wire.
+  EXPECT_GE(recorder.count(TapEvent::Kind::kSent, MsgKind::kSupport), 16u);
+  EXPECT_GE(recorder.count(TapEvent::Kind::kSent, MsgKind::kApprove), 16u);
+  EXPECT_GE(recorder.count(TapEvent::Kind::kSent, MsgKind::kReady), 16u);
+  EXPECT_EQ(recorder.dropped_records(), 0u);
+}
+
+TEST(TapTest, DeliveryFollowsSendWithinDelta) {
+  Scenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.with_proposal(milliseconds(2), 0, 7);
+  sc.run_for = milliseconds(60);
+  Cluster cluster(sc);
+  TraceRecorder recorder;
+  cluster.world().network().set_tap(recorder.tap());
+  cluster.run();
+
+  // Pair up each delivery with the latest prior matching send and check
+  // the δ+π bound (the tap sees real time, so this checks the simulator
+  // honours its own contract).
+  const Duration bound = sc.delta + sc.pi;
+  for (const auto& event : recorder.events()) {
+    if (event.kind != TapEvent::Kind::kDelivered) continue;
+    RealTime best = RealTime::min();
+    for (const auto& other : recorder.events()) {
+      if (other.kind != TapEvent::Kind::kSent) continue;
+      if (!(other.msg == event.msg) || other.to != event.to) continue;
+      if (other.at <= event.at) best = std::max(best, other.at);
+    }
+    ASSERT_NE(best, RealTime::min());
+    EXPECT_LE(event.at - best, bound);
+  }
+}
+
+TEST(TapTest, ForgedInjectionsAreMarked) {
+  Scenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.transient_scramble = true;
+  sc.transient.spurious_per_node = 5;
+  sc.run_for = milliseconds(30);
+  Cluster cluster(sc);
+  TraceRecorder recorder;
+  cluster.world().network().set_tap(recorder.tap());
+  cluster.run();
+
+  std::size_t forged = 0;
+  for (const auto& event : recorder.events()) {
+    if (event.kind == TapEvent::Kind::kForged) {
+      EXPECT_EQ(event.from, kNoNode);
+      ++forged;
+    }
+  }
+  EXPECT_EQ(forged, 20u);  // 5 per node × 4 nodes
+}
+
+TEST(TapTest, CapacityBoundsMemory) {
+  TraceRecorder recorder(/*capacity=*/3);
+  TapEvent event;
+  for (int i = 0; i < 10; ++i) recorder.record(event);
+  EXPECT_EQ(recorder.events().size(), 3u);
+  EXPECT_EQ(recorder.dropped_records(), 7u);
+  recorder.clear();
+  EXPECT_TRUE(recorder.events().empty());
+  EXPECT_EQ(recorder.dropped_records(), 0u);
+}
+
+TEST(TapTest, FilterSelectsConversations) {
+  TraceRecorder recorder;
+  for (NodeId to = 0; to < 4; ++to) {
+    TapEvent event;
+    event.kind = TapEvent::Kind::kSent;
+    event.to = to;
+    recorder.record(event);
+  }
+  const auto to2 = recorder.filter(
+      [](const TapEvent& e) { return e.to == 2; });
+  EXPECT_EQ(to2.size(), 1u);
+}
+
+TEST(TapTest, ToStringIsHumanReadable) {
+  TapEvent event;
+  event.kind = TapEvent::Kind::kDelivered;
+  event.at = RealTime{1'500'000};
+  event.from = 1;
+  event.to = 2;
+  event.msg.kind = MsgKind::kSupport;
+  const std::string s = to_string(event);
+  EXPECT_NE(s.find("delivered"), std::string::npos);
+  EXPECT_NE(s.find("support"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssbft

@@ -1,0 +1,216 @@
+// Unit tests: util layer (time types, RNG, stats, CSV).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace ssbft {
+namespace {
+
+// ----------------------------------------------------------------- time --
+
+TEST(TimeTest, DurationArithmetic) {
+  const Duration a = milliseconds(3);
+  const Duration b = microseconds(500);
+  EXPECT_EQ((a + b).ns(), 3'500'000);
+  EXPECT_EQ((a - b).ns(), 2'500'000);
+  EXPECT_EQ((a * 2).ns(), 6'000'000);
+  EXPECT_EQ((2 * a).ns(), 6'000'000);
+  EXPECT_EQ((a / 3).ns(), 1'000'000);
+  EXPECT_DOUBLE_EQ(a / b, 6.0);
+  EXPECT_EQ(-a, Duration{-3'000'000});
+}
+
+TEST(TimeTest, DurationComparisons) {
+  EXPECT_LT(microseconds(1), milliseconds(1));
+  EXPECT_EQ(seconds(1), milliseconds(1000));
+  EXPECT_GE(Duration::max(), seconds(1'000'000));
+}
+
+TEST(TimeTest, TimePointsAreDistinctTypes) {
+  const RealTime rt{100};
+  const LocalTime lt{100};
+  // Same numeric value but incompatible types; only construction and
+  // Duration arithmetic compile. (Compile-time property; runtime sanity:)
+  EXPECT_EQ(rt.ns(), lt.ns());
+  static_assert(!std::is_convertible_v<RealTime, LocalTime>);
+  static_assert(!std::is_convertible_v<LocalTime, RealTime>);
+}
+
+TEST(TimeTest, TimePointDurationAlgebra) {
+  const LocalTime t{1000};
+  EXPECT_EQ((t + microseconds(1)).ns(), 1000 + 1000);
+  EXPECT_EQ((t - Duration{500}).ns(), 500);
+  EXPECT_EQ((t + Duration{500}) - t, Duration{500});
+}
+
+TEST(TimeTest, AbsDuration) {
+  EXPECT_EQ(abs(Duration{-5}), Duration{5});
+  EXPECT_EQ(abs(Duration{5}), Duration{5});
+  EXPECT_EQ(abs(Duration::zero()), Duration::zero());
+}
+
+TEST(TimeTest, ConversionHelpers) {
+  EXPECT_DOUBLE_EQ(milliseconds(1).seconds(), 1e-3);
+  EXPECT_DOUBLE_EQ(milliseconds(1).millis(), 1.0);
+  EXPECT_DOUBLE_EQ(milliseconds(1).micros(), 1000.0);
+}
+
+// ------------------------------------------------------------------ rng --
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextInInclusiveBounds) {
+  Rng rng(9);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= (v == -3);
+    hit_hi |= (v == 3);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(13);
+  int heads = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) heads += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(double(heads) / trials, 0.3, 0.03);
+}
+
+TEST(RngTest, ExpTruncatedRespectsCap) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_exp_truncated(5.0, 20.0);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 20.0);
+  }
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.split();
+  // Child diverges from parent's continued output.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+// ---------------------------------------------------------------- stats --
+
+TEST(StatsTest, RunningStatsBasics) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(StatsTest, RunningStatsMergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.7 - 3;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StatsTest, SampleSetQuantiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(double(i));
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(s.quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+TEST(StatsTest, SummarizeDoesNotCrashOnEmpty) {
+  SampleSet s;
+  EXPECT_EQ(summarize_ns(s), "n=0");
+}
+
+// ------------------------------------------------------------------ csv --
+
+TEST(CsvTest, WritesHeaderAndRows) {
+  const std::string path = testing::TempDir() + "/ssbft_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    ASSERT_TRUE(csv.ok());
+    csv.row({1.0, 2.5});
+    csv.row(std::vector<std::string>{"x", "y"});
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256];
+  ASSERT_NE(std::fgets(buf, sizeof buf, f), nullptr);
+  EXPECT_STREQ(buf, "a,b\n");
+  ASSERT_NE(std::fgets(buf, sizeof buf, f), nullptr);
+  EXPECT_STREQ(buf, "1,2.5\n");
+  ASSERT_NE(std::fgets(buf, sizeof buf, f), nullptr);
+  EXPECT_STREQ(buf, "x,y\n");
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, BadPathDegradesToNoop) {
+  CsvWriter csv("/nonexistent-dir-xyz/file.csv", {"a"});
+  EXPECT_FALSE(csv.ok());
+  csv.row({1.0});  // must not crash
+}
+
+}  // namespace
+}  // namespace ssbft

@@ -1,0 +1,160 @@
+// ssbft_cli — run one simulated scenario from the command line and print
+// the decision record, metrics, and (optionally) a wire trace.
+//
+//   ssbft_cli [--n N] [--f F] [--byz COUNT] [--adversary KIND]
+//             [--seed S] [--delta-us US] [--scramble] [--chaos-ms MS]
+//             [--proposals K] [--run-ms MS] [--trace] [--verbose]
+//
+// KIND ∈ silent | noise | equivocate | stagger | spam | replay | faker
+//
+// Examples:
+//   ssbft_cli --n 7 --byz 2 --adversary noise --proposals 3
+//   ssbft_cli --n 10 --byz 3 --scramble --chaos-ms 10 --proposals 20
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/metrics.hpp"
+#include "harness/runner.hpp"
+#include "harness/report.hpp"
+#include "sim/tap.hpp"
+
+namespace {
+
+using namespace ssbft;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--n N] [--f F] [--byz COUNT] [--adversary KIND]\n"
+               "          [--seed S] [--delta-us US] [--scramble]\n"
+               "          [--chaos-ms MS] [--proposals K] [--run-ms MS]\n"
+               "          [--trace] [--verbose]\n"
+               "KIND: silent|noise|equivocate|stagger|spam|replay|faker\n",
+               argv0);
+  std::exit(2);
+}
+
+AdversaryKind parse_adversary(const std::string& name, const char* argv0) {
+  if (name == "silent") return AdversaryKind::kSilent;
+  if (name == "noise") return AdversaryKind::kNoise;
+  if (name == "equivocate") return AdversaryKind::kEquivocatingGeneral;
+  if (name == "stagger") return AdversaryKind::kStaggeredGeneral;
+  if (name == "spam") return AdversaryKind::kSpamGeneral;
+  if (name == "replay") return AdversaryKind::kReplay;
+  if (name == "faker") return AdversaryKind::kQuorumFaker;
+  usage(argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Scenario sc;
+  std::uint32_t byz = 0;
+  std::uint32_t proposals = 1;
+  bool trace = false;
+  std::int64_t run_ms = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--n") {
+      sc.n = std::uint32_t(std::atoi(next()));
+    } else if (arg == "--f") {
+      sc.f = std::uint32_t(std::atoi(next()));
+    } else if (arg == "--byz") {
+      byz = std::uint32_t(std::atoi(next()));
+    } else if (arg == "--adversary") {
+      sc.adversary = parse_adversary(next(), argv[0]);
+    } else if (arg == "--seed") {
+      sc.seed = std::uint64_t(std::atoll(next()));
+    } else if (arg == "--delta-us") {
+      sc.delta = microseconds(std::atoll(next()));
+    } else if (arg == "--scramble") {
+      sc.transient_scramble = true;
+    } else if (arg == "--chaos-ms") {
+      sc.chaos_period = milliseconds(std::atoll(next()));
+    } else if (arg == "--proposals") {
+      proposals = std::uint32_t(std::atoi(next()));
+    } else if (arg == "--run-ms") {
+      run_ms = std::atoll(next());
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--verbose") {
+      sc.log_level = LogLevel::kDebug;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (sc.f == 0) sc.f = (sc.n - 1) / 3;
+  if (sc.n <= 3 * sc.f) {
+    std::fprintf(stderr, "error: need n > 3f (n=%u, f=%u)\n", sc.n, sc.f);
+    return 2;
+  }
+  sc.with_tail_faults(byz);
+
+  const Params params = sc.make_params();
+  const Duration start = sc.chaos_period +
+                         (sc.transient_scramble ? params.delta_stb()
+                                                : Duration::zero());
+  const Duration gap = params.delta_0() + 5 * params.d();
+  for (std::uint32_t i = 0; i < proposals; ++i) {
+    sc.with_proposal(start + milliseconds(1) + i * gap, 0, 100 + Value(i));
+  }
+  sc.run_for = run_ms > 0 ? milliseconds(run_ms)
+                          : start + proposals * gap + milliseconds(120);
+
+  Cluster cluster(sc);
+  TraceRecorder recorder;
+  if (trace) cluster.world().network().set_tap(recorder.tap());
+  cluster.run();
+
+  std::printf("model: n=%u f=%u (actual byz %u, %s), d=%.3fms, Phi=%.3fms, "
+              "Dagr=%.3fms, Dstb=%.3fms, seed=%llu\n\n",
+              sc.n, sc.f, byz, to_string(sc.adversary), params.d().millis(),
+              params.phi().millis(), params.delta_agr().millis(),
+              params.delta_stb().millis(),
+              static_cast<unsigned long long>(sc.seed));
+
+  Table table({"exec", "general", "value", "deciders", "aborts",
+               "dec skew (ms)", "tauG skew (ms)", "first (ms)"});
+  const auto execs = cluster_executions(cluster.decisions(), params);
+  std::uint32_t id = 0;
+  for (const auto& e : execs) {
+    const auto value = e.agreed_value();
+    table.add_row({std::to_string(id++), std::to_string(e.general.node),
+                   value ? std::to_string(*value)
+                         : (e.decided_count() ? "MIXED!" : "⊥"),
+                   std::to_string(e.decided_count()),
+                   std::to_string(e.abort_count()),
+                   Table::fmt_ms(double(e.decision_skew().ns())),
+                   Table::fmt_ms(double(e.tau_g_skew().ns())),
+                   Table::fmt_ms(double((e.first_return() - RealTime::zero()).ns()))});
+  }
+  table.print();
+
+  const auto m = evaluate_run(cluster.decisions(), cluster.proposals(),
+                              cluster.correct_count(), params);
+  const auto& stats = cluster.world().network().stats();
+  std::printf("\nagreement violations: %u   validity violations: %u   "
+              "unanimous: %u/%u\n",
+              m.agreement_violations, m.validity_violations,
+              m.unanimous_decides, m.executions);
+  std::printf("network: %llu sent, %llu delivered, %llu dropped, %llu forged\n",
+              static_cast<unsigned long long>(stats.sent),
+              static_cast<unsigned long long>(stats.delivered),
+              static_cast<unsigned long long>(stats.dropped),
+              static_cast<unsigned long long>(stats.forged));
+
+  if (trace) {
+    std::printf("\nwire trace (%zu events%s):\n", recorder.events().size(),
+                recorder.dropped_records() ? ", truncated" : "");
+    for (const auto& event : recorder.events()) {
+      std::printf("%s\n", to_string(event).c_str());
+    }
+  }
+  return m.agreement_violations + m.validity_violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,137 @@
+// ssbft_explore — drive the adversarial-schedule explorer from the command
+// line: enumerate extreme-delay prefix schedules (plus randomized tails)
+// for a chosen cluster/adversary and report any safety violation with its
+// trial id, so a counterexample is reproducible by re-running the same
+// configuration.
+//
+//   ssbft_explore [--n N] [--f F] [--byz COUNT] [--adversary KIND]
+//                 [--trials T] [--depth K] [--scramble] [--quorum POLICY]
+//
+// KIND ∈ silent | noise | equivocate | faker       (default: silent)
+// POLICY ∈ optimal | majority                       (default: optimal)
+//
+// Examples:
+//   ssbft_explore --n 4 --byz 1 --trials 243 --depth 5
+//   ssbft_explore --n 4 --adversary equivocate --trials 729 --depth 6
+//   ssbft_explore --n 7 --byz 2 --scramble --trials 128 --depth 4
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "check/explorer.hpp"
+#include "harness/runner.hpp"
+
+namespace {
+
+using namespace ssbft;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--n N] [--f F] [--byz COUNT] [--adversary KIND]\n"
+               "          [--trials T] [--depth K] [--scramble]\n"
+               "          [--quorum optimal|majority]\n"
+               "KIND: silent|noise|equivocate|faker\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExplorerConfig config;
+  Scenario& sc = config.base;
+  sc.n = 4;
+  sc.f = 1;
+  std::uint32_t byz = 0;
+  bool scramble = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (++i >= argc) usage(argv[0]);
+      return argv[i];
+    };
+    if (arg == "--n") {
+      sc.n = std::uint32_t(std::atoi(next()));
+    } else if (arg == "--f") {
+      sc.f = std::uint32_t(std::atoi(next()));
+    } else if (arg == "--byz") {
+      byz = std::uint32_t(std::atoi(next()));
+    } else if (arg == "--trials") {
+      config.trials = std::uint32_t(std::atoi(next()));
+    } else if (arg == "--depth") {
+      config.systematic_depth = std::uint32_t(std::atoi(next()));
+    } else if (arg == "--scramble") {
+      scramble = true;
+    } else if (arg == "--adversary") {
+      const std::string kind = next();
+      if (kind == "silent") {
+        sc.adversary = AdversaryKind::kSilent;
+      } else if (kind == "noise") {
+        sc.adversary = AdversaryKind::kNoise;
+      } else if (kind == "equivocate") {
+        sc.adversary = AdversaryKind::kEquivocatingGeneral;
+        config.expect_validity = false;
+      } else if (kind == "faker") {
+        sc.adversary = AdversaryKind::kQuorumFaker;
+        config.expect_validity = false;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--quorum") {
+      const std::string policy = next();
+      if (policy == "optimal") {
+        sc.quorum_policy = QuorumPolicy::kOptimal;
+      } else if (policy == "majority") {
+        sc.quorum_policy = QuorumPolicy::kMajority;
+      } else {
+        usage(argv[0]);
+      }
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (sc.f == 0 || sc.n <= 3 * sc.f) {
+    std::fprintf(stderr, "need n > 3f with f >= 1 (got n=%u f=%u)\n", sc.n,
+                 sc.f);
+    return 2;
+  }
+
+  sc.with_tail_faults(byz);
+  if (sc.adversary == AdversaryKind::kSilent ||
+      sc.adversary == AdversaryKind::kNoise) {
+    // Correct-General workload; the General is node 0 (never a tail fault
+    // unless byz == n, which n > 3f forbids).
+    sc.with_proposal(milliseconds(5), 0, 42);
+  }
+  sc.run_for = milliseconds(150);
+  if (scramble) {
+    sc.transient_scramble = true;
+    const Duration stb = sc.make_params().delta_stb();
+    sc.proposals.clear();
+    sc.with_proposal(stb + milliseconds(5), 0, 42);
+    sc.run_for = stb + milliseconds(150);
+    config.check_after = RealTime::zero() + stb;
+  }
+
+  std::printf("exploring: n=%u f=%u byz=%u adversary=%s quorum=%s "
+              "trials=%u depth=%u%s\n",
+              sc.n, sc.f, byz, to_string(sc.adversary),
+              to_string(sc.quorum_policy), config.trials,
+              config.systematic_depth, scramble ? " scramble" : "");
+
+  const ExplorerReport report = explore(config);
+
+  std::printf("trials:            %u\n", report.trials);
+  std::printf("prefix tree size:  %llu\n",
+              static_cast<unsigned long long>(report.prefix_combinations));
+  std::printf("executions:        %u\n", report.executions_checked);
+  std::printf("decisions:         %u\n", report.decisions_seen);
+  std::printf("violations:        %zu\n", report.violations.size());
+  for (const auto& violation : report.violations) {
+    std::printf("  trial %llu: %s\n",
+                static_cast<unsigned long long>(violation.trial),
+                violation.what.c_str());
+  }
+  return report.clean() ? 0 : 1;
+}
