@@ -1,6 +1,7 @@
 // E11 — Clock synchronization atop ss-Byz-Agree (the paper's companion
 // construction: pulses from agreement make any Byzantine algorithm — here,
-// clock sync — self-stabilizing).
+// clock sync — self-stabilizing). Deployed through the unified
+// Scenario → Cluster path (stack = kClockSync).
 //
 // Reported:
 //   (a) precision: max pairwise skew between correct logical clocks, sampled
@@ -11,82 +12,30 @@
 //       clock sync trades rate for bounded precision).
 #include <benchmark/benchmark.h>
 
-#include <algorithm>
 #include <cstdio>
 #include <memory>
-#include <vector>
 
-#include "adversary/adversaries.hpp"
 #include "clocksync/clock_sync.hpp"
+#include "harness/metrics.hpp"
 #include "harness/report.hpp"
-#include "sim/world.hpp"
+#include "harness/runner.hpp"
 #include "util/stats.hpp"
 
 namespace ssbft {
 namespace {
 
-struct ClockCluster {
-  std::unique_ptr<World> world;
-  std::unique_ptr<Params> params;
-  std::vector<ClockSyncNode*> nodes;
-  std::uint32_t correct = 0;
-
-  ClockCluster(std::uint32_t n, std::uint32_t f, std::uint32_t byz,
-               std::uint64_t seed) {
-    WorldConfig wc;
-    wc.n = n;
-    wc.seed = seed;
-    world = std::make_unique<World>(wc);
-    params = std::make_unique<Params>(n, f, wc.d_bound());
-    nodes.assign(n, nullptr);
-    for (NodeId i = 0; i < n; ++i) {
-      if (i >= n - byz) {
-        world->set_behavior(
-            i, std::make_unique<RandomNoiseAdversary>(milliseconds(2)));
-        continue;
-      }
-      auto node =
-          std::make_unique<ClockSyncNode>(*params, ClockSyncConfig{});
-      nodes[i] = node.get();
-      world->set_behavior(i, std::move(node));
-    }
-    correct = n - byz;
-  }
-
-  [[nodiscard]] bool all_synced() const {
-    std::uint32_t c = 0;
-    for (const auto* node : nodes) {
-      if (node != nullptr && node->synchronized()) ++c;
-    }
-    return c == correct;
-  }
-
-  /// All correct nodes snapped to the same pulse counter (the instants the
-  /// precision bound speaks about; between them a snap is in flight and the
-  /// skew transiently equals the adjustment size).
-  [[nodiscard]] bool settled() const {
-    std::optional<std::uint64_t> counter;
-    for (const auto* node : nodes) {
-      if (node == nullptr) continue;
-      if (!node->synchronized() || !node->last_snap_counter()) return false;
-      if (counter && *counter != *node->last_snap_counter()) return false;
-      counter = node->last_snap_counter();
-    }
-    return counter.has_value();
-  }
-
-  [[nodiscard]] Duration skew() const {
-    Duration worst = Duration::zero();
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-      if (nodes[i] == nullptr || !nodes[i]->synchronized()) continue;
-      for (std::size_t j = i + 1; j < nodes.size(); ++j) {
-        if (nodes[j] == nullptr || !nodes[j]->synchronized()) continue;
-        worst = std::max(worst, abs(nodes[i]->clock() - nodes[j]->clock()));
-      }
-    }
-    return worst;
-  }
-};
+Scenario clock_scenario(std::uint32_t n, std::uint32_t f, std::uint32_t byz,
+                        std::uint64_t seed) {
+  Scenario sc;
+  sc.stack = StackKind::kClockSync;
+  sc.n = n;
+  sc.f = f;
+  sc.with_tail_faults(byz);
+  sc.adversary = AdversaryKind::kNoise;
+  sc.adversary_period = milliseconds(2);
+  sc.seed = seed;
+  return sc;
+}
 
 struct PrecisionRow {
   SampleSet skew;             // settled instants only
@@ -99,41 +48,50 @@ struct PrecisionRow {
 PrecisionRow measure_precision(std::uint32_t n, std::uint32_t f,
                                std::uint32_t byz, std::uint64_t seed) {
   PrecisionRow row;
-  ClockCluster cc(n, f, byz, seed);
-  cc.world->start();
-  const Duration cycle = cc.nodes[0]->cycle();
+  Cluster cluster(clock_scenario(n, f, byz, seed));
+  cluster.start();
+  ClockSyncNode* head = cluster.node<ClockSyncNode>(0);
+  const Duration cycle = head->cycle();
   row.cycle = cycle;
-  row.bound = cc.nodes[0]->precision_bound();
-  cc.world->run_for(4 * cycle);  // warm-up
-  const Duration c0 = cc.nodes[0]->clock();
-  const RealTime t0 = cc.world->now();
+  row.bound = head->precision_bound();
+  cluster.world().run_for(4 * cycle);  // warm-up
+  const Duration c0 = head->clock();
+  const RealTime t0 = cluster.world().now();
   for (int sample = 0; sample < 400; ++sample) {
-    cc.world->run_for(cycle / 40);
-    if (!cc.all_synced()) continue;
-    (cc.settled() ? row.skew : row.transition_skew).add(cc.skew());
+    cluster.world().run_for(cycle / 40);
+    if (!clocks_synchronized(cluster)) continue;
+    (clocks_settled(cluster) ? row.skew : row.transition_skew)
+        .add(clock_skew(cluster));
   }
-  row.rate = (cc.nodes[0]->clock() - c0) / (cc.world->now() - t0);
+  row.rate = (head->clock() - c0) / (cluster.world().now() - t0);
   return row;
 }
 
-Duration measure_convergence(std::uint32_t n, std::uint32_t f,
-                             std::uint64_t seed) {
-  ClockCluster cc(n, f, 0, seed);
-  cc.world->start();
-  const Duration cycle = cc.nodes[0]->cycle();
-  cc.world->run_for(4 * cycle);
-  for (NodeId i = 0; i < n; ++i) cc.world->scramble_node(i);
-  const RealTime fault_at = cc.world->now();
-  const Duration bound = cc.nodes[0]->precision_bound();
+struct ConvergenceResult {
+  Duration time = Duration::max();
+  Duration cycle{};
+};
+
+ConvergenceResult measure_convergence(std::uint32_t n, std::uint32_t f,
+                                      std::uint64_t seed) {
+  Cluster cluster(clock_scenario(n, f, 0, seed));
+  cluster.start();
+  ConvergenceResult result;
+  result.cycle = cluster.node<ClockSyncNode>(0)->cycle();
+  cluster.world().run_for(4 * result.cycle);
+  for (NodeId i = 0; i < n; ++i) cluster.world().scramble_node(i);
+  const RealTime fault_at = cluster.world().now();
+  const Duration bound = cluster.node<ClockSyncNode>(0)->precision_bound();
   // First instant after which the cluster stays inside the envelope.
-  const Duration step = cycle / 20;
+  const Duration step = result.cycle / 20;
   for (int i = 0; i < 400; ++i) {
-    cc.world->run_for(step);
-    if (cc.settled() && cc.skew() <= bound) {
-      return cc.world->now() - fault_at;
+    cluster.world().run_for(step);
+    if (clocks_settled(cluster) && clock_skew(cluster) <= bound) {
+      result.time = cluster.world().now() - fault_at;
+      break;
     }
   }
-  return Duration::max();
+  return result;
 }
 
 void BM_ClockPrecision(benchmark::State& state) {
@@ -187,11 +145,9 @@ void print_tables() {
     SampleSet times;
     Duration cycle{};
     for (std::uint64_t seed = 1; seed <= 10; ++seed) {
-      ClockCluster probe(n, f, 0, seed);
-      probe.world->start();
-      cycle = probe.nodes[0]->cycle();
-      const Duration t = measure_convergence(n, f, seed);
-      if (t != Duration::max()) times.add(t);
+      const auto r = measure_convergence(n, f, seed);
+      cycle = r.cycle;
+      if (r.time != Duration::max()) times.add(r.time);
     }
     char cyc[32];
     std::snprintf(cyc, sizeof cyc, "%.2f",

@@ -13,11 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
-#include <memory>
-#include <vector>
 
-#include "adversary/adversaries.hpp"
-#include "baseline/tps_node.hpp"
 #include "harness/metrics.hpp"
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
@@ -55,45 +51,32 @@ SampleSet ss_latency(Duration typical, std::uint32_t trials,
 }
 
 /// TPS baseline: last correct decision time − proposal (anchor) time.
+/// Same unified path; stack = kBaselineTps, which also grants the baseline
+/// its synchrony assumption (zero clock offset) for free.
 SampleSet tps_latency(Duration typical, std::uint32_t trials,
                       std::uint64_t seed0) {
   SampleSet latency;
   for (std::uint32_t trial = 0; trial < trials; ++trial) {
-    WorldConfig wc;
-    wc.n = 7;
-    wc.seed = seed0 + trial;
-    wc.max_clock_offset = Duration::zero();  // baseline gets sync for free
-    wc.link_delay = DelayModel::exp_truncated(typical, wc.delta);
-    wc.proc_delay = DelayModel::uniform(Duration::zero(), wc.pi);
-    wc.has_delay_models = true;
-    World world(wc);
-    const Params params{7, 2, wc.d_bound()};
-    // Phase length must cover the worst case: Φb = 2d (send anywhere in the
-    // phase, deliver+process by the end even with straggler delays).
-    const Duration phase = 2 * params.d();
-    const LocalTime anchor = LocalTime::zero() + milliseconds(5);
-    std::vector<RealTime> decisions;
-    std::vector<TpsNode*> nodes(7, nullptr);
-    for (NodeId i = 0; i < 7; ++i) {
-      if (i >= 5) {
-        world.set_behavior(i, std::make_unique<SilentAdversary>());
-        continue;
-      }
-      auto node = std::make_unique<TpsNode>(
-          params, GeneralId{0}, anchor, phase,
-          [&decisions, &world](const Decision& d) {
-            if (d.decided()) decisions.push_back(world.now());
-          });
-      nodes[i] = node.get();
-      world.set_behavior(i, std::move(node));
-    }
-    world.start();
-    nodes[0]->propose(7);
-    world.run_until(RealTime::zero() + milliseconds(300));
+    Scenario sc;
+    sc.stack = StackKind::kBaselineTps;
+    sc.n = 7;
+    sc.f = 2;
+    sc.with_tail_faults(2);  // kSilent adversary, as before
+    sc.link_delay = DelayModel::exp_truncated(typical, sc.delta);
+    // Phase length covers the worst case (Φb = 2d, the stack default);
+    // the General's value is queued before the 5 ms phase-0 anchor.
+    sc.tps.anchor = milliseconds(5);
+    sc.with_proposal(milliseconds(1), 0, 7);
+    sc.run_for = milliseconds(300);
+    sc.seed = seed0 + trial;
+    Cluster cluster(sc);
+    cluster.run();
     RealTime last = RealTime::min();
-    for (RealTime t : decisions) last = std::max(last, t);
+    for (const auto& d : cluster.decisions()) {
+      if (d.decision.decided()) last = std::max(last, d.real_at);
+    }
     if (last > RealTime::min()) {
-      latency.add(last - (RealTime::zero() + milliseconds(5)));
+      latency.add(last - (RealTime::zero() + sc.tps.anchor));
     }
   }
   return latency;

@@ -2,7 +2,8 @@
 //
 // The paper (§1) positions its protocol as a *more efficient* substrate for
 // self-stabilizing Byzantine pulse synchronization (their follow-up [6]).
-// This bench measures the pulse layer built in src/pulse:
+// This bench measures the pulse layer built in src/pulse, deployed through
+// the unified Scenario → Cluster path (stack = kPulse):
 //   - pulse skew across correct nodes (inherits Timeliness-1a: ≤ 3d)
 //   - cycle-length stability
 //   - convergence of pulsing after a transient scramble
@@ -10,102 +11,40 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
-#include <map>
-#include <memory>
-#include <vector>
 
-#include "adversary/adversaries.hpp"
+#include "harness/metrics.hpp"
 #include "harness/report.hpp"
+#include "harness/runner.hpp"
 #include "pulse/pulse_sync.hpp"
-#include "sim/world.hpp"
 #include "util/stats.hpp"
 
 namespace ssbft {
 namespace {
 
-// Default model constant d = (δ+π)(1+ρ) without pulling the harness in.
-Duration default_d() {
-  WorldConfig wc;
-  return wc.d_bound();
-}
-
-struct PulseRun {
-  SampleSet skew;          // per complete pulse: max − min real fire time
-  SampleSet cycle_error;   // per node: |gap − cycle| for consecutive pulses
-  std::uint32_t complete_pulses = 0;
-  std::uint32_t partial_pulses = 0;
-  Duration convergence = Duration::zero();  // scramble → first complete pulse
-  bool converged = false;
-};
-
-PulseRun run_pulse(std::uint32_t n, std::uint32_t f, std::uint32_t byz,
-                   bool scramble, std::uint64_t seed) {
-  WorldConfig wc;
-  wc.n = n;
-  wc.seed = seed;
-  World world(wc);
-  const Params params{n, f, wc.d_bound()};
-
-  struct Record {
-    NodeId node;
-    std::uint64_t counter;
-    RealTime at;
-  };
-  std::vector<Record> pulses;
-  std::vector<PulseSyncNode*> nodes(n, nullptr);
-  const std::uint32_t correct = n - byz;
-  for (NodeId i = 0; i < n; ++i) {
-    if (i >= correct) {
-      world.set_behavior(i,
-                         std::make_unique<RandomNoiseAdversary>(milliseconds(2)));
-      continue;
-    }
-    auto node = std::make_unique<PulseSyncNode>(
-        params, PulseConfig{}, [i, &pulses, &world](const PulseEvent& e) {
-          pulses.push_back({i, e.counter, world.now()});
-        });
-    nodes[i] = node.get();
-    world.set_behavior(i, std::move(node));
-  }
-  world.start();
+PulseStats run_pulse(std::uint32_t n, std::uint32_t f, std::uint32_t byz,
+                     bool scramble, std::uint64_t seed) {
+  Scenario sc;
+  sc.stack = StackKind::kPulse;
+  sc.n = n;
+  sc.f = f;
+  sc.with_tail_faults(byz);
+  sc.adversary = AdversaryKind::kNoise;
+  sc.adversary_period = milliseconds(2);
+  sc.seed = seed;
+  Cluster cluster(sc);
+  cluster.start();
   if (scramble) {
-    for (NodeId i = 0; i < correct; ++i) world.scramble_node(i);
+    for (NodeId i = 0; i < n - byz; ++i) cluster.world().scramble_node(i);
   }
-  const Duration cycle = nodes[0]->cycle();
-  world.run_until(RealTime::zero() + params.delta_stb() + 24 * cycle);
-
-  PulseRun result;
-  std::map<std::uint64_t, std::vector<Record>> by_counter;
-  for (const auto& p : pulses) by_counter[p.counter].push_back(p);
-  for (const auto& [counter, records] : by_counter) {
-    if (records.size() < correct) {
-      ++result.partial_pulses;
-      continue;
-    }
-    ++result.complete_pulses;
-    RealTime lo = RealTime::max(), hi = RealTime::min();
-    for (const auto& r : records) {
-      lo = std::min(lo, r.at);
-      hi = std::max(hi, r.at);
-    }
-    result.skew.add(hi - lo);
-    if (!result.converged) {
-      result.converged = true;
-      result.convergence = lo - RealTime::zero();
-    }
-  }
-  std::map<NodeId, std::vector<RealTime>> per_node;
-  for (const auto& p : pulses) per_node[p.node].push_back(p.at);
-  for (auto& [node, times] : per_node) {
-    for (std::size_t i = 1; i < times.size(); ++i) {
-      result.cycle_error.add(abs((times[i] - times[i - 1]) - cycle));
-    }
-  }
-  return result;
+  const Duration cycle = cluster.node<PulseSyncNode>(0)->cycle();
+  cluster.world().run_until(RealTime::zero() + cluster.params().delta_stb() +
+                            24 * cycle);
+  return evaluate_pulses(cluster.probe().pulses(), cluster.correct_count(),
+                         cycle);
 }
 
 void print_table() {
-  const Params params{7, 2, default_d()};
+  const Params params = Scenario{}.make_params();
   std::printf("\nE9 (extension): pulse synchronization atop ss-Byz-Agree "
               "(pulse = decision instant; skew bound = 3d = %.3fms)\n",
               (3 * params.d()).millis());
@@ -120,7 +59,7 @@ void print_table() {
        {Case{4, 1, 0, false}, Case{7, 2, 0, false}, Case{7, 2, 2, false},
         Case{7, 2, 2, true}, Case{10, 3, 3, true}}) {
     // Aggregate three seeds.
-    PulseRun agg;
+    PulseStats agg;
     for (std::uint64_t seed : {1u, 2u, 3u}) {
       auto r = run_pulse(c.n, c.f, c.byz, c.scramble, 100 * seed);
       for (double x : r.skew.samples()) agg.skew.add(x);
@@ -152,7 +91,7 @@ void print_table() {
 }
 
 void BM_Pulse(benchmark::State& state) {
-  PulseRun r;
+  PulseStats r;
   for (auto _ : state) r = run_pulse(7, 2, 2, false, 1);
   if (!r.skew.empty()) state.counters["skew_max_ms"] = r.skew.max() * 1e-6;
   state.counters["complete"] = r.complete_pulses;

@@ -1,5 +1,8 @@
 // E12 — State-machine replication throughput: sequential slots vs the
-// footnote-9 pipeline.
+// footnote-9 pipeline. Both designs deploy through the unified
+// Scenario → Cluster path (stack = kReplicatedLog / kPipelinedLog); the
+// workload is the scenario's proposal list and commits/deliveries are read
+// back from the cluster's probe.
 //
 // The sequential replicated log settles one slot at a time, so its rate is
 // bounded by one agreement latency per command. The pipelined log keeps
@@ -8,18 +11,14 @@
 // saturates the cluster.
 //
 // Reported: commands committed per second (measured at node 0 over a fixed
-// simulated horizon under an over-subscribed workload), commit latency
-// (submit → local delivery), and the depth-scaling curve.
+// simulated horizon under an over-subscribed workload) and the
+// depth-scaling curve.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
-#include <memory>
-#include <vector>
 
-#include "app/pipelined_log.hpp"
-#include "app/replicated_log.hpp"
 #include "harness/report.hpp"
-#include "sim/world.hpp"
+#include "harness/runner.hpp"
 #include "util/stats.hpp"
 
 namespace ssbft {
@@ -35,59 +34,50 @@ struct SmrResult {
   }
 };
 
-SmrResult run_pipelined(std::uint32_t n, std::uint32_t f, std::uint32_t depth,
-                        Duration horizon, std::uint64_t seed) {
-  WorldConfig wc;
-  wc.n = n;
-  wc.seed = seed;
-  World world(wc);
-  Params params{n, f, wc.d_bound()};
-  std::vector<PipelinedLogNode*> nodes(n, nullptr);
-  std::size_t committed_at_0 = 0;
-  for (NodeId i = 0; i < n; ++i) {
-    PipelineConfig cfg;
-    cfg.depth = depth;
-    auto sink = [&committed_at_0, i](const PipelinedEntry& e) {
-      if (i == 0 && !e.skipped) ++committed_at_0;
-    };
-    auto node = std::make_unique<PipelinedLogNode>(params, cfg, sink);
-    nodes[i] = node.get();
-    world.set_behavior(i, std::move(node));
-  }
-  world.start();
-  for (NodeId i = 0; i < n; ++i) {
+/// Over-subscribed workload: every node submits kCommandsPerNode commands
+/// up front, through the scenario's unified proposal list.
+void add_workload(Scenario& sc) {
+  for (NodeId i = 0; i < sc.n; ++i) {
     for (std::uint32_t c = 0; c < kCommandsPerNode; ++c) {
-      nodes[i]->submit(1000 * i + c);
+      sc.with_proposal(Duration::zero(), i, 1000 * i + c);
     }
   }
-  world.run_for(horizon);
+}
+
+SmrResult run_pipelined(std::uint32_t n, std::uint32_t f, std::uint32_t depth,
+                        Duration horizon, std::uint64_t seed) {
+  Scenario sc;
+  sc.stack = StackKind::kPipelinedLog;
+  sc.n = n;
+  sc.f = f;
+  sc.pipeline.depth = depth;
+  sc.seed = seed;
+  sc.run_for = horizon;
+  add_workload(sc);
+  Cluster cluster(sc);
+  cluster.run();
+  std::size_t committed_at_0 = 0;
+  for (const auto& d : cluster.probe().deliveries()) {
+    if (d.node == 0 && !d.entry.skipped) ++committed_at_0;
+  }
   return {committed_at_0, horizon.seconds()};
 }
 
 SmrResult run_sequential(std::uint32_t n, std::uint32_t f, Duration horizon,
                          std::uint64_t seed) {
-  WorldConfig wc;
-  wc.n = n;
-  wc.seed = seed;
-  World world(wc);
-  Params params{n, f, wc.d_bound()};
-  std::vector<ReplicatedLogNode*> nodes(n, nullptr);
+  Scenario sc;
+  sc.stack = StackKind::kReplicatedLog;
+  sc.n = n;
+  sc.f = f;
+  sc.seed = seed;
+  sc.run_for = horizon;
+  add_workload(sc);
+  Cluster cluster(sc);
+  cluster.run();
   std::size_t committed_at_0 = 0;
-  for (NodeId i = 0; i < n; ++i) {
-    auto sink = [&committed_at_0, i](const CommittedEntry&) {
-      if (i == 0) ++committed_at_0;
-    };
-    auto node = std::make_unique<ReplicatedLogNode>(params, LogConfig{}, sink);
-    nodes[i] = node.get();
-    world.set_behavior(i, std::move(node));
+  for (const auto& c : cluster.probe().commits()) {
+    if (c.node == 0) ++committed_at_0;
   }
-  world.start();
-  for (NodeId i = 0; i < n; ++i) {
-    for (std::uint32_t c = 0; c < kCommandsPerNode; ++c) {
-      nodes[i]->submit(1000 * i + c);
-    }
-  }
-  world.run_for(horizon);
   return {committed_at_0, horizon.seconds()};
 }
 

@@ -2,40 +2,27 @@
 // application (its refs [5], [6]): agreement pulses make clock
 // synchronization Byzantine-tolerant AND self-stabilizing.
 //
-// The demo runs 7 nodes (2 Byzantine), lets the logical clocks synchronize,
-// then hits EVERY node with a transient fault that scrambles clock and
-// protocol state — and shows the clocks re-converging on their own.
+// The demo deploys the clock-sync stack through the unified
+// Scenario → Cluster path (stack = kClockSync): 7 nodes (2 Byzantine),
+// lets the logical clocks synchronize, then hits EVERY node with a
+// transient fault that scrambles clock and protocol state — and shows the
+// clocks re-converging on their own.
 //
 // Build & run:   ./build/examples/clock_sync_demo
-#include <algorithm>
 #include <cstdio>
-#include <memory>
-#include <vector>
 
-#include "adversary/adversaries.hpp"
 #include "clocksync/clock_sync.hpp"
-#include "sim/world.hpp"
+#include "harness/metrics.hpp"
+#include "harness/runner.hpp"
 
 using namespace ssbft;
 
 namespace {
 
-Duration skew(const std::vector<ClockSyncNode*>& nodes) {
-  Duration worst = Duration::zero();
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    if (nodes[i] == nullptr || !nodes[i]->synchronized()) continue;
-    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
-      if (nodes[j] == nullptr || !nodes[j]->synchronized()) continue;
-      worst = std::max(worst, abs(nodes[i]->clock() - nodes[j]->clock()));
-    }
-  }
-  return worst;
-}
-
-void print_state(const World& world, const std::vector<ClockSyncNode*>& nodes,
-                 const char* label) {
-  std::printf("t=%8.1f ms  %-28s", world.now().millis(), label);
-  for (const auto* node : nodes) {
+void print_state(Cluster& cluster, const char* label) {
+  std::printf("t=%8.1f ms  %-28s", cluster.world().now().millis(), label);
+  for (NodeId i = 0; i < cluster.scenario().n; ++i) {
+    const auto* node = cluster.node<ClockSyncNode>(i);
     if (node == nullptr) {
       std::printf("  [byz]   ");
     } else if (!node->synchronized()) {
@@ -44,55 +31,49 @@ void print_state(const World& world, const std::vector<ClockSyncNode*>& nodes,
       std::printf("  %8.2f", node->clock().millis());
     }
   }
-  std::printf("   skew=%.0f us\n", skew(nodes).micros() * 1e-3 * 1e3);
+  std::printf("   skew=%.0f us\n", clock_skew(cluster).micros() * 1e-3 * 1e3);
 }
 
 }  // namespace
 
 int main() {
-  constexpr std::uint32_t kN = 7, kF = 2;
+  Scenario sc;
+  sc.stack = StackKind::kClockSync;
+  sc.n = 7;
+  sc.f = 2;
+  sc.with_tail_faults(2);  // the last two nodes are Byzantine junk-flooders
+  sc.adversary = AdversaryKind::kNoise;
+  sc.adversary_period = milliseconds(2);
+  sc.seed = 7;
 
-  WorldConfig wc;
-  wc.n = kN;
-  wc.seed = 7;
-  World world(wc);
-  Params params{kN, kF, wc.d_bound()};
-
-  std::vector<ClockSyncNode*> nodes(kN, nullptr);
-  for (NodeId i = 0; i < kN; ++i) {
-    if (i >= kN - kF) {  // the last two nodes are Byzantine junk-flooders
-      world.set_behavior(i,
-                         std::make_unique<RandomNoiseAdversary>(milliseconds(2)));
-      continue;
-    }
-    auto node = std::make_unique<ClockSyncNode>(params, ClockSyncConfig{});
-    nodes[i] = node.get();
-    world.set_behavior(i, std::move(node));
-  }
-
-  world.start();
-  const Duration cycle = nodes[0]->cycle();
+  Cluster cluster(sc);
+  cluster.start();
+  const Duration cycle = cluster.node<ClockSyncNode>(0)->cycle();
+  const Duration bound = cluster.node<ClockSyncNode>(0)->precision_bound();
   std::printf("pulse cycle = %.1f ms, precision bound = %.0f us\n\n",
-              cycle.millis(), nodes[0]->precision_bound().micros());
+              cycle.millis(), bound.micros());
   std::printf("%-14s %-28s  per-node logical clocks (ms)\n", "", "");
 
-  print_state(world, nodes, "cold start");
+  print_state(cluster, "cold start");
   for (int i = 0; i < 4; ++i) {
-    world.run_for(cycle);
-    print_state(world, nodes, i == 0 ? "first pulses" : "running");
+    cluster.world().run_for(cycle);
+    print_state(cluster, i == 0 ? "first pulses" : "running");
   }
 
   std::printf("\n*** transient fault: scrambling ALL nodes' state ***\n\n");
-  for (NodeId i = 0; i < kN; ++i) world.scramble_node(i);
-  print_state(world, nodes, "immediately after fault");
+  for (NodeId i = 0; i < sc.n; ++i) cluster.world().scramble_node(i);
+  print_state(cluster, "immediately after fault");
 
   for (int i = 0; i < 6; ++i) {
-    world.run_for(cycle);
-    print_state(world, nodes, "self-stabilizing...");
+    cluster.world().run_for(cycle);
+    print_state(cluster, "self-stabilizing...");
   }
 
   std::printf("\nfinal skew: %.0f us (bound %.0f us) — no restart, no "
-              "operator, just the protocol.\n",
-              skew(nodes).micros(), nodes[0]->precision_bound().micros());
+              "operator, just the protocol. (%zu pulses, %zu clock snaps "
+              "recorded by the probe.)\n",
+              clock_skew(cluster).micros(), bound.micros(),
+              cluster.probe().pulses().size(),
+              cluster.probe().adjustments().size());
   return 0;
 }

@@ -1,23 +1,24 @@
 // A replicated bank ledger on the pipelined log — the footnote-9 payoff in
-// application form.
+// application form, deployed through the unified Scenario → Cluster path
+// (stack = kPipelinedLog).
 //
 // Four replicas each accept deposit/withdraw commands from local clients
-// and submit them to the pipelined replicated log (depth 4: four slots in
-// flight through concurrent indexed agreement instances). Every replica
-// applies the delivered command stream, in slot order, to its copy of the
-// accounts — and because delivery sequences are identical at all correct
-// replicas, so are the final balances, even though commands raced each
-// other across four concurrent agreements.
+// (the scenario's proposal list routes each command through a replica) and
+// submit them to the pipelined replicated log (depth 4: four slots in
+// flight through concurrent indexed agreement instances). Every replica's
+// delivery stream — read back from the cluster's probe — applies, in slot
+// order, to its copy of the accounts; and because delivery sequences are
+// identical at all correct replicas, so are the final balances, even though
+// commands raced each other across four concurrent agreements.
 //
 // Build & run:   ./build/examples/pipelined_bank
 #include <array>
 #include <cstdio>
 #include <map>
-#include <memory>
 #include <vector>
 
 #include "app/pipelined_log.hpp"
-#include "sim/world.hpp"
+#include "harness/runner.hpp"
 
 using namespace ssbft;
 
@@ -37,29 +38,12 @@ void apply(std::map<std::uint32_t, std::int64_t>& accounts,
 int main() {
   constexpr std::uint32_t kN = 4, kF = 1, kDepth = 4;
 
-  WorldConfig wc;
-  wc.n = kN;
-  wc.seed = 17;
-  World world(wc);
-  Params params{kN, kF, wc.d_bound()};
-
-  // Each replica's applied state, rebuilt from its delivery stream.
-  std::array<std::map<std::uint32_t, std::int64_t>, kN> ledgers;
-  std::array<std::vector<PipelinedEntry>, kN> streams;
-
-  std::vector<PipelinedLogNode*> replicas(kN, nullptr);
-  for (NodeId i = 0; i < kN; ++i) {
-    PipelineConfig cfg;
-    cfg.depth = kDepth;
-    auto sink = [&, i](const PipelinedEntry& entry) {
-      streams[i].push_back(entry);
-      if (!entry.skipped) apply(ledgers[i], entry.command);
-    };
-    auto node = std::make_unique<PipelinedLogNode>(params, cfg, sink);
-    replicas[i] = node.get();
-    world.set_behavior(i, std::move(node));
-  }
-  world.start();
+  Scenario sc;
+  sc.stack = StackKind::kPipelinedLog;
+  sc.n = kN;
+  sc.f = kF;
+  sc.pipeline.depth = kDepth;
+  sc.seed = 17;
 
   // Client workload: deposits and withdrawals hitting different replicas.
   struct Tx { NodeId via; std::uint32_t account; std::int16_t amount; };
@@ -69,13 +53,25 @@ int main() {
       {0, 3, +7},   {1, 2, -1},
   };
   for (const auto& tx : workload) {
-    replicas[tx.via]->submit(make_cmd(tx.account, tx.amount));
+    sc.with_proposal(Duration::zero(), tx.via,
+                     make_cmd(tx.account, tx.amount));
   }
 
-  world.run_for(6 * replicas[0]->slot_period());
+  Cluster cluster(sc);
+  cluster.start();
+  cluster.world().run_for(
+      6 * cluster.node<PipelinedLogNode>(0)->slot_period());
+
+  // Each replica's applied state, rebuilt from its delivery stream.
+  std::array<std::map<std::uint32_t, std::int64_t>, kN> ledgers;
+  std::array<std::vector<PipelinedEntry>, kN> streams;
+  for (const auto& d : cluster.probe().deliveries()) {
+    streams[d.node].push_back(d.entry);
+    if (!d.entry.skipped) apply(ledgers[d.node], d.entry.command);
+  }
 
   std::printf("pipeline depth %u, slot period %.1f ms\n\n", kDepth,
-              replicas[0]->slot_period().millis());
+              cluster.node<PipelinedLogNode>(0)->slot_period().millis());
   std::printf("replica 0 delivery stream (slot order):\n");
   for (const auto& e : streams[0]) {
     if (e.skipped) {

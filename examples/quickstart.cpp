@@ -1,7 +1,17 @@
 // Quickstart: 7 nodes, 2 Byzantine, one correct General proposing a value.
 //
-// Demonstrates the minimal public-API flow:
-//   Scenario → Cluster → run → inspect decisions.
+// Demonstrates the minimal public-API flow — the same one every protocol
+// stack uses:
+//   Scenario (pick a StackKind, describe the world) → Cluster → run →
+//   inspect the probe's streams.
+//
+// `Scenario.stack` selects which layer of the paper's construction the
+// correct nodes run: kAgree (ss-Byz-Agree, shown here), kPulse,
+// kClockSync, kReplicatedLog, kPipelinedLog, or kBaselineTps. Swapping the
+// stack swaps the protocol AND the metrics stream (decisions, pulses,
+// clock snapshots, committed entries) without touching the deployment
+// code — see examples/clock_sync_demo.cpp and examples/pipelined_bank.cpp
+// for the same flow on other stacks.
 //
 // Build & run:   ./build/examples/quickstart
 #include <cstdio>
@@ -13,6 +23,7 @@ int main() {
   using namespace ssbft;
 
   Scenario sc;
+  sc.stack = StackKind::kAgree;  // the base agreement stack (the default)
   sc.n = 7;                 // cluster size
   sc.f = 2;                 // designed fault tolerance (n > 3f)
   sc.with_tail_faults(2);   // nodes 5 and 6 are actually Byzantine

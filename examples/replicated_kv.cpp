@@ -1,4 +1,6 @@
-// Replicated key-value store — a domain application of the replicated log.
+// Replicated key-value store — a domain application of the replicated log,
+// deployed through the unified Scenario → Cluster path
+// (stack = kReplicatedLog).
 //
 // Commands are 32-bit words: op(4 bits) ‖ key(12 bits) ‖ value(16 bits).
 // Each correct node applies committed entries in slot order to a local
@@ -8,12 +10,10 @@
 // Build & run:   ./build/examples/replicated_kv
 #include <cstdio>
 #include <map>
-#include <memory>
 #include <vector>
 
-#include "adversary/adversaries.hpp"
 #include "app/replicated_log.hpp"
-#include "sim/world.hpp"
+#include "harness/runner.hpp"
 
 namespace {
 
@@ -45,45 +45,39 @@ struct KvReplica {
 }  // namespace
 
 int main() {
-  WorldConfig wc;
-  wc.n = 7;
-  wc.seed = 4242;
-  World world(wc);
-  const Params params{7, 2, wc.d_bound()};
-
-  std::vector<ReplicatedLogNode*> nodes(7, nullptr);
-  for (NodeId i = 0; i < 7; ++i) {
-    if (i >= 5) {  // two Byzantine replicas flooding noise
-      world.set_behavior(i,
-                         std::make_unique<RandomNoiseAdversary>(milliseconds(2)));
-      continue;
-    }
-    auto node =
-        std::make_unique<ReplicatedLogNode>(params, LogConfig{}, nullptr);
-    nodes[i] = node.get();
-    world.set_behavior(i, std::move(node));
-  }
-  world.start();
+  Scenario sc;
+  sc.stack = StackKind::kReplicatedLog;
+  sc.n = 7;
+  sc.f = 2;
+  sc.with_tail_faults(2);  // two Byzantine replicas flooding noise
+  sc.adversary = AdversaryKind::kNoise;
+  sc.adversary_period = milliseconds(2);
+  sc.seed = 4242;
 
   // Clients hit different replicas: sets, an overwrite, and a delete.
-  nodes[0]->submit(make_cmd(kOpSet, 1, 100));  // x := 100
-  nodes[1]->submit(make_cmd(kOpSet, 2, 200));  // y := 200
-  nodes[2]->submit(make_cmd(kOpSet, 1, 150));  // x := 150 (overwrite)
-  nodes[3]->submit(make_cmd(kOpSet, 3, 300));  // z := 300
-  nodes[4]->submit(make_cmd(kOpDel, 2, 0));    // del y
+  sc.with_proposal(Duration::zero(), 0, make_cmd(kOpSet, 1, 100))  // x := 100
+      .with_proposal(Duration::zero(), 1, make_cmd(kOpSet, 2, 200))  // y := 200
+      .with_proposal(Duration::zero(), 2, make_cmd(kOpSet, 1, 150))  // x := 150
+      .with_proposal(Duration::zero(), 3, make_cmd(kOpSet, 3, 300))  // z := 300
+      .with_proposal(Duration::zero(), 4, make_cmd(kOpDel, 2, 0));   // del y
 
-  world.run_until(RealTime::zero() + 30 * nodes[0]->slot_period());
+  Cluster cluster(sc);
+  cluster.start();
+  cluster.world().run_until(
+      RealTime::zero() +
+      30 * cluster.node<ReplicatedLogNode>(0)->slot_period());
 
   // Materialize each replica's state from its committed log (slot order).
   std::vector<KvReplica> replicas(5);
   for (NodeId i = 0; i < 5; ++i) {
-    for (const auto& [slot, entry] : nodes[i]->log()) {
+    for (const auto& [slot, entry] :
+         cluster.node<ReplicatedLogNode>(i)->log()) {
       replicas[i].apply(entry.command);
     }
   }
 
   std::printf("replica state after %zu committed entries:\n",
-              nodes[0]->log().size());
+              cluster.node<ReplicatedLogNode>(0)->log().size());
   bool identical = true;
   for (NodeId i = 0; i < 5; ++i) {
     std::printf("  node %u:", i);

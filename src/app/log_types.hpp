@@ -1,0 +1,59 @@
+// Log-stack value types: configuration and the published entry records for
+// the sequential and pipelined replicated logs. Kept free of the protocol
+// implementation so declarative layers (Scenario, Probe) can name them
+// without compiling the node machinery.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace ssbft {
+
+struct LogConfig {
+  /// Target per-slot period; must be ≥ ∆0 + ∆agr (IG1 pacing). Zero ⇒ that
+  /// minimum plus 5d of slack.
+  Duration slot_period = Duration::zero();
+  /// Watchdog slack past slot_period + ∆agr before skipping a slot.
+  Duration timeout_slack = Duration::zero();  // zero ⇒ 8d
+};
+
+struct CommittedEntry {
+  std::uint64_t slot = 0;
+  std::uint32_t command = 0;
+  NodeId proposer = kNoNode;
+  LocalTime at{};
+
+  friend bool operator==(const CommittedEntry& a, const CommittedEntry& b) {
+    // Log-identity comparisons ignore the local commit time.
+    return a.slot == b.slot && a.command == b.command &&
+           a.proposer == b.proposer;
+  }
+};
+
+struct PipelineConfig {
+  /// Window size: slots concurrently in flight. Clamped to what the
+  /// instance-index space supports (params.max_indices() · n).
+  std::uint32_t depth = 4;
+  /// Pacing between waves of proposals by the same node on the same
+  /// instance index; must be ≥ ∆0 + ∆agr. Zero ⇒ that minimum plus 5d.
+  Duration slot_period = Duration::zero();
+  /// Watchdog slack past slot_period + ∆agr before skipping the lowest
+  /// unsettled slot. Zero ⇒ 8d.
+  Duration timeout_slack = Duration::zero();
+};
+
+struct PipelinedEntry {
+  std::uint64_t slot = 0;
+  std::uint32_t command = 0;
+  NodeId proposer = kNoNode;
+  bool skipped = false;  // true ⇒ no commit; hole released in order
+
+  friend bool operator==(const PipelinedEntry& a, const PipelinedEntry& b) {
+    return a.slot == b.slot && a.command == b.command &&
+           a.proposer == b.proposer && a.skipped == b.skipped;
+  }
+};
+
+}  // namespace ssbft

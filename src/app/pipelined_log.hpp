@@ -30,35 +30,12 @@
 #include <optional>
 #include <set>
 
+#include "app/log_types.hpp"
 #include "core/node.hpp"
 #include "core/params.hpp"
 #include "sim/node.hpp"
 
 namespace ssbft {
-
-struct PipelineConfig {
-  /// Window size: slots concurrently in flight. Clamped to what the
-  /// instance-index space supports (params.max_indices() · n).
-  std::uint32_t depth = 4;
-  /// Pacing between waves of proposals by the same node on the same
-  /// instance index; must be ≥ ∆0 + ∆agr. Zero ⇒ that minimum plus 5d.
-  Duration slot_period = Duration::zero();
-  /// Watchdog slack past slot_period + ∆agr before skipping the lowest
-  /// unsettled slot. Zero ⇒ 8d.
-  Duration timeout_slack = Duration::zero();
-};
-
-struct PipelinedEntry {
-  std::uint64_t slot = 0;
-  std::uint32_t command = 0;
-  NodeId proposer = kNoNode;
-  bool skipped = false;  // true ⇒ no commit; hole released in order
-
-  friend bool operator==(const PipelinedEntry& a, const PipelinedEntry& b) {
-    return a.slot == b.slot && a.command == b.command &&
-           a.proposer == b.proposer && a.skipped == b.skipped;
-  }
-};
 
 class PipelinedLogNode : public NodeBehavior {
  public:
@@ -97,6 +74,9 @@ class PipelinedLogNode : public NodeBehavior {
   [[nodiscard]] std::size_t pending() const { return pending_.size(); }
   [[nodiscard]] Duration slot_period() const { return slot_period_; }
   [[nodiscard]] const Params& params() const { return agree_->params(); }
+
+  /// The embedded agreement node (harness probes, white-box tests).
+  [[nodiscard]] SsByzNode& agreement() { return *agree_; }
 
  private:
   static constexpr std::uint64_t kPipeTimerBit = 1ULL << 62;

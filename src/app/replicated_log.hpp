@@ -28,32 +28,12 @@
 #include <optional>
 #include <vector>
 
+#include "app/log_types.hpp"
 #include "core/node.hpp"
 #include "core/params.hpp"
 #include "sim/node.hpp"
 
 namespace ssbft {
-
-struct LogConfig {
-  /// Target per-slot period; must be ≥ ∆0 + ∆agr (IG1 pacing). Zero ⇒ that
-  /// minimum plus 5d of slack.
-  Duration slot_period = Duration::zero();
-  /// Watchdog slack past slot_period + ∆agr before skipping a slot.
-  Duration timeout_slack = Duration::zero();  // zero ⇒ 8d
-};
-
-struct CommittedEntry {
-  std::uint64_t slot = 0;
-  std::uint32_t command = 0;
-  NodeId proposer = kNoNode;
-  LocalTime at{};
-
-  friend bool operator==(const CommittedEntry& a, const CommittedEntry& b) {
-    // Log-identity comparisons ignore the local commit time.
-    return a.slot == b.slot && a.command == b.command &&
-           a.proposer == b.proposer;
-  }
-};
 
 class ReplicatedLogNode : public NodeBehavior {
  public:
@@ -79,6 +59,9 @@ class ReplicatedLogNode : public NodeBehavior {
   [[nodiscard]] std::uint64_t cursor() const { return cursor_; }
   [[nodiscard]] std::size_t pending() const { return pending_.size(); }
   [[nodiscard]] Duration slot_period() const { return slot_period_; }
+
+  /// The embedded agreement node (harness probes, white-box tests).
+  [[nodiscard]] SsByzNode& agreement() { return *agree_; }
 
   /// Encoding of (slot, command) into an agreement value — exposed for
   /// tests. Slot in bits 32..62 (the top bit stays clear of kBottom).

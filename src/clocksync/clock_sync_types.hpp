@@ -1,0 +1,51 @@
+// Clock-sync-stack value types: adjustment policy, configuration, and the
+// published resynchronization event. Kept free of the protocol
+// implementation so declarative layers (Scenario, Probe) can name them
+// without compiling the node machinery.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace ssbft {
+
+/// How a pulse's correction is applied to the logical clock.
+enum class AdjustMode : std::uint8_t {
+  /// Jump to the snap target instantly. Simplest; readings can step
+  /// backwards when the pulse gap exceeded a cycle (watchdog-skipped
+  /// Byzantine slots), which some applications cannot tolerate.
+  kStep,
+  /// Apply backward corrections by running the clock *slower* (rate
+  /// 1 − slew_rate) until the residual is absorbed — readings are strictly
+  /// monotone. Forward corrections still step (stepping forward preserves
+  /// monotonicity). During absorption the node's reading is up to the
+  /// residual away from the settled envelope; convergence takes
+  /// residual / slew_rate local time.
+  kSlew,
+};
+
+struct ClockSyncConfig {
+  /// Forwarded to PulseConfig (zero ⇒ pulse-layer default).
+  Duration cycle = Duration::zero();
+  Duration timeout_slack = Duration::zero();
+  /// Clock modulus M: readings live in [0, M). Zero ⇒ unbounded clock.
+  /// If set, must be ≥ 4·cycle so consecutive snap targets are unambiguous.
+  /// Wrap-around requires stepping (circular residuals), so modulus ≠ 0
+  /// forces AdjustMode::kStep.
+  Duration modulus = Duration::zero();
+  AdjustMode adjust = AdjustMode::kStep;
+  /// Fraction of local-clock rate sacrificed while absorbing a backward
+  /// correction in kSlew mode (0 < slew_rate < 1). 0 ⇒ default 0.1.
+  double slew_rate = 0.0;
+};
+
+/// One resynchronization event: the correction applied when a pulse snapped
+/// the logical clock.
+struct ClockAdjustment {
+  std::uint64_t pulse_counter = 0;
+  Duration amount{};  // signed: target − previous reading
+  LocalTime at{};
+};
+
+}  // namespace ssbft

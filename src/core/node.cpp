@@ -49,15 +49,15 @@ SsByzAgree& SsByzNode::get_instance(GeneralId general) {
   if (it == instances_.end()) {
     auto inst = std::make_unique<SsByzAgree>(
         params_, general, [this, general](const AgreeResult& result) {
-          if (sink_) {
-            Decision decision;
-            decision.node = ctx_ ? ctx_->id() : kNoNode;
-            decision.general = general;
-            decision.value = result.value;
-            decision.tau_g = result.tau_g;
-            decision.at = result.returned_at;
-            sink_(decision);
-          }
+          if (!sink_ && !tap_) return;
+          Decision decision;
+          decision.node = ctx_ ? ctx_->id() : kNoNode;
+          decision.general = general;
+          decision.value = result.value;
+          decision.tau_g = result.tau_g;
+          decision.at = result.returned_at;
+          if (sink_) sink_(decision);
+          if (tap_) tap_(decision);
         });
     auto* raw = inst.get();
     raw->set_timer_service([this, general](LocalTime when,

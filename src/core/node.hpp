@@ -48,6 +48,10 @@ enum class ProposeStatus {
   kNotStarted,       // node not started yet
 };
 
+/// Number of ProposeStatus enumerators (test_enums checks that to_string
+/// covers exactly this many).
+inline constexpr std::uint32_t kProposeStatusCount = 5;
+
 [[nodiscard]] const char* to_string(ProposeStatus s);
 
 class SsByzNode : public NodeBehavior {
@@ -72,6 +76,12 @@ class SsByzNode : public NodeBehavior {
 
   /// IG-criteria bookkeeping reset (used by tests that replay histories).
   void clear_general_state();
+
+  /// Secondary observer invoked after the primary sink for every published
+  /// return. Stacks built atop this node (pulse, logs) consume the primary
+  /// sink themselves; the tap lets the harness watch the agreement stream
+  /// of ANY stack without disturbing the stack's own plumbing.
+  void set_decision_tap(DecisionSink tap) { tap_ = std::move(tap); }
 
   [[nodiscard]] const Params& params() const { return params_; }
   /// Instance accessor for white-box tests (may create the instance).
@@ -102,6 +112,7 @@ class SsByzNode : public NodeBehavior {
 
   Params params_;
   DecisionSink sink_;
+  DecisionSink tap_;
   NodeContext* ctx_ = nullptr;  // set at on_start; stable for node lifetime
 
   std::map<GeneralId, std::unique_ptr<SsByzAgree>> instances_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "clocksync/clock_sync.hpp"
+
 namespace ssbft {
 
 std::uint32_t Execution::decided_count() const {
@@ -139,6 +141,73 @@ RunMetrics evaluate_run(const std::vector<TimedDecision>& decisions,
     if (!satisfied) ++metrics.validity_violations;
   }
   return metrics;
+}
+
+PulseStats evaluate_pulses(const std::vector<TimedPulse>& pulses,
+                           std::uint32_t correct, Duration cycle) {
+  PulseStats stats;
+  std::map<std::uint64_t, std::vector<RealTime>> by_counter;
+  std::map<NodeId, std::vector<RealTime>> by_node;
+  for (const auto& p : pulses) {
+    by_counter[p.event.counter].push_back(p.real_at);
+    by_node[p.node].push_back(p.real_at);
+  }
+  for (const auto& [counter, fires] : by_counter) {
+    if (fires.size() < correct) {
+      ++stats.partial_pulses;
+      continue;
+    }
+    ++stats.complete_pulses;
+    const auto [lo, hi] = std::minmax_element(fires.begin(), fires.end());
+    stats.skew.add(*hi - *lo);
+    if (!stats.converged) {
+      stats.converged = true;
+      stats.convergence = *lo - RealTime::zero();
+    }
+  }
+  for (auto& [node, times] : by_node) {
+    std::sort(times.begin(), times.end());
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      stats.cycle_error.add(abs((times[i] - times[i - 1]) - cycle));
+    }
+  }
+  return stats;
+}
+
+Duration clock_skew(Cluster& cluster) {
+  Duration worst = Duration::zero();
+  const std::uint32_t n = cluster.scenario().n;
+  for (NodeId i = 0; i < n; ++i) {
+    auto* a = cluster.node<ClockSyncNode>(i);
+    if (a == nullptr || !a->synchronized()) continue;
+    for (NodeId j = i + 1; j < n; ++j) {
+      auto* b = cluster.node<ClockSyncNode>(j);
+      if (b == nullptr || !b->synchronized()) continue;
+      worst = std::max(worst, abs(a->clock() - b->clock()));
+    }
+  }
+  return worst;
+}
+
+bool clocks_synchronized(Cluster& cluster) {
+  std::uint32_t synced = 0;
+  for (NodeId i = 0; i < cluster.scenario().n; ++i) {
+    auto* node = cluster.node<ClockSyncNode>(i);
+    if (node != nullptr && node->synchronized()) ++synced;
+  }
+  return synced == cluster.correct_count();
+}
+
+bool clocks_settled(Cluster& cluster) {
+  std::optional<std::uint64_t> counter;
+  for (NodeId i = 0; i < cluster.scenario().n; ++i) {
+    auto* node = cluster.node<ClockSyncNode>(i);
+    if (node == nullptr) continue;
+    if (!node->synchronized() || !node->last_snap_counter()) return false;
+    if (counter && *counter != *node->last_snap_counter()) return false;
+    counter = node->last_snap_counter();
+  }
+  return counter.has_value();
 }
 
 }  // namespace ssbft

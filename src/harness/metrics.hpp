@@ -16,6 +16,7 @@
 
 #include "core/params.hpp"
 #include "harness/runner.hpp"
+#include "util/stats.hpp"
 
 namespace ssbft {
 
@@ -60,5 +61,34 @@ struct RunMetrics {
                                       const std::vector<TimedProposal>& expected,
                                       std::uint32_t correct_nodes,
                                       const Params& params);
+
+// --- pulse stack (Scenario.stack == kPulse / kClockSync) -----------------
+
+/// Aggregate view of a probe's pulse stream.
+struct PulseStats {
+  SampleSet skew;         // per complete pulse: max − min real fire time
+  SampleSet cycle_error;  // per node: |gap − cycle| of consecutive pulses
+  std::uint32_t complete_pulses = 0;  // fired at every correct node
+  std::uint32_t partial_pulses = 0;
+  bool converged = false;
+  Duration convergence{};  // t=0 → first complete pulse
+};
+
+/// Group the pulse stream by counter; a pulse is complete when all
+/// `correct` nodes fired it. `cycle` is the stack's pulse period.
+[[nodiscard]] PulseStats evaluate_pulses(const std::vector<TimedPulse>& pulses,
+                                         std::uint32_t correct,
+                                         Duration cycle);
+
+// --- clock-sync stack (Scenario.stack == kClockSync) ---------------------
+
+/// Max pairwise skew between synchronized correct logical clocks.
+[[nodiscard]] Duration clock_skew(Cluster& cluster);
+/// Every correct node has been snapped by at least one pulse.
+[[nodiscard]] bool clocks_synchronized(Cluster& cluster);
+/// All correct nodes snapped to the same pulse counter — the instants the
+/// precision bound speaks about (between them a snap is in flight and the
+/// skew transiently equals the adjustment size).
+[[nodiscard]] bool clocks_settled(Cluster& cluster);
 
 }  // namespace ssbft

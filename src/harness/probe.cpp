@@ -1,0 +1,45 @@
+#include "harness/probe.hpp"
+
+#include "util/assert.hpp"
+
+namespace ssbft {
+
+void RecordingProbe::clear() {
+  decisions_.clear();
+  proposals_.clear();
+  pulses_.clear();
+  adjustments_.clear();
+  commits_.clear();
+  deliveries_.clear();
+}
+
+void ProbeHub::attach(Probe* probe) {
+  SSBFT_EXPECTS(probe != nullptr);
+  probes_.push_back(probe);
+}
+
+void ProbeHub::on_decision(const TimedDecision& d) {
+  for (Probe* p : probes_) p->on_decision(d);
+}
+
+void ProbeHub::on_proposal(const TimedProposal& p) {
+  for (Probe* probe : probes_) probe->on_proposal(p);
+}
+
+void ProbeHub::on_pulse(const TimedPulse& p) {
+  for (Probe* probe : probes_) probe->on_pulse(p);
+}
+
+void ProbeHub::on_adjustment(const TimedAdjustment& a) {
+  for (Probe* p : probes_) p->on_adjustment(a);
+}
+
+void ProbeHub::on_commit(const TimedCommit& c) {
+  for (Probe* p : probes_) p->on_commit(c);
+}
+
+void ProbeHub::on_delivery(const TimedDelivery& d) {
+  for (Probe* p : probes_) p->on_delivery(d);
+}
+
+}  // namespace ssbft

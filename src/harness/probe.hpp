@@ -1,0 +1,141 @@
+// Probe: the stack-agnostic observer interface through which every
+// deployment publishes its metrics streams.
+//
+// Each protocol stack produces a different primary stream — agreement
+// decisions, pulses, clock adjustments, committed log entries, pipelined
+// deliveries — and every record is stamped with the *real* time of the
+// event (which the nodes themselves never see). The Cluster wires the
+// stack's sinks into a Probe at build time; RecordingProbe accumulates the
+// streams for post-run analysis, and ProbeHub fans events out to any number
+// of additional observers (live dashboards, trace writers, assertions).
+#pragma once
+
+#include <vector>
+
+#include "app/log_types.hpp"
+#include "clocksync/clock_sync_types.hpp"
+#include "core/node.hpp"
+#include "pulse/pulse_types.hpp"
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace ssbft {
+
+/// A Decision plus the omniscient real-time view of it.
+struct TimedDecision {
+  Decision decision{};
+  RealTime real_at{};     // real time of the return
+  RealTime tau_g_real{};  // rt(τG): the node's anchor mapped to real time
+};
+
+/// A proposal that was actually admitted by the General role (or submitted
+/// to a log stack; `status` is kSent for stacks without pacing feedback).
+struct TimedProposal {
+  RealTime real_at{};
+  NodeId general = kNoNode;
+  Value value = kBottom;
+  ProposeStatus status = ProposeStatus::kSent;
+};
+
+/// One pulse fired at one node (kPulse / kClockSync stacks).
+struct TimedPulse {
+  NodeId node = kNoNode;
+  PulseEvent event{};
+  RealTime real_at{};
+};
+
+/// One clock snap at one node (kClockSync stack).
+struct TimedAdjustment {
+  NodeId node = kNoNode;
+  ClockAdjustment adjustment{};
+  RealTime real_at{};
+};
+
+/// One committed entry at one node (kReplicatedLog stack).
+struct TimedCommit {
+  NodeId node = kNoNode;
+  CommittedEntry entry{};
+  RealTime real_at{};
+};
+
+/// One in-order delivery at one node (kPipelinedLog stack).
+struct TimedDelivery {
+  NodeId node = kNoNode;
+  PipelinedEntry entry{};
+  RealTime real_at{};
+};
+
+/// Observer over every stream a stack can publish. Default: ignore.
+class Probe {
+ public:
+  virtual ~Probe() = default;
+
+  virtual void on_decision(const TimedDecision&) {}
+  virtual void on_proposal(const TimedProposal&) {}
+  virtual void on_pulse(const TimedPulse&) {}
+  virtual void on_adjustment(const TimedAdjustment&) {}
+  virtual void on_commit(const TimedCommit&) {}
+  virtual void on_delivery(const TimedDelivery&) {}
+};
+
+/// Accumulates every stream; the Cluster's default probe.
+class RecordingProbe final : public Probe {
+ public:
+  void on_decision(const TimedDecision& d) override { decisions_.push_back(d); }
+  void on_proposal(const TimedProposal& p) override { proposals_.push_back(p); }
+  void on_pulse(const TimedPulse& p) override { pulses_.push_back(p); }
+  void on_adjustment(const TimedAdjustment& a) override {
+    adjustments_.push_back(a);
+  }
+  void on_commit(const TimedCommit& c) override { commits_.push_back(c); }
+  void on_delivery(const TimedDelivery& d) override {
+    deliveries_.push_back(d);
+  }
+
+  [[nodiscard]] const std::vector<TimedDecision>& decisions() const {
+    return decisions_;
+  }
+  [[nodiscard]] const std::vector<TimedProposal>& proposals() const {
+    return proposals_;
+  }
+  [[nodiscard]] const std::vector<TimedPulse>& pulses() const {
+    return pulses_;
+  }
+  [[nodiscard]] const std::vector<TimedAdjustment>& adjustments() const {
+    return adjustments_;
+  }
+  [[nodiscard]] const std::vector<TimedCommit>& commits() const {
+    return commits_;
+  }
+  [[nodiscard]] const std::vector<TimedDelivery>& deliveries() const {
+    return deliveries_;
+  }
+
+  void clear();
+
+ private:
+  std::vector<TimedDecision> decisions_;
+  std::vector<TimedProposal> proposals_;
+  std::vector<TimedPulse> pulses_;
+  std::vector<TimedAdjustment> adjustments_;
+  std::vector<TimedCommit> commits_;
+  std::vector<TimedDelivery> deliveries_;
+};
+
+/// Fans every event out to all attached probes (none owned).
+class ProbeHub final : public Probe {
+ public:
+  void attach(Probe* probe);
+
+  void on_decision(const TimedDecision& d) override;
+  void on_proposal(const TimedProposal& p) override;
+  void on_pulse(const TimedPulse& p) override;
+  void on_adjustment(const TimedAdjustment& a) override;
+  void on_commit(const TimedCommit& c) override;
+  void on_delivery(const TimedDelivery& d) override;
+
+ private:
+  std::vector<Probe*> probes_;
+};
+
+}  // namespace ssbft

@@ -3,7 +3,8 @@
 #include <utility>
 
 #include "adversary/adversaries.hpp"
-#include "util/assert.hpp"
+#include "harness/stack_registry.hpp"
+#include "sim/fault_injector.hpp"
 
 namespace ssbft {
 
@@ -41,6 +42,7 @@ std::unique_ptr<NodeBehavior> make_adversary(const Scenario& sc, NodeId id) {
 
 Cluster::Cluster(const Scenario& scenario)
     : scenario_(scenario), params_(scenario.make_params()) {
+  hub_.attach(&recording_);
   build();
 }
 
@@ -57,27 +59,30 @@ void Cluster::build() {
     wc.proc_delay = DelayModel::uniform(Duration::zero(), scenario_.pi);
     wc.has_delay_models = true;
   }
+  if (scenario_.max_clock_offset) {
+    wc.max_clock_offset = *scenario_.max_clock_offset;
+  } else if (scenario_.stack == StackKind::kBaselineTps) {
+    // The baseline's synchrony assumption: a common, already-synchronized
+    // start. The paper's protocol never gets this gift.
+    wc.max_clock_offset = Duration::zero();
+  }
   wc.seed = scenario_.seed;
   wc.log_level = scenario_.log_level;
   world_ = std::make_unique<World>(wc);
 
-  protocol_nodes_.assign(scenario_.n, nullptr);
+  const StackFactory& factory =
+      StackRegistry::instance().entry(scenario_.stack).factory;
+  stack_nodes_.assign(scenario_.n, nullptr);
   for (NodeId id = 0; id < scenario_.n; ++id) {
     if (scenario_.is_byzantine(id)) {
       world_->set_behavior(id, make_adversary(scenario_, id));
       continue;
     }
     ++correct_count_;
-    auto sink = [this](const Decision& decision) {
-      TimedDecision td;
-      td.decision = decision;
-      td.real_at = world_->now();
-      td.tau_g_real = world_->real_at(decision.node, decision.tau_g);
-      decisions_.push_back(td);
-    };
-    auto node = std::make_unique<SsByzNode>(params_, sink);
-    protocol_nodes_[id] = node.get();
-    world_->set_behavior(id, std::move(node));
+    auto behavior =
+        factory(StackBuild{scenario_, params_, id, *world_, hub_});
+    stack_nodes_[id] = behavior.get();
+    world_->set_behavior(id, std::move(behavior));
   }
 
   if (scenario_.chaos_period > Duration::zero()) {
@@ -90,30 +95,39 @@ void Cluster::build() {
   }
 }
 
-SsByzNode* Cluster::node(NodeId id) {
-  SSBFT_EXPECTS(id < scenario_.n);
-  return protocol_nodes_[id];
-}
-
 void Cluster::propose_at(Duration at, NodeId general, Value value) {
   SSBFT_EXPECTS(general < scenario_.n);
   world_->queue().schedule(RealTime::zero() + at, [this, general, value] {
-    SsByzNode* node = protocol_nodes_[general];
-    if (node == nullptr) return;  // Byzantine "General": adversary's job
-    const ProposeStatus status = node->propose(value);
-    proposals_.push_back(
-        TimedProposal{world_->now(), general, value, status});
+    inject(general, value);
   });
 }
 
-void Cluster::run() {
-  SSBFT_EXPECTS(!ran_);
-  ran_ = true;
+void Cluster::inject(NodeId target, Value value) {
+  NodeBehavior* behavior = stack_nodes_[target];
+  if (behavior == nullptr) return;  // Byzantine target: adversary's job
+  const StackInjector& injector =
+      StackRegistry::instance().entry(scenario_.stack).injector;
+  if (!injector) return;  // self-clocking stack: no external workload
+  const auto status = injector(*behavior, value);
+  if (status) {
+    hub_.on_proposal(TimedProposal{world_->now(), target, value, *status});
+  }
+}
+
+void Cluster::start() {
+  if (started_) return;
+  started_ = true;
   world_->start();
   if (scenario_.transient_scramble) {
     FaultInjector injector(*world_);
     injector.transient_fault(scenario_.transient);
   }
+}
+
+void Cluster::run() {
+  SSBFT_EXPECTS(!ran_);
+  ran_ = true;
+  start();
   world_->run_until(RealTime::zero() + scenario_.run_for);
 }
 

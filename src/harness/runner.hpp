@@ -1,31 +1,23 @@
-// Cluster: builds a World from a Scenario and records everything the
-// metrics layer needs — decisions stamped with *real* time (which the nodes
-// themselves never see), actual proposal times, and network statistics.
+// Cluster: the stack-agnostic deployment facade.
+//
+// A Cluster turns a Scenario into a running World: it builds the configured
+// protocol stack on every correct node through the StackRegistry, installs
+// the configured adversary on every Byzantine node, schedules the workload,
+// and publishes every stack's metrics streams — decisions, pulses, clock
+// adjustments, committed entries, deliveries — through a Probe, each record
+// stamped with the *real* time the nodes themselves never see.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "core/node.hpp"
+#include "harness/probe.hpp"
 #include "harness/scenario.hpp"
 #include "sim/world.hpp"
+#include "util/assert.hpp"
 
 namespace ssbft {
-
-/// A Decision plus the omniscient real-time view of it.
-struct TimedDecision {
-  Decision decision{};
-  RealTime real_at{};     // real time of the return
-  RealTime tau_g_real{};  // rt(τG): the node's anchor mapped to real time
-};
-
-/// A proposal that was actually admitted by the General role.
-struct TimedProposal {
-  RealTime real_at{};
-  NodeId general = kNoNode;
-  Value value = kBottom;
-  ProposeStatus status = ProposeStatus::kSent;
-};
 
 class Cluster {
  public:
@@ -39,34 +31,65 @@ class Cluster {
   [[nodiscard]] const Params& params() const { return params_; }
   [[nodiscard]] const Scenario& scenario() const { return scenario_; }
 
-  /// The protocol node at `id`, or nullptr if `id` is Byzantine.
-  [[nodiscard]] SsByzNode* node(NodeId id);
+  /// The stack node at `id` as type T, or nullptr if `id` is Byzantine (or
+  /// runs a different behavior than T). Defaults to the agreement stack's
+  /// node type, so `cluster.node(0)` keeps reading naturally for kAgree.
+  template <typename T = SsByzNode>
+  [[nodiscard]] T* node(NodeId id) {
+    SSBFT_EXPECTS(id < scenario_.n);
+    return dynamic_cast<T*>(stack_nodes_[id]);
+  }
 
-  /// Schedule a proposal (in addition to the scenario's workload).
+  /// Untyped stack behavior at `id` (nullptr if Byzantine).
+  [[nodiscard]] NodeBehavior* behavior_at(NodeId id) {
+    SSBFT_EXPECTS(id < scenario_.n);
+    return stack_nodes_[id];
+  }
+
+  /// Schedule a workload injection (in addition to the scenario's). The
+  /// meaning is stack-dependent: propose() for kAgree/kBaselineTps,
+  /// submit() for the log stacks, ignored by kPulse/kClockSync.
   void propose_at(Duration at, NodeId general, Value value);
 
-  /// Run the whole scenario (start + run_for). Can be called piecewise via
-  /// world().run_*; decisions accumulate either way.
+  /// Start the world (and apply the scenario's transient scramble, if any)
+  /// without running. Use with world().run_* for piecewise runs that sample
+  /// state mid-flight; idempotent, and implied by run().
+  void start();
+
+  /// Run the whole scenario (start + run_for). Streams accumulate in the
+  /// probe either way.
   void run();
 
+  // --- observation --------------------------------------------------------
+  /// The deployment's recording probe (every stream, real-time stamped).
+  [[nodiscard]] const RecordingProbe& probe() const { return recording_; }
+  /// Attach an additional observer (not owned; must outlive the run).
+  void add_probe(Probe* probe) { hub_.attach(probe); }
+
+  /// Convenience accessors for the agreement streams (every stack publishes
+  /// them — for layered stacks, via the embedded agreement node's tap).
   [[nodiscard]] const std::vector<TimedDecision>& decisions() const {
-    return decisions_;
+    return recording_.decisions();
   }
   [[nodiscard]] const std::vector<TimedProposal>& proposals() const {
-    return proposals_;
+    return recording_.proposals();
   }
   [[nodiscard]] std::uint32_t correct_count() const { return correct_count_; }
 
  private:
   void build();
+  void inject(NodeId target, Value value);
 
   Scenario scenario_;
   Params params_;
+  // Probes before the world: behaviors hold sinks into the hub, so the hub
+  // must outlive every behavior the world owns.
+  ProbeHub hub_;
+  RecordingProbe recording_;
   std::unique_ptr<World> world_;
-  std::vector<TimedDecision> decisions_;
-  std::vector<TimedProposal> proposals_;
-  std::vector<SsByzNode*> protocol_nodes_;  // indexed by NodeId, may be null
+  std::vector<NodeBehavior*> stack_nodes_;  // indexed by NodeId, may be null
   std::uint32_t correct_count_ = 0;
+  bool started_ = false;
   bool ran_ = false;
 };
 

@@ -7,6 +7,8 @@
 namespace ssbft {
 
 const char* to_string(AdversaryKind kind) {
+  // Exhaustive: no default, so -Wswitch flags a new enumerator here; the
+  // kAdversaryKindCount unit test catches it at runtime too.
   switch (kind) {
     case AdversaryKind::kSilent: return "silent";
     case AdversaryKind::kNoise: return "noise";
@@ -15,6 +17,18 @@ const char* to_string(AdversaryKind kind) {
     case AdversaryKind::kSpamGeneral: return "spam-general";
     case AdversaryKind::kReplay: return "replay";
     case AdversaryKind::kQuorumFaker: return "quorum-faker";
+  }
+  return "?";
+}
+
+const char* to_string(StackKind kind) {
+  switch (kind) {
+    case StackKind::kAgree: return "agree";
+    case StackKind::kPulse: return "pulse";
+    case StackKind::kClockSync: return "clock-sync";
+    case StackKind::kReplicatedLog: return "replicated-log";
+    case StackKind::kPipelinedLog: return "pipelined-log";
+    case StackKind::kBaselineTps: return "baseline-tps";
   }
   return "?";
 }
@@ -45,6 +59,11 @@ Scenario& Scenario::with_tail_faults(std::uint32_t count) {
 
 Scenario& Scenario::with_proposal(Duration at, NodeId general, Value value) {
   proposals.push_back(Proposal{at, general, value});
+  return *this;
+}
+
+Scenario& Scenario::with_stack(StackKind kind) {
+  stack = kind;
   return *this;
 }
 

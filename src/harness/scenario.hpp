@@ -1,17 +1,22 @@
 // Declarative experiment scenarios.
 //
-// A Scenario describes one simulated deployment: cluster size, fault mix,
-// delay distribution, workload (who proposes what, when), and whether the
-// run starts from a transient-fault state. The Cluster (runner.hpp) turns
-// it into a World; every bench and integration test is phrased this way so
-// experiments are reproducible from (Scenario, seed) alone.
+// A Scenario describes one simulated deployment: which protocol stack runs
+// on the correct nodes, cluster size, fault mix, delay distribution,
+// workload (who proposes what, when), and whether the run starts from a
+// transient-fault state. The Cluster (runner.hpp) turns it into a World via
+// the StackRegistry; every bench, example, tool, and integration test is
+// phrased this way so experiments are reproducible from (Scenario, seed)
+// alone — for any layer of the paper's construction, not just agreement.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "app/log_types.hpp"
+#include "clocksync/clock_sync_types.hpp"
 #include "core/params.hpp"
+#include "pulse/pulse_types.hpp"
 #include "sim/delay_model.hpp"
 #include "sim/fault_injector.hpp"
 #include "util/time.hpp"
@@ -29,9 +34,51 @@ enum class AdversaryKind {
   kQuorumFaker,
 };
 
+/// Number of AdversaryKind enumerators (keep in sync; test_enums checks
+/// that to_string covers exactly this many).
+inline constexpr std::uint32_t kAdversaryKindCount = 7;
+
 [[nodiscard]] const char* to_string(AdversaryKind kind);
 
+/// Which protocol stack the correct nodes run — the paper's layering, each
+/// level deployable through the same Scenario → Cluster path:
+///   kAgree          ss-Byz-Agree (§3), the base agreement primitive
+///   kPulse          pulse synchronization atop agreement (ref [6])
+///   kClockSync      self-stabilizing clock sync atop pulses (ref [5])
+///   kReplicatedLog  sequential state-machine replication
+///   kPipelinedLog   footnote-9 concurrent-instance SMR
+///   kBaselineTps    TPS'87 time-driven baseline (synchronized start)
+enum class StackKind {
+  kAgree,
+  kPulse,
+  kClockSync,
+  kReplicatedLog,
+  kPipelinedLog,
+  kBaselineTps,
+};
+
+/// Number of StackKind enumerators (see kAdversaryKindCount).
+inline constexpr std::uint32_t kStackKindCount = 6;
+
+[[nodiscard]] const char* to_string(StackKind kind);
+
 struct Scenario {
+  // --- stack -------------------------------------------------------------
+  /// Which protocol runs on the correct nodes. Byzantine nodes always run
+  /// the configured adversary, whatever the stack.
+  StackKind stack = StackKind::kAgree;
+  /// Per-stack configuration, consulted by the matching factory only.
+  PulseConfig pulse{};          // kPulse
+  ClockSyncConfig clock_sync{}; // kClockSync
+  LogConfig log{};              // kReplicatedLog
+  PipelineConfig pipeline{};    // kPipelinedLog
+  struct TpsConfig {
+    NodeId general = 0;  // the baseline's designated General
+    /// Common phase-0 local time (the synchrony assumption's anchor).
+    Duration anchor = milliseconds(5);
+    Duration phase_len = Duration::zero();  // zero ⇒ Φb = 2d
+  } tps{};                      // kBaselineTps
+
   // --- topology / model -------------------------------------------------
   std::uint32_t n = 7;
   std::uint32_t f = 2;  // design bound; actual faults = byz_nodes.size()
@@ -40,6 +87,9 @@ struct Scenario {
   double rho = 1e-4;
   /// Actual link-delay distribution (≤ δ). Unset ⇒ uniform [δ/5, δ].
   std::optional<DelayModel> link_delay;
+  /// Spread of initial clock offsets. Unset ⇒ the World default, except
+  /// kBaselineTps, whose synchrony assumption forces zero offset.
+  std::optional<Duration> max_clock_offset;
 
   // --- faults ------------------------------------------------------------
   std::vector<NodeId> byz_nodes;  // which nodes are Byzantine (may be empty)
@@ -68,6 +118,9 @@ struct Scenario {
   QuorumPolicy quorum_policy = QuorumPolicy::kOptimal;
 
   // --- workload ----------------------------------------------------------
+  /// One workload injection. Meaning is stack-dependent: a General-role
+  /// propose() for kAgree/kBaselineTps, a client submit() for the log
+  /// stacks; the self-clocking stacks (kPulse, kClockSync) ignore it.
   struct Proposal {
     Duration at{};        // real-time offset from t=0
     NodeId general = 0;   // must be a correct node to take effect
@@ -87,6 +140,8 @@ struct Scenario {
   Scenario& with_tail_faults(std::uint32_t count);
   /// Convenience: one proposal by `general` at `at`.
   Scenario& with_proposal(Duration at, NodeId general, Value value);
+  /// Convenience: select the protocol stack.
+  Scenario& with_stack(StackKind kind);
 };
 
 }  // namespace ssbft

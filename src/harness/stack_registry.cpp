@@ -1,0 +1,163 @@
+#include "harness/stack_registry.hpp"
+
+#include <utility>
+
+#include "app/pipelined_log.hpp"
+#include "app/replicated_log.hpp"
+#include "baseline/tps_node.hpp"
+#include "clocksync/clock_sync.hpp"
+#include "pulse/pulse_sync.hpp"
+#include "util/assert.hpp"
+
+namespace ssbft {
+
+namespace {
+
+/// A DecisionSink that stamps real time and forwards to the probe.
+DecisionSink decision_publisher(World& world, Probe& probe) {
+  World* w = &world;
+  Probe* p = &probe;
+  return [w, p](const Decision& d) { publish_decision(*w, *p, d); };
+}
+
+std::unique_ptr<NodeBehavior> make_agree(const StackBuild& b) {
+  return std::make_unique<SsByzNode>(b.params,
+                                     decision_publisher(b.world, b.probe));
+}
+
+std::unique_ptr<NodeBehavior> make_pulse(const StackBuild& b) {
+  World* w = &b.world;
+  Probe* p = &b.probe;
+  const NodeId id = b.id;
+  auto node = std::make_unique<PulseSyncNode>(
+      b.params, b.scenario.pulse, [w, p, id](const PulseEvent& e) {
+        p->on_pulse(TimedPulse{id, e, w->now()});
+      });
+  node->agreement().set_decision_tap(decision_publisher(b.world, b.probe));
+  return node;
+}
+
+std::unique_ptr<NodeBehavior> make_clock_sync(const StackBuild& b) {
+  World* w = &b.world;
+  Probe* p = &b.probe;
+  const NodeId id = b.id;
+  auto node = std::make_unique<ClockSyncNode>(
+      b.params, b.scenario.clock_sync, [w, p, id](const ClockAdjustment& a) {
+        p->on_adjustment(TimedAdjustment{id, a, w->now()});
+      });
+  node->pulse_layer().set_pulse_tap([w, p, id](const PulseEvent& e) {
+    p->on_pulse(TimedPulse{id, e, w->now()});
+  });
+  node->pulse_layer().agreement().set_decision_tap(
+      decision_publisher(b.world, b.probe));
+  return node;
+}
+
+std::unique_ptr<NodeBehavior> make_replicated_log(const StackBuild& b) {
+  World* w = &b.world;
+  Probe* p = &b.probe;
+  const NodeId id = b.id;
+  auto node = std::make_unique<ReplicatedLogNode>(
+      b.params, b.scenario.log, [w, p, id](const CommittedEntry& e) {
+        p->on_commit(TimedCommit{id, e, w->now()});
+      });
+  node->agreement().set_decision_tap(decision_publisher(b.world, b.probe));
+  return node;
+}
+
+std::unique_ptr<NodeBehavior> make_pipelined_log(const StackBuild& b) {
+  World* w = &b.world;
+  Probe* p = &b.probe;
+  const NodeId id = b.id;
+  auto node = std::make_unique<PipelinedLogNode>(
+      b.params, b.scenario.pipeline, [w, p, id](const PipelinedEntry& e) {
+        p->on_delivery(TimedDelivery{id, e, w->now()});
+      });
+  node->agreement().set_decision_tap(decision_publisher(b.world, b.probe));
+  return node;
+}
+
+std::unique_ptr<NodeBehavior> make_baseline_tps(const StackBuild& b) {
+  const auto& cfg = b.scenario.tps;
+  const Duration phase = cfg.phase_len == Duration::zero()
+                             ? 2 * b.params.d()
+                             : cfg.phase_len;
+  return std::make_unique<TpsNode>(
+      b.params, GeneralId{cfg.general}, LocalTime::zero() + cfg.anchor, phase,
+      decision_publisher(b.world, b.probe));
+}
+
+// --- workload injectors ----------------------------------------------------
+// The dynamic_casts only reject a behavior when someone replaced a built-in
+// factory without replacing the injector; nullopt then surfaces as "nothing
+// injected" rather than a bad cast.
+
+std::optional<ProposeStatus> inject_agree(NodeBehavior& behavior, Value v) {
+  auto* node = dynamic_cast<SsByzNode*>(&behavior);
+  if (node == nullptr) return std::nullopt;
+  return node->propose(v);
+}
+
+std::optional<ProposeStatus> inject_tps(NodeBehavior& behavior, Value v) {
+  auto* node = dynamic_cast<TpsNode*>(&behavior);
+  if (node == nullptr) return std::nullopt;
+  node->propose(v);
+  return ProposeStatus::kSent;
+}
+
+std::optional<ProposeStatus> inject_log(NodeBehavior& behavior, Value v) {
+  auto* node = dynamic_cast<ReplicatedLogNode*>(&behavior);
+  if (node == nullptr) return std::nullopt;
+  node->submit(std::uint32_t(v));
+  return ProposeStatus::kSent;
+}
+
+std::optional<ProposeStatus> inject_pipelined(NodeBehavior& behavior,
+                                              Value v) {
+  auto* node = dynamic_cast<PipelinedLogNode*>(&behavior);
+  if (node == nullptr) return std::nullopt;
+  node->submit(std::uint32_t(v));
+  return ProposeStatus::kSent;
+}
+
+}  // namespace
+
+void publish_decision(World& world, Probe& probe, const Decision& d) {
+  TimedDecision td;
+  td.decision = d;
+  td.real_at = world.now();
+  td.tau_g_real = world.real_at(d.node, d.tau_g);
+  probe.on_decision(td);
+}
+
+StackRegistry& StackRegistry::instance() {
+  static StackRegistry registry;
+  return registry;
+}
+
+StackRegistry::StackRegistry() {
+  entries_[StackKind::kAgree] = {make_agree, inject_agree};
+  entries_[StackKind::kPulse] = {make_pulse, nullptr};
+  entries_[StackKind::kClockSync] = {make_clock_sync, nullptr};
+  entries_[StackKind::kReplicatedLog] = {make_replicated_log, inject_log};
+  entries_[StackKind::kPipelinedLog] = {make_pipelined_log, inject_pipelined};
+  entries_[StackKind::kBaselineTps] = {make_baseline_tps, inject_tps};
+}
+
+void StackRegistry::add(StackKind kind, StackFactory factory,
+                        StackInjector injector) {
+  SSBFT_EXPECTS(factory != nullptr);
+  entries_[kind] = {std::move(factory), std::move(injector)};
+}
+
+bool StackRegistry::has(StackKind kind) const {
+  return entries_.count(kind) != 0;
+}
+
+const StackEntry& StackRegistry::entry(StackKind kind) const {
+  const auto it = entries_.find(kind);
+  SSBFT_EXPECTS(it != entries_.end());
+  return it->second;
+}
+
+}  // namespace ssbft

@@ -1,0 +1,75 @@
+// StackRegistry: StackKind → behavior factory.
+//
+// The Cluster builds the behavior for every correct node by looking up the
+// Scenario's StackKind here; the factory constructs the protocol stack and
+// wires its sinks (and the taps of embedded layers) into the deployment's
+// Probe, stamping each event with real time. The six built-in stacks are
+// pre-registered; new stacks plug in through add() without touching the
+// Cluster — the client/manager factory idiom, applied to protocol layers.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "core/params.hpp"
+#include "harness/probe.hpp"
+#include "harness/scenario.hpp"
+#include "sim/node.hpp"
+#include "sim/world.hpp"
+
+namespace ssbft {
+
+/// Everything a factory may consult while building one correct node.
+/// The world and probe references are owned by the Cluster and outlive
+/// every behavior built against them.
+struct StackBuild {
+  const Scenario& scenario;
+  const Params& params;
+  NodeId id;
+  World& world;  // real-time stamping inside probe sinks
+  Probe& probe;  // where the node's streams are published
+};
+
+using StackFactory =
+    std::function<std::unique_ptr<NodeBehavior>(const StackBuild&)>;
+
+/// Injects one workload value into a behavior this stack's factory built:
+/// propose() for agreement-style stacks, submit() for logs. Returns the
+/// admitted status, or nullopt when nothing was injected (the stack takes
+/// no external workload, or the behavior is not this stack's type).
+using StackInjector =
+    std::function<std::optional<ProposeStatus>(NodeBehavior&, Value)>;
+
+/// One deployable stack: how to build a correct node, and how to feed it
+/// workload. `injector` may be null for self-clocking stacks.
+struct StackEntry {
+  StackFactory factory;
+  StackInjector injector;
+};
+
+class StackRegistry {
+ public:
+  /// The process-wide registry, with the built-in stacks pre-registered.
+  [[nodiscard]] static StackRegistry& instance();
+
+  /// Register (or replace) the entry for `kind`. The injector travels with
+  /// the factory so a replacement stack keeps workload delivery coherent.
+  void add(StackKind kind, StackFactory factory,
+           StackInjector injector = nullptr);
+
+  [[nodiscard]] bool has(StackKind kind) const;
+  /// Asserts the kind is registered.
+  [[nodiscard]] const StackEntry& entry(StackKind kind) const;
+
+ private:
+  StackRegistry();  // registers the built-ins
+
+  std::map<StackKind, StackEntry> entries_;
+};
+
+/// Publishes `d` (as seen at real time world.now()) to `probe`.
+void publish_decision(World& world, Probe& probe, const Decision& d);
+
+}  // namespace ssbft

@@ -99,6 +99,7 @@ void PulseSyncNode::fire_pulse(std::uint64_t counter) {
   ctx_->log().logf(LogLevel::kDebug, ctx_->id(), "PULSE c=%llu",
                    static_cast<unsigned long long>(counter));
   if (sink_) sink_(PulseEvent{counter, now});
+  if (tap_) tap_(PulseEvent{counter, now});
 }
 
 void PulseSyncNode::schedule_own_slot() {

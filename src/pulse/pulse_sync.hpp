@@ -31,22 +31,10 @@
 
 #include "core/node.hpp"
 #include "core/params.hpp"
+#include "pulse/pulse_types.hpp"
 #include "sim/node.hpp"
 
 namespace ssbft {
-
-struct PulseConfig {
-  /// Target pulse period. Must be ≥ ∆0 + ∆agr so consecutive agreements
-  /// (possibly by the same General after skips) never violate IG1.
-  Duration cycle = Duration::zero();  // zero ⇒ 2·(∆0 + ∆agr)
-  /// Extra watchdog slack beyond cycle + ∆agr before skipping a General.
-  Duration timeout_slack = Duration::zero();  // zero ⇒ 8d
-};
-
-struct PulseEvent {
-  std::uint64_t counter = 0;
-  LocalTime at{};  // local time of the pulse (the decision instant)
-};
 
 class PulseSyncNode : public NodeBehavior {
  public:
@@ -68,6 +56,14 @@ class PulseSyncNode : public NodeBehavior {
   [[nodiscard]] const Params& params() const { return agree_->params(); }
   [[nodiscard]] Duration cycle() const { return cycle_; }
 
+  /// The embedded agreement node (harness probes, white-box tests).
+  [[nodiscard]] SsByzNode& agreement() { return *agree_; }
+
+  /// Secondary observer invoked after the primary sink on every pulse —
+  /// lets the harness watch pulses when the sink is consumed by a higher
+  /// layer (clock sync).
+  void set_pulse_tap(PulseSink tap) { tap_ = std::move(tap); }
+
  private:
   // Timer-cookie namespace: the top bit separates pulse-layer timers from
   // the embedded SsByzNode's cookies.
@@ -85,6 +81,7 @@ class PulseSyncNode : public NodeBehavior {
   Duration cycle_{};
   Duration watchdog_timeout_{};
   PulseSink sink_;
+  PulseSink tap_;
   std::unique_ptr<SsByzNode> agree_;
   NodeContext* ctx_ = nullptr;
 

@@ -1,0 +1,25 @@
+// Pulse-stack value types: configuration and the published pulse event.
+// Kept free of the protocol implementation so declarative layers (Scenario,
+// Probe) can name them without compiling the node machinery.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace ssbft {
+
+struct PulseConfig {
+  /// Target pulse period. Must be ≥ ∆0 + ∆agr so consecutive agreements
+  /// (possibly by the same General after skips) never violate IG1.
+  Duration cycle = Duration::zero();  // zero ⇒ 2·(∆0 + ∆agr)
+  /// Extra watchdog slack beyond cycle + ∆agr before skipping a General.
+  Duration timeout_slack = Duration::zero();  // zero ⇒ 8d
+};
+
+struct PulseEvent {
+  std::uint64_t counter = 0;
+  LocalTime at{};  // local time of the pulse (the decision instant)
+};
+
+}  // namespace ssbft

@@ -5,6 +5,7 @@
 #include "harness/metrics.hpp"
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
+#include "pulse/pulse_sync.hpp"
 
 namespace ssbft {
 namespace {
@@ -179,6 +180,53 @@ TEST(ClusterTest, ProposalByByzantineNodeIsIgnored) {
   cluster.run();
   EXPECT_TRUE(cluster.proposals().empty());
   EXPECT_TRUE(cluster.decisions().empty());
+}
+
+TEST(ClusterTest, TypedAccessorChecksTheStackType) {
+  Scenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  Cluster cluster(sc);
+  // Default stack is kAgree: the node IS an SsByzNode, not a pulse node.
+  EXPECT_NE(cluster.node<SsByzNode>(0), nullptr);
+  EXPECT_EQ(cluster.node<PulseSyncNode>(0), nullptr);
+  EXPECT_EQ(cluster.behavior_at(0),
+            static_cast<NodeBehavior*>(cluster.node<SsByzNode>(0)));
+}
+
+TEST(ClusterTest, AttachedProbeSeesTheDecisionStream) {
+  struct CountingProbe final : Probe {
+    std::uint32_t decisions = 0;
+    std::uint32_t proposals = 0;
+    void on_decision(const TimedDecision&) override { ++decisions; }
+    void on_proposal(const TimedProposal&) override { ++proposals; }
+  } counter;
+
+  Scenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.with_proposal(milliseconds(2), 0, 5);
+  sc.run_for = milliseconds(120);
+  Cluster cluster(sc);
+  cluster.add_probe(&counter);
+  cluster.run();
+
+  EXPECT_EQ(counter.decisions, cluster.decisions().size());
+  EXPECT_EQ(counter.proposals, cluster.proposals().size());
+  EXPECT_GT(counter.decisions, 0u);
+}
+
+TEST(ClusterTest, StartIsIdempotentAndAllowsPiecewiseRuns) {
+  Scenario sc;
+  sc.n = 4;
+  sc.f = 1;
+  sc.with_proposal(milliseconds(2), 0, 5);
+  Cluster cluster(sc);
+  cluster.start();
+  cluster.start();  // no double on_start
+  cluster.world().run_for(milliseconds(60));
+  cluster.world().run_for(milliseconds(60));
+  EXPECT_FALSE(cluster.decisions().empty());
 }
 
 // ---------------------------------------------------------------- report --

@@ -1,0 +1,176 @@
+// Integration: the unified deployment matrix.
+//
+// Every StackKind must build, start, and run through the same
+// (Scenario, seed) → Cluster path with tail faults at n ∈ {4, 7, 10}, and
+// report through its probe without violating the stack's core guarantee:
+//   kAgree / kBaselineTps — Agreement and Validity hold;
+//   kPulse               — complete pulses, skew ≤ 3d (Timeliness-1a);
+//   kClockSync           — clocks settle inside the precision bound;
+//   kReplicatedLog       — committed logs identical at correct nodes;
+//   kPipelinedLog        — settled slots identical wherever both settled.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "app/pipelined_log.hpp"
+#include "app/replicated_log.hpp"
+#include "clocksync/clock_sync.hpp"
+#include "harness/metrics.hpp"
+#include "harness/runner.hpp"
+#include "harness/stack_registry.hpp"
+#include "pulse/pulse_sync.hpp"
+
+namespace ssbft {
+namespace {
+
+Scenario matrix_scenario(StackKind stack, std::uint32_t n,
+                         std::uint64_t seed) {
+  Scenario sc;
+  sc.stack = stack;
+  sc.n = n;
+  sc.f = (n - 1) / 3;
+  sc.with_tail_faults(sc.f);
+  // The TPS baseline assumes silence is the only benign failure its phase
+  // grid must absorb; every self-stabilizing stack gets active noise.
+  sc.adversary = stack == StackKind::kBaselineTps ? AdversaryKind::kSilent
+                                                  : AdversaryKind::kNoise;
+  sc.adversary_period = milliseconds(2);
+  sc.seed = seed;
+  return sc;
+}
+
+class StackMatrixTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(StackMatrixTest, RegistryCoversEveryKind) {
+  for (std::uint32_t k = 0; k < kStackKindCount; ++k) {
+    EXPECT_TRUE(StackRegistry::instance().has(StackKind(k)))
+        << "no factory for " << to_string(StackKind(k));
+  }
+}
+
+TEST_P(StackMatrixTest, Agree) {
+  const std::uint32_t n = GetParam();
+  Scenario sc = matrix_scenario(StackKind::kAgree, n, 11);
+  sc.with_proposal(milliseconds(2), 0, 42);
+  sc.run_for = milliseconds(150);
+  Cluster cluster(sc);
+  cluster.run();
+
+  ASSERT_FALSE(cluster.decisions().empty());
+  const auto m = evaluate_run(cluster.decisions(), cluster.proposals(),
+                              cluster.correct_count(), cluster.params());
+  EXPECT_EQ(m.agreement_violations, 0u);
+  EXPECT_EQ(m.validity_violations, 0u);
+}
+
+TEST_P(StackMatrixTest, Pulse) {
+  const std::uint32_t n = GetParam();
+  Scenario sc = matrix_scenario(StackKind::kPulse, n, 12);
+  Cluster cluster(sc);
+  cluster.start();
+  const Duration cycle = cluster.node<PulseSyncNode>(0)->cycle();
+  cluster.world().run_until(RealTime::zero() + cluster.params().delta_stb() +
+                            10 * cycle);
+
+  auto stats = evaluate_pulses(cluster.probe().pulses(),
+                               cluster.correct_count(), cycle);
+  EXPECT_GT(stats.complete_pulses, 0u);
+  if (!stats.skew.empty()) {
+    EXPECT_LE(stats.skew.max(), double((3 * cluster.params().d()).ns()));
+  }
+}
+
+TEST_P(StackMatrixTest, ClockSync) {
+  const std::uint32_t n = GetParam();
+  Scenario sc = matrix_scenario(StackKind::kClockSync, n, 13);
+  Cluster cluster(sc);
+  cluster.start();
+  const Duration cycle = cluster.node<ClockSyncNode>(0)->cycle();
+  const Duration bound = cluster.node<ClockSyncNode>(0)->precision_bound();
+  bool in_envelope = false;
+  for (int i = 0; i < 40 && !in_envelope; ++i) {
+    cluster.world().run_for(cycle / 2);
+    in_envelope = clocks_settled(cluster) && clock_skew(cluster) <= bound;
+  }
+  EXPECT_TRUE(in_envelope) << "clocks never settled inside the bound";
+  EXPECT_FALSE(cluster.probe().adjustments().empty());
+  EXPECT_FALSE(cluster.probe().pulses().empty());
+}
+
+TEST_P(StackMatrixTest, ReplicatedLog) {
+  const std::uint32_t n = GetParam();
+  Scenario sc = matrix_scenario(StackKind::kReplicatedLog, n, 14);
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    sc.with_proposal(Duration::zero(), NodeId(c), 100 + c);
+  }
+  Cluster cluster(sc);
+  cluster.start();
+  cluster.world().run_for(
+      6 * cluster.node<ReplicatedLogNode>(0)->slot_period());
+
+  EXPECT_FALSE(cluster.probe().commits().empty());
+  const auto* head = cluster.node<ReplicatedLogNode>(0);
+  ASSERT_FALSE(head->log().empty());
+  for (NodeId i = 1; i < n; ++i) {
+    const auto* node = cluster.node<ReplicatedLogNode>(i);
+    if (node == nullptr) continue;
+    EXPECT_EQ(node->log(), head->log()) << "log diverged at node " << i;
+  }
+}
+
+TEST_P(StackMatrixTest, PipelinedLog) {
+  const std::uint32_t n = GetParam();
+  Scenario sc = matrix_scenario(StackKind::kPipelinedLog, n, 15);
+  sc.pipeline.depth = 4;
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    sc.with_proposal(Duration::zero(), NodeId(c % n), 200 + c);
+  }
+  Cluster cluster(sc);
+  cluster.start();
+  cluster.world().run_for(
+      6 * cluster.node<PipelinedLogNode>(0)->slot_period());
+
+  EXPECT_FALSE(cluster.probe().deliveries().empty());
+  auto* head = cluster.node<PipelinedLogNode>(0);
+  EXPECT_GT(head->delivered_upto(), 0u);
+  // Wherever two correct nodes both settled a slot, the records agree.
+  for (NodeId i = 1; i < n; ++i) {
+    auto* node = cluster.node<PipelinedLogNode>(i);
+    if (node == nullptr) continue;
+    for (const auto& [slot, entry] : node->settled()) {
+      const auto it = head->settled().find(slot);
+      if (it == head->settled().end()) continue;
+      EXPECT_EQ(it->second, entry) << "slot " << slot << " diverged";
+    }
+  }
+}
+
+TEST_P(StackMatrixTest, BaselineTps) {
+  const std::uint32_t n = GetParam();
+  Scenario sc = matrix_scenario(StackKind::kBaselineTps, n, 16);
+  sc.with_proposal(milliseconds(1), 0, 7);  // queued before the 5ms anchor
+  sc.run_for = milliseconds(120);
+  Cluster cluster(sc);
+  cluster.run();
+
+  ASSERT_FALSE(cluster.decisions().empty());
+  std::set<Value> values;
+  std::set<NodeId> deciders;
+  for (const auto& d : cluster.decisions()) {
+    if (!d.decision.decided()) continue;
+    values.insert(d.decision.value);
+    deciders.insert(d.decision.node);
+  }
+  EXPECT_EQ(values, std::set<Value>{7});
+  EXPECT_EQ(deciders.size(), cluster.correct_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StackMatrixTest,
+                         ::testing::Values(4u, 7u, 10u),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace ssbft

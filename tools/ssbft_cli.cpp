@@ -1,23 +1,31 @@
 // ssbft_cli — run one simulated scenario from the command line and print
-// the decision record, metrics, and (optionally) a wire trace.
+// the stack's metrics streams, all through the unified Scenario → Cluster
+// path. Any protocol stack is deployable: --stack selects the layer.
 //
-//   ssbft_cli [--n N] [--f F] [--byz COUNT] [--adversary KIND]
-//             [--seed S] [--delta-us US] [--scramble] [--chaos-ms MS]
-//             [--proposals K] [--run-ms MS] [--trace] [--verbose]
+//   ssbft_cli [--stack KIND] [--n N] [--f F] [--byz COUNT]
+//             [--adversary KIND] [--seed S] [--delta-us US] [--scramble]
+//             [--chaos-ms MS] [--proposals K] [--run-ms MS] [--depth D]
+//             [--trace] [--verbose]
 //
-// KIND ∈ silent | noise | equivocate | stagger | spam | replay | faker
+// --stack     ∈ agree | pulse | clock | log | pipeline | tps
+// --adversary ∈ silent | noise | equivocate | stagger | spam | replay | faker
 //
 // Examples:
 //   ssbft_cli --n 7 --byz 2 --adversary noise --proposals 3
 //   ssbft_cli --n 10 --byz 3 --scramble --chaos-ms 10 --proposals 20
+//   ssbft_cli --stack pulse --n 7 --byz 2 --scramble
+//   ssbft_cli --stack pipeline --depth 8 --proposals 40
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 
+#include "app/pipelined_log.hpp"
+#include "app/replicated_log.hpp"
+#include "clocksync/clock_sync.hpp"
 #include "harness/metrics.hpp"
-#include "harness/runner.hpp"
 #include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "pulse/pulse_sync.hpp"
 #include "sim/tap.hpp"
 
 namespace {
@@ -26,11 +34,12 @@ using namespace ssbft;
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--n N] [--f F] [--byz COUNT] [--adversary KIND]\n"
-               "          [--seed S] [--delta-us US] [--scramble]\n"
-               "          [--chaos-ms MS] [--proposals K] [--run-ms MS]\n"
-               "          [--trace] [--verbose]\n"
-               "KIND: silent|noise|equivocate|stagger|spam|replay|faker\n",
+               "usage: %s [--stack KIND] [--n N] [--f F] [--byz COUNT]\n"
+               "          [--adversary KIND] [--seed S] [--delta-us US]\n"
+               "          [--scramble] [--chaos-ms MS] [--proposals K]\n"
+               "          [--run-ms MS] [--depth D] [--trace] [--verbose]\n"
+               "STACK: agree|pulse|clock|log|pipeline|tps\n"
+               "ADVERSARY: silent|noise|equivocate|stagger|spam|replay|faker\n",
                argv0);
   std::exit(2);
 }
@@ -46,79 +55,20 @@ AdversaryKind parse_adversary(const std::string& name, const char* argv0) {
   usage(argv0);
 }
 
-}  // namespace
+StackKind parse_stack(const std::string& name, const char* argv0) {
+  if (name == "agree") return StackKind::kAgree;
+  if (name == "pulse") return StackKind::kPulse;
+  if (name == "clock") return StackKind::kClockSync;
+  if (name == "log") return StackKind::kReplicatedLog;
+  if (name == "pipeline") return StackKind::kPipelinedLog;
+  if (name == "tps") return StackKind::kBaselineTps;
+  usage(argv0);
+}
 
-int main(int argc, char** argv) {
-  Scenario sc;
-  std::uint32_t byz = 0;
-  std::uint32_t proposals = 1;
-  bool trace = false;
-  std::int64_t run_ms = 0;
-
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next = [&]() -> const char* {
-      if (i + 1 >= argc) usage(argv[0]);
-      return argv[++i];
-    };
-    if (arg == "--n") {
-      sc.n = std::uint32_t(std::atoi(next()));
-    } else if (arg == "--f") {
-      sc.f = std::uint32_t(std::atoi(next()));
-    } else if (arg == "--byz") {
-      byz = std::uint32_t(std::atoi(next()));
-    } else if (arg == "--adversary") {
-      sc.adversary = parse_adversary(next(), argv[0]);
-    } else if (arg == "--seed") {
-      sc.seed = std::uint64_t(std::atoll(next()));
-    } else if (arg == "--delta-us") {
-      sc.delta = microseconds(std::atoll(next()));
-    } else if (arg == "--scramble") {
-      sc.transient_scramble = true;
-    } else if (arg == "--chaos-ms") {
-      sc.chaos_period = milliseconds(std::atoll(next()));
-    } else if (arg == "--proposals") {
-      proposals = std::uint32_t(std::atoi(next()));
-    } else if (arg == "--run-ms") {
-      run_ms = std::atoll(next());
-    } else if (arg == "--trace") {
-      trace = true;
-    } else if (arg == "--verbose") {
-      sc.log_level = LogLevel::kDebug;
-    } else {
-      usage(argv[0]);
-    }
-  }
-  if (sc.f == 0) sc.f = (sc.n - 1) / 3;
-  if (sc.n <= 3 * sc.f) {
-    std::fprintf(stderr, "error: need n > 3f (n=%u, f=%u)\n", sc.n, sc.f);
-    return 2;
-  }
-  sc.with_tail_faults(byz);
-
-  const Params params = sc.make_params();
-  const Duration start = sc.chaos_period +
-                         (sc.transient_scramble ? params.delta_stb()
-                                                : Duration::zero());
-  const Duration gap = params.delta_0() + 5 * params.d();
-  for (std::uint32_t i = 0; i < proposals; ++i) {
-    sc.with_proposal(start + milliseconds(1) + i * gap, 0, 100 + Value(i));
-  }
-  sc.run_for = run_ms > 0 ? milliseconds(run_ms)
-                          : start + proposals * gap + milliseconds(120);
-
-  Cluster cluster(sc);
-  TraceRecorder recorder;
-  if (trace) cluster.world().network().set_tap(recorder.tap());
-  cluster.run();
-
-  std::printf("model: n=%u f=%u (actual byz %u, %s), d=%.3fms, Phi=%.3fms, "
-              "Dagr=%.3fms, Dstb=%.3fms, seed=%llu\n\n",
-              sc.n, sc.f, byz, to_string(sc.adversary), params.d().millis(),
-              params.phi().millis(), params.delta_agr().millis(),
-              params.delta_stb().millis(),
-              static_cast<unsigned long long>(sc.seed));
-
+/// Decision-stream report (kAgree / kBaselineTps): execution table plus
+/// Agreement/Validity accounting. Returns the process exit code.
+int report_decisions(Cluster& cluster) {
+  const Params& params = cluster.params();
   Table table({"exec", "general", "value", "deciders", "aborts",
                "dec skew (ms)", "tauG skew (ms)", "first (ms)"});
   const auto execs = cluster_executions(cluster.decisions(), params);
@@ -138,11 +88,249 @@ int main(int argc, char** argv) {
 
   const auto m = evaluate_run(cluster.decisions(), cluster.proposals(),
                               cluster.correct_count(), params);
-  const auto& stats = cluster.world().network().stats();
   std::printf("\nagreement violations: %u   validity violations: %u   "
               "unanimous: %u/%u\n",
               m.agreement_violations, m.validity_violations,
               m.unanimous_decides, m.executions);
+  return m.agreement_violations + m.validity_violations == 0 ? 0 : 1;
+}
+
+/// First correct node running the stack as T, or nullptr when every node
+/// is Byzantine (vacuous run: nothing to report against).
+template <typename T>
+T* head_node(Cluster& cluster) {
+  for (NodeId i = 0; i < cluster.scenario().n; ++i) {
+    if (T* node = cluster.node<T>(i)) return node;
+  }
+  return nullptr;
+}
+
+int report_pulses(Cluster& cluster) {
+  auto* head = head_node<PulseSyncNode>(cluster);
+  if (head == nullptr) {
+    std::printf("no correct nodes — nothing to report\n");
+    return 0;
+  }
+  const Duration cycle = head->cycle();
+  auto stats = evaluate_pulses(cluster.probe().pulses(),
+                               cluster.correct_count(), cycle);
+  const Duration bound = 3 * cluster.params().d();
+  std::printf("pulses: %u complete, %u partial (cycle %.1f ms)\n",
+              stats.complete_pulses, stats.partial_pulses, cycle.millis());
+  if (!stats.skew.empty()) {
+    std::printf("pulse skew: p50 %.3f ms, max %.3f ms (bound 3d = %.3f ms)\n",
+                stats.skew.quantile(0.5) * 1e-6, stats.skew.max() * 1e-6,
+                bound.millis());
+  }
+  if (stats.converged) {
+    std::printf("first complete pulse at %.1f ms\n",
+                stats.convergence.millis());
+  }
+  const bool ok = stats.complete_pulses > 0 &&
+                  (stats.skew.empty() || stats.skew.max() <= double(bound.ns()));
+  return ok ? 0 : 1;
+}
+
+int report_clocks(Cluster& cluster) {
+  auto* head = head_node<ClockSyncNode>(cluster);
+  if (head == nullptr) {
+    std::printf("no correct nodes — nothing to report\n");
+    return 0;
+  }
+  const Duration bound = head->precision_bound();
+  const bool settled = clocks_settled(cluster);
+  const Duration skew = clock_skew(cluster);
+  std::printf("clock snaps recorded: %zu   settled: %s\n",
+              cluster.probe().adjustments().size(), settled ? "yes" : "no");
+  std::printf("final skew: %.0f us (precision bound %.0f us)\n",
+              skew.micros(), bound.micros());
+  return settled && skew <= bound ? 0 : 1;
+}
+
+int report_log(Cluster& cluster) {
+  const auto* head = head_node<ReplicatedLogNode>(cluster);
+  if (head == nullptr) {
+    std::printf("no correct nodes — nothing to report\n");
+    return 0;
+  }
+  std::size_t committed_at_head = 0;
+  for (const auto& c : cluster.probe().commits()) {
+    if (cluster.node<ReplicatedLogNode>(c.node) == head) ++committed_at_head;
+  }
+  bool identical = true;
+  for (NodeId i = 0; i < cluster.scenario().n; ++i) {
+    const auto* node = cluster.node<ReplicatedLogNode>(i);
+    if (node != nullptr && node->log() != head->log()) identical = false;
+  }
+  std::printf("committed per node: %zu   logs identical: %s\n",
+              committed_at_head, identical ? "yes" : "NO");
+  return identical && committed_at_head > 0 ? 0 : 1;
+}
+
+int report_pipeline(Cluster& cluster) {
+  auto* head = head_node<PipelinedLogNode>(cluster);
+  if (head == nullptr) {
+    std::printf("no correct nodes — nothing to report\n");
+    return 0;
+  }
+  std::size_t delivered_at_head = 0;
+  for (const auto& d : cluster.probe().deliveries()) {
+    if (cluster.node<PipelinedLogNode>(d.node) == head && !d.entry.skipped) {
+      ++delivered_at_head;
+    }
+  }
+  // Settled records must agree wherever two correct nodes both settled a
+  // slot (cursors may trail each other).
+  bool identical = true;
+  for (NodeId i = 0; i < cluster.scenario().n; ++i) {
+    auto* node = cluster.node<PipelinedLogNode>(i);
+    if (node == nullptr || node == head) continue;
+    for (const auto& [slot, entry] : node->settled()) {
+      const auto it = head->settled().find(slot);
+      if (it != head->settled().end() && !(it->second == entry)) {
+        identical = false;
+      }
+    }
+  }
+  std::printf("delivered per node: %zu   settled slots agree: %s\n",
+              delivered_at_head, identical ? "yes" : "NO");
+  return identical && delivered_at_head > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Scenario sc;
+  std::uint32_t byz = 0;
+  std::uint32_t proposals = 1;
+  bool trace = false;
+  std::int64_t run_ms = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--stack") {
+      sc.stack = parse_stack(next(), argv[0]);
+    } else if (arg == "--n") {
+      sc.n = std::uint32_t(std::atoi(next()));
+    } else if (arg == "--f") {
+      sc.f = std::uint32_t(std::atoi(next()));
+    } else if (arg == "--byz") {
+      byz = std::uint32_t(std::atoi(next()));
+    } else if (arg == "--adversary") {
+      sc.adversary = parse_adversary(next(), argv[0]);
+    } else if (arg == "--seed") {
+      sc.seed = std::uint64_t(std::atoll(next()));
+    } else if (arg == "--delta-us") {
+      sc.delta = microseconds(std::atoll(next()));
+    } else if (arg == "--scramble") {
+      sc.transient_scramble = true;
+    } else if (arg == "--chaos-ms") {
+      sc.chaos_period = milliseconds(std::atoll(next()));
+    } else if (arg == "--proposals") {
+      proposals = std::uint32_t(std::atoi(next()));
+    } else if (arg == "--run-ms") {
+      run_ms = std::atoll(next());
+    } else if (arg == "--depth") {
+      sc.pipeline.depth = std::uint32_t(std::atoi(next()));
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--verbose") {
+      sc.log_level = LogLevel::kDebug;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (sc.f == 0) sc.f = (sc.n - 1) / 3;
+  if (sc.n <= 3 * sc.f) {
+    std::fprintf(stderr, "error: need n > 3f (n=%u, f=%u)\n", sc.n, sc.f);
+    return 2;
+  }
+  sc.with_tail_faults(byz);
+
+  const Params params = sc.make_params();
+  const Duration start = sc.chaos_period +
+                         (sc.transient_scramble ? params.delta_stb()
+                                                : Duration::zero());
+
+  // Workload and default horizon are stack-shaped; the deployment path is
+  // not.
+  Duration run_for{};
+  switch (sc.stack) {
+    case StackKind::kAgree: {
+      const Duration gap = params.delta_0() + 5 * params.d();
+      for (std::uint32_t i = 0; i < proposals; ++i) {
+        sc.with_proposal(start + milliseconds(1) + i * gap, 0,
+                         100 + Value(i));
+      }
+      run_for = start + proposals * gap + milliseconds(120);
+      break;
+    }
+    case StackKind::kBaselineTps:
+      sc.tps.anchor = start + milliseconds(5);
+      sc.with_proposal(start + milliseconds(1), sc.tps.general, 100);
+      run_for = start + milliseconds(120);
+      break;
+    case StackKind::kReplicatedLog:
+    case StackKind::kPipelinedLog: {
+      // Round-robin over the CORRECT nodes only: a command routed to a
+      // Byzantine replica would be silently dropped at injection.
+      std::vector<NodeId> correct;
+      for (NodeId id = 0; id < sc.n; ++id) {
+        if (!sc.is_byzantine(id)) correct.push_back(id);
+      }
+      for (std::uint32_t i = 0; i < proposals && !correct.empty(); ++i) {
+        sc.with_proposal(start, correct[i % correct.size()], 100 + Value(i));
+      }
+      run_for = start + (proposals + 4) * (params.delta_0() + params.delta_agr() +
+                                           10 * params.d());
+      break;
+    }
+    case StackKind::kPulse:
+    case StackKind::kClockSync:
+      // Self-clocking: no workload; run long enough to stabilize + pulse.
+      run_for = start + params.delta_stb() +
+                16 * 2 * (params.delta_0() + params.delta_agr());
+      break;
+  }
+  sc.run_for = run_ms > 0 ? milliseconds(run_ms) : run_for;
+
+  Cluster cluster(sc);
+  TraceRecorder recorder;
+  if (trace) cluster.world().network().set_tap(recorder.tap());
+  cluster.run();
+
+  std::printf("stack: %s   model: n=%u f=%u (actual byz %u, %s), d=%.3fms, "
+              "Phi=%.3fms, Dagr=%.3fms, Dstb=%.3fms, seed=%llu\n\n",
+              to_string(sc.stack), sc.n, sc.f, byz, to_string(sc.adversary),
+              params.d().millis(), params.phi().millis(),
+              params.delta_agr().millis(), params.delta_stb().millis(),
+              static_cast<unsigned long long>(sc.seed));
+
+  int exit_code = 0;
+  switch (sc.stack) {
+    case StackKind::kAgree:
+    case StackKind::kBaselineTps:
+      exit_code = report_decisions(cluster);
+      break;
+    case StackKind::kPulse:
+      exit_code = report_pulses(cluster);
+      break;
+    case StackKind::kClockSync:
+      exit_code = report_clocks(cluster);
+      break;
+    case StackKind::kReplicatedLog:
+      exit_code = report_log(cluster);
+      break;
+    case StackKind::kPipelinedLog:
+      exit_code = report_pipeline(cluster);
+      break;
+  }
+
+  const auto& stats = cluster.world().network().stats();
   std::printf("network: %llu sent, %llu delivered, %llu dropped, %llu forged\n",
               static_cast<unsigned long long>(stats.sent),
               static_cast<unsigned long long>(stats.delivered),
@@ -156,5 +344,5 @@ int main(int argc, char** argv) {
       std::printf("%s\n", to_string(event).c_str());
     }
   }
-  return m.agreement_violations + m.validity_violations == 0 ? 0 : 1;
+  return exit_code;
 }
