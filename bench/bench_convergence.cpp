@@ -13,10 +13,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <mutex>
+#include <optional>
 
 #include "harness/metrics.hpp"
 #include "harness/report.hpp"
-#include "harness/runner.hpp"
+#include "harness/sweep.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
@@ -34,50 +36,60 @@ struct ConvergenceResult {
 ConvergenceResult run_convergence(std::uint32_t n, std::uint32_t f,
                                   std::uint32_t spurious,
                                   std::uint32_t trials, std::uint64_t seed0) {
+  Scenario sc;
+  sc.n = n;
+  sc.f = f;
+  sc.with_tail_faults(f);
+  sc.adversary = AdversaryKind::kNoise;
+  sc.adversary_period = milliseconds(1);
+  sc.transient_scramble = true;
+  sc.transient.spurious_per_node = spurious;
+  sc.chaos_period = milliseconds(10);
+
+  const Params params = sc.make_params();
+  const Duration gap = params.delta_0() + 5 * params.d();
+  const std::uint32_t rounds = 64;
+  for (std::uint32_t i = 0; i < rounds; ++i) {
+    sc.with_proposal(sc.chaos_period + milliseconds(1) + i * gap, 0,
+                     1000 + Value(i));
+  }
+  sc.run_for = sc.chaos_period + rounds * gap + milliseconds(100);
+
+  // Convergence detection needs the live cluster (executions clustered
+  // against its decision stream), so it rides the per-run hook; trials
+  // themselves fan out across all cores as independent Worlds.
   ConvergenceResult result;
-  for (std::uint32_t trial = 0; trial < trials; ++trial) {
-    Scenario sc;
-    sc.n = n;
-    sc.f = f;
-    sc.with_tail_faults(f);
-    sc.adversary = AdversaryKind::kNoise;
-    sc.adversary_period = milliseconds(1);
-    sc.transient_scramble = true;
-    sc.transient.spurious_per_node = spurious;
-    sc.chaos_period = milliseconds(10);
-    sc.seed = seed0 + trial;
-
-    const Params params = sc.make_params();
-    const Duration gap = params.delta_0() + 5 * params.d();
-    const std::uint32_t rounds = 64;
-    for (std::uint32_t i = 0; i < rounds; ++i) {
-      sc.with_proposal(sc.chaos_period + milliseconds(1) + i * gap, 0,
-                       1000 + Value(i));
-    }
-    sc.run_for = sc.chaos_period + rounds * gap + milliseconds(100);
-    Cluster cluster(sc);
-    cluster.run();
-    ++result.runs;
-
+  std::mutex mu;
+  SweepSpec spec;
+  spec.scenarios = {sc};
+  spec.seeds_per_scenario = trials;
+  spec.seed0 = seed0;
+  spec.threads = 0;
+  spec.per_run = [&](const SweepRun&, Cluster& cluster) {
     const RealTime iota0 = RealTime::zero() + sc.chaos_period;
     const RealTime stable = iota0 + params.delta_stb();
-    bool converged = false;
+    std::uint32_t pre = 0, post = 0, by_stb = 0;
+    std::optional<Duration> convergence;
     for (const auto& e :
          cluster_executions(cluster.decisions(), cluster.params())) {
-      const bool post = e.first_return() >= stable;
       if (!e.agreement_holds()) {
-        (post ? result.post_stb_agreement_violations
-              : result.pre_stb_agreement_violations)++;
+        (e.first_return() >= stable ? post : pre)++;
       }
-      if (!converged && e.general.node == 0 &&
+      if (!convergence && e.general.node == 0 &&
           e.decided_count() == cluster.correct_count() &&
           e.agreement_holds() && e.agreed_value().value_or(kBottom) >= 1000) {
-        converged = true;
-        result.convergence.add(e.first_return() - iota0);
-        if (e.first_return() <= stable) ++result.converged_by_stb;
+        convergence = e.first_return() - iota0;
+        if (e.first_return() <= stable) ++by_stb;
       }
     }
-  }
+    const std::lock_guard<std::mutex> lock(mu);
+    ++result.runs;
+    result.pre_stb_agreement_violations += pre;
+    result.post_stb_agreement_violations += post;
+    result.converged_by_stb += by_stb;
+    if (convergence) result.convergence.add(*convergence);
+  };
+  (void)SweepRunner(spec).run();
   return result;
 }
 

@@ -1,0 +1,265 @@
+// bench_engine — the simulation engine itself, before/after the slab
+// refactor, plus the SweepRunner's multi-scenario throughput.
+//
+// Three measurements:
+//  1. Raw dispatch: self-rescheduling event chains carrying a WireMessage-
+//     sized closure (the network delivery shape) through (a) the seed's
+//     std::function + copying std::priority_queue design, preserved here
+//     verbatim as LegacyEventQueue, and (b) the slab-backed EventQueue.
+//     The acceptance gate for the refactor is slab ≥ 2× legacy.
+//  2. Scenario hot path: full (Scenario, seed) agreement runs through a
+//     serial (threads=1) SweepRunner — events/sec and p50 latency.
+//  3. Sweep scaling: the same grid on 1/2/4 worker threads — scenarios/sec
+//     plus a digest check that every parallel run is bit-identical to its
+//     serial twin.
+//
+// Results go to stdout (tables) and BENCH_engine.json (machine-readable,
+// tracked in-repo so future PRs can diff the perf trajectory).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <queue>
+
+#include "harness/sweep.hpp"
+#include "harness/report.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/wire.hpp"
+#include "util/stats.hpp"
+
+namespace ssbft {
+namespace {
+
+// ------------------------------------------------------------- legacy --
+// The seed's event queue, kept verbatim so the before/after comparison is
+// reproducible forever, not only against a historical commit.
+class LegacyEventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  void schedule(RealTime when, Action action) {
+    heap_.push(Entry{when, seq_++, std::move(action)});
+  }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  void run_one() {
+    auto& top = const_cast<Entry&>(heap_.top());
+    now_ = top.when;
+    Action action = std::move(top.action);
+    heap_.pop();
+    ++dispatched_;
+    action();
+  }
+  [[nodiscard]] RealTime now() const { return now_; }
+
+ private:
+  struct Entry {
+    RealTime when;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  RealTime now_{};
+  std::uint64_t seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+// ---------------------------------------------------------- raw chains --
+// The hot-path event shape: a closure carrying destination + WireMessage
+// (as Network::route schedules), rescheduling itself to keep the in-flight
+// population constant.
+template <class Queue>
+struct Chain {
+  Queue* queue;
+  std::uint64_t* fired;
+  std::uint64_t total;
+  NodeId dest;
+  WireMessage msg;
+  void operator()() const {
+    ++*fired;
+    if (*fired < total) queue->schedule(queue->now() + Duration{100}, *this);
+  }
+};
+
+template <class Queue>
+double chain_events_per_sec(std::uint32_t in_flight, std::uint64_t total) {
+  Queue queue;
+  std::uint64_t fired = 0;
+  for (std::uint32_t i = 0; i < in_flight; ++i) {
+    queue.schedule(RealTime{std::int64_t(i)},
+                   Chain<Queue>{&queue, &fired, total, NodeId(i), WireMessage{}});
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!queue.empty() && fired < total) queue.run_one();
+  const auto t1 = std::chrono::steady_clock::now();
+  return double(fired) / std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct RawResult {
+  std::uint32_t in_flight;
+  double legacy_eps;
+  double slab_eps;
+  [[nodiscard]] double speedup() const { return slab_eps / legacy_eps; }
+};
+
+RawResult measure_raw(std::uint32_t in_flight, std::uint64_t total) {
+  RawResult r{in_flight, 0, 0};
+  // Interleave and keep the best of three passes each: both queues deserve
+  // their warmest cache, and a single descheduling blip must not skew the
+  // tracked ratio.
+  for (int pass = 0; pass < 3; ++pass) {
+    r.legacy_eps = std::max(
+        r.legacy_eps, chain_events_per_sec<LegacyEventQueue>(in_flight, total));
+    r.slab_eps =
+        std::max(r.slab_eps, chain_events_per_sec<EventQueue>(in_flight, total));
+  }
+  return r;
+}
+
+// ------------------------------------------------------------- sweeps --
+
+Scenario engine_scenario() {
+  Scenario sc;
+  sc.n = 7;
+  sc.f = 2;
+  sc.with_tail_faults(2);
+  sc.adversary = AdversaryKind::kNoise;
+  sc.with_proposal(milliseconds(5), 0, 7);
+  sc.run_for = milliseconds(150);
+  return sc;
+}
+
+struct SweepResult {
+  double events_per_sec_serial = 0;
+  double latency_p50_ms = 0;
+  double scenarios_per_sec[3] = {0, 0, 0};  // threads 1, 2, 4
+  bool deterministic = true;
+};
+
+SweepResult measure_sweeps(std::uint32_t seeds) {
+  SweepResult result;
+  const std::uint32_t thread_axis[3] = {1, 2, 4};
+  std::vector<std::uint64_t> serial_digests;
+  for (int t = 0; t < 3; ++t) {
+    SweepSpec spec;
+    spec.scenarios = {engine_scenario()};
+    spec.seeds_per_scenario = seeds;
+    spec.seed0 = 1;
+    spec.threads = thread_axis[t];
+    SweepReport report = SweepRunner(spec).run();
+    result.scenarios_per_sec[t] = report.scenarios_per_sec;
+    if (t == 0) {
+      result.events_per_sec_serial = report.events_per_sec;
+      if (!report.latency.empty()) {
+        result.latency_p50_ms = report.latency.quantile(0.5) * 1e-6;
+      }
+      for (const auto& run : report.runs) serial_digests.push_back(run.digest);
+    } else {
+      for (std::size_t i = 0; i < report.runs.size(); ++i) {
+        if (report.runs[i].digest != serial_digests[i]) {
+          result.deterministic = false;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+void print_and_record() {
+  std::printf("\nengine: raw dispatch — slab event core vs seed design "
+              "(std::function heap in a copying priority_queue)\n");
+  Table raw_table({"in-flight", "legacy Mev/s", "slab Mev/s", "speedup"});
+  const RawResult raw_small = measure_raw(64, 2'000'000);
+  const RawResult raw_large = measure_raw(4096, 2'000'000);
+  for (const RawResult& r : {raw_small, raw_large}) {
+    char legacy[32], slab[32], speedup[32];
+    std::snprintf(legacy, sizeof legacy, "%.1f", r.legacy_eps / 1e6);
+    std::snprintf(slab, sizeof slab, "%.1f", r.slab_eps / 1e6);
+    std::snprintf(speedup, sizeof speedup, "%.2fx", r.speedup());
+    raw_table.add_row({std::to_string(r.in_flight), legacy, slab, speedup});
+  }
+  raw_table.print();
+
+  const SweepResult sweeps = measure_sweeps(40);
+  std::printf("\nengine: scenario hot path (n=7, f=2, noise adversary, one "
+              "agreement per run)\n");
+  std::printf("serial: %.2f Mevents/s, p50 agreement latency %.3f ms\n",
+              sweeps.events_per_sec_serial / 1e6, sweeps.latency_p50_ms);
+  std::printf("sweep scaling: %.0f (t=1)  %.0f (t=2)  %.0f (t=4) "
+              "scenarios/s — per-run digests %s serial\n",
+              sweeps.scenarios_per_sec[0], sweeps.scenarios_per_sec[1],
+              sweeps.scenarios_per_sec[2],
+              sweeps.deterministic ? "bit-identical to" : "DIVERGED from");
+
+  if (std::FILE* out = std::fopen("BENCH_engine.json", "w")) {
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"raw_dispatch\": {\n"
+        "    \"in_flight_64\": {\"legacy_events_per_sec\": %.0f, "
+        "\"slab_events_per_sec\": %.0f, \"speedup\": %.3f},\n"
+        "    \"in_flight_4096\": {\"legacy_events_per_sec\": %.0f, "
+        "\"slab_events_per_sec\": %.0f, \"speedup\": %.3f}\n"
+        "  },\n"
+        "  \"scenario_hot_path\": {\n"
+        "    \"events_per_sec\": %.0f,\n"
+        "    \"latency_p50_ms\": %.6f\n"
+        "  },\n"
+        "  \"sweep\": {\n"
+        "    \"scenarios_per_sec_t1\": %.2f,\n"
+        "    \"scenarios_per_sec_t2\": %.2f,\n"
+        "    \"scenarios_per_sec_t4\": %.2f,\n"
+        "    \"deterministic\": %s\n"
+        "  }\n"
+        "}\n",
+        raw_small.legacy_eps, raw_small.slab_eps, raw_small.speedup(),
+        raw_large.legacy_eps, raw_large.slab_eps, raw_large.speedup(),
+        sweeps.events_per_sec_serial, sweeps.latency_p50_ms,
+        sweeps.scenarios_per_sec[0], sweeps.scenarios_per_sec[1],
+        sweeps.scenarios_per_sec[2], sweeps.deterministic ? "true" : "false");
+    std::fclose(out);
+    std::printf("(wrote BENCH_engine.json)\n");
+  }
+}
+
+void BM_RawDispatchLegacy(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        chain_events_per_sec<LegacyEventQueue>(64, 200'000));
+  }
+}
+BENCHMARK(BM_RawDispatchLegacy)->Unit(benchmark::kMillisecond);
+
+void BM_RawDispatchSlab(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain_events_per_sec<EventQueue>(64, 200'000));
+  }
+}
+BENCHMARK(BM_RawDispatchSlab)->Unit(benchmark::kMillisecond);
+
+void BM_ScenarioSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    SweepSpec spec;
+    spec.scenarios = {engine_scenario()};
+    spec.seeds_per_scenario = 5;
+    spec.threads = std::uint32_t(state.range(0));
+    benchmark::DoNotOptimize(SweepRunner(spec).run().passed);
+  }
+}
+BENCHMARK(BM_ScenarioSweep)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ssbft
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  ssbft::print_and_record();
+  return 0;
+}

@@ -8,12 +8,10 @@
 // (events/sec) as an engineering sanity metric.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
 
-#include "harness/metrics.hpp"
 #include "harness/report.hpp"
-#include "harness/runner.hpp"
+#include "harness/sweep.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
@@ -30,39 +28,31 @@ struct ScalingResult {
 
 ScalingResult run_scaling(std::uint32_t n, std::uint32_t trials,
                           std::uint64_t seed0) {
+  Scenario sc;
+  sc.n = n;
+  sc.f = (n - 1) / 3;
+  sc.with_tail_faults(sc.f);
+  sc.with_proposal(milliseconds(5), 0, 7);
+  sc.run_for = milliseconds(150);
+
+  SweepSpec spec;
+  spec.scenarios = {sc};
+  spec.seeds_per_scenario = trials;
+  spec.seed0 = seed0;
+  spec.threads = 0;  // all cores; each trial is an independent World
+  SweepReport report = SweepRunner(spec).run();
+
   ScalingResult result;
-  SampleSet latency;
-  std::uint64_t total_msgs = 0, total_events = 0;
-  std::uint32_t agreements = 0;
-  const auto wall0 = std::chrono::steady_clock::now();
-  for (std::uint32_t trial = 0; trial < trials; ++trial) {
-    Scenario sc;
-    sc.n = n;
-    sc.f = (n - 1) / 3;
-    sc.with_tail_faults(sc.f);
-    sc.with_proposal(milliseconds(5), 0, 7);
-    sc.run_for = milliseconds(150);
-    sc.seed = seed0 + trial;
-    Cluster cluster(sc);
-    cluster.run();
-    total_msgs += cluster.world().network().stats().sent;
-    total_events += cluster.world().queue().dispatched();
-    ++agreements;
-    const RealTime t0 = cluster.proposals().empty()
-                            ? RealTime::zero()
-                            : cluster.proposals()[0].real_at;
-    for (const auto& d : cluster.decisions()) {
-      if (d.decision.decided()) latency.add(d.real_at - t0);
-    }
-  }
-  const auto wall1 = std::chrono::steady_clock::now();
-  result.msgs_per_agreement = double(total_msgs) / agreements;
+  result.msgs_per_agreement = double(report.messages) / trials;
   result.msgs_per_node_pair = result.msgs_per_agreement / (double(n) * n);
-  result.latency_p50_ms = latency.empty() ? 0 : latency.quantile(0.5) * 1e-6;
-  result.sim_events = double(total_events) / agreements;
-  result.wall_ms =
-      std::chrono::duration<double, std::milli>(wall1 - wall0).count() /
-      trials;
+  result.latency_p50_ms =
+      report.latency.empty() ? 0 : report.latency.quantile(0.5) * 1e-6;
+  result.sim_events = double(report.events) / trials;
+  // Per-run cost from the in-worker clocks, not sweep wall / trials — the
+  // latter shrinks with the core count and would corrupt the trajectory.
+  for (const auto& run : report.runs) {
+    result.wall_ms += run.wall_seconds * 1e3 / trials;
+  }
   return result;
 }
 

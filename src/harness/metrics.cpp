@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <map>
 
+#include "app/pipelined_log.hpp"
+#include "app/replicated_log.hpp"
 #include "clocksync/clock_sync.hpp"
+#include "pulse/pulse_sync.hpp"
 
 namespace ssbft {
 
@@ -196,6 +199,171 @@ bool clocks_synchronized(Cluster& cluster) {
     if (node != nullptr && node->synchronized()) ++synced;
   }
   return synced == cluster.correct_count();
+}
+
+namespace {
+
+// FNV-1a, word at a time. Every field is widened to 64 bits explicitly so
+// the digest is a pure function of the observable values, never of padding.
+struct Fnv {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  void word(std::uint64_t v) {
+    h = (h ^ v) * 0x100000001b3ULL;
+  }
+  void time(RealTime t) { word(std::uint64_t(t.ns())); }
+  void time(LocalTime t) { word(std::uint64_t(t.ns())); }
+  void dur(Duration d) { word(std::uint64_t(d.ns())); }
+};
+
+/// Decided-return latencies against the matching admitted proposal: same
+/// General, same value, and the LATEST such proposal not after the return —
+/// so a re-proposal (or another General's identical value) never inflates
+/// the measurement by attributing the decision to an older injection.
+std::vector<double> decision_latencies(const Cluster& cluster) {
+  std::vector<double> out;
+  for (const auto& d : cluster.decisions()) {
+    if (!d.decision.decided()) continue;
+    std::optional<RealTime> proposed;
+    for (const auto& p : cluster.proposals()) {
+      if (p.status != ProposeStatus::kSent) continue;
+      if (p.general != d.decision.general.node) continue;
+      if (p.value != d.decision.value || p.real_at > d.real_at) continue;
+      if (!proposed || p.real_at > *proposed) proposed = p.real_at;
+    }
+    if (proposed) out.push_back(double((d.real_at - *proposed).ns()));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t run_digest(const RecordingProbe& probe,
+                         const NetworkStats& net) {
+  Fnv fnv;
+  for (const auto& d : probe.decisions()) {
+    fnv.word(d.decision.node);
+    fnv.word(d.decision.general.node);
+    fnv.word(d.decision.general.index);
+    fnv.word(d.decision.value);
+    fnv.time(d.decision.tau_g);
+    fnv.time(d.decision.at);
+    fnv.time(d.real_at);
+    fnv.time(d.tau_g_real);
+  }
+  for (const auto& p : probe.proposals()) {
+    fnv.time(p.real_at);
+    fnv.word(p.general);
+    fnv.word(p.value);
+    fnv.word(std::uint64_t(p.status));
+  }
+  for (const auto& p : probe.pulses()) {
+    fnv.word(p.node);
+    fnv.word(p.event.counter);
+    fnv.time(p.event.at);
+    fnv.time(p.real_at);
+  }
+  for (const auto& a : probe.adjustments()) {
+    fnv.word(a.node);
+    fnv.word(a.adjustment.pulse_counter);
+    fnv.dur(a.adjustment.amount);
+    fnv.time(a.adjustment.at);
+    fnv.time(a.real_at);
+  }
+  for (const auto& c : probe.commits()) {
+    fnv.word(c.node);
+    fnv.word(c.entry.slot);
+    fnv.word(c.entry.command);
+    fnv.word(c.entry.proposer);
+    fnv.time(c.entry.at);
+    fnv.time(c.real_at);
+  }
+  for (const auto& d : probe.deliveries()) {
+    fnv.word(d.node);
+    fnv.word(d.entry.slot);
+    fnv.word(d.entry.command);
+    fnv.word(d.entry.proposer);
+    fnv.word(d.entry.skipped ? 1 : 0);
+    fnv.time(d.real_at);
+  }
+  fnv.word(net.sent);
+  fnv.word(net.delivered);
+  fnv.word(net.dropped);
+  fnv.word(net.duplicated);
+  fnv.word(net.corrupted);
+  fnv.word(net.forged);
+  for (const auto k : net.per_kind) fnv.word(k);
+  return fnv.h;
+}
+
+StackOutcome evaluate_stack(Cluster& cluster) {
+  StackOutcome out;
+  out.digest = run_digest(cluster.probe(), cluster.world().network().stats());
+  out.agreement = evaluate_run(cluster.decisions(), cluster.proposals(),
+                               cluster.correct_count(), cluster.params());
+  out.latency_ns = decision_latencies(cluster);
+
+  const bool decisions_ok = out.agreement.agreement_violations == 0 &&
+                            out.agreement.validity_violations == 0;
+  switch (cluster.scenario().stack) {
+    case StackKind::kAgree:
+    case StackKind::kBaselineTps:
+      out.pass = decisions_ok;
+      break;
+    case StackKind::kPulse: {
+      auto* head = head_node<PulseSyncNode>(cluster);
+      if (head == nullptr) break;  // vacuous run: nothing to judge
+      auto stats = evaluate_pulses(cluster.probe().pulses(),
+                                   cluster.correct_count(), head->cycle());
+      const Duration bound = 3 * cluster.params().d();
+      out.pass = stats.complete_pulses > 0 &&
+                 (stats.skew.empty() || stats.skew.max() <= double(bound.ns()));
+      break;
+    }
+    case StackKind::kClockSync: {
+      auto* head = head_node<ClockSyncNode>(cluster);
+      if (head == nullptr) break;
+      out.pass =
+          clocks_settled(cluster) && clock_skew(cluster) <= head->precision_bound();
+      break;
+    }
+    case StackKind::kReplicatedLog: {
+      const auto* head = head_node<ReplicatedLogNode>(cluster);
+      if (head == nullptr) break;
+      bool identical = !head->log().empty();
+      for (NodeId i = 0; i < cluster.scenario().n; ++i) {
+        const auto* node = cluster.node<ReplicatedLogNode>(i);
+        if (node != nullptr && node->log() != head->log()) identical = false;
+      }
+      out.pass = identical;
+      break;
+    }
+    case StackKind::kPipelinedLog: {
+      auto* head = head_node<PipelinedLogNode>(cluster);
+      if (head == nullptr) break;
+      // Progress means a real delivery at the head, not just released
+      // holes: a run that only times slots out must not count as passing.
+      bool agree = false;
+      for (const auto& d : cluster.probe().deliveries()) {
+        if (!d.entry.skipped && cluster.node<PipelinedLogNode>(d.node) == head) {
+          agree = true;
+          break;
+        }
+      }
+      for (NodeId i = 0; i < cluster.scenario().n; ++i) {
+        auto* node = cluster.node<PipelinedLogNode>(i);
+        if (node == nullptr || node == head) continue;
+        for (const auto& [slot, entry] : node->settled()) {
+          const auto it = head->settled().find(slot);
+          if (it != head->settled().end() && !(it->second == entry)) {
+            agree = false;
+          }
+        }
+      }
+      out.pass = agree;
+      break;
+    }
+  }
+  return out;
 }
 
 bool clocks_settled(Cluster& cluster) {

@@ -91,4 +91,40 @@ struct PulseStats {
 /// skew transiently equals the adjustment size).
 [[nodiscard]] bool clocks_settled(Cluster& cluster);
 
+// --- stack-agnostic run evaluation (SweepRunner, CLI) ---------------------
+
+/// Verdict + headline figures for one completed cluster run, judged by the
+/// deployed stack's own core guarantee (the same predicates test_stacks and
+/// the CLI reports assert):
+///   kAgree / kBaselineTps — no Agreement/Validity violations;
+///   kPulse               — ≥ 1 complete pulse, skew ≤ 3d;
+///   kClockSync           — clocks settled inside the precision bound;
+///   kReplicatedLog       — committed logs identical, progress made;
+///   kPipelinedLog        — settled slots agree, progress made.
+struct StackOutcome {
+  bool pass = false;
+  RunMetrics agreement{};          // decision-stream accounting (all stacks)
+  std::vector<double> latency_ns;  // proposal → decided-return latencies
+  std::uint64_t digest = 0;        // run_digest() of every stream + net stats
+};
+
+[[nodiscard]] StackOutcome evaluate_stack(Cluster& cluster);
+
+/// First correct node running the stack as T, or nullptr when every node is
+/// Byzantine (vacuous run: nothing to judge / report against).
+template <typename T>
+[[nodiscard]] T* head_node(Cluster& cluster) {
+  for (NodeId i = 0; i < cluster.scenario().n; ++i) {
+    if (T* node = cluster.node<T>(i)) return node;
+  }
+  return nullptr;
+}
+
+/// Order-sensitive FNV-1a fingerprint of every probe stream plus the
+/// network counters — two runs with equal digests produced bit-identical
+/// observable histories (decisions, pulse times, adjustments, commits,
+/// deliveries, wire stats). The determinism tests lean on this.
+[[nodiscard]] std::uint64_t run_digest(const RecordingProbe& probe,
+                                       const NetworkStats& net);
+
 }  // namespace ssbft

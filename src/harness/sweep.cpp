@@ -1,0 +1,128 @@
+#include "harness/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "harness/stack_registry.hpp"
+#include "util/assert.hpp"
+
+namespace ssbft {
+
+SweepRunner::SweepRunner(SweepSpec spec) : spec_(std::move(spec)) {
+  SSBFT_EXPECTS(!spec_.scenarios.empty());
+  SSBFT_EXPECTS(spec_.seeds_per_scenario > 0);
+}
+
+SweepRun SweepRunner::run_cell(
+    const Scenario& scenario, std::uint64_t seed, std::size_t scenario_index,
+    const std::function<void(const SweepRun&, Cluster&)>& per_run) {
+  Scenario sc = scenario;
+  sc.seed = seed;
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  Cluster cluster(sc);
+  cluster.run();
+  const auto wall1 = std::chrono::steady_clock::now();
+
+  StackOutcome outcome = evaluate_stack(cluster);
+
+  SweepRun run;
+  run.scenario_index = scenario_index;
+  run.seed = seed;
+  run.stack = sc.stack;
+  run.n = sc.n;
+  run.f = sc.f;
+  run.adversary = sc.adversary;
+  run.pass = outcome.pass;
+  run.digest = outcome.digest;
+  run.agreement = outcome.agreement;
+  run.latency_ns = std::move(outcome.latency_ns);
+  run.events = cluster.world().queue().dispatched();
+  run.messages = cluster.world().network().stats().sent;
+  run.sim_time = sc.run_for;
+  run.wall_seconds = std::chrono::duration<double>(wall1 - wall0).count();
+
+  if (per_run) per_run(run, cluster);
+  return run;
+}
+
+SweepReport SweepRunner::run() {
+  const std::size_t seeds = spec_.seeds_per_scenario;
+  const std::size_t cells = spec_.scenarios.size() * seeds;
+
+  SweepReport report;
+  report.runs.resize(cells);
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> cursor{0};
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t cell = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (cell >= cells) return;
+      const std::size_t scenario_index = cell / seeds;
+      const std::uint64_t seed = spec_.seed0 + std::uint64_t(cell % seeds);
+      report.runs[cell] = run_cell(spec_.scenarios[scenario_index], seed,
+                                   scenario_index, spec_.per_run);
+    }
+  };
+
+  std::uint32_t threads = spec_.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (threads <= 1) {
+    worker();  // inline: the serial baseline, no pool overhead
+  } else {
+    // Touch the registry once before the pool starts: factories are then
+    // looked up concurrently against an immutable map.
+    (void)StackRegistry::instance();
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  const auto wall1 = std::chrono::steady_clock::now();
+
+  report.wall_seconds = std::chrono::duration<double>(wall1 - wall0).count();
+  for (const auto& run : report.runs) {
+    (run.pass ? report.passed : report.failed)++;
+    report.events += run.events;
+    report.messages += run.messages;
+    for (const double l : run.latency_ns) report.latency.add(l);
+  }
+  if (report.wall_seconds > 0) {
+    report.events_per_sec = double(report.events) / report.wall_seconds;
+    report.scenarios_per_sec = double(cells) / report.wall_seconds;
+  }
+  return report;
+}
+
+std::vector<Scenario> SweepGrid::expand() const {
+  const std::vector<std::uint32_t> n_axis = ns.empty() ? std::vector{base.n} : ns;
+  const std::vector<AdversaryKind> adv_axis =
+      adversaries.empty() ? std::vector{base.adversary} : adversaries;
+
+  std::vector<Scenario> out;
+  for (const std::uint32_t n : n_axis) {
+    const std::vector<std::uint32_t> f_axis =
+        fs.empty() ? std::vector{(n - 1) / 3} : fs;
+    for (const std::uint32_t f : f_axis) {
+      if (n <= 3 * f) continue;  // outside the paper's resilience bound
+      for (const AdversaryKind adversary : adv_axis) {
+        Scenario sc = base;
+        sc.n = n;
+        sc.f = f;
+        sc.byz_nodes.clear();
+        sc.with_tail_faults(f);
+        sc.adversary = adversary;
+        out.push_back(std::move(sc));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ssbft

@@ -1,0 +1,106 @@
+// SweepRunner: parallel multi-scenario execution.
+//
+// A sweep is a grid of Scenarios × seeds. Every (Scenario, seed) cell runs
+// in a fully independent World — its own event queue, network, RNG streams,
+// probe — so a run's outcome is a pure function of the cell, no matter
+// which worker thread executes it or in what order. Workers pull cells from
+// an atomic cursor; results land in grid order (scenario-major, seed-minor)
+// in a preallocated vector, and the per-run digest lets tests assert that a
+// 4-thread sweep is bit-identical to serial execution. Reduction produces a
+// SweepReport: pass/fail counts, pooled latency percentiles, events/sec and
+// scenarios/sec over the whole grid.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "harness/metrics.hpp"
+#include "harness/runner.hpp"
+#include "harness/scenario.hpp"
+#include "util/stats.hpp"
+
+namespace ssbft {
+
+/// One completed (Scenario, seed) cell.
+struct SweepRun {
+  std::size_t scenario_index = 0;
+  std::uint64_t seed = 0;
+  StackKind stack = StackKind::kAgree;
+  std::uint32_t n = 0;
+  std::uint32_t f = 0;
+  AdversaryKind adversary = AdversaryKind::kSilent;
+
+  bool pass = false;
+  std::uint64_t digest = 0;        // run_digest(): bit-exact run fingerprint
+  RunMetrics agreement{};          // decision-stream accounting
+  std::vector<double> latency_ns;  // proposal → decided-return latencies
+
+  std::uint64_t events = 0;    // queue dispatches
+  std::uint64_t messages = 0;  // wire sends admitted
+  Duration sim_time{};         // simulated horizon (scenario.run_for)
+  double wall_seconds = 0;     // this run alone, in its worker
+};
+
+/// Whole-grid reduction.
+struct SweepReport {
+  std::vector<SweepRun> runs;  // grid order: scenario-major, seed-minor
+  std::uint32_t passed = 0;
+  std::uint32_t failed = 0;
+  std::uint64_t events = 0;
+  std::uint64_t messages = 0;
+  double wall_seconds = 0;  // whole-sweep wall clock (not summed CPU)
+  double events_per_sec = 0;
+  double scenarios_per_sec = 0;
+  SampleSet latency;  // pooled decision latencies (ns)
+
+  [[nodiscard]] bool all_passed() const { return failed == 0; }
+};
+
+struct SweepSpec {
+  std::vector<Scenario> scenarios;
+  /// Each scenario runs with seeds seed0, seed0+1, …, seed0+seeds−1
+  /// (overriding Scenario::seed).
+  std::uint32_t seeds_per_scenario = 1;
+  std::uint64_t seed0 = 1;
+  /// Worker threads; 0 ⇒ hardware concurrency, 1 ⇒ run inline in the
+  /// caller's thread (no pool — the serial baseline benches time against).
+  std::uint32_t threads = 0;
+  /// Optional per-run observer, invoked in the worker thread after the cell
+  /// completes and before its Cluster is destroyed (the only moment node
+  /// state is still inspectable). Must be thread-safe when threads > 1.
+  std::function<void(const SweepRun&, Cluster&)> per_run;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepSpec spec);
+
+  /// Execute the full grid and reduce. Deterministic per cell; the report's
+  /// runs vector is in grid order regardless of worker scheduling.
+  [[nodiscard]] SweepReport run();
+
+  /// Evaluate one (Scenario, seed) cell in the calling thread — the exact
+  /// procedure a worker applies, exposed for determinism tests and tools.
+  [[nodiscard]] static SweepRun run_cell(
+      const Scenario& scenario, std::uint64_t seed,
+      std::size_t scenario_index = 0,
+      const std::function<void(const SweepRun&, Cluster&)>& per_run = nullptr);
+
+ private:
+  SweepSpec spec_;
+};
+
+/// Cartesian scenario grid: base × n × f × adversary, with f defaulting to
+/// ⌊(n−1)/3⌋ and the actual Byzantine set re-derived as f tail faults per
+/// combination. Combinations violating n > 3f are skipped.
+struct SweepGrid {
+  Scenario base{};
+  std::vector<std::uint32_t> ns{};           // empty ⇒ {base.n}
+  std::vector<std::uint32_t> fs{};           // empty ⇒ derive per n
+  std::vector<AdversaryKind> adversaries{};  // empty ⇒ {base.adversary}
+
+  [[nodiscard]] std::vector<Scenario> expand() const;
+};
+
+}  // namespace ssbft

@@ -1,34 +1,85 @@
 #include "sim/event_queue.hpp"
 
-#include <utility>
-
 namespace ssbft {
 
-void EventQueue::schedule(RealTime when, Action action) {
-  SSBFT_EXPECTS(when >= now_);
-  heap_.push(Entry{when, seq_++, std::move(action)});
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNullSlot) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slot(index).next_free;
+    return index;
+  }
+  // New chunk: hand out its first slot, thread the rest onto the free list.
+  slab_.push_back(std::make_unique<SlotChunk>());
+  const std::uint32_t base = std::uint32_t(slab_.size() - 1) * kSlotChunk;
+  for (std::uint32_t i = kSlotChunk; i-- > 1;) {
+    slot(base + i).next_free = free_head_;
+    free_head_ = base + i;
+  }
+  return base;
 }
 
-RealTime EventQueue::next_time() const {
-  SSBFT_EXPECTS(!heap_.empty());
-  return heap_.top().when;
+void EventQueue::release_slot(std::uint32_t index) {
+  Slot& released = slot(index);
+  released.ops = nullptr;
+  released.next_free = free_head_;
+  free_head_ = index;
+}
+
+void EventQueue::push_entry(Entry entry) {
+  // Hole insertion: shift later parents down, write the new entry once.
+  heap_.push_back(entry);
+  std::size_t child = heap_.size() - 1;
+  while (child > 0) {
+    const std::size_t parent = (child - 1) / 2;
+    if (!earlier(entry, heap_[parent])) break;
+    heap_[child] = heap_[parent];
+    child = parent;
+  }
+  heap_[child] = entry;
+}
+
+EventQueue::Entry EventQueue::pop_entry() {
+  const Entry top = heap_.front();
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t count = heap_.size();
+  std::size_t parent = 0;
+  while (true) {
+    const std::size_t left = 2 * parent + 1;
+    if (left >= count) break;
+    const std::size_t right = left + 1;
+    const std::size_t least =
+        (right < count && earlier(heap_[right], heap_[left])) ? right : left;
+    if (!earlier(heap_[least], last)) break;
+    heap_[parent] = heap_[least];
+    parent = least;
+  }
+  if (count > 0) heap_[parent] = last;
+  return top;
 }
 
 void EventQueue::run_one() {
   SSBFT_EXPECTS(!heap_.empty());
-  // priority_queue::top() is const; the action is moved out via const_cast,
-  // which is safe because the entry is popped immediately after.
-  auto& top = const_cast<Entry&>(heap_.top());
+  const Entry top = pop_entry();
   now_ = top.when;
-  Action action = std::move(top.action);
-  heap_.pop();
   ++dispatched_;
-  action();
+  // Pop by move: Ops::run relocates the callable out of its slot, recycles
+  // the slot, and dispatches — one indirect call for the whole pop path.
+  slot(top.slot).ops->run(*this, top.slot);
 }
 
 void EventQueue::run_until(RealTime deadline) {
-  while (!heap_.empty() && heap_.top().when <= deadline) run_one();
+  while (!heap_.empty() && heap_.front().when <= deadline) run_one();
   if (now_ < deadline) now_ = deadline;
+}
+
+void EventQueue::clear() {
+  for (const Entry& entry : heap_) {
+    Slot& pending = slot(entry.slot);
+    pending.ops->destroy(pending.storage);
+    pending.ops = nullptr;
+  }
+  heap_.clear();
 }
 
 }  // namespace ssbft

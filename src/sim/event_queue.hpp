@@ -1,13 +1,27 @@
-// Deterministic discrete-event queue.
+// Deterministic discrete-event queue over a slab-backed event store.
 //
 // Events at equal real-time are dispatched in insertion order (a strictly
 // monotone sequence number breaks ties), so a run is a pure function of the
 // seed — a property every test and bench in this repository leans on.
+//
+// Hot-path layout: the priority heap orders 24-byte POD entries
+// (when, seq, slot) while the callables themselves live in fixed-size slots
+// of a slab recycled through a free list. A callable whose closure fits
+// kInlineCapacity is stored inline — scheduling and dispatching it performs
+// no heap allocation on the steady path (the slab and heap vectors only
+// grow until they cover the peak in-flight population). Oversized closures
+// are boxed transparently. Dispatch pops by *move*: the callable is
+// relocated to the stack frame and its slot freed before it runs, so
+// running events may freely schedule new ones (even reallocating the slab)
+// without invalidating themselves.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -17,17 +31,46 @@ namespace ssbft {
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  /// Closures up to this size (and std::max_align_t alignment) are stored
+  /// inline in a slab slot; larger ones fall back to one boxed allocation.
+  /// 64 bytes covers every closure the simulator schedules on its hot path
+  /// (the largest is a network delivery: this + destination + WireMessage).
+  static constexpr std::size_t kInlineCapacity = 64;
 
-  /// Schedule `action` at absolute real-time `when`. `when` must not precede
-  /// the last dispatched event (no time travel).
-  void schedule(RealTime when, Action action);
+  EventQueue() = default;
+  ~EventQueue() { clear(); }
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedule `action` (any void() callable, move-only allowed) at absolute
+  /// real-time `when`. `when` must not precede the last dispatched event
+  /// (no time travel).
+  template <class F>
+  void schedule(RealTime when, F&& action) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      SSBFT_EXPECTS(when >= now_);
+      const std::uint32_t index = acquire_slot();
+      Slot& target = slot(index);
+      ::new (static_cast<void*>(target.storage)) Fn(std::forward<F>(action));
+      target.ops = &ops_for<Fn>();
+      push_entry(Entry{when, seq_++, index});
+    } else {
+      // Box the oversized closure; the slot then holds only the pointer.
+      schedule(when, Boxed<Fn>{std::make_unique<Fn>(std::forward<F>(action))});
+    }
+  }
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
   /// Real-time of the next event; EXPECTS non-empty.
-  [[nodiscard]] RealTime next_time() const;
+  [[nodiscard]] RealTime next_time() const {
+    SSBFT_EXPECTS(!heap_.empty());
+    return heap_.front().when;
+  }
 
   /// Dispatch the next event, advancing `now()` to its time.
   void run_one();
@@ -42,20 +85,92 @@ class EventQueue {
   /// Number of events dispatched so far.
   [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
 
+  /// Slab slots currently allocated (diagnostics; peak in-flight events,
+  /// rounded up to whole chunks).
+  [[nodiscard]] std::size_t slab_capacity() const {
+    return slab_.size() * kSlotChunk;
+  }
+
  private:
+  static constexpr std::uint32_t kNullSlot = ~std::uint32_t{0};
+
+  /// Type-erased operations on a stored callable. One static table per
+  /// closure type — the slab slots stay POD-sized.
+  struct Ops {
+    /// Pop-by-move dispatch: move the callable out of its slot into the
+    /// dispatch frame, destroy the slot copy, recycle the slot, then run.
+    /// Fused into one type-specific function so the whole pop path is a
+    /// single indirect call (and a plain memcpy for trivial closures).
+    void (*run)(EventQueue& queue, std::uint32_t slot);
+    void (*destroy)(void* obj);
+  };
+
+  template <class Fn>
+  [[nodiscard]] static const Ops& ops_for() {
+    static constexpr Ops ops{
+        [](EventQueue& queue, std::uint32_t index) {
+          Slot& slot = queue.slot(index);
+          Fn* stored = std::launder(reinterpret_cast<Fn*>(slot.storage));
+          Fn local(std::move(*stored));
+          stored->~Fn();
+          // Slot recycled before dispatch: the action may schedule freely
+          // (even growing the slab) without invalidating itself.
+          queue.release_slot(index);
+          local();
+        },
+        [](void* obj) { std::launder(reinterpret_cast<Fn*>(obj))->~Fn(); }};
+    return ops;
+  }
+
+  /// Fallback holder for closures above kInlineCapacity.
+  template <class Fn>
+  struct Boxed {
+    std::unique_ptr<Fn> fn;
+    void operator()() { (*fn)(); }
+  };
+
+  struct Slot {
+    alignas(alignof(std::max_align_t)) std::byte storage[kInlineCapacity];
+    const Ops* ops = nullptr;
+    std::uint32_t next_free = kNullSlot;
+  };
+
+  // Slots live in fixed chunks so their addresses are STABLE while events
+  // are pending: growing the slab must never relocate a live stored
+  // closure (a byte-wise vector reallocation would bypass its move
+  // constructor — undefined behavior for self-referential captures like an
+  // SSO std::string). One allocation per kSlotChunk slots at warm-up, none
+  // steady-state.
+  static constexpr std::uint32_t kSlotChunk = 64;
+  struct SlotChunk {
+    Slot slots[kSlotChunk];
+  };
+
+  [[nodiscard]] Slot& slot(std::uint32_t index) {
+    return slab_[index / kSlotChunk]->slots[index % kSlotChunk];
+  }
+
+  /// Heap entry: trivially copyable, so sifts are plain word moves.
   struct Entry {
     RealTime when;
     std::uint64_t seq;
-    Action action;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+    std::uint32_t slot;
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  [[nodiscard]] static bool earlier(const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  [[nodiscard]] std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+  void push_entry(Entry entry);
+  [[nodiscard]] Entry pop_entry();
+  void clear();
+
+  std::vector<std::unique_ptr<SlotChunk>> slab_;
+  std::uint32_t free_head_ = kNullSlot;
+  std::vector<Entry> heap_;  // binary min-heap over (when, seq)
   RealTime now_{};
   std::uint64_t seq_ = 0;
   std::uint64_t dispatched_ = 0;

@@ -29,11 +29,80 @@ void Network::send(NodeId from, NodeId dest, WireMessage msg) {
   ++stats_.sent;
   stats_.per_kind[std::size_t(msg.kind)]++;
   tap(TapEvent::Kind::kSent, from, dest, msg);
-  route(dest, msg);
+  route(dest, std::move(msg));
 }
 
 void Network::send_all(NodeId from, const WireMessage& msg) {
-  for (NodeId dest = 0; dest < n_; ++dest) send(from, dest, msg);
+  if (queue_.now() < faulty_until_) {
+    // A faulty network may corrupt each destination's copy independently,
+    // so chaos fans out through the per-copy unicast path.
+    for (NodeId dest = 0; dest < n_; ++dest) send(from, dest, msg);
+    return;
+  }
+  // Non-faulty fan-out: ONE authenticated payload copy into a pooled slot,
+  // shared by all n delivery events. Per-destination bookkeeping (stats,
+  // tap, delay sampling) runs in the same order as n unicast sends so a
+  // seeded run is bit-identical to the per-copy path.
+  const std::uint32_t index = acquire_payload();
+  SharedPayload& shared = payload(index);
+  shared.msg = msg;
+  shared.msg.sender = from;  // authenticated identity (Def. 2.2)
+  shared.refs = n_;
+  for (NodeId dest = 0; dest < n_; ++dest) {
+    ++stats_.sent;
+    stats_.per_kind[std::size_t(shared.msg.kind)]++;
+    tap(TapEvent::Kind::kSent, from, dest, shared.msg);
+    const Duration delay = sample_delay(dest, shared.msg);
+    queue_.schedule(queue_.now() + delay, [this, dest, index] {
+      const SharedPayload& p = payload(index);
+      ++stats_.delivered;
+      tap(TapEvent::Kind::kDelivered, p.msg.sender, dest, p.msg);
+      deliver_(dest, p.msg);
+      release_payload(index);
+    });
+  }
+}
+
+std::uint32_t Network::acquire_payload() {
+  if (payload_free_ != kNullPayload) {
+    const std::uint32_t index = payload_free_;
+    payload_free_ = payload(index).next_free;
+    ++live_payloads_;
+    return index;
+  }
+  chunks_.push_back(std::make_unique<PayloadChunk>());
+  const std::uint32_t base = std::uint32_t(chunks_.size() - 1) * kPayloadChunk;
+  // Thread slots [base+1, base+kPayloadChunk) onto the free list; hand out
+  // the first one.
+  for (std::uint32_t i = kPayloadChunk; i-- > 1;) {
+    payload(base + i).next_free = payload_free_;
+    payload_free_ = base + i;
+  }
+  ++live_payloads_;
+  return base;
+}
+
+void Network::release_payload(std::uint32_t index) {
+  SharedPayload& p = payload(index);
+  SSBFT_EXPECTS(p.refs > 0);
+  if (--p.refs == 0) {
+    p.next_free = payload_free_;
+    payload_free_ = index;
+    --live_payloads_;
+  }
+}
+
+Duration Network::sample_delay(NodeId dest, const WireMessage& msg) {
+  Duration delay = link_delay_.sample(rng_) + proc_delay_.sample(rng_);
+  if (oracle_) {
+    if (const auto chosen = oracle_(msg.sender, dest, msg, oracle_seq_++)) {
+      // Clamp into the non-faulty envelope: the oracle steers the schedule
+      // but cannot break the bounded-delay model.
+      delay = std::clamp(*chosen, Duration::zero(),
+                         link_delay_.max + proc_delay_.max);
+    }
+  }
+  return delay;
 }
 
 void Network::inject_raw(NodeId dest, WireMessage msg, Duration delay) {
@@ -76,16 +145,9 @@ void Network::route(NodeId dest, WireMessage msg) {
   }
 
   // Non-faulty: arrival within δ, processing within π of arrival. The
-  // destination handler runs once processing completes.
-  Duration delay = link_delay_.sample(rng_) + proc_delay_.sample(rng_);
-  if (oracle_) {
-    if (const auto chosen = oracle_(msg.sender, dest, msg, oracle_seq_++)) {
-      // Clamp into the non-faulty envelope: the oracle steers the schedule
-      // but cannot break the bounded-delay model.
-      delay = std::clamp(*chosen, Duration::zero(),
-                         link_delay_.max + proc_delay_.max);
-    }
-  }
+  // destination handler runs once processing completes. The closure carries
+  // the payload inline in the event slab — no allocation, no further copy.
+  const Duration delay = sample_delay(dest, msg);
   queue_.schedule(queue_.now() + delay, [this, dest, msg] {
     ++stats_.delivered;
     tap(TapEvent::Kind::kDelivered, msg.sender, dest, msg);

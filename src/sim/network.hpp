@@ -10,7 +10,9 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "sim/delay_model.hpp"
 #include "sim/event_queue.hpp"
@@ -51,6 +53,13 @@ class Network {
 
   /// Authenticated send: `msg.sender` is overwritten with `from`.
   void send(NodeId from, NodeId dest, WireMessage msg);
+
+  /// Broadcast to every node (self included). While the network is
+  /// non-faulty the payload is copied ONCE into a refcounted pool slot
+  /// shared by all n delivery events (zero per-destination copies); the
+  /// chaos path falls back to per-destination routing because each copy may
+  /// be corrupted independently. Delay sampling, stats, and tap order are
+  /// identical to n unicast sends, so seeded runs are bit-exact either way.
   void send_all(NodeId from, const WireMessage& msg);
 
   /// Fault-injector backdoor: place a message (possibly with a forged
@@ -80,7 +89,34 @@ class Network {
   [[nodiscard]] Duration max_link_delay() const { return link_delay_.max; }
   [[nodiscard]] Duration max_proc_delay() const { return proc_delay_.max; }
 
+  /// Live shared-payload pool slots (diagnostics/tests).
+  [[nodiscard]] std::uint32_t live_payloads() const { return live_payloads_; }
+
  private:
+  // Refcounted broadcast payloads, stored in chunked (address-stable) slabs
+  // recycled through a free list: a warm pool performs no allocation, and
+  // delivery handlers may trigger nested send_all (growing the pool)
+  // while a reference to their own payload is still in use.
+  struct SharedPayload {
+    WireMessage msg{};
+    std::uint32_t refs = 0;
+    std::uint32_t next_free = kNullPayload;
+  };
+  static constexpr std::uint32_t kNullPayload = ~std::uint32_t{0};
+  static constexpr std::uint32_t kPayloadChunk = 64;
+  struct PayloadChunk {
+    SharedPayload slots[kPayloadChunk];
+  };
+
+  [[nodiscard]] std::uint32_t acquire_payload();
+  [[nodiscard]] SharedPayload& payload(std::uint32_t index) {
+    return chunks_[index / kPayloadChunk]->slots[index % kPayloadChunk];
+  }
+  void release_payload(std::uint32_t index);
+
+  /// Sample (or ask the oracle for) one non-faulty link+processing delay.
+  [[nodiscard]] Duration sample_delay(NodeId dest, const WireMessage& msg);
+
   void route(NodeId dest, WireMessage msg);
   void corrupt(WireMessage& msg);
   void tap(TapEvent::Kind kind, NodeId from, NodeId to, const WireMessage& msg);
@@ -97,6 +133,9 @@ class Network {
   TapFn tap_;
   DelayOracle oracle_;
   std::uint64_t oracle_seq_ = 0;
+  std::vector<std::unique_ptr<PayloadChunk>> chunks_;
+  std::uint32_t payload_free_ = kNullPayload;
+  std::uint32_t live_payloads_ = 0;
 };
 
 }  // namespace ssbft

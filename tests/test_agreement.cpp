@@ -217,7 +217,9 @@ TEST(AgreementTest, GeneralCrashingAfterInitiateStillAgreesOrAllAbort) {
     for (const auto& e : execs) {
       EXPECT_TRUE(e.agreement_holds()) << "seed " << seed;
       // Relay: if anyone decided, everyone decided (6 correct nodes).
-      if (e.decided_count() > 0) EXPECT_EQ(e.decided_count(), 6u);
+      if (e.decided_count() > 0) {
+        EXPECT_EQ(e.decided_count(), 6u);
+      }
     }
   }
 }

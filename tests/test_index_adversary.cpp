@@ -197,7 +197,9 @@ TEST(IndexAdversaryTest, PipelineSurvivesSprayPlusScramble) {
   // No Byzantine proposer ever owns a committed slot.
   for (NodeId i = 0; i < 5; ++i) {
     for (const auto& [slot, e] : nodes[i]->settled()) {
-      if (!e.skipped) EXPECT_LT(e.proposer, 5u) << "slot " << slot;
+      if (!e.skipped) {
+        EXPECT_LT(e.proposer, 5u) << "slot " << slot;
+      }
     }
   }
 }

@@ -210,7 +210,9 @@ TEST_F(MsgdBroadcastTest, Tps2_FaultyNodesCannotFrameACorrectNode) {
   // never appears in any broadcasters set (TPS-4 second half).
   EXPECT_TRUE(events_.empty());
   for (auto* h : hosts_) {
-    if (h) EXPECT_EQ(h->bc().broadcasters().count(0), 0u);
+    if (h) {
+      EXPECT_EQ(h->bc().broadcasters().count(0), 0u);
+    }
   }
 }
 

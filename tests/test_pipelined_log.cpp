@@ -247,7 +247,9 @@ TEST(PipelinedLogTest, FaultyProposersSlotsAreSkippedNotBlocking) {
   // ...and no slot owned by a Byzantine node ever committed a command.
   for (const auto& [node, seq] : seqs) {
     for (const auto& e : seq) {
-      if (e.proposer >= 5) EXPECT_TRUE(e.skipped) << "slot " << e.slot;
+      if (e.proposer >= 5) {
+        EXPECT_TRUE(e.skipped) << "slot " << e.slot;
+      }
     }
   }
   EXPECT_TRUE(fx.committed_prefixes_agree());

@@ -123,7 +123,9 @@ TEST(PulseSyncTest, CountersStayMonotonePerNode) {
   std::map<NodeId, std::uint64_t> last_counter;
   for (const auto& p : fx.pulses) {
     const auto it = last_counter.find(p.node);
-    if (it != last_counter.end()) EXPECT_GT(p.counter, it->second);
+    if (it != last_counter.end()) {
+      EXPECT_GT(p.counter, it->second);
+    }
     last_counter[p.node] = p.counter;
   }
 }

@@ -1,7 +1,13 @@
 // Unit tests: simulation substrate (event queue, clocks, network, world).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <map>
+#include <memory>
+#include <new>
+#include <string>
 #include <vector>
 
 #include "sim/clock.hpp"
@@ -9,7 +15,36 @@
 #include "sim/event_queue.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/network.hpp"
+#include "sim/tap.hpp"
 #include "sim/world.hpp"
+
+namespace ssbft {
+namespace {
+
+// Heap-allocation counter for the zero-allocation regression test below.
+// Replacing the global operator new in a test binary is the standard way to
+// observe the allocator without tooling; only the delta across a bracketed
+// region is asserted.
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+}  // namespace
+}  // namespace ssbft
+
+// GCC flags free() inside a replaced operator delete as a mismatched pair;
+// malloc/free is exactly what a replacement is allowed (and expected) to do.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  ssbft::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace ssbft {
 namespace {
@@ -66,6 +101,159 @@ TEST(EventQueueDeathTest, SchedulingInThePastAborts) {
   q.schedule(RealTime{10}, [] {});
   q.run_until(RealTime{10});
   EXPECT_DEATH(q.schedule(RealTime{5}, [] {}), "precondition");
+}
+
+// Regression (slab refactor): dispatch order and dispatched() count must be
+// exactly what the (when, seq) contract promises under a randomized load,
+// including interleaved pops and re-schedules that recycle slab slots.
+TEST(EventQueueTest, RandomizedLoadMatchesReferenceOrder) {
+  Rng rng(99);
+  EventQueue q;
+  struct Expected {
+    std::int64_t when;
+    std::uint64_t seq;
+  };
+  std::vector<Expected> expected;
+  std::vector<std::uint64_t> dispatched_seq;
+  std::uint64_t seq = 0;
+  std::int64_t floor_ns = 0;
+
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      const std::int64_t when = floor_ns + rng.next_in(0, 500);
+      const std::uint64_t id = seq++;
+      expected.push_back({when, id});
+      q.schedule(RealTime{when}, [&dispatched_seq, id] {
+        dispatched_seq.push_back(id);
+      });
+    }
+    // Drain roughly half each round so slots recycle while events remain.
+    const std::int64_t deadline = floor_ns + 250;
+    q.run_until(RealTime{deadline});
+    floor_ns = deadline;
+  }
+  q.run_until(RealTime{floor_ns + 1000});
+
+  ASSERT_TRUE(q.empty());
+  EXPECT_EQ(q.dispatched(), expected.size());
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Expected& a, const Expected& b) {
+                     if (a.when != b.when) return a.when < b.when;
+                     return a.seq < b.seq;
+                   });
+  ASSERT_EQ(dispatched_seq.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(dispatched_seq[i], expected[i].seq) << "position " << i;
+  }
+}
+
+// The pop path must move the stored callable, never copy it (the seed
+// implementation copied the Entry out of priority_queue::top()).
+TEST(EventQueueTest, PopPathMovesTheCallable) {
+  struct Counting {
+    int* copies;
+    int* runs;
+    Counting(int* c, int* r) : copies(c), runs(r) {}
+    Counting(const Counting& o) : copies(o.copies), runs(o.runs) {
+      ++*copies;
+    }
+    Counting(Counting&& o) noexcept : copies(o.copies), runs(o.runs) {}
+    void operator()() const { ++*runs; }
+  };
+  int copies = 0, runs = 0;
+  EventQueue q;
+  q.schedule(RealTime{1}, Counting{&copies, &runs});
+  q.run_one();
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(copies, 0);
+}
+
+// Move-only closures are now first-class (std::function required copyable).
+TEST(EventQueueTest, MoveOnlyCallablesAreSupported) {
+  EventQueue q;
+  auto payload = std::make_unique<int>(41);
+  int seen = 0;
+  q.schedule(RealTime{1}, [p = std::move(payload), &seen] { seen = *p + 1; });
+  q.run_until(RealTime{2});
+  EXPECT_EQ(seen, 42);
+}
+
+// Closures above kInlineCapacity are boxed transparently.
+TEST(EventQueueTest, OversizedClosuresStillDispatchInOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  struct Big {
+    std::byte padding[200];
+  };
+  Big big{};
+  q.schedule(RealTime{20}, [&order, big] { (void)big; order.push_back(2); });
+  q.schedule(RealTime{10}, [&order] { order.push_back(1); });
+  q.run_until(RealTime{30});
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// Slab growth must never byte-relocate a live closure (slots live in
+// address-stable chunks): an SSO std::string capture is self-referential
+// and would dangle if the slab were a flat reallocating vector.
+TEST(EventQueueTest, SlabGrowthPreservesNonTriviallyRelocatableClosures) {
+  EventQueue q;
+  std::string got;
+  const std::string payload = "sso";  // internal pointer into the object
+  q.schedule(RealTime{1'000'000}, [payload, &got] { got = payload; });
+  int late = 0;
+  for (int i = 0; i < 5000; ++i) {
+    // Grow the slab by dozens of chunks while the string closure is live.
+    q.schedule(RealTime{i}, [&late] { ++late; });
+  }
+  q.run_until(RealTime{2'000'000});
+  EXPECT_EQ(got, "sso");
+  EXPECT_EQ(late, 5000);
+}
+
+// Pending events are destroyed (not leaked, not run) with the queue.
+TEST(EventQueueTest, PendingEventsAreDestroyedNotRun) {
+  auto tracker = std::make_shared<int>(7);
+  std::weak_ptr<int> weak = tracker;
+  bool ran = false;
+  {
+    EventQueue q;
+    q.schedule(RealTime{5}, [t = std::move(tracker), &ran] {
+      ran = true;
+      (void)t;
+    });
+  }
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(weak.expired());
+}
+
+// The tentpole claim: once the slab and heap cover the in-flight
+// population, scheduling + dispatching inline closures allocates nothing.
+TEST(EventQueueTest, SteadyStateDispatchAllocatesNothing) {
+  EventQueue q;
+  std::uint64_t fired = 0;
+  struct Chain {
+    EventQueue* q;
+    std::uint64_t* fired;
+    void operator()() const {
+      ++*fired;
+      if (*fired < 20'000) q->schedule(q->now() + Duration{10}, *this);
+    }
+  };
+  for (int i = 0; i < 64; ++i) q.schedule(RealTime{i}, Chain{&q, &fired});
+  // Warm up: grow slab/heap capacity to the steady in-flight population.
+  while (!q.empty() && fired < 1'000) q.run_one();
+
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  while (!q.empty() && fired < 19'000) q.run_one();
+  const std::uint64_t allocs_after =
+      g_alloc_count.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(allocs_after, allocs_before);
+  // Drain: the last in-flight generation fires without rescheduling.
+  while (!q.empty()) q.run_one();
+  EXPECT_GE(fired, 20'000u);
+  EXPECT_LT(fired, 20'064u);
 }
 
 // ---------------------------------------------------------------- clock --
@@ -199,6 +387,77 @@ TEST(NetworkTest, SendAllReachesEveryNodeIncludingSelf) {
   world.network().send_all(2, WireMessage{});
   world.run_for(milliseconds(2));
   for (auto* r : receivers) EXPECT_EQ(r->received.size(), 1u);
+}
+
+// Pins the contract the shared-payload fast path documents: a non-faulty
+// send_all is BIT-IDENTICAL to n unicast sends — same wire history (kinds,
+// times, endpoints, payloads), same stats, same rng consumption. Any edit
+// that de-synchronizes the two code paths' bookkeeping fails here.
+TEST(NetworkTest, SendAllIsBitIdenticalToUnicastFanOut) {
+  struct Broadcaster : NodeBehavior {
+    bool use_send_all;
+    explicit Broadcaster(bool s) : use_send_all(s) {}
+    void on_start(NodeContext& ctx) override {
+      WireMessage msg;
+      msg.kind = MsgKind::kSupport;
+      msg.value = 5;
+      if (use_send_all) {
+        ctx.send_all(msg);
+      } else {
+        for (NodeId dest = 0; dest < ctx.n(); ++dest) ctx.send(dest, msg);
+      }
+    }
+    void on_message(NodeContext&, const WireMessage&) override {}
+  };
+
+  const auto trace = [](bool use_send_all) {
+    World world(small_world_config(5, 1234));
+    TraceRecorder recorder;
+    world.network().set_tap(recorder.tap());
+    world.set_behavior(0, std::make_unique<Broadcaster>(use_send_all));
+    world.start();
+    world.run_for(milliseconds(3));
+    std::vector<std::string> lines;
+    for (const auto& event : recorder.events()) {
+      lines.push_back(to_string(event));
+    }
+    return lines;
+  };
+
+  EXPECT_EQ(trace(true), trace(false));
+}
+
+TEST(NetworkTest, SendAllSharesOnePayloadAndRecyclesIt) {
+  World world(small_world_config(5));
+  std::vector<RecordingBehavior*> receivers;
+  for (NodeId i = 0; i < 5; ++i) {
+    auto* r = new RecordingBehavior();
+    receivers.push_back(r);
+    world.set_behavior(i, std::unique_ptr<NodeBehavior>(r));
+  }
+  world.start();
+
+  WireMessage msg;
+  msg.kind = MsgKind::kApprove;
+  msg.value = 9;
+  world.network().send_all(1, msg);
+  EXPECT_EQ(world.network().live_payloads(), 1u);  // one copy for all 5
+  EXPECT_EQ(world.network().stats().sent, 5u);
+
+  world.run_for(milliseconds(2));
+  EXPECT_EQ(world.network().live_payloads(), 0u);  // recycled after delivery
+  for (auto* r : receivers) {
+    ASSERT_EQ(r->received.size(), 1u);
+    EXPECT_EQ(r->received[0].value, 9u);
+    EXPECT_EQ(r->received[0].sender, 1u);  // authenticated on the shared copy
+  }
+  EXPECT_EQ(world.network().stats().delivered, 5u);
+
+  // A second broadcast reuses the pooled slot rather than growing the pool.
+  world.network().send_all(0, msg);
+  EXPECT_EQ(world.network().live_payloads(), 1u);
+  world.run_for(milliseconds(2));
+  EXPECT_EQ(world.network().live_payloads(), 0u);
 }
 
 TEST(NetworkTest, InjectRawCanForgeSenders) {

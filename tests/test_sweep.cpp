@@ -1,0 +1,180 @@
+// SweepRunner: parallel grid execution must be indistinguishable from
+// serial execution — every (Scenario, seed) cell is a pure function of the
+// cell, whatever thread runs it. The determinism matrix drives all six
+// StackKinds through serial-twice + 4-thread-sweep and asserts bit-identical
+// observable histories (decisions, pulse times, adjustments, commits,
+// deliveries, network stats) via the run digest plus field-level metrics.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "harness/sweep.hpp"
+
+namespace ssbft {
+namespace {
+
+/// Stack-shaped small scenario (n=4, tail fault, active noise except for
+/// the synchrony-assuming baseline) — the same shaping test_stacks uses.
+Scenario sweep_scenario(StackKind stack) {
+  Scenario sc;
+  sc.stack = stack;
+  sc.n = 4;
+  sc.f = 1;
+  sc.with_tail_faults(1);
+  sc.adversary = stack == StackKind::kBaselineTps ? AdversaryKind::kSilent
+                                                  : AdversaryKind::kNoise;
+  sc.adversary_period = milliseconds(2);
+  const Params params = sc.make_params();
+  switch (stack) {
+    case StackKind::kAgree:
+      sc.with_proposal(milliseconds(2), 0, 42);
+      sc.run_for = milliseconds(150);
+      break;
+    case StackKind::kBaselineTps:
+      sc.with_proposal(milliseconds(1), 0, 7);
+      sc.run_for = milliseconds(120);
+      break;
+    case StackKind::kReplicatedLog:
+    case StackKind::kPipelinedLog:
+      for (std::uint32_t c = 0; c < 3; ++c) {
+        sc.with_proposal(Duration::zero(), NodeId(c), 100 + c);
+      }
+      sc.run_for = 6 * (params.delta_0() + params.delta_agr() + 10 * params.d());
+      break;
+    case StackKind::kPulse:
+    case StackKind::kClockSync:
+      // Self-clocking: long enough to stabilize and fire several pulses.
+      sc.run_for =
+          params.delta_stb() + 10 * 2 * (params.delta_0() + params.delta_agr());
+      break;
+  }
+  return sc;
+}
+
+bool metrics_equal(const RunMetrics& a, const RunMetrics& b) {
+  return a.executions == b.executions &&
+         a.agreement_violations == b.agreement_violations &&
+         a.validity_violations == b.validity_violations &&
+         a.unanimous_decides == b.unanimous_decides &&
+         a.max_decision_skew == b.max_decision_skew &&
+         a.max_tau_g_skew == b.max_tau_g_skew;
+}
+
+TEST(SweepDeterminism, SerialRunsAreReproducible) {
+  for (std::uint32_t k = 0; k < kStackKindCount; ++k) {
+    const Scenario sc = sweep_scenario(StackKind(k));
+    const SweepRun first = SweepRunner::run_cell(sc, 21);
+    const SweepRun second = SweepRunner::run_cell(sc, 21);
+    EXPECT_EQ(first.digest, second.digest) << to_string(StackKind(k));
+    EXPECT_EQ(first.events, second.events) << to_string(StackKind(k));
+    EXPECT_EQ(first.messages, second.messages) << to_string(StackKind(k));
+    EXPECT_TRUE(metrics_equal(first.agreement, second.agreement))
+        << to_string(StackKind(k));
+    EXPECT_EQ(first.latency_ns, second.latency_ns) << to_string(StackKind(k));
+  }
+}
+
+TEST(SweepDeterminism, FourThreadSweepMatchesSerialForEveryStack) {
+  SweepSpec spec;
+  for (std::uint32_t k = 0; k < kStackKindCount; ++k) {
+    spec.scenarios.push_back(sweep_scenario(StackKind(k)));
+  }
+  spec.seeds_per_scenario = 2;
+  spec.seed0 = 7;
+  spec.threads = 4;
+  const SweepReport report = SweepRunner(spec).run();
+  ASSERT_EQ(report.runs.size(), std::size_t(2 * kStackKindCount));
+
+  for (const SweepRun& run : report.runs) {
+    const SweepRun serial =
+        SweepRunner::run_cell(spec.scenarios[run.scenario_index], run.seed,
+                              run.scenario_index);
+    const char* stack = to_string(run.stack);
+    EXPECT_EQ(run.digest, serial.digest) << stack << " seed " << run.seed;
+    EXPECT_EQ(run.events, serial.events) << stack;
+    EXPECT_EQ(run.messages, serial.messages) << stack;
+    EXPECT_EQ(run.pass, serial.pass) << stack;
+    EXPECT_TRUE(metrics_equal(run.agreement, serial.agreement)) << stack;
+    EXPECT_EQ(run.latency_ns, serial.latency_ns) << stack;
+  }
+  // The small healthy matrix must pass outright — a red cell here means a
+  // stack regressed, not that the sweep machinery failed.
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.passed, 2 * kStackKindCount);
+}
+
+TEST(SweepReportTest, GridOrderAndAggregates) {
+  SweepSpec spec;
+  spec.scenarios = {sweep_scenario(StackKind::kAgree),
+                    sweep_scenario(StackKind::kBaselineTps)};
+  spec.seeds_per_scenario = 3;
+  spec.seed0 = 100;
+  spec.threads = 2;
+  const SweepReport report = SweepRunner(spec).run();
+
+  ASSERT_EQ(report.runs.size(), 6u);
+  for (std::size_t i = 0; i < report.runs.size(); ++i) {
+    EXPECT_EQ(report.runs[i].scenario_index, i / 3);
+    EXPECT_EQ(report.runs[i].seed, 100 + i % 3);
+  }
+  EXPECT_EQ(report.passed + report.failed, 6u);
+  EXPECT_GT(report.events, 0u);
+  EXPECT_GT(report.messages, 0u);
+  EXPECT_GT(report.events_per_sec, 0.0);
+  EXPECT_GT(report.scenarios_per_sec, 0.0);
+
+  std::size_t latencies = 0;
+  for (const auto& run : report.runs) latencies += run.latency_ns.size();
+  EXPECT_EQ(report.latency.size(), latencies);
+  EXPECT_GT(latencies, 0u);
+}
+
+TEST(SweepReportTest, PerRunHookSeesLiveCluster) {
+  SweepSpec spec;
+  spec.scenarios = {sweep_scenario(StackKind::kAgree)};
+  spec.seeds_per_scenario = 4;
+  spec.threads = 4;
+  std::mutex mu;
+  std::set<std::uint64_t> seeds;
+  std::size_t decisions = 0;
+  spec.per_run = [&](const SweepRun& run, Cluster& cluster) {
+    const std::lock_guard<std::mutex> lock(mu);
+    seeds.insert(run.seed);
+    decisions += cluster.decisions().size();
+  };
+  const SweepReport report = SweepRunner(spec).run();
+  EXPECT_EQ(seeds.size(), 4u);
+  EXPECT_GT(decisions, 0u);
+  EXPECT_EQ(report.runs.size(), 4u);
+}
+
+TEST(SweepGridTest, ExpandRespectsResilienceBound) {
+  SweepGrid grid;
+  grid.base = sweep_scenario(StackKind::kAgree);
+  grid.ns = {4, 7, 10};
+  grid.fs = {1, 2, 3};
+  grid.adversaries = {AdversaryKind::kSilent, AdversaryKind::kNoise};
+  const auto scenarios = grid.expand();
+
+  for (const Scenario& sc : scenarios) {
+    EXPECT_GT(sc.n, 3 * sc.f);
+    EXPECT_EQ(sc.byz_nodes.size(), sc.f);  // tail faults re-derived per cell
+  }
+  // n=4 admits only f=1; n=7 admits f∈{1,2}; n=10 admits f∈{1,2,3};
+  // each × 2 adversaries.
+  EXPECT_EQ(scenarios.size(), std::size_t((1 + 2 + 3) * 2));
+}
+
+TEST(SweepGridTest, EmptyAxesFallBackToBase) {
+  SweepGrid grid;
+  grid.base = sweep_scenario(StackKind::kAgree);
+  const auto scenarios = grid.expand();
+  ASSERT_EQ(scenarios.size(), 1u);
+  EXPECT_EQ(scenarios[0].n, grid.base.n);
+  EXPECT_EQ(scenarios[0].adversary, grid.base.adversary);
+}
+
+}  // namespace
+}  // namespace ssbft

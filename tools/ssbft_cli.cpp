@@ -1,11 +1,18 @@
-// ssbft_cli — run one simulated scenario from the command line and print
-// the stack's metrics streams, all through the unified Scenario → Cluster
-// path. Any protocol stack is deployable: --stack selects the layer.
+// ssbft_cli — run simulated scenarios from the command line, all through
+// the unified Scenario → Cluster path. Any protocol stack is deployable:
+// --stack selects the layer. Two modes:
 //
+// Single run (default): one (Scenario, seed), full metrics-stream report.
 //   ssbft_cli [--stack KIND] [--n N] [--f F] [--byz COUNT]
 //             [--adversary KIND] [--seed S] [--delta-us US] [--scramble]
 //             [--chaos-ms MS] [--proposals K] [--run-ms MS] [--depth D]
 //             [--trace] [--verbose]
+//
+// Sweep (--sweep): a Scenarios × seeds grid on the SweepRunner worker pool
+// — one independent World per run, bit-identical to serial execution.
+//   ssbft_cli --sweep [--stack KIND] [--sweep-n LIST] [--sweep-f LIST]
+//             [--sweep-adversary LIST] [--seeds K] [--threads T]
+//             [--csv PATH] [--json PATH] [...model flags as above]
 //
 // --stack     ∈ agree | pulse | clock | log | pipeline | tps
 // --adversary ∈ silent | noise | equivocate | stagger | spam | replay | faker
@@ -14,10 +21,13 @@
 //   ssbft_cli --n 7 --byz 2 --adversary noise --proposals 3
 //   ssbft_cli --n 10 --byz 3 --scramble --chaos-ms 10 --proposals 20
 //   ssbft_cli --stack pulse --n 7 --byz 2 --scramble
-//   ssbft_cli --stack pipeline --depth 8 --proposals 40
+//   ssbft_cli --sweep --sweep-n 4,7,10 --sweep-adversary silent,noise
+//             --seeds 8 --threads 4 --csv sweep.csv --json sweep.json
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "app/pipelined_log.hpp"
 #include "app/replicated_log.hpp"
@@ -25,8 +35,10 @@
 #include "harness/metrics.hpp"
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
+#include "harness/sweep.hpp"
 #include "pulse/pulse_sync.hpp"
 #include "sim/tap.hpp"
+#include "util/csv.hpp"
 
 namespace {
 
@@ -38,9 +50,12 @@ using namespace ssbft;
                "          [--adversary KIND] [--seed S] [--delta-us US]\n"
                "          [--scramble] [--chaos-ms MS] [--proposals K]\n"
                "          [--run-ms MS] [--depth D] [--trace] [--verbose]\n"
+               "       %s --sweep [--sweep-n LIST] [--sweep-f LIST]\n"
+               "          [--sweep-adversary LIST] [--seeds K] [--threads T]\n"
+               "          [--csv PATH] [--json PATH]\n"
                "STACK: agree|pulse|clock|log|pipeline|tps\n"
                "ADVERSARY: silent|noise|equivocate|stagger|spam|replay|faker\n",
-               argv0);
+               argv0, argv0);
   std::exit(2);
 }
 
@@ -63,6 +78,113 @@ StackKind parse_stack(const std::string& name, const char* argv0) {
   if (name == "pipeline") return StackKind::kPipelinedLog;
   if (name == "tps") return StackKind::kBaselineTps;
   usage(argv0);
+}
+
+/// Strict decimal parse in [min_value, max_value]; anything else (junk,
+/// sign, overflow) is a usage error — atoi/strtoul would silently wrap a
+/// "-1" into ~4 billion threads/seeds/nodes.
+std::uint32_t parse_u32(const std::string& item, const char* argv0,
+                        std::uint32_t min_value, std::uint32_t max_value) {
+  if (item.empty()) usage(argv0);
+  unsigned long long value = 0;
+  for (const char c : item) {
+    if (c < '0' || c > '9') usage(argv0);
+    value = value * 10 + (c - '0');
+    if (value > max_value) usage(argv0);
+  }
+  if (value < min_value) usage(argv0);
+  return std::uint32_t(value);
+}
+
+std::uint64_t parse_u64(const std::string& item, const char* argv0) {
+  if (item.empty()) usage(argv0);
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  std::uint64_t value = 0;
+  for (const char c : item) {
+    if (c < '0' || c > '9') usage(argv0);
+    const std::uint64_t digit = std::uint64_t(c - '0');
+    if (value > (kMax - digit) / 10) usage(argv0);  // overflow, like parse_u32
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+/// Split "a,b,c" and parse each item with `parse_item`.
+template <class T, class ParseItem>
+std::vector<T> parse_list(const std::string& list, const char* argv0,
+                          ParseItem parse_item) {
+  std::vector<T> out;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string item = list.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (item.empty()) usage(argv0);
+    out.push_back(parse_item(item));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) usage(argv0);
+  return out;
+}
+
+std::vector<std::uint32_t> parse_u32_list(const std::string& list,
+                                          const char* argv0) {
+  // Zero is rejected: a silent 0 axis point would be dropped by the n > 3f
+  // filter and the user would never know.
+  return parse_list<std::uint32_t>(list, argv0, [&](const std::string& item) {
+    return parse_u32(item, argv0, 1, 10'000);
+  });
+}
+
+std::vector<AdversaryKind> parse_adversary_list(const std::string& list,
+                                                const char* argv0) {
+  return parse_list<AdversaryKind>(list, argv0, [&](const std::string& item) {
+    return parse_adversary(item, argv0);
+  });
+}
+
+/// Append the stack-shaped workload (after any scramble/chaos warm-up) and
+/// return the matching run horizon. Shared by the single-run and sweep
+/// paths — the deployment path is stack-agnostic, the workload is not.
+Duration shape_workload(Scenario& sc, std::uint32_t proposals) {
+  const Params params = sc.make_params();
+  const Duration start = sc.chaos_period +
+                         (sc.transient_scramble ? params.delta_stb()
+                                                : Duration::zero());
+  switch (sc.stack) {
+    case StackKind::kAgree: {
+      const Duration gap = params.delta_0() + 5 * params.d();
+      for (std::uint32_t i = 0; i < proposals; ++i) {
+        sc.with_proposal(start + milliseconds(1) + i * gap, 0, 100 + Value(i));
+      }
+      return start + proposals * gap + milliseconds(120);
+    }
+    case StackKind::kBaselineTps:
+      sc.tps.anchor = start + milliseconds(5);
+      sc.with_proposal(start + milliseconds(1), sc.tps.general, 100);
+      return start + milliseconds(120);
+    case StackKind::kReplicatedLog:
+    case StackKind::kPipelinedLog: {
+      // Round-robin over the CORRECT nodes only: a command routed to a
+      // Byzantine replica would be silently dropped at injection.
+      std::vector<NodeId> correct;
+      for (NodeId id = 0; id < sc.n; ++id) {
+        if (!sc.is_byzantine(id)) correct.push_back(id);
+      }
+      for (std::uint32_t i = 0; i < proposals && !correct.empty(); ++i) {
+        sc.with_proposal(start, correct[i % correct.size()], 100 + Value(i));
+      }
+      return start + (proposals + 4) * (params.delta_0() + params.delta_agr() +
+                                        10 * params.d());
+    }
+    case StackKind::kPulse:
+    case StackKind::kClockSync:
+      // Self-clocking: no workload; run long enough to stabilize + pulse.
+      return start + params.delta_stb() +
+             16 * 2 * (params.delta_0() + params.delta_agr());
+  }
+  return start + milliseconds(120);
 }
 
 /// Decision-stream report (kAgree / kBaselineTps): execution table plus
@@ -92,17 +214,7 @@ int report_decisions(Cluster& cluster) {
               "unanimous: %u/%u\n",
               m.agreement_violations, m.validity_violations,
               m.unanimous_decides, m.executions);
-  return m.agreement_violations + m.validity_violations == 0 ? 0 : 1;
-}
-
-/// First correct node running the stack as T, or nullptr when every node
-/// is Byzantine (vacuous run: nothing to report against).
-template <typename T>
-T* head_node(Cluster& cluster) {
-  for (NodeId i = 0; i < cluster.scenario().n; ++i) {
-    if (T* node = cluster.node<T>(i)) return node;
-  }
-  return nullptr;
+  return evaluate_stack(cluster).pass ? 0 : 1;
 }
 
 int report_pulses(Cluster& cluster) {
@@ -126,9 +238,7 @@ int report_pulses(Cluster& cluster) {
     std::printf("first complete pulse at %.1f ms\n",
                 stats.convergence.millis());
   }
-  const bool ok = stats.complete_pulses > 0 &&
-                  (stats.skew.empty() || stats.skew.max() <= double(bound.ns()));
-  return ok ? 0 : 1;
+  return evaluate_stack(cluster).pass ? 0 : 1;
 }
 
 int report_clocks(Cluster& cluster) {
@@ -144,7 +254,7 @@ int report_clocks(Cluster& cluster) {
               cluster.probe().adjustments().size(), settled ? "yes" : "no");
   std::printf("final skew: %.0f us (precision bound %.0f us)\n",
               skew.micros(), bound.micros());
-  return settled && skew <= bound ? 0 : 1;
+  return evaluate_stack(cluster).pass ? 0 : 1;
 }
 
 int report_log(Cluster& cluster) {
@@ -164,7 +274,7 @@ int report_log(Cluster& cluster) {
   }
   std::printf("committed per node: %zu   logs identical: %s\n",
               committed_at_head, identical ? "yes" : "NO");
-  return identical && committed_at_head > 0 ? 0 : 1;
+  return evaluate_stack(cluster).pass ? 0 : 1;
 }
 
 int report_pipeline(Cluster& cluster) {
@@ -194,7 +304,134 @@ int report_pipeline(Cluster& cluster) {
   }
   std::printf("delivered per node: %zu   settled slots agree: %s\n",
               delivered_at_head, identical ? "yes" : "NO");
-  return identical && delivered_at_head > 0 ? 0 : 1;
+  return evaluate_stack(cluster).pass ? 0 : 1;
+}
+
+/// --sweep mode: expand the grid, pool-execute, report aggregates, and
+/// optionally dump per-run CSV rows and an aggregate JSON document.
+int run_sweep(const Scenario& base, const std::vector<std::uint32_t>& ns,
+              const std::vector<std::uint32_t>& fs,
+              const std::vector<AdversaryKind>& adversaries,
+              std::uint32_t seeds, std::uint64_t seed0, std::uint32_t threads,
+              std::uint32_t proposals, Duration run_for_override,
+              const std::string& csv_path, const std::string& json_path) {
+  SweepGrid grid;
+  grid.base = base;
+  grid.ns = ns;
+  grid.fs = fs;
+  grid.adversaries = adversaries;
+
+  SweepSpec spec;
+  spec.scenarios = grid.expand();
+  if (spec.scenarios.empty()) {
+    std::fprintf(stderr, "error: empty grid (no combination with n > 3f)\n");
+    return 2;
+  }
+  for (Scenario& scenario : spec.scenarios) {
+    const Duration shaped = shape_workload(scenario, proposals);
+    scenario.run_for =
+        run_for_override > Duration::zero() ? run_for_override : shaped;
+  }
+  spec.seeds_per_scenario = seeds;
+  spec.seed0 = seed0;
+  spec.threads = threads;
+
+  SweepReport report = SweepRunner(spec).run();
+
+  // Per-scenario aggregate table (runs are contiguous in grid order).
+  Table table({"stack", "n", "f", "adversary", "runs", "pass", "p50 lat (ms)",
+               "events", "events/run"});
+  for (std::size_t s = 0; s < spec.scenarios.size(); ++s) {
+    SampleSet latency;
+    std::uint64_t events = 0;
+    std::uint32_t passed = 0;
+    const SweepRun* first = nullptr;
+    for (std::size_t i = s * seeds; i < (s + 1) * seeds; ++i) {
+      const SweepRun& run = report.runs[i];
+      if (first == nullptr) first = &run;
+      if (run.pass) ++passed;
+      events += run.events;
+      for (const double l : run.latency_ns) latency.add(l);
+    }
+    char pass_cell[32];
+    std::snprintf(pass_cell, sizeof pass_cell, "%u/%u", passed, seeds);
+    table.add_row(
+        {to_string(first->stack), std::to_string(first->n),
+         std::to_string(first->f), to_string(first->adversary),
+         std::to_string(seeds), pass_cell,
+         latency.empty() ? "-" : Table::fmt_ms(latency.quantile(0.5)),
+         Table::fmt_int(events), Table::fmt_int(events / seeds)});
+  }
+  table.print();
+  std::printf("\nsweep: %zu scenarios x %u seeds = %zu runs on %u threads\n",
+              spec.scenarios.size(), seeds, report.runs.size(),
+              threads == 0 ? std::thread::hardware_concurrency() : threads);
+  std::printf("passed %u / failed %u   %.2f Mevents/s   %.1f scenarios/s   "
+              "wall %.2fs\n",
+              report.passed, report.failed, report.events_per_sec / 1e6,
+              report.scenarios_per_sec, report.wall_seconds);
+  if (!report.latency.empty()) {
+    std::printf("agreement latency: p50 %.3f ms   p90 %.3f ms   max %.3f ms\n",
+                report.latency.quantile(0.5) * 1e-6,
+                report.latency.quantile(0.9) * 1e-6,
+                report.latency.max() * 1e-6);
+  }
+
+  if (!csv_path.empty()) {
+    CsvWriter csv(csv_path,
+                  {"stack", "n", "f", "adversary", "seed", "pass", "events",
+                   "messages", "wall_s", "latency_p50_ms", "digest"});
+    for (const SweepRun& run : report.runs) {
+      SampleSet latency;
+      for (const double l : run.latency_ns) latency.add(l);
+      char digest[32];
+      std::snprintf(digest, sizeof digest, "%016llx",
+                    static_cast<unsigned long long>(run.digest));
+      csv.row({to_string(run.stack), std::to_string(run.n),
+               std::to_string(run.f), to_string(run.adversary),
+               std::to_string(run.seed), run.pass ? "1" : "0",
+               std::to_string(run.events), std::to_string(run.messages),
+               std::to_string(run.wall_seconds),
+               std::to_string(latency.empty() ? 0.0
+                                              : latency.quantile(0.5) * 1e-6),
+               digest});
+    }
+  }
+  if (!json_path.empty()) {
+    if (std::FILE* out = std::fopen(json_path.c_str(), "w")) {
+      std::fprintf(out,
+                   "{\n"
+                   "  \"scenarios\": %zu,\n"
+                   "  \"seeds_per_scenario\": %u,\n"
+                   "  \"runs\": %zu,\n"
+                   "  \"passed\": %u,\n"
+                   "  \"failed\": %u,\n"
+                   "  \"events\": %llu,\n"
+                   "  \"messages\": %llu,\n"
+                   "  \"wall_seconds\": %.6f,\n"
+                   "  \"events_per_sec\": %.0f,\n"
+                   "  \"scenarios_per_sec\": %.2f,\n"
+                   "  \"latency_p50_ms\": %.6f,\n"
+                   "  \"latency_p90_ms\": %.6f\n"
+                   "}\n",
+                   spec.scenarios.size(), seeds, report.runs.size(),
+                   report.passed, report.failed,
+                   static_cast<unsigned long long>(report.events),
+                   static_cast<unsigned long long>(report.messages),
+                   report.wall_seconds, report.events_per_sec,
+                   report.scenarios_per_sec,
+                   report.latency.empty()
+                       ? 0.0
+                       : report.latency.quantile(0.5) * 1e-6,
+                   report.latency.empty()
+                       ? 0.0
+                       : report.latency.quantile(0.9) * 1e-6);
+      std::fclose(out);
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
+    }
+  }
+  return report.all_passed() ? 0 : 1;
 }
 
 }  // namespace
@@ -204,7 +441,16 @@ int main(int argc, char** argv) {
   std::uint32_t byz = 0;
   std::uint32_t proposals = 1;
   bool trace = false;
+  bool f_set = false;
   std::int64_t run_ms = 0;
+  bool sweep = false;
+  std::vector<std::uint32_t> sweep_ns;
+  std::vector<std::uint32_t> sweep_fs;
+  std::vector<AdversaryKind> sweep_adversaries;
+  std::uint32_t seeds = 4;
+  std::uint32_t threads = 0;
+  std::string csv_path;
+  std::string json_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -215,34 +461,73 @@ int main(int argc, char** argv) {
     if (arg == "--stack") {
       sc.stack = parse_stack(next(), argv[0]);
     } else if (arg == "--n") {
-      sc.n = std::uint32_t(std::atoi(next()));
+      sc.n = parse_u32(next(), argv[0], 1, 100'000);
     } else if (arg == "--f") {
-      sc.f = std::uint32_t(std::atoi(next()));
+      sc.f = parse_u32(next(), argv[0], 0, 100'000);
+      f_set = true;
     } else if (arg == "--byz") {
-      byz = std::uint32_t(std::atoi(next()));
+      byz = parse_u32(next(), argv[0], 0, 100'000);
     } else if (arg == "--adversary") {
       sc.adversary = parse_adversary(next(), argv[0]);
     } else if (arg == "--seed") {
-      sc.seed = std::uint64_t(std::atoll(next()));
+      sc.seed = parse_u64(next(), argv[0]);
     } else if (arg == "--delta-us") {
-      sc.delta = microseconds(std::atoll(next()));
+      sc.delta = microseconds(parse_u32(next(), argv[0], 1, 1'000'000'000));
     } else if (arg == "--scramble") {
       sc.transient_scramble = true;
     } else if (arg == "--chaos-ms") {
-      sc.chaos_period = milliseconds(std::atoll(next()));
+      sc.chaos_period = milliseconds(parse_u32(next(), argv[0], 0, 10'000'000));
     } else if (arg == "--proposals") {
-      proposals = std::uint32_t(std::atoi(next()));
+      proposals = parse_u32(next(), argv[0], 0, 1'000'000);
     } else if (arg == "--run-ms") {
-      run_ms = std::atoll(next());
+      run_ms = parse_u32(next(), argv[0], 1, 10'000'000);
     } else if (arg == "--depth") {
-      sc.pipeline.depth = std::uint32_t(std::atoi(next()));
+      sc.pipeline.depth = parse_u32(next(), argv[0], 1, 65'536);
     } else if (arg == "--trace") {
       trace = true;
     } else if (arg == "--verbose") {
       sc.log_level = LogLevel::kDebug;
+    } else if (arg == "--sweep") {
+      sweep = true;
+    } else if (arg == "--sweep-n") {
+      sweep_ns = parse_u32_list(next(), argv[0]);
+    } else if (arg == "--sweep-f") {
+      sweep_fs = parse_u32_list(next(), argv[0]);
+    } else if (arg == "--sweep-adversary") {
+      sweep_adversaries = parse_adversary_list(next(), argv[0]);
+    } else if (arg == "--seeds") {
+      seeds = parse_u32(next(), argv[0], 1, 1'000'000);
+    } else if (arg == "--threads") {
+      threads = parse_u32(next(), argv[0], 0, 4096);  // 0 ⇒ all cores
+    } else if (arg == "--csv") {
+      csv_path = next();
+    } else if (arg == "--json") {
+      json_path = next();
     } else {
       usage(argv[0]);
     }
+  }
+
+  if (sweep) {
+    // In sweep mode f is a grid axis (--sweep-f, else a single --f point,
+    // else derived as ⌊(n−1)/3⌋ per n) and the Byzantine set is always f
+    // tail faults per cell — a separate --byz has no grid meaning.
+    if (byz != 0) {
+      std::fprintf(stderr, "error: --byz is not a sweep axis; use --sweep-f "
+                           "(cells run f tail faults)\n");
+      return 2;
+    }
+    if (trace) {
+      std::fprintf(stderr,
+                   "error: --trace is single-run only (a sweep has no single "
+                   "wire history); drop --sweep or --trace\n");
+      return 2;
+    }
+    if (sweep_fs.empty() && f_set) sweep_fs = {sc.f};
+    return run_sweep(sc, sweep_ns, sweep_fs, sweep_adversaries, seeds,
+                     sc.seed, threads, proposals,
+                     run_ms > 0 ? milliseconds(run_ms) : Duration::zero(),
+                     csv_path, json_path);
   }
   if (sc.f == 0) sc.f = (sc.n - 1) / 3;
   if (sc.n <= 3 * sc.f) {
@@ -252,50 +537,9 @@ int main(int argc, char** argv) {
   sc.with_tail_faults(byz);
 
   const Params params = sc.make_params();
-  const Duration start = sc.chaos_period +
-                         (sc.transient_scramble ? params.delta_stb()
-                                                : Duration::zero());
-
   // Workload and default horizon are stack-shaped; the deployment path is
   // not.
-  Duration run_for{};
-  switch (sc.stack) {
-    case StackKind::kAgree: {
-      const Duration gap = params.delta_0() + 5 * params.d();
-      for (std::uint32_t i = 0; i < proposals; ++i) {
-        sc.with_proposal(start + milliseconds(1) + i * gap, 0,
-                         100 + Value(i));
-      }
-      run_for = start + proposals * gap + milliseconds(120);
-      break;
-    }
-    case StackKind::kBaselineTps:
-      sc.tps.anchor = start + milliseconds(5);
-      sc.with_proposal(start + milliseconds(1), sc.tps.general, 100);
-      run_for = start + milliseconds(120);
-      break;
-    case StackKind::kReplicatedLog:
-    case StackKind::kPipelinedLog: {
-      // Round-robin over the CORRECT nodes only: a command routed to a
-      // Byzantine replica would be silently dropped at injection.
-      std::vector<NodeId> correct;
-      for (NodeId id = 0; id < sc.n; ++id) {
-        if (!sc.is_byzantine(id)) correct.push_back(id);
-      }
-      for (std::uint32_t i = 0; i < proposals && !correct.empty(); ++i) {
-        sc.with_proposal(start, correct[i % correct.size()], 100 + Value(i));
-      }
-      run_for = start + (proposals + 4) * (params.delta_0() + params.delta_agr() +
-                                           10 * params.d());
-      break;
-    }
-    case StackKind::kPulse:
-    case StackKind::kClockSync:
-      // Self-clocking: no workload; run long enough to stabilize + pulse.
-      run_for = start + params.delta_stb() +
-                16 * 2 * (params.delta_0() + params.delta_agr());
-      break;
-  }
+  const Duration run_for = shape_workload(sc, proposals);
   sc.run_for = run_ms > 0 ? milliseconds(run_ms) : run_for;
 
   Cluster cluster(sc);
