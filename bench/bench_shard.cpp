@@ -1,0 +1,177 @@
+// bench_shard — serial World vs sharded (conservative-parallel) engine on
+// one big run.
+//
+// SweepRunner parallelizes ACROSS runs; the sharded engine parallelizes
+// WITHIN one run, which is what the "millions of users" workload needs.
+// This bench deploys the agreement stack at n ∈ {32, 128, 512} with a
+// 100 µs delay floor (the lookahead λ) and measures events/sec through the
+// serial engine and through S = 4 shards, verifying on every row that the
+// two engines produced bit-identical run digests — parity is the hard gate,
+// speedup is reported per-machine (single-core containers show ≈ 1×; the
+// multi-core CI runners demonstrate the scaling).
+//
+// Results go to stdout (table) and BENCH_shard.json (machine-readable,
+// tracked in-repo so future PRs can diff the perf trajectory).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "harness/metrics.hpp"
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+
+namespace ssbft {
+namespace {
+
+constexpr std::uint32_t kShards = 4;
+
+/// Simulated horizon per n. One agreement costs Θ(n²·f) relay messages
+/// (~3M at n = 128, ~10⁸ at n = 512), so the big rows measure the engine's
+/// events/sec on a bounded slice of the messaging storm rather than riding
+/// a whole agreement; n = 32 runs its agreement to completion.
+Duration bench_horizon(std::uint32_t n) {
+  if (n <= 32) return milliseconds(60);
+  if (n <= 128) return milliseconds(6);
+  return microseconds(2200);
+}
+
+Scenario shard_bench_scenario(std::uint32_t n, std::uint32_t shards) {
+  Scenario sc;
+  sc.n = n;
+  sc.f = (n - 1) / 3;
+  sc.with_tail_faults(sc.f);
+  sc.shards = shards;
+  // The delay floor that gives the engine its lookahead: exponential tail
+  // as in the World default, floored at δ/10 = 100 µs.
+  sc.link_delay =
+      DelayModel::exp_truncated(sc.delta / 10, sc.delta / 5, sc.delta);
+  sc.with_proposal(milliseconds(1), 0, 100);
+  sc.run_for = bench_horizon(n);
+  sc.seed = 1;
+  return sc;
+}
+
+struct EngineRun {
+  double events_per_sec = 0;
+  double wall_seconds = 0;
+  std::uint64_t events = 0;
+  std::uint64_t digest = 0;
+  std::uint32_t shards = 1;
+};
+
+EngineRun run_engine(std::uint32_t n, std::uint32_t shards) {
+  const Scenario sc = shard_bench_scenario(n, shards);
+  Cluster cluster(sc);
+  const auto t0 = std::chrono::steady_clock::now();
+  cluster.run();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  EngineRun out;
+  out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.events = cluster.world().dispatched();
+  out.digest = evaluate_stack(cluster).digest;
+  out.shards = cluster.shards();
+  if (out.wall_seconds > 0) {
+    out.events_per_sec = double(out.events) / out.wall_seconds;
+  }
+  return out;
+}
+
+struct Row {
+  std::uint32_t n = 0;
+  EngineRun serial;
+  EngineRun sharded;
+  [[nodiscard]] double speedup() const {
+    return serial.wall_seconds > 0 && sharded.wall_seconds > 0
+               ? serial.wall_seconds / sharded.wall_seconds
+               : 0;
+  }
+  [[nodiscard]] bool parity() const {
+    return serial.digest == sharded.digest && serial.events == sharded.events;
+  }
+};
+
+void print_table() {
+  std::printf("\nShard engine: one big run, serial vs %u shards "
+              "(lookahead 100 us, %u hardware threads)\n",
+              kShards, std::thread::hardware_concurrency());
+  Table table({"n", "events", "serial Mev/s", "sharded Mev/s", "speedup",
+               "digest parity"});
+  std::vector<Row> rows;
+  for (const std::uint32_t n : {32u, 128u, 512u}) {
+    Row row;
+    row.n = n;
+    row.serial = run_engine(n, 0);
+    row.sharded = run_engine(n, kShards);
+    char serial_s[32], sharded_s[32], speedup_s[32];
+    std::snprintf(serial_s, sizeof serial_s, "%.2f",
+                  row.serial.events_per_sec / 1e6);
+    std::snprintf(sharded_s, sizeof sharded_s, "%.2f",
+                  row.sharded.events_per_sec / 1e6);
+    std::snprintf(speedup_s, sizeof speedup_s, "%.2fx", row.speedup());
+    table.add_row({std::to_string(n), Table::fmt_int(row.serial.events),
+                   serial_s, sharded_s, speedup_s,
+                   row.parity() ? "yes" : "NO — BUG"});
+    rows.push_back(row);
+  }
+  table.print();
+  std::printf("(parity is the hard gate: a sharded run must be bit-identical "
+              "to its serial twin; speedup is machine-dependent.)\n");
+
+  bool all_parity = true;
+  for (const Row& row : rows) all_parity = all_parity && row.parity();
+
+  if (std::FILE* out = std::fopen("BENCH_shard.json", "w")) {
+    std::fprintf(out, "{\n  \"shards\": %u,\n  \"hardware_threads\": %u,\n",
+                 kShards, std::thread::hardware_concurrency());
+    std::fprintf(out, "  \"digest_parity\": %s,\n",
+                 all_parity ? "true" : "false");
+    std::fprintf(out, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      std::fprintf(out,
+                   "    {\"n\": %u, \"events\": %llu, "
+                   "\"serial_events_per_sec\": %.0f, "
+                   "\"sharded_events_per_sec\": %.0f, "
+                   "\"speedup\": %.3f, \"parity\": %s}%s\n",
+                   row.n, static_cast<unsigned long long>(row.serial.events),
+                   row.serial.events_per_sec, row.sharded.events_per_sec,
+                   row.speedup(), row.parity() ? "true" : "false",
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("(wrote BENCH_shard.json)\n");
+  }
+
+  if (!all_parity) {
+    std::fprintf(stderr, "bench_shard: DIGEST PARITY FAILED\n");
+    std::exit(1);
+  }
+}
+
+void BM_ShardEngine(benchmark::State& state) {
+  const auto n = std::uint32_t(state.range(0));
+  const auto shards = std::uint32_t(state.range(1));
+  EngineRun run;
+  for (auto _ : state) run = run_engine(n, shards);
+  state.counters["Mev_per_sec"] = run.events_per_sec / 1e6;
+  state.counters["shards"] = run.shards;
+}
+BENCHMARK(BM_ShardEngine)
+    ->Args({32, 0})
+    ->Args({32, kShards})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ssbft
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  ssbft::print_table();
+  return 0;
+}

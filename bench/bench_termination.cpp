@@ -11,13 +11,18 @@
 // regardless of f' — while the worst-case *bound* grows as (2f+1)Φ; with a
 // crash-faulty (silent) General, aborts land at the U1 deadline, which the
 // bench also verifies.
+//
+// Trial loops ride the SweepRunner worker pool (one independent World per
+// trial, all cores, per_run hook for the per-decision figures); results go
+// to stdout, bench_termination.csv, and BENCH_termination.json.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <mutex>
 
 #include "harness/metrics.hpp"
 #include "harness/report.hpp"
-#include "harness/runner.hpp"
+#include "harness/sweep.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
@@ -33,32 +38,37 @@ struct TermResult {
 TermResult run_termination(std::uint32_t n, std::uint32_t f,
                            std::uint32_t f_actual, std::uint32_t trials,
                            std::uint64_t seed0) {
-  TermResult result;
-  for (std::uint32_t trial = 0; trial < trials; ++trial) {
-    Scenario sc;
-    sc.n = n;
-    sc.f = f;
-    sc.with_tail_faults(f_actual);
-    sc.adversary = AdversaryKind::kNoise;  // active faults, not just silent
-    sc.adversary_period = milliseconds(1);
-    sc.with_proposal(milliseconds(5), 0, 7);
-    sc.run_for = milliseconds(400);
-    sc.seed = seed0 + trial;
-    Cluster cluster(sc);
-    cluster.run();
-    ++result.trials;
+  Scenario sc;
+  sc.n = n;
+  sc.f = f;
+  sc.with_tail_faults(f_actual);
+  sc.adversary = AdversaryKind::kNoise;  // active faults, not just silent
+  sc.adversary_period = milliseconds(1);
+  sc.with_proposal(milliseconds(5), 0, 7);
+  sc.run_for = milliseconds(400);
 
+  TermResult result;
+  std::mutex mu;
+  SweepSpec spec;
+  spec.scenarios = {sc};
+  spec.seeds_per_scenario = trials;
+  spec.seed0 = seed0;
+  spec.threads = 0;  // all cores; each trial is an independent World
+  spec.per_run = [&](const SweepRun&, Cluster& cluster) {
     const RealTime t0 = cluster.proposals().empty()
                             ? RealTime::zero()
                             : cluster.proposals()[0].real_at;
     std::uint32_t decided = 0;
+    const std::lock_guard<std::mutex> lock(mu);
+    ++result.trials;
     for (const auto& d : cluster.decisions()) {
       if (!d.decision.decided() || d.decision.general.node != 0) continue;
       result.latency.add(d.real_at - t0);
       ++decided;
     }
     if (decided == cluster.correct_count()) ++result.all_decided;
-  }
+  };
+  (void)SweepRunner(spec).run();
   return result;
 }
 
@@ -77,27 +87,33 @@ struct AbortResult {
 
 AbortResult run_abort_flush(std::uint32_t n, std::uint32_t f,
                             std::uint32_t trials, std::uint64_t seed0) {
+  Scenario sc;
+  sc.n = n;
+  sc.f = f;
+  sc.with_tail_faults(f);
+  sc.transient_scramble = true;
+  sc.transient.spurious_per_node = 32;
+  sc.run_for = milliseconds(600);
+
   AbortResult result;
-  for (std::uint32_t trial = 0; trial < trials; ++trial) {
-    Scenario sc;
-    sc.n = n;
-    sc.f = f;
-    sc.with_tail_faults(f);
-    sc.transient_scramble = true;
-    sc.transient.spurious_per_node = 32;
-    sc.run_for = milliseconds(600);
-    sc.seed = seed0 + trial;
-    Cluster cluster(sc);
-    cluster.run();
-    ++result.runs;
+  std::mutex mu;
+  SweepSpec spec;
+  spec.scenarios = {sc};
+  spec.seeds_per_scenario = trials;
+  spec.seed0 = seed0;
+  spec.threads = 0;
+  spec.per_run = [&](const SweepRun&, Cluster& cluster) {
     const Params& params = cluster.params();
     const Duration budget = 2 * params.delta_agr() + params.phi();
+    const std::lock_guard<std::mutex> lock(mu);
+    ++result.runs;
     for (const auto& d : cluster.decisions()) {
       if (d.decision.decided()) continue;
       result.abort_flush.add(d.real_at - RealTime::zero());
       if (d.real_at - RealTime::zero() > budget) ++result.late_flushes;
     }
-  }
+  };
+  (void)SweepRunner(spec).run();
   return result;
 }
 
@@ -110,6 +126,8 @@ void print_table() {
   CsvWriter csv("bench_termination.csv",
                 {"f_actual", "lat_p50_ms", "lat_p99_ms", "lat_max_ms",
                  "bound_ms"});
+  std::FILE* json = std::fopen("BENCH_termination.json", "w");
+  if (json) std::fprintf(json, "{\n  \"latency_vs_actual_faults\": [\n");
   const std::uint32_t n = 13, f = 4;
   const Params params{n, f, Scenario{}.make_params().d()};
   for (std::uint32_t fa = 0; fa <= f; ++fa) {
@@ -123,15 +141,29 @@ void print_table() {
     csv.row({double(fa), r.latency.quantile(0.5) * 1e-6,
              r.latency.quantile(0.99) * 1e-6, r.latency.max() * 1e-6,
              params.delta_agr().millis()});
+    if (json) {
+      std::fprintf(json,
+                   "    {\"f_actual\": %u, \"trials\": %u, "
+                   "\"all_decided_pct\": %.1f, \"lat_p50_ms\": %.6f, "
+                   "\"lat_p99_ms\": %.6f, \"lat_max_ms\": %.6f, "
+                   "\"bound_ms\": %.6f}%s\n",
+                   fa, r.trials, 100.0 * r.all_decided / r.trials,
+                   r.latency.quantile(0.5) * 1e-6,
+                   r.latency.quantile(0.99) * 1e-6, r.latency.max() * 1e-6,
+                   params.delta_agr().millis(), fa < f ? "," : "");
+    }
   }
   table.print();
+  if (json) std::fprintf(json, "  ],\n  \"abort_flush\": [\n");
 
   std::printf("\nE3b: ⊥-flush after a transient scramble (residual phantom "
               "executions must abort via U1 within 2∆agr + Φ of the fault; "
               "in stable runs ⊥ is unprovokable — see bench comments)\n");
   Table table2({"n", "f", "runs", "⊥ returns", "flush p50 (ms)",
                 "flush max (ms)", "2∆agr+Φ budget (ms)", "late"});
-  for (std::uint32_t nn : {4u, 7u, 10u, 13u}) {
+  const std::uint32_t sizes[] = {4u, 7u, 10u, 13u};
+  for (std::size_t i = 0; i < std::size(sizes); ++i) {
+    const std::uint32_t nn = sizes[i];
     const std::uint32_t ff = (nn - 1) / 3;
     auto r = run_abort_flush(nn, ff, 20, 4000);
     const Params p{nn, ff, Scenario{}.make_params().d()};
@@ -144,8 +176,21 @@ void print_table() {
                     r.abort_flush.empty() ? "-" : Table::fmt_ms(r.abort_flush.max()),
                     Table::fmt_ms(double(budget.ns())),
                     Table::fmt_int(r.late_flushes)});
+    if (json) {
+      std::fprintf(json,
+                   "    {\"n\": %u, \"f\": %u, \"runs\": %u, "
+                   "\"abort_returns\": %zu, \"late_flushes\": %u, "
+                   "\"budget_ms\": %.6f}%s\n",
+                   nn, ff, r.runs, r.abort_flush.size(), r.late_flushes,
+                   budget.millis(), i + 1 < std::size(sizes) ? "," : "");
+    }
   }
   table2.print();
+  if (json) {
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("(wrote BENCH_termination.json)\n");
+  }
 }
 
 void BM_Termination(benchmark::State& state) {

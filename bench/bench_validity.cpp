@@ -6,13 +6,18 @@
 //
 // This bench sweeps n (with f = ⌊(n−1)/3⌋ actual Byzantine nodes) and
 // reports decision latency vs the 4d bound, plus agreement/validity checks.
+//
+// Trial loops ride the SweepRunner worker pool (one independent World per
+// trial, all cores, per_run hook for the per-decision figures); results go
+// to stdout and BENCH_validity.json.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <mutex>
 
 #include "harness/metrics.hpp"
 #include "harness/report.hpp"
-#include "harness/runner.hpp"
+#include "harness/sweep.hpp"
 #include "util/stats.hpp"
 
 namespace ssbft {
@@ -27,36 +32,37 @@ struct ValidityResult {
 
 ValidityResult run_validity(std::uint32_t n, std::uint32_t f,
                             std::uint32_t trials, std::uint64_t seed0) {
+  Scenario sc;
+  sc.n = n;
+  sc.f = f;
+  sc.with_tail_faults(f);
+  sc.adversary = AdversaryKind::kSilent;
+  sc.with_proposal(milliseconds(5), 0, 11);
+  sc.run_for = milliseconds(150);
+
   ValidityResult result;
-  for (std::uint32_t trial = 0; trial < trials; ++trial) {
-    Scenario sc;
-    sc.n = n;
-    sc.f = f;
-    sc.with_tail_faults(f);
-    sc.adversary = AdversaryKind::kSilent;
-    sc.with_proposal(milliseconds(5), 0, 11);
-    sc.run_for = milliseconds(150);
-    sc.seed = seed0 + trial;
-
-    Cluster cluster(sc);
-    cluster.run();
+  std::mutex mu;
+  SweepSpec spec;
+  spec.scenarios = {sc};
+  spec.seeds_per_scenario = trials;
+  spec.seed0 = seed0;
+  spec.threads = 0;  // all cores; each trial is an independent World
+  spec.per_run = [&](const SweepRun& run, Cluster& cluster) {
+    const std::lock_guard<std::mutex> lock(mu);
     ++result.trials;
-
-    const auto metrics =
-        evaluate_run(cluster.decisions(), cluster.proposals(),
-                     cluster.correct_count(), cluster.params());
-    if (metrics.validity_violations == 0 &&
-        metrics.agreement_violations == 0) {
+    if (run.agreement.validity_violations == 0 &&
+        run.agreement.agreement_violations == 0) {
       ++result.validity_ok;
     }
-    if (cluster.proposals().empty()) continue;
+    if (cluster.proposals().empty()) return;
     const RealTime t0 = cluster.proposals()[0].real_at;
     for (const auto& d : cluster.decisions()) {
       if (!d.decision.decided()) continue;
       result.latency.add(d.real_at - t0);
       result.anchor_error.add(d.tau_g_real - t0);
     }
-  }
+  };
+  (void)SweepRunner(spec).run();
   return result;
 }
 
@@ -82,7 +88,11 @@ void print_table() {
               Scenario{}.make_params().d().millis());
   Table table({"n", "f", "trials", "validity%", "latency p50 (ms)",
                "latency max (ms)", "4d bound (ms)", "anchor err in [-d,4d]"});
-  for (std::uint32_t n : {4u, 7u, 10u, 13u, 16u, 25u}) {
+  std::FILE* json = std::fopen("BENCH_validity.json", "w");
+  if (json) std::fprintf(json, "{\n  \"rows\": [\n");
+  const std::uint32_t sizes[] = {4u, 7u, 10u, 13u, 16u, 25u};
+  for (std::size_t i = 0; i < std::size(sizes); ++i) {
+    const std::uint32_t n = sizes[i];
     const std::uint32_t f = (n - 1) / 3;
     auto r = run_validity(n, f, 30, 42);
     const Params params = [&] {
@@ -102,8 +112,25 @@ void print_table() {
                    r.latency.empty() ? "-" : Table::fmt_ms(r.latency.quantile(0.5)),
                    r.latency.empty() ? "-" : Table::fmt_ms(r.latency.max()),
                    Table::fmt_ms(4 * d_ns), anchor_ok ? "yes" : "NO"});
+    if (json) {
+      std::fprintf(json,
+                   "    {\"n\": %u, \"f\": %u, \"trials\": %u, "
+                   "\"validity_ok_pct\": %.1f, \"lat_p50_ms\": %.6f, "
+                   "\"lat_max_ms\": %.6f, \"bound_4d_ms\": %.6f, "
+                   "\"anchor_in_bounds\": %s}%s\n",
+                   n, f, r.trials, 100.0 * r.validity_ok / r.trials,
+                   r.latency.empty() ? 0.0 : r.latency.quantile(0.5) * 1e-6,
+                   r.latency.empty() ? 0.0 : r.latency.max() * 1e-6,
+                   4 * d_ns * 1e-6, anchor_ok ? "true" : "false",
+                   i + 1 < std::size(sizes) ? "," : "");
+    }
   }
   table.print();
+  if (json) {
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("(wrote BENCH_validity.json)\n");
+  }
 }
 
 }  // namespace

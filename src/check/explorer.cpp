@@ -96,6 +96,7 @@ ExplorerReport explore(const ExplorerConfig& config) {
   for (std::uint64_t trial = 0; trial < config.trials; ++trial) {
     Scenario sc = config.base;
     sc.seed = 0xC0FFEE ^ trial;  // drives drift phases and the adversary
+    sc.shards = 0;  // delay oracles are a serial-engine contract
     Cluster cluster(sc);
     ScheduleChooser chooser(palette, trial, config.systematic_depth);
     cluster.world().network().set_delay_oracle(

@@ -215,13 +215,33 @@ struct Fnv {
   void dur(Duration d) { word(std::uint64_t(d.ns())); }
 };
 
+/// Canonical stream order (see run_digest doc): group by node id, keep each
+/// node's records in publication order. Returned as indices into `stream`.
+template <class T, class NodeKey>
+std::vector<std::uint32_t> canonical_order(const std::vector<T>& stream,
+                                           NodeKey node_key) {
+  std::vector<std::uint32_t> order(stream.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return node_key(stream[a]) < node_key(stream[b]);
+                   });
+  return order;
+}
+
 /// Decided-return latencies against the matching admitted proposal: same
 /// General, same value, and the LATEST such proposal not after the return —
 /// so a re-proposal (or another General's identical value) never inflates
 /// the measurement by attributing the decision to an older injection.
+/// Iterates decisions in canonical (per-node) order so the latency vector,
+/// like the digest, is engine-independent.
 std::vector<double> decision_latencies(const Cluster& cluster) {
   std::vector<double> out;
-  for (const auto& d : cluster.decisions()) {
+  const auto& decisions = cluster.decisions();
+  const auto order = canonical_order(
+      decisions, [](const TimedDecision& d) { return d.decision.node; });
+  for (const std::uint32_t i : order) {
+    const auto& d = decisions[i];
     if (!d.decision.decided()) continue;
     std::optional<RealTime> proposed;
     for (const auto& p : cluster.proposals()) {
@@ -240,7 +260,10 @@ std::vector<double> decision_latencies(const Cluster& cluster) {
 std::uint64_t run_digest(const RecordingProbe& probe,
                          const NetworkStats& net) {
   Fnv fnv;
-  for (const auto& d : probe.decisions()) {
+  for (const std::uint32_t i : canonical_order(
+           probe.decisions(),
+           [](const TimedDecision& d) { return d.decision.node; })) {
+    const auto& d = probe.decisions()[i];
     fnv.word(d.decision.node);
     fnv.word(d.decision.general.node);
     fnv.word(d.decision.general.index);
@@ -250,26 +273,36 @@ std::uint64_t run_digest(const RecordingProbe& probe,
     fnv.time(d.real_at);
     fnv.time(d.tau_g_real);
   }
-  for (const auto& p : probe.proposals()) {
+  for (const std::uint32_t i : canonical_order(
+           probe.proposals(),
+           [](const TimedProposal& p) { return p.general; })) {
+    const auto& p = probe.proposals()[i];
     fnv.time(p.real_at);
     fnv.word(p.general);
     fnv.word(p.value);
     fnv.word(std::uint64_t(p.status));
   }
-  for (const auto& p : probe.pulses()) {
+  for (const std::uint32_t i : canonical_order(
+           probe.pulses(), [](const TimedPulse& p) { return p.node; })) {
+    const auto& p = probe.pulses()[i];
     fnv.word(p.node);
     fnv.word(p.event.counter);
     fnv.time(p.event.at);
     fnv.time(p.real_at);
   }
-  for (const auto& a : probe.adjustments()) {
+  for (const std::uint32_t i : canonical_order(
+           probe.adjustments(),
+           [](const TimedAdjustment& a) { return a.node; })) {
+    const auto& a = probe.adjustments()[i];
     fnv.word(a.node);
     fnv.word(a.adjustment.pulse_counter);
     fnv.dur(a.adjustment.amount);
     fnv.time(a.adjustment.at);
     fnv.time(a.real_at);
   }
-  for (const auto& c : probe.commits()) {
+  for (const std::uint32_t i : canonical_order(
+           probe.commits(), [](const TimedCommit& c) { return c.node; })) {
+    const auto& c = probe.commits()[i];
     fnv.word(c.node);
     fnv.word(c.entry.slot);
     fnv.word(c.entry.command);
@@ -277,7 +310,10 @@ std::uint64_t run_digest(const RecordingProbe& probe,
     fnv.time(c.entry.at);
     fnv.time(c.real_at);
   }
-  for (const auto& d : probe.deliveries()) {
+  for (const std::uint32_t i : canonical_order(
+           probe.deliveries(),
+           [](const TimedDelivery& d) { return d.node; })) {
+    const auto& d = probe.deliveries()[i];
     fnv.word(d.node);
     fnv.word(d.entry.slot);
     fnv.word(d.entry.command);
@@ -297,7 +333,7 @@ std::uint64_t run_digest(const RecordingProbe& probe,
 
 StackOutcome evaluate_stack(Cluster& cluster) {
   StackOutcome out;
-  out.digest = run_digest(cluster.probe(), cluster.world().network().stats());
+  out.digest = run_digest(cluster.probe(), cluster.world().net_stats());
   out.agreement = evaluate_run(cluster.decisions(), cluster.proposals(),
                                cluster.correct_count(), cluster.params());
   out.latency_ns = decision_latencies(cluster);

@@ -120,10 +120,15 @@ template <typename T>
   return nullptr;
 }
 
-/// Order-sensitive FNV-1a fingerprint of every probe stream plus the
-/// network counters — two runs with equal digests produced bit-identical
-/// observable histories (decisions, pulse times, adjustments, commits,
-/// deliveries, wire stats). The determinism tests lean on this.
+/// FNV-1a fingerprint of every probe stream plus the network counters —
+/// two runs with equal digests produced bit-identical observable histories
+/// (decisions, pulse times, adjustments, commits, deliveries, wire stats).
+/// Streams are hashed in CANONICAL order: grouped by node id, each node's
+/// records in its own publication order. A node's record sequence is a pure
+/// function of that node's execution on any engine, while the cross-node
+/// interleaving reflects which shard thread appended first — canonical
+/// order makes the digest engine-independent, so a sharded run hashes
+/// bit-identical to its serial twin. The determinism tests lean on this.
 [[nodiscard]] std::uint64_t run_digest(const RecordingProbe& probe,
                                        const NetworkStats& net);
 

@@ -15,30 +15,39 @@ void RecordingProbe::clear() {
 
 void ProbeHub::attach(Probe* probe) {
   SSBFT_EXPECTS(probe != nullptr);
+  // Same lock as publication: attach during a running sharded world must
+  // not race the fan-out loops on the shard workers.
+  const std::lock_guard<std::mutex> lock(mutex_);
   probes_.push_back(probe);
 }
 
 void ProbeHub::on_decision(const TimedDecision& d) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   for (Probe* p : probes_) p->on_decision(d);
 }
 
 void ProbeHub::on_proposal(const TimedProposal& p) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   for (Probe* probe : probes_) probe->on_proposal(p);
 }
 
 void ProbeHub::on_pulse(const TimedPulse& p) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   for (Probe* probe : probes_) probe->on_pulse(p);
 }
 
 void ProbeHub::on_adjustment(const TimedAdjustment& a) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   for (Probe* p : probes_) p->on_adjustment(a);
 }
 
 void ProbeHub::on_commit(const TimedCommit& c) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   for (Probe* p : probes_) p->on_commit(c);
 }
 
 void ProbeHub::on_delivery(const TimedDelivery& d) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   for (Probe* p : probes_) p->on_delivery(d);
 }
 

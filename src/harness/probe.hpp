@@ -10,6 +10,7 @@
 // of additional observers (live dashboards, trace writers, assertions).
 #pragma once
 
+#include <mutex>
 #include <vector>
 
 #include "app/log_types.hpp"
@@ -122,7 +123,12 @@ class RecordingProbe final : public Probe {
   std::vector<TimedDelivery> deliveries_;
 };
 
-/// Fans every event out to all attached probes (none owned).
+/// Fans every event out to all attached probes (none owned). Publication is
+/// serialized by a mutex: shard workers (sim/shard_world.hpp) publish
+/// concurrently, and the attached probes (RecordingProbe included) need not
+/// be thread-safe themselves. Per-NODE record order is the node's own
+/// execution order on any engine; the cross-node interleaving is arbitrary
+/// under sharding, which is why metrics::run_digest canonicalizes per node.
 class ProbeHub final : public Probe {
  public:
   void attach(Probe* probe);
@@ -135,6 +141,7 @@ class ProbeHub final : public Probe {
   void on_delivery(const TimedDelivery& d) override;
 
  private:
+  std::mutex mutex_;
   std::vector<Probe*> probes_;
 };
 

@@ -5,6 +5,7 @@
 #include "adversary/adversaries.hpp"
 #include "harness/stack_registry.hpp"
 #include "sim/fault_injector.hpp"
+#include "sim/shard_world.hpp"
 
 namespace ssbft {
 
@@ -68,7 +69,18 @@ void Cluster::build() {
   }
   wc.seed = scenario_.seed;
   wc.log_level = scenario_.log_level;
-  world_ = std::make_unique<World>(wc);
+  wc.shards = scenario_.shards;
+  wc.resolve_delay_models();
+  // Engine selection: the sharded engine needs a conservative lookahead
+  // (positive delay floor) and a chaos-free network; anything else degrades
+  // to the serial engine — identical results either way (test_shard).
+  shards_ = ShardWorld::effective_shards(wc);
+  if (scenario_.chaos_period > Duration::zero()) shards_ = 1;
+  if (shards_ > 1) {
+    world_ = std::make_unique<ShardWorld>(wc);
+  } else {
+    world_ = std::make_unique<World>(wc);
+  }
 
   const StackFactory& factory =
       StackRegistry::instance().entry(scenario_.stack).factory;
@@ -97,7 +109,7 @@ void Cluster::build() {
 
 void Cluster::propose_at(Duration at, NodeId general, Value value) {
   SSBFT_EXPECTS(general < scenario_.n);
-  world_->queue().schedule(RealTime::zero() + at, [this, general, value] {
+  world_->schedule(RealTime::zero() + at, general, [this, general, value] {
     inject(general, value);
   });
 }

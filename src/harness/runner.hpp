@@ -27,7 +27,15 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  [[nodiscard]] World& world() { return *world_; }
+  /// The deployed engine: the serial World, or the sharded engine when the
+  /// scenario asks for shards AND offers a positive delay floor (lookahead)
+  /// with no network chaos — otherwise sharding degrades to serial
+  /// execution, never to wrongness. Serial-only internals (network(),
+  /// queue()) abort on the sharded engine; everything else is common.
+  [[nodiscard]] WorldBase& world() { return *world_; }
+  /// Shards the deployment actually runs on (1 ⇒ serial engine).
+  [[nodiscard]] std::uint32_t shards() const { return shards_; }
+  [[nodiscard]] bool sharded() const { return shards_ > 1; }
   [[nodiscard]] const Params& params() const { return params_; }
   [[nodiscard]] const Scenario& scenario() const { return scenario_; }
 
@@ -86,9 +94,10 @@ class Cluster {
   // must outlive every behavior the world owns.
   ProbeHub hub_;
   RecordingProbe recording_;
-  std::unique_ptr<World> world_;
+  std::unique_ptr<WorldBase> world_;
   std::vector<NodeBehavior*> stack_nodes_;  // indexed by NodeId, may be null
   std::uint32_t correct_count_ = 0;
+  std::uint32_t shards_ = 1;
   bool started_ = false;
   bool ran_ = false;
 };

@@ -132,6 +132,10 @@ struct Scenario {
   Duration run_for = milliseconds(200);
   std::uint64_t seed = 1;
   LogLevel log_level = LogLevel::kWarn;
+  /// Shards for the conservative-parallel engine (0/1 ⇒ serial engine).
+  /// Requires a link_delay with a positive minimum to take effect (the
+  /// lookahead); results are bit-identical to serial for any value.
+  std::uint32_t shards = 0;
 
   [[nodiscard]] Params make_params() const;
   [[nodiscard]] bool is_byzantine(NodeId id) const;

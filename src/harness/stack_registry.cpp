@@ -14,8 +14,8 @@ namespace ssbft {
 namespace {
 
 /// A DecisionSink that stamps real time and forwards to the probe.
-DecisionSink decision_publisher(World& world, Probe& probe) {
-  World* w = &world;
+DecisionSink decision_publisher(WorldBase& world, Probe& probe) {
+  WorldBase* w = &world;
   Probe* p = &probe;
   return [w, p](const Decision& d) { publish_decision(*w, *p, d); };
 }
@@ -26,7 +26,7 @@ std::unique_ptr<NodeBehavior> make_agree(const StackBuild& b) {
 }
 
 std::unique_ptr<NodeBehavior> make_pulse(const StackBuild& b) {
-  World* w = &b.world;
+  WorldBase* w = &b.world;
   Probe* p = &b.probe;
   const NodeId id = b.id;
   auto node = std::make_unique<PulseSyncNode>(
@@ -38,7 +38,7 @@ std::unique_ptr<NodeBehavior> make_pulse(const StackBuild& b) {
 }
 
 std::unique_ptr<NodeBehavior> make_clock_sync(const StackBuild& b) {
-  World* w = &b.world;
+  WorldBase* w = &b.world;
   Probe* p = &b.probe;
   const NodeId id = b.id;
   auto node = std::make_unique<ClockSyncNode>(
@@ -54,7 +54,7 @@ std::unique_ptr<NodeBehavior> make_clock_sync(const StackBuild& b) {
 }
 
 std::unique_ptr<NodeBehavior> make_replicated_log(const StackBuild& b) {
-  World* w = &b.world;
+  WorldBase* w = &b.world;
   Probe* p = &b.probe;
   const NodeId id = b.id;
   auto node = std::make_unique<ReplicatedLogNode>(
@@ -66,7 +66,7 @@ std::unique_ptr<NodeBehavior> make_replicated_log(const StackBuild& b) {
 }
 
 std::unique_ptr<NodeBehavior> make_pipelined_log(const StackBuild& b) {
-  World* w = &b.world;
+  WorldBase* w = &b.world;
   Probe* p = &b.probe;
   const NodeId id = b.id;
   auto node = std::make_unique<PipelinedLogNode>(
@@ -122,7 +122,7 @@ std::optional<ProposeStatus> inject_pipelined(NodeBehavior& behavior,
 
 }  // namespace
 
-void publish_decision(World& world, Probe& probe, const Decision& d) {
+void publish_decision(WorldBase& world, Probe& probe, const Decision& d) {
   TimedDecision td;
   td.decision = d;
   td.real_at = world.now();

@@ -28,7 +28,7 @@ struct StackBuild {
   const Scenario& scenario;
   const Params& params;
   NodeId id;
-  World& world;  // real-time stamping inside probe sinks
+  WorldBase& world;  // real-time stamping inside probe sinks
   Probe& probe;  // where the node's streams are published
 };
 
@@ -70,6 +70,6 @@ class StackRegistry {
 };
 
 /// Publishes `d` (as seen at real time world.now()) to `probe`.
-void publish_decision(World& world, Probe& probe, const Decision& d);
+void publish_decision(WorldBase& world, Probe& probe, const Decision& d);
 
 }  // namespace ssbft

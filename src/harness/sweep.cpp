@@ -40,13 +40,33 @@ SweepRun SweepRunner::run_cell(
   run.digest = outcome.digest;
   run.agreement = outcome.agreement;
   run.latency_ns = std::move(outcome.latency_ns);
-  run.events = cluster.world().queue().dispatched();
-  run.messages = cluster.world().network().stats().sent;
+  run.events = cluster.world().dispatched();
+  run.messages = cluster.world().net_stats().sent;
   run.sim_time = sc.run_for;
   run.wall_seconds = std::chrono::duration<double>(wall1 - wall0).count();
 
   if (per_run) per_run(run, cluster);
   return run;
+}
+
+std::vector<std::size_t> SweepRunner::schedule_order(const SweepSpec& spec) {
+  const std::size_t seeds = spec.seeds_per_scenario;
+  std::vector<std::size_t> order(spec.scenarios.size() * seeds);
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Longest-job-first: a cell's cost scales with its simulated horizon and
+  // the Θ(n²) per-instant message load. Starting the big cells first keeps
+  // the pool's tail short on heterogeneous grids; the stable sort keeps
+  // equal-cost cells in grid order. Where results LAND is untouched (grid
+  // order), so reports and digests are identical to FIFO pickup.
+  const auto cost = [&](std::size_t cell) {
+    const Scenario& sc = spec.scenarios[cell / seeds];
+    return double(sc.run_for.ns()) * double(sc.n) * double(sc.n);
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return cost(a) > cost(b);
+                   });
+  return order;
 }
 
 SweepReport SweepRunner::run() {
@@ -56,12 +76,14 @@ SweepReport SweepRunner::run() {
   SweepReport report;
   report.runs.resize(cells);
 
+  const std::vector<std::size_t> order = schedule_order(spec_);
   const auto wall0 = std::chrono::steady_clock::now();
   std::atomic<std::size_t> cursor{0};
   const auto worker = [&] {
     while (true) {
-      const std::size_t cell = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (cell >= cells) return;
+      const std::size_t pick = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (pick >= cells) return;
+      const std::size_t cell = order[pick];
       const std::size_t scenario_index = cell / seeds;
       const std::uint64_t seed = spec_.seed0 + std::uint64_t(cell % seeds);
       report.runs[cell] = run_cell(spec_.scenarios[scenario_index], seed,

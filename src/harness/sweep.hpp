@@ -3,8 +3,9 @@
 // A sweep is a grid of Scenarios × seeds. Every (Scenario, seed) cell runs
 // in a fully independent World — its own event queue, network, RNG streams,
 // probe — so a run's outcome is a pure function of the cell, no matter
-// which worker thread executes it or in what order. Workers pull cells from
-// an atomic cursor; results land in grid order (scenario-major, seed-minor)
+// which worker thread executes it or in what order. Workers pull cells
+// longest-job-first (see schedule_order) from an atomic cursor; results
+// land in grid order (scenario-major, seed-minor)
 // in a preallocated vector, and the per-run digest lets tests assert that a
 // 4-thread sweep is bit-identical to serial execution. Reduction produces a
 // SweepReport: pass/fail counts, pooled latency percentiles, events/sec and
@@ -65,6 +66,10 @@ struct SweepSpec {
   std::uint64_t seed0 = 1;
   /// Worker threads; 0 ⇒ hardware concurrency, 1 ⇒ run inline in the
   /// caller's thread (no pool — the serial baseline benches time against).
+  /// Cells whose Scenario::shards > 1 spawn their own shard workers INSIDE
+  /// a sweep worker; results are identical either way (digest parity), but
+  /// combining a wide sweep pool with many-shard cells oversubscribes the
+  /// machine — prefer sharding the cells OR the sweep, not both.
   std::uint32_t threads = 0;
   /// Optional per-run observer, invoked in the worker thread after the cell
   /// completes and before its Cluster is destroyed (the only moment node
@@ -86,6 +91,12 @@ class SweepRunner {
       const Scenario& scenario, std::uint64_t seed,
       std::size_t scenario_index = 0,
       const std::function<void(const SweepRun&, Cluster&)>& per_run = nullptr);
+
+  /// Cell pickup order: longest-job-first by estimated cost (run_for × n²),
+  /// stable within equal cost. Results always land in grid order; only the
+  /// pool's pickup sequence changes. Exposed for tests.
+  [[nodiscard]] static std::vector<std::size_t> schedule_order(
+      const SweepSpec& spec);
 
  private:
   SweepSpec spec_;

@@ -35,6 +35,15 @@ struct DelayModel {
     SSBFT_EXPECTS(mean <= cap);
     return {Kind::kExpTrunc, Duration::zero(), mean, cap};
   }
+  /// Exponential with a hard lower bound: mean `mean` overall, truncated to
+  /// [min, cap]. A positive min models a physical network floor (serialization
+  /// + propagation) — and is exactly the conservative lookahead the sharded
+  /// engine turns into parallelism (shard_world.hpp).
+  [[nodiscard]] static DelayModel exp_truncated(Duration min, Duration mean,
+                                                Duration cap) {
+    SSBFT_EXPECTS(min <= mean && mean <= cap);
+    return {Kind::kExpTrunc, min, mean, cap};
+  }
 
   [[nodiscard]] Duration sample(Rng& rng) const {
     switch (kind) {
@@ -43,8 +52,12 @@ struct DelayModel {
       case Kind::kUniform:
         return Duration{rng.next_in(min.ns(), max.ns())};
       case Kind::kExpTrunc:
+        // min + residual exponential keeps the overall mean at `typical`
+        // (for min = 0 this is the historical behaviour, bit-for-bit).
+        if (typical <= min) return min;  // degenerate: all mass at the floor
         return min + Duration{static_cast<std::int64_t>(rng.next_exp_truncated(
-                         double(typical.ns()), double((max - min).ns())))};
+                         double((typical - min).ns()),
+                         double((max - min).ns())))};
     }
     return max;
   }

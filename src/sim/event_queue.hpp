@@ -1,11 +1,20 @@
 // Deterministic discrete-event queue over a slab-backed event store.
 //
-// Events at equal real-time are dispatched in insertion order (a strictly
-// monotone sequence number breaks ties), so a run is a pure function of the
-// seed — a property every test and bench in this repository leans on.
+// Events are dispatched in (when, creator, seq) order: equal real-times are
+// broken by a *content-based* EventKey — the id of the node (or world) that
+// caused the event plus a per-creator monotone sequence — never by global
+// insertion order. A per-creator key is reproducible without knowing the
+// global schedule, which is what lets the sharded engine (sim/shard_world)
+// dispatch the exact serial order while executing shards concurrently: each
+// creator's handlers run in the same relative order on any engine, so each
+// creator mints the same key sequence. Events scheduled through the key-less
+// overload (workload injections, tests, tools) share one world-level creator
+// with an internal counter and thus keep plain insertion-order semantics
+// among themselves. A run remains a pure function of the seed either way.
 //
 // Hot-path layout: the priority heap orders 24-byte POD entries
-// (when, seq, slot) while the callables themselves live in fixed-size slots
+// (when, seq, creator, slot) while the callables themselves live in
+// fixed-size slots
 // of a slab recycled through a free list. A callable whose closure fits
 // kInlineCapacity is stored inline — scheduling and dispatching it performs
 // no heap allocation on the steady path (the slab and heap vectors only
@@ -29,6 +38,20 @@
 
 namespace ssbft {
 
+/// Creator id for events not attributable to one node (workload injections,
+/// fault-injector plants, tests). Sorts after every node at equal times.
+inline constexpr std::uint32_t kGlobalCreator = ~std::uint32_t{0};
+
+/// Content-based tie-break key: who caused the event, and which of that
+/// creator's scheduled events it is. Both simulation engines mint identical
+/// keys for identical histories, so dispatch order is engine-independent.
+/// `seq` namespaces must be disjoint per creator across schedule paths (the
+/// engines use even seqs for network deliveries, odd for timers).
+struct EventKey {
+  std::uint32_t creator = kGlobalCreator;
+  std::uint64_t seq = 0;
+};
+
 class EventQueue {
  public:
   /// Closures up to this size (and std::max_align_t alignment) are stored
@@ -44,10 +67,20 @@ class EventQueue {
   EventQueue& operator=(const EventQueue&) = delete;
 
   /// Schedule `action` (any void() callable, move-only allowed) at absolute
-  /// real-time `when`. `when` must not precede the last dispatched event
+  /// real-time `when` under the world-level creator (insertion-ordered among
+  /// key-less events). `when` must not precede the last dispatched event
   /// (no time travel).
   template <class F>
   void schedule(RealTime when, F&& action) {
+    schedule(when, EventKey{kGlobalCreator, global_seq_++},
+             std::forward<F>(action));
+  }
+
+  /// Schedule with an explicit creator key (see EventKey). The caller owns
+  /// the per-creator seq discipline: keys must be unique and, per creator,
+  /// minted in monotone order.
+  template <class F>
+  void schedule(RealTime when, EventKey key, F&& action) {
     using Fn = std::decay_t<F>;
     if constexpr (sizeof(Fn) <= kInlineCapacity &&
                   alignof(Fn) <= alignof(std::max_align_t)) {
@@ -56,10 +89,11 @@ class EventQueue {
       Slot& target = slot(index);
       ::new (static_cast<void*>(target.storage)) Fn(std::forward<F>(action));
       target.ops = &ops_for<Fn>();
-      push_entry(Entry{when, seq_++, index});
+      push_entry(Entry{when, key.seq, key.creator, index});
     } else {
       // Box the oversized closure; the slot then holds only the pointer.
-      schedule(when, Boxed<Fn>{std::make_unique<Fn>(std::forward<F>(action))});
+      schedule(when, key,
+               Boxed<Fn>{std::make_unique<Fn>(std::forward<F>(action))});
     }
   }
 
@@ -150,15 +184,18 @@ class EventQueue {
     return slab_[index / kSlotChunk]->slots[index % kSlotChunk];
   }
 
-  /// Heap entry: trivially copyable, so sifts are plain word moves.
+  /// Heap entry: trivially copyable, so sifts are plain word moves. Still
+  /// 24 bytes: the creator id rides in what used to be padding.
   struct Entry {
     RealTime when;
     std::uint64_t seq;
+    std::uint32_t creator;
     std::uint32_t slot;
   };
 
   [[nodiscard]] static bool earlier(const Entry& a, const Entry& b) {
     if (a.when != b.when) return a.when < b.when;
+    if (a.creator != b.creator) return a.creator < b.creator;
     return a.seq < b.seq;
   }
 
@@ -170,9 +207,9 @@ class EventQueue {
 
   std::vector<std::unique_ptr<SlotChunk>> slab_;
   std::uint32_t free_head_ = kNullSlot;
-  std::vector<Entry> heap_;  // binary min-heap over (when, seq)
+  std::vector<Entry> heap_;  // binary min-heap over (when, creator, seq)
   RealTime now_{};
-  std::uint64_t seq_ = 0;
+  std::uint64_t global_seq_ = 0;  // world-level creator's counter
   std::uint64_t dispatched_ = 0;
 };
 

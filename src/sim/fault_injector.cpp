@@ -32,7 +32,7 @@ void FaultInjector::transient_fault(const TransientFaultConfig& config) {
   for (NodeId dest = 0; dest < world_.n(); ++dest) {
     for (std::uint32_t i = 0; i < config.spurious_per_node; ++i) {
       const Duration delay{rng.next_in(0, config.spurious_span.ns())};
-      world_.network().inject_raw(dest, random_message(rng), delay);
+      world_.inject_raw(dest, random_message(rng), delay);
     }
   }
 }

@@ -29,7 +29,7 @@ struct TransientFaultConfig {
 
 class FaultInjector {
  public:
-  explicit FaultInjector(World& world) : world_(world) {}
+  explicit FaultInjector(WorldBase& world) : world_(world) {}
 
   /// Unleash a transient fault *now*: forge messages, scramble state and
   /// clocks per `config`. Deterministic given the world's RNG state.
@@ -40,7 +40,7 @@ class FaultInjector {
   WireMessage random_message(Rng& rng) const;
 
  private:
-  World& world_;
+  WorldBase& world_;
 };
 
 }  // namespace ssbft

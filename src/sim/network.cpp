@@ -8,18 +8,22 @@
 namespace ssbft {
 
 Network::Network(EventQueue& queue, std::uint32_t n, DelayModel link_delay,
-                 DelayModel proc_delay, ChaosConfig chaos, Rng rng,
+                 DelayModel proc_delay, ChaosConfig chaos, std::uint64_t seed,
                  DeliverFn deliver)
     : queue_(queue),
       n_(n),
       link_delay_(link_delay),
       proc_delay_(proc_delay),
       chaos_(chaos),
-      rng_(rng),
+      send_seq_(n, 0),
       deliver_(std::move(deliver)) {
   SSBFT_EXPECTS(n_ > 0);
   if (chaos_.max_delay == Duration::zero()) {
     chaos_.max_delay = link_delay_.max * 20;
+  }
+  link_rng_.reserve(n_);
+  for (NodeId id = 0; id < n_; ++id) {
+    link_rng_.push_back(derive_link_rng(seed, id));
   }
 }
 
@@ -29,7 +33,7 @@ void Network::send(NodeId from, NodeId dest, WireMessage msg) {
   ++stats_.sent;
   stats_.per_kind[std::size_t(msg.kind)]++;
   tap(TapEvent::Kind::kSent, from, dest, msg);
-  route(dest, std::move(msg));
+  route(from, dest, std::move(msg));
 }
 
 void Network::send_all(NodeId from, const WireMessage& msg) {
@@ -52,8 +56,8 @@ void Network::send_all(NodeId from, const WireMessage& msg) {
     ++stats_.sent;
     stats_.per_kind[std::size_t(shared.msg.kind)]++;
     tap(TapEvent::Kind::kSent, from, dest, shared.msg);
-    const Duration delay = sample_delay(dest, shared.msg);
-    queue_.schedule(queue_.now() + delay, [this, dest, index] {
+    const Duration delay = sample_delay(from, dest, shared.msg);
+    queue_.schedule(queue_.now() + delay, next_key(from), [this, dest, index] {
       const SharedPayload& p = payload(index);
       ++stats_.delivered;
       tap(TapEvent::Kind::kDelivered, p.msg.sender, dest, p.msg);
@@ -92,8 +96,10 @@ void Network::release_payload(std::uint32_t index) {
   }
 }
 
-Duration Network::sample_delay(NodeId dest, const WireMessage& msg) {
-  Duration delay = link_delay_.sample(rng_) + proc_delay_.sample(rng_);
+Duration Network::sample_delay(NodeId from, NodeId dest,
+                               const WireMessage& msg) {
+  Rng& rng = link_rng_[from];
+  Duration delay = link_delay_.sample(rng) + proc_delay_.sample(rng);
   if (oracle_) {
     if (const auto chosen = oracle_(msg.sender, dest, msg, oracle_seq_++)) {
       // Clamp into the non-faulty envelope: the oracle steers the schedule
@@ -113,29 +119,33 @@ void Network::inject_raw(NodeId dest, WireMessage msg, Duration delay) {
                   [this, dest, msg] { deliver_(dest, msg); });
 }
 
-void Network::route(NodeId dest, WireMessage msg) {
+void Network::route(NodeId from, NodeId dest, WireMessage msg) {
   const bool faulty = queue_.now() < faulty_until_;
   if (faulty) {
-    if (rng_.next_bool(chaos_.drop_prob)) {
+    // Chaos draws come from the AUTHENTIC sender's stream (corruption may
+    // rewrite msg.sender, never which stream paid for it).
+    Rng& rng = link_rng_[from];
+    if (rng.next_bool(chaos_.drop_prob)) {
       ++stats_.dropped;
       tap(TapEvent::Kind::kDropped, msg.sender, dest, msg);
       return;
     }
-    if (rng_.next_bool(chaos_.corrupt_prob)) {
+    if (rng.next_bool(chaos_.corrupt_prob)) {
       // A faulty network may tamper with anything, including the sender.
-      corrupt(msg);
+      corrupt(from, msg);
       ++stats_.corrupted;
     }
-    const Duration delay{rng_.next_in(0, chaos_.max_delay.ns())};
-    queue_.schedule(queue_.now() + delay, [this, dest, msg] {
+    const Duration delay{rng.next_in(0, chaos_.max_delay.ns())};
+    queue_.schedule(queue_.now() + delay, next_key(from), [this, dest, msg] {
       ++stats_.delivered;
       tap(TapEvent::Kind::kDelivered, msg.sender, dest, msg);
       deliver_(dest, msg);
     });
-    if (rng_.next_bool(chaos_.duplicate_prob)) {
+    if (rng.next_bool(chaos_.duplicate_prob)) {
       ++stats_.duplicated;
-      const Duration dup_delay{rng_.next_in(0, chaos_.max_delay.ns())};
-      queue_.schedule(queue_.now() + dup_delay, [this, dest, msg] {
+      const Duration dup_delay{rng.next_in(0, chaos_.max_delay.ns())};
+      queue_.schedule(queue_.now() + dup_delay, next_key(from),
+                      [this, dest, msg] {
         ++stats_.delivered;
         tap(TapEvent::Kind::kDelivered, msg.sender, dest, msg);
         deliver_(dest, msg);
@@ -147,21 +157,22 @@ void Network::route(NodeId dest, WireMessage msg) {
   // Non-faulty: arrival within δ, processing within π of arrival. The
   // destination handler runs once processing completes. The closure carries
   // the payload inline in the event slab — no allocation, no further copy.
-  const Duration delay = sample_delay(dest, msg);
-  queue_.schedule(queue_.now() + delay, [this, dest, msg] {
+  const Duration delay = sample_delay(from, dest, msg);
+  queue_.schedule(queue_.now() + delay, next_key(from), [this, dest, msg] {
     ++stats_.delivered;
     tap(TapEvent::Kind::kDelivered, msg.sender, dest, msg);
     deliver_(dest, msg);
   });
 }
 
-void Network::corrupt(WireMessage& msg) {
-  switch (rng_.next_below(5)) {
-    case 0: msg.kind = MsgKind(rng_.next_below(std::uint64_t(MsgKind::kNumKinds))); break;
-    case 1: msg.sender = NodeId(rng_.next_below(n_)); break;
-    case 2: msg.value = rng_.next_u64(); break;
-    case 3: msg.general = GeneralId{NodeId(rng_.next_below(n_))}; break;
-    case 4: msg.round = std::uint32_t(rng_.next_below(64)); break;
+void Network::corrupt(NodeId from, WireMessage& msg) {
+  Rng& rng = link_rng_[from];
+  switch (rng.next_below(5)) {
+    case 0: msg.kind = MsgKind(rng.next_below(std::uint64_t(MsgKind::kNumKinds))); break;
+    case 1: msg.sender = NodeId(rng.next_below(n_)); break;
+    case 2: msg.value = rng.next_u64(); break;
+    case 3: msg.general = GeneralId{NodeId(rng.next_below(n_))}; break;
+    case 4: msg.round = std::uint32_t(rng.next_below(64)); break;
   }
 }
 

@@ -39,6 +39,22 @@ struct NetworkStats {
   std::uint64_t corrupted = 0;
   std::uint64_t forged = 0;      // injected with a fake sender
   std::array<std::uint64_t, std::size_t(MsgKind::kNumKinds)> per_kind{};
+
+  /// Field-wise sum — how the sharded engine aggregates per-shard counters.
+  /// Lives next to the fields so a new counter cannot be added without the
+  /// aggregation (and run_digest) coming into view.
+  NetworkStats& operator+=(const NetworkStats& other) {
+    sent += other.sent;
+    delivered += other.delivered;
+    dropped += other.dropped;
+    duplicated += other.duplicated;
+    corrupted += other.corrupted;
+    forged += other.forged;
+    for (std::size_t k = 0; k < per_kind.size(); ++k) {
+      per_kind[k] += other.per_kind[k];
+    }
+    return *this;
+  }
 };
 
 class Network {
@@ -46,9 +62,13 @@ class Network {
   using DeliverFn = std::function<void(NodeId dest, const WireMessage&)>;
 
   /// `deliver` is invoked at the (real) instant the destination finishes
-  /// processing the message — i.e. arrival + processing delay.
+  /// processing the message — i.e. arrival + processing delay. All random
+  /// draws (delays, chaos misbehaviour) come from per-SENDER streams derived
+  /// from `(seed, sender)` — see derive_link_rng — so sampling depends only
+  /// on each sender's own send history, never on the global interleaving;
+  /// the sharded engine mirrors these streams shard-locally.
   Network(EventQueue& queue, std::uint32_t n, DelayModel link_delay,
-          DelayModel proc_delay, ChaosConfig chaos, Rng rng,
+          DelayModel proc_delay, ChaosConfig chaos, std::uint64_t seed,
           DeliverFn deliver);
 
   /// Authenticated send: `msg.sender` is overwritten with `from`.
@@ -114,11 +134,18 @@ class Network {
   }
   void release_payload(std::uint32_t index);
 
-  /// Sample (or ask the oracle for) one non-faulty link+processing delay.
-  [[nodiscard]] Duration sample_delay(NodeId dest, const WireMessage& msg);
+  /// Sample (or ask the oracle for) one non-faulty link+processing delay,
+  /// drawn from `from`'s stream.
+  [[nodiscard]] Duration sample_delay(NodeId from, NodeId dest,
+                                      const WireMessage& msg);
 
-  void route(NodeId dest, WireMessage msg);
-  void corrupt(WireMessage& msg);
+  /// Next even-channel (network) EventKey for an event caused by `from`.
+  [[nodiscard]] EventKey next_key(NodeId from) {
+    return EventKey{from, send_seq_[from]++ * 2};
+  }
+
+  void route(NodeId from, NodeId dest, WireMessage msg);
+  void corrupt(NodeId from, WireMessage& msg);
   void tap(TapEvent::Kind kind, NodeId from, NodeId to, const WireMessage& msg);
 
   EventQueue& queue_;
@@ -126,7 +153,8 @@ class Network {
   DelayModel link_delay_;
   DelayModel proc_delay_;
   ChaosConfig chaos_;
-  Rng rng_;
+  std::vector<Rng> link_rng_;            // per-sender (seed, sender) streams
+  std::vector<std::uint64_t> send_seq_;  // per-sender even-channel key seqs
   DeliverFn deliver_;
   RealTime faulty_until_{RealTime::min()};
   NetworkStats stats_;

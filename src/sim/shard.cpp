@@ -1,0 +1,192 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/shard_world.hpp"
+#include "util/assert.hpp"
+
+namespace ssbft {
+
+// NodeContext for a sharded node. Mirrors World::ContextImpl exactly —
+// same key channels, same stream draws — but routes through the shard.
+class Shard::ContextImpl final : public NodeContext {
+ public:
+  ContextImpl(Shard& shard, NodeId id) : shard_(shard), id_(id) {}
+
+  [[nodiscard]] NodeId id() const override { return id_; }
+  [[nodiscard]] std::uint32_t n() const override { return shard_.world_.n(); }
+
+  [[nodiscard]] LocalTime local_now() const override {
+    return shard_.world_.local_now(id_);
+  }
+
+  void send(NodeId dest, WireMessage msg) override {
+    shard_.send(id_, dest, msg);
+  }
+
+  void send_all(WireMessage msg) override { shard_.send_all(id_, msg); }
+
+  void set_timer(LocalTime when, std::uint64_t cookie) override {
+    const RealTime fire =
+        std::max(shard_.world_.real_at(id_, when), shard_.world_.now());
+    Shard& shard = shard_;
+    const NodeId id = id_;
+    NodeSlot& slot = shard_.slot(id_);
+    const EventKey key{id, slot.timer_seq++ * 2 + 1};  // odd channel: timers
+    shard_.queue_.schedule(fire, key, [&shard, id, cookie] {
+      NodeSlot& fired = shard.slot(id);
+      if (fired.behavior) fired.behavior->on_timer(*fired.context, cookie);
+    });
+  }
+
+  void set_timer_after(Duration local_delay, std::uint64_t cookie) override {
+    set_timer(local_now() + local_delay, cookie);
+  }
+
+  Rng& rng() override { return shard_.slot(id_).rng; }
+  Logger& log() override { return shard_.logger_; }
+
+ private:
+  Shard& shard_;
+  NodeId id_;
+};
+
+Shard::Shard(ShardWorld& world, std::uint32_t index, std::uint32_t shard_count,
+             NodeId first_node, NodeId end_node)
+    : world_(world),
+      index_(index),
+      first_node_(first_node),
+      end_node_(end_node),
+      logger_(world.config().log_level),
+      outbox_(shard_count) {
+  SSBFT_EXPECTS(first_node_ < end_node_);
+  const WorldConfig& config = world_.config();
+  slots_.resize(end_node_ - first_node_);
+  for (NodeId id = first_node_; id < end_node_; ++id) {
+    NodeSlot& s = slots_[id - first_node_];
+    s.clock = derive_node_clock(config, id);
+    s.context = std::make_unique<ContextImpl>(*this, id);
+    s.rng = derive_node_rng(config.seed, id);
+    s.link_rng = derive_link_rng(config.seed, id);
+  }
+}
+
+Shard::~Shard() = default;
+
+Shard::NodeSlot& Shard::slot(NodeId id) {
+  SSBFT_EXPECTS(owns(id));
+  return slots_[id - first_node_];
+}
+
+void Shard::set_behavior(NodeId id, std::unique_ptr<NodeBehavior> behavior,
+                         bool started) {
+  NodeSlot& s = slot(id);
+  s.behavior = std::move(behavior);
+  s.started = false;
+  if (started && s.behavior) {
+    s.behavior->on_start(*s.context);
+    s.started = true;
+  }
+}
+
+NodeBehavior* Shard::behavior(NodeId id) { return slot(id).behavior.get(); }
+
+void Shard::start_node(NodeId id) {
+  NodeSlot& s = slot(id);
+  if (s.behavior && !s.started) {
+    s.behavior->on_start(*s.context);
+    s.started = true;
+  }
+}
+
+void Shard::scramble_node(NodeId id) {
+  NodeSlot& s = slot(id);
+  if (s.behavior) s.behavior->scramble(*s.context, s.rng);
+}
+
+DriftingClock& Shard::clock(NodeId id) { return slot(id).clock; }
+
+Duration Shard::sample_delay(NodeSlot& from) {
+  // Same draw order as Network::sample_delay: link then processing.
+  const WorldConfig& config = world_.config();
+  return config.link_delay.sample(from.link_rng) +
+         config.proc_delay.sample(from.link_rng);
+}
+
+void Shard::send(NodeId from, NodeId dest, WireMessage msg) {
+  SSBFT_EXPECTS(dest < world_.n());
+  msg.sender = from;  // authenticated identity (Def. 2.2)
+  ++stats_.sent;
+  stats_.per_kind[std::size_t(msg.kind)]++;
+  NodeSlot& sender = slot(from);
+  const Duration delay = sample_delay(sender);
+  const RealTime when = world_.now() + delay;
+  const EventKey key{from, sender.send_seq++ * 2};  // even channel: network
+  if (owns(dest)) {
+    schedule_delivery(when, key, dest, msg);
+    return;
+  }
+  Shard& target = world_.shard_of(dest);
+  if (ShardWorld::current_shard() == this) {
+    // Inside a window: buffer for the barrier. The bounded-delay model is
+    // what makes this safe — the delivery cannot precede the next window.
+    SSBFT_ASSERT(delay >= world_.lookahead());
+    outbox_[target.index_].push_back(Pending{when, key, dest, msg});
+  } else {
+    // Serial phase (on_start, piecewise runs): no concurrency, insert
+    // straight into the owning shard.
+    target.schedule_delivery(when, key, dest, msg);
+  }
+}
+
+void Shard::send_all(NodeId from, const WireMessage& msg) {
+  // Same per-destination loop as the serial Network::send_all (which shares
+  // one payload but samples, counts, and keys per destination in this exact
+  // order), so a seeded run is bit-identical either way.
+  for (NodeId dest = 0; dest < world_.n(); ++dest) send(from, dest, msg);
+}
+
+void Shard::schedule_delivery(RealTime when, EventKey key, NodeId dest,
+                              const WireMessage& msg) {
+  SSBFT_EXPECTS(owns(dest));
+  Shard* shard = this;
+  queue_.schedule(when, key, [shard, dest, msg] {
+    ++shard->stats_.delivered;
+    shard->deliver(dest, msg);
+  });
+}
+
+void Shard::schedule_forged(RealTime when, EventKey key, NodeId dest,
+                            const WireMessage& msg) {
+  SSBFT_EXPECTS(owns(dest));
+  Shard* shard = this;
+  queue_.schedule(when, key, [shard, dest, msg] { shard->deliver(dest, msg); });
+}
+
+void Shard::deliver(NodeId dest, const WireMessage& msg) {
+  NodeSlot& s = slot(dest);
+  if (s.behavior) s.behavior->on_message(*s.context, msg);
+}
+
+void Shard::process_until(RealTime end, bool inclusive) {
+  logger_.set_now(queue_.now());
+  while (!queue_.empty() &&
+         (inclusive ? queue_.next_time() <= end : queue_.next_time() < end)) {
+    queue_.run_one();
+    logger_.set_now(queue_.now());
+  }
+}
+
+void Shard::drain_inboxes() {
+  for (const auto& peer : world_.shards_) {
+    if (peer.get() == this) continue;
+    std::vector<Pending>& inbox = peer->outbox_[index_];
+    for (const Pending& p : inbox) {
+      schedule_delivery(p.when, p.key, p.dest, p.msg);
+    }
+    inbox.clear();
+  }
+}
+
+}  // namespace ssbft

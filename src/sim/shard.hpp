@@ -1,0 +1,127 @@
+// One shard of the conservative-parallel engine (sim/shard_world.hpp).
+//
+// A Shard owns a contiguous block of nodes: their clocks, behaviors,
+// per-node RNG streams, its own slab EventQueue, wire counters, and one
+// outbound mailbox per peer shard. During a lookahead window the shard
+// dispatches its queue exactly like the serial engine dispatches the same
+// subsequence — same (when, creator, seq) keys, same per-sender delay
+// streams — while cross-shard sends are buffered in the mailboxes and
+// drained by their destination shard at the window barrier. The bounded-
+// delay model guarantees every cross-shard message lands at or after the
+// next window, so no shard ever sees an event "from the past".
+//
+// Engine-internal: user code deploys through Scenario/Cluster and only ever
+// sees the WorldBase surface.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"  // NetworkStats
+#include "sim/node.hpp"
+#include "sim/world.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace ssbft {
+
+class ShardWorld;
+
+class Shard {
+ public:
+  /// A cross-shard delivery waiting at the window barrier. Carries the full
+  /// event key so the destination queue reproduces the serial dispatch
+  /// order no matter which barrier inserted it.
+  struct Pending {
+    RealTime when;
+    EventKey key;
+    NodeId dest;
+    WireMessage msg;
+  };
+
+  Shard(ShardWorld& world, std::uint32_t index, std::uint32_t shard_count,
+        NodeId first_node, NodeId end_node);
+  ~Shard();
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  [[nodiscard]] std::uint32_t index() const { return index_; }
+  [[nodiscard]] bool owns(NodeId id) const {
+    return id >= first_node_ && id < end_node_;
+  }
+
+  // --- node surface (delegated from ShardWorld; serial phases only) -------
+  void set_behavior(NodeId id, std::unique_ptr<NodeBehavior> behavior,
+                    bool started);
+  [[nodiscard]] NodeBehavior* behavior(NodeId id);
+  void start_node(NodeId id);
+  void scramble_node(NodeId id);
+  [[nodiscard]] DriftingClock& clock(NodeId id);
+
+  // --- engine surface -----------------------------------------------------
+  [[nodiscard]] EventQueue& queue() { return queue_; }
+  [[nodiscard]] const EventQueue& queue() const { return queue_; }
+  [[nodiscard]] Logger& log() { return logger_; }
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+
+  /// Dispatch this shard's events with `when < end` (or `<= end` when
+  /// `inclusive`); the window loop's per-shard work item.
+  void process_until(RealTime end, bool inclusive);
+
+  /// Move every peer shard's mailbox addressed here into the local queue.
+  /// Caller (the window barrier) guarantees the producers are parked.
+  void drain_inboxes();
+
+  /// Schedule a delivery on THIS shard (dest must be owned). Used by the
+  /// local send path, by drain_inboxes, and by ShardWorld for serial-phase
+  /// cross-shard sends.
+  void schedule_delivery(RealTime when, EventKey key, NodeId dest,
+                         const WireMessage& msg);
+
+  /// Fault-injector plant: deliver without the delivered/tap accounting,
+  /// mirroring Network::inject_raw.
+  void schedule_forged(RealTime when, EventKey key, NodeId dest,
+                       const WireMessage& msg);
+
+ private:
+  class ContextImpl;
+
+  struct NodeSlot {
+    DriftingClock clock;
+    std::unique_ptr<NodeBehavior> behavior;
+    std::unique_ptr<ContextImpl> context;
+    Rng rng{0};       // behavior stream (seed, node)
+    Rng link_rng{0};  // outgoing-delay stream (seed, node)
+    std::uint64_t timer_seq = 0;  // odd-channel EventKey seqs
+    std::uint64_t send_seq = 0;   // even-channel EventKey seqs
+    bool started = false;
+  };
+
+  [[nodiscard]] NodeSlot& slot(NodeId id);
+
+  /// Authenticated send from an owned node: samples the sender's delay
+  /// stream and routes locally, to a mailbox (inside a window), or straight
+  /// into the destination shard (serial phases).
+  void send(NodeId from, NodeId dest, WireMessage msg);
+  void send_all(NodeId from, const WireMessage& msg);
+  [[nodiscard]] Duration sample_delay(NodeSlot& from);
+
+  void deliver(NodeId dest, const WireMessage& msg);
+
+  ShardWorld& world_;
+  std::uint32_t index_;
+  NodeId first_node_;
+  NodeId end_node_;
+
+  EventQueue queue_;
+  Logger logger_;
+  NetworkStats stats_;
+  std::vector<NodeSlot> slots_;            // [first_node_, end_node_)
+  std::vector<std::vector<Pending>> outbox_;  // indexed by destination shard
+};
+
+}  // namespace ssbft

@@ -1,0 +1,229 @@
+#include "sim/shard_world.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace ssbft {
+
+thread_local Shard* ShardWorld::tl_current_shard_ = nullptr;
+
+std::uint32_t ShardWorld::effective_shards(const WorldConfig& config) {
+  WorldConfig resolved = config;
+  resolved.resolve_delay_models();
+  std::uint32_t shards = std::max(1u, resolved.shards);
+  shards = std::min(shards, resolved.n);
+  // λ = 0 means no conservative window can exist: degrade to one shard
+  // (serial semantics), never to wrongness.
+  if (resolved.lookahead() <= Duration::zero()) shards = 1;
+  return shards;
+}
+
+ShardWorld::ShardWorld(WorldConfig config)
+    : WorldBase(config), rng_(config_.seed), logger_(config_.log_level) {
+  lookahead_ = config_.lookahead();
+  const std::uint32_t shards = effective_shards(config_);
+  SSBFT_EXPECTS(shards == 1 || lookahead_ > Duration::zero());
+  shards_.reserve(shards);
+  shard_index_.resize(config_.n);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const NodeId first = NodeId(std::size_t(s) * config_.n / shards);
+    const NodeId end = NodeId(std::size_t(s + 1) * config_.n / shards);
+    for (NodeId id = first; id < end; ++id) shard_index_[id] = s;
+    shards_.push_back(std::make_unique<Shard>(*this, s, shards, first, end));
+  }
+}
+
+ShardWorld::~ShardWorld() = default;
+
+void ShardWorld::set_behavior(NodeId id,
+                              std::unique_ptr<NodeBehavior> behavior) {
+  SSBFT_EXPECTS(id < config_.n);
+  shard_of(id).set_behavior(id, std::move(behavior), started_);
+}
+
+NodeBehavior* ShardWorld::behavior(NodeId id) {
+  SSBFT_EXPECTS(id < config_.n);
+  return shard_of(id).behavior(id);
+}
+
+void ShardWorld::start() {
+  started_ = true;
+  // Same node order as the serial World::start — on_start handlers may send
+  // immediately, and those sends must mint the same keys and stream draws.
+  for (NodeId id = 0; id < config_.n; ++id) shard_of(id).start_node(id);
+}
+
+RealTime ShardWorld::now() const {
+  if (const Shard* shard = tl_current_shard_) return shard->queue().now();
+  return global_now_;
+}
+
+LocalTime ShardWorld::local_now(NodeId id) const {
+  SSBFT_EXPECTS(id < config_.n);
+  return const_cast<ShardWorld*>(this)->shard_of(id).clock(id).local_at(now());
+}
+
+RealTime ShardWorld::real_at(NodeId id, LocalTime tau) const {
+  SSBFT_EXPECTS(id < config_.n);
+  return const_cast<ShardWorld*>(this)->shard_of(id).clock(id).real_at(tau);
+}
+
+DriftingClock& ShardWorld::clock(NodeId id) {
+  SSBFT_EXPECTS(id < config_.n);
+  return shard_of(id).clock(id);
+}
+
+void ShardWorld::scramble_node(NodeId id) {
+  SSBFT_EXPECTS(id < config_.n);
+  shard_of(id).scramble_node(id);
+}
+
+void ShardWorld::schedule(RealTime when, NodeId target,
+                          std::function<void()> action) {
+  SSBFT_EXPECTS(target < config_.n);
+  SSBFT_EXPECTS(tl_current_shard_ == nullptr);  // serial phases only
+  shard_of(target).queue().schedule(when, next_world_key(), std::move(action));
+}
+
+void ShardWorld::inject_raw(NodeId dest, WireMessage msg, Duration delay) {
+  SSBFT_EXPECTS(dest < config_.n);
+  SSBFT_EXPECTS(tl_current_shard_ == nullptr);  // serial phases only
+  ++forged_stats_.forged;
+  shard_of(dest).schedule_forged(now() + delay, next_world_key(), dest, msg);
+}
+
+NetworkStats ShardWorld::net_stats() const {
+  NetworkStats total = forged_stats_;
+  for (const auto& shard : shards_) total += shard->stats();
+  return total;
+}
+
+std::uint64_t ShardWorld::dispatched() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->queue().dispatched();
+  return total;
+}
+
+Network& ShardWorld::network() {
+  SSBFT_EXPECTS(!"network() is a serial-engine surface; sharded runs have no "
+                 "single Network (taps/oracles/chaos run serial)");
+  std::abort();
+}
+
+EventQueue& ShardWorld::queue() {
+  SSBFT_EXPECTS(!"queue() is a serial-engine surface; use schedule()/"
+                 "dispatched() on WorldBase");
+  std::abort();
+}
+
+void ShardWorld::plan_next_window() {
+  if (window_inclusive_) {
+    // The inclusive pass at the target just ran: nothing at or before the
+    // target can remain (cross-shard effects of the pass land strictly
+    // after it).
+    stop_ = true;
+    return;
+  }
+  // Window start: where the last window ended, skipped ahead to the
+  // earliest pending event (identical on every engine — pure queue state).
+  RealTime start = window_end_;
+  RealTime earliest = RealTime::max();
+  for (const auto& shard : shards_) {
+    if (!shard->queue().empty()) {
+      earliest = std::min(earliest, shard->queue().next_time());
+    }
+  }
+  if (quiescence_ && earliest > target_) {
+    stop_ = true;  // nothing left at or before the deadline
+    return;
+  }
+  start = std::max(start, std::min(earliest, target_));
+  if (start >= target_) {
+    // Zero-width inclusive pass: events AT the target. Anything they cause
+    // cross-shard lands at > target (λ > 0), so one pass suffices.
+    window_end_ = target_;
+    window_inclusive_ = true;
+  } else {
+    window_end_ = std::min(start + lookahead_, target_);
+    window_inclusive_ = false;
+  }
+}
+
+void ShardWorld::run_windows(RealTime target, bool quiescence) {
+  target_ = target;
+  quiescence_ = quiescence;
+  stop_ = false;
+  window_end_ = global_now_;
+  window_inclusive_ = false;
+
+  if (shards_.size() == 1) {
+    // One shard: no cross-shard traffic, the window machinery is identity.
+    // The current-shard marker still matters: now() must track the queue's
+    // advancing clock during dispatch, exactly as in the threaded path.
+    tl_current_shard_ = shards_[0].get();
+    shards_[0]->process_until(target, /*inclusive=*/true);
+    tl_current_shard_ = nullptr;
+  } else {
+    plan_next_window();  // single-threaded: workers not yet running
+    if (!stop_) {
+      std::barrier processed(std::ptrdiff_t(shards_.size()));
+      std::barrier planned(std::ptrdiff_t(shards_.size()),
+                           [this]() noexcept { plan_next_window(); });
+      const auto worker = [&](Shard* shard) {
+        while (true) {
+          tl_current_shard_ = shard;
+          shard->process_until(window_end_, window_inclusive_);
+          tl_current_shard_ = nullptr;
+          processed.arrive_and_wait();  // all outboxes for this window final
+          shard->drain_inboxes();
+          planned.arrive_and_wait();    // completion plans the next window
+          if (stop_) return;
+        }
+      };
+      // Workers are spawned per run_* call (the caller's thread drives
+      // shard 0). Fine for run()-shaped use; harness loops that step a
+      // sharded world in many tiny increments would amortize better with a
+      // persistent parked pool — a follow-up if that pattern appears.
+      std::vector<std::thread> pool;
+      pool.reserve(shards_.size() - 1);
+      for (std::size_t s = 1; s < shards_.size(); ++s) {
+        pool.emplace_back(worker, shards_[s].get());
+      }
+      worker(shards_[0].get());
+      for (auto& t : pool) t.join();
+    }
+    // No mailbox can be non-empty here: every worker's last actions are
+    // process → barrier → drain → barrier, so the final pass's cross-shard
+    // deliveries (all strictly after the target) are already parked in
+    // their destination queues for the next run_* call.
+  }
+
+  if (!quiescence) {
+    // Serial run_until semantics: every clock reads `target` afterwards.
+    for (auto& shard : shards_) shard->queue().run_until(target);
+    global_now_ = target;
+  } else {
+    RealTime last = global_now_;
+    for (const auto& shard : shards_) {
+      last = std::max(last, shard->queue().now());
+    }
+    global_now_ = last;
+  }
+}
+
+void ShardWorld::run_until(RealTime t) {
+  if (t < global_now_) return;
+  run_windows(t, /*quiescence=*/false);
+}
+
+void ShardWorld::run_to_quiescence(RealTime hard_deadline) {
+  if (hard_deadline < global_now_) return;
+  run_windows(hard_deadline, /*quiescence=*/true);
+}
+
+}  // namespace ssbft

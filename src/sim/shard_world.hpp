@@ -1,0 +1,133 @@
+// ShardWorld: conservative-parallel single-run simulation engine.
+//
+// Partitions one World's n nodes across S shards (contiguous blocks), each
+// with its own slab EventQueue, node clocks, and per-node RNG streams.
+// Shards advance in lock-step time windows of width λ = the network's
+// minimum link+processing delay (WorldConfig::lookahead): within a window
+// no node can affect a node on another shard, so shards dispatch their
+// queues concurrently; cross-shard sends buffer in per-pair mailboxes and
+// are drained at the window barrier, always landing at or after the next
+// window.
+//
+// Determinism is the headline constraint. Three shared mechanisms make a
+// sharded run bit-identical to the serial World on the same Scenario+seed:
+//   1. every random stream is a pure function of (seed, entity) — node
+//      behavior RNGs, clock init, and per-SENDER delay sampling
+//      (derive_node_rng / derive_node_clock / derive_link_rng);
+//   2. events dispatch in content-based (when, creator, seq) key order
+//      (EventKey), which each creator mints identically on any engine;
+//   3. observation is canonicalized per node (metrics::run_digest), so the
+//      wall-clock interleaving of shard threads is unobservable.
+// test_shard asserts digest equality across all six StackKinds × shard
+// counts; bench_shard measures the speedup.
+//
+// Requirements: λ > 0 (the Cluster degrades shards to the serial engine
+// when the delay floor is zero — λ = 0 degrades to serial execution, never
+// to wrongness) and no network-chaos window (chaos delays undercut any
+// lookahead; chaotic scenarios run serial). Wire taps and delay oracles are
+// serial-engine features; network()/queue() abort here by contract.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/shard.hpp"
+#include "sim/world.hpp"
+
+namespace ssbft {
+
+class ShardWorld final : public WorldBase {
+ public:
+  explicit ShardWorld(WorldConfig config);
+  ~ShardWorld() override;
+
+  /// Shard count this config will actually run with: clamped to n, and 1
+  /// when sharding cannot preserve serial semantics (no lookahead). The
+  /// Cluster consults this to pick the engine.
+  [[nodiscard]] static std::uint32_t effective_shards(const WorldConfig& config);
+
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return std::uint32_t(shards_.size());
+  }
+  [[nodiscard]] Duration lookahead() const { return lookahead_; }
+
+  void set_behavior(NodeId id, std::unique_ptr<NodeBehavior> behavior) override;
+  [[nodiscard]] NodeBehavior* behavior(NodeId id) override;
+
+  void start() override;
+
+  void run_until(RealTime t) override;
+  void run_to_quiescence(RealTime hard_deadline) override;
+
+  [[nodiscard]] RealTime now() const override;
+  [[nodiscard]] LocalTime local_now(NodeId id) const override;
+  [[nodiscard]] RealTime real_at(NodeId id, LocalTime tau) const override;
+
+  [[nodiscard]] DriftingClock& clock(NodeId id) override;
+  [[nodiscard]] Rng& rng() override { return rng_; }
+  [[nodiscard]] Logger& log() override { return logger_; }
+
+  void scramble_node(NodeId id) override;
+
+  void schedule(RealTime when, NodeId target,
+                std::function<void()> action) override;
+  void inject_raw(NodeId dest, WireMessage msg, Duration delay) override;
+
+  [[nodiscard]] NetworkStats net_stats() const override;
+  [[nodiscard]] std::uint64_t dispatched() const override;
+
+  [[nodiscard]] Network& network() override;   // aborts: serial-only surface
+  [[nodiscard]] EventQueue& queue() override;  // aborts: serial-only surface
+
+ private:
+  friend class Shard;
+
+  /// Owning shard, from the exact node → shard table built at construction
+  /// (the boundaries floor(s·n/S) have no closed-form inverse that is safe
+  /// to get subtly wrong — a mismapped node would abort or corrupt).
+  [[nodiscard]] Shard& shard_of(NodeId id) {
+    return *shards_[shard_index_[id]];
+  }
+  /// The shard the calling thread is currently executing a window for, or
+  /// nullptr on the orchestrating thread / in serial phases.
+  [[nodiscard]] static Shard* current_shard() { return tl_current_shard_; }
+
+  /// Mint the next world-level (kGlobalCreator) key. Serial phases only —
+  /// matches the serial queue's internal counter call-for-call.
+  [[nodiscard]] EventKey next_world_key() {
+    return EventKey{kGlobalCreator, world_seq_++};
+  }
+
+  /// Advance all shards to `target` in lookahead windows. `quiescence`
+  /// stops as soon as no shard holds an event at or before `target` and
+  /// leaves each queue's clock at its last dispatch; otherwise every queue
+  /// is advanced to `target` exactly like the serial engine.
+  void run_windows(RealTime target, bool quiescence);
+  /// Barrier-completion step: plan the next window (or stop). Runs
+  /// single-threaded while every worker is parked at the barrier.
+  void plan_next_window();
+
+  static thread_local Shard* tl_current_shard_;
+
+  Rng rng_;
+  Logger logger_;
+  Duration lookahead_{};
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::uint32_t> shard_index_;  // node id → owning shard
+  std::uint64_t world_seq_ = 0;
+  NetworkStats forged_stats_;  // inject_raw accounting (world-level)
+  RealTime global_now_{};
+  bool started_ = false;
+
+  // Window-loop shared state; written only in plan_next_window (all workers
+  // parked at the barrier) and read by workers after the barrier releases.
+  RealTime window_end_{};
+  bool window_inclusive_ = false;
+  bool stop_ = false;
+  RealTime target_{};
+  bool quiescence_ = false;
+};
+
+}  // namespace ssbft

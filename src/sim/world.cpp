@@ -7,6 +7,35 @@
 
 namespace ssbft {
 
+void WorldConfig::resolve_delay_models() {
+  if (has_delay_models) return;
+  // Default: typical delay well below the bound δ with an exponential
+  // tail capped at δ — the regime the paper's message-driven design
+  // targets ("actual delivery time... may be significantly faster than
+  // the worst case"). Benches that stress delays at the bound override
+  // this explicitly.
+  link_delay = DelayModel::exp_truncated(delta / 5, delta);
+  proc_delay = DelayModel::uniform(Duration::zero(), pi);
+  has_delay_models = true;
+}
+
+DriftingClock derive_node_clock(const WorldConfig& config, NodeId id) {
+  Rng rng = rng_stream(config.seed, RngDomain::kNodeClock, id);
+  // Arbitrary offsets, drift within ±ρ: the post-transient reality.
+  const double rate = 1.0 + config.rho * (2.0 * rng.next_double() - 1.0);
+  const Duration offset{rng.next_in(0, config.max_clock_offset.ns())};
+  return DriftingClock{rate, offset};
+}
+
+WorldBase::WorldBase(const WorldConfig& config) : config_(config) {
+  SSBFT_EXPECTS(config_.n > 0);
+  config_.resolve_delay_models();
+  SSBFT_EXPECTS(config_.link_delay.max <= config_.delta);
+  SSBFT_EXPECTS(config_.proc_delay.max <= config_.pi);
+}
+
+WorldBase::~WorldBase() = default;
+
 // Per-node implementation of the NodeContext interface. A thin forwarding
 // shim: all state lives in the World.
 class World::ContextImpl final : public NodeContext {
@@ -33,9 +62,13 @@ class World::ContextImpl final : public NodeContext {
         std::max(world_.real_at(id_, when), world_.now());
     const NodeId id = id_;
     World& world = world_;
-    world_.queue_.schedule(fire, [&world, id, cookie] {
-      auto& slot = world.nodes_[id];
-      if (slot.behavior) slot.behavior->on_timer(*slot.context, cookie);
+    auto& slot = world_.nodes_[id_];
+    // Odd-channel key: timers and network sends by the same node must not
+    // collide in the (creator, seq) space (EventKey doc).
+    const EventKey key{id, slot.timer_seq++ * 2 + 1};
+    world_.queue_.schedule(fire, key, [&world, id, cookie] {
+      auto& fired = world.nodes_[id];
+      if (fired.behavior) fired.behavior->on_timer(*fired.context, cookie);
     });
   }
 
@@ -52,37 +85,18 @@ class World::ContextImpl final : public NodeContext {
 };
 
 World::World(WorldConfig config)
-    : config_(config), rng_(config.seed), logger_(config.log_level) {
-  SSBFT_EXPECTS(config_.n > 0);
-
-  if (!config_.has_delay_models) {
-    // Default: typical delay well below the bound δ with an exponential
-    // tail capped at δ — the regime the paper's message-driven design
-    // targets ("actual delivery time... may be significantly faster than
-    // the worst case"). Benches that stress delays at the bound override
-    // this explicitly.
-    config_.link_delay =
-        DelayModel::exp_truncated(config_.delta / 5, config_.delta);
-    config_.proc_delay = DelayModel::uniform(Duration::zero(), config_.pi);
-  }
-  SSBFT_EXPECTS(config_.link_delay.max <= config_.delta);
-  SSBFT_EXPECTS(config_.proc_delay.max <= config_.pi);
-
+    : WorldBase(config), rng_(config_.seed), logger_(config_.log_level) {
   network_ = std::make_unique<Network>(
       queue_, config_.n, config_.link_delay, config_.proc_delay, config_.chaos,
-      rng_.split(),
+      config_.seed,
       [this](NodeId dest, const WireMessage& msg) { deliver(dest, msg); });
 
   nodes_.resize(config_.n);
   for (NodeId id = 0; id < config_.n; ++id) {
     auto& slot = nodes_[id];
-    // Arbitrary offsets, drift within ±ρ: the post-transient reality.
-    const double rate =
-        1.0 + config_.rho * (2.0 * rng_.next_double() - 1.0);
-    const Duration offset{rng_.next_in(0, config_.max_clock_offset.ns())};
-    slot.clock = DriftingClock{rate, offset};
+    slot.clock = derive_node_clock(config_, id);
     slot.context = std::make_unique<ContextImpl>(*this, id);
-    slot.rng = rng_.split();
+    slot.rng = derive_node_rng(config_.seed, id);
   }
 }
 
@@ -149,6 +163,16 @@ void World::scramble_node(NodeId id) {
   SSBFT_EXPECTS(id < config_.n);
   auto& slot = nodes_[id];
   if (slot.behavior) slot.behavior->scramble(*slot.context, slot.rng);
+}
+
+void World::schedule(RealTime when, NodeId target,
+                     std::function<void()> action) {
+  SSBFT_EXPECTS(target < config_.n);
+  queue_.schedule(when, std::move(action));  // world-level creator key
+}
+
+void World::inject_raw(NodeId dest, WireMessage msg, Duration delay) {
+  network_->inject_raw(dest, msg, delay);
 }
 
 void World::deliver(NodeId dest, const WireMessage& msg) {

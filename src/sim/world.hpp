@@ -4,9 +4,19 @@
 // local time; protocol behaviors run entirely behind the NodeContext
 // interface. Tests and the harness use the World's omniscient accessors to
 // check the paper's real-time bounds (skews, convergence times).
+//
+// Two engines implement the deployment surface (WorldBase):
+//   World       — the serial engine: one event queue, one Network.
+//   ShardWorld  — conservative-parallel (sim/shard_world.hpp): nodes are
+//                 partitioned across shards that advance in lock-step
+//                 lookahead windows.
+// Both derive every random stream from (seed, entity) and dispatch in
+// (when, creator, seq) key order, so for any Scenario with a positive
+// minimum network delay their observable histories are bit-identical.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -43,21 +53,56 @@ struct WorldConfig {
   std::uint64_t seed = 1;
   LogLevel log_level = LogLevel::kWarn;
 
+  /// Shard count for the parallel engine. 0 (or 1) ⇒ the serial engine,
+  /// unchanged default. Values above n are clamped to n. The Cluster falls
+  /// back to the serial engine when the scenario offers no lookahead
+  /// (min link+proc delay of zero) or runs network chaos — λ = 0 degrades
+  /// to serial execution, never to wrongness.
+  std::uint32_t shards = 0;
+
   /// d = (δ+π)(1+ρ), the paper's bound on send+process as measured on any
   /// non-faulty local timer.
   [[nodiscard]] Duration d_bound() const {
     const double ns = double((delta + pi).ns()) * (1.0 + rho);
     return Duration{static_cast<std::int64_t>(ns) + 1};
   }
+
+  /// Fill in the default delay distributions (idempotent). Both engines —
+  /// and the Cluster's engine selection — resolve through this one helper
+  /// so they agree on the actual distributions.
+  void resolve_delay_models();
+
+  /// Conservative lookahead λ: no node can affect another sooner than this.
+  /// Call after resolve_delay_models().
+  [[nodiscard]] Duration lookahead() const {
+    return link_delay.min + proc_delay.min;
+  }
 };
 
-class World {
- public:
-  explicit World(WorldConfig config);
-  ~World();
+// --- shared per-entity stream derivations ----------------------------------
+// derive_node_rng / derive_link_rng live beside rng_stream (util/rng.hpp) so
+// the Network can share them without a layering inversion; the clock draw
+// needs WorldConfig and lives here. Both engines call exactly these, and
+// test_shard pins their first draws so a refactor cannot silently re-seed
+// every experiment in the repository.
 
-  World(const World&) = delete;
-  World& operator=(const World&) = delete;
+/// Drift rate then initial offset, drawn from the node's clock stream.
+[[nodiscard]] DriftingClock derive_node_clock(const WorldConfig& config,
+                                              NodeId id);
+
+/// Abstract deployment surface: everything the Cluster, the harness, and
+/// the protocol-facing observation paths need, implemented by both engines.
+/// `network()` and `queue()` expose the serial engine's internals for tests
+/// and tools that drive them directly (taps, delay oracles, hand-scheduled
+/// events); the sharded engine has no single queue or network and aborts —
+/// callers using them are serial-only by construction.
+class WorldBase {
+ public:
+  explicit WorldBase(const WorldConfig& config);
+  virtual ~WorldBase();
+
+  WorldBase(const WorldBase&) = delete;
+  WorldBase& operator=(const WorldBase&) = delete;
 
   [[nodiscard]] std::uint32_t n() const { return config_.n; }
   [[nodiscard]] const WorldConfig& config() const { return config_; }
@@ -65,36 +110,92 @@ class World {
   /// Install the protocol/adversary running on `id`. May be called again
   /// later (Byzantine turnover, node recovery); the new behavior's on_start
   /// runs at the current instant if the world has started.
-  void set_behavior(NodeId id, std::unique_ptr<NodeBehavior> behavior);
-  [[nodiscard]] NodeBehavior* behavior(NodeId id);
+  virtual void set_behavior(NodeId id, std::unique_ptr<NodeBehavior> behavior) = 0;
+  [[nodiscard]] virtual NodeBehavior* behavior(NodeId id) = 0;
 
   /// Calls on_start on every installed behavior. Idempotent per behavior.
-  void start();
+  virtual void start() = 0;
 
-  void run_until(RealTime t);
+  virtual void run_until(RealTime t) = 0;
   void run_for(Duration d) { run_until(now() + d); }
   /// Drain every pending event (useful for quiescence tests).
-  void run_to_quiescence(RealTime hard_deadline);
+  virtual void run_to_quiescence(RealTime hard_deadline) = 0;
 
-  [[nodiscard]] RealTime now() const { return queue_.now(); }
-  [[nodiscard]] LocalTime local_now(NodeId id) const;
-  [[nodiscard]] RealTime real_at(NodeId id, LocalTime tau) const;
+  [[nodiscard]] virtual RealTime now() const = 0;
+  [[nodiscard]] virtual LocalTime local_now(NodeId id) const = 0;
+  [[nodiscard]] virtual RealTime real_at(NodeId id, LocalTime tau) const = 0;
 
-  [[nodiscard]] DriftingClock& clock(NodeId id);
-  [[nodiscard]] Network& network() { return *network_; }
-  [[nodiscard]] EventQueue& queue() { return queue_; }
-  [[nodiscard]] Rng& rng() { return rng_; }
-  [[nodiscard]] Logger& log() { return logger_; }
+  [[nodiscard]] virtual DriftingClock& clock(NodeId id) = 0;
+  [[nodiscard]] virtual Rng& rng() = 0;
+  [[nodiscard]] virtual Logger& log() = 0;
 
   /// Invoke NodeBehavior::scramble on `id` (transient fault on that node).
-  void scramble_node(NodeId id);
+  virtual void scramble_node(NodeId id) = 0;
+
+  /// Schedule a world-level action (workload injection) at `when`. `target`
+  /// is the node the action touches — the sharded engine runs it on that
+  /// node's shard; the serial engine ignores it.
+  virtual void schedule(RealTime when, NodeId target,
+                        std::function<void()> action) = 0;
+
+  /// Fault-injector backdoor: plant `msg` (possibly sender-forged) for
+  /// `dest`, delivered after `delay`.
+  virtual void inject_raw(NodeId dest, WireMessage msg, Duration delay) = 0;
+
+  /// Aggregate wire counters (summed across shards on the parallel engine).
+  [[nodiscard]] virtual NetworkStats net_stats() const = 0;
+  /// Events dispatched so far (summed across shards).
+  [[nodiscard]] virtual std::uint64_t dispatched() const = 0;
+
+  /// Serial-engine internals; the sharded engine aborts (see class comment).
+  [[nodiscard]] virtual Network& network() = 0;
+  [[nodiscard]] virtual EventQueue& queue() = 0;
+
+ protected:
+  WorldConfig config_;  // delay models resolved at construction
+};
+
+/// The serial engine.
+class World final : public WorldBase {
+ public:
+  explicit World(WorldConfig config);
+  ~World() override;
+
+  void set_behavior(NodeId id, std::unique_ptr<NodeBehavior> behavior) override;
+  [[nodiscard]] NodeBehavior* behavior(NodeId id) override;
+
+  void start() override;
+
+  void run_until(RealTime t) override;
+  void run_to_quiescence(RealTime hard_deadline) override;
+
+  [[nodiscard]] RealTime now() const override { return queue_.now(); }
+  [[nodiscard]] LocalTime local_now(NodeId id) const override;
+  [[nodiscard]] RealTime real_at(NodeId id, LocalTime tau) const override;
+
+  [[nodiscard]] DriftingClock& clock(NodeId id) override;
+  [[nodiscard]] Network& network() override { return *network_; }
+  [[nodiscard]] EventQueue& queue() override { return queue_; }
+  [[nodiscard]] Rng& rng() override { return rng_; }
+  [[nodiscard]] Logger& log() override { return logger_; }
+
+  void scramble_node(NodeId id) override;
+
+  void schedule(RealTime when, NodeId target,
+                std::function<void()> action) override;
+  void inject_raw(NodeId dest, WireMessage msg, Duration delay) override;
+  [[nodiscard]] NetworkStats net_stats() const override {
+    return network_->stats();
+  }
+  [[nodiscard]] std::uint64_t dispatched() const override {
+    return queue_.dispatched();
+  }
 
  private:
   class ContextImpl;
 
   void deliver(NodeId dest, const WireMessage& msg);
 
-  WorldConfig config_;
   Rng rng_;
   Logger logger_;
   EventQueue queue_;
@@ -105,6 +206,7 @@ class World {
     std::unique_ptr<NodeBehavior> behavior;
     std::unique_ptr<ContextImpl> context;
     Rng rng{0};
+    std::uint64_t timer_seq = 0;  // odd-channel EventKey seqs (see EventKey)
     bool started = false;
   };
   std::vector<NodeSlot> nodes_;

@@ -68,4 +68,16 @@ double Rng::next_exp_truncated(double mean, double cap) {
 
 Rng Rng::split() { return Rng{next_u64() ^ 0xd6e8feb86659fd93ULL}; }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t domain, std::uint64_t index) {
+  // Feed (seed, domain, index) through the splitmix64 permutation in turn:
+  // each argument fully avalanches before the next mixes in, so adjacent
+  // seeds/indices land in unrelated streams.
+  std::uint64_t x = seed;
+  std::uint64_t h = splitmix64(x);
+  x = h ^ domain;
+  h = splitmix64(x);
+  x = h ^ index;
+  return Rng{splitmix64(x)};
+}
+
 }  // namespace ssbft

@@ -37,8 +37,46 @@ class Rng {
   /// Derive an independent child stream (for per-node / per-link RNGs).
   Rng split();
 
+  /// Derive the canonical `(seed, domain, index)` stream — a pure function
+  /// of its arguments, independent of any generator state or draw order.
+  /// The simulation engines key every per-entity stream (node behavior RNG,
+  /// clock init, per-sender link delays) this way so that a sharded run
+  /// samples exactly what the serial run samples, no matter which worker
+  /// executes which node. test_shard pins the first draws of these streams.
+  [[nodiscard]] static Rng stream(std::uint64_t seed, std::uint64_t domain,
+                                  std::uint64_t index);
+
  private:
   std::uint64_t s_[4];
 };
+
+/// Stream domains for Rng::stream. One namespace per per-entity stream the
+/// engines derive; adding a domain never perturbs existing streams.
+enum class RngDomain : std::uint64_t {
+  kNodeBehavior = 1,  // NodeContext::rng() handed to the protocol/adversary
+  kNodeClock = 2,     // drift rate + initial offset
+  kLinkDelay = 3,     // per-SENDER link+processing delay sampling
+};
+
+[[nodiscard]] inline Rng rng_stream(std::uint64_t seed, RngDomain domain,
+                                    std::uint64_t index) {
+  return Rng::stream(seed, static_cast<std::uint64_t>(domain), index);
+}
+
+// THE canonical per-node streams. Every component that needs one — the
+// serial World, the serial Network, and the sharded engine — must go
+// through these two helpers (plus derive_node_clock in sim/world.hpp for
+// the clock draws), so the engines cannot drift apart and break the
+// sharded-vs-serial bit-parity guarantee. test_shard pins the first draws.
+
+[[nodiscard]] inline Rng derive_node_rng(std::uint64_t seed,
+                                         std::uint64_t node) {
+  return rng_stream(seed, RngDomain::kNodeBehavior, node);
+}
+
+[[nodiscard]] inline Rng derive_link_rng(std::uint64_t seed,
+                                         std::uint64_t node) {
+  return rng_stream(seed, RngDomain::kLinkDelay, node);
+}
 
 }  // namespace ssbft

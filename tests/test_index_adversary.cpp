@@ -6,6 +6,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "app/pipelined_log.hpp"
@@ -170,6 +171,17 @@ TEST(IndexAdversaryTest, PipelineSurvivesSprayPlusScramble) {
   world.run_for(2 * nodes[0]->slot_period());
   for (NodeId i = 0; i < 5; ++i) world.scramble_node(i);
   world.run_for(params.delta_stb());
+  // Pre-submission snapshot: everything settled up to here may be garbage —
+  // the scramble itself plants arbitrary records (including entries
+  // "committed" by Byzantine proposers), and phantom executions may settle
+  // more during the healing window. The paper's guarantees cover what
+  // settles AFTER stabilization.
+  std::vector<std::set<std::uint64_t>> settled_before(5);
+  for (NodeId i = 0; i < 5; ++i) {
+    for (const auto& [slot, e] : nodes[i]->settled()) {
+      settled_before[i].insert(slot);
+    }
+  }
   for (NodeId i = 0; i < 5; ++i) nodes[i]->submit(4000 + i);
   world.run_for(30 * nodes[0]->slot_period());
 
@@ -194,9 +206,11 @@ TEST(IndexAdversaryTest, PipelineSurvivesSprayPlusScramble) {
       }
     }
   }
-  // No Byzantine proposer ever owns a committed slot.
+  // No Byzantine proposer owns a slot settled after stabilization (earlier
+  // slots may hold scramble-planted or phantom records — see above).
   for (NodeId i = 0; i < 5; ++i) {
     for (const auto& [slot, e] : nodes[i]->settled()) {
+      if (settled_before[i].count(slot) != 0) continue;
       if (!e.skipped) {
         EXPECT_LT(e.proposer, 5u) << "slot " << slot;
       }

@@ -325,6 +325,49 @@ TEST(DelayModelTest, ExpTruncatedWithinBounds) {
   }
 }
 
+TEST(DelayModelTest, ExpTruncatedLowerBoundRespected) {
+  Rng rng(4);
+  const auto m = DelayModel::exp_truncated(microseconds(30), microseconds(50),
+                                           microseconds(200));
+  EXPECT_EQ(m.min, microseconds(30));
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = m.sample(rng);
+    EXPECT_GE(v, microseconds(30));
+    EXPECT_LE(v, microseconds(200));
+  }
+}
+
+TEST(DelayModelTest, ExpTruncatedLowerBoundKeepsOverallMean) {
+  Rng rng(5);
+  const auto m = DelayModel::exp_truncated(microseconds(100), microseconds(150),
+                                           milliseconds(5));
+  double sum = 0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) sum += double(m.sample(rng).ns());
+  // Overall mean ≈ min + residual mean (truncation shaves a little off the
+  // tail; cap = 100× the residual mean makes that negligible here).
+  const double mean_us = sum / samples * 1e-3;
+  EXPECT_GT(mean_us, 140.0);
+  EXPECT_LT(mean_us, 160.0);
+}
+
+TEST(DelayModelTest, ExpTruncatedDegenerateFloorIsConstant) {
+  Rng rng(6);
+  const auto m = DelayModel::exp_truncated(microseconds(40), microseconds(40),
+                                           microseconds(40));
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(m.sample(rng), microseconds(40));
+}
+
+TEST(DelayModelDeathTest, ExpTruncatedValidatesMinMeanCap) {
+  // min ≤ mean ≤ cap, violated on either side.
+  EXPECT_DEATH((void)DelayModel::exp_truncated(
+                   microseconds(50), microseconds(40), microseconds(100)),
+               "precondition");
+  EXPECT_DEATH((void)DelayModel::exp_truncated(
+                   microseconds(10), microseconds(200), microseconds(100)),
+               "precondition");
+}
+
 // -------------------------------------------------------------- network --
 
 class RecordingBehavior : public NodeBehavior {

@@ -150,6 +150,42 @@ TEST(SweepReportTest, PerRunHookSeesLiveCluster) {
   EXPECT_EQ(report.runs.size(), 4u);
 }
 
+TEST(SweepSchedulingTest, LongestJobFirstPickupGridOrderResults) {
+  // Heterogeneous grid: a big slow scenario listed LAST must be picked up
+  // first, while results stay in grid order with digests unchanged.
+  Scenario small = sweep_scenario(StackKind::kAgree);
+  Scenario big = small;
+  big.n = 10;
+  big.f = 3;
+  big.byz_nodes.clear();
+  big.with_tail_faults(3);
+  big.run_for = 4 * small.run_for;
+
+  SweepSpec spec;
+  spec.scenarios = {small, big};
+  spec.seeds_per_scenario = 2;
+  spec.seed0 = 11;
+
+  const auto order = SweepRunner::schedule_order(spec);
+  ASSERT_EQ(order.size(), 4u);
+  // big's cells (2, 3) first, in stable grid order; then small's (0, 1).
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 3u);
+  EXPECT_EQ(order[2], 0u);
+  EXPECT_EQ(order[3], 1u);
+
+  spec.threads = 2;
+  const SweepReport report = SweepRunner(spec).run();
+  ASSERT_EQ(report.runs.size(), 4u);
+  for (std::size_t i = 0; i < report.runs.size(); ++i) {
+    EXPECT_EQ(report.runs[i].scenario_index, i / 2);  // grid order kept
+    EXPECT_EQ(report.runs[i].seed, 11 + i % 2);
+    const SweepRun serial = SweepRunner::run_cell(
+        spec.scenarios[i / 2], report.runs[i].seed, i / 2);
+    EXPECT_EQ(report.runs[i].digest, serial.digest);
+  }
+}
+
 TEST(SweepGridTest, ExpandRespectsResilienceBound) {
   SweepGrid grid;
   grid.base = sweep_scenario(StackKind::kAgree);

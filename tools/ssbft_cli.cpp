@@ -6,7 +6,12 @@
 //   ssbft_cli [--stack KIND] [--n N] [--f F] [--byz COUNT]
 //             [--adversary KIND] [--seed S] [--delta-us US] [--scramble]
 //             [--chaos-ms MS] [--proposals K] [--run-ms MS] [--depth D]
-//             [--trace] [--verbose]
+//             [--shards S] [--link-min-us US] [--trace] [--verbose]
+//
+// --shards S deploys on the conservative-parallel engine (S shards,
+// bit-identical results). It needs a lookahead: a link-delay distribution
+// with a positive minimum, e.g. --link-min-us 100. Without one (or with
+// --chaos-ms) the run degrades to the serial engine.
 //
 // Sweep (--sweep): a Scenarios × seeds grid on the SweepRunner worker pool
 // — one independent World per run, bit-identical to serial execution.
@@ -49,7 +54,8 @@ using namespace ssbft;
                "usage: %s [--stack KIND] [--n N] [--f F] [--byz COUNT]\n"
                "          [--adversary KIND] [--seed S] [--delta-us US]\n"
                "          [--scramble] [--chaos-ms MS] [--proposals K]\n"
-               "          [--run-ms MS] [--depth D] [--trace] [--verbose]\n"
+               "          [--run-ms MS] [--depth D] [--shards S]\n"
+               "          [--link-min-us US] [--trace] [--verbose]\n"
                "       %s --sweep [--sweep-n LIST] [--sweep-f LIST]\n"
                "          [--sweep-adversary LIST] [--seeds K] [--threads T]\n"
                "          [--csv PATH] [--json PATH]\n"
@@ -443,6 +449,7 @@ int main(int argc, char** argv) {
   bool trace = false;
   bool f_set = false;
   std::int64_t run_ms = 0;
+  Duration link_min = Duration::zero();
   bool sweep = false;
   std::vector<std::uint32_t> sweep_ns;
   std::vector<std::uint32_t> sweep_fs;
@@ -483,6 +490,10 @@ int main(int argc, char** argv) {
       run_ms = parse_u32(next(), argv[0], 1, 10'000'000);
     } else if (arg == "--depth") {
       sc.pipeline.depth = parse_u32(next(), argv[0], 1, 65'536);
+    } else if (arg == "--shards") {
+      sc.shards = parse_u32(next(), argv[0], 0, 4096);
+    } else if (arg == "--link-min-us") {
+      link_min = microseconds(parse_u32(next(), argv[0], 1, 1'000'000'000));
     } else if (arg == "--trace") {
       trace = true;
     } else if (arg == "--verbose") {
@@ -508,6 +519,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (link_min > Duration::zero()) {
+    // A delay floor: same exponential-tail shape as the default, shifted up
+    // by the positive minimum that gives the sharded engine its lookahead
+    // (mean = min + δ/5 keeps the tail; a mean AT the floor would collapse
+    // the distribution to a constant).
+    if (link_min > sc.delta) {
+      std::fprintf(stderr, "error: --link-min-us exceeds delta\n");
+      return 2;
+    }
+    sc.link_delay = DelayModel::exp_truncated(
+        link_min, std::min(link_min + sc.delta / 5, sc.delta), sc.delta);
+  }
+
   if (sweep) {
     // In sweep mode f is a grid axis (--sweep-f, else a single --f point,
     // else derived as ⌊(n−1)/3⌋ per n) and the Byzantine set is always f
@@ -524,6 +548,15 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (sweep_fs.empty() && f_set) sweep_fs = {sc.f};
+    if (sc.shards > 1) {
+      // Legal (every cell stays digest-identical) but the shard workers
+      // multiply the sweep pool; say so instead of silently oversubscribing.
+      std::fprintf(stderr,
+                   "note: --sweep with --shards %u runs EVERY cell sharded; "
+                   "shard threads multiply the sweep pool — consider "
+                   "--threads 1 or dropping --shards\n",
+                   sc.shards);
+    }
     return run_sweep(sc, sweep_ns, sweep_fs, sweep_adversaries, seeds,
                      sc.seed, threads, proposals,
                      run_ms > 0 ? milliseconds(run_ms) : Duration::zero(),
@@ -543,16 +576,31 @@ int main(int argc, char** argv) {
   sc.run_for = run_ms > 0 ? milliseconds(run_ms) : run_for;
 
   Cluster cluster(sc);
+  if (trace && cluster.sharded()) {
+    std::fprintf(stderr, "error: --trace taps the serial engine's wire; "
+                         "drop --shards (results are identical)\n");
+    return 2;
+  }
   TraceRecorder recorder;
   if (trace) cluster.world().network().set_tap(recorder.tap());
   cluster.run();
 
   std::printf("stack: %s   model: n=%u f=%u (actual byz %u, %s), d=%.3fms, "
-              "Phi=%.3fms, Dagr=%.3fms, Dstb=%.3fms, seed=%llu\n\n",
+              "Phi=%.3fms, Dagr=%.3fms, Dstb=%.3fms, seed=%llu\n",
               to_string(sc.stack), sc.n, sc.f, byz, to_string(sc.adversary),
               params.d().millis(), params.phi().millis(),
               params.delta_agr().millis(), params.delta_stb().millis(),
               static_cast<unsigned long long>(sc.seed));
+  if (cluster.sharded()) {
+    std::printf("engine: sharded (%u shards, lookahead %.0f us)\n\n",
+                cluster.shards(),
+                cluster.world().config().lookahead().micros());
+  } else {
+    std::printf("engine: serial%s\n\n",
+                sc.shards > 1 ? " (no lookahead or chaos active; --shards "
+                                "needs --link-min-us and no --chaos-ms)"
+                              : "");
+  }
 
   int exit_code = 0;
   switch (sc.stack) {
@@ -574,7 +622,7 @@ int main(int argc, char** argv) {
       break;
   }
 
-  const auto& stats = cluster.world().network().stats();
+  const auto stats = cluster.world().net_stats();
   std::printf("network: %llu sent, %llu delivered, %llu dropped, %llu forged\n",
               static_cast<unsigned long long>(stats.sent),
               static_cast<unsigned long long>(stats.delivered),
