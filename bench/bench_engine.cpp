@@ -1,31 +1,39 @@
 // bench_engine — the simulation engine itself, before/after the slab
 // refactor, plus the SweepRunner's multi-scenario throughput.
 //
-// Three measurements:
+// Four measurements:
 //  1. Raw dispatch: self-rescheduling event chains carrying a WireMessage-
 //     sized closure (the network delivery shape) through (a) the seed's
 //     std::function + copying std::priority_queue design, preserved here
 //     verbatim as LegacyEventQueue, and (b) the slab-backed EventQueue.
 //     The acceptance gate for the refactor is slab ≥ 2× legacy.
-//  2. Scenario hot path: full (Scenario, seed) agreement runs through a
+//  2. Timer saturation: dense periodic node timers (the protocol-timer
+//     shape: round deadlines, watchdogs) at 64…8192 in-flight, through the
+//     hierarchical timer wheel vs the legacy all-in-the-heap path. The
+//     wheel's O(1) arm/cancel must beat the heap's O(log n) sift once the
+//     in-flight population is dense (gate: wheel ≥ heap at ≥ 1024).
+//  3. Scenario hot path: full (Scenario, seed) agreement runs through a
 //     serial (threads=1) SweepRunner — events/sec and p50 latency.
-//  3. Sweep scaling: the same grid on 1/2/4 worker threads — scenarios/sec
+//  4. Sweep scaling: the same grid on 1/2/4 worker threads — scenarios/sec
 //     plus a digest check that every parallel run is bit-identical to its
 //     serial twin.
 //
 // Results go to stdout (tables) and BENCH_engine.json (machine-readable,
-// tracked in-repo so future PRs can diff the perf trajectory).
+// tracked in-repo so future PRs can diff the perf trajectory — and so the
+// CI perf gate, tools/bench_check.py, has a committed baseline).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <queue>
 
 #include "harness/sweep.hpp"
 #include "harness/report.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/wire.hpp"
+#include "sim/world.hpp"
 #include "util/stats.hpp"
 
 namespace ssbft {
@@ -122,6 +130,83 @@ RawResult measure_raw(std::uint32_t in_flight, std::uint64_t total) {
   return r;
 }
 
+// ----------------------------------------------------- timer saturation --
+// The protocol-timer shape: every node keeps a dense population of periodic
+// timers in flight (round deadlines, back-offs), each re-arming itself on
+// fire — and, like every stack's arm_watchdog(), each fire also
+// RESCHEDULES a per-node watchdog (cancel + re-arm). Cancellation is where
+// the structures truly differ: the wheel unlinks in O(1), while the
+// heap-resident path must park the dead timer until its fire time and pop
+// it as a suppressed no-op — exactly what the pre-wheel generation-counter
+// pattern paid. No network traffic — this isolates the timer path.
+struct TimerStorm final : NodeBehavior {
+  static constexpr std::uint64_t kWatchdogCookie = ~std::uint64_t{0};
+
+  std::uint32_t per_node = 0;
+  std::uint64_t* fired = nullptr;
+  TimerHandle watchdog{};
+
+  void on_start(NodeContext& ctx) override {
+    for (std::uint32_t k = 0; k < per_node; ++k) arm(ctx, k);
+    watchdog = ctx.set_timer_after(microseconds(600), kWatchdogCookie);
+  }
+  void arm(NodeContext& ctx, std::uint64_t cookie) {
+    // Staggered short-horizon periods (50–500 µs) so fires stay dense but
+    // never synchronize into one batch.
+    const Duration period = microseconds(50 + std::int64_t(cookie * 7 % 450));
+    (void)ctx.set_timer_after(period, cookie);
+  }
+  void on_message(NodeContext&, const WireMessage&) override {}
+  void on_timer(NodeContext& ctx, std::uint64_t cookie) override {
+    ++*fired;
+    if (cookie == kWatchdogCookie) {  // quiet node: plain re-arm
+      watchdog = ctx.set_timer_after(microseconds(600), kWatchdogCookie);
+      return;
+    }
+    arm(ctx, cookie);
+    watchdog = ctx.reschedule_timer(
+        watchdog, ctx.local_now() + microseconds(600), kWatchdogCookie);
+  }
+};
+
+double timer_events_per_sec(std::uint32_t in_flight, std::uint64_t total,
+                            bool timer_wheel) {
+  WorldConfig config;
+  config.n = 8;  // fixed node count: only the timer population scales
+  config.timer_wheel = timer_wheel;
+  World world(config);
+  std::uint64_t fired = 0;
+  for (NodeId id = 0; id < config.n; ++id) {
+    auto behavior = std::make_unique<TimerStorm>();
+    behavior->per_node = in_flight / config.n;
+    behavior->fired = &fired;
+    world.set_behavior(id, std::move(behavior));
+  }
+  world.start();
+  const auto t0 = std::chrono::steady_clock::now();
+  while (fired < total) world.run_for(milliseconds(10));
+  const auto t1 = std::chrono::steady_clock::now();
+  return double(fired) / std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct TimerResult {
+  std::uint32_t in_flight;
+  double heap_eps;
+  double wheel_eps;
+  [[nodiscard]] double speedup() const { return wheel_eps / heap_eps; }
+};
+
+TimerResult measure_timers(std::uint32_t in_flight, std::uint64_t total) {
+  TimerResult r{in_flight, 0, 0};
+  for (int pass = 0; pass < 3; ++pass) {  // interleaved best-of-three
+    r.heap_eps =
+        std::max(r.heap_eps, timer_events_per_sec(in_flight, total, false));
+    r.wheel_eps =
+        std::max(r.wheel_eps, timer_events_per_sec(in_flight, total, true));
+  }
+  return r;
+}
+
 // ------------------------------------------------------------- sweeps --
 
 Scenario engine_scenario() {
@@ -186,6 +271,23 @@ void print_and_record() {
   }
   raw_table.print();
 
+  std::printf("\nengine: timer saturation — hierarchical wheel vs heap-"
+              "resident timers (dense periodic, 8 nodes)\n");
+  Table timer_table({"in-flight", "heap Mev/s", "wheel Mev/s", "speedup"});
+  const TimerResult timer_rows[] = {
+      measure_timers(64, 1'000'000),
+      measure_timers(1024, 1'500'000),
+      measure_timers(8192, 2'000'000),
+  };
+  for (const TimerResult& r : timer_rows) {
+    char heap[32], wheel[32], speedup[32];
+    std::snprintf(heap, sizeof heap, "%.1f", r.heap_eps / 1e6);
+    std::snprintf(wheel, sizeof wheel, "%.1f", r.wheel_eps / 1e6);
+    std::snprintf(speedup, sizeof speedup, "%.2fx", r.speedup());
+    timer_table.add_row({std::to_string(r.in_flight), heap, wheel, speedup});
+  }
+  timer_table.print();
+
   const SweepResult sweeps = measure_sweeps(40);
   std::printf("\nengine: scenario hot path (n=7, f=2, noise adversary, one "
               "agreement per run)\n");
@@ -207,6 +309,14 @@ void print_and_record() {
         "    \"in_flight_4096\": {\"legacy_events_per_sec\": %.0f, "
         "\"slab_events_per_sec\": %.0f, \"speedup\": %.3f}\n"
         "  },\n"
+        "  \"timer_saturation\": {\n"
+        "    \"in_flight_64\": {\"heap_events_per_sec\": %.0f, "
+        "\"wheel_events_per_sec\": %.0f, \"speedup\": %.3f},\n"
+        "    \"in_flight_1024\": {\"heap_events_per_sec\": %.0f, "
+        "\"wheel_events_per_sec\": %.0f, \"speedup\": %.3f},\n"
+        "    \"in_flight_8192\": {\"heap_events_per_sec\": %.0f, "
+        "\"wheel_events_per_sec\": %.0f, \"speedup\": %.3f}\n"
+        "  },\n"
         "  \"scenario_hot_path\": {\n"
         "    \"events_per_sec\": %.0f,\n"
         "    \"latency_p50_ms\": %.6f\n"
@@ -220,6 +330,11 @@ void print_and_record() {
         "}\n",
         raw_small.legacy_eps, raw_small.slab_eps, raw_small.speedup(),
         raw_large.legacy_eps, raw_large.slab_eps, raw_large.speedup(),
+        timer_rows[0].heap_eps, timer_rows[0].wheel_eps,
+        timer_rows[0].speedup(), timer_rows[1].heap_eps,
+        timer_rows[1].wheel_eps, timer_rows[1].speedup(),
+        timer_rows[2].heap_eps, timer_rows[2].wheel_eps,
+        timer_rows[2].speedup(),
         sweeps.events_per_sec_serial, sweeps.latency_p50_ms,
         sweeps.scenarios_per_sec[0], sweeps.scenarios_per_sec[1],
         sweeps.scenarios_per_sec[2], sweeps.deterministic ? "true" : "false");

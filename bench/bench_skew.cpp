@@ -5,15 +5,20 @@
 //   (b) |rt(τG_q) − rt(τG_q')| ≤ 6d
 //
 // This bench attacks the bounds with the adversarial Generals (equivocator,
-// staggered initiator) and with a correct General for reference, and prints
-// measured max skews vs the paper's bounds.
+// staggered initiator, spammer) and with a correct General for reference.
+//
+// Sweep-native: each case is one Scenario × 25 seeds on the SweepRunner
+// worker pool (one independent World per trial, all cores, per_run hook for
+// the per-execution skews). Results go to stdout, bench_skew.csv, and
+// BENCH_skew.json.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <mutex>
 
 #include "harness/metrics.hpp"
 #include "harness/report.hpp"
-#include "harness/runner.hpp"
+#include "harness/sweep.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
@@ -27,34 +32,43 @@ struct SkewResult {
   std::uint32_t agreement_violations = 0;
 };
 
+Scenario skew_scenario(AdversaryKind kind, bool correct_general) {
+  Scenario sc;
+  sc.n = 10;
+  sc.f = 3;
+  if (correct_general) {
+    sc.with_tail_faults(3);
+    sc.adversary = AdversaryKind::kSilent;
+    sc.with_proposal(milliseconds(5), 0, 7);
+  } else {
+    sc.byz_nodes = {0, 9, 8};
+    sc.adversary = kind;
+    // Near-correct attacks: small stagger span and a lone equivocation
+    // victim keep the wave completing, maximizing achievable skew.
+    sc.stagger_span = milliseconds(2);
+    sc.equivocate_split = sc.n - 1;
+    sc.adversary_period = milliseconds(2);
+  }
+  sc.run_for = milliseconds(400);
+  return sc;
+}
+
 SkewResult run_skew(AdversaryKind kind, bool correct_general,
                     std::uint32_t trials, std::uint64_t seed0) {
-  SkewResult result;
-  for (std::uint32_t trial = 0; trial < trials; ++trial) {
-    Scenario sc;
-    sc.n = 10;
-    sc.f = 3;
-    if (correct_general) {
-      sc.with_tail_faults(3);
-      sc.adversary = AdversaryKind::kSilent;
-      sc.with_proposal(milliseconds(5), 0, 7);
-    } else {
-      sc.byz_nodes = {0, 9, 8};
-      sc.adversary = kind;
-      // Near-correct attacks: small stagger span and a lone equivocation
-      // victim keep the wave completing, maximizing achievable skew.
-      sc.stagger_span = milliseconds(2);
-      sc.equivocate_split = sc.n - 1;
-      sc.adversary_period = milliseconds(2);
-    }
-    sc.run_for = milliseconds(400);
-    sc.seed = seed0 + trial;
-    Cluster cluster(sc);
-    cluster.run();
+  const Scenario sc = skew_scenario(kind, correct_general);
 
+  SkewResult result;
+  std::mutex mu;
+  SweepSpec spec;
+  spec.scenarios = {sc};
+  spec.seeds_per_scenario = trials;
+  spec.seed0 = seed0;
+  spec.threads = 0;  // all cores; each trial is an independent World
+  spec.per_run = [&](const SweepRun&, Cluster& cluster) {
     const RealTime horizon =
         RealTime::zero() + sc.run_for -
         (cluster.params().delta_agr() + 7 * cluster.params().d());
+    const std::lock_guard<std::mutex> lock(mu);
     for (const auto& e :
          cluster_executions(cluster.decisions(), cluster.params())) {
       if (e.first_return() > horizon) continue;
@@ -64,7 +78,8 @@ SkewResult run_skew(AdversaryKind kind, bool correct_general,
       result.decision_skew.add(e.decision_skew());
       result.tau_g_skew.add(e.tau_g_skew());
     }
-  }
+  };
+  (void)SweepRunner(spec).run();
   return result;
 }
 
@@ -81,6 +96,13 @@ void print_table() {
   Table table({"general", "executions", "dec skew p50 (ms)",
                "dec skew max (ms)", "bound (ms)", "anchor skew max (ms)",
                "bound (ms)", "agreement violations"});
+  std::FILE* json = std::fopen("BENCH_skew.json", "w");
+  if (json) {
+    std::fprintf(json,
+                 "{\n  \"d_ms\": %.6f,\n  \"decision_bound_3d_ms\": %.6f,\n"
+                 "  \"anchor_bound_6d_ms\": %.6f,\n  \"cases\": [\n",
+                 d_ms, 3 * d_ms, 6 * d_ms);
+  }
 
   struct Case {
     const char* name;
@@ -94,7 +116,8 @@ void print_table() {
       {"staggered", AdversaryKind::kStaggeredGeneral, false, 3.0},
       {"spamming", AdversaryKind::kSpamGeneral, false, 3.0},
   };
-  for (const auto& c : cases) {
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const Case& c = cases[i];
     auto r = run_skew(c.kind, c.correct, 25, 7000);
     const bool have = !r.decision_skew.empty();
     table.add_row(
@@ -112,8 +135,31 @@ void print_table() {
                Table::fmt_ms(r.tau_g_skew.max()),
                std::to_string(r.agreement_violations)});
     }
+    if (json) {
+      std::fprintf(
+          json,
+          "    {\"general\": \"%s\", \"executions\": %u, "
+          "\"dec_skew_p50_ms\": %.6f, \"dec_skew_max_ms\": %.6f, "
+          "\"dec_bound_ms\": %.6f, \"tau_skew_max_ms\": %.6f, "
+          "\"agreement_violations\": %u, \"within_bounds\": %s}%s\n",
+          c.name, r.executions,
+          have ? r.decision_skew.quantile(0.5) * 1e-6 : 0.0,
+          have ? r.decision_skew.max() * 1e-6 : 0.0, c.bound_d * d_ms,
+          have ? r.tau_g_skew.max() * 1e-6 : 0.0, r.agreement_violations,
+          (r.agreement_violations == 0 &&
+           (!have || (r.decision_skew.max() * 1e-6 <= c.bound_d * d_ms &&
+                      r.tau_g_skew.max() * 1e-6 <= 6 * d_ms)))
+              ? "true"
+              : "false",
+          i + 1 < std::size(cases) ? "," : "");
+    }
   }
   table.print();
+  if (json) {
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("(wrote BENCH_skew.json)\n");
+  }
 }
 
 void BM_Skew(benchmark::State& state) {

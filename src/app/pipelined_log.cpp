@@ -55,11 +55,11 @@ void PipelinedLogNode::on_message(NodeContext& ctx, const WireMessage& msg) {
   agree_->on_message(ctx, msg);
 }
 
-void PipelinedLogNode::set_pipe_timer(Duration after, PipeTimer kind,
-                                      std::uint32_t payload) {
+TimerHandle PipelinedLogNode::set_pipe_timer(Duration after, PipeTimer kind,
+                                             std::uint32_t payload) {
   SSBFT_ASSERT(ctx_ != nullptr);
-  ctx_->set_timer_after(after, kPipeTimerBit |
-                                   (std::uint64_t(kind) << 32) | payload);
+  return ctx_->set_timer_after(
+      after, kPipeTimerBit | (std::uint64_t(kind) << 32) | payload);
 }
 
 void PipelinedLogNode::on_timer(NodeContext& ctx, std::uint64_t cookie) {
@@ -68,7 +68,6 @@ void PipelinedLogNode::on_timer(NodeContext& ctx, std::uint64_t cookie) {
     return;
   }
   const auto kind = PipeTimer((cookie >> 32) & 0xFF);
-  const auto payload = std::uint32_t(cookie);
   switch (kind) {
     case PipeTimer::kProposeDue:
       propose_owned_slots();
@@ -78,7 +77,7 @@ void PipelinedLogNode::on_timer(NodeContext& ctx, std::uint64_t cookie) {
       sweep_hole_grace();
       break;
     case PipeTimer::kWatchdog:
-      if (payload != std::uint32_t(watchdog_epoch_)) break;  // stale
+      // Only the live watchdog ever fires (arming cancels its predecessor).
       // The window base made no progress for a whole timeout: its proposer
       // is faulty or idle. Skip it; later slots may already be settled, so
       // the base may jump several slots forward.
@@ -264,9 +263,8 @@ void PipelinedLogNode::flush_deliveries() {
 
 void PipelinedLogNode::arm_watchdog() {
   if (ctx_ == nullptr) return;
-  ++watchdog_epoch_;
-  set_pipe_timer(watchdog_timeout_, PipeTimer::kWatchdog,
-                 std::uint32_t(watchdog_epoch_));
+  ctx_->cancel_timer(watchdog_timer_);
+  watchdog_timer_ = set_pipe_timer(watchdog_timeout_, PipeTimer::kWatchdog, 0);
 }
 
 void PipelinedLogNode::scramble(NodeContext& ctx, Rng& rng) {

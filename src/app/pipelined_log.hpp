@@ -102,7 +102,8 @@ class PipelinedLogNode : public NodeBehavior {
   [[nodiscard]] Duration hole_grace() const;
   [[nodiscard]] NodeId proposer_for(std::uint64_t slot) const;
   [[nodiscard]] std::uint32_t index_for(std::uint64_t slot) const;
-  void set_pipe_timer(Duration after, PipeTimer kind, std::uint32_t payload);
+  TimerHandle set_pipe_timer(Duration after, PipeTimer kind,
+                             std::uint32_t payload);
 
   PipelineConfig config_;
   std::uint32_t depth_ = 1;
@@ -119,7 +120,7 @@ class PipelinedLogNode : public NodeBehavior {
   std::map<std::uint64_t, LocalTime> hole_due_;      // grace deadlines
   std::uint64_t low_ = 0;           // window base (proposals start here)
   std::uint64_t deliver_next_ = 0;  // next slot to hand to the sink
-  std::uint64_t watchdog_epoch_ = 0;
+  TimerHandle watchdog_timer_{};    // re-arming cancels the predecessor
 };
 
 }  // namespace ssbft

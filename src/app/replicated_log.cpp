@@ -58,14 +58,14 @@ void ReplicatedLogNode::on_timer(NodeContext& ctx, std::uint64_t cookie) {
     return;
   }
   const auto kind = LogTimer((cookie >> 32) & 0xFF);
-  const auto payload = std::uint32_t(cookie);
   switch (kind) {
     case LogTimer::kSlotDue:
       maybe_propose();
       break;
     case LogTimer::kWatchdog:
-      if (payload != std::uint32_t(watchdog_epoch_)) break;  // stale
-      // The slot's proposer is presumed faulty or idle: advance the cursor
+      // Only the live watchdog ever fires (arming cancels its
+      // predecessor). The slot's proposer is presumed faulty or idle:
+      // advance the cursor
       // (the slot stays empty — only decisions create entries) and let the
       // next proposer go. A late decision can still fill the hole.
       ++cursor_;
@@ -143,11 +143,10 @@ void ReplicatedLogNode::schedule_own_slot() {
 
 void ReplicatedLogNode::arm_watchdog() {
   if (ctx_ == nullptr) return;
-  ++watchdog_epoch_;
-  const std::uint64_t cookie = kLogTimerBit |
-                               (std::uint64_t(LogTimer::kWatchdog) << 32) |
-                               std::uint32_t(watchdog_epoch_);
-  ctx_->set_timer_after(watchdog_timeout_, cookie);
+  const std::uint64_t cookie =
+      kLogTimerBit | (std::uint64_t(LogTimer::kWatchdog) << 32);
+  watchdog_timer_ = ctx_->reschedule_timer(
+      watchdog_timer_, ctx_->local_now() + watchdog_timeout_, cookie);
 }
 
 void ReplicatedLogNode::scramble(NodeContext& ctx, Rng& rng) {

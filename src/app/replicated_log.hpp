@@ -89,7 +89,7 @@ class ReplicatedLogNode : public NodeBehavior {
   std::vector<std::uint32_t> pending_;
   std::uint64_t cursor_ = 0;  // next slot this node expects to settle
   std::optional<LocalTime> last_activity_;
-  std::uint64_t watchdog_epoch_ = 0;
+  TimerHandle watchdog_timer_{};  // re-arming cancels the predecessor
 };
 
 }  // namespace ssbft

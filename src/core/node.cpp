@@ -60,15 +60,18 @@ SsByzAgree& SsByzNode::get_instance(GeneralId general) {
           if (tap_) tap_(decision);
         });
     auto* raw = inst.get();
-    raw->set_timer_service([this, general](LocalTime when,
-                                           SsByzAgree::TimerKind kind,
-                                           std::uint32_t payload) {
-      SSBFT_ASSERT(ctx_ != nullptr);
-      const TimerOp op = kind == SsByzAgree::TimerKind::kRoundDeadline
-                             ? TimerOp::kAgreeRoundDeadline
-                             : TimerOp::kAgreePostReturn;
-      ctx_->set_timer(when, encode_cookie(general, op, payload));
-    });
+    raw->set_timer_service(
+        [this, general](LocalTime when, SsByzAgree::TimerKind kind,
+                        std::uint32_t payload) {
+          SSBFT_ASSERT(ctx_ != nullptr);
+          const TimerOp op = kind == SsByzAgree::TimerKind::kRoundDeadline
+                                 ? TimerOp::kAgreeRoundDeadline
+                                 : TimerOp::kAgreePostReturn;
+          return ctx_->set_timer(when, encode_cookie(general, op, payload));
+        },
+        [this](TimerHandle handle) {
+          return ctx_ != nullptr && ctx_->cancel_timer(handle);
+        });
     it = instances_.emplace(general, std::move(inst)).first;
   }
   return *it->second;

@@ -77,17 +77,20 @@ void SsByzAgree::on_i_accept(Value m, LocalTime tau_g) {
 
   // Schedule the T1 checks at τG+(2r+1)Φ (r = 2..f; r ≤ 1 is vacuous) and
   // the U1 hard deadline at τG+(2f+1)Φ, payload kU1Payload. A nanosecond
-  // past the bound makes "τq >" true. Handlers re-validate against the
-  // *current* τG, so timers from a superseded anchor are harmless.
+  // past the bound makes "τq >" true. The previous invocation's checks are
+  // cancelled first (superseded anchor); handlers still re-validate against
+  // the *current* τG, so any timer that escapes cancellation — a scramble
+  // can lose handles — stays harmless.
+  cancel_deadlines();
   if (request_timer_) {
     for (std::uint32_t r = 2; r <= params_.f(); ++r) {
       const LocalTime when =
           tau_g + std::int64_t(2 * r + 1) * params_.phi() + Duration{1};
-      request_timer_(when, TimerKind::kRoundDeadline, r);
+      arm_deadline(when, r);
     }
     const LocalTime hard =
         tau_g + std::int64_t(2 * params_.f() + 1) * params_.phi() + Duration{1};
-    request_timer_(hard, TimerKind::kRoundDeadline, kU1Payload);
+    arm_deadline(hard, kU1Payload);
   }
 
   // Block R: a fresh I-accept lets the node adopt and relay immediately.
@@ -241,9 +244,26 @@ void SsByzAgree::check_deadline_state(NodeContext& ctx) {
   if (now > *tau_g_ + params_.delta_agr()) do_return(ctx, kBottom);
 }
 
+void SsByzAgree::arm_deadline(LocalTime when, std::uint32_t payload) {
+  deadline_timers_.push_back(
+      request_timer_(when, TimerKind::kRoundDeadline, payload));
+}
+
+void SsByzAgree::cancel_deadlines() {
+  if (cancel_timer_) {
+    for (const TimerHandle handle : deadline_timers_) cancel_timer_(handle);
+  }
+  deadline_timers_.clear();
+}
+
 void SsByzAgree::do_return(NodeContext& ctx, Value value) {
   SSBFT_ASSERT(!returned_);
   returned_ = true;
+  // A returned instance never evaluates T1/U1 again: retire the checks
+  // instead of dispatching them as no-ops. (This is the dense-timer hot
+  // path — every decided execution used to leave up to f stale deadline
+  // fires in the queue.)
+  cancel_deadlines();
   AgreeResult result;
   result.general = general_;
   result.value = value;
@@ -274,6 +294,7 @@ void SsByzAgree::cleanup(LocalTime now) {
 }
 
 void SsByzAgree::reset() {
+  cancel_deadlines();
   ia_.reset();
   bc_.reset();
   tau_g_.reset();
@@ -285,6 +306,10 @@ void SsByzAgree::reset() {
 
 void SsByzAgree::scramble(NodeContext& ctx, Rng& rng) {
   const LocalTime now = ctx.local_now();
+  // A transient fault erases the node's memory of its handles without
+  // cancelling anything in flight: drop them (the stale timers fire and
+  // are filtered by the handlers' re-validation, as before the fault).
+  deadline_timers_.clear();
   reset();
   ctx_ = &ctx;
   ia_.scramble(ctx, rng);
@@ -296,8 +321,7 @@ void SsByzAgree::scramble(NodeContext& ctx, Rng& rng) {
     // The node's main loop keeps polling its clock against U1 even from an
     // arbitrary state; re-arming the deadline models exactly that.
     if (request_timer_) {
-      request_timer_(*tau_g_ + params_.delta_agr() + Duration{1},
-                     TimerKind::kRoundDeadline, kU1Payload);
+      arm_deadline(*tau_g_ + params_.delta_agr() + Duration{1}, kU1Payload);
     }
   }
   const std::uint32_t count = std::uint32_t(rng.next_below(4));

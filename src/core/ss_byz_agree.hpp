@@ -24,6 +24,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <vector>
 
 #include "core/initiator_accept.hpp"
 #include "core/msgd_broadcast.hpp"
@@ -68,9 +69,17 @@ class SsByzAgree {
   void on_timer(NodeContext& ctx, TimerKind kind, std::uint32_t payload);
 
   /// The owner supplies the timer service (cookie namespacing is its job).
-  using RequestTimerFn =
-      std::function<void(LocalTime when, TimerKind kind, std::uint32_t payload)>;
-  void set_timer_service(RequestTimerFn fn) { request_timer_ = std::move(fn); }
+  /// The request function returns the handle minted by NodeContext; the
+  /// optional cancel function lets the instance retire its round-deadline
+  /// timers the moment it returns instead of letting them fire as no-ops
+  /// (handlers still re-validate — a transient fault can lose any handle).
+  using RequestTimerFn = std::function<TimerHandle(
+      LocalTime when, TimerKind kind, std::uint32_t payload)>;
+  using CancelTimerFn = std::function<bool(TimerHandle handle)>;
+  void set_timer_service(RequestTimerFn fn, CancelTimerFn cancel = nullptr) {
+    request_timer_ = std::move(fn);
+    cancel_timer_ = std::move(cancel);
+  }
 
   [[nodiscard]] bool running() const { return tau_g_.has_value() && !returned_; }
   [[nodiscard]] bool returned() const { return returned_; }
@@ -85,6 +94,11 @@ class SsByzAgree {
   void scramble(NodeContext& ctx, Rng& rng);
 
  private:
+  /// Arm a T1/U1 deadline check and remember its handle for cancellation.
+  void arm_deadline(LocalTime when, std::uint32_t payload);
+  /// Retire every outstanding deadline check (returned / superseded).
+  void cancel_deadlines();
+
   void on_i_accept(Value m, LocalTime tau_g);
   void on_bcast_accept(NodeId p, Value m, std::uint32_t k);
   void check_block_s(NodeContext& ctx);
@@ -101,6 +115,8 @@ class SsByzAgree {
   GeneralId general_;
   ReturnFn on_return_;
   RequestTimerFn request_timer_;
+  CancelTimerFn cancel_timer_;
+  std::vector<TimerHandle> deadline_timers_;  // this invocation's T1/U1 checks
 
   InitiatorAccept ia_;
   MsgdBroadcast bc_;

@@ -70,6 +70,7 @@ void Cluster::build() {
   wc.seed = scenario_.seed;
   wc.log_level = scenario_.log_level;
   wc.shards = scenario_.shards;
+  wc.timer_wheel = scenario_.timer_wheel;
   wc.resolve_delay_models();
   // Engine selection: the sharded engine needs a conservative lookahead
   // (positive delay floor) and a chaos-free network; anything else degrades

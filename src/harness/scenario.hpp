@@ -136,6 +136,9 @@ struct Scenario {
   /// Requires a link_delay with a positive minimum to take effect (the
   /// lookahead); results are bit-identical to serial for any value.
   std::uint32_t shards = 0;
+  /// Node timers ride the hierarchical timer wheel (WorldConfig doc).
+  /// false ⇒ legacy heap-resident timers; observable histories identical.
+  bool timer_wheel = true;
 
   [[nodiscard]] Params make_params() const;
   [[nodiscard]] bool is_byzantine(NodeId id) const;

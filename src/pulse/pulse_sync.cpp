@@ -46,15 +46,15 @@ void PulseSyncNode::on_timer(NodeContext& ctx, std::uint64_t cookie) {
     return;
   }
   const auto kind = PulseTimer((cookie >> 32) & 0xFF);
-  const auto payload = std::uint64_t(std::uint32_t(cookie));
   switch (kind) {
     case PulseTimer::kProposeDue:
       maybe_propose();
       break;
     case PulseTimer::kWatchdog:
-      if (payload != (watchdog_epoch_ & 0xFFFFFFFF)) break;  // stale
-      // No pulse for a whole timeout: the scheduled General is presumed
-      // faulty. Advance the rotation; the new designee proposes.
+      // No staleness check needed: arming cancels the previous watchdog,
+      // so only the live one ever fires. No pulse for a whole timeout ⇒
+      // the scheduled General is presumed faulty. Advance the rotation;
+      // the new designee proposes.
       ++counter_;
       arm_watchdog();
       maybe_propose();
@@ -110,16 +110,15 @@ void PulseSyncNode::schedule_own_slot() {
   const LocalTime base = last_pulse_.value_or(ctx_->local_now());
   const std::uint64_t cookie =
       kPulseTimerBit | (std::uint64_t(PulseTimer::kProposeDue) << 32);
-  ctx_->set_timer(base + cycle_, cookie);
+  slot_timer_ = ctx_->reschedule_timer(slot_timer_, base + cycle_, cookie);
 }
 
 void PulseSyncNode::arm_watchdog() {
   if (ctx_ == nullptr) return;
-  ++watchdog_epoch_;
-  const std::uint64_t cookie = kPulseTimerBit |
-                               (std::uint64_t(PulseTimer::kWatchdog) << 32) |
-                               (watchdog_epoch_ & 0xFFFFFFFF);
-  ctx_->set_timer_after(watchdog_timeout_, cookie);
+  const std::uint64_t cookie =
+      kPulseTimerBit | (std::uint64_t(PulseTimer::kWatchdog) << 32);
+  watchdog_timer_ = ctx_->reschedule_timer(
+      watchdog_timer_, ctx_->local_now() + watchdog_timeout_, cookie);
 }
 
 void PulseSyncNode::scramble(NodeContext& ctx, Rng& rng) {

@@ -87,7 +87,11 @@ class PulseSyncNode : public NodeBehavior {
 
   std::uint64_t counter_ = 0;
   std::optional<LocalTime> last_pulse_;
-  std::uint64_t watchdog_epoch_ = 0;  // invalidates stale watchdog timers
+  // First-class timer tickets (sim/node.hpp): re-arming cancels the live
+  // predecessor, so stale watchdog/slot fires no longer happen at all —
+  // this replaces the old watchdog-epoch staleness counter.
+  TimerHandle watchdog_timer_{};
+  TimerHandle slot_timer_{};
 };
 
 }  // namespace ssbft

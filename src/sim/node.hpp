@@ -38,10 +38,24 @@ class NodeContext {
   virtual void send_all(WireMessage msg) = 0;
 
   /// Fire on_timer(cookie) when the local clock reads `when` (or immediately
-  /// if already past). Timers are not cancellable; handlers must tolerate
-  /// stale fires — which they must anyway, under the transient-fault model.
-  virtual void set_timer(LocalTime when, std::uint64_t cookie) = 0;
-  virtual void set_timer_after(Duration local_delay, std::uint64_t cookie) = 0;
+  /// if already past). Returns a handle for cancel_timer/reschedule_timer.
+  /// Handlers must still tolerate stale fires — a transient fault can erase
+  /// the handle a node meant to cancel with.
+  virtual TimerHandle set_timer(LocalTime when, std::uint64_t cookie) = 0;
+  virtual TimerHandle set_timer_after(Duration local_delay,
+                                      std::uint64_t cookie) = 0;
+
+  /// Cancel an armed timer: O(1), true iff it will now never fire. Safe on
+  /// invalid, stale, fired, and already-cancelled handles (returns false).
+  virtual bool cancel_timer(TimerHandle handle) = 0;
+
+  /// Cancel-and-rearm in one call; returns the new handle. The old handle
+  /// may be invalid/stale (the rearm still happens).
+  TimerHandle reschedule_timer(TimerHandle handle, LocalTime when,
+                               std::uint64_t cookie) {
+    cancel_timer(handle);
+    return set_timer(when, cookie);
+  }
 
   virtual Rng& rng() = 0;
   virtual Logger& log() = 0;

@@ -27,21 +27,30 @@ class Shard::ContextImpl final : public NodeContext {
 
   void send_all(WireMessage msg) override { shard_.send_all(id_, msg); }
 
-  void set_timer(LocalTime when, std::uint64_t cookie) override {
+  TimerHandle set_timer(LocalTime when, std::uint64_t cookie) override {
     const RealTime fire =
         std::max(shard_.world_.real_at(id_, when), shard_.world_.now());
     Shard& shard = shard_;
-    const NodeId id = id_;
     NodeSlot& slot = shard_.slot(id_);
-    const EventKey key{id, slot.timer_seq++ * 2 + 1};  // odd channel: timers
-    shard_.queue_.schedule(fire, key, [&shard, id, cookie] {
-      NodeSlot& fired = shard.slot(id);
-      if (fired.behavior) fired.behavior->on_timer(*fired.context, cookie);
-    });
+    const EventKey key{id_, slot.timer_seq++ * 2 + 1};  // odd channel: timers
+    if (shard.world_.config().timer_wheel) {
+      // Per-shard wheel: a node only ever arms timers on its own shard, so
+      // the wheel needs no synchronization and composes with the windows.
+      return shard.timers_.schedule(fire, key, id_, cookie);
+    }
+    const TimerHandle handle = shard.timers_.arm_external(fire, id_, cookie);
+    shard.queue_.schedule(fire, key,
+                          [&shard, handle] { shard.fire_timer(handle); });
+    return handle;
   }
 
-  void set_timer_after(Duration local_delay, std::uint64_t cookie) override {
-    set_timer(local_now() + local_delay, cookie);
+  TimerHandle set_timer_after(Duration local_delay,
+                              std::uint64_t cookie) override {
+    return set_timer(local_now() + local_delay, cookie);
+  }
+
+  bool cancel_timer(TimerHandle handle) override {
+    return shard_.timers_.cancel(handle);
   }
 
   Rng& rng() override { return shard_.slot(id_).rng; }
@@ -169,10 +178,42 @@ void Shard::deliver(NodeId dest, const WireMessage& msg) {
   if (s.behavior) s.behavior->on_message(*s.context, msg);
 }
 
+void Shard::pump_timers(RealTime bound) {
+  timers_.advance(bound, due_batch_);
+  for (const TimerWheel::Due& due : due_batch_) {
+    Shard* shard = this;
+    queue_.schedule(due.when, due.key,
+                    [shard, handle = due.handle] { shard->fire_timer(handle); });
+  }
+}
+
+void Shard::fire_timer(TimerHandle handle) {
+  NodeId node;
+  std::uint64_t cookie;
+  if (!timers_.claim(handle, node, cookie)) {
+    ++suppressed_timers_;  // cancelled after hand-over: a no-op pop
+    return;
+  }
+  NodeSlot& fired = slot(node);
+  if (fired.behavior) fired.behavior->on_timer(*fired.context, cookie);
+}
+
 void Shard::process_until(RealTime end, bool inclusive) {
   logger_.set_now(queue_.now());
-  while (!queue_.empty() &&
-         (inclusive ? queue_.next_time() <= end : queue_.next_time() < end)) {
+  while (true) {
+    // Hand due timers to the queue inside the window (same shared policy
+    // as the serial engine, timer_pump_bound). A timer landing AT an
+    // exclusive window edge may enter the queue now; the dispatch gate
+    // below still holds it for the next window — early hand-over is
+    // unobservable, dispatch order is the queue's.
+    const RealTime bound = timer_pump_bound(queue_, timers_, end);
+    if (bound != RealTime::max()) {
+      pump_timers(bound);
+      continue;
+    }
+    if (queue_.empty()) break;
+    const RealTime next = queue_.next_time();
+    if (inclusive ? next > end : next >= end) break;
     queue_.run_one();
     logger_.set_now(queue_.now());
   }

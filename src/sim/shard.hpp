@@ -22,6 +22,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"  // NetworkStats
 #include "sim/node.hpp"
+#include "sim/timer_wheel.hpp"
 #include "sim/world.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -65,12 +66,23 @@ class Shard {
   // --- engine surface -----------------------------------------------------
   [[nodiscard]] EventQueue& queue() { return queue_; }
   [[nodiscard]] const EventQueue& queue() const { return queue_; }
+  /// Queue dispatches net of suppressed (cancelled-after-hand-over) timer
+  /// pops — the engine-invariant event count (see World::dispatched).
+  [[nodiscard]] std::uint64_t dispatched() const {
+    return queue_.dispatched() - suppressed_timers_;
+  }
   [[nodiscard]] Logger& log() { return logger_; }
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
 
   /// Dispatch this shard's events with `when < end` (or `<= end` when
-  /// `inclusive`); the window loop's per-shard work item.
+  /// `inclusive`); the window loop's per-shard work item. Due wheel timers
+  /// are handed to the queue between dispatches, inside the window.
   void process_until(RealTime end, bool inclusive);
+
+  /// Lower bound on this shard's earliest pending wheel timer (max() when
+  /// none) — the window planner folds it into the earliest-event
+  /// fast-forward so a timer-only shard is never skipped past.
+  [[nodiscard]] RealTime next_timer_due() const { return timers_.next_due(); }
 
   /// Move every peer shard's mailbox addressed here into the local queue.
   /// Caller (the window barrier) guarantees the producers are parked.
@@ -112,12 +124,20 @@ class Shard {
 
   void deliver(NodeId dest, const WireMessage& msg);
 
+  /// Hand every wheel timer due at or before `bound` to the event queue.
+  void pump_timers(RealTime bound);
+  /// Scheduled-closure target: claim the record and run on_timer.
+  void fire_timer(TimerHandle handle);
+
   ShardWorld& world_;
   std::uint32_t index_;
   NodeId first_node_;
   NodeId end_node_;
 
   EventQueue queue_;
+  TimerWheel timers_;
+  std::vector<TimerWheel::Due> due_batch_;  // advance() scratch, reused
+  std::uint64_t suppressed_timers_ = 0;     // cancelled-after-hand-over pops
   Logger logger_;
   NetworkStats stats_;
   std::vector<NodeSlot> slots_;            // [first_node_, end_node_)

@@ -105,7 +105,7 @@ NetworkStats ShardWorld::net_stats() const {
 
 std::uint64_t ShardWorld::dispatched() const {
   std::uint64_t total = 0;
-  for (const auto& shard : shards_) total += shard->queue().dispatched();
+  for (const auto& shard : shards_) total += shard->dispatched();
   return total;
 }
 
@@ -137,6 +137,10 @@ void ShardWorld::plan_next_window() {
     if (!shard->queue().empty()) {
       earliest = std::min(earliest, shard->queue().next_time());
     }
+    // Wheel timers are pending work too: a timer-only shard must not be
+    // fast-forwarded past (the bound is conservative — a stale-low wheel
+    // lower bound only costs an extra empty window, never correctness).
+    earliest = std::min(earliest, shard->next_timer_due());
   }
   if (quiescence_ && earliest > target_) {
     stop_ = true;  // nothing left at or before the deadline

@@ -57,23 +57,35 @@ class World::ContextImpl final : public NodeContext {
     world_.network_->send_all(id_, msg);
   }
 
-  void set_timer(LocalTime when, std::uint64_t cookie) override {
+  TimerHandle set_timer(LocalTime when, std::uint64_t cookie) override {
     const RealTime fire =
         std::max(world_.real_at(id_, when), world_.now());
-    const NodeId id = id_;
     World& world = world_;
     auto& slot = world_.nodes_[id_];
     // Odd-channel key: timers and network sends by the same node must not
-    // collide in the (creator, seq) space (EventKey doc).
-    const EventKey key{id, slot.timer_seq++ * 2 + 1};
-    world_.queue_.schedule(fire, key, [&world, id, cookie] {
-      auto& fired = world.nodes_[id];
-      if (fired.behavior) fired.behavior->on_timer(*fired.context, cookie);
-    });
+    // collide in the (creator, seq) space (EventKey doc). Both timer
+    // backends mint the key here, so their dispatch orders coincide.
+    const EventKey key{id_, slot.timer_seq++ * 2 + 1};
+    if (world.config().timer_wheel) {
+      // Wheel path: the record waits in O(1) slots; pump_timers hands it
+      // to the heap just before the engine reaches its window.
+      return world.timers_.schedule(fire, key, id_, cookie);
+    }
+    // Legacy path: park the fire event in the heap now. The record exists
+    // only to give cancel_timer the same suppress-at-claim semantics.
+    const TimerHandle handle = world.timers_.arm_external(fire, id_, cookie);
+    world.queue_.schedule(fire, key,
+                          [&world, handle] { world.fire_timer(handle); });
+    return handle;
   }
 
-  void set_timer_after(Duration local_delay, std::uint64_t cookie) override {
-    set_timer(local_now() + local_delay, cookie);
+  TimerHandle set_timer_after(Duration local_delay,
+                              std::uint64_t cookie) override {
+    return set_timer(local_now() + local_delay, cookie);
+  }
+
+  bool cancel_timer(TimerHandle handle) override {
+    return world_.timers_.cancel(handle);
   }
 
   Rng& rng() override { return world_.nodes_[id_].rng; }
@@ -128,9 +140,39 @@ void World::start() {
   }
 }
 
+void World::pump_timers(RealTime bound) {
+  timers_.advance(bound, due_batch_);
+  for (const TimerWheel::Due& due : due_batch_) {
+    World* world = this;
+    queue_.schedule(due.when, due.key,
+                    [world, handle = due.handle] { world->fire_timer(handle); });
+  }
+}
+
+void World::fire_timer(TimerHandle handle) {
+  NodeId node;
+  std::uint64_t cookie;
+  if (!timers_.claim(handle, node, cookie)) {
+    ++suppressed_timers_;  // cancelled after hand-over: a no-op pop
+    return;
+  }
+  auto& fired = nodes_[node];
+  if (fired.behavior) fired.behavior->on_timer(*fired.context, cookie);
+}
+
 void World::run_until(RealTime t) {
   logger_.set_now(queue_.now());
-  while (!queue_.empty() && queue_.next_time() <= t) {
+  while (true) {
+    // Batched hand-over (timer_pump_bound): due wheel timers move to the
+    // heap just before the dispatch that could need them; the heap's
+    // (when, creator, seq) order then dispatches exactly as the legacy
+    // all-in-the-heap path would.
+    const RealTime bound = timer_pump_bound(queue_, timers_, t);
+    if (bound != RealTime::max()) {
+      pump_timers(bound);
+      continue;
+    }
+    if (queue_.empty() || queue_.next_time() > t) break;
     queue_.run_one();
     logger_.set_now(queue_.now());
   }
@@ -138,7 +180,13 @@ void World::run_until(RealTime t) {
 }
 
 void World::run_to_quiescence(RealTime hard_deadline) {
-  while (!queue_.empty() && queue_.next_time() <= hard_deadline) {
+  while (true) {
+    const RealTime bound = timer_pump_bound(queue_, timers_, hard_deadline);
+    if (bound != RealTime::max()) {
+      pump_timers(bound);
+      continue;
+    }
+    if (queue_.empty() || queue_.next_time() > hard_deadline) break;
     queue_.run_one();
     logger_.set_now(queue_.now());
   }

@@ -24,6 +24,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
 #include "sim/node.hpp"
+#include "sim/timer_wheel.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
@@ -52,6 +53,15 @@ struct WorldConfig {
   ChaosConfig chaos{};
   std::uint64_t seed = 1;
   LogLevel log_level = LogLevel::kWarn;
+
+  /// Route node timers (Context::set_timer) through the hierarchical timer
+  /// wheel: O(1) arm/cancel, batched hand-over to the event heap (see
+  /// sim/timer_wheel.hpp). false ⇒ the legacy path that parks every timer
+  /// in the binary heap at arm time. Observable histories are identical
+  /// either way (test_timer_wheel pins it); only dispatched() may differ —
+  /// a timer cancelled while still in the wheel never becomes an event,
+  /// while the heap path dispatches a suppressed no-op.
+  bool timer_wheel = true;
 
   /// Shard count for the parallel engine. 0 (or 1) ⇒ the serial engine,
   /// unchanged default. Values above n are clamped to n. The Cluster falls
@@ -188,7 +198,11 @@ class World final : public WorldBase {
     return network_->stats();
   }
   [[nodiscard]] std::uint64_t dispatched() const override {
-    return queue_.dispatched();
+    // Net of suppressed timer fires: a timer cancelled after hand-over
+    // still pops as a no-op, and hand-over timing is backend/engine
+    // dependent — netting it out makes the count invariant across the
+    // serial/sharded engines AND the wheel/heap timer backends.
+    return queue_.dispatched() - suppressed_timers_;
   }
 
  private:
@@ -196,9 +210,17 @@ class World final : public WorldBase {
 
   void deliver(NodeId dest, const WireMessage& msg);
 
+  /// Hand every wheel timer due at or before `bound` to the event heap.
+  void pump_timers(RealTime bound);
+  /// Scheduled-closure target: claim the record and run on_timer.
+  void fire_timer(TimerHandle handle);
+
   Rng rng_;
   Logger logger_;
   EventQueue queue_;
+  TimerWheel timers_;
+  std::vector<TimerWheel::Due> due_batch_;  // advance() scratch, reused
+  std::uint64_t suppressed_timers_ = 0;     // cancelled-after-hand-over pops
   std::unique_ptr<Network> network_;
 
   struct NodeSlot {

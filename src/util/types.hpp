@@ -20,6 +20,19 @@ using Value = std::uint64_t;
 /// Distinguished "null"/⊥ outcome of the agreement protocol.
 constexpr Value kBottom = ~Value{0};
 
+/// Ticket for one armed timer (NodeContext::set_timer). A handle is a plain
+/// (slot, generation) value: cancelling a handle whose timer already fired,
+/// was cancelled, or never existed is a safe no-op — which is exactly the
+/// tolerance the transient-fault model demands (a scramble may leave a node
+/// holding garbage handles). Default-constructed handles are invalid.
+struct TimerHandle {
+  std::uint32_t index = ~std::uint32_t{0};
+  std::uint32_t generation = 0;
+
+  [[nodiscard]] bool valid() const { return index != ~std::uint32_t{0}; }
+  friend bool operator==(TimerHandle, TimerHandle) = default;
+};
+
 /// Identifies one agreement instance: the General that (allegedly)
 /// initiated it, plus an invocation index. One ss-Byz-Agree instance runs
 /// per (General, index) pair. Index 0 is the paper's base protocol (§3);

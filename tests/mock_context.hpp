@@ -27,11 +27,18 @@ class MockContext final : public NodeContext {
     msg.sender = id_;
     for (NodeId dest = 0; dest < n_; ++dest) sent.push_back({dest, msg});
   }
-  void set_timer(LocalTime when, std::uint64_t cookie) override {
+  TimerHandle set_timer(LocalTime when, std::uint64_t cookie) override {
     timers.push_back({when, cookie});
+    return TimerHandle{std::uint32_t(timers.size() - 1), 1};
   }
-  void set_timer_after(Duration delay, std::uint64_t cookie) override {
+  TimerHandle set_timer_after(Duration delay, std::uint64_t cookie) override {
     timers.push_back({now_ + delay, cookie});
+    return TimerHandle{std::uint32_t(timers.size() - 1), 1};
+  }
+  bool cancel_timer(TimerHandle handle) override {
+    if (!handle.valid() || handle.index >= timers.size()) return false;
+    cancelled.push_back(handle);
+    return true;
   }
   Rng& rng() override { return rng_; }
   Logger& log() override { return logger_; }
@@ -64,6 +71,7 @@ class MockContext final : public NodeContext {
   };
   std::vector<SentRecord> sent;
   std::vector<TimerRecord> timers;
+  std::vector<TimerHandle> cancelled;
 
  private:
   NodeId id_;

@@ -33,10 +33,12 @@ class AgreeLineTest : public ::testing::Test {
     agree_ = std::make_unique<SsByzAgree>(
         params_, GeneralId{kG},
         [this](const AgreeResult& r) { results_.push_back(r); });
-    agree_->set_timer_service([this](LocalTime when, SsByzAgree::TimerKind kind,
-                                     std::uint32_t payload) {
-      timers_.push_back({when, kind, payload});
-    });
+    agree_->set_timer_service(
+        [this](LocalTime when, SsByzAgree::TimerKind kind,
+               std::uint32_t payload) {
+          timers_.push_back({when, kind, payload});
+          return TimerHandle{std::uint32_t(timers_.size() - 1), 1};
+        });
   }
 
   Duration d() const { return params_.d(); }

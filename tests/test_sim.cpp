@@ -40,10 +40,25 @@ void* operator new(std::size_t size) {
   throw std::bad_alloc{};
 }
 void* operator new[](std::size_t size) { return ::operator new(size); }
+// The nothrow forms must be replaced too: std::stable_sort's temporary
+// buffer allocates through operator new(size, nothrow) — leaving it to the
+// runtime while replacing operator delete splits an allocation across two
+// allocators (AddressSanitizer flags the pair as alloc-dealloc-mismatch).
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ssbft::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 #pragma GCC diagnostic pop
 
 namespace ssbft {

@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the committed BENCH_*.json baselines.
+
+Compares freshly produced bench artifacts (BENCH_engine.json,
+BENCH_shard.json, ...) against the baselines committed in the repository:
+
+  * every ``*events_per_sec`` metric is checked as a ratio
+    fresh / baseline — below ``--fail-ratio`` (default 0.5×) fails the
+    gate, below ``--warn-ratio`` (default 0.8×) warns. The tolerance is
+    deliberately generous: CI runners are noisy and the baselines were
+    measured on different hardware; the gate exists to catch collapses
+    (an accidentally quadratic hot path), not 10% wobble.
+  * every determinism/digest-parity flag (``deterministic``,
+    ``digest_parity``, ``parity``) must be true in the fresh artifact —
+    a mismatch is a HARD failure regardless of throughput: it means a
+    sharded or wheel-backed run diverged from its serial twin, which
+    invalidates every measurement in the file.
+  * metrics present in the baseline but missing fresh are hard failures
+    too (a silently dropped bench is a silently dropped gate).
+
+stdlib-only by design: CI runs it straight from the checkout.
+
+Usage:
+  tools/bench_check.py --baseline . --fresh build [--files BENCH_engine.json BENCH_shard.json]
+  tools/bench_check.py --self-test
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+THROUGHPUT_SUFFIX = "events_per_sec"
+THROUGHPUT_EXTRA = ("scenarios_per_sec",)
+PARITY_KEYS = ("deterministic", "digest_parity", "parity")
+
+OK, WARN, FAIL = "ok", "WARN", "FAIL"
+
+
+def walk(node, path=""):
+    """Yield (dotted_path, leaf_value) for every leaf of a JSON tree."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from walk(value, f"{path}.{key}" if path else key)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from walk(value, f"{path}[{i}]")
+    else:
+        yield path, node
+
+
+def is_throughput(path):
+    leaf = path.rsplit(".", 1)[-1]
+    return leaf.endswith(THROUGHPUT_SUFFIX) or any(
+        leaf.startswith(extra) for extra in THROUGHPUT_EXTRA
+    )
+
+
+def is_parity(path):
+    return path.rsplit(".", 1)[-1] in PARITY_KEYS
+
+
+def check_file(name, baseline, fresh, fail_ratio, warn_ratio):
+    """Compare one artifact; returns a list of (severity, message)."""
+    results = []
+    fresh_leaves = dict(walk(fresh))
+
+    # Digest parity: checked on the FRESH artifact — the baseline being
+    # green is not evidence about this run.
+    for path, value in fresh_leaves.items():
+        if is_parity(path):
+            if value is True:
+                results.append((OK, f"{name}:{path} parity holds"))
+            else:
+                results.append(
+                    (FAIL, f"{name}:{path} DIGEST PARITY MISMATCH — a "
+                           f"parallel/wheel run diverged from serial"))
+
+    for path, base_value in walk(baseline):
+        # A parity flag the baseline had but the fresh artifact dropped is
+        # a silently dropped gate — hard failure, same as a dropped metric.
+        if is_parity(path) and path not in fresh_leaves:
+            results.append(
+                (FAIL, f"{name}:{path} parity flag present in baseline but "
+                       f"missing from the fresh artifact"))
+            continue
+        if not is_throughput(path):
+            continue
+        if not isinstance(base_value, (int, float)) or base_value <= 0:
+            continue
+        fresh_value = fresh_leaves.get(path)
+        if fresh_value is None:
+            results.append(
+                (FAIL, f"{name}:{path} present in baseline but missing from "
+                       f"the fresh artifact"))
+            continue
+        ratio = float(fresh_value) / float(base_value)
+        line = (f"{name}:{path} {float(fresh_value):.0f} vs baseline "
+                f"{float(base_value):.0f} ({ratio:.2f}x)")
+        if ratio < fail_ratio:
+            results.append((FAIL, f"{line} — below the {fail_ratio}x floor"))
+        elif ratio < warn_ratio:
+            results.append((WARN, line))
+        else:
+            results.append((OK, line))
+    return results
+
+
+def run_gate(args):
+    failures = 0
+    for filename in args.files:
+        baseline_path = os.path.join(args.baseline, filename)
+        fresh_path = os.path.join(args.fresh, filename)
+        try:
+            with open(baseline_path) as f:
+                baseline = json.load(f)
+        except OSError as e:
+            print(f"FAIL {filename}: cannot read baseline: {e}")
+            failures += 1
+            continue
+        try:
+            with open(fresh_path) as f:
+                fresh = json.load(f)
+        except OSError as e:
+            print(f"FAIL {filename}: cannot read fresh artifact: {e}")
+            failures += 1
+            continue
+        for severity, message in check_file(
+                filename, baseline, fresh, args.fail_ratio, args.warn_ratio):
+            print(f"{severity:>4} {message}")
+            if severity == FAIL:
+                failures += 1
+    if failures:
+        print(f"bench_check: {failures} failure(s)")
+        return 1
+    print("bench_check: all gates passed")
+    return 0
+
+
+# --- self-test ---------------------------------------------------------------
+
+GOOD_BASELINE = {
+    "raw_dispatch": {"in_flight_64": {"slab_events_per_sec": 30e6}},
+    "timer_saturation": {"in_flight_1024": {"wheel_events_per_sec": 4e6}},
+    "sweep": {"scenarios_per_sec_t4": 1000.0, "deterministic": True},
+}
+
+
+def self_test():
+    """Exercise the gate end-to-end through the real CLI path, including the
+    non-zero exit on a seeded digest mismatch (the CI acceptance check)."""
+
+    def run_cli(baseline, fresh):
+        with tempfile.TemporaryDirectory() as base_dir, \
+                tempfile.TemporaryDirectory() as fresh_dir:
+            with open(os.path.join(base_dir, "B.json"), "w") as f:
+                json.dump(baseline, f)
+            with open(os.path.join(fresh_dir, "B.json"), "w") as f:
+                json.dump(fresh, f)
+            return main(["--baseline", base_dir, "--fresh", fresh_dir,
+                         "--files", "B.json"])
+
+    import copy
+
+    checks = []
+
+    # 1. Identical artifacts pass.
+    checks.append(("identical artifacts pass",
+                   run_cli(GOOD_BASELINE, GOOD_BASELINE) == 0))
+
+    # 2. A mild dip (0.7x) warns but does not fail.
+    dip = copy.deepcopy(GOOD_BASELINE)
+    dip["raw_dispatch"]["in_flight_64"]["slab_events_per_sec"] *= 0.7
+    checks.append(("0.7x dip only warns", run_cli(GOOD_BASELINE, dip) == 0))
+
+    # 3. A collapse (0.3x) fails.
+    collapse = copy.deepcopy(GOOD_BASELINE)
+    collapse["timer_saturation"]["in_flight_1024"]["wheel_events_per_sec"] *= 0.3
+    checks.append(("0.3x collapse fails",
+                   run_cli(GOOD_BASELINE, collapse) != 0))
+
+    # 4. A seeded digest mismatch hard-fails even with healthy throughput.
+    mismatch = copy.deepcopy(GOOD_BASELINE)
+    mismatch["sweep"]["deterministic"] = False
+    checks.append(("digest mismatch exits non-zero",
+                   run_cli(GOOD_BASELINE, mismatch) != 0))
+
+    # 5. A dropped metric fails.
+    dropped = copy.deepcopy(GOOD_BASELINE)
+    del dropped["timer_saturation"]
+    checks.append(("dropped metric fails",
+                   run_cli(GOOD_BASELINE, dropped) != 0))
+
+    # 6. A dropped parity flag fails too (a gate that vanished is not green).
+    unparitied = copy.deepcopy(GOOD_BASELINE)
+    del unparitied["sweep"]["deterministic"]
+    checks.append(("dropped parity flag fails",
+                   run_cli(GOOD_BASELINE, unparitied) != 0))
+
+    failed = [name for name, ok in checks if not ok]
+    for name, ok in checks:
+        print(f"{'ok' if ok else 'FAIL':>4} self-test: {name}")
+    if failed:
+        print(f"bench_check --self-test: {len(failed)} self-check(s) failed")
+        return 1
+    print("bench_check --self-test: all self-checks passed")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default=".",
+                        help="directory holding the committed baselines")
+    parser.add_argument("--fresh", default=".",
+                        help="directory holding the freshly produced JSONs")
+    parser.add_argument("--files", nargs="+",
+                        default=["BENCH_engine.json", "BENCH_shard.json"])
+    parser.add_argument("--fail-ratio", type=float, default=0.5)
+    parser.add_argument("--warn-ratio", type=float, default=0.8)
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in gate-behavior checks")
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    return run_gate(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
