@@ -8,7 +8,10 @@
 // serial engine and through S = 4 shards, verifying on every row that the
 // two engines produced bit-identical run digests — parity is the hard gate,
 // speedup is reported per-machine (single-core containers show ≈ 1×; the
-// multi-core CI runners demonstrate the scaling).
+// multi-core CI runners demonstrate the scaling). A post-chaos
+// stabilization row exercises the two-phase handoff engine (serial chaos
+// prefix → windowed suffix, sim/handoff_world.hpp) on the scramble + chaos
+// + agreement-storm workload, with the same parity gate.
 //
 // Results go to stdout (table) and BENCH_shard.json (machine-readable,
 // tracked in-repo so future PRs can diff the perf trajectory).
@@ -54,6 +57,34 @@ Scenario shard_bench_scenario(std::uint32_t n, std::uint32_t shards) {
   return sc;
 }
 
+/// The paper's stabilization-measurement shape: scrambled node state,
+/// forged in-flight messages, and a chaotic network until ι0 = 2 ms — then
+/// a post-chaos agreement storm. The chaos prefix runs serial on every
+/// engine; what this row measures is the handoff engine's ability to shard
+/// the (dominant) stabilization suffix, with digest parity as the gate.
+constexpr std::int64_t kChaosMs = 2;
+
+Scenario chaos_bench_scenario(std::uint32_t n, std::uint32_t shards) {
+  Scenario sc = shard_bench_scenario(n, shards);
+  sc.chaos_period = milliseconds(kChaosMs);
+  sc.transient_scramble = true;
+  sc.transient.spurious_per_node = 16;
+  // Flooding Byzantine nodes plus a barrage of post-chaos proposals keep
+  // the suffix a proper messaging storm even while the scrambled correct
+  // nodes are still decaying their garbage state — the phase whose
+  // events/sec this row measures.
+  sc.adversary = AdversaryKind::kNoise;
+  sc.adversary_period = microseconds(500);
+  sc.proposals.clear();
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    sc.with_proposal(milliseconds(kChaosMs) + microseconds(100) +
+                         i * microseconds(700),
+                     NodeId(i % 4), 100 + i);
+  }
+  sc.run_for = milliseconds(kChaosMs) + bench_horizon(n);
+  return sc;
+}
+
 struct EngineRun {
   double events_per_sec = 0;
   double wall_seconds = 0;
@@ -62,8 +93,7 @@ struct EngineRun {
   std::uint32_t shards = 1;
 };
 
-EngineRun run_engine(std::uint32_t n, std::uint32_t shards) {
-  const Scenario sc = shard_bench_scenario(n, shards);
+EngineRun run_engine(const Scenario& sc) {
   Cluster cluster(sc);
   const auto t0 = std::chrono::steady_clock::now();
   cluster.run();
@@ -104,8 +134,8 @@ void print_table() {
   for (const std::uint32_t n : {32u, 128u, 512u}) {
     Row row;
     row.n = n;
-    row.serial = run_engine(n, 0);
-    row.sharded = run_engine(n, kShards);
+    row.serial = run_engine(shard_bench_scenario(n, 0));
+    row.sharded = run_engine(shard_bench_scenario(n, kShards));
     char serial_s[32], sharded_s[32], speedup_s[32];
     std::snprintf(serial_s, sizeof serial_s, "%.2f",
                   row.serial.events_per_sec / 1e6);
@@ -121,7 +151,33 @@ void print_table() {
   std::printf("(parity is the hard gate: a sharded run must be bit-identical "
               "to its serial twin; speedup is machine-dependent.)\n");
 
-  bool all_parity = true;
+  // Post-chaos stabilization workload: the two-phase handoff engine
+  // (serial chaos prefix -> windowed suffix) vs all-serial, on the
+  // scramble + chaos + agreement-storm shape the paper actually measures.
+  std::printf("\nPost-chaos stabilization (chaos [0, %lld ms) runs serial on "
+              "both engines; the handoff shards the suffix)\n",
+              static_cast<long long>(kChaosMs));
+  Table chaos_table({"n", "events", "serial Mev/s", "two-phase Mev/s",
+                     "speedup", "digest parity"});
+  Row chaos_row;
+  chaos_row.n = 128;
+  chaos_row.serial = run_engine(chaos_bench_scenario(chaos_row.n, 0));
+  chaos_row.sharded = run_engine(chaos_bench_scenario(chaos_row.n, kShards));
+  {
+    char serial_s[32], sharded_s[32], speedup_s[32];
+    std::snprintf(serial_s, sizeof serial_s, "%.2f",
+                  chaos_row.serial.events_per_sec / 1e6);
+    std::snprintf(sharded_s, sizeof sharded_s, "%.2f",
+                  chaos_row.sharded.events_per_sec / 1e6);
+    std::snprintf(speedup_s, sizeof speedup_s, "%.2fx", chaos_row.speedup());
+    chaos_table.add_row({std::to_string(chaos_row.n),
+                         Table::fmt_int(chaos_row.serial.events), serial_s,
+                         sharded_s, speedup_s,
+                         chaos_row.parity() ? "yes" : "NO — BUG"});
+  }
+  chaos_table.print();
+
+  bool all_parity = chaos_row.parity();
   for (const Row& row : rows) all_parity = all_parity && row.parity();
 
   if (std::FILE* out = std::fopen("BENCH_shard.json", "w")) {
@@ -142,7 +198,19 @@ void print_table() {
                    row.speedup(), row.parity() ? "true" : "false",
                    i + 1 < rows.size() ? "," : "");
     }
-    std::fprintf(out, "  ]\n}\n");
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out,
+                 "  \"post_chaos_stabilization\": {\"n\": %u, "
+                 "\"chaos_ms\": %lld, \"events\": %llu, "
+                 "\"serial_events_per_sec\": %.0f, "
+                 "\"sharded_events_per_sec\": %.0f, "
+                 "\"speedup\": %.3f, \"parity\": %s}\n",
+                 chaos_row.n, static_cast<long long>(kChaosMs),
+                 static_cast<unsigned long long>(chaos_row.serial.events),
+                 chaos_row.serial.events_per_sec,
+                 chaos_row.sharded.events_per_sec, chaos_row.speedup(),
+                 chaos_row.parity() ? "true" : "false");
+    std::fprintf(out, "}\n");
     std::fclose(out);
     std::printf("(wrote BENCH_shard.json)\n");
   }
@@ -157,7 +225,7 @@ void BM_ShardEngine(benchmark::State& state) {
   const auto n = std::uint32_t(state.range(0));
   const auto shards = std::uint32_t(state.range(1));
   EngineRun run;
-  for (auto _ : state) run = run_engine(n, shards);
+  for (auto _ : state) run = run_engine(shard_bench_scenario(n, shards));
   state.counters["Mev_per_sec"] = run.events_per_sec / 1e6;
   state.counters["shards"] = run.shards;
 }

@@ -5,6 +5,7 @@
 #include "adversary/adversaries.hpp"
 #include "harness/stack_registry.hpp"
 #include "sim/fault_injector.hpp"
+#include "sim/handoff_world.hpp"
 #include "sim/shard_world.hpp"
 
 namespace ssbft {
@@ -29,14 +30,22 @@ std::unique_ptr<NodeBehavior> make_adversary(const Scenario& sc, NodeId id) {
     case AdversaryKind::kReplay:
       return std::make_unique<ReplayAdversary>(sc.adversary_period * 8);
     case AdversaryKind::kQuorumFaker: {
+      // Victims: the first ⌊n/2⌋ CORRECT nodes. Blindly taking ids 0..n/2
+      // could include the faker itself and fellow Byzantine nodes — wasting
+      // the attack budget and making the victim set depend on where the
+      // Byzantine ids happen to sit.
       std::vector<NodeId> victims;
-      for (NodeId v = 0; v < sc.n / 2; ++v) victims.push_back(v);
+      for (NodeId v = 0; v < sc.n && victims.size() < sc.n / 2; ++v) {
+        if (v == id || sc.is_byzantine(v)) continue;
+        victims.push_back(v);
+      }
       return std::make_unique<QuorumFaker>(GeneralId{id}, sc.equivocate_v0,
                                            sc.adversary_period,
                                            std::move(victims));
     }
   }
-  return std::make_unique<SilentAdversary>();
+  SSBFT_EXPECTS(!"unknown AdversaryKind");  // every kind returns above
+  std::abort();
 }
 
 }  // namespace
@@ -72,12 +81,19 @@ void Cluster::build() {
   wc.shards = scenario_.shards;
   wc.timer_wheel = scenario_.timer_wheel;
   wc.resolve_delay_models();
-  // Engine selection: the sharded engine needs a conservative lookahead
-  // (positive delay floor) and a chaos-free network; anything else degrades
-  // to the serial engine — identical results either way (test_shard).
+  // Engine selection — phase-aware: the sharded engine needs a conservative
+  // lookahead (positive delay floor); without one, sharding degrades to the
+  // serial engine — identical results either way (test_shard). A chaos
+  // window no longer pins the whole run serial: the window itself is a
+  // serial-engine phase (its delays undercut any lookahead), so the
+  // HandoffWorld runs it serial and migrates the complete in-flight state
+  // into the windowed engine at the cut — the post-chaos stabilization
+  // phase scales, digests stay bit-identical to all-serial.
   shards_ = ShardWorld::effective_shards(wc);
-  if (scenario_.chaos_period > Duration::zero()) shards_ = 1;
-  if (shards_ > 1) {
+  if (shards_ > 1 && scenario_.chaos_period > Duration::zero()) {
+    world_ = std::make_unique<HandoffWorld>(
+        wc, RealTime::zero() + scenario_.chaos_period);
+  } else if (shards_ > 1) {
     world_ = std::make_unique<ShardWorld>(wc);
   } else {
     world_ = std::make_unique<World>(wc);

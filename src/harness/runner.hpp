@@ -27,13 +27,17 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  /// The deployed engine: the serial World, or the sharded engine when the
-  /// scenario asks for shards AND offers a positive delay floor (lookahead)
-  /// with no network chaos — otherwise sharding degrades to serial
-  /// execution, never to wrongness. Serial-only internals (network(),
-  /// queue()) abort on the sharded engine; everything else is common.
+  /// The deployed engine: the serial World, the sharded engine when the
+  /// scenario asks for shards AND offers a positive delay floor (the
+  /// lookahead), or — for chaos scenarios with shards — the two-phase
+  /// HandoffWorld (serial chaos prefix, windowed post-chaos suffix; see
+  /// sim/handoff_world.hpp). Without a lookahead, sharding degrades to
+  /// serial execution, never to wrongness. Serial-only internals
+  /// (network(), queue()) abort on the sharded engine and on the handoff
+  /// engine once it has crossed the cut; everything else is common.
   [[nodiscard]] WorldBase& world() { return *world_; }
-  /// Shards the deployment actually runs on (1 ⇒ serial engine).
+  /// Shards the deployment actually runs on (1 ⇒ serial engine; for a
+  /// chaos handoff: the suffix engine's shard count).
   [[nodiscard]] std::uint32_t shards() const { return shards_; }
   [[nodiscard]] bool sharded() const { return shards_ > 1; }
   [[nodiscard]] const Params& params() const { return params_; }

@@ -134,7 +134,11 @@ struct Scenario {
   LogLevel log_level = LogLevel::kWarn;
   /// Shards for the conservative-parallel engine (0/1 ⇒ serial engine).
   /// Requires a link_delay with a positive minimum to take effect (the
-  /// lookahead); results are bit-identical to serial for any value.
+  /// lookahead); results are bit-identical to serial for any value. With a
+  /// chaos_period the deployment is two-phase: the chaos window runs on the
+  /// serial engine, then the complete in-flight state migrates into the
+  /// windowed engine for the post-chaos suffix (sim/handoff_world.hpp) —
+  /// still bit-identical to an all-serial run.
   std::uint32_t shards = 0;
   /// Node timers ride the hierarchical timer wheel (WorldConfig doc).
   /// false ⇒ legacy heap-resident timers; observable histories identical.

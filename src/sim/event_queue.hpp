@@ -39,8 +39,15 @@
 namespace ssbft {
 
 /// Creator id for events not attributable to one node (workload injections,
-/// fault-injector plants, tests). Sorts after every node at equal times.
+/// tests). Sorts after every node at equal times.
 inline constexpr std::uint32_t kGlobalCreator = ~std::uint32_t{0};
+
+/// Creator id for fault-injector forged deliveries (inject_raw). A reserved
+/// channel — not insertion order — so a forged delivery dispatches at the
+/// same point of the total order on every engine (serial, sharded, and the
+/// chaos-prefix handoff between them). Sorts after every node but before
+/// the world-level creator at equal times.
+inline constexpr std::uint32_t kForgedCreator = ~std::uint32_t{0} - 1;
 
 /// Content-based tie-break key: who caused the event, and which of that
 /// creator's scheduled events it is. Both simulation engines mint identical
@@ -118,6 +125,11 @@ class EventQueue {
 
   /// Number of events dispatched so far.
   [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
+
+  /// Position of the world-level creator's counter (the seq the next
+  /// key-less schedule will mint). The chaos-prefix handoff transplants it
+  /// so the sharded suffix continues the exact key sequence.
+  [[nodiscard]] std::uint64_t global_seq() const { return global_seq_; }
 
   /// Slab slots currently allocated (diagnostics; peak in-flight events,
   /// rounded up to whole chunks).

@@ -1,0 +1,130 @@
+#include "sim/handoff_world.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace ssbft {
+
+HandoffWorld::HandoffWorld(WorldConfig config, RealTime handoff_at)
+    : WorldBase(config), handoff_at_(handoff_at) {
+  SSBFT_EXPECTS(handoff_at_ > RealTime::zero());
+  // The suffix engine must actually shard, or the wrapper is pointless —
+  // the Cluster builds a plain serial World otherwise.
+  SSBFT_EXPECTS(ShardWorld::effective_shards(config_) > 1);
+  serial_ = std::make_unique<World>(config_);
+  // Before ANY traffic: in-flight messages must be exportable at the cut.
+  serial_->enable_handoff_export();
+}
+
+HandoffWorld::~HandoffWorld() = default;
+
+WorldBase& HandoffWorld::active() {
+  return sharded_ ? static_cast<WorldBase&>(*sharded_)
+                  : static_cast<WorldBase&>(*serial_);
+}
+
+const WorldBase& HandoffWorld::active() const {
+  return sharded_ ? static_cast<const WorldBase&>(*sharded_)
+                  : static_cast<const WorldBase&>(*serial_);
+}
+
+void HandoffWorld::set_behavior(NodeId id,
+                                std::unique_ptr<NodeBehavior> behavior) {
+  active().set_behavior(id, std::move(behavior));
+}
+
+NodeBehavior* HandoffWorld::behavior(NodeId id) {
+  return active().behavior(id);
+}
+
+void HandoffWorld::start() { active().start(); }
+
+void HandoffWorld::migrate() {
+  SSBFT_ASSERT(serial_ && !sharded_);
+  // Drain the prefix: every event strictly before the cut dispatches on the
+  // serial engine (chaos sends, being before ι0, all happen here). What
+  // remains in flight fires at or after the cut.
+  serial_->run_before(handoff_at_);
+  WorldMigration migration = serial_->export_migration();
+  migration.actions.reserve(actions_.size());
+  for (auto& [seq, action] : actions_) {
+    migration.actions.push_back(std::move(action));
+  }
+  actions_.clear();
+  sharded_ = std::make_unique<ShardWorld>(config_, std::move(migration));
+  serial_.reset();
+}
+
+void HandoffWorld::run_until(RealTime t) {
+  if (serial_ && t >= handoff_at_) migrate();
+  active().run_until(t);
+}
+
+void HandoffWorld::run_to_quiescence(RealTime hard_deadline) {
+  if (serial_ && hard_deadline >= handoff_at_) migrate();
+  active().run_to_quiescence(hard_deadline);
+}
+
+RealTime HandoffWorld::now() const { return active().now(); }
+
+LocalTime HandoffWorld::local_now(NodeId id) const {
+  return active().local_now(id);
+}
+
+RealTime HandoffWorld::real_at(NodeId id, LocalTime tau) const {
+  return active().real_at(id, tau);
+}
+
+DriftingClock& HandoffWorld::clock(NodeId id) { return active().clock(id); }
+
+Rng& HandoffWorld::rng() { return active().rng(); }
+
+Logger& HandoffWorld::log() { return active().log(); }
+
+void HandoffWorld::scramble_node(NodeId id) { active().scramble_node(id); }
+
+void HandoffWorld::schedule(RealTime when, NodeId target,
+                            std::function<void()> action) {
+  SSBFT_EXPECTS(target < config_.n);
+  if (sharded_) {
+    // No further migration: forward (the suffix engine mints the continuing
+    // world-channel seq itself).
+    sharded_->schedule(when, target, std::move(action));
+    return;
+  }
+  // Prefix phase: the serial queue mints the next world-channel seq for the
+  // wrapper event; register the action under that seq so it can follow the
+  // migration if still pending at the cut. The wrapper adds no draws, no
+  // extra events, and the identical key — invisible to an all-serial run.
+  const std::uint64_t seq = serial_->queue().global_seq();
+  auto [it, inserted] = actions_.emplace(
+      seq, WorldMigration::PendingAction{when, EventKey{kGlobalCreator, seq},
+                                         target, std::move(action)});
+  SSBFT_ASSERT(inserted);
+  serial_->schedule(when, target, [this, seq] {
+    auto node = actions_.extract(seq);
+    SSBFT_ASSERT(!node.empty());
+    node.mapped().action();
+  });
+}
+
+void HandoffWorld::inject_raw(NodeId dest, WireMessage msg, Duration delay) {
+  active().inject_raw(dest, msg, delay);
+}
+
+NetworkStats HandoffWorld::net_stats() const { return active().net_stats(); }
+
+std::uint64_t HandoffWorld::dispatched() const { return active().dispatched(); }
+
+Network& HandoffWorld::network() {
+  SSBFT_EXPECTS(serial_ != nullptr);  // post-handoff: sharded-only surface
+  return serial_->network();
+}
+
+EventQueue& HandoffWorld::queue() {
+  SSBFT_EXPECTS(serial_ != nullptr);  // post-handoff: sharded-only surface
+  return serial_->queue();
+}
+
+}  // namespace ssbft

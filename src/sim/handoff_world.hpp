@@ -1,0 +1,111 @@
+// HandoffWorld: two-phase engine for chaos/stabilization scenarios.
+//
+// The paper's experiments of interest start with a transient chaos window
+// [0, ι0) — the network drops, corrupts, duplicates, and arbitrarily delays
+// — and then measure how the stack stabilizes once the network turns
+// non-faulty. Chaos is inherently a serial-engine phase (its unbounded
+// delays undercut any conservative lookahead, and the chaos machinery lives
+// in the serial Network); the stabilization phase is exactly where the
+// windowed ShardWorld scales. Pinning the WHOLE run to the serial engine
+// because of the prefix (the pre-handoff behavior) wasted the phase we most
+// want to measure at scale.
+//
+// This wrapper runs the prefix [0, handoff_at) on the serial World, then
+// migrates the complete simulation state into a ShardWorld and runs the
+// suffix windowed:
+//   * pending deliveries (chaos-delayed, duplicated, forged) re-materialize
+//     in their destination shard's queue with their original content-based
+//     (when, creator, seq) keys — the serial Network tracks them in a side
+//     slab (enable_handoff_export) precisely because slab-queue closures
+//     cannot be extracted once type-erased;
+//   * live timer records re-arm at their original (index, generation)
+//     tickets in the owning shard's wheel, so TimerHandles held inside
+//     behaviors survive the engine swap;
+//   * per-node behavior/clock state moves wholesale; every RNG stream
+//     (behavior, per-sender link, world) and every key-channel counter
+//     (even network, odd timer, forged, world) continues at its exact
+//     position.
+// The cut is exclusive — all events strictly before handoff_at dispatch on
+// the serial engine — so the suffix dispatches the identical total order an
+// all-serial run would, and run digests are bit-identical (test_shard's
+// chaos matrix × all six StackKinds × shards {1, 2, 4}).
+//
+// Pre-handoff the serial surface (network(), queue()) forwards; after the
+// migration it aborts exactly like ShardWorld's. schedule() is registered
+// here (not just forwarded) so still-pending workload injections can follow
+// the migration: their closures are engine-agnostic, only their queue
+// residence is not.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "sim/shard_world.hpp"
+#include "sim/world.hpp"
+
+namespace ssbft {
+
+class HandoffWorld final : public WorldBase {
+ public:
+  /// `handoff_at` is the chaos end ι0 (Network::faulty_until): the instant
+  /// the serial prefix hands over. `config.shards` shapes the suffix engine.
+  HandoffWorld(WorldConfig config, RealTime handoff_at);
+  ~HandoffWorld() override;
+
+  [[nodiscard]] RealTime handoff_at() const { return handoff_at_; }
+  /// Has the migration happened yet? (Diagnostics/tests.)
+  [[nodiscard]] bool handed_off() const { return sharded_ != nullptr; }
+  /// The suffix engine, post-handoff only (tests).
+  [[nodiscard]] ShardWorld* suffix() { return sharded_.get(); }
+
+  void set_behavior(NodeId id, std::unique_ptr<NodeBehavior> behavior) override;
+  [[nodiscard]] NodeBehavior* behavior(NodeId id) override;
+  void start() override;
+
+  void run_until(RealTime t) override;
+  void run_to_quiescence(RealTime hard_deadline) override;
+
+  [[nodiscard]] RealTime now() const override;
+  [[nodiscard]] LocalTime local_now(NodeId id) const override;
+  [[nodiscard]] RealTime real_at(NodeId id, LocalTime tau) const override;
+
+  [[nodiscard]] DriftingClock& clock(NodeId id) override;
+  [[nodiscard]] Rng& rng() override;
+  [[nodiscard]] Logger& log() override;
+
+  void scramble_node(NodeId id) override;
+
+  void schedule(RealTime when, NodeId target,
+                std::function<void()> action) override;
+  void inject_raw(NodeId dest, WireMessage msg, Duration delay) override;
+
+  [[nodiscard]] NetworkStats net_stats() const override;
+  [[nodiscard]] std::uint64_t dispatched() const override;
+
+  /// Serial surface: forwards during the prefix, aborts after the handoff
+  /// (the suffix has no single Network/queue).
+  [[nodiscard]] Network& network() override;
+  [[nodiscard]] EventQueue& queue() override;
+
+ private:
+  [[nodiscard]] WorldBase& active();
+  [[nodiscard]] const WorldBase& active() const;
+
+  /// Cross the cut: drain the prefix (everything strictly before
+  /// handoff_at_), export, adopt. Idempotent via serial_ == nullptr.
+  void migrate();
+
+  RealTime handoff_at_;
+  std::unique_ptr<World> serial_;        // prefix engine; null after handoff
+  std::unique_ptr<ShardWorld> sharded_;  // suffix engine; null before
+
+  // Workload actions scheduled through us, keyed by the world-channel seq
+  // the serial queue minted for them (deterministic iteration order). An
+  // action unregisters itself when it runs; whatever remains at the cut
+  // migrates into the suffix engine with its original key.
+  std::map<std::uint64_t, WorldMigration::PendingAction> actions_;
+};
+
+}  // namespace ssbft

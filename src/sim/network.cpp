@@ -18,9 +18,15 @@ Network::Network(EventQueue& queue, std::uint32_t n, DelayModel link_delay,
       send_seq_(n, 0),
       deliver_(std::move(deliver)) {
   SSBFT_EXPECTS(n_ > 0);
+  SSBFT_EXPECTS(chaos_.max_delay >= Duration::zero());
   if (chaos_.max_delay == Duration::zero()) {
     chaos_.max_delay = link_delay_.max * 20;
   }
+  // A zero-width link-delay model (link_delay_.max == 0) would degenerate
+  // the fallback to rng.next_in(0, 0) — instantaneous, undroppable-window
+  // "chaos". Clamp to a positive floor so a chaotic network always has a
+  // real delay envelope.
+  chaos_.max_delay = std::max(chaos_.max_delay, chaos_delay_floor());
   link_rng_.reserve(n_);
   for (NodeId id = 0; id < n_; ++id) {
     link_rng_.push_back(derive_link_rng(seed, id));
@@ -115,8 +121,8 @@ void Network::inject_raw(NodeId dest, WireMessage msg, Duration delay) {
   SSBFT_EXPECTS(dest < n_);
   ++stats_.forged;
   tap(TapEvent::Kind::kForged, kNoNode, dest, msg);
-  queue_.schedule(queue_.now() + delay,
-                  [this, dest, msg] { deliver_(dest, msg); });
+  schedule_delivery(queue_.now() + delay, EventKey{kForgedCreator, forged_seq_++},
+                    dest, msg, /*forged=*/true);
 }
 
 void Network::route(NodeId from, NodeId dest, WireMessage msg) {
@@ -136,20 +142,13 @@ void Network::route(NodeId from, NodeId dest, WireMessage msg) {
       ++stats_.corrupted;
     }
     const Duration delay{rng.next_in(0, chaos_.max_delay.ns())};
-    queue_.schedule(queue_.now() + delay, next_key(from), [this, dest, msg] {
-      ++stats_.delivered;
-      tap(TapEvent::Kind::kDelivered, msg.sender, dest, msg);
-      deliver_(dest, msg);
-    });
+    schedule_delivery(queue_.now() + delay, next_key(from), dest, msg,
+                      /*forged=*/false);
     if (rng.next_bool(chaos_.duplicate_prob)) {
       ++stats_.duplicated;
       const Duration dup_delay{rng.next_in(0, chaos_.max_delay.ns())};
-      queue_.schedule(queue_.now() + dup_delay, next_key(from),
-                      [this, dest, msg] {
-        ++stats_.delivered;
-        tap(TapEvent::Kind::kDelivered, msg.sender, dest, msg);
-        deliver_(dest, msg);
-      });
+      schedule_delivery(queue_.now() + dup_delay, next_key(from), dest, msg,
+                        /*forged=*/false);
     }
     return;
   }
@@ -158,11 +157,70 @@ void Network::route(NodeId from, NodeId dest, WireMessage msg) {
   // destination handler runs once processing completes. The closure carries
   // the payload inline in the event slab — no allocation, no further copy.
   const Duration delay = sample_delay(from, dest, msg);
-  queue_.schedule(queue_.now() + delay, next_key(from), [this, dest, msg] {
-    ++stats_.delivered;
-    tap(TapEvent::Kind::kDelivered, msg.sender, dest, msg);
-    deliver_(dest, msg);
+  schedule_delivery(queue_.now() + delay, next_key(from), dest, msg,
+                    /*forged=*/false);
+}
+
+void Network::schedule_delivery(RealTime when, EventKey key, NodeId dest,
+                                const WireMessage& msg, bool forged) {
+  if (!handoff_export_) {
+    if (forged) {
+      queue_.schedule(when, key, [this, dest, msg] { deliver_(dest, msg); });
+    } else {
+      queue_.schedule(when, key, [this, dest, msg] {
+        ++stats_.delivered;
+        tap(TapEvent::Kind::kDelivered, msg.sender, dest, msg);
+        deliver_(dest, msg);
+      });
+    }
+    return;
+  }
+  // Handoff-export mode: the payload rides in the tracking slab, the event
+  // closure carries only the slot index. Whatever is still in the slab when
+  // the run is exported IS the in-flight message set.
+  const std::uint32_t index = track(PendingDelivery{when, key, dest, msg, forged});
+  queue_.schedule(when, key, [this, index] {
+    const PendingDelivery pending = untrack(index);
+    if (!pending.forged) {
+      ++stats_.delivered;
+      tap(TapEvent::Kind::kDelivered, pending.msg.sender, pending.dest,
+          pending.msg);
+    }
+    deliver_(pending.dest, pending.msg);
   });
+}
+
+void Network::enable_handoff_export() {
+  SSBFT_EXPECTS(stats_.sent == 0 && stats_.forged == 0);  // before traffic
+  handoff_export_ = true;
+}
+
+std::uint32_t Network::track(const PendingDelivery& pending) {
+  if (!pending_free_.empty()) {
+    const std::uint32_t index = pending_free_.back();
+    pending_free_.pop_back();
+    pending_[index] = pending;
+    pending_live_[index] = true;
+    return index;
+  }
+  pending_.push_back(pending);
+  pending_live_.push_back(true);
+  return std::uint32_t(pending_.size() - 1);
+}
+
+Network::PendingDelivery Network::untrack(std::uint32_t index) {
+  SSBFT_ASSERT(pending_live_[index]);
+  pending_live_[index] = false;
+  pending_free_.push_back(index);
+  return pending_[index];
+}
+
+std::vector<Network::PendingDelivery> Network::pending_deliveries() const {
+  std::vector<PendingDelivery> out;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_live_[i]) out.push_back(pending_[i]);
+  }
+  return out;
 }
 
 void Network::corrupt(NodeId from, WireMessage& msg) {

@@ -27,9 +27,17 @@ struct ChaosConfig {
   double drop_prob = 0.4;
   double duplicate_prob = 0.15;
   double corrupt_prob = 0.25;
-  /// Delay cap during chaos; may exceed δ arbitrarily.
-  Duration max_delay = Duration::zero();  // 0 => 20×δ chosen at construction
+  /// Delay cap during chaos; may exceed δ arbitrarily. Zero ⇒ 20× the
+  /// actual link-delay cap, chosen at construction and clamped to a
+  /// positive floor — a zero-width link-delay model must not degenerate
+  /// the chaos window to instantaneous delivery (chaos_delay_floor()).
+  Duration max_delay = Duration::zero();
 };
+
+/// Smallest chaos delay cap the Network accepts: the fallback for
+/// degenerate (all-zero) link-delay models, and the floor any configured
+/// cap is clamped to.
+[[nodiscard]] constexpr Duration chaos_delay_floor() { return microseconds(1); }
 
 struct NetworkStats {
   std::uint64_t sent = 0;        // send() calls admitted to the network
@@ -83,7 +91,10 @@ class Network {
   void send_all(NodeId from, const WireMessage& msg);
 
   /// Fault-injector backdoor: place a message (possibly with a forged
-  /// sender) on the wire, delivered after `delay`.
+  /// sender) on the wire, delivered after `delay`. Scheduled under the
+  /// reserved forged channel (kForgedCreator) with a per-network monotone
+  /// seq, so forged deliveries have a content-based key — insertion order
+  /// would be a determinism hazard on the sharded engines.
   void inject_raw(NodeId dest, WireMessage msg, Duration delay);
 
   /// The network behaves arbitrarily until `t`; from `t` on it is non-faulty
@@ -108,9 +119,43 @@ class Network {
 
   [[nodiscard]] Duration max_link_delay() const { return link_delay_.max; }
   [[nodiscard]] Duration max_proc_delay() const { return proc_delay_.max; }
+  /// The resolved chaos delay cap (fallback applied, floor clamped).
+  [[nodiscard]] Duration chaos_max_delay() const { return chaos_.max_delay; }
 
   /// Live shared-payload pool slots (diagnostics/tests).
   [[nodiscard]] std::uint32_t live_payloads() const { return live_payloads_; }
+
+  // --- engine-handoff surface (sim/handoff_world.hpp) ----------------------
+
+  /// One delivery event in flight: everything needed to re-materialize it —
+  /// with its original key — in another engine's queue.
+  struct PendingDelivery {
+    RealTime when;
+    EventKey key;
+    NodeId dest = 0;
+    WireMessage msg{};
+    bool forged = false;  // inject_raw plant: no delivered/tap accounting
+  };
+
+  /// Track every scheduled delivery in a side slab so in-flight messages
+  /// can be exported at an engine handoff (the chaos prefix runs serial,
+  /// then hands its state to the windowed engine). Off by default — the
+  /// registry costs one slab insert/erase per message — and must be enabled
+  /// before any traffic. Tracked and untracked runs are bit-identical: the
+  /// registry never changes keys, draws, stats, or tap order.
+  void enable_handoff_export();
+  /// The in-flight deliveries, in tracking-slab index order (stable and
+  /// deterministic; dispatch order is the keys' business, not this list's).
+  [[nodiscard]] std::vector<PendingDelivery> pending_deliveries() const;
+
+  /// Per-sender delay/chaos stream position (migrated at a handoff).
+  [[nodiscard]] const Rng& link_rng(NodeId id) const { return link_rng_[id]; }
+  /// Forged-channel key seq position (migrated at a handoff).
+  [[nodiscard]] std::uint64_t forged_seq() const { return forged_seq_; }
+  /// Per-sender even-channel key seq position (migrated at a handoff).
+  [[nodiscard]] std::uint64_t send_seq(NodeId id) const {
+    return send_seq_[id];
+  }
 
  private:
   // Refcounted broadcast payloads, stored in chunked (address-stable) slabs
@@ -148,6 +193,17 @@ class Network {
   void corrupt(NodeId from, WireMessage& msg);
   void tap(TapEvent::Kind kind, NodeId from, NodeId to, const WireMessage& msg);
 
+  /// Schedule one per-copy delivery event, through the tracking slab when
+  /// handoff export is enabled. Every non-pooled delivery path (non-faulty
+  /// unicast, chaos, duplicates, forged plants) funnels through here; the
+  /// pooled send_all path stays separate — it is a non-faulty-phase
+  /// mechanism, unreachable during a chaos prefix (the only phase that is
+  /// ever exported).
+  void schedule_delivery(RealTime when, EventKey key, NodeId dest,
+                         const WireMessage& msg, bool forged);
+  [[nodiscard]] std::uint32_t track(const PendingDelivery& pending);
+  [[nodiscard]] PendingDelivery untrack(std::uint32_t index);
+
   EventQueue& queue_;
   std::uint32_t n_;
   DelayModel link_delay_;
@@ -155,6 +211,7 @@ class Network {
   ChaosConfig chaos_;
   std::vector<Rng> link_rng_;            // per-sender (seed, sender) streams
   std::vector<std::uint64_t> send_seq_;  // per-sender even-channel key seqs
+  std::uint64_t forged_seq_ = 0;         // forged-channel key seq
   DeliverFn deliver_;
   RealTime faulty_until_{RealTime::min()};
   NetworkStats stats_;
@@ -164,6 +221,13 @@ class Network {
   std::vector<std::unique_ptr<PayloadChunk>> chunks_;
   std::uint32_t payload_free_ = kNullPayload;
   std::uint32_t live_payloads_ = 0;
+
+  // Handoff-export tracking slab (enable_handoff_export). `pending_live_`
+  // marks occupied slots; dead slots wait on `pending_free_` for reuse.
+  bool handoff_export_ = false;
+  std::vector<PendingDelivery> pending_;
+  std::vector<bool> pending_live_;
+  std::vector<std::uint32_t> pending_free_;
 };
 
 }  // namespace ssbft

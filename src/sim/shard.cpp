@@ -219,6 +219,27 @@ void Shard::process_until(RealTime end, bool inclusive) {
   }
 }
 
+void Shard::adopt_node(NodeId id, WorldMigration::NodeState&& state) {
+  NodeSlot& s = slot(id);
+  s.clock = state.clock;
+  s.behavior = std::move(state.behavior);
+  s.rng = state.rng;
+  s.link_rng = state.link_rng;
+  s.timer_seq = state.timer_seq;
+  s.send_seq = state.send_seq;
+  s.started = state.started;
+  // The serial engine's context object dies with it; behaviors that cached
+  // it (the protocol stacks do, at on_start) must point at this shard's.
+  if (s.behavior) s.behavior->rebind(*s.context);
+}
+
+void Shard::import_timers(
+    const std::vector<TimerWheel::ExportedRecord>& records,
+    const std::vector<std::uint32_t>& generations, RealTime now) {
+  timers_.import_records(records, generations, now,
+                         [this](NodeId node) { return owns(node); });
+}
+
 void Shard::drain_inboxes() {
   for (const auto& peer : world_.shards_) {
     if (peer.get() == this) continue;

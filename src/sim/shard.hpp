@@ -99,6 +99,20 @@ class Shard {
   void schedule_forged(RealTime when, EventKey key, NodeId dest,
                        const WireMessage& msg);
 
+  // --- engine-handoff adoption (serial chaos prefix → windowed suffix) ----
+
+  /// Install one migrated node: clock, behavior, RNG stream positions, and
+  /// key-channel counters continue exactly where the serial prefix left
+  /// them. on_start is NOT re-run (`state.started` carries over).
+  void adopt_node(NodeId id, WorldMigration::NodeState&& state);
+
+  /// Re-arm this shard's partition of the serial wheel's snapshot at the
+  /// original (index, generation) tickets — behaviors' TimerHandles stay
+  /// valid against their node's new wheel (TimerWheel::import_records).
+  void import_timers(const std::vector<TimerWheel::ExportedRecord>& records,
+                     const std::vector<std::uint32_t>& generations,
+                     RealTime now);
+
  private:
   class ContextImpl;
 

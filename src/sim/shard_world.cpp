@@ -38,6 +38,43 @@ ShardWorld::ShardWorld(WorldConfig config)
   }
 }
 
+ShardWorld::ShardWorld(WorldConfig config, WorldMigration&& migration)
+    : ShardWorld(std::move(config)) {
+  SSBFT_EXPECTS(migration.nodes.size() == config_.n);
+  // Counters and stream positions continue where the serial prefix stopped:
+  // the suffix must mint the exact keys and draws an uninterrupted serial
+  // run would have.
+  global_now_ = migration.now;
+  started_ = true;
+  world_seq_ = migration.world_seq;
+  forged_seq_ = migration.forged_seq;
+  world_stats_ = migration.stats;
+  base_dispatched_ = migration.dispatched;
+  rng_ = migration.world_rng;
+  for (NodeId id = 0; id < config_.n; ++id) {
+    shard_of(id).adopt_node(id, std::move(migration.nodes[id]));
+  }
+  for (auto& shard : shards_) {
+    shard->import_timers(migration.timers, migration.timer_generations,
+                         migration.now);
+  }
+  // In-flight deliveries and pending workload actions park straight in
+  // their owner's queue with their original keys. A chaos delivery may land
+  // well inside the first windows — that is fine: the conservative-window
+  // argument constrains only traffic GENERATED during a window, and the
+  // post-cut network is non-faulty (every new send respects λ).
+  for (const Network::PendingDelivery& p : migration.deliveries) {
+    if (p.forged) {
+      shard_of(p.dest).schedule_forged(p.when, p.key, p.dest, p.msg);
+    } else {
+      shard_of(p.dest).schedule_delivery(p.when, p.key, p.dest, p.msg);
+    }
+  }
+  for (WorldMigration::PendingAction& a : migration.actions) {
+    shard_of(a.target).queue().schedule(a.when, a.key, std::move(a.action));
+  }
+}
+
 ShardWorld::~ShardWorld() = default;
 
 void ShardWorld::set_behavior(NodeId id,
@@ -93,18 +130,22 @@ void ShardWorld::schedule(RealTime when, NodeId target,
 void ShardWorld::inject_raw(NodeId dest, WireMessage msg, Duration delay) {
   SSBFT_EXPECTS(dest < config_.n);
   SSBFT_EXPECTS(tl_current_shard_ == nullptr);  // serial phases only
-  ++forged_stats_.forged;
-  shard_of(dest).schedule_forged(now() + delay, next_world_key(), dest, msg);
+  ++world_stats_.forged;
+  // Forged channel: the same content-based key the serial Network mints for
+  // this plant (engine-independent dispatch order; see kForgedCreator).
+  shard_of(dest).schedule_forged(now() + delay,
+                                 EventKey{kForgedCreator, forged_seq_++}, dest,
+                                 msg);
 }
 
 NetworkStats ShardWorld::net_stats() const {
-  NetworkStats total = forged_stats_;
+  NetworkStats total = world_stats_;
   for (const auto& shard : shards_) total += shard->stats();
   return total;
 }
 
 std::uint64_t ShardWorld::dispatched() const {
-  std::uint64_t total = 0;
+  std::uint64_t total = base_dispatched_;
   for (const auto& shard : shards_) total += shard->dispatched();
   return total;
 }

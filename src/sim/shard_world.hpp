@@ -23,9 +23,13 @@
 //
 // Requirements: λ > 0 (the Cluster degrades shards to the serial engine
 // when the delay floor is zero — λ = 0 degrades to serial execution, never
-// to wrongness) and no network-chaos window (chaos delays undercut any
-// lookahead; chaotic scenarios run serial). Wire taps and delay oracles are
-// serial-engine features; network()/queue() abort here by contract.
+// to wrongness) and no ACTIVE network-chaos window (chaos delays undercut
+// any lookahead). Engine selection is phase-aware: a scenario with a chaos
+// window runs the window on the serial engine and hands its complete state
+// to a ShardWorld at the cut (sim/handoff_world.hpp, the adoption
+// constructor below) — chaos means a serial PREFIX, not a serial run. Wire
+// taps and delay oracles are serial-engine features; network()/queue()
+// abort here by contract.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +45,13 @@ namespace ssbft {
 class ShardWorld final : public WorldBase {
  public:
   explicit ShardWorld(WorldConfig config);
+  /// Adoption form: continue a serial prefix's run from its exported
+  /// snapshot (see WorldMigration). Nodes, in-flight deliveries, timer
+  /// records (at their original handle tickets), pending world actions,
+  /// stream positions, key-channel counters, and wire/dispatch counters all
+  /// carry over; behaviors are NOT re-started. The suffix then dispatches
+  /// the exact (when, creator, seq) order the serial engine would have.
+  ShardWorld(WorldConfig config, WorldMigration&& migration);
   ~ShardWorld() override;
 
   /// Shard count this config will actually run with: clamped to n, and 1
@@ -117,7 +128,11 @@ class ShardWorld final : public WorldBase {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::uint32_t> shard_index_;  // node id → owning shard
   std::uint64_t world_seq_ = 0;
-  NetworkStats forged_stats_;  // inject_raw accounting (world-level)
+  std::uint64_t forged_seq_ = 0;  // forged-channel key seq (kForgedCreator)
+  // World-level counters: inject_raw forged accounting, plus — after an
+  // engine handoff — the adopted serial prefix's wire and dispatch totals.
+  NetworkStats world_stats_;
+  std::uint64_t base_dispatched_ = 0;
   RealTime global_now_{};
   bool started_ = false;
 

@@ -147,6 +147,56 @@ bool TimerWheel::rescan_overflow(std::vector<Due>& out) {
   return true;
 }
 
+void TimerWheel::export_records(std::vector<ExportedRecord>& out,
+                                std::vector<std::uint32_t>& generations) const {
+  out.clear();
+  generations.resize(records_.size());
+  for (std::uint32_t index = 0; index < records_.size(); ++index) {
+    const Record& r = records_[index];
+    generations[index] = r.generation;
+    if (r.list == kFree) continue;
+    out.push_back(ExportedRecord{r.when, EventKey{r.creator, r.seq}, r.node,
+                                 r.cookie, TimerHandle{index, r.generation}});
+  }
+}
+
+void TimerWheel::import_records(const std::vector<ExportedRecord>& records,
+                                const std::vector<std::uint32_t>& generations,
+                                RealTime now,
+                                const std::function<bool(NodeId)>& accept) {
+  SSBFT_EXPECTS(records_.empty() && live_ == 0);
+  records_.resize(generations.size());
+  std::vector<bool> adopted(generations.size(), false);
+  for (std::uint32_t index = 0; index < generations.size(); ++index) {
+    records_[index].generation = generations[index];
+  }
+  tick_ = tick_of(now);
+  for (const ExportedRecord& rec : records) {
+    if (!accept(rec.node)) continue;
+    SSBFT_ASSERT(rec.handle.index < records_.size());
+    Record& r = records_[rec.handle.index];
+    SSBFT_ASSERT(r.generation == rec.handle.generation);
+    r.when = rec.when;
+    r.seq = rec.key.seq;
+    r.creator = rec.key.creator;
+    r.node = rec.node;
+    r.cookie = rec.cookie;
+    adopted[rec.handle.index] = true;
+    ++live_;
+    place(rec.handle.index, nullptr);
+  }
+  // Thread the unadopted slots (other shards' records, and slots that were
+  // free at export) onto the free list — descending, so allocation hands
+  // out ascending indices, matching a fresh wheel's growth pattern. Index
+  // choice is unobservable either way (dispatch order is the keys'); the
+  // adopted generation map is what matters.
+  for (std::uint32_t index = std::uint32_t(records_.size()); index-- > 0;) {
+    if (adopted[index]) continue;
+    records_[index].next = free_head_;
+    free_head_ = index;
+  }
+}
+
 void TimerWheel::advance(RealTime t, std::vector<Due>& out) {
   out.clear();
   const std::uint64_t target = tick_of(t);

@@ -34,6 +34,7 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sim/event_queue.hpp"  // EventKey
@@ -120,6 +121,41 @@ class TimerWheel {
   [[nodiscard]] std::size_t live() const { return live_; }
   /// Far-future records parked beyond the wheel horizon.
   [[nodiscard]] std::size_t overflow_size() const { return overflow_count_; }
+
+  // --- engine-handoff surface (sim/handoff_world.hpp) ----------------------
+
+  /// One live record, exported for cross-engine migration: everything
+  /// needed to re-arm it in another wheel at the SAME (index, generation)
+  /// ticket — behaviors hold TimerHandles across the handoff, and those
+  /// tickets must keep naming their timers.
+  struct ExportedRecord {
+    RealTime when;
+    EventKey key;
+    NodeId node = 0;
+    std::uint64_t cookie = 0;
+    TimerHandle handle;  // original (index, generation)
+  };
+
+  /// Snapshot every live record — armed in the wheel, staged on the ready
+  /// or overflow lists, or already handed to the (dying) engine's queue but
+  /// unclaimed — plus the generation of every slab slot. Handed-over
+  /// records are exported like armed ones: their fire events die with the
+  /// old engine's queue, so the importing wheel must hand them over again.
+  /// The wheel itself is left untouched.
+  void export_records(std::vector<ExportedRecord>& out,
+                      std::vector<std::uint32_t>& generations) const;
+
+  /// Rebuild this (fresh, empty) wheel as one partition of an exported
+  /// snapshot: adopt the full slab-generation map — a recycled index can
+  /// then never re-mint a ticket some stale pre-handoff handle still
+  /// names — advance wheel time to `now`, and re-arm exactly the records
+  /// `accept` admits (the importing shard's own nodes) at their original
+  /// tickets. Records due at or before `now` stage on the ready list and
+  /// come out of the next advance with their original (when, key).
+  void import_records(const std::vector<ExportedRecord>& records,
+                      const std::vector<std::uint32_t>& generations,
+                      RealTime now,
+                      const std::function<bool(NodeId)>& accept);
 
  private:
   static constexpr std::uint32_t kNull = ~std::uint32_t{0};

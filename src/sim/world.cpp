@@ -179,6 +179,45 @@ void World::run_until(RealTime t) {
   queue_.run_until(t);
 }
 
+void World::run_before(RealTime t) {
+  logger_.set_now(queue_.now());
+  while (true) {
+    const RealTime bound = timer_pump_bound(queue_, timers_, t);
+    if (bound != RealTime::max()) {
+      pump_timers(bound);
+      continue;
+    }
+    if (queue_.empty() || queue_.next_time() >= t) break;
+    queue_.run_one();
+    logger_.set_now(queue_.now());
+  }
+}
+
+WorldMigration World::export_migration() {
+  WorldMigration m;
+  m.now = queue_.now();
+  m.dispatched = dispatched();
+  m.world_seq = queue_.global_seq();
+  m.forged_seq = network_->forged_seq();
+  m.stats = network_->stats();
+  m.world_rng = rng_;
+  m.deliveries = network_->pending_deliveries();
+  timers_.export_records(m.timers, m.timer_generations);
+  m.nodes.resize(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    NodeSlot& slot = nodes_[id];
+    WorldMigration::NodeState& out = m.nodes[id];
+    out.clock = slot.clock;
+    out.behavior = std::move(slot.behavior);
+    out.rng = slot.rng;
+    out.link_rng = network_->link_rng(id);
+    out.timer_seq = slot.timer_seq;
+    out.send_seq = network_->send_seq(id);
+    out.started = slot.started;
+  }
+  return m;
+}
+
 void World::run_to_quiescence(RealTime hard_deadline) {
   while (true) {
     const RealTime bound = timer_pump_bound(queue_, timers_, hard_deadline);

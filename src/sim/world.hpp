@@ -66,8 +66,10 @@ struct WorldConfig {
   /// Shard count for the parallel engine. 0 (or 1) ⇒ the serial engine,
   /// unchanged default. Values above n are clamped to n. The Cluster falls
   /// back to the serial engine when the scenario offers no lookahead
-  /// (min link+proc delay of zero) or runs network chaos — λ = 0 degrades
-  /// to serial execution, never to wrongness.
+  /// (min link+proc delay of zero) — λ = 0 degrades to serial execution,
+  /// never to wrongness. Network chaos runs two-phase instead: a serial
+  /// chaos prefix handing its state to the windowed engine at the chaos
+  /// end (sim/handoff_world.hpp).
   std::uint32_t shards = 0;
 
   /// d = (δ+π)(1+ρ), the paper's bound on send+process as measured on any
@@ -99,6 +101,52 @@ struct WorldConfig {
 /// Drift rate then initial offset, drawn from the node's clock stream.
 [[nodiscard]] DriftingClock derive_node_clock(const WorldConfig& config,
                                               NodeId id);
+
+/// Complete in-flight state of a serial World at an engine handoff.
+///
+/// A chaos window is a serial-engine phase (drop/corrupt/duplicate and the
+/// unbounded chaos delays live in the Network); the post-chaos suffix is
+/// where the windowed ShardWorld shines. HandoffWorld runs the prefix on
+/// the serial engine, exports this snapshot at the cut, and the ShardWorld
+/// adopts it — every pending delivery, armed (or handed-over-but-unfired)
+/// timer record, RNG stream position, key-channel counter, clock, and wire
+/// counter — so the sharded suffix is bit-identical to an all-serial run
+/// (test_shard's chaos matrix pins it). The cut is exclusive: every event
+/// strictly before the handoff instant has dispatched, so everything here
+/// fires at or after it.
+struct WorldMigration {
+  struct NodeState {
+    DriftingClock clock;
+    std::unique_ptr<NodeBehavior> behavior;  // may be null (no behavior set)
+    Rng rng{0};                   // behavior stream position
+    Rng link_rng{0};              // per-sender delay/chaos stream position
+    std::uint64_t timer_seq = 0;  // odd-channel key position
+    std::uint64_t send_seq = 0;   // even-channel key position
+    bool started = false;
+  };
+  /// A pending world-level action (workload injection) with the key-less
+  /// world-channel seq it was minted under. Filled by HandoffWorld — the
+  /// World cannot re-materialize type-erased queue closures, so the wrapper
+  /// registers every schedule() itself (the closures are engine-agnostic).
+  struct PendingAction {
+    RealTime when;
+    EventKey key;
+    NodeId target = 0;
+    std::function<void()> action;
+  };
+
+  std::vector<NodeState> nodes;
+  std::vector<Network::PendingDelivery> deliveries;  // in-flight messages
+  std::vector<TimerWheel::ExportedRecord> timers;    // live timer records
+  std::vector<std::uint32_t> timer_generations;      // full slab ticket map
+  std::vector<PendingAction> actions;
+  Rng world_rng{0};                 // WorldBase::rng() stream position
+  NetworkStats stats;               // wire counters so far
+  std::uint64_t dispatched = 0;     // events so far (net of suppressed)
+  std::uint64_t world_seq = 0;      // key-less world-channel position
+  std::uint64_t forged_seq = 0;     // forged-channel position
+  RealTime now{};                   // last prefix dispatch (< the cut)
+};
 
 /// Abstract deployment surface: everything the Cluster, the harness, and
 /// the protocol-facing observation paths need, implemented by both engines.
@@ -178,6 +226,21 @@ class World final : public WorldBase {
 
   void run_until(RealTime t) override;
   void run_to_quiescence(RealTime hard_deadline) override;
+
+  /// Dispatch every event strictly before `t` (timers pumped exactly as in
+  /// run_until), leaving now() at the last dispatch — the handoff cut. Any
+  /// event an exported snapshot holds afterwards fires at or after `t`.
+  void run_before(RealTime t);
+
+  /// Record every delivery for export (must precede all traffic); see
+  /// Network::enable_handoff_export.
+  void enable_handoff_export() { network_->enable_handoff_export(); }
+
+  /// Strip the world for the engine handoff: behaviors move out, in-flight
+  /// deliveries/timers/counters/stream positions are snapshotted. The world
+  /// is dead afterwards — destroy it (its remaining queue closures point at
+  /// engine internals the snapshot re-materializes on the new engine).
+  [[nodiscard]] WorldMigration export_migration();
 
   [[nodiscard]] RealTime now() const override { return queue_.now(); }
   [[nodiscard]] LocalTime local_now(NodeId id) const override;

@@ -8,6 +8,8 @@
 #include <set>
 
 #include "adversary/adversaries.hpp"
+#include "harness/runner.hpp"
+#include "sim/tap.hpp"
 #include "sim/world.hpp"
 
 namespace ssbft {
@@ -123,6 +125,44 @@ TEST(AdversaryTest, ReplayerEchoesObservedTrafficAfterDelay) {
   EXPECT_EQ(replayed.kind, MsgKind::kApprove);
   EXPECT_EQ(replayed.value, 42u);
   EXPECT_EQ(replayed.sender, 0u);  // identity still authenticated
+}
+
+// The Cluster's victim-list construction must skip Byzantine ids and the
+// faker itself: with the Byzantine nodes at the FRONT of the id space, a
+// blind 0..n/2 victim list would aim the fake quorum waves at the faker's
+// own accomplices (and itself) instead of at correct nodes.
+TEST(AdversaryTest, ClusterQuorumFakerVictimsSkipByzantineAndSelf) {
+  Scenario sc;
+  sc.n = 6;
+  sc.f = 1;
+  sc.byz_nodes = {0, 1};
+  sc.adversary = AdversaryKind::kQuorumFaker;
+  sc.equivocate_v0 = 777;  // phantom value, recognizable on the wire
+  sc.adversary_period = milliseconds(2);
+  sc.run_for = milliseconds(10);
+  Cluster cluster(sc);
+
+  std::vector<TapEvent> sent;
+  cluster.world().network().set_tap([&sent](const TapEvent& event) {
+    if (event.kind == TapEvent::Kind::kSent) sent.push_back(event);
+  });
+  cluster.run();
+
+  std::set<NodeId> victims;
+  bool faker_traffic = false;
+  for (const TapEvent& event : sent) {
+    // Only the fakers' own sends: correct nodes RELAY the phantom value
+    // broadcast-wide once a wave reaches them, and that is protocol
+    // traffic, not victim targeting.
+    if (event.msg.value != 777 || !sc.is_byzantine(event.from)) continue;
+    faker_traffic = true;
+    EXPECT_FALSE(sc.is_byzantine(event.to))
+        << "fake wave aimed at Byzantine node " << event.to;
+    victims.insert(event.to);
+  }
+  EXPECT_TRUE(faker_traffic);
+  // First ⌊n/2⌋ = 3 correct nodes: 2, 3, 4.
+  EXPECT_EQ(victims, (std::set<NodeId>{2, 3, 4}));
 }
 
 TEST(AdversaryTest, QuorumFakerTargetsOnlyVictims) {

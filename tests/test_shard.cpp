@@ -11,6 +11,8 @@
 
 #include "harness/metrics.hpp"
 #include "harness/sweep.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/handoff_world.hpp"
 #include "sim/shard_world.hpp"
 
 namespace ssbft {
@@ -144,6 +146,128 @@ TEST(ShardDeterminism, ShardedSweepCellsMatchSerialCells) {
   }
 }
 
+// --- chaos handoff: serial prefix → windowed suffix ------------------------
+// A chaos window pins its OWN phase to the serial engine (unbounded chaos
+// delays undercut any lookahead), but not the whole run: the HandoffWorld
+// migrates the complete in-flight state — chaos-delayed/duplicated
+// deliveries, forged plants, armed timers at their original handle tickets,
+// every RNG stream and key-channel counter — into the ShardWorld at the
+// cut. These tests pin the acceptance criterion: chaos scenarios are
+// bit-identical to all-serial for every StackKind × shard count.
+
+/// shard_scenario plus a transient scramble and a 5 ms network-chaos
+/// window — the paper's stabilization-measurement shape: arbitrary state,
+/// arbitrary in-flight messages, chaotic network until ι0, then converge.
+Scenario chaos_scenario(StackKind stack, std::uint32_t shards) {
+  Scenario sc = shard_scenario(stack, shards);
+  sc.chaos_period = milliseconds(5);
+  sc.transient_scramble = true;
+  sc.transient.spurious_per_node = 16;
+  return sc;
+}
+
+// The acceptance matrix extended to chaos: all six StackKinds × shards
+// ∈ {1, 2, 4} with chaos_period > 0, each two-phase run bit-identical to
+// its all-serial twin.
+TEST(ShardChaosHandoff, EveryStackMatchesSerialAtEveryShardCount) {
+  for (std::uint32_t k = 0; k < kStackKindCount; ++k) {
+    const Scenario serial_sc = chaos_scenario(StackKind(k), 0);
+    const SweepRun serial = SweepRunner::run_cell(serial_sc, 21);
+    for (std::uint32_t shards : {1u, 2u, 4u}) {
+      Scenario sc = chaos_scenario(StackKind(k), shards);
+      const SweepRun run = SweepRunner::run_cell(sc, 21);
+      const char* stack = to_string(StackKind(k));
+      EXPECT_EQ(run.digest, serial.digest) << stack << " shards " << shards;
+      EXPECT_EQ(run.events, serial.events) << stack << " shards " << shards;
+      EXPECT_EQ(run.messages, serial.messages)
+          << stack << " shards " << shards;
+      EXPECT_EQ(run.pass, serial.pass) << stack << " shards " << shards;
+      EXPECT_TRUE(metrics_equal(run.agreement, serial.agreement))
+          << stack << " shards " << shards;
+      EXPECT_EQ(run.latency_ns, serial.latency_ns)
+          << stack << " shards " << shards;
+    }
+  }
+}
+
+// Piecewise runs that cross the cut — including a step landing EXACTLY on
+// the chaos end — must be indistinguishable from one shot: the migration
+// instant is an engine-internal detail, not an observable.
+TEST(ShardChaosHandoff, PiecewiseRunsCrossTheCutUnobserved) {
+  Scenario sc = chaos_scenario(StackKind::kAgree, 4);
+  sc.seed = 9;
+  const SweepRun one_shot = SweepRunner::run_cell(sc, 9);
+
+  Cluster cluster(sc);
+  ASSERT_TRUE(cluster.sharded());
+  cluster.start();
+  // Step to just before, exactly onto, and past the cut, then drain.
+  cluster.world().run_until(RealTime::zero() + sc.chaos_period -
+                            microseconds(100));
+  cluster.world().run_until(RealTime::zero() + sc.chaos_period);
+  for (int step = 1; step <= 8; ++step) {
+    cluster.world().run_until(RealTime::zero() + sc.chaos_period +
+                              (sc.run_for - sc.chaos_period) * step / 8);
+  }
+  const StackOutcome outcome = evaluate_stack(cluster);
+  EXPECT_EQ(outcome.digest, one_shot.digest);
+  EXPECT_EQ(cluster.world().dispatched(), one_shot.events);
+}
+
+// Sharded FaultInjector parity: a SECOND transient fault injected after the
+// handoff exercises inject_raw's forged-channel keys and the migrated
+// world-RNG stream position on the suffix engine — serial and sharded must
+// still agree bit-for-bit.
+TEST(ShardChaosHandoff, PostHandoffFaultInjectionMatchesSerial) {
+  const auto run_with_midrun_fault = [](std::uint32_t shards) {
+    Scenario sc = chaos_scenario(StackKind::kAgree, shards);
+    sc.seed = 33;
+    Cluster cluster(sc);
+    cluster.start();
+    cluster.world().run_until(RealTime::zero() + sc.chaos_period +
+                              milliseconds(20));
+    TransientFaultConfig second;
+    second.spurious_per_node = 8;
+    second.scramble_clocks = false;  // keep it an in-flight-state fault
+    FaultInjector injector(cluster.world());
+    injector.transient_fault(second);
+    cluster.world().run_until(RealTime::zero() + sc.run_for);
+    struct Out {
+      std::uint64_t digest, events, forged;
+    };
+    return Out{evaluate_stack(cluster).digest, cluster.world().dispatched(),
+               cluster.world().net_stats().forged};
+  };
+  const auto serial = run_with_midrun_fault(0);
+  for (std::uint32_t shards : {2u, 4u}) {
+    const auto sharded = run_with_midrun_fault(shards);
+    EXPECT_EQ(sharded.digest, serial.digest) << "shards " << shards;
+    EXPECT_EQ(sharded.events, serial.events) << "shards " << shards;
+    EXPECT_EQ(sharded.forged, serial.forged) << "shards " << shards;
+  }
+}
+
+// A chaos run whose horizon ends INSIDE the window never migrates — and a
+// later run_until past the cut migrates then. Both legs must match serial.
+TEST(ShardChaosHandoff, HorizonInsideChaosStaysSerialUntilTheCut) {
+  Scenario sc = chaos_scenario(StackKind::kAgree, 4);
+  sc.seed = 5;
+  Cluster cluster(sc);
+  cluster.start();
+  auto* handoff = dynamic_cast<HandoffWorld*>(&cluster.world());
+  ASSERT_NE(handoff, nullptr);
+  cluster.world().run_until(RealTime::zero() + milliseconds(2));
+  EXPECT_FALSE(handoff->handed_off());
+  cluster.world().run_until(RealTime::zero() + sc.run_for);
+  EXPECT_TRUE(handoff->handed_off());
+
+  Scenario serial_sc = chaos_scenario(StackKind::kAgree, 0);
+  serial_sc.seed = 5;
+  const SweepRun serial = SweepRunner::run_cell(serial_sc, 5);
+  EXPECT_EQ(evaluate_stack(cluster).digest, serial.digest);
+  EXPECT_EQ(cluster.world().dispatched(), serial.events);
+}
+
 // --- engine selection / degradation ---------------------------------------
 
 TEST(ShardEngineTest, NoLookaheadDegradesToSerial) {
@@ -160,11 +284,24 @@ TEST(ShardEngineTest, NoLookaheadDegradesToSerial) {
   EXPECT_EQ(cluster.shards(), 1u);
 }
 
-TEST(ShardEngineTest, ChaosDegradesToSerial) {
+// Phase-aware selection: chaos + lookahead ⇒ the two-phase engine (it IS
+// sharded — the suffix runs windowed); chaos WITHOUT a lookahead still
+// degrades all the way to serial (there is no shardable suffix).
+TEST(ShardEngineTest, ChaosSelectsTwoPhaseEngineWhenLookaheadExists) {
   Scenario sc = shard_scenario(StackKind::kAgree, 4);
   sc.chaos_period = milliseconds(5);
   Cluster cluster(sc);
-  EXPECT_FALSE(cluster.sharded());
+  EXPECT_TRUE(cluster.sharded());
+  auto* handoff = dynamic_cast<HandoffWorld*>(&cluster.world());
+  ASSERT_NE(handoff, nullptr);
+  EXPECT_EQ(handoff->handoff_at(), RealTime::zero() + sc.chaos_period);
+  EXPECT_FALSE(handoff->handed_off());
+
+  Scenario no_lookahead = sc;
+  no_lookahead.link_delay.reset();  // floor-less default ⇒ λ = 0
+  Cluster serial_cluster(no_lookahead);
+  EXPECT_FALSE(serial_cluster.sharded());
+  EXPECT_EQ(dynamic_cast<HandoffWorld*>(&serial_cluster.world()), nullptr);
 }
 
 // n not divisible by the shard count: the block boundaries floor(s·n/S)

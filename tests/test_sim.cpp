@@ -556,6 +556,102 @@ TEST(NetworkTest, ChaosPeriodCanDropMessages) {
   EXPECT_EQ(receiver->received.size(), 1u);
 }
 
+// A zero-width link-delay model used to degenerate the chaos delay cap to
+// zero (link max × 20 = 0 ⇒ rng.next_in(0, 0) in the chaos path —
+// instantaneous "chaos"). The constructor now clamps the cap to a positive
+// floor; chaotic traffic still flows under the degenerate model.
+TEST(NetworkTest, DegenerateChaosDelayCapClampsToPositiveFloor) {
+  auto wc = small_world_config(2, 7);
+  wc.link_delay = DelayModel::constant(Duration::zero());
+  wc.proc_delay = DelayModel::constant(Duration::zero());
+  wc.has_delay_models = true;
+  wc.chaos.drop_prob = 0.0;
+  wc.chaos.corrupt_prob = 0.0;
+  wc.chaos.duplicate_prob = 0.0;
+  World world(wc);
+  EXPECT_GE(world.network().chaos_max_delay(), chaos_delay_floor());
+
+  auto* receiver = new RecordingBehavior();
+  world.set_behavior(1, std::unique_ptr<NodeBehavior>(receiver));
+  world.start();
+  world.network().set_faulty_until(RealTime::zero() + milliseconds(1));
+  world.network().send(0, 1, WireMessage{});
+  world.run_for(milliseconds(2));
+  EXPECT_EQ(receiver->received.size(), 1u);  // chaos path sampled validly
+}
+
+// An explicitly configured sub-floor cap is clamped too; a configured cap
+// at or above the floor is taken as-is.
+TEST(NetworkTest, ConfiguredChaosDelayCapRespectsFloor) {
+  auto wc = small_world_config(2, 7);
+  wc.chaos.max_delay = Duration{1};  // 1 ns: positive but below the floor
+  World clamped(wc);
+  EXPECT_EQ(clamped.network().chaos_max_delay(), chaos_delay_floor());
+
+  wc.chaos.max_delay = milliseconds(3);
+  World configured(wc);
+  EXPECT_EQ(configured.network().chaos_max_delay(), milliseconds(3));
+}
+
+// Forged deliveries ride the reserved kForgedCreator channel: at equal
+// real-times they dispatch after node-creator events but before key-less
+// world-channel events, by CONTENT — not by insertion order. Scheduling the
+// world action first must not let it dispatch first.
+TEST(NetworkTest, InjectRawUsesForgedChannelKeys) {
+  World world(small_world_config(3, 11));
+  auto* receiver = new RecordingBehavior();
+  world.set_behavior(0, std::unique_ptr<NodeBehavior>(receiver));
+  world.start();
+
+  std::size_t delivered_before_action = 0;
+  const Duration at = microseconds(50);
+  // Key-less world event scheduled BEFORE the forged plant, same instant:
+  // insertion order says the action goes first, the content-based channels
+  // say the forged delivery does (kForgedCreator < kGlobalCreator).
+  world.schedule(RealTime::zero() + at, 0, [&] {
+    delivered_before_action = receiver->received.size();
+  });
+  WireMessage msg;
+  msg.sender = 2;
+  world.inject_raw(0, msg, at);
+  world.run_for(milliseconds(1));
+
+  ASSERT_EQ(receiver->received.size(), 1u);
+  EXPECT_EQ(delivered_before_action, 1u);  // forged delivery dispatched first
+}
+
+// The handoff-export registry must be an invisible observer: identical
+// traffic, stats, and delivery order with it on or off — and it must hold
+// exactly the in-flight set at any instant.
+TEST(NetworkTest, HandoffExportTracksInFlightDeliveries) {
+  auto wc = small_world_config(3, 13);
+  World world(wc);
+  world.enable_handoff_export();
+  auto* receiver = new RecordingBehavior();
+  world.set_behavior(1, std::unique_ptr<NodeBehavior>(receiver));
+  world.start();
+  world.network().set_faulty_until(RealTime::zero() + milliseconds(5));
+
+  WireMessage msg;
+  msg.value = 41;
+  world.network().send(0, 1, msg);
+  world.inject_raw(1, msg, milliseconds(2));
+  const auto pending = world.network().pending_deliveries();
+  // Everything scheduled (chaos delivery unless dropped, plus the plant)
+  // is in flight right now.
+  const auto& stats = world.network().stats();
+  const std::uint64_t expected =
+      (stats.sent - stats.dropped) + stats.duplicated + stats.forged;
+  EXPECT_EQ(pending.size(), expected);
+  EXPECT_TRUE(std::any_of(pending.begin(), pending.end(),
+                          [](const Network::PendingDelivery& p) {
+                            return p.forged;
+                          }));
+
+  world.run_for(milliseconds(30));  // beyond any chaos delay
+  EXPECT_TRUE(world.network().pending_deliveries().empty());
+}
+
 TEST(NetworkTest, StatsCountPerKind) {
   World world(small_world_config(2));
   world.set_behavior(0, std::make_unique<RecordingBehavior>());

@@ -217,7 +217,8 @@ def main(argv=None):
     parser.add_argument("--fresh", default=".",
                         help="directory holding the freshly produced JSONs")
     parser.add_argument("--files", nargs="+",
-                        default=["BENCH_engine.json", "BENCH_shard.json"])
+                        default=["BENCH_engine.json", "BENCH_shard.json",
+                                 "BENCH_ablation.json", "BENCH_quorum.json"])
     parser.add_argument("--fail-ratio", type=float, default=0.5)
     parser.add_argument("--warn-ratio", type=float, default=0.8)
     parser.add_argument("--self-test", action="store_true",

@@ -10,8 +10,11 @@
 //
 // --shards S deploys on the conservative-parallel engine (S shards,
 // bit-identical results). It needs a lookahead: a link-delay distribution
-// with a positive minimum, e.g. --link-min-us 100. Without one (or with
-// --chaos-ms) the run degrades to the serial engine.
+// with a positive minimum, e.g. --link-min-us 100. Without one the run
+// degrades to the serial engine. Combined with --chaos-ms the run is
+// two-phase: the chaos window executes on the serial engine, then the
+// complete in-flight state hands off to the windowed engine for the
+// post-chaos (stabilization) phase — digests identical to all-serial.
 //
 // Sweep (--sweep): a Scenarios × seeds grid on the SweepRunner worker pool
 // — one independent World per run, bit-identical to serial execution.
@@ -591,14 +594,19 @@ int main(int argc, char** argv) {
               params.d().millis(), params.phi().millis(),
               params.delta_agr().millis(), params.delta_stb().millis(),
               static_cast<unsigned long long>(sc.seed));
-  if (cluster.sharded()) {
+  if (cluster.sharded() && sc.chaos_period > Duration::zero()) {
+    std::printf("engine: two-phase (serial chaos prefix [0, %.1f ms) -> "
+                "%u shards, lookahead %.0f us)\n\n",
+                sc.chaos_period.millis(), cluster.shards(),
+                cluster.world().config().lookahead().micros());
+  } else if (cluster.sharded()) {
     std::printf("engine: sharded (%u shards, lookahead %.0f us)\n\n",
                 cluster.shards(),
                 cluster.world().config().lookahead().micros());
   } else {
     std::printf("engine: serial%s\n\n",
-                sc.shards > 1 ? " (no lookahead or chaos active; --shards "
-                                "needs --link-min-us and no --chaos-ms)"
+                sc.shards > 1 ? " (no lookahead; --shards needs "
+                                "--link-min-us)"
                               : "");
   }
 
