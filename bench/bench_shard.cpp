@@ -9,9 +9,10 @@
 // two engines produced bit-identical run digests — parity is the hard gate,
 // speedup is reported per-machine (single-core containers show ≈ 1×; the
 // multi-core CI runners demonstrate the scaling). A post-chaos
-// stabilization row exercises the two-phase handoff engine (serial chaos
-// prefix → windowed suffix, sim/handoff_world.hpp) on the scramble + chaos
-// + agreement-storm workload, with the same parity gate.
+// stabilization row exercises the alternating engine (serial chaos
+// window → windowed suffix, sim/duty_world.hpp) on the scramble + chaos
+// + agreement-storm workload, with the same parity gate; bench_dutycycle
+// extends it to recurring duty cycles.
 //
 // Results go to stdout (table) and BENCH_shard.json (machine-readable,
 // tracked in-repo so future PRs can diff the perf trajectory).
@@ -59,9 +60,10 @@ Scenario shard_bench_scenario(std::uint32_t n, std::uint32_t shards) {
 
 /// The paper's stabilization-measurement shape: scrambled node state,
 /// forged in-flight messages, and a chaotic network until ι0 = 2 ms — then
-/// a post-chaos agreement storm. The chaos prefix runs serial on every
-/// engine; what this row measures is the handoff engine's ability to shard
-/// the (dominant) stabilization suffix, with digest parity as the gate.
+/// a post-chaos agreement storm. The chaos window runs serial on every
+/// engine; what this row measures is the alternating engine's ability to
+/// shard the (dominant) stabilization suffix, with digest parity as the
+/// gate.
 constexpr std::int64_t kChaosMs = 2;
 
 Scenario chaos_bench_scenario(std::uint32_t n, std::uint32_t shards) {
@@ -151,11 +153,11 @@ void print_table() {
   std::printf("(parity is the hard gate: a sharded run must be bit-identical "
               "to its serial twin; speedup is machine-dependent.)\n");
 
-  // Post-chaos stabilization workload: the two-phase handoff engine
-  // (serial chaos prefix -> windowed suffix) vs all-serial, on the
+  // Post-chaos stabilization workload: the alternating engine
+  // (serial chaos window -> windowed suffix) vs all-serial, on the
   // scramble + chaos + agreement-storm shape the paper actually measures.
   std::printf("\nPost-chaos stabilization (chaos [0, %lld ms) runs serial on "
-              "both engines; the handoff shards the suffix)\n",
+              "both engines; the alternating engine shards the suffix)\n",
               static_cast<long long>(kChaosMs));
   Table chaos_table({"n", "events", "serial Mev/s", "two-phase Mev/s",
                      "speedup", "digest parity"});

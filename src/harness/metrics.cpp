@@ -255,7 +255,117 @@ std::vector<double> decision_latencies(const Cluster& cluster) {
   return out;
 }
 
+/// Fold one stream's records inside [from, to) into a window summary:
+/// first-arrival time, count, and a canonical-order digest. `hash` appends
+/// one record's fields to the FNV state (same layout as run_digest).
+template <class T, class NodeKey, class HashRecord>
+void span_metrics(const std::vector<T>& stream, NodeKey node_key,
+                  HashRecord hash, RealTime from, RealTime to,
+                  WindowStabilization& w) {
+  Fnv fnv;
+  RealTime first = RealTime::max();
+  for (const std::uint32_t i : canonical_order(stream, node_key)) {
+    const T& r = stream[i];
+    if (r.real_at < from || r.real_at >= to) continue;
+    first = std::min(first, r.real_at);
+    ++w.events;
+    hash(fnv, r);
+  }
+  if (w.events > 0) {
+    w.recovery = first - from;
+    w.digest = fnv.h;
+  }
+}
+
 }  // namespace
+
+std::vector<WindowStabilization> window_stabilization(
+    const Scenario& scenario, const RecordingProbe& probe) {
+  std::vector<WindowStabilization> out;
+  const std::vector<ChaosWindow> windows = scenario.chaos_windows();
+  for (std::size_t k = 0; k < windows.size(); ++k) {
+    WindowStabilization w;
+    w.chaos_start = windows[k].start;
+    w.chaos_end = windows[k].end;
+    // Recovery span: from this window's end up to the next window's start
+    // (chaos re-disrupting the stack ends the span), unbounded for the
+    // last window — the probe's streams end where observation ended.
+    const RealTime to =
+        k + 1 < windows.size() ? windows[k + 1].start : RealTime::max();
+    switch (scenario.stack) {
+      case StackKind::kAgree:
+      case StackKind::kBaselineTps:
+        span_metrics(
+            probe.decisions(),
+            [](const TimedDecision& d) { return d.decision.node; },
+            [](Fnv& f, const TimedDecision& d) {
+              f.word(d.decision.node);
+              f.word(d.decision.general.node);
+              f.word(d.decision.general.index);
+              f.word(d.decision.value);
+              f.time(d.decision.tau_g);
+              f.time(d.decision.at);
+              f.time(d.real_at);
+              f.time(d.tau_g_real);
+            },
+            w.chaos_end, to, w);
+        break;
+      case StackKind::kPulse:
+        span_metrics(
+            probe.pulses(), [](const TimedPulse& p) { return p.node; },
+            [](Fnv& f, const TimedPulse& p) {
+              f.word(p.node);
+              f.word(p.event.counter);
+              f.time(p.event.at);
+              f.time(p.real_at);
+            },
+            w.chaos_end, to, w);
+        break;
+      case StackKind::kClockSync:
+        span_metrics(
+            probe.adjustments(),
+            [](const TimedAdjustment& a) { return a.node; },
+            [](Fnv& f, const TimedAdjustment& a) {
+              f.word(a.node);
+              f.word(a.adjustment.pulse_counter);
+              f.dur(a.adjustment.amount);
+              f.time(a.adjustment.at);
+              f.time(a.real_at);
+            },
+            w.chaos_end, to, w);
+        break;
+      case StackKind::kReplicatedLog:
+        span_metrics(
+            probe.commits(), [](const TimedCommit& c) { return c.node; },
+            [](Fnv& f, const TimedCommit& c) {
+              f.word(c.node);
+              f.word(c.entry.slot);
+              f.word(c.entry.command);
+              f.word(c.entry.proposer);
+              f.time(c.entry.at);
+              f.time(c.real_at);
+            },
+            w.chaos_end, to, w);
+        break;
+      case StackKind::kPipelinedLog:
+        span_metrics(
+            probe.deliveries(),
+            [](const TimedDelivery& d) { return d.node; },
+            [](Fnv& f, const TimedDelivery& d) {
+              f.word(d.node);
+              f.word(d.entry.slot);
+              f.word(d.entry.command);
+              f.word(d.entry.proposer);
+              f.word(d.entry.skipped ? 1 : 0);
+              f.time(d.real_at);
+            },
+            w.chaos_end, to, w);
+        break;
+    }
+    out.push_back(w);
+  }
+  return out;
+}
 
 std::uint64_t run_digest(const RecordingProbe& probe,
                          const NetworkStats& net) {

@@ -120,6 +120,34 @@ template <typename T>
   return nullptr;
 }
 
+// --- recurring-chaos stabilization (Scenario::chaos_windows) ---------------
+
+/// Re-convergence metrics for one chaos window of a duty-cycle run: what
+/// the stack's PRIMARY stream (decisions for the agreement stacks, pulses,
+/// clock adjustments, commits, pipelined deliveries) did in the recovery
+/// span — from this window's end to the next window's start (or the end of
+/// observation). The paper's stabilization claims are exactly statements
+/// about these spans: after every burst of chaos, a correct observable
+/// re-appears within a bounded time, every time.
+struct WindowStabilization {
+  RealTime chaos_start{};
+  RealTime chaos_end{};
+  /// Time from chaos_end to the first primary-stream record in the span;
+  /// nullopt when the stack produced nothing before the next window.
+  std::optional<Duration> recovery;
+  std::uint32_t events = 0;  // primary-stream records in the span
+  /// Canonical per-node digest of the span's records (same field layout as
+  /// run_digest) — two runs recovering identically hash identically.
+  std::uint64_t digest = 0;
+};
+
+/// Evaluate every window of the scenario's chaos schedule against the
+/// probe's streams. Empty when the scenario has no chaos. Records BEFORE
+/// the first window (start-up traffic) belong to no span by design: the
+/// quantity of interest is re-convergence after chaos, not cold start.
+[[nodiscard]] std::vector<WindowStabilization> window_stabilization(
+    const Scenario& scenario, const RecordingProbe& probe);
+
 /// FNV-1a fingerprint of every probe stream plus the network counters —
 /// two runs with equal digests produced bit-identical observable histories
 /// (decisions, pulse times, adjustments, commits, deliveries, wire stats).

@@ -5,7 +5,7 @@
 #include "adversary/adversaries.hpp"
 #include "harness/stack_registry.hpp"
 #include "sim/fault_injector.hpp"
-#include "sim/handoff_world.hpp"
+#include "sim/duty_world.hpp"
 #include "sim/shard_world.hpp"
 
 namespace ssbft {
@@ -81,22 +81,28 @@ void Cluster::build() {
   wc.shards = scenario_.shards;
   wc.timer_wheel = scenario_.timer_wheel;
   wc.resolve_delay_models();
-  // Engine selection — phase-aware: the sharded engine needs a conservative
-  // lookahead (positive delay floor); without one, sharding degrades to the
-  // serial engine — identical results either way (test_shard). A chaos
-  // window no longer pins the whole run serial: the window itself is a
-  // serial-engine phase (its delays undercut any lookahead), so the
-  // HandoffWorld runs it serial and migrates the complete in-flight state
-  // into the windowed engine at the cut — the post-chaos stabilization
-  // phase scales, digests stay bit-identical to all-serial.
+  // A malformed chaos duty cycle (overlapping windows, negative knobs)
+  // must never silently run — refuse at build time. Degenerate-but-sound
+  // cycles normalize to fewer (possibly zero) windows instead.
+  SSBFT_EXPECTS(scenario_.validate_chaos() == nullptr);
+  const std::vector<ChaosWindow> windows = scenario_.chaos_windows();
+  // Engine selection — schedule-aware: the sharded engine needs a
+  // conservative lookahead (positive delay floor); without one, sharding
+  // degrades to the serial engine — identical results either way
+  // (test_shard). A chaos schedule no longer pins the whole run serial:
+  // each window is a serial-engine segment (its delays undercut any
+  // lookahead), so the DutyWorld alternates — serial inside the windows,
+  // the windowed engine between them — with a full state migration at
+  // every boundary. The stabilization stretches scale, digests stay
+  // bit-identical to all-serial (test_duty).
   shards_ = ShardWorld::effective_shards(wc);
-  if (shards_ > 1 && scenario_.chaos_period > Duration::zero()) {
-    world_ = std::make_unique<HandoffWorld>(
-        wc, RealTime::zero() + scenario_.chaos_period);
+  if (shards_ > 1 && !windows.empty()) {
+    world_ = std::make_unique<DutyWorld>(wc, windows);
   } else if (shards_ > 1) {
     world_ = std::make_unique<ShardWorld>(wc);
   } else {
     world_ = std::make_unique<World>(wc);
+    if (!windows.empty()) world_->network().set_faulty_windows(windows);
   }
 
   const StackFactory& factory =
@@ -112,11 +118,6 @@ void Cluster::build() {
         factory(StackBuild{scenario_, params_, id, *world_, hub_});
     stack_nodes_[id] = behavior.get();
     world_->set_behavior(id, std::move(behavior));
-  }
-
-  if (scenario_.chaos_period > Duration::zero()) {
-    world_->network().set_faulty_until(RealTime::zero() +
-                                       scenario_.chaos_period);
   }
 
   for (const auto& proposal : scenario_.proposals) {

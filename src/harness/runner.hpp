@@ -29,15 +29,16 @@ class Cluster {
 
   /// The deployed engine: the serial World, the sharded engine when the
   /// scenario asks for shards AND offers a positive delay floor (the
-  /// lookahead), or — for chaos scenarios with shards — the two-phase
-  /// HandoffWorld (serial chaos prefix, windowed post-chaos suffix; see
-  /// sim/handoff_world.hpp). Without a lookahead, sharding degrades to
-  /// serial execution, never to wrongness. Serial-only internals
-  /// (network(), queue()) abort on the sharded engine and on the handoff
-  /// engine once it has crossed the cut; everything else is common.
+  /// lookahead), or — for chaos scenarios with shards — the alternating
+  /// DutyWorld (serial inside each chaos window, windowed between them,
+  /// migrating at every boundary; see sim/duty_world.hpp). Without a
+  /// lookahead, sharding degrades to serial execution, never to wrongness.
+  /// Serial-only internals (network(), queue()) abort on the sharded
+  /// engine and on the alternating engine during its sharded segments;
+  /// everything else is common.
   [[nodiscard]] WorldBase& world() { return *world_; }
-  /// Shards the deployment actually runs on (1 ⇒ serial engine; for a
-  /// chaos handoff: the suffix engine's shard count).
+  /// Shards the deployment actually runs on (1 ⇒ serial engine; for the
+  /// alternating engine: its sharded segments' shard count).
   [[nodiscard]] std::uint32_t shards() const { return shards_; }
   [[nodiscard]] bool sharded() const { return shards_ > 1; }
   [[nodiscard]] const Params& params() const { return params_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/world.hpp"
+#include "util/assert.hpp"
 
 namespace ssbft {
 
@@ -43,6 +44,47 @@ Params Scenario::make_params() const {
   params.set_cleanup_enabled(cleanup_enabled);
   params.set_quorum_policy(quorum_policy);
   return params;
+}
+
+const char* Scenario::validate_chaos() const {
+  if (chaos_period < Duration::zero()) {
+    return "chaos_period must be non-negative";
+  }
+  if (chaos_first_start < Duration::zero()) {
+    return "chaos_first_start must be non-negative";
+  }
+  if (chaos_duty < Duration::zero()) {
+    return "chaos_duty must be non-negative";
+  }
+  if (chaos_count > 1 && chaos_duty != Duration::zero() &&
+      chaos_duty < chaos_period) {
+    return "chaos_duty < chaos_period: recurring chaos windows would overlap";
+  }
+  return nullptr;
+}
+
+std::vector<ChaosWindow> Scenario::chaos_windows() const {
+  SSBFT_EXPECTS(validate_chaos() == nullptr);
+  std::vector<ChaosWindow> out;
+  if (chaos_period <= Duration::zero() || chaos_count == 0) return out;
+  // Unset stride ⇒ back-to-back windows, which merge into one below —
+  // count > 1 without a stride degrades to a single wider window.
+  const Duration stride =
+      chaos_duty > Duration::zero() ? chaos_duty : chaos_period;
+  Duration start = chaos_first_start;
+  for (std::uint32_t k = 0; k < chaos_count; ++k, start += stride) {
+    // A window starting at or past the horizon can never matter: drop it
+    // (and everything after) rather than schedule dead engine switches.
+    if (start >= run_for) break;
+    const RealTime s = RealTime::zero() + start;
+    const RealTime e = s + chaos_period;
+    if (!out.empty() && out.back().end == s) {
+      out.back().end = e;  // contiguous: one longer window, fewer cuts
+    } else {
+      out.push_back(ChaosWindow{s, e});
+    }
+  }
+  return out;
 }
 
 bool Scenario::is_byzantine(NodeId id) const {

@@ -19,6 +19,7 @@
 #include "pulse/pulse_types.hpp"
 #include "sim/delay_model.hpp"
 #include "sim/fault_injector.hpp"
+#include "sim/network.hpp"  // ChaosWindow
 #include "util/time.hpp"
 #include "util/types.hpp"
 
@@ -101,11 +102,32 @@ struct Scenario {
   Duration adversary_period = milliseconds(1);
   Duration stagger_span = milliseconds(4);
 
-  // --- initial state -----------------------------------------------------
+  // --- initial state / recurring chaos -----------------------------------
   bool transient_scramble = false;
   TransientFaultConfig transient{};
-  /// Network behaves arbitrarily for this long after t=0 (ι0).
+  /// Width of each chaos window: the network behaves arbitrarily for this
+  /// long from the window's start. Zero ⇒ no chaos. With the defaults
+  /// below this is the classic one-shot transient [0, ι0).
   Duration chaos_period = Duration::zero();
+  /// Chaos duty cycle: the first window starts here (default: t=0)...
+  Duration chaos_first_start = Duration::zero();
+  /// ...windows repeat with this start-to-start stride (zero ⇒ back-to-
+  /// back, i.e. the window width — only meaningful with chaos_count > 1;
+  /// any other value must be ≥ chaos_period or the windows would overlap,
+  /// which validate_chaos rejects)...
+  Duration chaos_duty = Duration::zero();
+  /// ...for this many windows.
+  std::uint32_t chaos_count = 1;
+
+  /// nullptr when the chaos duty cycle is well-formed; otherwise a static
+  /// message naming the violation. Cluster::build refuses invalid cycles
+  /// up front — a malformed schedule must never silently run.
+  [[nodiscard]] const char* validate_chaos() const;
+  /// The normalized chaos schedule: absolute windows, sorted, contiguous
+  /// ones merged, windows starting at or past run_for dropped. Degenerate
+  /// inputs (zero width, zero count, first start past the horizon) degrade
+  /// toward an EMPTY schedule — never-faulty network — never to wrongness.
+  [[nodiscard]] std::vector<ChaosWindow> chaos_windows() const;
 
   // --- ablation knobs ------------------------------------------------------
   /// Override Block R's freshness window (zero ⇒ default 5d; Fig. 1's
@@ -135,10 +157,10 @@ struct Scenario {
   /// Shards for the conservative-parallel engine (0/1 ⇒ serial engine).
   /// Requires a link_delay with a positive minimum to take effect (the
   /// lookahead); results are bit-identical to serial for any value. With a
-  /// chaos_period the deployment is two-phase: the chaos window runs on the
-  /// serial engine, then the complete in-flight state migrates into the
-  /// windowed engine for the post-chaos suffix (sim/handoff_world.hpp) —
-  /// still bit-identical to an all-serial run.
+  /// chaos schedule the deployment alternates: each chaos window runs on
+  /// the serial engine and each stabilization stretch on the windowed
+  /// engine, with a full state migration at every boundary
+  /// (sim/duty_world.hpp) — still bit-identical to an all-serial run.
   std::uint32_t shards = 0;
   /// Node timers ride the hierarchical timer wheel (WorldConfig doc).
   /// false ⇒ legacy heap-resident timers; observable histories identical.

@@ -40,6 +40,7 @@ SweepRun SweepRunner::run_cell(
   run.digest = outcome.digest;
   run.agreement = outcome.agreement;
   run.latency_ns = std::move(outcome.latency_ns);
+  run.windows = window_stabilization(sc, cluster.probe());
   run.events = cluster.world().dispatched();
   run.messages = cluster.world().net_stats().sent;
   run.sim_time = sc.run_for;
@@ -114,6 +115,13 @@ SweepReport SweepRunner::run() {
     report.events += run.events;
     report.messages += run.messages;
     for (const double l : run.latency_ns) report.latency.add(l);
+    for (const WindowStabilization& w : run.windows) {
+      ++report.chaos_windows;
+      if (w.recovery) {
+        ++report.recovered_windows;
+        report.recovery_ns.add(double(w.recovery->ns()));
+      }
+    }
   }
   if (report.wall_seconds > 0) {
     report.events_per_sec = double(report.events) / report.wall_seconds;

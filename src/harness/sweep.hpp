@@ -36,6 +36,9 @@ struct SweepRun {
   std::uint64_t digest = 0;        // run_digest(): bit-exact run fingerprint
   RunMetrics agreement{};          // decision-stream accounting
   std::vector<double> latency_ns;  // proposal → decided-return latencies
+  /// Per-chaos-window re-convergence metrics (empty without a chaos
+  /// schedule): one entry per window of Scenario::chaos_windows.
+  std::vector<WindowStabilization> windows;
 
   std::uint64_t events = 0;    // queue dispatches
   std::uint64_t messages = 0;  // wire sends admitted
@@ -54,6 +57,13 @@ struct SweepReport {
   double events_per_sec = 0;
   double scenarios_per_sec = 0;
   SampleSet latency;  // pooled decision latencies (ns)
+  // Chaos duty-cycle accounting, pooled over the grid: how many windows
+  // were observed, how many were followed by a primary-stream record
+  // before the next window (re-convergence events), and the recovery-time
+  // distribution of those that were.
+  std::uint32_t chaos_windows = 0;
+  std::uint32_t recovered_windows = 0;
+  SampleSet recovery_ns;  // chaos end → first primary record (ns)
 
   [[nodiscard]] bool all_passed() const { return failed == 0; }
 };

@@ -1,0 +1,172 @@
+#include "sim/duty_world.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace ssbft {
+
+DutyWorld::DutyWorld(WorldConfig config,
+                     std::vector<ChaosWindow> windows)
+    : WorldBase(config), windows_(std::move(windows)) {
+  SSBFT_EXPECTS(!windows_.empty());
+  // The sharded segments must actually shard, or the wrapper is pointless —
+  // the Cluster builds a plain serial World with the same window schedule
+  // otherwise.
+  SSBFT_EXPECTS(ShardWorld::effective_shards(config_) > 1);
+  for (const ChaosWindow& w : windows_) {
+    SSBFT_EXPECTS(w.start < w.end);
+    // A window's start is a sharded→serial cut (skipped when the run opens
+    // inside the window), its end a serial→sharded cut.
+    if (w.start > RealTime::zero()) {
+      SSBFT_EXPECTS(cuts_.empty() || w.start > cuts_.back());  // pre-merged
+      cuts_.push_back(w.start);
+    }
+    cuts_.push_back(w.end);
+  }
+  if (windows_.front().start == RealTime::zero()) {
+    serial_ = std::make_unique<World>(config_);
+    // Before ANY traffic: in-flight messages must be exportable at the cut.
+    serial_->enable_handoff_export();
+    serial_->network().set_faulty_windows(windows_);
+  } else {
+    sharded_ = std::make_unique<ShardWorld>(config_);
+    sharded_->enable_handoff_export();
+  }
+}
+
+DutyWorld::~DutyWorld() = default;
+
+WorldBase& DutyWorld::active() {
+  return sharded_ ? static_cast<WorldBase&>(*sharded_)
+                  : static_cast<WorldBase&>(*serial_);
+}
+
+const WorldBase& DutyWorld::active() const {
+  return sharded_ ? static_cast<const WorldBase&>(*sharded_)
+                  : static_cast<const WorldBase&>(*serial_);
+}
+
+void DutyWorld::set_behavior(NodeId id,
+                             std::unique_ptr<NodeBehavior> behavior) {
+  active().set_behavior(id, std::move(behavior));
+}
+
+NodeBehavior* DutyWorld::behavior(NodeId id) { return active().behavior(id); }
+
+void DutyWorld::start() { active().start(); }
+
+void DutyWorld::fire_action(std::uint64_t seq) {
+  auto node = actions_.extract(seq);
+  SSBFT_ASSERT(!node.empty());
+  node.mapped().action();
+}
+
+void DutyWorld::migrate_to(RealTime cut) {
+  ++migrations_;
+  // More boundaries ahead ⇒ the adopting engine must itself track in-flight
+  // deliveries for the NEXT export; on the final segment the tracking slab
+  // (pure overhead by then) stays off.
+  const bool more = cursor_ < cuts_.size();
+  if (serial_) {
+    // Drain the serial chaos segment: every event strictly before the cut
+    // dispatches here (chaos sends all originate inside the window, hence
+    // before the cut). What remains in flight fires at or after it.
+    serial_->run_before(cut);
+    WorldMigration m = serial_->export_migration();
+    serial_.reset();
+    sharded_ = std::make_unique<ShardWorld>(config_, std::move(m), more);
+  } else {
+    // Reverse direction: drain the sharded stabilization segment, merge the
+    // shards back into one snapshot, adopt serially for the next window.
+    sharded_->run_before(cut);
+    WorldMigration m = sharded_->export_migration();
+    sharded_.reset();
+    serial_ = std::make_unique<World>(config_, std::move(m), more);
+    // Window membership is decided at SEND time against absolute real time,
+    // so the full schedule transfers as-is; the cursor re-advances cheaply.
+    serial_->network().set_faulty_windows(windows_);
+  }
+  // Re-register the surviving workload actions under their ORIGINAL keys —
+  // identical (when, key) dispatch slots, so the switch stays invisible to
+  // an all-serial run. The originals stay in the map: a still-pending
+  // action may have to survive the NEXT migration too.
+  for (const auto& [seq, a] : actions_) {
+    auto wrapper = [this, seq = seq] { fire_action(seq); };
+    if (serial_) {
+      serial_->queue().schedule(a.when, a.key, std::move(wrapper));
+    } else {
+      sharded_->schedule_keyed(a.when, a.key, a.target, std::move(wrapper));
+    }
+  }
+}
+
+void DutyWorld::cross_cuts_until(RealTime t) {
+  while (cursor_ < cuts_.size() && cuts_[cursor_] <= t) {
+    migrate_to(cuts_[cursor_++]);
+  }
+}
+
+void DutyWorld::run_until(RealTime t) {
+  cross_cuts_until(t);
+  active().run_until(t);
+}
+
+void DutyWorld::run_to_quiescence(RealTime hard_deadline) {
+  cross_cuts_until(hard_deadline);
+  active().run_to_quiescence(hard_deadline);
+}
+
+RealTime DutyWorld::now() const { return active().now(); }
+
+LocalTime DutyWorld::local_now(NodeId id) const {
+  return active().local_now(id);
+}
+
+RealTime DutyWorld::real_at(NodeId id, LocalTime tau) const {
+  return active().real_at(id, tau);
+}
+
+DriftingClock& DutyWorld::clock(NodeId id) { return active().clock(id); }
+
+Rng& DutyWorld::rng() { return active().rng(); }
+
+Logger& DutyWorld::log() { return active().log(); }
+
+void DutyWorld::scramble_node(NodeId id) { active().scramble_node(id); }
+
+void DutyWorld::schedule(RealTime when, NodeId target,
+                         std::function<void()> action) {
+  SSBFT_EXPECTS(target < config_.n);
+  // Either engine mints the next world-channel seq for the wrapper event;
+  // register the action under that seq so it can follow every remaining
+  // migration. The wrapper adds no draws, no extra events, and the
+  // identical key — invisible to an all-serial run.
+  const std::uint64_t seq =
+      serial_ ? serial_->queue().global_seq() : sharded_->world_seq();
+  auto [it, inserted] = actions_.emplace(
+      seq, WorldMigration::PendingAction{when, EventKey{kGlobalCreator, seq},
+                                         target, std::move(action)});
+  SSBFT_ASSERT(inserted);
+  active().schedule(when, target, [this, seq] { fire_action(seq); });
+}
+
+void DutyWorld::inject_raw(NodeId dest, WireMessage msg, Duration delay) {
+  active().inject_raw(dest, msg, delay);
+}
+
+NetworkStats DutyWorld::net_stats() const { return active().net_stats(); }
+
+std::uint64_t DutyWorld::dispatched() const { return active().dispatched(); }
+
+Network& DutyWorld::network() {
+  SSBFT_EXPECTS(serial_ != nullptr);  // sharded segment: no single Network
+  return serial_->network();
+}
+
+EventQueue& DutyWorld::queue() {
+  SSBFT_EXPECTS(serial_ != nullptr);  // sharded segment: no single queue
+  return serial_->queue();
+}
+
+}  // namespace ssbft

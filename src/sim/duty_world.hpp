@@ -1,0 +1,133 @@
+// DutyWorld: schedule-driven alternating engine for recurring chaos.
+//
+// The paper's transient-fault model is not one-shot: a self-stabilizing
+// stack must re-converge after EVERY burst of network chaos, however often
+// they recur. A chaos duty cycle — windows [s_k, s_k + width) repeating
+// every `period` — therefore alternates two execution regimes: inside a
+// window the network behaves arbitrarily (unbounded effective delays, so
+// only the serial engine is sound), and between windows the bounded-delay
+// model holds and the conservative-parallel ShardWorld scales.
+//
+// DutyWorld compiles the window list into an alternation schedule and
+// switches engines at every boundary with a FULL state migration in both
+// directions:
+//   * serial → sharded (window end): World::export_migration splits the
+//     run across shards — in-flight deliveries re-materialize under their
+//     original content-based keys, live timer records re-arm at their
+//     original (index, generation) tickets, every RNG stream and key
+//     channel continues at its exact position (PR 5's forward path);
+//   * sharded → serial (window start): ShardWorld::export_migration merges
+//     the shard queues, tracking slabs, and timer slabs (disjoint by the
+//     partitioned import + strided allocation) back into one snapshot the
+//     serial World adopts — the NEW reverse path, which is what lets the
+//     cycle repeat any number of times.
+// Every cut is exclusive (run_before): the pre-cut engine dispatches
+// everything strictly before the boundary, so the alternating run executes
+// the identical total (when, creator, seq) order an all-serial run would,
+// and per-node digests are bit-identical (test_duty pins all six
+// StackKinds × shards {1, 2, 4}; bench_dutycycle hard-gates it in CI).
+//
+// Workload actions scheduled through this wrapper are registered in an
+// engine-agnostic map keyed by their world-channel seq and re-registered
+// under their ORIGINAL keys after every migration — unlike deliveries and
+// timers, a type-erased closure cannot be peeled back out of a queue, so
+// the orchestrator must keep the originals for as long as cuts remain.
+//
+// The serial surface (network(), queue()) forwards during serial segments
+// and aborts during sharded ones, exactly like ShardWorld's.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/shard_world.hpp"
+#include "sim/world.hpp"
+
+namespace ssbft {
+
+class DutyWorld final : public WorldBase {
+ public:
+  /// `windows` is the chaos schedule: sorted, non-overlapping (contiguous
+  /// windows should be pre-merged — Scenario::chaos_windows normalizes),
+  /// each start < end. Must be non-empty, and `config.shards` must
+  /// actually shard (the Cluster builds a plain serial World otherwise).
+  DutyWorld(WorldConfig config, std::vector<ChaosWindow> windows);
+  ~DutyWorld() override;
+
+  /// The engine-switch boundaries, in order (window edges; a window
+  /// starting at t=0 contributes only its end).
+  [[nodiscard]] const std::vector<RealTime>& cuts() const { return cuts_; }
+  /// The next boundary not yet crossed (max() when the schedule is spent).
+  [[nodiscard]] RealTime next_cut() const {
+    return cursor_ < cuts_.size() ? cuts_[cursor_] : RealTime::max();
+  }
+  /// Engine switches performed so far (diagnostics/tests).
+  [[nodiscard]] std::size_t migrations() const { return migrations_; }
+  /// Is the windowed engine currently active? (Tests.)
+  [[nodiscard]] bool sharded_active() const { return sharded_ != nullptr; }
+  /// The active windowed engine, sharded segments only (tests).
+  [[nodiscard]] ShardWorld* sharded_engine() { return sharded_.get(); }
+
+  void set_behavior(NodeId id, std::unique_ptr<NodeBehavior> behavior) override;
+  [[nodiscard]] NodeBehavior* behavior(NodeId id) override;
+  void start() override;
+
+  void run_until(RealTime t) override;
+  void run_to_quiescence(RealTime hard_deadline) override;
+
+  [[nodiscard]] RealTime now() const override;
+  [[nodiscard]] LocalTime local_now(NodeId id) const override;
+  [[nodiscard]] RealTime real_at(NodeId id, LocalTime tau) const override;
+
+  [[nodiscard]] DriftingClock& clock(NodeId id) override;
+  [[nodiscard]] Rng& rng() override;
+  [[nodiscard]] Logger& log() override;
+
+  void scramble_node(NodeId id) override;
+
+  void schedule(RealTime when, NodeId target,
+                std::function<void()> action) override;
+  void inject_raw(NodeId dest, WireMessage msg, Duration delay) override;
+
+  [[nodiscard]] NetworkStats net_stats() const override;
+  [[nodiscard]] std::uint64_t dispatched() const override;
+
+  /// Serial surface: forwards during serial segments, aborts during
+  /// sharded ones (no single Network/queue exists there).
+  [[nodiscard]] Network& network() override;
+  [[nodiscard]] EventQueue& queue() override;
+
+ private:
+  [[nodiscard]] WorldBase& active();
+  [[nodiscard]] const WorldBase& active() const;
+
+  /// Cross one boundary: drain the active engine strictly before `cut`,
+  /// export, adopt on the other engine, and re-register the surviving
+  /// workload actions under their original keys.
+  void migrate_to(RealTime cut);
+  /// Advance the schedule: cross every boundary at or before `t`.
+  void cross_cuts_until(RealTime t);
+  /// Scheduled-wrapper target: extract and run a registered action.
+  void fire_action(std::uint64_t seq);
+
+  std::vector<ChaosWindow> windows_;  // the chaos schedule
+  std::vector<RealTime> cuts_;                 // engine-switch boundaries
+  std::size_t cursor_ = 0;                     // next cut to cross
+  std::size_t migrations_ = 0;
+
+  // Exactly one engine is live at a time; which one flips at every cut.
+  std::unique_ptr<World> serial_;
+  std::unique_ptr<ShardWorld> sharded_;
+
+  // Workload actions scheduled through us, keyed by the world-channel seq
+  // the active engine minted (deterministic iteration order). An action
+  // unregisters itself when it runs; whatever remains at a cut is
+  // re-registered on the adopting engine under its original key — the map
+  // keeps the original closures because migrations can recur.
+  std::map<std::uint64_t, WorldMigration::PendingAction> actions_;
+};
+
+}  // namespace ssbft

@@ -131,6 +131,17 @@ class EventQueue {
   /// so the sharded suffix continues the exact key sequence.
   [[nodiscard]] std::uint64_t global_seq() const { return global_seq_; }
 
+  /// Adopt the clock/counter positions of a migrated run (engine handoff).
+  /// Only legal on a pristine queue — nothing scheduled or dispatched yet —
+  /// so the adopted positions cannot contradict prior activity.
+  void adopt(RealTime now, std::uint64_t global_seq, std::uint64_t dispatched) {
+    SSBFT_EXPECTS(heap_.empty() && now_ == RealTime{} && global_seq_ == 0 &&
+                  dispatched_ == 0);
+    now_ = now;
+    global_seq_ = global_seq;
+    dispatched_ = dispatched;
+  }
+
   /// Slab slots currently allocated (diagnostics; peak in-flight events,
   /// rounded up to whole chunks).
   [[nodiscard]] std::size_t slab_capacity() const {

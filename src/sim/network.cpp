@@ -43,7 +43,7 @@ void Network::send(NodeId from, NodeId dest, WireMessage msg) {
 }
 
 void Network::send_all(NodeId from, const WireMessage& msg) {
-  if (queue_.now() < faulty_until_) {
+  if (faulty_now()) {
     // A faulty network may corrupt each destination's copy independently,
     // so chaos fans out through the per-copy unicast path.
     for (NodeId dest = 0; dest < n_; ++dest) send(from, dest, msg);
@@ -126,8 +126,7 @@ void Network::inject_raw(NodeId dest, WireMessage msg, Duration delay) {
 }
 
 void Network::route(NodeId from, NodeId dest, WireMessage msg) {
-  const bool faulty = queue_.now() < faulty_until_;
-  if (faulty) {
+  if (faulty_now()) {
     // Chaos draws come from the AUTHENTIC sender's stream (corruption may
     // rewrite msg.sender, never which stream paid for it).
     Rng& rng = link_rng_[from];
@@ -196,6 +195,7 @@ void Network::enable_handoff_export() {
 }
 
 std::uint32_t Network::track(const PendingDelivery& pending) {
+  SSBFT_EXPECTS(!exported_);  // traffic after export ⇒ stale snapshot
   if (!pending_free_.empty()) {
     const std::uint32_t index = pending_free_.back();
     pending_free_.pop_back();
@@ -209,6 +209,7 @@ std::uint32_t Network::track(const PendingDelivery& pending) {
 }
 
 Network::PendingDelivery Network::untrack(std::uint32_t index) {
+  SSBFT_EXPECTS(!exported_);  // dispatch after export ⇒ stale snapshot
   SSBFT_ASSERT(pending_live_[index]);
   pending_live_[index] = false;
   pending_free_.push_back(index);

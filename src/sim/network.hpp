@@ -18,6 +18,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/tap.hpp"
 #include "sim/wire.hpp"
+#include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace ssbft {
@@ -38,6 +39,14 @@ struct ChaosConfig {
 /// degenerate (all-zero) link-delay models, and the floor any configured
 /// cap is clamped to.
 [[nodiscard]] constexpr Duration chaos_delay_floor() { return microseconds(1); }
+
+/// One chaos window [start, end): the network misbehaves for every message
+/// SENT inside it. Misbehaviour is decided at send time — a chaos-delayed
+/// copy may land well after the window closes (that is the point).
+struct ChaosWindow {
+  RealTime start{};
+  RealTime end{};
+};
 
 struct NetworkStats {
   std::uint64_t sent = 0;        // send() calls admitted to the network
@@ -98,9 +107,28 @@ class Network {
   void inject_raw(NodeId dest, WireMessage msg, Duration delay);
 
   /// The network behaves arbitrarily until `t`; from `t` on it is non-faulty
-  /// (Def. 3 then starts its ∆net countdown).
-  void set_faulty_until(RealTime t) { faulty_until_ = t; }
-  [[nodiscard]] RealTime faulty_until() const { return faulty_until_; }
+  /// (Def. 3 then starts its ∆net countdown). Sugar for one window
+  /// [min(), t) — see set_faulty_windows for the recurring form.
+  void set_faulty_until(RealTime t) {
+    set_faulty_windows({ChaosWindow{RealTime::min(), t}});
+  }
+  [[nodiscard]] RealTime faulty_until() const {
+    return windows_.empty() ? RealTime::min() : windows_.back().end;
+  }
+
+  /// Recurring chaos duty cycle: the network misbehaves inside each window
+  /// and is non-faulty between them. Windows must be sorted, non-overlapping
+  /// and non-empty (start < end). Replaces any previous schedule; the faulty
+  /// test is a monotone cursor over the list, so lookups stay O(1) as
+  /// simulation time advances.
+  void set_faulty_windows(std::vector<ChaosWindow> windows) {
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      SSBFT_EXPECTS(windows[i].start < windows[i].end);
+      SSBFT_EXPECTS(i == 0 || windows[i - 1].end <= windows[i].start);
+    }
+    windows_ = std::move(windows);
+    window_cursor_ = 0;
+  }
 
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
@@ -125,7 +153,7 @@ class Network {
   /// Live shared-payload pool slots (diagnostics/tests).
   [[nodiscard]] std::uint32_t live_payloads() const { return live_payloads_; }
 
-  // --- engine-handoff surface (sim/handoff_world.hpp) ----------------------
+  // --- engine-migration surface (sim/duty_world.hpp) -----------------------
 
   /// One delivery event in flight: everything needed to re-materialize it —
   /// with its original key — in another engine's queue.
@@ -146,7 +174,19 @@ class Network {
   void enable_handoff_export();
   /// The in-flight deliveries, in tracking-slab index order (stable and
   /// deterministic; dispatch order is the keys' business, not this list's).
+  /// A reusable const observer — exporting is mark_exported()'s business.
   [[nodiscard]] std::vector<PendingDelivery> pending_deliveries() const;
+
+  /// Seal the tracking slab after its contents were exported: any further
+  /// traffic or delivery dispatch through this network is a hard precondition
+  /// failure. A snapshot taken before further activity is the only
+  /// consistent one — a second export, or an export after more dispatch,
+  /// must refuse rather than hand over a stale in-flight set.
+  void mark_exported() {
+    SSBFT_EXPECTS(!exported_);
+    exported_ = true;
+  }
+  [[nodiscard]] bool exported() const { return exported_; }
 
   /// Per-sender delay/chaos stream position (migrated at a handoff).
   [[nodiscard]] const Rng& link_rng(NodeId id) const { return link_rng_[id]; }
@@ -155,6 +195,25 @@ class Network {
   /// Per-sender even-channel key seq position (migrated at a handoff).
   [[nodiscard]] std::uint64_t send_seq(NodeId id) const {
     return send_seq_[id];
+  }
+
+  /// Adopt one node's migrated per-sender stream/counter positions.
+  void adopt_node_streams(NodeId id, const Rng& link_rng,
+                          std::uint64_t send_seq) {
+    link_rng_[id] = link_rng;
+    send_seq_[id] = send_seq;
+  }
+  /// Adopt the migrated world-level counters (forged channel, wire stats).
+  void adopt_world_counters(std::uint64_t forged_seq,
+                            const NetworkStats& stats) {
+    forged_seq_ = forged_seq;
+    stats_ = stats;
+  }
+  /// Re-materialize one migrated in-flight delivery under its ORIGINAL
+  /// (when, creator, seq) key — the funnel every adoption constructor uses.
+  void adopt_delivery(const PendingDelivery& pending) {
+    schedule_delivery(pending.when, pending.key, pending.dest, pending.msg,
+                      pending.forged);
   }
 
  private:
@@ -189,6 +248,17 @@ class Network {
     return EventKey{from, send_seq_[from]++ * 2};
   }
 
+  /// Is the network faulty at the current simulation instant? Advances the
+  /// window cursor monotonically (queue time never rewinds).
+  [[nodiscard]] bool faulty_now() {
+    while (window_cursor_ < windows_.size() &&
+           queue_.now() >= windows_[window_cursor_].end) {
+      ++window_cursor_;
+    }
+    return window_cursor_ < windows_.size() &&
+           queue_.now() >= windows_[window_cursor_].start;
+  }
+
   void route(NodeId from, NodeId dest, WireMessage msg);
   void corrupt(NodeId from, WireMessage& msg);
   void tap(TapEvent::Kind kind, NodeId from, NodeId to, const WireMessage& msg);
@@ -197,8 +267,9 @@ class Network {
   /// handoff export is enabled. Every non-pooled delivery path (non-faulty
   /// unicast, chaos, duplicates, forged plants) funnels through here; the
   /// pooled send_all path stays separate — it is a non-faulty-phase
-  /// mechanism, unreachable during a chaos prefix (the only phase that is
-  /// ever exported).
+  /// mechanism, unreachable during a chaos segment (the only serial phase a
+  /// duty-cycle run ever exports: serial segments coincide exactly with the
+  /// chaos windows, so every send inside one takes the faulty path).
   void schedule_delivery(RealTime when, EventKey key, NodeId dest,
                          const WireMessage& msg, bool forged);
   [[nodiscard]] std::uint32_t track(const PendingDelivery& pending);
@@ -213,7 +284,9 @@ class Network {
   std::vector<std::uint64_t> send_seq_;  // per-sender even-channel key seqs
   std::uint64_t forged_seq_ = 0;         // forged-channel key seq
   DeliverFn deliver_;
-  RealTime faulty_until_{RealTime::min()};
+  // Chaos duty schedule (sorted, disjoint) + monotone lookup cursor.
+  std::vector<ChaosWindow> windows_;
+  std::size_t window_cursor_ = 0;
   NetworkStats stats_;
   TapFn tap_;
   DelayOracle oracle_;
@@ -224,7 +297,9 @@ class Network {
 
   // Handoff-export tracking slab (enable_handoff_export). `pending_live_`
   // marks occupied slots; dead slots wait on `pending_free_` for reuse.
+  // `exported_` seals the slab once its contents migrated (mark_exported).
   bool handoff_export_ = false;
+  bool exported_ = false;
   std::vector<PendingDelivery> pending_;
   std::vector<bool> pending_live_;
   std::vector<std::uint32_t> pending_free_;

@@ -74,13 +74,14 @@ class NodeBehavior {
   /// chosen garbage. Default: stateless behavior, nothing to scramble.
   virtual void scramble(NodeContext&, Rng&) {}
 
-  /// Engine-handoff hook (sim/handoff_world.hpp): this node's NodeContext
+  /// Engine-migration hook (sim/duty_world.hpp): this node's NodeContext
   /// OBJECT is being replaced — the behavior now lives on another engine
-  /// and the old context is about to be destroyed. A behavior that caches
-  /// the context pointer from on_start must re-point it here (and forward
-  /// to embedded sub-behaviors). Protocol state must NOT change: the
-  /// handoff is invisible to the protocol by construction. Default: no
-  /// cached context, nothing to rebind.
+  /// and the old context is about to be destroyed, possibly many times
+  /// over one run (recurring chaos alternates engines at every window
+  /// edge). A behavior that caches the context pointer from on_start must
+  /// re-point it here (and forward to embedded sub-behaviors). Protocol
+  /// state must NOT change: the migration is invisible to the protocol by
+  /// construction. Default: no cached context, nothing to rebind.
   virtual void rebind(NodeContext&) {}
 };
 

@@ -38,7 +38,8 @@ class Shard::ContextImpl final : public NodeContext {
       // the wheel needs no synchronization and composes with the windows.
       return shard.timers_.schedule(fire, key, id_, cookie);
     }
-    const TimerHandle handle = shard.timers_.arm_external(fire, id_, cookie);
+    const TimerHandle handle =
+        shard.timers_.arm_external(fire, key, id_, cookie);
     shard.queue_.schedule(fire, key,
                           [&shard, handle] { shard.fire_timer(handle); });
     return handle;
@@ -160,9 +161,22 @@ void Shard::schedule_delivery(RealTime when, EventKey key, NodeId dest,
                               const WireMessage& msg) {
   SSBFT_EXPECTS(owns(dest));
   Shard* shard = this;
-  queue_.schedule(when, key, [shard, dest, msg] {
+  if (!handoff_export_) {
+    queue_.schedule(when, key, [shard, dest, msg] {
+      ++shard->stats_.delivered;
+      shard->deliver(dest, msg);
+    });
+    return;
+  }
+  // Export mode: the payload rides in the tracking slab, the closure
+  // carries only the slot index — whatever is still tracked at a cut IS
+  // this shard's in-flight message set (see Network::schedule_delivery).
+  const std::uint32_t index =
+      track(Network::PendingDelivery{when, key, dest, msg, /*forged=*/false});
+  queue_.schedule(when, key, [shard, index] {
+    const Network::PendingDelivery pending = shard->untrack(index);
     ++shard->stats_.delivered;
-    shard->deliver(dest, msg);
+    shard->deliver(pending.dest, pending.msg);
   });
 }
 
@@ -170,7 +184,58 @@ void Shard::schedule_forged(RealTime when, EventKey key, NodeId dest,
                             const WireMessage& msg) {
   SSBFT_EXPECTS(owns(dest));
   Shard* shard = this;
-  queue_.schedule(when, key, [shard, dest, msg] { shard->deliver(dest, msg); });
+  if (!handoff_export_) {
+    queue_.schedule(when, key,
+                    [shard, dest, msg] { shard->deliver(dest, msg); });
+    return;
+  }
+  const std::uint32_t index =
+      track(Network::PendingDelivery{when, key, dest, msg, /*forged=*/true});
+  queue_.schedule(when, key, [shard, index] {
+    const Network::PendingDelivery pending = shard->untrack(index);
+    shard->deliver(pending.dest, pending.msg);
+  });
+}
+
+std::uint32_t Shard::track(const Network::PendingDelivery& pending) {
+  SSBFT_EXPECTS(!exported_);  // traffic after export ⇒ stale snapshot
+  if (!pending_free_.empty()) {
+    const std::uint32_t index = pending_free_.back();
+    pending_free_.pop_back();
+    pending_[index] = pending;
+    pending_live_[index] = true;
+    return index;
+  }
+  pending_.push_back(pending);
+  pending_live_.push_back(true);
+  return std::uint32_t(pending_.size() - 1);
+}
+
+Network::PendingDelivery Shard::untrack(std::uint32_t index) {
+  SSBFT_EXPECTS(!exported_);  // dispatch after export ⇒ stale snapshot
+  SSBFT_ASSERT(pending_live_[index]);
+  pending_live_[index] = false;
+  pending_free_.push_back(index);
+  return pending_[index];
+}
+
+void Shard::export_deliveries(std::vector<Network::PendingDelivery>& out) {
+  SSBFT_EXPECTS(handoff_export_ && !exported_);
+  exported_ = true;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_live_[i]) out.push_back(pending_[i]);
+  }
+}
+
+void Shard::export_node(NodeId id, WorldMigration::NodeState& out) {
+  NodeSlot& s = slot(id);
+  out.clock = s.clock;
+  out.behavior = std::move(s.behavior);
+  out.rng = s.rng;
+  out.link_rng = s.link_rng;
+  out.timer_seq = s.timer_seq;
+  out.send_seq = s.send_seq;
+  out.started = s.started;
 }
 
 void Shard::deliver(NodeId dest, const WireMessage& msg) {
@@ -237,7 +302,8 @@ void Shard::import_timers(
     const std::vector<TimerWheel::ExportedRecord>& records,
     const std::vector<std::uint32_t>& generations, RealTime now) {
   timers_.import_records(records, generations, now,
-                         [this](NodeId node) { return owns(node); });
+                         [this](NodeId node) { return owns(node); }, index_,
+                         std::uint32_t(outbox_.size()));
 }
 
 void Shard::drain_inboxes() {

@@ -99,7 +99,7 @@ class Shard {
   void schedule_forged(RealTime when, EventKey key, NodeId dest,
                        const WireMessage& msg);
 
-  // --- engine-handoff adoption (serial chaos prefix → windowed suffix) ----
+  // --- engine-migration surface (serial segment ⇄ windowed segment) -------
 
   /// Install one migrated node: clock, behavior, RNG stream positions, and
   /// key-channel counters continue exactly where the serial prefix left
@@ -109,9 +109,35 @@ class Shard {
   /// Re-arm this shard's partition of the serial wheel's snapshot at the
   /// original (index, generation) tickets — behaviors' TimerHandles stay
   /// valid against their node's new wheel (TimerWheel::import_records).
+  /// The wheel's future allocations are partitioned by (index_, shard
+  /// count) so sibling shards' slabs stay disjoint and a later reverse
+  /// merge is a plain concatenation.
   void import_timers(const std::vector<TimerWheel::ExportedRecord>& records,
                      const std::vector<std::uint32_t>& generations,
                      RealTime now);
+
+  /// Track every scheduled delivery in a side slab so in-flight messages
+  /// can be exported at the next cut (reverse migration), mirroring
+  /// Network::enable_handoff_export. Must precede all traffic on this
+  /// shard; bit-identical to the untracked path.
+  void enable_handoff_export() {
+    SSBFT_EXPECTS(stats_.sent == 0 && !handoff_export_);
+    handoff_export_ = true;
+  }
+
+  /// Append this shard's live in-flight deliveries (slab order), then seal
+  /// the slab: any further traffic or dispatch is a precondition failure —
+  /// the snapshot would be stale.
+  void export_deliveries(std::vector<Network::PendingDelivery>& out);
+
+  /// Snapshot this shard's live timer records + slab ticket map.
+  void export_timers(std::vector<TimerWheel::ExportedRecord>& out,
+                     std::vector<std::uint32_t>& generations) const {
+    timers_.export_records(out, generations);
+  }
+
+  /// Strip one owned node into a migration slot (behavior moves out).
+  void export_node(NodeId id, WorldMigration::NodeState& out);
 
  private:
   class ContextImpl;
@@ -138,6 +164,9 @@ class Shard {
 
   void deliver(NodeId dest, const WireMessage& msg);
 
+  [[nodiscard]] std::uint32_t track(const Network::PendingDelivery& pending);
+  [[nodiscard]] Network::PendingDelivery untrack(std::uint32_t index);
+
   /// Hand every wheel timer due at or before `bound` to the event queue.
   void pump_timers(RealTime bound);
   /// Scheduled-closure target: claim the record and run on_timer.
@@ -156,6 +185,15 @@ class Shard {
   NetworkStats stats_;
   std::vector<NodeSlot> slots_;            // [first_node_, end_node_)
   std::vector<std::vector<Pending>> outbox_;  // indexed by destination shard
+
+  // Handoff-export tracking slab, mirroring Network's: `pending_live_`
+  // marks occupied slots, dead slots wait on `pending_free_` for reuse,
+  // `exported_` seals the slab once its contents migrated.
+  bool handoff_export_ = false;
+  bool exported_ = false;
+  std::vector<Network::PendingDelivery> pending_;
+  std::vector<bool> pending_live_;
+  std::vector<std::uint32_t> pending_free_;
 };
 
 }  // namespace ssbft

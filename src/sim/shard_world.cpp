@@ -38,9 +38,14 @@ ShardWorld::ShardWorld(WorldConfig config)
   }
 }
 
-ShardWorld::ShardWorld(WorldConfig config, WorldMigration&& migration)
+ShardWorld::ShardWorld(WorldConfig config, WorldMigration&& migration,
+                       bool handoff_export)
     : ShardWorld(std::move(config)) {
   SSBFT_EXPECTS(migration.nodes.size() == config_.n);
+  // Delivery tracking must be live BEFORE the migrated in-flight set
+  // re-materializes below, or those deliveries would be lost to the next
+  // cut's export.
+  if (handoff_export) enable_handoff_export();
   // Counters and stream positions continue where the serial prefix stopped:
   // the suffix must mint the exact keys and draws an uninterrupted serial
   // run would have.
@@ -124,12 +129,14 @@ void ShardWorld::schedule(RealTime when, NodeId target,
                           std::function<void()> action) {
   SSBFT_EXPECTS(target < config_.n);
   SSBFT_EXPECTS(tl_current_shard_ == nullptr);  // serial phases only
+  SSBFT_EXPECTS(!exported_);
   shard_of(target).queue().schedule(when, next_world_key(), std::move(action));
 }
 
 void ShardWorld::inject_raw(NodeId dest, WireMessage msg, Duration delay) {
   SSBFT_EXPECTS(dest < config_.n);
   SSBFT_EXPECTS(tl_current_shard_ == nullptr);  // serial phases only
+  SSBFT_EXPECTS(!exported_);
   ++world_stats_.forged;
   // Forged channel: the same content-based key the serial Network mints for
   // this plant (engine-independent dispatch order; see kForgedCreator).
@@ -187,8 +194,18 @@ void ShardWorld::plan_next_window() {
     stop_ = true;  // nothing left at or before the deadline
     return;
   }
+  if (cut_ && earliest >= target_) {
+    stop_ = true;  // run_before: everything strictly before the cut is done
+    return;
+  }
   start = std::max(start, std::min(earliest, target_));
   if (start >= target_) {
+    if (cut_) {
+      // A stale-low wheel bound got us here with the exclusive windows
+      // already run to the cut: nothing < target_ can remain.
+      stop_ = true;
+      return;
+    }
     // Zero-width inclusive pass: events AT the target. Anything they cause
     // cross-shard lands at > target (λ > 0), so one pass suffices.
     window_end_ = target_;
@@ -211,7 +228,7 @@ void ShardWorld::run_windows(RealTime target, bool quiescence) {
     // The current-shard marker still matters: now() must track the queue's
     // advancing clock during dispatch, exactly as in the threaded path.
     tl_current_shard_ = shards_[0].get();
-    shards_[0]->process_until(target, /*inclusive=*/true);
+    shards_[0]->process_until(target, /*inclusive=*/!cut_);
     tl_current_shard_ = nullptr;
   } else {
     plan_next_window();  // single-threaded: workers not yet running
@@ -248,11 +265,14 @@ void ShardWorld::run_windows(RealTime target, bool quiescence) {
     // their destination queues for the next run_* call.
   }
 
-  if (!quiescence) {
+  if (!quiescence && !cut_) {
     // Serial run_until semantics: every clock reads `target` afterwards.
     for (auto& shard : shards_) shard->queue().run_until(target);
     global_now_ = target;
   } else {
+    // Quiescence and cut mode rest at the last dispatch: a migration cut
+    // must not advance any clock to the cut instant (the adopting engine
+    // owns it), and the exported `now` is then ≤ every pending `when`.
     RealTime last = global_now_;
     for (const auto& shard : shards_) {
       last = std::max(last, shard->queue().now());
@@ -261,12 +281,67 @@ void ShardWorld::run_windows(RealTime target, bool quiescence) {
   }
 }
 
+void ShardWorld::run_before(RealTime t) {
+  SSBFT_EXPECTS(!exported_);
+  if (t <= global_now_) return;
+  cut_ = true;
+  run_windows(t, /*quiescence=*/false);
+  cut_ = false;
+}
+
+void ShardWorld::enable_handoff_export() {
+  for (auto& shard : shards_) shard->enable_handoff_export();
+}
+
+WorldMigration ShardWorld::export_migration() {
+  // One-shot, mirroring World::export_migration: the per-shard slabs seal
+  // themselves, and the run/schedule guards refuse further activity.
+  SSBFT_EXPECTS(!exported_);
+  exported_ = true;
+  WorldMigration m;
+  m.now = global_now_;
+  m.dispatched = dispatched();
+  m.world_seq = world_seq_;
+  m.forged_seq = forged_seq_;
+  m.stats = net_stats();
+  m.world_rng = rng_;
+  for (auto& shard : shards_) shard->export_deliveries(m.deliveries);
+  // Timer slabs are disjoint by construction (partitioned import + strided
+  // append), so the merged snapshot is the concatenation of the per-shard
+  // exports with an elementwise-max generation map: for any index, at most
+  // one shard ever advanced its ticket past the pre-split value.
+  for (const auto& shard : shards_) {
+    std::vector<TimerWheel::ExportedRecord> records;
+    std::vector<std::uint32_t> generations;
+    shard->export_timers(records, generations);
+    m.timers.insert(m.timers.end(), std::make_move_iterator(records.begin()),
+                    std::make_move_iterator(records.end()));
+    if (generations.size() > m.timer_generations.size()) {
+      m.timer_generations.resize(generations.size(), 0);
+    }
+    for (std::size_t i = 0; i < generations.size(); ++i) {
+      m.timer_generations[i] =
+          std::max(m.timer_generations[i], generations[i]);
+    }
+  }
+  m.nodes.resize(config_.n);
+  for (NodeId id = 0; id < config_.n; ++id) {
+    shard_of(id).export_node(id, m.nodes[id]);
+  }
+  // World-level actions are the orchestrator's to carry (DutyWorld keeps
+  // the originals and re-registers extractable wrappers per segment);
+  // nothing here can peel a raw closure back out of a queue.
+  return m;
+}
+
 void ShardWorld::run_until(RealTime t) {
+  SSBFT_EXPECTS(!exported_);
   if (t < global_now_) return;
   run_windows(t, /*quiescence=*/false);
 }
 
 void ShardWorld::run_to_quiescence(RealTime hard_deadline) {
+  SSBFT_EXPECTS(!exported_);
   if (hard_deadline < global_now_) return;
   run_windows(hard_deadline, /*quiescence=*/true);
 }

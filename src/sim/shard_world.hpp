@@ -24,12 +24,13 @@
 // Requirements: λ > 0 (the Cluster degrades shards to the serial engine
 // when the delay floor is zero — λ = 0 degrades to serial execution, never
 // to wrongness) and no ACTIVE network-chaos window (chaos delays undercut
-// any lookahead). Engine selection is phase-aware: a scenario with a chaos
-// window runs the window on the serial engine and hands its complete state
-// to a ShardWorld at the cut (sim/handoff_world.hpp, the adoption
-// constructor below) — chaos means a serial PREFIX, not a serial run. Wire
-// taps and delay oracles are serial-engine features; network()/queue()
-// abort here by contract.
+// any lookahead). Engine selection is phase-aware: chaos windows run on
+// the serial engine and the stretches between them on a ShardWorld, with
+// a full state migration at every boundary (sim/duty_world.hpp; the
+// adoption constructor and export_migration below are the two directions)
+// — chaos means serial SEGMENTS, not a serial run. Wire taps and delay
+// oracles are serial-engine features; network()/queue() abort here by
+// contract.
 #pragma once
 
 #include <cstdint>
@@ -45,13 +46,16 @@ namespace ssbft {
 class ShardWorld final : public WorldBase {
  public:
   explicit ShardWorld(WorldConfig config);
-  /// Adoption form: continue a serial prefix's run from its exported
+  /// Adoption form: continue a serial segment's run from its exported
   /// snapshot (see WorldMigration). Nodes, in-flight deliveries, timer
   /// records (at their original handle tickets), pending world actions,
   /// stream positions, key-channel counters, and wire/dispatch counters all
-  /// carry over; behaviors are NOT re-started. The suffix then dispatches
+  /// carry over; behaviors are NOT re-started. The segment then dispatches
   /// the exact (when, creator, seq) order the serial engine would have.
-  ShardWorld(WorldConfig config, WorldMigration&& migration);
+  /// `handoff_export` pre-enables per-shard delivery tracking so this
+  /// segment can itself be exported at the next cut (reverse migration).
+  ShardWorld(WorldConfig config, WorldMigration&& migration,
+             bool handoff_export = false);
   ~ShardWorld() override;
 
   /// Shard count this config will actually run with: clamped to n, and 1
@@ -71,6 +75,44 @@ class ShardWorld final : public WorldBase {
 
   void run_until(RealTime t) override;
   void run_to_quiescence(RealTime hard_deadline) override;
+
+  // --- engine-migration surface (sim/duty_world.hpp) -----------------------
+
+  /// Dispatch every event strictly before `t` — the migration cut. The
+  /// windowed loop runs exactly as in run_until except the final window is
+  /// exclusive at `t` and queues are NOT advanced to `t`; every clock rests
+  /// at its last dispatch, and everything still pending fires at or after
+  /// `t` (within-window work < t always drains before the window closes,
+  /// and cross-shard arrivals land ≥ window end).
+  void run_before(RealTime t);
+
+  /// Track every delivery for export on all shards (fresh-start form; the
+  /// adoption constructor's flag covers adopted runs). Must precede all
+  /// traffic; see Shard::enable_handoff_export.
+  void enable_handoff_export();
+
+  /// Merge the per-shard state back into one serial-adoptable snapshot:
+  /// queues' in-flight deliveries (shard then slab order), timer slabs
+  /// (disjoint by the partitioned import + strided append — concatenation
+  /// plus an elementwise-max generation merge), node streams/clocks/
+  /// behaviors, and the world-level counters. One-shot: a second export,
+  /// or any run/schedule after it, is a hard precondition failure.
+  [[nodiscard]] WorldMigration export_migration();
+
+  /// Key-less world-channel counter position (mirrors
+  /// EventQueue::global_seq on the serial engine) — the seq the next
+  /// schedule() will mint, which the migration wrapper reads to register
+  /// extractable actions.
+  [[nodiscard]] std::uint64_t world_seq() const { return world_seq_; }
+
+  /// Re-register a migrated world-level action under its ORIGINAL key
+  /// (adoption path — the serial twin is queue().schedule(when, key, ...)).
+  void schedule_keyed(RealTime when, EventKey key, NodeId target,
+                      std::function<void()> action) {
+    SSBFT_EXPECTS(target < config_.n);
+    SSBFT_EXPECTS(tl_current_shard_ == nullptr);
+    shard_of(target).queue().schedule(when, key, std::move(action));
+  }
 
   [[nodiscard]] RealTime now() const override;
   [[nodiscard]] LocalTime local_now(NodeId id) const override;
@@ -114,7 +156,9 @@ class ShardWorld final : public WorldBase {
   /// Advance all shards to `target` in lookahead windows. `quiescence`
   /// stops as soon as no shard holds an event at or before `target` and
   /// leaves each queue's clock at its last dispatch; otherwise every queue
-  /// is advanced to `target` exactly like the serial engine.
+  /// is advanced to `target` exactly like the serial engine. `cut_` mode
+  /// (run_before) makes the final window exclusive at `target` and also
+  /// leaves each clock at its last dispatch.
   void run_windows(RealTime target, bool quiescence);
   /// Barrier-completion step: plan the next window (or stop). Runs
   /// single-threaded while every worker is parked at the barrier.
@@ -135,6 +179,7 @@ class ShardWorld final : public WorldBase {
   std::uint64_t base_dispatched_ = 0;
   RealTime global_now_{};
   bool started_ = false;
+  bool exported_ = false;  // export_migration happened; the engine is dead
 
   // Window-loop shared state; written only in plan_next_window (all workers
   // parked at the barrier) and read by workers after the barrier releases.
@@ -143,6 +188,7 @@ class ShardWorld final : public WorldBase {
   bool stop_ = false;
   RealTime target_{};
   bool quiescence_ = false;
+  bool cut_ = false;  // run_before: final window exclusive at target_
 };
 
 }  // namespace ssbft

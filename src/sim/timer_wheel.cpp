@@ -39,11 +39,13 @@ void TimerWheel::unlink(std::uint32_t index) {
   }
 }
 
-TimerHandle TimerWheel::arm_external(RealTime when, NodeId node,
+TimerHandle TimerWheel::arm_external(RealTime when, EventKey key, NodeId node,
                                      std::uint64_t cookie) {
   const std::uint32_t index = alloc_record();
   Record& r = records_[index];
   r.when = when;
+  r.seq = key.seq;
+  r.creator = key.creator;
   r.node = node;
   r.cookie = cookie;
   r.list = kInHeap;  // the caller schedules the fire event itself
@@ -163,17 +165,24 @@ void TimerWheel::export_records(std::vector<ExportedRecord>& out,
 void TimerWheel::import_records(const std::vector<ExportedRecord>& records,
                                 const std::vector<std::uint32_t>& generations,
                                 RealTime now,
-                                const std::function<bool(NodeId)>& accept) {
+                                const std::function<bool(NodeId)>& accept,
+                                std::uint32_t self, std::uint32_t parties) {
   SSBFT_EXPECTS(records_.empty() && live_ == 0);
+  SSBFT_EXPECTS(parties > 0 && self < parties);
   records_.resize(generations.size());
-  std::vector<bool> adopted(generations.size(), false);
+  // Every index that held a LIVE record at export, whether or not this
+  // importer adopts it: a sibling importer may adopt it, so recycling it
+  // here would let two wheels hold different live timers at one index —
+  // fatal for the reverse merge.
+  std::vector<bool> snapshot_live(generations.size(), false);
   for (std::uint32_t index = 0; index < generations.size(); ++index) {
     records_[index].generation = generations[index];
   }
   tick_ = tick_of(now);
   for (const ExportedRecord& rec : records) {
-    if (!accept(rec.node)) continue;
     SSBFT_ASSERT(rec.handle.index < records_.size());
+    snapshot_live[rec.handle.index] = true;
+    if (!accept(rec.node)) continue;
     Record& r = records_[rec.handle.index];
     SSBFT_ASSERT(r.generation == rec.handle.generation);
     r.when = rec.when;
@@ -181,20 +190,25 @@ void TimerWheel::import_records(const std::vector<ExportedRecord>& records,
     r.creator = rec.key.creator;
     r.node = rec.node;
     r.cookie = rec.cookie;
-    adopted[rec.handle.index] = true;
     ++live_;
     place(rec.handle.index, nullptr);
   }
-  // Thread the unadopted slots (other shards' records, and slots that were
-  // free at export) onto the free list — descending, so allocation hands
-  // out ascending indices, matching a fresh wheel's growth pattern. Index
-  // choice is unobservable either way (dispatch order is the keys'); the
-  // adopted generation map is what matters.
+  // Partition the recyclable space: this importer may reuse only the
+  // snapshot-FREE slots on its own residue class mod `parties`, and appends
+  // new indices on that class too (strided alloc cursor). Sibling importers
+  // of the same snapshot therefore never allocate the same index, so their
+  // later exports merge by plain concatenation. Free list is threaded
+  // descending, so allocation hands out ascending indices. Index choice is
+  // unobservable either way (dispatch order is the keys'); the adopted
+  // generation map is what matters.
   for (std::uint32_t index = std::uint32_t(records_.size()); index-- > 0;) {
-    if (adopted[index]) continue;
+    if (snapshot_live[index] || index % parties != self) continue;
     records_[index].next = free_head_;
     free_head_ = index;
   }
+  const std::uint32_t base = std::uint32_t(records_.size());
+  alloc_stride_ = parties;
+  alloc_next_ = base + (self + parties - base % parties) % parties;
 }
 
 void TimerWheel::advance(RealTime t, std::vector<Due>& out) {

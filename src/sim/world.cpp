@@ -72,8 +72,11 @@ class World::ContextImpl final : public NodeContext {
       return world.timers_.schedule(fire, key, id_, cookie);
     }
     // Legacy path: park the fire event in the heap now. The record exists
-    // only to give cancel_timer the same suppress-at-claim semantics.
-    const TimerHandle handle = world.timers_.arm_external(fire, id_, cookie);
+    // to give cancel_timer the same suppress-at-claim semantics — and to
+    // carry (when, key) across an engine migration, where the fire event
+    // dies with this queue and must re-materialize under the same key.
+    const TimerHandle handle =
+        world.timers_.arm_external(fire, key, id_, cookie);
     world.queue_.schedule(fire, key,
                           [&world, handle] { world.fire_timer(handle); });
     return handle;
@@ -110,6 +113,43 @@ World::World(WorldConfig config)
     slot.context = std::make_unique<ContextImpl>(*this, id);
     slot.rng = derive_node_rng(config_.seed, id);
   }
+}
+
+World::World(WorldConfig config, WorldMigration&& migration,
+             bool handoff_export)
+    : World(std::move(config)) {
+  SSBFT_EXPECTS(migration.nodes.size() == nodes_.size());
+  // Counter/clock positions first: the queue must be pristine, and delivery
+  // tracking must be live BEFORE any delivery re-materializes (and before
+  // the adopted wire counters would trip its before-traffic precondition).
+  queue_.adopt(migration.now, migration.world_seq, migration.dispatched);
+  if (handoff_export) network_->enable_handoff_export();
+  network_->adopt_world_counters(migration.forged_seq, migration.stats);
+  rng_ = migration.world_rng;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    WorldMigration::NodeState& in = migration.nodes[id];
+    NodeSlot& slot = nodes_[id];
+    slot.clock = in.clock;
+    slot.rng = in.rng;
+    slot.timer_seq = in.timer_seq;
+    slot.started = in.started;
+    slot.behavior = std::move(in.behavior);
+    network_->adopt_node_streams(id, in.link_rng, in.send_seq);
+    if (slot.behavior) slot.behavior->rebind(*slot.context);
+  }
+  // Serial adoption owns the whole snapshot: accept every record, and take
+  // the whole allocation space — partition (0, 1).
+  timers_.import_records(migration.timers, migration.timer_generations,
+                         migration.now, [](NodeId) { return true; });
+  for (const Network::PendingDelivery& pending : migration.deliveries) {
+    network_->adopt_delivery(pending);
+  }
+  for (WorldMigration::PendingAction& action : migration.actions) {
+    queue_.schedule(action.when, action.key, std::move(action.action));
+  }
+  // Behaviors carry their started flags over — adoption never re-runs
+  // on_start (the cut is an engine-internal instant, not a deployment).
+  started_ = true;
 }
 
 World::~World() = default;
@@ -161,6 +201,7 @@ void World::fire_timer(TimerHandle handle) {
 }
 
 void World::run_until(RealTime t) {
+  SSBFT_EXPECTS(!exported_);
   logger_.set_now(queue_.now());
   while (true) {
     // Batched hand-over (timer_pump_bound): due wheel timers move to the
@@ -180,6 +221,7 @@ void World::run_until(RealTime t) {
 }
 
 void World::run_before(RealTime t) {
+  SSBFT_EXPECTS(!exported_);
   logger_.set_now(queue_.now());
   while (true) {
     const RealTime bound = timer_pump_bound(queue_, timers_, t);
@@ -194,6 +236,12 @@ void World::run_before(RealTime t) {
 }
 
 WorldMigration World::export_migration() {
+  // One-shot: a second export, or an export after further activity (the
+  // run_*/schedule guards plus the Network's sealed tracking slab), could
+  // only produce an inconsistent snapshot — refuse loudly instead.
+  SSBFT_EXPECTS(!exported_);
+  exported_ = true;
+  network_->mark_exported();
   WorldMigration m;
   m.now = queue_.now();
   m.dispatched = dispatched();
@@ -219,6 +267,7 @@ WorldMigration World::export_migration() {
 }
 
 void World::run_to_quiescence(RealTime hard_deadline) {
+  SSBFT_EXPECTS(!exported_);
   while (true) {
     const RealTime bound = timer_pump_bound(queue_, timers_, hard_deadline);
     if (bound != RealTime::max()) {
@@ -255,6 +304,7 @@ void World::scramble_node(NodeId id) {
 void World::schedule(RealTime when, NodeId target,
                      std::function<void()> action) {
   SSBFT_EXPECTS(target < config_.n);
+  SSBFT_EXPECTS(!exported_);
   queue_.schedule(when, std::move(action));  // world-level creator key
 }
 

@@ -67,9 +67,10 @@ struct WorldConfig {
   /// unchanged default. Values above n are clamped to n. The Cluster falls
   /// back to the serial engine when the scenario offers no lookahead
   /// (min link+proc delay of zero) — λ = 0 degrades to serial execution,
-  /// never to wrongness. Network chaos runs two-phase instead: a serial
-  /// chaos prefix handing its state to the windowed engine at the chaos
-  /// end (sim/handoff_world.hpp).
+  /// never to wrongness. Network chaos runs alternating instead: each
+  /// chaos window is a serial segment, each gap between windows a sharded
+  /// one, with full state migrations at every boundary
+  /// (sim/duty_world.hpp).
   std::uint32_t shards = 0;
 
   /// d = (δ+π)(1+ρ), the paper's bound on send+process as measured on any
@@ -102,18 +103,20 @@ struct WorldConfig {
 [[nodiscard]] DriftingClock derive_node_clock(const WorldConfig& config,
                                               NodeId id);
 
-/// Complete in-flight state of a serial World at an engine handoff.
+/// Complete in-flight state of one engine at a migration cut — the
+/// currency both directions of an engine switch trade in.
 ///
 /// A chaos window is a serial-engine phase (drop/corrupt/duplicate and the
-/// unbounded chaos delays live in the Network); the post-chaos suffix is
-/// where the windowed ShardWorld shines. HandoffWorld runs the prefix on
-/// the serial engine, exports this snapshot at the cut, and the ShardWorld
-/// adopts it — every pending delivery, armed (or handed-over-but-unfired)
-/// timer record, RNG stream position, key-channel counter, clock, and wire
-/// counter — so the sharded suffix is bit-identical to an all-serial run
-/// (test_shard's chaos matrix pins it). The cut is exclusive: every event
-/// strictly before the handoff instant has dispatched, so everything here
-/// fires at or after it.
+/// unbounded chaos delays live in the Network); the stretches between
+/// windows are where the windowed ShardWorld shines. DutyWorld
+/// (sim/duty_world.hpp) alternates: at each boundary the active engine
+/// exports this snapshot and the other adopts it — every pending delivery,
+/// armed (or handed-over-but-unfired) timer record, RNG stream position,
+/// key-channel counter, clock, and wire counter — so an N-cycle
+/// alternating run is bit-identical to an all-serial one (test_duty pins
+/// the matrix). The cut is exclusive: every event strictly before the
+/// migration instant has dispatched, so everything here fires at or after
+/// it.
 struct WorldMigration {
   struct NodeState {
     DriftingClock clock;
@@ -125,7 +128,7 @@ struct WorldMigration {
     bool started = false;
   };
   /// A pending world-level action (workload injection) with the key-less
-  /// world-channel seq it was minted under. Filled by HandoffWorld — the
+  /// world-channel seq it was minted under. Filled by DutyWorld — the
   /// World cannot re-materialize type-erased queue closures, so the wrapper
   /// registers every schedule() itself (the closures are engine-agnostic).
   struct PendingAction {
@@ -217,6 +220,14 @@ class WorldBase {
 class World final : public WorldBase {
  public:
   explicit World(WorldConfig config);
+  /// Adoption form: continue a sharded segment's run from its exported
+  /// snapshot (the reverse migration — see WorldMigration). Deliveries
+  /// re-materialize under their original keys, timer records re-arm at
+  /// their original (index, generation) tickets, every stream/counter
+  /// position carries over, and behaviors are rebound — NOT re-started.
+  /// `handoff_export` pre-enables delivery tracking so this serial segment
+  /// can itself be exported at the next cut.
+  World(WorldConfig config, WorldMigration&& migration, bool handoff_export);
   ~World() override;
 
   void set_behavior(NodeId id, std::unique_ptr<NodeBehavior> behavior) override;
@@ -240,6 +251,8 @@ class World final : public WorldBase {
   /// deliveries/timers/counters/stream positions are snapshotted. The world
   /// is dead afterwards — destroy it (its remaining queue closures point at
   /// engine internals the snapshot re-materializes on the new engine).
+  /// A second export, or any run/schedule after the first, is a hard
+  /// precondition failure: it could only hand over a stale snapshot.
   [[nodiscard]] WorldMigration export_migration();
 
   [[nodiscard]] RealTime now() const override { return queue_.now(); }
@@ -296,6 +309,7 @@ class World final : public WorldBase {
   };
   std::vector<NodeSlot> nodes_;
   bool started_ = false;
+  bool exported_ = false;  // export_migration happened; the world is dead
 };
 
 }  // namespace ssbft

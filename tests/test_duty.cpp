@@ -1,0 +1,377 @@
+// DutyWorld: recurring chaos duty cycles must be invisible to the physics.
+// The alternating engine (serial chaos segments ↔ sharded stabilization
+// segments, a FULL state migration at every boundary in BOTH directions)
+// must produce bit-identical observable histories to an all-serial run —
+// for every StackKind, every shard count, any number of cycles. This file
+// pins that acceptance matrix, the cut mechanics (piecewise stepping that
+// lands exactly on every boundary), fault injection after a reverse
+// migration, the per-window stabilization metrics, the Scenario duty-cycle
+// normalization/validation, and the export-is-terminal guards on the
+// sharded engine.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "harness/metrics.hpp"
+#include "harness/sweep.hpp"
+#include "sim/duty_world.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/shard_world.hpp"
+
+namespace ssbft {
+namespace {
+
+/// Stack-shaped scenario with a RECURRING chaos duty cycle: 3 ms bursts at
+/// t = 0, 40, 80 ms (width 3, stride 40, count 3), scrambled initial state,
+/// forged in-flight messages, and the δ/10 delay floor that gives the
+/// stabilization segments their lookahead. Mirrors test_shard's
+/// chaos_scenario but with the schedule the alternation exists for.
+Scenario duty_scenario(StackKind stack, std::uint32_t shards) {
+  Scenario sc;
+  sc.stack = stack;
+  sc.n = 8;
+  sc.f = 2;
+  sc.with_tail_faults(2);
+  sc.shards = shards;
+  sc.link_delay =
+      DelayModel::exp_truncated(sc.delta / 10, sc.delta / 5, sc.delta);
+  sc.adversary = stack == StackKind::kBaselineTps ? AdversaryKind::kSilent
+                                                  : AdversaryKind::kNoise;
+  sc.adversary_period = milliseconds(2);
+  sc.chaos_period = milliseconds(3);
+  sc.chaos_duty = milliseconds(40);
+  sc.chaos_count = 3;
+  sc.transient_scramble = true;
+  sc.transient.spurious_per_node = 16;
+  const Params params = sc.make_params();
+  switch (stack) {
+    case StackKind::kAgree:
+      // One proposal into each recovery span: after bursts 1, 2, and 3 —
+      // every window's stabilization stretch has observable work to do.
+      sc.with_proposal(milliseconds(5), 0, 42);
+      sc.with_proposal(milliseconds(50), 1, 43);
+      sc.with_proposal(milliseconds(90), 2, 44);
+      sc.run_for = milliseconds(150);
+      break;
+    case StackKind::kBaselineTps:
+      sc.with_proposal(milliseconds(4), 0, 7);
+      sc.run_for = milliseconds(120);
+      break;
+    case StackKind::kReplicatedLog:
+    case StackKind::kPipelinedLog:
+      for (std::uint32_t c = 0; c < 3; ++c) {
+        sc.with_proposal(milliseconds(4), NodeId(c), 100 + c);
+      }
+      sc.run_for = 6 * (params.delta_0() + params.delta_agr() + 10 * params.d());
+      break;
+    case StackKind::kPulse:
+    case StackKind::kClockSync:
+      sc.run_for =
+          params.delta_stb() + 10 * 2 * (params.delta_0() + params.delta_agr());
+      break;
+  }
+  return sc;
+}
+
+bool metrics_equal(const RunMetrics& a, const RunMetrics& b) {
+  return a.executions == b.executions &&
+         a.agreement_violations == b.agreement_violations &&
+         a.validity_violations == b.validity_violations &&
+         a.unanimous_decides == b.unanimous_decides &&
+         a.max_decision_skew == b.max_decision_skew &&
+         a.max_tau_g_skew == b.max_tau_g_skew;
+}
+
+// The acceptance matrix: all six StackKinds × shards ∈ {1, 2, 4}, each
+// N-cycle alternating run bit-identical to its all-serial twin — run
+// digest, event/message counts, verdicts, latencies, AND the per-window
+// stabilization metrics.
+TEST(DutyCycleParity, EveryStackMatchesAllSerialAtEveryShardCount) {
+  for (std::uint32_t k = 0; k < kStackKindCount; ++k) {
+    const Scenario serial_sc = duty_scenario(StackKind(k), 0);
+    const SweepRun serial = SweepRunner::run_cell(serial_sc, 21);
+    for (std::uint32_t shards : {1u, 2u, 4u}) {
+      Scenario sc = duty_scenario(StackKind(k), shards);
+      const SweepRun run = SweepRunner::run_cell(sc, 21);
+      const char* stack = to_string(StackKind(k));
+      EXPECT_EQ(run.digest, serial.digest) << stack << " shards " << shards;
+      EXPECT_EQ(run.events, serial.events) << stack << " shards " << shards;
+      EXPECT_EQ(run.messages, serial.messages)
+          << stack << " shards " << shards;
+      EXPECT_EQ(run.pass, serial.pass) << stack << " shards " << shards;
+      EXPECT_TRUE(metrics_equal(run.agreement, serial.agreement))
+          << stack << " shards " << shards;
+      EXPECT_EQ(run.latency_ns, serial.latency_ns)
+          << stack << " shards " << shards;
+      ASSERT_EQ(run.windows.size(), serial.windows.size())
+          << stack << " shards " << shards;
+      for (std::size_t w = 0; w < run.windows.size(); ++w) {
+        EXPECT_EQ(run.windows[w].digest, serial.windows[w].digest)
+            << stack << " shards " << shards << " window " << w;
+        EXPECT_EQ(run.windows[w].events, serial.windows[w].events)
+            << stack << " shards " << shards << " window " << w;
+        EXPECT_EQ(run.windows[w].recovery, serial.windows[w].recovery)
+            << stack << " shards " << shards << " window " << w;
+      }
+    }
+  }
+}
+
+// Piecewise stepping that lands EXACTLY on every cut — serial→sharded at
+// each window end, sharded→serial at each later window start — must be
+// indistinguishable from one shot, and the schedule must advance exactly
+// one migration per boundary.
+TEST(DutyCycleParity, PiecewiseRunsLandOnEveryCutBothDirections) {
+  Scenario sc = duty_scenario(StackKind::kAgree, 4);
+  sc.seed = 9;
+  const SweepRun one_shot = SweepRunner::run_cell(sc, 9);
+
+  Cluster cluster(sc);
+  ASSERT_TRUE(cluster.sharded());
+  cluster.start();
+  auto* duty = dynamic_cast<DutyWorld*>(&cluster.world());
+  ASSERT_NE(duty, nullptr);
+  // Window edges: 3 (→sharded), 40 (→serial), 43 (→sharded), 80, 83.
+  const std::vector<RealTime> expected_cuts = {
+      RealTime::zero() + milliseconds(3), RealTime::zero() + milliseconds(40),
+      RealTime::zero() + milliseconds(43), RealTime::zero() + milliseconds(80),
+      RealTime::zero() + milliseconds(83)};
+  ASSERT_EQ(duty->cuts(), expected_cuts);
+
+  std::size_t crossed = 0;
+  for (const RealTime cut : expected_cuts) {
+    // Just before, exactly onto (inclusive run_until crosses the cut), and
+    // a hair past each boundary.
+    cluster.world().run_until(cut - microseconds(100));
+    EXPECT_EQ(duty->migrations(), crossed) << "before cut " << crossed;
+    cluster.world().run_until(cut);
+    ++crossed;
+    EXPECT_EQ(duty->migrations(), crossed) << "on cut " << crossed;
+    cluster.world().run_until(cut + microseconds(100));
+    EXPECT_EQ(duty->migrations(), crossed) << "past cut " << crossed;
+    // Engine identity flips serial↔sharded at every boundary; the schedule
+    // starts serial (first window opens at t = 0).
+    EXPECT_EQ(duty->sharded_active(), crossed % 2 == 1);
+  }
+  EXPECT_EQ(duty->next_cut(), RealTime::max());
+
+  cluster.world().run_until(RealTime::zero() + sc.run_for);
+  const StackOutcome outcome = evaluate_stack(cluster);
+  EXPECT_EQ(outcome.digest, one_shot.digest);
+  EXPECT_EQ(cluster.world().dispatched(), one_shot.events);
+}
+
+// FaultInjector rounds after a REVERSE migration (sharded→serial→sharded
+// by t = 60 ms) exercise the forged-channel keys and world-RNG position
+// carried through both migration directions — still parity-clean.
+TEST(DutyCycleParity, PostReverseMigrationFaultInjectionMatchesSerial) {
+  const auto run_with_midrun_fault = [](std::uint32_t shards) {
+    Scenario sc = duty_scenario(StackKind::kAgree, shards);
+    sc.seed = 33;
+    Cluster cluster(sc);
+    cluster.start();
+    // 60 ms: past windows [0,3) and [40,43) — three migrations, including
+    // one full sharded→serial reverse leg — inside a sharded segment.
+    cluster.world().run_until(RealTime::zero() + milliseconds(60));
+    TransientFaultConfig second;
+    second.spurious_per_node = 8;
+    second.scramble_clocks = false;  // keep it an in-flight-state fault
+    FaultInjector injector(cluster.world());
+    injector.transient_fault(second);
+    cluster.world().run_until(RealTime::zero() + sc.run_for);
+    struct Out {
+      std::uint64_t digest, events, forged;
+    };
+    return Out{evaluate_stack(cluster).digest, cluster.world().dispatched(),
+               cluster.world().net_stats().forged};
+  };
+  const auto serial = run_with_midrun_fault(0);
+  for (std::uint32_t shards : {2u, 4u}) {
+    const auto sharded = run_with_midrun_fault(shards);
+    EXPECT_EQ(sharded.digest, serial.digest) << "shards " << shards;
+    EXPECT_EQ(sharded.events, serial.events) << "shards " << shards;
+    EXPECT_EQ(sharded.forged, serial.forged) << "shards " << shards;
+  }
+}
+
+// The stabilization observability layer: every window of the schedule gets
+// a span, spans carry the schedule's real boundaries, and a healthy run
+// re-converges (produces primary-stream records) after every burst.
+TEST(DutyCycleParity, WindowMetricsCoverEveryBurst) {
+  Scenario sc = duty_scenario(StackKind::kAgree, 4);
+  Cluster cluster(sc);
+  cluster.run();
+  const auto windows = window_stabilization(sc, cluster.probe());
+  const auto schedule = sc.chaos_windows();
+  ASSERT_EQ(windows.size(), schedule.size());
+  ASSERT_EQ(windows.size(), 3u);
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    EXPECT_EQ(windows[w].chaos_start, schedule[w].start);
+    EXPECT_EQ(windows[w].chaos_end, schedule[w].end);
+    ASSERT_TRUE(windows[w].recovery.has_value()) << "window " << w;
+    EXPECT_GE(*windows[w].recovery, Duration::zero());
+    EXPECT_GT(windows[w].events, 0u);
+    EXPECT_NE(windows[w].digest, 0u);
+  }
+  // The sweep reduction pools the same spans.
+  const SweepRun cell = SweepRunner::run_cell(sc, sc.seed);
+  ASSERT_EQ(cell.windows.size(), 3u);
+}
+
+// A window covering the whole horizon never migrates: the run stays serial
+// end to end and matches the serial engine bit for bit (degrade, never
+// wrongness).
+TEST(DutyWorldTest, ChaosCoveringWholeHorizonStaysSerial) {
+  Scenario sc = duty_scenario(StackKind::kAgree, 4);
+  sc.chaos_period = milliseconds(200);  // > run_for = 150 ms
+  sc.chaos_count = 1;
+  sc.chaos_duty = Duration::zero();
+  Scenario serial_sc = sc;
+  serial_sc.shards = 0;
+  const SweepRun serial = SweepRunner::run_cell(serial_sc, sc.seed);
+
+  Cluster cluster(sc);
+  cluster.start();
+  auto* duty = dynamic_cast<DutyWorld*>(&cluster.world());
+  ASSERT_NE(duty, nullptr);
+  cluster.world().run_until(RealTime::zero() + sc.run_for);
+  EXPECT_EQ(duty->migrations(), 0u);
+  EXPECT_FALSE(duty->sharded_active());
+  EXPECT_EQ(evaluate_stack(cluster).digest, serial.digest);
+  EXPECT_EQ(cluster.world().dispatched(), serial.events);
+}
+
+// --- Scenario duty-cycle surface -------------------------------------------
+
+TEST(ScenarioChaosTest, ValidateRejectsDegenerateCycles) {
+  Scenario sc;
+  EXPECT_EQ(sc.validate_chaos(), nullptr);  // default: no chaos, valid
+
+  sc.chaos_period = milliseconds(-1);
+  EXPECT_NE(sc.validate_chaos(), nullptr);
+  sc.chaos_period = milliseconds(5);
+
+  sc.chaos_first_start = milliseconds(-2);
+  EXPECT_NE(sc.validate_chaos(), nullptr);
+  sc.chaos_first_start = Duration::zero();
+
+  sc.chaos_duty = milliseconds(-3);
+  EXPECT_NE(sc.validate_chaos(), nullptr);
+
+  // Overlapping recurrence: stride shorter than the window width.
+  sc.chaos_duty = milliseconds(2);
+  sc.chaos_count = 3;
+  EXPECT_NE(sc.validate_chaos(), nullptr);
+  // ...but the same stride is fine for a single window (nothing recurs),
+  sc.chaos_count = 1;
+  EXPECT_EQ(sc.validate_chaos(), nullptr);
+  // and a stride equal to the width (back-to-back) is always sound.
+  sc.chaos_count = 3;
+  sc.chaos_duty = milliseconds(5);
+  EXPECT_EQ(sc.validate_chaos(), nullptr);
+
+  // A malformed schedule must never reach an engine.
+  Scenario bad = duty_scenario(StackKind::kAgree, 2);
+  bad.chaos_duty = milliseconds(1);  // < width 3 ms, count 3
+  EXPECT_DEATH(Cluster cluster(bad), "precondition");
+}
+
+TEST(ScenarioChaosTest, WindowNormalization) {
+  Scenario sc;
+  sc.run_for = milliseconds(100);
+
+  // No chaos: zero width or zero count ⇒ empty schedule.
+  EXPECT_TRUE(sc.chaos_windows().empty());
+  sc.chaos_period = milliseconds(5);
+  sc.chaos_count = 0;
+  EXPECT_TRUE(sc.chaos_windows().empty());
+
+  // Unset stride ⇒ back-to-back bursts merge into ONE wider window — the
+  // degenerate cycle degrades to the single-window shape, never to extra
+  // no-op engine switches.
+  sc.chaos_count = 3;
+  sc.chaos_duty = Duration::zero();
+  auto windows = sc.chaos_windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].start, RealTime::zero());
+  EXPECT_EQ(windows[0].end, RealTime::zero() + milliseconds(15));
+
+  // Explicit stride equal to the width merges identically.
+  sc.chaos_duty = milliseconds(5);
+  windows = sc.chaos_windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].end, RealTime::zero() + milliseconds(15));
+
+  // A proper duty cycle: disjoint windows at the stride, offset by
+  // chaos_first_start.
+  sc.chaos_first_start = milliseconds(10);
+  sc.chaos_duty = milliseconds(30);
+  windows = sc.chaos_windows();
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].start, RealTime::zero() + milliseconds(10));
+  EXPECT_EQ(windows[0].end, RealTime::zero() + milliseconds(15));
+  EXPECT_EQ(windows[2].start, RealTime::zero() + milliseconds(70));
+
+  // Windows starting at or past the horizon are dropped — a burst the run
+  // never reaches must not schedule dead engine switches.
+  sc.chaos_count = 10;
+  windows = sc.chaos_windows();
+  ASSERT_EQ(windows.size(), 3u);  // starts 10, 40, 70 < 100 ≤ 100, 130, …
+  EXPECT_EQ(windows.back().start, RealTime::zero() + milliseconds(70));
+}
+
+// --- export-is-terminal guards (sharded engine) ----------------------------
+// The serial World's guards are pinned in test_sim; the ShardWorld ones
+// live here with the rest of the reverse-migration machinery.
+
+WorldConfig duty_world_config() {
+  WorldConfig wc;
+  wc.n = 4;
+  wc.shards = 2;
+  wc.seed = 3;
+  wc.link_delay = DelayModel::uniform(microseconds(100), milliseconds(1));
+  wc.proc_delay = DelayModel::uniform(Duration::zero(), microseconds(50));
+  wc.has_delay_models = true;
+  return wc;
+}
+
+std::unique_ptr<ShardWorld> exported_shard_world(WorldMigration* out = nullptr) {
+  auto world = std::make_unique<ShardWorld>(duty_world_config());
+  world->enable_handoff_export();
+  world->start();
+  world->run_before(RealTime::zero() + milliseconds(2));
+  WorldMigration m = world->export_migration();
+  if (out != nullptr) *out = std::move(m);
+  return world;
+}
+
+TEST(ShardExportGuardTest, SecondExportAborts) {
+  auto world = exported_shard_world();
+  EXPECT_DEATH((void)world->export_migration(), "precondition");
+}
+
+TEST(ShardExportGuardTest, DispatchAfterExportAborts) {
+  auto world = exported_shard_world();
+  EXPECT_DEATH(world->run_until(RealTime::zero() + milliseconds(3)),
+               "precondition");
+}
+
+TEST(ShardExportGuardTest, ScheduleAfterExportAborts) {
+  auto world = exported_shard_world();
+  EXPECT_DEATH(world->schedule(RealTime::zero() + milliseconds(3), 0, [] {}),
+               "precondition");
+}
+
+TEST(ShardExportGuardTest, ExportedStateAdoptsCleanly) {
+  // The happy path next to the guards: the exported snapshot round-trips
+  // into a serial World and keeps running.
+  WorldMigration m;
+  auto world = exported_shard_world(&m);
+  World adopted(duty_world_config(), std::move(m), /*handoff_export=*/false);
+  adopted.run_until(RealTime::zero() + milliseconds(5));
+  EXPECT_GE(adopted.now(), RealTime::zero() + milliseconds(2));
+}
+
+}  // namespace
+}  // namespace ssbft

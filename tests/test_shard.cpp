@@ -12,7 +12,7 @@
 #include "harness/metrics.hpp"
 #include "harness/sweep.hpp"
 #include "sim/fault_injector.hpp"
-#include "sim/handoff_world.hpp"
+#include "sim/duty_world.hpp"
 #include "sim/shard_world.hpp"
 
 namespace ssbft {
@@ -147,12 +147,13 @@ TEST(ShardDeterminism, ShardedSweepCellsMatchSerialCells) {
 }
 
 // --- chaos handoff: serial prefix → windowed suffix ------------------------
-// A chaos window pins its OWN phase to the serial engine (unbounded chaos
-// delays undercut any lookahead), but not the whole run: the HandoffWorld
+// A chaos window pins its OWN segment to the serial engine (unbounded chaos
+// delays undercut any lookahead), but not the whole run: the DutyWorld
 // migrates the complete in-flight state — chaos-delayed/duplicated
 // deliveries, forged plants, armed timers at their original handle tickets,
 // every RNG stream and key-channel counter — into the ShardWorld at the
-// cut. These tests pin the acceptance criterion: chaos scenarios are
+// cut. These tests pin the one-shot [0, ι0) shape; test_duty extends them
+// to recurring duty cycles. Acceptance criterion: chaos scenarios are
 // bit-identical to all-serial for every StackKind × shard count.
 
 /// shard_scenario plus a transient scramble and a 5 ms network-chaos
@@ -254,12 +255,14 @@ TEST(ShardChaosHandoff, HorizonInsideChaosStaysSerialUntilTheCut) {
   sc.seed = 5;
   Cluster cluster(sc);
   cluster.start();
-  auto* handoff = dynamic_cast<HandoffWorld*>(&cluster.world());
-  ASSERT_NE(handoff, nullptr);
+  auto* duty = dynamic_cast<DutyWorld*>(&cluster.world());
+  ASSERT_NE(duty, nullptr);
   cluster.world().run_until(RealTime::zero() + milliseconds(2));
-  EXPECT_FALSE(handoff->handed_off());
+  EXPECT_FALSE(duty->sharded_active());
+  EXPECT_EQ(duty->migrations(), 0u);
   cluster.world().run_until(RealTime::zero() + sc.run_for);
-  EXPECT_TRUE(handoff->handed_off());
+  EXPECT_TRUE(duty->sharded_active());
+  EXPECT_EQ(duty->migrations(), 1u);
 
   Scenario serial_sc = chaos_scenario(StackKind::kAgree, 0);
   serial_sc.seed = 5;
@@ -284,24 +287,24 @@ TEST(ShardEngineTest, NoLookaheadDegradesToSerial) {
   EXPECT_EQ(cluster.shards(), 1u);
 }
 
-// Phase-aware selection: chaos + lookahead ⇒ the two-phase engine (it IS
-// sharded — the suffix runs windowed); chaos WITHOUT a lookahead still
-// degrades all the way to serial (there is no shardable suffix).
+// Schedule-aware selection: chaos + lookahead ⇒ the alternating engine (it
+// IS sharded — the stabilization segments run windowed); chaos WITHOUT a
+// lookahead still degrades all the way to serial (no shardable segment).
 TEST(ShardEngineTest, ChaosSelectsTwoPhaseEngineWhenLookaheadExists) {
   Scenario sc = shard_scenario(StackKind::kAgree, 4);
   sc.chaos_period = milliseconds(5);
   Cluster cluster(sc);
   EXPECT_TRUE(cluster.sharded());
-  auto* handoff = dynamic_cast<HandoffWorld*>(&cluster.world());
-  ASSERT_NE(handoff, nullptr);
-  EXPECT_EQ(handoff->handoff_at(), RealTime::zero() + sc.chaos_period);
-  EXPECT_FALSE(handoff->handed_off());
+  auto* duty = dynamic_cast<DutyWorld*>(&cluster.world());
+  ASSERT_NE(duty, nullptr);
+  EXPECT_EQ(duty->next_cut(), RealTime::zero() + sc.chaos_period);
+  EXPECT_FALSE(duty->sharded_active());
 
   Scenario no_lookahead = sc;
   no_lookahead.link_delay.reset();  // floor-less default ⇒ λ = 0
   Cluster serial_cluster(no_lookahead);
   EXPECT_FALSE(serial_cluster.sharded());
-  EXPECT_EQ(dynamic_cast<HandoffWorld*>(&serial_cluster.world()), nullptr);
+  EXPECT_EQ(dynamic_cast<DutyWorld*>(&serial_cluster.world()), nullptr);
 }
 
 // n not divisible by the shard count: the block boundaries floor(s·n/S)

@@ -652,6 +652,50 @@ TEST(NetworkTest, HandoffExportTracksInFlightDeliveries) {
   EXPECT_TRUE(world.network().pending_deliveries().empty());
 }
 
+// A migration export is terminal and one-shot: the exporting engine's
+// queue, wheel, and delivery side-slab have been MOVED into the snapshot.
+// A second export, or any further dispatch/scheduling/traffic, would fork
+// the run against stale state — the guards turn that into an immediate
+// precondition abort instead of a silent divergence.
+class NetworkExportGuardTest : public ::testing::Test {
+ protected:
+  static std::unique_ptr<World> exported_world() {
+    auto world = std::make_unique<World>(small_world_config(3, 7));
+    world->enable_handoff_export();
+    world->set_behavior(0, std::make_unique<RecordingBehavior>());
+    world->set_behavior(1, std::make_unique<RecordingBehavior>());
+    world->start();
+    world->run_before(RealTime::zero() + milliseconds(2));
+    (void)world->export_migration();
+    return world;
+  }
+};
+
+TEST_F(NetworkExportGuardTest, SecondExportAborts) {
+  auto world = exported_world();
+  EXPECT_DEATH((void)world->export_migration(), "precondition");
+}
+
+TEST_F(NetworkExportGuardTest, DispatchAfterExportAborts) {
+  auto world = exported_world();
+  EXPECT_DEATH(world->run_until(RealTime::zero() + milliseconds(3)),
+               "precondition");
+}
+
+TEST_F(NetworkExportGuardTest, ScheduleAfterExportAborts) {
+  auto world = exported_world();
+  EXPECT_DEATH(world->schedule(RealTime::zero() + milliseconds(3), 0, [] {}),
+               "precondition");
+}
+
+TEST_F(NetworkExportGuardTest, SideSlabRefusesTrafficAfterExport) {
+  auto world = exported_world();
+  // The handoff side-slab itself guards: tracking a new delivery against
+  // an already-exported registry is the stale-export bug.
+  WireMessage msg;
+  EXPECT_DEATH(world->network().send(0, 1, msg), "precondition");
+}
+
 TEST(NetworkTest, StatsCountPerKind) {
   World world(small_world_config(2));
   world.set_behavior(0, std::make_unique<RecordingBehavior>());

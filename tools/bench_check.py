@@ -2,7 +2,8 @@
 """CI perf-regression gate over the committed BENCH_*.json baselines.
 
 Compares freshly produced bench artifacts (BENCH_engine.json,
-BENCH_shard.json, ...) against the baselines committed in the repository:
+BENCH_shard.json, BENCH_dutycycle.json, ...) against the baselines
+committed in the repository:
 
   * every ``*events_per_sec`` metric is checked as a ratio
     fresh / baseline — below ``--fail-ratio`` (default 0.5×) fails the
@@ -218,7 +219,8 @@ def main(argv=None):
                         help="directory holding the freshly produced JSONs")
     parser.add_argument("--files", nargs="+",
                         default=["BENCH_engine.json", "BENCH_shard.json",
-                                 "BENCH_ablation.json", "BENCH_quorum.json"])
+                                 "BENCH_ablation.json", "BENCH_quorum.json",
+                                 "BENCH_dutycycle.json"])
     parser.add_argument("--fail-ratio", type=float, default=0.5)
     parser.add_argument("--warn-ratio", type=float, default=0.8)
     parser.add_argument("--self-test", action="store_true",

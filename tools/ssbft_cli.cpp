@@ -5,16 +5,21 @@
 // Single run (default): one (Scenario, seed), full metrics-stream report.
 //   ssbft_cli [--stack KIND] [--n N] [--f F] [--byz COUNT]
 //             [--adversary KIND] [--seed S] [--delta-us US] [--scramble]
-//             [--chaos-ms MS] [--proposals K] [--run-ms MS] [--depth D]
+//             [--chaos-ms MS] [--chaos-count K] [--chaos-duty MS]
+//             [--proposals K] [--run-ms MS] [--depth D]
 //             [--shards S] [--link-min-us US] [--trace] [--verbose]
 //
 // --shards S deploys on the conservative-parallel engine (S shards,
 // bit-identical results). It needs a lookahead: a link-delay distribution
 // with a positive minimum, e.g. --link-min-us 100. Without one the run
-// degrades to the serial engine. Combined with --chaos-ms the run is
-// two-phase: the chaos window executes on the serial engine, then the
-// complete in-flight state hands off to the windowed engine for the
-// post-chaos (stabilization) phase — digests identical to all-serial.
+// degrades to the serial engine. Combined with --chaos-ms the run
+// alternates: each chaos window executes on the serial engine, the
+// complete in-flight state migrates to the windowed engine for the
+// stabilization stretch that follows, and migrates back when the next
+// window opens — digests identical to all-serial. --chaos-count K repeats
+// the window K times, --chaos-duty MS sets the start-to-start stride
+// (0 ⇒ back-to-back); each run prints a per-window stabilization report
+// (time to first correct observable after every burst).
 //
 // Sweep (--sweep): a Scenarios × seeds grid on the SweepRunner worker pool
 // — one independent World per run, bit-identical to serial execution.
@@ -31,6 +36,7 @@
 //   ssbft_cli --stack pulse --n 7 --byz 2 --scramble
 //   ssbft_cli --sweep --sweep-n 4,7,10 --sweep-adversary silent,noise
 //             --seeds 8 --threads 4 --csv sweep.csv --json sweep.json
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -56,7 +62,8 @@ using namespace ssbft;
   std::fprintf(stderr,
                "usage: %s [--stack KIND] [--n N] [--f F] [--byz COUNT]\n"
                "          [--adversary KIND] [--seed S] [--delta-us US]\n"
-               "          [--scramble] [--chaos-ms MS] [--proposals K]\n"
+               "          [--scramble] [--chaos-ms MS] [--chaos-count K]\n"
+               "          [--chaos-duty MS] [--proposals K]\n"
                "          [--run-ms MS] [--depth D] [--shards S]\n"
                "          [--link-min-us US] [--trace] [--verbose]\n"
                "       %s --sweep [--sweep-n LIST] [--sweep-f LIST]\n"
@@ -156,23 +163,42 @@ std::vector<AdversaryKind> parse_adversary_list(const std::string& list,
 /// Append the stack-shaped workload (after any scramble/chaos warm-up) and
 /// return the matching run horizon. Shared by the single-run and sweep
 /// paths — the deployment path is stack-agnostic, the workload is not.
+/// With a recurring duty cycle the workload starts after the FIRST window
+/// only (later windows hitting it mid-flight is the point), and the
+/// horizon stretches past the LAST window so the final recovery span —
+/// where the stabilization metrics live — is actually observed.
 Duration shape_workload(Scenario& sc, std::uint32_t proposals) {
   const Params params = sc.make_params();
-  const Duration start = sc.chaos_period +
+  const Duration first_chaos_end =
+      sc.chaos_period > Duration::zero() && sc.chaos_count > 0
+          ? sc.chaos_first_start + sc.chaos_period
+          : Duration::zero();
+  const Duration start = first_chaos_end +
                          (sc.transient_scramble ? params.delta_stb()
                                                 : Duration::zero());
+  const auto stretch_past_last_window = [&](Duration shaped) {
+    if (sc.chaos_period <= Duration::zero() || sc.chaos_count < 2) {
+      return shaped;
+    }
+    const Duration stride = sc.chaos_duty > Duration::zero() ? sc.chaos_duty
+                                                             : sc.chaos_period;
+    const Duration last_end = sc.chaos_first_start +
+                              (sc.chaos_count - 1) * stride + sc.chaos_period;
+    return std::max(shaped, last_end + params.delta_stb());
+  };
   switch (sc.stack) {
     case StackKind::kAgree: {
       const Duration gap = params.delta_0() + 5 * params.d();
       for (std::uint32_t i = 0; i < proposals; ++i) {
         sc.with_proposal(start + milliseconds(1) + i * gap, 0, 100 + Value(i));
       }
-      return start + proposals * gap + milliseconds(120);
+      return stretch_past_last_window(start + proposals * gap +
+                                     milliseconds(120));
     }
     case StackKind::kBaselineTps:
       sc.tps.anchor = start + milliseconds(5);
       sc.with_proposal(start + milliseconds(1), sc.tps.general, 100);
-      return start + milliseconds(120);
+      return stretch_past_last_window(start + milliseconds(120));
     case StackKind::kReplicatedLog:
     case StackKind::kPipelinedLog: {
       // Round-robin over the CORRECT nodes only: a command routed to a
@@ -184,16 +210,18 @@ Duration shape_workload(Scenario& sc, std::uint32_t proposals) {
       for (std::uint32_t i = 0; i < proposals && !correct.empty(); ++i) {
         sc.with_proposal(start, correct[i % correct.size()], 100 + Value(i));
       }
-      return start + (proposals + 4) * (params.delta_0() + params.delta_agr() +
-                                        10 * params.d());
+      return stretch_past_last_window(
+          start + (proposals + 4) * (params.delta_0() + params.delta_agr() +
+                                     10 * params.d()));
     }
     case StackKind::kPulse:
     case StackKind::kClockSync:
       // Self-clocking: no workload; run long enough to stabilize + pulse.
-      return start + params.delta_stb() +
-             16 * 2 * (params.delta_0() + params.delta_agr());
+      return stretch_past_last_window(
+          start + params.delta_stb() +
+          16 * 2 * (params.delta_0() + params.delta_agr()));
   }
-  return start + milliseconds(120);
+  return stretch_past_last_window(start + milliseconds(120));
 }
 
 /// Decision-stream report (kAgree / kBaselineTps): execution table plus
@@ -385,6 +413,16 @@ int run_sweep(const Scenario& base, const std::vector<std::uint32_t>& ns,
                 report.latency.quantile(0.9) * 1e-6,
                 report.latency.max() * 1e-6);
   }
+  if (report.chaos_windows > 0) {
+    std::printf("chaos windows: %u observed, %u recovered", report.chaos_windows,
+                report.recovered_windows);
+    if (!report.recovery_ns.empty()) {
+      std::printf("   recovery p50 %.3f ms   max %.3f ms",
+                  report.recovery_ns.quantile(0.5) * 1e-6,
+                  report.recovery_ns.max() * 1e-6);
+    }
+    std::printf("\n");
+  }
 
   if (!csv_path.empty()) {
     CsvWriter csv(csv_path,
@@ -421,7 +459,10 @@ int run_sweep(const Scenario& base, const std::vector<std::uint32_t>& ns,
                    "  \"events_per_sec\": %.0f,\n"
                    "  \"scenarios_per_sec\": %.2f,\n"
                    "  \"latency_p50_ms\": %.6f,\n"
-                   "  \"latency_p90_ms\": %.6f\n"
+                   "  \"latency_p90_ms\": %.6f,\n"
+                   "  \"chaos_windows\": %u,\n"
+                   "  \"recovered_windows\": %u,\n"
+                   "  \"recovery_p50_ms\": %.6f\n"
                    "}\n",
                    spec.scenarios.size(), seeds, report.runs.size(),
                    report.passed, report.failed,
@@ -434,7 +475,11 @@ int run_sweep(const Scenario& base, const std::vector<std::uint32_t>& ns,
                        : report.latency.quantile(0.5) * 1e-6,
                    report.latency.empty()
                        ? 0.0
-                       : report.latency.quantile(0.9) * 1e-6);
+                       : report.latency.quantile(0.9) * 1e-6,
+                   report.chaos_windows, report.recovered_windows,
+                   report.recovery_ns.empty()
+                       ? 0.0
+                       : report.recovery_ns.quantile(0.5) * 1e-6);
       std::fclose(out);
     } else {
       std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
@@ -487,6 +532,10 @@ int main(int argc, char** argv) {
       sc.transient_scramble = true;
     } else if (arg == "--chaos-ms") {
       sc.chaos_period = milliseconds(parse_u32(next(), argv[0], 0, 10'000'000));
+    } else if (arg == "--chaos-count") {
+      sc.chaos_count = parse_u32(next(), argv[0], 0, 1'000'000);
+    } else if (arg == "--chaos-duty") {
+      sc.chaos_duty = milliseconds(parse_u32(next(), argv[0], 0, 10'000'000));
     } else if (arg == "--proposals") {
       proposals = parse_u32(next(), argv[0], 0, 1'000'000);
     } else if (arg == "--run-ms") {
@@ -533,6 +582,13 @@ int main(int argc, char** argv) {
     }
     sc.link_delay = DelayModel::exp_truncated(
         link_min, std::min(link_min + sc.delta / 5, sc.delta), sc.delta);
+  }
+
+  // Catch malformed duty cycles here with a readable message — the Cluster
+  // would refuse them anyway, but with a precondition abort.
+  if (const char* err = sc.validate_chaos()) {
+    std::fprintf(stderr, "error: %s\n", err);
+    return 2;
   }
 
   if (sweep) {
@@ -594,10 +650,12 @@ int main(int argc, char** argv) {
               params.d().millis(), params.phi().millis(),
               params.delta_agr().millis(), params.delta_stb().millis(),
               static_cast<unsigned long long>(sc.seed));
-  if (cluster.sharded() && sc.chaos_period > Duration::zero()) {
-    std::printf("engine: two-phase (serial chaos prefix [0, %.1f ms) -> "
-                "%u shards, lookahead %.0f us)\n\n",
-                sc.chaos_period.millis(), cluster.shards(),
+  const std::vector<ChaosWindow> chaos = sc.chaos_windows();
+  if (cluster.sharded() && !chaos.empty()) {
+    std::printf("engine: alternating (%zu chaos window(s) of %.1f ms on the "
+                "serial engine, stabilization on %u shards, lookahead "
+                "%.0f us)\n\n",
+                chaos.size(), sc.chaos_period.millis(), cluster.shards(),
                 cluster.world().config().lookahead().micros());
   } else if (cluster.sharded()) {
     std::printf("engine: sharded (%u shards, lookahead %.0f us)\n\n",
@@ -628,6 +686,29 @@ int main(int argc, char** argv) {
     case StackKind::kPipelinedLog:
       exit_code = report_pipeline(cluster);
       break;
+  }
+
+  // Per-window stabilization report: the paper's claim is re-convergence
+  // after EVERY burst, so each window gets its own recovery line.
+  const auto windows = window_stabilization(cluster.scenario(), cluster.probe());
+  if (!windows.empty()) {
+    std::printf("\nstabilization per chaos window:\n");
+    Table wt({"window", "chaos (ms)", "recovery (ms)", "events", "digest"});
+    for (std::size_t w = 0; w < windows.size(); ++w) {
+      const WindowStabilization& win = windows[w];
+      char span[48];
+      std::snprintf(span, sizeof span, "[%.1f, %.1f)",
+                    double((win.chaos_start - RealTime::zero()).ns()) * 1e-6,
+                    double((win.chaos_end - RealTime::zero()).ns()) * 1e-6);
+      char digest[32];
+      std::snprintf(digest, sizeof digest, "%016llx",
+                    static_cast<unsigned long long>(win.digest));
+      wt.add_row({std::to_string(w), span,
+                  win.recovery ? Table::fmt_ms(double(win.recovery->ns()))
+                               : "no recovery",
+                  std::to_string(win.events), digest});
+    }
+    wt.print();
   }
 
   const auto stats = cluster.world().net_stats();
