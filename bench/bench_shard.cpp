@@ -1,18 +1,23 @@
 // bench_shard — serial World vs sharded (conservative-parallel) engine on
-// one big run.
+// one big run, across every shard scheduling policy.
 //
 // SweepRunner parallelizes ACROSS runs; the sharded engine parallelizes
 // WITHIN one run, which is what the "millions of users" workload needs.
 // This bench deploys the agreement stack at n ∈ {32, 128, 512} with a
 // 100 µs delay floor (the lookahead λ) and measures events/sec through the
-// serial engine and through S = 4 shards, verifying on every row that the
-// two engines produced bit-identical run digests — parity is the hard gate,
-// speedup is reported per-machine (single-core containers show ≈ 1×; the
-// multi-core CI runners demonstrate the scaling). A post-chaos
-// stabilization row exercises the alternating engine (serial chaos
-// window → windowed suffix, sim/duty_world.hpp) on the scramble + chaos
-// + agreement-storm workload, with the same parity gate; bench_dutycycle
-// extends it to recurring duty cycles.
+// serial engine and through S = 4 shards under each shard_sched policy
+// (static blocks, cost-aware balance, deterministic work stealing, lax
+// windows), verifying on every row that the two engines produced
+// bit-identical run digests — parity is the hard gate, speedup is reported
+// per-machine (single-core containers show ≈ 1×; the multi-core CI runners
+// demonstrate the scaling). Each sharded row also reports the scheduler's
+// own health metrics: per-window imbalance (max/min worker dispatches),
+// repartition count, and steal count. A post-chaos stabilization row per
+// policy exercises the alternating engine (serial chaos window → windowed
+// suffix, sim/duty_world.hpp) on the scramble + chaos + agreement-storm
+// workload, splitting its wall time into migration (export/adopt) vs
+// dispatch nanoseconds, with the same parity gate; bench_dutycycle extends
+// it to recurring duty cycles.
 //
 // Results go to stdout (table) and BENCH_shard.json (machine-readable,
 // tracked in-repo so future PRs can diff the perf trajectory).
@@ -20,17 +25,25 @@
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "harness/metrics.hpp"
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
+#include "sim/duty_world.hpp"
+#include "sim/shard_world.hpp"
 
 namespace ssbft {
 namespace {
 
 constexpr std::uint32_t kShards = 4;
+
+/// Every scheduling policy of the windowed engine, benched side by side on
+/// identical scenarios — the digests must agree across the whole column.
+constexpr ShardSched kModes[] = {ShardSched::kStatic, ShardSched::kBalance,
+                                 ShardSched::kSteal, ShardSched::kLax};
 
 /// Simulated horizon per n. One agreement costs Θ(n²·f) relay messages
 /// (~3M at n = 128, ~10⁸ at n = 512), so the big rows measure the engine's
@@ -42,12 +55,14 @@ Duration bench_horizon(std::uint32_t n) {
   return microseconds(2200);
 }
 
-Scenario shard_bench_scenario(std::uint32_t n, std::uint32_t shards) {
+Scenario shard_bench_scenario(std::uint32_t n, std::uint32_t shards,
+                              ShardSched sched) {
   Scenario sc;
   sc.n = n;
   sc.f = (n - 1) / 3;
   sc.with_tail_faults(sc.f);
   sc.shards = shards;
+  sc.shard_sched = sched;
   // The delay floor that gives the engine its lookahead: exponential tail
   // as in the World default, floored at δ/10 = 100 µs.
   sc.link_delay =
@@ -66,8 +81,9 @@ Scenario shard_bench_scenario(std::uint32_t n, std::uint32_t shards) {
 /// gate.
 constexpr std::int64_t kChaosMs = 2;
 
-Scenario chaos_bench_scenario(std::uint32_t n, std::uint32_t shards) {
-  Scenario sc = shard_bench_scenario(n, shards);
+Scenario chaos_bench_scenario(std::uint32_t n, std::uint32_t shards,
+                              ShardSched sched) {
+  Scenario sc = shard_bench_scenario(n, shards, sched);
   sc.chaos_period = milliseconds(kChaosMs);
   sc.transient_scramble = true;
   sc.transient.spurious_per_node = 16;
@@ -93,6 +109,15 @@ struct EngineRun {
   std::uint64_t events = 0;
   std::uint64_t digest = 0;
   std::uint32_t shards = 1;
+  ShardSchedStats sched;       // windowed-engine scheduler health
+  std::uint64_t migration_ns = 0;  // engine-switch cost (alternating only)
+
+  /// Wall time actually spent dispatching, after subtracting the engine
+  /// switches' export/adopt/re-register span.
+  [[nodiscard]] std::uint64_t dispatch_ns() const {
+    const auto wall = std::uint64_t(wall_seconds * 1e9);
+    return wall > migration_ns ? wall - migration_ns : 0;
+  }
 };
 
 EngineRun run_engine(const Scenario& sc) {
@@ -106,6 +131,12 @@ EngineRun run_engine(const Scenario& sc) {
   out.events = cluster.world().dispatched();
   out.digest = evaluate_stack(cluster).digest;
   out.shards = cluster.shards();
+  if (auto* sharded = dynamic_cast<ShardWorld*>(&cluster.world())) {
+    out.sched = sharded->sched_stats();
+  } else if (auto* duty = dynamic_cast<DutyWorld*>(&cluster.world())) {
+    out.sched = duty->sched_stats();
+    out.migration_ns = duty->migration_ns();
+  }
   if (out.wall_seconds > 0) {
     out.events_per_sec = double(out.events) / out.wall_seconds;
   }
@@ -114,6 +145,7 @@ EngineRun run_engine(const Scenario& sc) {
 
 struct Row {
   std::uint32_t n = 0;
+  ShardSched mode = ShardSched::kStatic;
   EngineRun serial;
   EngineRun sharded;
   [[nodiscard]] double speedup() const {
@@ -126,61 +158,83 @@ struct Row {
   }
 };
 
+std::string fmt2(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
 void print_table() {
-  std::printf("\nShard engine: one big run, serial vs %u shards "
-              "(lookahead 100 us, %u hardware threads)\n",
+  std::printf("\nShard engine: one big run, serial vs %u shards × every "
+              "shard_sched policy (lookahead 100 us, %u hardware threads)\n",
               kShards, std::thread::hardware_concurrency());
-  Table table({"n", "events", "serial Mev/s", "sharded Mev/s", "speedup",
-               "digest parity"});
+  Table table({"n", "sched", "events", "serial Mev/s", "sharded Mev/s",
+               "speedup", "imb mean", "repart", "steals", "digest parity"});
   std::vector<Row> rows;
   for (const std::uint32_t n : {32u, 128u, 512u}) {
-    Row row;
-    row.n = n;
-    row.serial = run_engine(shard_bench_scenario(n, 0));
-    row.sharded = run_engine(shard_bench_scenario(n, kShards));
-    char serial_s[32], sharded_s[32], speedup_s[32];
-    std::snprintf(serial_s, sizeof serial_s, "%.2f",
-                  row.serial.events_per_sec / 1e6);
-    std::snprintf(sharded_s, sizeof sharded_s, "%.2f",
-                  row.sharded.events_per_sec / 1e6);
-    std::snprintf(speedup_s, sizeof speedup_s, "%.2fx", row.speedup());
-    table.add_row({std::to_string(n), Table::fmt_int(row.serial.events),
-                   serial_s, sharded_s, speedup_s,
-                   row.parity() ? "yes" : "NO — BUG"});
-    rows.push_back(row);
+    const EngineRun serial =
+        run_engine(shard_bench_scenario(n, 0, ShardSched::kStatic));
+    for (const ShardSched mode : kModes) {
+      Row row;
+      row.n = n;
+      row.mode = mode;
+      row.serial = serial;
+      row.sharded = run_engine(shard_bench_scenario(n, kShards, mode));
+      table.add_row({std::to_string(n), to_string(mode),
+                     Table::fmt_int(row.serial.events),
+                     fmt2(row.serial.events_per_sec / 1e6),
+                     fmt2(row.sharded.events_per_sec / 1e6),
+                     fmt2(row.speedup()) + "x",
+                     fmt2(row.sharded.sched.imbalance_mean()),
+                     std::to_string(row.sharded.sched.repartitions),
+                     std::to_string(row.sharded.sched.steals),
+                     row.parity() ? "yes" : "NO — BUG"});
+      rows.push_back(row);
+    }
   }
   table.print();
   std::printf("(parity is the hard gate: a sharded run must be bit-identical "
-              "to its serial twin; speedup is machine-dependent.)\n");
+              "to its serial twin under every policy; speedup is "
+              "machine-dependent. imb mean = per-window max/min worker "
+              "dispatches.)\n");
 
   // Post-chaos stabilization workload: the alternating engine
   // (serial chaos window -> windowed suffix) vs all-serial, on the
-  // scramble + chaos + agreement-storm shape the paper actually measures.
+  // scramble + chaos + agreement-storm shape the paper actually measures —
+  // once per scheduling policy, with the engine-switch cost split out of
+  // the wall time.
   std::printf("\nPost-chaos stabilization (chaos [0, %lld ms) runs serial on "
               "both engines; the alternating engine shards the suffix)\n",
               static_cast<long long>(kChaosMs));
-  Table chaos_table({"n", "events", "serial Mev/s", "two-phase Mev/s",
-                     "speedup", "digest parity"});
-  Row chaos_row;
-  chaos_row.n = 128;
-  chaos_row.serial = run_engine(chaos_bench_scenario(chaos_row.n, 0));
-  chaos_row.sharded = run_engine(chaos_bench_scenario(chaos_row.n, kShards));
-  {
-    char serial_s[32], sharded_s[32], speedup_s[32];
-    std::snprintf(serial_s, sizeof serial_s, "%.2f",
-                  chaos_row.serial.events_per_sec / 1e6);
-    std::snprintf(sharded_s, sizeof sharded_s, "%.2f",
-                  chaos_row.sharded.events_per_sec / 1e6);
-    std::snprintf(speedup_s, sizeof speedup_s, "%.2fx", chaos_row.speedup());
-    chaos_table.add_row({std::to_string(chaos_row.n),
-                         Table::fmt_int(chaos_row.serial.events), serial_s,
-                         sharded_s, speedup_s,
-                         chaos_row.parity() ? "yes" : "NO — BUG"});
+  Table chaos_table({"n", "sched", "events", "serial Mev/s", "two-phase Mev/s",
+                     "speedup", "migration us", "imb mean", "repart",
+                     "digest parity"});
+  std::vector<Row> chaos_rows;
+  const std::uint32_t chaos_n = 128;
+  const EngineRun chaos_serial =
+      run_engine(chaos_bench_scenario(chaos_n, 0, ShardSched::kStatic));
+  for (const ShardSched mode : kModes) {
+    Row row;
+    row.n = chaos_n;
+    row.mode = mode;
+    row.serial = chaos_serial;
+    row.sharded = run_engine(chaos_bench_scenario(chaos_n, kShards, mode));
+    chaos_table.add_row({std::to_string(row.n), to_string(mode),
+                         Table::fmt_int(row.serial.events),
+                         fmt2(row.serial.events_per_sec / 1e6),
+                         fmt2(row.sharded.events_per_sec / 1e6),
+                         fmt2(row.speedup()) + "x",
+                         fmt2(double(row.sharded.migration_ns) * 1e-3),
+                         fmt2(row.sharded.sched.imbalance_mean()),
+                         std::to_string(row.sharded.sched.repartitions),
+                         row.parity() ? "yes" : "NO — BUG"});
+    chaos_rows.push_back(row);
   }
   chaos_table.print();
 
-  bool all_parity = chaos_row.parity();
+  bool all_parity = true;
   for (const Row& row : rows) all_parity = all_parity && row.parity();
+  for (const Row& row : chaos_rows) all_parity = all_parity && row.parity();
 
   if (std::FILE* out = std::fopen("BENCH_shard.json", "w")) {
     std::fprintf(out, "{\n  \"shards\": %u,\n  \"hardware_threads\": %u,\n",
@@ -191,28 +245,49 @@ void print_table() {
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& row = rows[i];
       std::fprintf(out,
-                   "    {\"n\": %u, \"events\": %llu, "
+                   "    {\"n\": %u, \"sched\": \"%s\", \"events\": %llu, "
                    "\"serial_events_per_sec\": %.0f, "
                    "\"sharded_events_per_sec\": %.0f, "
-                   "\"speedup\": %.3f, \"parity\": %s}%s\n",
-                   row.n, static_cast<unsigned long long>(row.serial.events),
+                   "\"speedup\": %.3f, \"imbalance_mean\": %.3f, "
+                   "\"imbalance_max\": %.3f, \"repartitions\": %llu, "
+                   "\"steals\": %llu, \"parity\": %s}%s\n",
+                   row.n, to_string(row.mode),
+                   static_cast<unsigned long long>(row.serial.events),
                    row.serial.events_per_sec, row.sharded.events_per_sec,
-                   row.speedup(), row.parity() ? "true" : "false",
+                   row.speedup(), row.sharded.sched.imbalance_mean(),
+                   row.sharded.sched.imbalance_max,
+                   static_cast<unsigned long long>(
+                       row.sharded.sched.repartitions),
+                   static_cast<unsigned long long>(row.sharded.sched.steals),
+                   row.parity() ? "true" : "false",
                    i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(out, "  ],\n");
-    std::fprintf(out,
-                 "  \"post_chaos_stabilization\": {\"n\": %u, "
-                 "\"chaos_ms\": %lld, \"events\": %llu, "
-                 "\"serial_events_per_sec\": %.0f, "
-                 "\"sharded_events_per_sec\": %.0f, "
-                 "\"speedup\": %.3f, \"parity\": %s}\n",
-                 chaos_row.n, static_cast<long long>(kChaosMs),
-                 static_cast<unsigned long long>(chaos_row.serial.events),
-                 chaos_row.serial.events_per_sec,
-                 chaos_row.sharded.events_per_sec, chaos_row.speedup(),
-                 chaos_row.parity() ? "true" : "false");
-    std::fprintf(out, "}\n");
+    std::fprintf(out, "  \"post_chaos_stabilization\": [\n");
+    for (std::size_t i = 0; i < chaos_rows.size(); ++i) {
+      const Row& row = chaos_rows[i];
+      std::fprintf(out,
+                   "    {\"n\": %u, \"sched\": \"%s\", \"chaos_ms\": %lld, "
+                   "\"events\": %llu, "
+                   "\"serial_events_per_sec\": %.0f, "
+                   "\"sharded_events_per_sec\": %.0f, "
+                   "\"speedup\": %.3f, \"migration_ns\": %llu, "
+                   "\"dispatch_ns\": %llu, \"imbalance_mean\": %.3f, "
+                   "\"repartitions\": %llu, \"parity\": %s}%s\n",
+                   row.n, to_string(row.mode),
+                   static_cast<long long>(kChaosMs),
+                   static_cast<unsigned long long>(row.serial.events),
+                   row.serial.events_per_sec, row.sharded.events_per_sec,
+                   row.speedup(),
+                   static_cast<unsigned long long>(row.sharded.migration_ns),
+                   static_cast<unsigned long long>(row.sharded.dispatch_ns()),
+                   row.sharded.sched.imbalance_mean(),
+                   static_cast<unsigned long long>(
+                       row.sharded.sched.repartitions),
+                   row.parity() ? "true" : "false",
+                   i + 1 < chaos_rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
     std::printf("(wrote BENCH_shard.json)\n");
   }
@@ -226,14 +301,19 @@ void print_table() {
 void BM_ShardEngine(benchmark::State& state) {
   const auto n = std::uint32_t(state.range(0));
   const auto shards = std::uint32_t(state.range(1));
+  const auto sched = ShardSched(state.range(2));
   EngineRun run;
-  for (auto _ : state) run = run_engine(shard_bench_scenario(n, shards));
+  for (auto _ : state) {
+    run = run_engine(shard_bench_scenario(n, shards, sched));
+  }
   state.counters["Mev_per_sec"] = run.events_per_sec / 1e6;
   state.counters["shards"] = run.shards;
 }
 BENCHMARK(BM_ShardEngine)
-    ->Args({32, 0})
-    ->Args({32, kShards})
+    ->Args({32, 0, std::int64_t(ShardSched::kStatic)})
+    ->Args({32, kShards, std::int64_t(ShardSched::kStatic)})
+    ->Args({32, kShards, std::int64_t(ShardSched::kSteal)})
+    ->Args({32, kShards, std::int64_t(ShardSched::kLax)})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -79,6 +79,7 @@ void Cluster::build() {
   wc.seed = scenario_.seed;
   wc.log_level = scenario_.log_level;
   wc.shards = scenario_.shards;
+  wc.shard_sched = scenario_.shard_sched;
   wc.timer_wheel = scenario_.timer_wheel;
   wc.resolve_delay_models();
   // A malformed chaos duty cycle (overlapping windows, negative knobs)

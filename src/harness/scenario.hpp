@@ -20,6 +20,7 @@
 #include "sim/delay_model.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/network.hpp"  // ChaosWindow
+#include "sim/world.hpp"    // ShardSched
 #include "util/time.hpp"
 #include "util/types.hpp"
 
@@ -162,6 +163,11 @@ struct Scenario {
   /// engine, with a full state migration at every boundary
   /// (sim/duty_world.hpp) — still bit-identical to an all-serial run.
   std::uint32_t shards = 0;
+  /// Shard scheduling policy: static blocks, cost-aware repartitioning,
+  /// deterministic work stealing, or lax (slack-barrier) windows — see
+  /// ShardSched in sim/world.hpp. Bit-identical results either way; the
+  /// policy only changes how work spreads across shard workers.
+  ShardSched shard_sched = ShardSched::kStatic;
   /// Node timers ride the hierarchical timer wheel (WorldConfig doc).
   /// false ⇒ legacy heap-resident timers; observable histories identical.
   bool timer_wheel = true;

@@ -1,5 +1,8 @@
 #include "sim/duty_world.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -30,8 +33,11 @@ DutyWorld::DutyWorld(WorldConfig config,
     serial_->enable_handoff_export();
     serial_->network().set_faulty_windows(windows_);
   } else {
+    // No previous segment to rate-estimate from: the opening sharded
+    // segment always uses the configured count.
     sharded_ = std::make_unique<ShardWorld>(config_);
     sharded_->enable_handoff_export();
+    segment_shards_.push_back(sharded_->shard_count());
   }
 }
 
@@ -68,18 +74,30 @@ void DutyWorld::migrate_to(RealTime cut) {
   // deliveries for the NEXT export; on the final segment the tracking slab
   // (pure overhead by then) stays off.
   const bool more = cursor_ < cuts_.size();
+  // Drain the retiring segment first (that is dispatch work, not switch
+  // overhead), then clock the export → adopt → re-register span.
   if (serial_) {
-    // Drain the serial chaos segment: every event strictly before the cut
-    // dispatches here (chaos sends all originate inside the window, hence
-    // before the cut). What remains in flight fires at or after it.
+    // Every event strictly before the cut dispatches here (chaos sends all
+    // originate inside the window, hence before the cut). What remains in
+    // flight fires at or after it.
     serial_->run_before(cut);
+  } else {
+    sharded_->run_before(cut);
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (serial_) {
     WorldMigration m = serial_->export_migration();
     serial_.reset();
-    sharded_ = std::make_unique<ShardWorld>(config_, std::move(m), more);
+    // Adaptive policies size the stabilization segment's shard count from
+    // the chaos segment's event rate; static keeps the configured count.
+    WorldConfig wc = config_;
+    wc.shards = segment_shard_count(cut, m.dispatched);
+    sharded_ = std::make_unique<ShardWorld>(std::move(wc), std::move(m), more);
+    segment_shards_.push_back(sharded_->shard_count());
   } else {
-    // Reverse direction: drain the sharded stabilization segment, merge the
-    // shards back into one snapshot, adopt serially for the next window.
-    sharded_->run_before(cut);
+    // Reverse direction: merge the shards back into one snapshot, adopt
+    // serially for the next window.
+    sched_total_ += sharded_->sched_stats();
     WorldMigration m = sharded_->export_migration();
     sharded_.reset();
     serial_ = std::make_unique<World>(config_, std::move(m), more);
@@ -99,6 +117,33 @@ void DutyWorld::migrate_to(RealTime cut) {
       sharded_->schedule_keyed(a.when, a.key, a.target, std::move(wrapper));
     }
   }
+  migration_ns_ += std::uint64_t(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  // Rate-estimation bookkeeping: the next segment starts at this cut.
+  segment_dispatch_base_ = dispatched();
+  segment_start_ = cut;
+}
+
+std::uint32_t DutyWorld::segment_shard_count(RealTime cut,
+                                             std::uint64_t dispatched_now) {
+  if (config_.shard_sched == ShardSched::kStatic) return config_.shards;
+  const std::uint32_t max_shards = ShardWorld::effective_shards(config_);
+  const std::int64_t elapsed = cut.ns() - segment_start_.ns();
+  // Upcoming segment length: to the next cut, or (open-ended tail) assume
+  // the previous segment's length. All inputs are simulation state, so the
+  // choice is identical on every host — determinism survives.
+  const std::int64_t upcoming =
+      (cursor_ < cuts_.size() ? cuts_[cursor_].ns() : cut.ns() + elapsed) -
+      cut.ns();
+  if (elapsed <= 0 || upcoming <= 0) return max_shards;
+  const double rate =
+      double(dispatched_now - segment_dispatch_base_) / double(elapsed);
+  const double expected = rate * double(upcoming);
+  const double ideal = std::ceil(expected / double(kEventsPerSegmentShard));
+  return std::uint32_t(
+      std::clamp(ideal, 1.0, double(max_shards)));
 }
 
 void DutyWorld::cross_cuts_until(RealTime t) {

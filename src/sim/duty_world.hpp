@@ -66,6 +66,23 @@ class DutyWorld final : public WorldBase {
   }
   /// Engine switches performed so far (diagnostics/tests).
   [[nodiscard]] std::size_t migrations() const { return migrations_; }
+  /// Wall nanoseconds spent inside engine switches — export + adopt +
+  /// action re-registration, run_before (dispatch) excluded. The benches
+  /// split alternation cost into migration vs dispatch with this.
+  [[nodiscard]] std::uint64_t migration_ns() const { return migration_ns_; }
+  /// Shard count chosen for each sharded segment, in order. Under an
+  /// adaptive shard_sched the count follows the previous segment's event
+  /// rate; static runs always use the configured count.
+  [[nodiscard]] const std::vector<std::uint32_t>& segment_shards() const {
+    return segment_shards_;
+  }
+  /// Scheduler counters summed over every sharded segment so far,
+  /// including the live one (each segment is a fresh ShardWorld).
+  [[nodiscard]] ShardSchedStats sched_stats() const {
+    ShardSchedStats total = sched_total_;
+    if (sharded_) total += sharded_->sched_stats();
+    return total;
+  }
   /// Is the windowed engine currently active? (Tests.)
   [[nodiscard]] bool sharded_active() const { return sharded_ != nullptr; }
   /// The active windowed engine, sharded segments only (tests).
@@ -101,8 +118,19 @@ class DutyWorld final : public WorldBase {
   [[nodiscard]] EventQueue& queue() override;
 
  private:
+  /// Adaptive segment sizing: aim for about this many dispatched events
+  /// per shard per stabilization segment — fewer and the barrier overhead
+  /// dominates, more and a single segment under-parallelizes.
+  static constexpr std::uint64_t kEventsPerSegmentShard = 2000;
+
   [[nodiscard]] WorldBase& active();
   [[nodiscard]] const WorldBase& active() const;
+
+  /// Shard count for the segment starting at `cut`, from the PREVIOUS
+  /// segment's event rate (pure simulation state — deterministic). Static
+  /// scheduling keeps the configured count.
+  [[nodiscard]] std::uint32_t segment_shard_count(RealTime cut,
+                                                  std::uint64_t dispatched_now);
 
   /// Cross one boundary: drain the active engine strictly before `cut`,
   /// export, adopt on the other engine, and re-register the surviving
@@ -117,6 +145,12 @@ class DutyWorld final : public WorldBase {
   std::vector<RealTime> cuts_;                 // engine-switch boundaries
   std::size_t cursor_ = 0;                     // next cut to cross
   std::size_t migrations_ = 0;
+  std::uint64_t migration_ns_ = 0;             // export/adopt wall time
+  ShardSchedStats sched_total_;                // retired segments' counters
+  std::vector<std::uint32_t> segment_shards_;  // per sharded segment
+  // Previous-segment event-rate inputs for adaptive sizing.
+  std::uint64_t segment_dispatch_base_ = 0;
+  RealTime segment_start_{};
 
   // Exactly one engine is live at a time; which one flips at every cut.
   std::unique_ptr<World> serial_;

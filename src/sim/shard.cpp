@@ -33,6 +33,36 @@ class Shard::ContextImpl final : public NodeContext {
     Shard& shard = shard_;
     NodeSlot& slot = shard_.slot(id_);
     const EventKey key{id_, slot.timer_seq++ * 2 + 1};  // odd channel: timers
+    if (shard.steal_) {
+      // Steal windows share the wheel between the owner and thieves, so
+      // every wheel op takes the shard's execution lock while a window is
+      // running. A fire INSIDE the current window cannot wait for the next
+      // plan-time pump — park it straight in the executing node's queue
+      // (timers are always self-node, and this worker owns that queue for
+      // the whole window).
+      const bool executing = ShardWorld::tl_exec_ != nullptr;
+      const bool in_window =
+          executing && (shard.world_.window_inclusive_
+                            ? fire <= shard.world_.window_end_
+                            : fire < shard.world_.window_end_);
+      if (!in_window && shard.world_.config().timer_wheel) {
+        if (executing) {
+          std::lock_guard<std::mutex> lock(shard.exec_mutex_);
+          return shard.timers_.schedule(fire, key, id_, cookie);
+        }
+        return shard.timers_.schedule(fire, key, id_, cookie);
+      }
+      TimerHandle handle;
+      if (executing) {
+        std::lock_guard<std::mutex> lock(shard.exec_mutex_);
+        handle = shard.timers_.arm_external(fire, key, id_, cookie);
+      } else {
+        handle = shard.timers_.arm_external(fire, key, id_, cookie);
+      }
+      shard.node_queue(id_).schedule(
+          fire, key, [&shard, handle] { shard.fire_timer(handle); });
+      return handle;
+    }
     if (shard.world_.config().timer_wheel) {
       // Per-shard wheel: a node only ever arms timers on its own shard, so
       // the wheel needs no synchronization and composes with the windows.
@@ -51,11 +81,22 @@ class Shard::ContextImpl final : public NodeContext {
   }
 
   bool cancel_timer(TimerHandle handle) override {
+    if (shard_.steal_ && ShardWorld::tl_exec_ != nullptr) {
+      std::lock_guard<std::mutex> lock(shard_.exec_mutex_);
+      return shard_.timers_.cancel(handle);
+    }
     return shard_.timers_.cancel(handle);
   }
 
   Rng& rng() override { return shard_.slot(id_).rng; }
-  Logger& log() override { return shard_.logger_; }
+  Logger& log() override {
+    // Thieves must not write the owner's logger; the per-worker exec
+    // logger absorbs log output during steal windows.
+    if (ShardWorld::ExecContext* exec = ShardWorld::tl_exec_) {
+      return exec->logger;
+    }
+    return shard_.logger_;
+  }
 
  private:
   Shard& shard_;
@@ -68,17 +109,31 @@ Shard::Shard(ShardWorld& world, std::uint32_t index, std::uint32_t shard_count,
       index_(index),
       first_node_(first_node),
       end_node_(end_node),
+      steal_(world.config().shard_sched == ShardSched::kSteal &&
+             shard_count > 1),
+      lax_(world.config().shard_sched == ShardSched::kLax && shard_count > 1),
       logger_(world.config().log_level),
       outbox_(shard_count) {
   SSBFT_EXPECTS(first_node_ < end_node_);
   const WorldConfig& config = world_.config();
   slots_.resize(end_node_ - first_node_);
+  if (steal_) node_queues_ = std::vector<EventQueue>(end_node_ - first_node_);
   for (NodeId id = first_node_; id < end_node_; ++id) {
     NodeSlot& s = slots_[id - first_node_];
     s.clock = derive_node_clock(config, id);
     s.context = std::make_unique<ContextImpl>(*this, id);
     s.rng = derive_node_rng(config.seed, id);
     s.link_rng = derive_link_rng(config.seed, id);
+  }
+  // Partition the wheel's allocation space from birth: sibling shards must
+  // never hand out the same record index, or a later export merge (engine
+  // handoff OR in-place repartition) would fold colliding slabs — two live
+  // timers at one index, mismatched generation tickets. The adoption path
+  // re-imports over this with the real snapshot; the index choice itself is
+  // unobservable (dispatch order is the keys').
+  if (shard_count > 1) {
+    timers_.import_records({}, {}, RealTime::zero(),
+                           [](NodeId) { return false; }, index_, shard_count);
   }
 }
 
@@ -87,6 +142,20 @@ Shard::~Shard() = default;
 Shard::NodeSlot& Shard::slot(NodeId id) {
   SSBFT_EXPECTS(owns(id));
   return slots_[id - first_node_];
+}
+
+EventQueue& Shard::node_queue(NodeId id) {
+  SSBFT_ASSERT(owns(id));
+  return node_queues_[id - first_node_];
+}
+
+EventQueue& Shard::dest_queue(NodeId dest) {
+  return steal_ ? node_queue(dest) : queue_;
+}
+
+NetworkStats& Shard::wire_stats() {
+  if (ShardWorld::ExecContext* exec = ShardWorld::tl_exec_) return exec->stats;
+  return stats_;
 }
 
 void Shard::set_behavior(NodeId id, std::unique_ptr<NodeBehavior> behavior,
@@ -117,6 +186,31 @@ void Shard::scramble_node(NodeId id) {
 
 DriftingClock& Shard::clock(NodeId id) { return slot(id).clock; }
 
+std::uint64_t Shard::dispatched() const {
+  std::uint64_t total = queue_.dispatched();
+  for (const EventQueue& q : node_queues_) total += q.dispatched();
+  return total - suppressed_timers_;
+}
+
+RealTime Shard::next_pending_time() const {
+  RealTime next = queue_.empty() ? RealTime::max() : queue_.next_time();
+  for (const EventQueue& q : node_queues_) {
+    if (!q.empty()) next = std::min(next, q.next_time());
+  }
+  return next;
+}
+
+void Shard::advance_queues(RealTime t) {
+  queue_.run_until(t);
+  for (EventQueue& q : node_queues_) q.run_until(t);
+}
+
+RealTime Shard::last_queue_now() const {
+  RealTime last = queue_.now();
+  for (const EventQueue& q : node_queues_) last = std::max(last, q.now());
+  return last;
+}
+
 Duration Shard::sample_delay(NodeSlot& from) {
   // Same draw order as Network::sample_delay: link then processing.
   const WorldConfig& config = world_.config();
@@ -127,12 +221,23 @@ Duration Shard::sample_delay(NodeSlot& from) {
 void Shard::send(NodeId from, NodeId dest, WireMessage msg) {
   SSBFT_EXPECTS(dest < world_.n());
   msg.sender = from;  // authenticated identity (Def. 2.2)
-  ++stats_.sent;
-  stats_.per_kind[std::size_t(msg.kind)]++;
+  NetworkStats& stats = wire_stats();
+  ++stats.sent;
+  stats.per_kind[std::size_t(msg.kind)]++;
   NodeSlot& sender = slot(from);
   const Duration delay = sample_delay(sender);
   const RealTime when = world_.now() + delay;
   const EventKey key{from, sender.send_seq++ * 2};  // even channel: network
+  if (steal_ && ShardWorld::tl_exec_ != nullptr) {
+    // Steal window: even a same-shard destination may be executing on
+    // another worker right now, so EVERY send parks in the worker's private
+    // outbox and merges at the barrier. The heap's key order makes the
+    // detour unobservable.
+    SSBFT_ASSERT(delay >= world_.lookahead());
+    ShardWorld::tl_exec_->outbox[world_.shard_index_[dest]].push_back(
+        Pending{when, key, dest, msg});
+    return;
+  }
   if (owns(dest)) {
     schedule_delivery(when, key, dest, msg);
     return;
@@ -142,7 +247,13 @@ void Shard::send(NodeId from, NodeId dest, WireMessage msg) {
     // Inside a window: buffer for the barrier. The bounded-delay model is
     // what makes this safe — the delivery cannot precede the next window.
     SSBFT_ASSERT(delay >= world_.lookahead());
-    outbox_[target.index_].push_back(Pending{when, key, dest, msg});
+    if (lax_) {
+      // Lax window: hand it to the destination NOW (under its inbox lock)
+      // so the receiver's slack horizon can run ahead past the λ edge.
+      target.push_lax(Pending{when, key, dest, msg});
+    } else {
+      outbox_[target.index_].push_back(Pending{when, key, dest, msg});
+    }
   } else {
     // Serial phase (on_start, piecewise runs): no concurrency, insert
     // straight into the owning shard.
@@ -161,9 +272,10 @@ void Shard::schedule_delivery(RealTime when, EventKey key, NodeId dest,
                               const WireMessage& msg) {
   SSBFT_EXPECTS(owns(dest));
   Shard* shard = this;
+  EventQueue& queue = dest_queue(dest);
   if (!handoff_export_) {
-    queue_.schedule(when, key, [shard, dest, msg] {
-      ++shard->stats_.delivered;
+    queue.schedule(when, key, [shard, dest, msg] {
+      ++shard->wire_stats().delivered;
       shard->deliver(dest, msg);
     });
     return;
@@ -173,9 +285,9 @@ void Shard::schedule_delivery(RealTime when, EventKey key, NodeId dest,
   // this shard's in-flight message set (see Network::schedule_delivery).
   const std::uint32_t index =
       track(Network::PendingDelivery{when, key, dest, msg, /*forged=*/false});
-  queue_.schedule(when, key, [shard, index] {
+  queue.schedule(when, key, [shard, index] {
     const Network::PendingDelivery pending = shard->untrack(index);
-    ++shard->stats_.delivered;
+    ++shard->wire_stats().delivered;
     shard->deliver(pending.dest, pending.msg);
   });
 }
@@ -184,17 +296,24 @@ void Shard::schedule_forged(RealTime when, EventKey key, NodeId dest,
                             const WireMessage& msg) {
   SSBFT_EXPECTS(owns(dest));
   Shard* shard = this;
+  EventQueue& queue = dest_queue(dest);
   if (!handoff_export_) {
-    queue_.schedule(when, key,
-                    [shard, dest, msg] { shard->deliver(dest, msg); });
+    queue.schedule(when, key,
+                   [shard, dest, msg] { shard->deliver(dest, msg); });
     return;
   }
   const std::uint32_t index =
       track(Network::PendingDelivery{when, key, dest, msg, /*forged=*/true});
-  queue_.schedule(when, key, [shard, index] {
+  queue.schedule(when, key, [shard, index] {
     const Network::PendingDelivery pending = shard->untrack(index);
     shard->deliver(pending.dest, pending.msg);
   });
+}
+
+void Shard::schedule_action(RealTime when, EventKey key, NodeId target,
+                            std::function<void()> action) {
+  SSBFT_EXPECTS(owns(target));
+  dest_queue(target).schedule(when, key, std::move(action));
 }
 
 std::uint32_t Shard::track(const Network::PendingDelivery& pending) {
@@ -212,6 +331,15 @@ std::uint32_t Shard::track(const Network::PendingDelivery& pending) {
 }
 
 Network::PendingDelivery Shard::untrack(std::uint32_t index) {
+  if (steal_ && ShardWorld::tl_exec_ != nullptr) {
+    // A thief's dispatch recycles slab slots concurrently with the owner's.
+    std::lock_guard<std::mutex> lock(exec_mutex_);
+    return untrack_unlocked(index);
+  }
+  return untrack_unlocked(index);
+}
+
+Network::PendingDelivery Shard::untrack_unlocked(std::uint32_t index) {
   SSBFT_EXPECTS(!exported_);  // dispatch after export ⇒ stale snapshot
   SSBFT_ASSERT(pending_live_[index]);
   pending_live_[index] = false;
@@ -239,6 +367,7 @@ void Shard::export_node(NodeId id, WorldMigration::NodeState& out) {
 }
 
 void Shard::deliver(NodeId dest, const WireMessage& msg) {
+  world_.note_cost(dest);
   NodeSlot& s = slot(dest);
   if (s.behavior) s.behavior->on_message(*s.context, msg);
 }
@@ -247,18 +376,28 @@ void Shard::pump_timers(RealTime bound) {
   timers_.advance(bound, due_batch_);
   for (const TimerWheel::Due& due : due_batch_) {
     Shard* shard = this;
-    queue_.schedule(due.when, due.key,
-                    [shard, handle = due.handle] { shard->fire_timer(handle); });
+    // Timer keys are creator == owning node, which routes each record to
+    // its node's queue under kSteal and to the central queue otherwise.
+    dest_queue(NodeId(due.key.creator))
+        .schedule(due.when, due.key,
+                  [shard, handle = due.handle] { shard->fire_timer(handle); });
   }
 }
 
 void Shard::fire_timer(TimerHandle handle) {
   NodeId node;
   std::uint64_t cookie;
-  if (!timers_.claim(handle, node, cookie)) {
+  if (steal_ && ShardWorld::tl_exec_ != nullptr) {
+    std::lock_guard<std::mutex> lock(exec_mutex_);
+    if (!timers_.claim(handle, node, cookie)) {
+      ++suppressed_timers_;  // under the lock: thieves suppress too
+      return;
+    }
+  } else if (!timers_.claim(handle, node, cookie)) {
     ++suppressed_timers_;  // cancelled after hand-over: a no-op pop
     return;
   }
+  world_.note_cost(node);
   NodeSlot& fired = slot(node);
   if (fired.behavior) fired.behavior->on_timer(*fired.context, cookie);
 }
@@ -282,6 +421,50 @@ void Shard::process_until(RealTime end, bool inclusive) {
     queue_.run_one();
     logger_.set_now(queue_.now());
   }
+}
+
+void Shard::build_steal_items(RealTime end, bool inclusive) {
+  // Mid-window pumping is impossible once thieves share the wheel, so hand
+  // over everything due through the window edge now, at plan time. Early
+  // hand-over is unobservable: the per-node dispatch gate still holds each
+  // event for its window (see process_until).
+  pump_timers(end);
+  steal_items_.clear();
+  for (NodeId id = first_node_; id < end_node_; ++id) {
+    EventQueue& queue = node_queue(id);
+    if (queue.empty()) continue;
+    const RealTime next = queue.next_time();
+    if (inclusive ? next <= end : next < end) steal_items_.push_back(id);
+  }
+}
+
+std::uint64_t Shard::run_node_window(NodeId id, RealTime end, bool inclusive) {
+  EventQueue& queue = node_queue(id);
+  ShardWorld::ExecContext* exec = ShardWorld::tl_exec_;
+  const std::uint64_t before = queue.dispatched();
+  while (!queue.empty()) {
+    const RealTime next = queue.next_time();
+    if (inclusive ? next > end : next >= end) break;
+    queue.run_one();
+    if (exec != nullptr) exec->logger.set_now(queue.now());
+  }
+  return queue.dispatched() - before;
+}
+
+void Shard::push_lax(const Pending& p) {
+  std::lock_guard<std::mutex> lock(exec_mutex_);
+  lax_inbox_.push_back(p);
+}
+
+void Shard::drain_lax_inbox() {
+  {
+    std::lock_guard<std::mutex> lock(exec_mutex_);
+    lax_scratch_.swap(lax_inbox_);
+  }
+  for (const Pending& p : lax_scratch_) {
+    schedule_delivery(p.when, p.key, p.dest, p.msg);
+  }
+  lax_scratch_.clear();
 }
 
 void Shard::adopt_node(NodeId id, WorldMigration::NodeState&& state) {
@@ -314,6 +497,23 @@ void Shard::drain_inboxes() {
       schedule_delivery(p.when, p.key, p.dest, p.msg);
     }
     inbox.clear();
+  }
+  if (steal_) {
+    // Merge the per-worker execution outboxes, in worker order. Key order
+    // makes the merge order unobservable; worker order keeps it
+    // deterministic anyway.
+    for (auto& exec : world_.exec_) {
+      std::vector<Pending>& inbox = exec->outbox[index_];
+      for (const Pending& p : inbox) {
+        schedule_delivery(p.when, p.key, p.dest, p.msg);
+      }
+      inbox.clear();
+    }
+  }
+  if (lax_) {
+    // Leftovers pushed after this shard finished its window — all at or
+    // after the window edge (the frontier argument in shard_world.cpp).
+    drain_lax_inbox();
   }
 }
 

@@ -10,12 +10,24 @@
 // delay model guarantees every cross-shard message lands at or after the
 // next window, so no shard ever sees an event "from the past".
 //
+// Under ShardSched::kSteal the shard's pending work lives in PER-NODE
+// event queues instead of the one central queue: within a window every
+// node's work is independent (any send lands at or after the window end;
+// only a node's own timers can create same-window work), so whole nodes
+// are the unit idle workers steal. Per-node dispatch order is still exact
+// (when, creator, seq) key order, which is all the digest can see.
+// Under ShardSched::kLax cross-shard sends go straight into the
+// destination's mutex-guarded inbox instead of waiting for the barrier,
+// so receivers can run ahead on slack (see ShardWorld::run_windows).
+//
 // Engine-internal: user code deploys through Scenario/Cluster and only ever
 // sees the WorldBase surface.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "sim/clock.hpp"
@@ -54,6 +66,8 @@ class Shard {
   [[nodiscard]] bool owns(NodeId id) const {
     return id >= first_node_ && id < end_node_;
   }
+  [[nodiscard]] NodeId first_node() const { return first_node_; }
+  [[nodiscard]] NodeId end_node() const { return end_node_; }
 
   // --- node surface (delegated from ShardWorld; serial phases only) -------
   void set_behavior(NodeId id, std::unique_ptr<NodeBehavior> behavior,
@@ -68,15 +82,24 @@ class Shard {
   [[nodiscard]] const EventQueue& queue() const { return queue_; }
   /// Queue dispatches net of suppressed (cancelled-after-hand-over) timer
   /// pops — the engine-invariant event count (see World::dispatched).
-  [[nodiscard]] std::uint64_t dispatched() const {
-    return queue_.dispatched() - suppressed_timers_;
-  }
+  [[nodiscard]] std::uint64_t dispatched() const;
   [[nodiscard]] Logger& log() { return logger_; }
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+
+  /// Earliest pending event across this shard's queue(s) — the central
+  /// queue, or the per-node queues under kSteal (max() when none). The
+  /// window planner folds this into its earliest-event fast-forward.
+  [[nodiscard]] RealTime next_pending_time() const;
+  /// Advance every queue clock to `t` (serial run_until semantics; nothing
+  /// at or before `t` may remain pending).
+  void advance_queues(RealTime t);
+  /// Latest dispatch clock across this shard's queue(s).
+  [[nodiscard]] RealTime last_queue_now() const;
 
   /// Dispatch this shard's events with `when < end` (or `<= end` when
   /// `inclusive`); the window loop's per-shard work item. Due wheel timers
   /// are handed to the queue between dispatches, inside the window.
+  /// Central-queue modes only (static/balance/lax).
   void process_until(RealTime end, bool inclusive);
 
   /// Lower bound on this shard's earliest pending wheel timer (max() when
@@ -86,6 +109,8 @@ class Shard {
 
   /// Move every peer shard's mailbox addressed here into the local queue.
   /// Caller (the window barrier) guarantees the producers are parked.
+  /// Under kSteal this also merges the per-worker execution outboxes, in
+  /// worker order; under kLax it drains the mutex inbox's leftovers.
   void drain_inboxes();
 
   /// Schedule a delivery on THIS shard (dest must be owned). Used by the
@@ -98,6 +123,32 @@ class Shard {
   /// mirroring Network::inject_raw.
   void schedule_forged(RealTime when, EventKey key, NodeId dest,
                        const WireMessage& msg);
+
+  /// Park a world-level action for `target` in the queue that owns it (the
+  /// central queue, or target's node queue under kSteal). Serial phases /
+  /// barrier only.
+  void schedule_action(RealTime when, EventKey key, NodeId target,
+                       std::function<void()> action);
+
+  // --- kSteal window machinery (see ShardWorld::run_windows) --------------
+
+  /// Hand due wheel timers to the owning node queues and list every node
+  /// with runnable work in [*, end] — the window's steal items. Runs at
+  /// plan time (all workers parked).
+  void build_steal_items(RealTime end, bool inclusive);
+  [[nodiscard]] std::vector<NodeId>& steal_items() { return steal_items_; }
+  /// Execute one node's whole window batch: its queue in key order up to
+  /// the gate. Returns events dispatched. Caller owns the exec context.
+  std::uint64_t run_node_window(NodeId id, RealTime end, bool inclusive);
+
+  // --- kLax window machinery ----------------------------------------------
+
+  /// Drain the mutex-guarded lax inbox into the local queue. Safe to call
+  /// from this shard's worker mid-window (senders push under the mutex).
+  void drain_lax_inbox();
+  /// Push a delivery into this shard's lax inbox (called by PEER workers
+  /// mid-window, under the mutex).
+  void push_lax(const Pending& p);
 
   // --- engine-migration surface (serial segment ⇄ windowed segment) -------
 
@@ -117,11 +168,12 @@ class Shard {
                      RealTime now);
 
   /// Track every scheduled delivery in a side slab so in-flight messages
-  /// can be exported at the next cut (reverse migration), mirroring
-  /// Network::enable_handoff_export. Must precede all traffic on this
-  /// shard; bit-identical to the untracked path.
+  /// can be exported at the next cut (reverse migration) or repartition,
+  /// mirroring Network::enable_handoff_export. Must precede all traffic on
+  /// this shard; bit-identical to the untracked path. Idempotent (the
+  /// adaptive scheduler pre-enables it; a DutyWorld may enable it again).
   void enable_handoff_export() {
-    SSBFT_EXPECTS(stats_.sent == 0 && !handoff_export_);
+    SSBFT_EXPECTS(stats_.sent == 0);
     handoff_export_ = true;
   }
 
@@ -140,6 +192,7 @@ class Shard {
   void export_node(NodeId id, WorldMigration::NodeState& out);
 
  private:
+  friend class ShardWorld;
   class ContextImpl;
 
   struct NodeSlot {
@@ -155,6 +208,17 @@ class Shard {
 
   [[nodiscard]] NodeSlot& slot(NodeId id);
 
+  /// Per-node queue under kSteal (the shard's own node only).
+  [[nodiscard]] EventQueue& node_queue(NodeId id);
+  /// The queue a delivery/timer/action for `dest` parks in: the central
+  /// queue, or dest's node queue under kSteal.
+  [[nodiscard]] EventQueue& dest_queue(NodeId dest);
+
+  /// Wire counters for the CURRENT execution context: the per-worker stats
+  /// while a steal window is executing (merged at the barrier), the
+  /// shard's own otherwise.
+  [[nodiscard]] NetworkStats& wire_stats();
+
   /// Authenticated send from an owned node: samples the sender's delay
   /// stream and routes locally, to a mailbox (inside a window), or straight
   /// into the destination shard (serial phases).
@@ -166,6 +230,7 @@ class Shard {
 
   [[nodiscard]] std::uint32_t track(const Network::PendingDelivery& pending);
   [[nodiscard]] Network::PendingDelivery untrack(std::uint32_t index);
+  [[nodiscard]] Network::PendingDelivery untrack_unlocked(std::uint32_t index);
 
   /// Hand every wheel timer due at or before `bound` to the event queue.
   void pump_timers(RealTime bound);
@@ -176,8 +241,14 @@ class Shard {
   std::uint32_t index_;
   NodeId first_node_;
   NodeId end_node_;
+  bool steal_ = false;  // ShardSched::kSteal with >1 shard
+  bool lax_ = false;    // ShardSched::kLax with >1 shard
 
   EventQueue queue_;
+  /// kSteal only: one queue per owned node, indexed by id − first_node_.
+  /// Empty in every other mode (the central queue_ serves).
+  std::vector<EventQueue> node_queues_;
+  std::vector<NodeId> steal_items_;  // nodes with work this window
   TimerWheel timers_;
   std::vector<TimerWheel::Due> due_batch_;  // advance() scratch, reused
   std::uint64_t suppressed_timers_ = 0;     // cancelled-after-hand-over pops
@@ -185,6 +256,14 @@ class Shard {
   NetworkStats stats_;
   std::vector<NodeSlot> slots_;            // [first_node_, end_node_)
   std::vector<std::vector<Pending>> outbox_;  // indexed by destination shard
+
+  /// kSteal: serializes wheel arm/cancel/claim and tracking-slab untrack —
+  /// a thief executing this shard's node touches them concurrently with
+  /// the owner. kLax: guards lax_inbox_. Uncontended in other modes (never
+  /// taken).
+  std::mutex exec_mutex_;
+  std::vector<Pending> lax_inbox_;   // kLax: mid-window cross-shard arrivals
+  std::vector<Pending> lax_scratch_;  // drain double-buffer (keeps capacity)
 
   // Handoff-export tracking slab, mirroring Network's: `pending_live_`
   // marks occupied slots, dead slots wait on `pending_free_` for reuse,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <barrier>
 #include <cstdlib>
+#include <limits>
 #include <thread>
 #include <utility>
 
@@ -11,6 +12,8 @@
 namespace ssbft {
 
 thread_local Shard* ShardWorld::tl_current_shard_ = nullptr;
+thread_local EventQueue* ShardWorld::tl_current_queue_ = nullptr;
+thread_local ShardWorld::ExecContext* ShardWorld::tl_exec_ = nullptr;
 
 std::uint32_t ShardWorld::effective_shards(const WorldConfig& config) {
   WorldConfig resolved = config;
@@ -28,14 +31,19 @@ ShardWorld::ShardWorld(WorldConfig config)
   lookahead_ = config_.lookahead();
   const std::uint32_t shards = effective_shards(config_);
   SSBFT_EXPECTS(shards == 1 || lookahead_ > Duration::zero());
-  shards_.reserve(shards);
-  shard_index_.resize(config_.n);
-  for (std::uint32_t s = 0; s < shards; ++s) {
-    const NodeId first = NodeId(std::size_t(s) * config_.n / shards);
-    const NodeId end = NodeId(std::size_t(s + 1) * config_.n / shards);
-    for (NodeId id = first; id < end; ++id) shard_index_[id] = s;
-    shards_.push_back(std::make_unique<Shard>(*this, s, shards, first, end));
+  sched_ = shards > 1 ? config_.shard_sched : ShardSched::kStatic;
+  cost_tracking_ = sched_ != ShardSched::kStatic;
+  // A repartition tears shards down through the migration machinery, so the
+  // adaptive policies need every in-flight delivery exportable from the
+  // first send on.
+  track_handoff_ = cost_tracking_;
+  node_cost_.assign(config_.n, 0);
+  node_cost_base_.assign(config_.n, 0);
+  std::vector<NodeId> bounds(shards + 1);
+  for (std::uint32_t s = 0; s <= shards; ++s) {
+    bounds[s] = NodeId(std::size_t(s) * config_.n / shards);
   }
+  make_shards(bounds);
 }
 
 ShardWorld::ShardWorld(WorldConfig config, WorldMigration&& migration,
@@ -46,6 +54,20 @@ ShardWorld::ShardWorld(WorldConfig config, WorldMigration&& migration,
   // re-materializes below, or those deliveries would be lost to the next
   // cut's export.
   if (handoff_export) enable_handoff_export();
+  // Adaptive policies: the migrated in-flight set is the only load signal
+  // available at adoption time, and it is exactly the post-chaos hot spot —
+  // rebuild the (still empty) shards on boundaries balancing deliveries
+  // plus timers per node instead of the blind equal split.
+  if (cost_tracking_ && shards_.size() > 1) {
+    std::vector<std::uint64_t> weight(config_.n, 1);
+    for (const Network::PendingDelivery& p : migration.deliveries) {
+      weight[p.dest] += 1;
+    }
+    for (const TimerWheel::ExportedRecord& r : migration.timers) {
+      weight[r.node] += 1;
+    }
+    make_shards(balanced_boundaries(weight, std::uint32_t(shards_.size())));
+  }
   // Counters and stream positions continue where the serial prefix stopped:
   // the suffix must mint the exact keys and draws an uninterrupted serial
   // run would have.
@@ -76,11 +98,67 @@ ShardWorld::ShardWorld(WorldConfig config, WorldMigration&& migration,
     }
   }
   for (WorldMigration::PendingAction& a : migration.actions) {
-    shard_of(a.target).queue().schedule(a.when, a.key, std::move(a.action));
+    schedule_keyed(a.when, a.key, a.target, std::move(a.action));
   }
 }
 
 ShardWorld::~ShardWorld() = default;
+
+void ShardWorld::make_shards(const std::vector<NodeId>& bounds) {
+  const std::uint32_t shards = std::uint32_t(bounds.size() - 1);
+  SSBFT_EXPECTS(bounds.front() == 0 && bounds.back() == config_.n);
+  shards_.clear();
+  shards_.reserve(shards);
+  shard_index_.assign(config_.n, 0);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const NodeId first = bounds[s];
+    const NodeId end = bounds[s + 1];
+    SSBFT_EXPECTS(first < end);
+    for (NodeId id = first; id < end; ++id) shard_index_[id] = s;
+    shards_.push_back(std::make_unique<Shard>(*this, s, shards, first, end));
+    if (track_handoff_) shards_.back()->enable_handoff_export();
+  }
+  if (sched_ == ShardSched::kSteal) {
+    exec_.clear();
+    exec_.reserve(shards);
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      exec_.push_back(
+          std::make_unique<ExecContext>(config_.log_level, shards));
+    }
+  }
+  steal_cursor_ = std::vector<std::atomic<std::uint32_t>>(shards);
+  lax_frontier_ = std::vector<std::atomic<std::int64_t>>(shards);
+  last_shard_dispatched_.assign(shards, 0);
+}
+
+std::vector<NodeId> ShardWorld::balanced_boundaries(
+    const std::vector<std::uint64_t>& weight, std::uint32_t shards) {
+  const std::uint32_t n = std::uint32_t(weight.size());
+  SSBFT_EXPECTS(shards >= 1 && shards <= n);
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : weight) total += w;
+  std::vector<NodeId> bounds(shards + 1);
+  bounds[0] = 0;
+  bounds[shards] = NodeId(n);
+  // Greedy sweep: extend shard s−1's block while the running prefix's
+  // midpoint stays at or below the ideal s/shards split of the total —
+  // i.e. take node `id` iff acc + w[id]/2 ≤ s·total/shards, in overflow-
+  // safe integer form. Clamped so every block keeps at least one node.
+  std::uint64_t acc = 0;
+  NodeId id = 0;
+  for (std::uint32_t s = 1; s < shards; ++s) {
+    const NodeId min_id = bounds[s - 1] + 1;
+    const NodeId max_id = NodeId(n - (shards - s));
+    while (id < min_id ||
+           (id < max_id &&
+            (2 * acc + weight[id]) * shards <= 2 * total * s)) {
+      acc += weight[id];
+      ++id;
+    }
+    bounds[s] = id;
+  }
+  return bounds;
+}
 
 void ShardWorld::set_behavior(NodeId id,
                               std::unique_ptr<NodeBehavior> behavior) {
@@ -101,6 +179,9 @@ void ShardWorld::start() {
 }
 
 RealTime ShardWorld::now() const {
+  // During a steal window "now" is the claimed node queue's clock; during
+  // any other dispatch it is the executing shard's queue clock.
+  if (const EventQueue* q = tl_current_queue_) return q->now();
   if (const Shard* shard = tl_current_shard_) return shard->queue().now();
   return global_now_;
 }
@@ -127,10 +208,47 @@ void ShardWorld::scramble_node(NodeId id) {
 
 void ShardWorld::schedule(RealTime when, NodeId target,
                           std::function<void()> action) {
+  schedule_keyed(when, next_world_key(), target, std::move(action));
+}
+
+void ShardWorld::schedule_keyed(RealTime when, EventKey key, NodeId target,
+                                std::function<void()> action) {
   SSBFT_EXPECTS(target < config_.n);
   SSBFT_EXPECTS(tl_current_shard_ == nullptr);  // serial phases only
   SSBFT_EXPECTS(!exported_);
-  shard_of(target).queue().schedule(when, next_world_key(), std::move(action));
+  if (cost_tracking_) {
+    // Adaptive policies park an extractable wrapper so a repartition can
+    // re-register the action on the rebuilt shards.
+    schedule_world_action(when, key, target, std::move(action));
+  } else {
+    shard_of(target).schedule_action(when, key, target, std::move(action));
+  }
+}
+
+void ShardWorld::schedule_world_action(RealTime when, EventKey key,
+                                       NodeId target,
+                                       std::function<void()> action) {
+  const std::uint64_t seq = key.seq;
+  {
+    std::lock_guard<std::mutex> lock(actions_mutex_);
+    SSBFT_EXPECTS(actions_.find(seq) == actions_.end());
+    actions_[seq] =
+        WorldMigration::PendingAction{when, key, target, std::move(action)};
+  }
+  shard_of(target).schedule_action(when, key, target,
+                                   [this, seq] { fire_action(seq); });
+}
+
+void ShardWorld::fire_action(std::uint64_t seq) {
+  std::function<void()> action;
+  {
+    std::lock_guard<std::mutex> lock(actions_mutex_);
+    const auto it = actions_.find(seq);
+    SSBFT_ASSERT(it != actions_.end());
+    action = std::move(it->second.action);
+    actions_.erase(it);
+  }
+  action();
 }
 
 void ShardWorld::inject_raw(NodeId dest, WireMessage msg, Duration delay) {
@@ -169,7 +287,128 @@ EventQueue& ShardWorld::queue() {
   std::abort();
 }
 
+void ShardWorld::account_window() {
+  std::uint64_t max_e = 0;
+  std::uint64_t min_e = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t total = 0;
+  if (sched_ == ShardSched::kSteal) {
+    // Steal windows spread one shard's nodes across many workers, so the
+    // balance that matters (and that stealing is supposed to fix) is
+    // per-WORKER dispatches. Fold the exec-context counters into the world
+    // totals while we are single-threaded at the barrier.
+    for (auto& exec : exec_) {
+      const std::uint64_t e = exec->window_events;
+      exec->window_events = 0;
+      world_stats_ += exec->stats;
+      exec->stats = NetworkStats{};
+      sched_stats_.steals += exec->steals;
+      sched_stats_.stolen_events += exec->stolen_events;
+      exec->steals = 0;
+      exec->stolen_events = 0;
+      max_e = std::max(max_e, e);
+      min_e = std::min(min_e, e);
+      total += e;
+    }
+  } else {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const std::uint64_t d = shards_[s]->dispatched();
+      const std::uint64_t e = d - last_shard_dispatched_[s];
+      last_shard_dispatched_[s] = d;
+      max_e = std::max(max_e, e);
+      min_e = std::min(min_e, e);
+      total += e;
+    }
+  }
+  ++sched_stats_.windows;
+  if (total == 0) return;  // empty windows say nothing about balance
+  const double imbalance =
+      double(max_e) / double(std::max<std::uint64_t>(min_e, 1));
+  ++sched_stats_.measured_windows;
+  sched_stats_.imbalance_max = std::max(sched_stats_.imbalance_max, imbalance);
+  sched_stats_.imbalance_sum += imbalance;
+  hysteresis_sum_ += imbalance;
+  ++hysteresis_windows_;
+}
+
+void ShardWorld::repartition() {
+  ++sched_stats_.repartitions;
+  // Tear the live shards down exactly like an engine handoff, except the
+  // snapshot never leaves this engine: fold counters, export deliveries /
+  // timers / nodes, rebuild on cost-balanced boundaries, re-adopt.
+  std::vector<Network::PendingDelivery> deliveries;
+  std::vector<TimerWheel::ExportedRecord> timers;
+  std::vector<std::uint32_t> generations;
+  for (auto& shard : shards_) {
+    world_stats_ += shard->stats();
+    base_dispatched_ += shard->dispatched();
+    shard->export_deliveries(deliveries);
+    std::vector<TimerWheel::ExportedRecord> records;
+    std::vector<std::uint32_t> gens;
+    shard->export_timers(records, gens);
+    timers.insert(timers.end(), std::make_move_iterator(records.begin()),
+                  std::make_move_iterator(records.end()));
+    if (gens.size() > generations.size()) generations.resize(gens.size(), 0);
+    for (std::size_t i = 0; i < gens.size(); ++i) {
+      generations[i] = std::max(generations[i], gens[i]);
+    }
+  }
+  std::vector<WorldMigration::NodeState> nodes(config_.n);
+  for (NodeId id = 0; id < config_.n; ++id) {
+    shard_of(id).export_node(id, nodes[id]);
+  }
+  // Weights: dispatches charged per node since the LAST repartition — the
+  // recent-load signal — plus one so idle nodes still spread evenly.
+  std::vector<std::uint64_t> weight(config_.n, 1);
+  for (NodeId id = 0; id < config_.n; ++id) {
+    weight[id] += node_cost_[id] - node_cost_base_[id];
+  }
+  node_cost_base_ = node_cost_;
+  const std::uint32_t shards = std::uint32_t(shards_.size());
+  make_shards(balanced_boundaries(weight, shards));
+  for (NodeId id = 0; id < config_.n; ++id) {
+    shard_of(id).adopt_node(id, std::move(nodes[id]));
+  }
+  for (auto& shard : shards_) {
+    // Every surviving record fires at or after the window edge we are
+    // parked on (in-window timers were pumped and dispatched), so the edge
+    // is a valid wheel epoch and keeps pump bounds monotone.
+    shard->import_timers(timers, generations, window_end_);
+  }
+  for (const Network::PendingDelivery& p : deliveries) {
+    if (p.forged) {
+      shard_of(p.dest).schedule_forged(p.when, p.key, p.dest, p.msg);
+    } else {
+      shard_of(p.dest).schedule_delivery(p.when, p.key, p.dest, p.msg);
+    }
+  }
+  // Pending world actions re-register under their ORIGINAL keys — the
+  // registry holds the real closures, the queues only held wrappers.
+  {
+    std::lock_guard<std::mutex> lock(actions_mutex_);
+    for (const auto& [seq, a] : actions_) {
+      const std::uint64_t s = seq;
+      shard_of(a.target).schedule_action(a.when, a.key, a.target,
+                                         [this, s] { fire_action(s); });
+    }
+  }
+}
+
 void ShardWorld::plan_next_window() {
+  if (in_window_) {
+    const bool final_pass = window_inclusive_;
+    account_window();
+    in_window_ = false;
+    // Hysteresis-gated: only consider moving boundaries when the recent
+    // mean imbalance says the static blocks are paying for it, and never
+    // bother right before the run stops.
+    if (!final_pass && sched_ != ShardSched::kStatic && shards_.size() > 1 &&
+        hysteresis_windows_ >= kRepartitionWindows) {
+      const double mean = hysteresis_sum_ / double(hysteresis_windows_);
+      hysteresis_sum_ = 0.0;
+      hysteresis_windows_ = 0;
+      if (mean >= kRepartitionThreshold) repartition();
+    }
+  }
   if (window_inclusive_) {
     // The inclusive pass at the target just ran: nothing at or before the
     // target can remain (cross-shard effects of the pass land strictly
@@ -182,9 +421,7 @@ void ShardWorld::plan_next_window() {
   RealTime start = window_end_;
   RealTime earliest = RealTime::max();
   for (const auto& shard : shards_) {
-    if (!shard->queue().empty()) {
-      earliest = std::min(earliest, shard->queue().next_time());
-    }
+    earliest = std::min(earliest, shard->next_pending_time());
     // Wheel timers are pending work too: a timer-only shard must not be
     // fast-forwarded past (the bound is conservative — a stale-low wheel
     // lower bound only costs an extra empty window, never correctness).
@@ -211,8 +448,106 @@ void ShardWorld::plan_next_window() {
     window_end_ = target_;
     window_inclusive_ = true;
   } else {
-    window_end_ = std::min(start + lookahead_, target_);
+    // Lax windows are k·λ wide: the slack barrier inside them recovers the
+    // λ-granular safety, so wider windows just mean fewer full barriers.
+    const Duration width =
+        sched_ == ShardSched::kLax ? lookahead_ * kLaxFactor : lookahead_;
+    window_end_ = std::min(start + width, target_);
     window_inclusive_ = false;
+  }
+  window_start_ = start;
+  in_window_ = true;
+  if (sched_ == ShardSched::kSteal) {
+    for (auto& shard : shards_) {
+      shard->build_steal_items(window_end_, window_inclusive_);
+    }
+    for (auto& cursor : steal_cursor_) {
+      cursor.store(0, std::memory_order_relaxed);
+    }
+  } else if (sched_ == ShardSched::kLax && !window_inclusive_) {
+    for (auto& frontier : lax_frontier_) {
+      frontier.store(window_start_.ns(), std::memory_order_relaxed);
+    }
+  }
+}
+
+void ShardWorld::run_steal_window(std::uint32_t worker) {
+  ExecContext* exec = exec_[worker].get();
+  tl_exec_ = exec;
+  const std::uint32_t shards = std::uint32_t(shards_.size());
+  std::uint64_t events = 0;
+  while (true) {
+    // Own shard's items first (cache-warm, usually uncontended); once they
+    // are gone, steal from whichever shard has the most left. The cursor
+    // race is benign: an overshot fetch_add just retries the scan.
+    std::uint32_t victim = shards;
+    if (steal_cursor_[worker].load(std::memory_order_relaxed) <
+        shards_[worker]->steal_items().size()) {
+      victim = worker;
+    } else {
+      std::size_t best_left = 0;
+      for (std::uint32_t s = 0; s < shards; ++s) {
+        const std::size_t size = shards_[s]->steal_items().size();
+        const std::uint32_t cur =
+            steal_cursor_[s].load(std::memory_order_relaxed);
+        const std::size_t left = cur < size ? size - cur : 0;
+        if (left > best_left) {
+          best_left = left;
+          victim = s;
+        }
+      }
+      if (victim == shards) break;  // every item everywhere is claimed
+    }
+    Shard* owner = shards_[victim].get();
+    const std::uint32_t idx =
+        steal_cursor_[victim].fetch_add(1, std::memory_order_relaxed);
+    if (idx >= owner->steal_items().size()) continue;
+    const NodeId node = owner->steal_items()[idx];
+    // Claiming a node claims its whole window batch: the node queue, its
+    // in-window self-timers, everything — per-node key order preserved.
+    tl_current_shard_ = owner;
+    tl_current_queue_ = &owner->node_queue(node);
+    const std::uint64_t ran =
+        owner->run_node_window(node, window_end_, window_inclusive_);
+    tl_current_queue_ = nullptr;
+    tl_current_shard_ = nullptr;
+    events += ran;
+    if (victim != worker) {
+      ++exec->steals;
+      exec->stolen_events += ran;
+    }
+  }
+  exec->window_events += events;
+  tl_exec_ = nullptr;
+}
+
+void ShardWorld::lax_run(Shard* shard) {
+  const std::uint32_t self = shard->index();
+  const std::uint32_t shards = std::uint32_t(shards_.size());
+  const RealTime end = window_end_;
+  std::int64_t mine = lax_frontier_[self].load(std::memory_order_relaxed);
+  // Slack barrier: a shard may dispatch up to min(peer frontiers) + λ —
+  // nothing a peer has not yet executed can land before that. The drain
+  // happens AFTER the frontier loads: any message a peer pushed after we
+  // loaded its frontier F carries when ≥ F + λ ≥ horizon, so it cannot be
+  // needed this step; anything needed is already in the inbox.
+  while (RealTime{mine} < end) {
+    std::int64_t peer_min = std::numeric_limits<std::int64_t>::max();
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      if (s == self) continue;
+      peer_min = std::min(peer_min,
+                          lax_frontier_[s].load(std::memory_order_acquire));
+    }
+    const RealTime horizon = std::min(end, RealTime{peer_min} + lookahead_);
+    if (horizon <= RealTime{mine}) {
+      // We ARE the frontier (or tied): wait for a laggard to publish.
+      std::this_thread::yield();
+      continue;
+    }
+    shard->drain_lax_inbox();
+    shard->process_until(horizon, /*inclusive=*/false);
+    mine = horizon.ns();
+    lax_frontier_[self].store(mine, std::memory_order_release);
   }
 }
 
@@ -222,6 +557,7 @@ void ShardWorld::run_windows(RealTime target, bool quiescence) {
   stop_ = false;
   window_end_ = global_now_;
   window_inclusive_ = false;
+  in_window_ = false;
 
   if (shards_.size() == 1) {
     // One shard: no cross-shard traffic, the window machinery is identity.
@@ -236,13 +572,24 @@ void ShardWorld::run_windows(RealTime target, bool quiescence) {
       std::barrier processed(std::ptrdiff_t(shards_.size()));
       std::barrier planned(std::ptrdiff_t(shards_.size()),
                            [this]() noexcept { plan_next_window(); });
-      const auto worker = [&](Shard* shard) {
+      // Workers go by INDEX, not pointer: a repartition at the planning
+      // barrier replaces the Shard objects, so each iteration re-fetches.
+      const auto worker = [&](std::uint32_t w) {
         while (true) {
-          tl_current_shard_ = shard;
-          shard->process_until(window_end_, window_inclusive_);
-          tl_current_shard_ = nullptr;
+          Shard* shard = shards_[w].get();
+          if (sched_ == ShardSched::kSteal) {
+            run_steal_window(w);
+          } else if (sched_ == ShardSched::kLax && !window_inclusive_) {
+            tl_current_shard_ = shard;
+            lax_run(shard);
+            tl_current_shard_ = nullptr;
+          } else {
+            tl_current_shard_ = shard;
+            shard->process_until(window_end_, window_inclusive_);
+            tl_current_shard_ = nullptr;
+          }
           processed.arrive_and_wait();  // all outboxes for this window final
-          shard->drain_inboxes();
+          shards_[w]->drain_inboxes();
           planned.arrive_and_wait();    // completion plans the next window
           if (stop_) return;
         }
@@ -253,10 +600,10 @@ void ShardWorld::run_windows(RealTime target, bool quiescence) {
       // persistent parked pool — a follow-up if that pattern appears.
       std::vector<std::thread> pool;
       pool.reserve(shards_.size() - 1);
-      for (std::size_t s = 1; s < shards_.size(); ++s) {
-        pool.emplace_back(worker, shards_[s].get());
+      for (std::uint32_t s = 1; s < std::uint32_t(shards_.size()); ++s) {
+        pool.emplace_back(worker, s);
       }
-      worker(shards_[0].get());
+      worker(0);
       for (auto& t : pool) t.join();
     }
     // No mailbox can be non-empty here: every worker's last actions are
@@ -267,7 +614,7 @@ void ShardWorld::run_windows(RealTime target, bool quiescence) {
 
   if (!quiescence && !cut_) {
     // Serial run_until semantics: every clock reads `target` afterwards.
-    for (auto& shard : shards_) shard->queue().run_until(target);
+    for (auto& shard : shards_) shard->advance_queues(target);
     global_now_ = target;
   } else {
     // Quiescence and cut mode rest at the last dispatch: a migration cut
@@ -275,7 +622,7 @@ void ShardWorld::run_windows(RealTime target, bool quiescence) {
     // owns it), and the exported `now` is then ≤ every pending `when`.
     RealTime last = global_now_;
     for (const auto& shard : shards_) {
-      last = std::max(last, shard->queue().now());
+      last = std::max(last, shard->last_queue_now());
     }
     global_now_ = last;
   }
@@ -290,6 +637,7 @@ void ShardWorld::run_before(RealTime t) {
 }
 
 void ShardWorld::enable_handoff_export() {
+  track_handoff_ = true;
   for (auto& shard : shards_) shard->enable_handoff_export();
 }
 
@@ -330,7 +678,8 @@ WorldMigration ShardWorld::export_migration() {
   }
   // World-level actions are the orchestrator's to carry (DutyWorld keeps
   // the originals and re-registers extractable wrappers per segment);
-  // nothing here can peel a raw closure back out of a queue.
+  // nothing here can peel a raw closure back out of a queue. The adaptive
+  // registry's leftovers die with the queues for the same reason.
   return m;
 }
 

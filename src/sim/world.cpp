@@ -7,6 +7,18 @@
 
 namespace ssbft {
 
+const char* to_string(ShardSched sched) {
+  // Exhaustive: no default, so -Wswitch flags a new enumerator here; the
+  // kShardSchedCount unit test catches it at runtime too.
+  switch (sched) {
+    case ShardSched::kStatic: return "static";
+    case ShardSched::kBalance: return "balance";
+    case ShardSched::kSteal: return "steal";
+    case ShardSched::kLax: return "lax";
+  }
+  return "?";
+}
+
 void WorldConfig::resolve_delay_models() {
   if (has_delay_models) return;
   // Default: typical delay well below the bound δ with an exponential

@@ -31,6 +31,74 @@
 
 namespace ssbft {
 
+/// Scheduling policy for the conservative-parallel engine's shards. All
+/// four policies produce bit-identical observable histories (digest parity
+/// with the serial engine is the hard gate); they differ only in how the
+/// work is spread across worker threads:
+///   kStatic   contiguous equal-size node blocks, full barrier per
+///             λ-window — the original engine, zero scheduling overhead.
+///   kBalance  kStatic plus cost-aware repartitioning: per-node dispatch
+///             counts feed a greedy balanced partition recomputed at
+///             window barriers (with hysteresis) and at every chaos →
+///             sharded migration, where imbalance is worst.
+///   kSteal    kBalance plus deterministic intra-window work stealing:
+///             idle workers claim whole nodes' within-window runnable
+///             work from other shards. Per-node execution order is
+///             preserved exactly, and within a window nodes are mutually
+///             independent (every send lands at or after the window end),
+///             so who executed what is unobservable.
+///   kLax      kBalance plus slack windows à la Graphite/Sniper's
+///             clock-skew-minimization barrier: shards run ahead of the
+///             λ-window on slack, bounded by the slowest peer's published
+///             frontier + λ, and commit only at deterministic window
+///             edges k·λ apart.
+enum class ShardSched : std::uint8_t {
+  kStatic,
+  kBalance,
+  kSteal,
+  kLax,
+};
+
+/// Number of ShardSched enumerators (test_enums checks to_string covers
+/// exactly this many).
+inline constexpr std::uint32_t kShardSchedCount = 4;
+
+[[nodiscard]] const char* to_string(ShardSched sched);
+
+/// Scheduler-level counters for the adaptive sharded engine: how many
+/// λ-windows ran, how (im)balanced their per-worker dispatch counts were,
+/// and how often the two adaptive mechanisms kicked in. Purely
+/// observational — none of it feeds back into the simulation, so the
+/// counters may differ across policies while digests stay identical.
+/// DutyWorld sums one of these per sharded segment.
+struct ShardSchedStats {
+  std::uint64_t windows = 0;           // lookahead windows run
+  std::uint64_t measured_windows = 0;  // windows with at least one dispatch
+  std::uint64_t repartitions = 0;      // cost-aware boundary recomputations
+  std::uint64_t steals = 0;            // foreign-shard node claims
+  std::uint64_t stolen_events = 0;     // events executed on a thief worker
+  /// Per-window imbalance = max/min per-worker dispatch count (min clamped
+  /// to 1), sampled over measured windows only.
+  double imbalance_max = 0.0;
+  double imbalance_sum = 0.0;
+
+  [[nodiscard]] double imbalance_mean() const {
+    return measured_windows == 0 ? 0.0
+                                 : imbalance_sum / double(measured_windows);
+  }
+
+  ShardSchedStats& operator+=(const ShardSchedStats& o) {
+    windows += o.windows;
+    measured_windows += o.measured_windows;
+    repartitions += o.repartitions;
+    steals += o.steals;
+    stolen_events += o.stolen_events;
+    if (o.imbalance_max > imbalance_max) imbalance_max = o.imbalance_max;
+    imbalance_sum += o.imbalance_sum;
+    return *this;
+  }
+};
+
 struct WorldConfig {
   std::uint32_t n = 4;
 
@@ -72,6 +140,11 @@ struct WorldConfig {
   /// one, with full state migrations at every boundary
   /// (sim/duty_world.hpp).
   std::uint32_t shards = 0;
+
+  /// Shard scheduling policy (see ShardSched). Only consulted when the
+  /// sharded engine actually runs with more than one shard; results are
+  /// bit-identical across all policies.
+  ShardSched shard_sched = ShardSched::kStatic;
 
   /// d = (δ+π)(1+ρ), the paper's bound on send+process as measured on any
   /// non-faulty local timer.

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "harness/metrics.hpp"
@@ -83,39 +84,105 @@ bool metrics_equal(const RunMetrics& a, const RunMetrics& b) {
          a.max_tau_g_skew == b.max_tau_g_skew;
 }
 
-// The acceptance matrix: all six StackKinds × shards ∈ {1, 2, 4}, each
-// N-cycle alternating run bit-identical to its all-serial twin — run
-// digest, event/message counts, verdicts, latencies, AND the per-window
-// stabilization metrics.
-TEST(DutyCycleParity, EveryStackMatchesAllSerialAtEveryShardCount) {
+/// Every scheduling policy of the windowed engine; the alternating runs
+/// must be parity-clean under each (the adaptive per-segment shard counts
+/// and repartitioning only move work between workers, never change it).
+constexpr ShardSched kAllScheds[] = {ShardSched::kStatic, ShardSched::kBalance,
+                                     ShardSched::kSteal, ShardSched::kLax};
+
+// The acceptance matrix: all six StackKinds × shards ∈ {1, 2, 4} × every
+// shard_sched policy, each N-cycle alternating run bit-identical to its
+// all-serial twin — run digest, event/message counts, verdicts, latencies,
+// AND the per-window stabilization metrics.
+TEST(DutyCycleParity, EveryStackMatchesAllSerialAtEveryShardCountAndSched) {
   for (std::uint32_t k = 0; k < kStackKindCount; ++k) {
     const Scenario serial_sc = duty_scenario(StackKind(k), 0);
     const SweepRun serial = SweepRunner::run_cell(serial_sc, 21);
     for (std::uint32_t shards : {1u, 2u, 4u}) {
-      Scenario sc = duty_scenario(StackKind(k), shards);
-      const SweepRun run = SweepRunner::run_cell(sc, 21);
-      const char* stack = to_string(StackKind(k));
-      EXPECT_EQ(run.digest, serial.digest) << stack << " shards " << shards;
-      EXPECT_EQ(run.events, serial.events) << stack << " shards " << shards;
-      EXPECT_EQ(run.messages, serial.messages)
-          << stack << " shards " << shards;
-      EXPECT_EQ(run.pass, serial.pass) << stack << " shards " << shards;
-      EXPECT_TRUE(metrics_equal(run.agreement, serial.agreement))
-          << stack << " shards " << shards;
-      EXPECT_EQ(run.latency_ns, serial.latency_ns)
-          << stack << " shards " << shards;
-      ASSERT_EQ(run.windows.size(), serial.windows.size())
-          << stack << " shards " << shards;
-      for (std::size_t w = 0; w < run.windows.size(); ++w) {
-        EXPECT_EQ(run.windows[w].digest, serial.windows[w].digest)
-            << stack << " shards " << shards << " window " << w;
-        EXPECT_EQ(run.windows[w].events, serial.windows[w].events)
-            << stack << " shards " << shards << " window " << w;
-        EXPECT_EQ(run.windows[w].recovery, serial.windows[w].recovery)
-            << stack << " shards " << shards << " window " << w;
+      for (const ShardSched sched : kAllScheds) {
+        Scenario sc = duty_scenario(StackKind(k), shards);
+        sc.shard_sched = sched;
+        const SweepRun run = SweepRunner::run_cell(sc, 21);
+        const auto label = [&] {
+          return std::string(to_string(StackKind(k))) + " shards " +
+                 std::to_string(shards) + " sched " + to_string(sched);
+        };
+        EXPECT_EQ(run.digest, serial.digest) << label();
+        EXPECT_EQ(run.events, serial.events) << label();
+        EXPECT_EQ(run.messages, serial.messages) << label();
+        EXPECT_EQ(run.pass, serial.pass) << label();
+        EXPECT_TRUE(metrics_equal(run.agreement, serial.agreement))
+            << label();
+        EXPECT_EQ(run.latency_ns, serial.latency_ns) << label();
+        ASSERT_EQ(run.windows.size(), serial.windows.size()) << label();
+        for (std::size_t w = 0; w < run.windows.size(); ++w) {
+          EXPECT_EQ(run.windows[w].digest, serial.windows[w].digest)
+              << label() << " window " << w;
+          EXPECT_EQ(run.windows[w].events, serial.windows[w].events)
+              << label() << " window " << w;
+          EXPECT_EQ(run.windows[w].recovery, serial.windows[w].recovery)
+              << label() << " window " << w;
+        }
       }
     }
   }
+}
+
+// Adaptive per-segment shard counts: under a cost-aware policy each
+// serial→sharded migration re-sizes the stabilization segment from the
+// previous segment's event rate. The choice is derived from simulation
+// state only — parity must hold — and every segment's count must stay in
+// [1, configured]. Static keeps the configured count everywhere.
+TEST(DutyCycleParity, AdaptiveSegmentShardCountsStayParityClean) {
+  Scenario serial_sc = duty_scenario(StackKind::kAgree, 0);
+  const SweepRun serial = SweepRunner::run_cell(serial_sc, 21);
+
+  const auto run_duty = [&](ShardSched sched, const SweepRun& baseline) {
+    Scenario sc = duty_scenario(StackKind::kAgree, 4);
+    sc.seed = 21;  // the baseline cell's seed
+    sc.shard_sched = sched;
+    Cluster cluster(sc);
+    ASSERT_TRUE(cluster.sharded());
+    cluster.start();
+    auto* duty = dynamic_cast<DutyWorld*>(&cluster.world());
+    ASSERT_NE(duty, nullptr);
+    cluster.world().run_until(RealTime::zero() + sc.run_for);
+    EXPECT_EQ(evaluate_stack(cluster).digest, baseline.digest)
+        << to_string(sched);
+    EXPECT_EQ(cluster.world().dispatched(), baseline.events)
+        << to_string(sched);
+    // Three serial→sharded cuts (3, 43, 83 ms) ⇒ three sized segments.
+    const std::vector<std::uint32_t>& sizes = duty->segment_shards();
+    ASSERT_EQ(sizes.size(), 3u) << to_string(sched);
+    bool any_multi = false;
+    bool any_shrunk = false;
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      EXPECT_GE(sizes[i], 1u) << to_string(sched) << " segment " << i;
+      EXPECT_LE(sizes[i], 4u) << to_string(sched) << " segment " << i;
+      any_multi = any_multi || sizes[i] > 1;
+      any_shrunk = any_shrunk || sizes[i] < 4;
+      if (sched == ShardSched::kStatic) {
+        EXPECT_EQ(sizes[i], 4u) << "segment " << i;
+      }
+    }
+    if (sched != ShardSched::kStatic) {
+      // This workload's segments dispatch well under kEventsPerSegmentShard
+      // per shard — the rate estimator must have shrunk at least one
+      // segment below the configured count (threads cost more than they
+      // save here). Deterministic: the estimate reads simulation state only.
+      EXPECT_TRUE(any_shrunk) << to_string(sched);
+    }
+    // The aggregated scheduler stats cover every retired sharded segment;
+    // windows are only counted by the threaded (multi-shard) path.
+    const ShardSchedStats stats = duty->sched_stats();
+    if (sched == ShardSched::kStatic || any_multi) {
+      EXPECT_GT(stats.windows, 0u) << to_string(sched);
+    }
+    EXPECT_LE(stats.measured_windows, stats.windows) << to_string(sched);
+    EXPECT_GT(duty->migration_ns(), 0u) << to_string(sched);
+  };
+  run_duty(ShardSched::kStatic, serial);
+  run_duty(ShardSched::kBalance, serial);
 }
 
 // Piecewise stepping that lands EXACTLY on every cut — serial→sharded at

@@ -7,6 +7,7 @@
 // three plus the engine-selection degradations.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "harness/metrics.hpp"
@@ -70,59 +71,78 @@ bool metrics_equal(const RunMetrics& a, const RunMetrics& b) {
          a.max_tau_g_skew == b.max_tau_g_skew;
 }
 
-// The acceptance matrix: all six StackKinds × shards ∈ {1, 2, 4}, each
-// sharded run bit-identical to its serial twin on the same Scenario + seed.
-TEST(ShardDeterminism, EveryStackMatchesSerialAtEveryShardCount) {
+/// Every scheduling policy the windowed engine offers. The whole parity
+/// matrix runs under each one: the scheduler may only move work between
+/// workers, never change what the work computes.
+constexpr ShardSched kAllScheds[] = {ShardSched::kStatic, ShardSched::kBalance,
+                                     ShardSched::kSteal, ShardSched::kLax};
+
+// The acceptance matrix: all six StackKinds × shards ∈ {1, 2, 4} × every
+// shard_sched policy, each sharded run bit-identical to its serial twin on
+// the same Scenario + seed.
+TEST(ShardDeterminism, EveryStackMatchesSerialAtEveryShardCountAndSched) {
   for (std::uint32_t k = 0; k < kStackKindCount; ++k) {
     const Scenario serial_sc = shard_scenario(StackKind(k), 0);
     const SweepRun serial = SweepRunner::run_cell(serial_sc, 21);
     for (std::uint32_t shards : {1u, 2u, 4u}) {
-      Scenario sc = shard_scenario(StackKind(k), shards);
-      const SweepRun run = SweepRunner::run_cell(sc, 21);
-      const char* stack = to_string(StackKind(k));
-      EXPECT_EQ(run.digest, serial.digest) << stack << " shards " << shards;
-      EXPECT_EQ(run.events, serial.events) << stack << " shards " << shards;
-      EXPECT_EQ(run.messages, serial.messages)
-          << stack << " shards " << shards;
-      EXPECT_EQ(run.pass, serial.pass) << stack << " shards " << shards;
-      EXPECT_TRUE(metrics_equal(run.agreement, serial.agreement))
-          << stack << " shards " << shards;
-      EXPECT_EQ(run.latency_ns, serial.latency_ns)
-          << stack << " shards " << shards;
+      for (const ShardSched sched : kAllScheds) {
+        Scenario sc = shard_scenario(StackKind(k), shards);
+        sc.shard_sched = sched;
+        const SweepRun run = SweepRunner::run_cell(sc, 21);
+        const auto label = [&] {
+          return std::string(to_string(StackKind(k))) + " shards " +
+                 std::to_string(shards) + " sched " + to_string(sched);
+        };
+        EXPECT_EQ(run.digest, serial.digest) << label();
+        EXPECT_EQ(run.events, serial.events) << label();
+        EXPECT_EQ(run.messages, serial.messages) << label();
+        EXPECT_EQ(run.pass, serial.pass) << label();
+        EXPECT_TRUE(metrics_equal(run.agreement, serial.agreement)) << label();
+        EXPECT_EQ(run.latency_ns, serial.latency_ns) << label();
+      }
     }
   }
 }
 
 // A transient scramble (state + clocks + forged in-flight messages) is a
-// serial phase on both engines and must not break parity.
+// serial phase on both engines and must not break parity — under any
+// scheduling policy.
 TEST(ShardDeterminism, TransientScrambleMatchesSerial) {
   Scenario sc = shard_scenario(StackKind::kAgree, 0);
   sc.transient_scramble = true;
   sc.transient.spurious_per_node = 16;
   const SweepRun serial = SweepRunner::run_cell(sc, 5);
   sc.shards = 4;
-  const SweepRun run = SweepRunner::run_cell(sc, 5);
-  EXPECT_EQ(run.digest, serial.digest);
-  EXPECT_EQ(run.events, serial.events);
-  EXPECT_EQ(run.messages, serial.messages);
+  for (const ShardSched sched : kAllScheds) {
+    sc.shard_sched = sched;
+    const SweepRun run = SweepRunner::run_cell(sc, 5);
+    EXPECT_EQ(run.digest, serial.digest) << to_string(sched);
+    EXPECT_EQ(run.events, serial.events) << to_string(sched);
+    EXPECT_EQ(run.messages, serial.messages) << to_string(sched);
+  }
 }
 
 // Piecewise runs (start + repeated run_for) cross serial phases and window
-// phases repeatedly; the cut points must not be observable.
+// phases repeatedly; the cut points must not be observable — under any
+// scheduling policy.
 TEST(ShardDeterminism, PiecewiseRunsMatchOneShot) {
-  Scenario sc = shard_scenario(StackKind::kAgree, 4);
-  sc.seed = 9;
-  const SweepRun one_shot = SweepRunner::run_cell(sc, 9);
+  for (const ShardSched sched : kAllScheds) {
+    Scenario sc = shard_scenario(StackKind::kAgree, 4);
+    sc.seed = 9;
+    sc.shard_sched = sched;
+    const SweepRun one_shot = SweepRunner::run_cell(sc, 9);
 
-  Cluster cluster(sc);
-  ASSERT_TRUE(cluster.sharded());
-  cluster.start();
-  for (int step = 0; step < 10; ++step) {
-    cluster.world().run_for(sc.run_for / 10);
+    Cluster cluster(sc);
+    ASSERT_TRUE(cluster.sharded());
+    cluster.start();
+    for (int step = 0; step < 10; ++step) {
+      cluster.world().run_for(sc.run_for / 10);
+    }
+    const StackOutcome outcome = evaluate_stack(cluster);
+    EXPECT_EQ(outcome.digest, one_shot.digest) << to_string(sched);
+    EXPECT_EQ(cluster.world().dispatched(), one_shot.events)
+        << to_string(sched);
   }
-  const StackOutcome outcome = evaluate_stack(cluster);
-  EXPECT_EQ(outcome.digest, one_shot.digest);
-  EXPECT_EQ(cluster.world().dispatched(), one_shot.events);
 }
 
 // SweepRunner cells may themselves be sharded: a sweep over sharded cells
@@ -168,25 +188,28 @@ Scenario chaos_scenario(StackKind stack, std::uint32_t shards) {
 }
 
 // The acceptance matrix extended to chaos: all six StackKinds × shards
-// ∈ {1, 2, 4} with chaos_period > 0, each two-phase run bit-identical to
-// its all-serial twin.
-TEST(ShardChaosHandoff, EveryStackMatchesSerialAtEveryShardCount) {
+// ∈ {1, 2, 4} × every shard_sched policy with chaos_period > 0, each
+// two-phase run bit-identical to its all-serial twin.
+TEST(ShardChaosHandoff, EveryStackMatchesSerialAtEveryShardCountAndSched) {
   for (std::uint32_t k = 0; k < kStackKindCount; ++k) {
     const Scenario serial_sc = chaos_scenario(StackKind(k), 0);
     const SweepRun serial = SweepRunner::run_cell(serial_sc, 21);
     for (std::uint32_t shards : {1u, 2u, 4u}) {
-      Scenario sc = chaos_scenario(StackKind(k), shards);
-      const SweepRun run = SweepRunner::run_cell(sc, 21);
-      const char* stack = to_string(StackKind(k));
-      EXPECT_EQ(run.digest, serial.digest) << stack << " shards " << shards;
-      EXPECT_EQ(run.events, serial.events) << stack << " shards " << shards;
-      EXPECT_EQ(run.messages, serial.messages)
-          << stack << " shards " << shards;
-      EXPECT_EQ(run.pass, serial.pass) << stack << " shards " << shards;
-      EXPECT_TRUE(metrics_equal(run.agreement, serial.agreement))
-          << stack << " shards " << shards;
-      EXPECT_EQ(run.latency_ns, serial.latency_ns)
-          << stack << " shards " << shards;
+      for (const ShardSched sched : kAllScheds) {
+        Scenario sc = chaos_scenario(StackKind(k), shards);
+        sc.shard_sched = sched;
+        const SweepRun run = SweepRunner::run_cell(sc, 21);
+        const auto label = [&] {
+          return std::string(to_string(StackKind(k))) + " shards " +
+                 std::to_string(shards) + " sched " + to_string(sched);
+        };
+        EXPECT_EQ(run.digest, serial.digest) << label();
+        EXPECT_EQ(run.events, serial.events) << label();
+        EXPECT_EQ(run.messages, serial.messages) << label();
+        EXPECT_EQ(run.pass, serial.pass) << label();
+        EXPECT_TRUE(metrics_equal(run.agreement, serial.agreement)) << label();
+        EXPECT_EQ(run.latency_ns, serial.latency_ns) << label();
+      }
     }
   }
 }
@@ -218,11 +241,13 @@ TEST(ShardChaosHandoff, PiecewiseRunsCrossTheCutUnobserved) {
 // Sharded FaultInjector parity: a SECOND transient fault injected after the
 // handoff exercises inject_raw's forged-channel keys and the migrated
 // world-RNG stream position on the suffix engine — serial and sharded must
-// still agree bit-for-bit.
+// still agree bit-for-bit, whatever the scheduling policy.
 TEST(ShardChaosHandoff, PostHandoffFaultInjectionMatchesSerial) {
-  const auto run_with_midrun_fault = [](std::uint32_t shards) {
+  const auto run_with_midrun_fault = [](std::uint32_t shards,
+                                        ShardSched sched) {
     Scenario sc = chaos_scenario(StackKind::kAgree, shards);
     sc.seed = 33;
+    sc.shard_sched = sched;
     Cluster cluster(sc);
     cluster.start();
     cluster.world().run_until(RealTime::zero() + sc.chaos_period +
@@ -239,12 +264,18 @@ TEST(ShardChaosHandoff, PostHandoffFaultInjectionMatchesSerial) {
     return Out{evaluate_stack(cluster).digest, cluster.world().dispatched(),
                cluster.world().net_stats().forged};
   };
-  const auto serial = run_with_midrun_fault(0);
+  const auto serial = run_with_midrun_fault(0, ShardSched::kStatic);
   for (std::uint32_t shards : {2u, 4u}) {
-    const auto sharded = run_with_midrun_fault(shards);
-    EXPECT_EQ(sharded.digest, serial.digest) << "shards " << shards;
-    EXPECT_EQ(sharded.events, serial.events) << "shards " << shards;
-    EXPECT_EQ(sharded.forged, serial.forged) << "shards " << shards;
+    for (const ShardSched sched : kAllScheds) {
+      const auto sharded = run_with_midrun_fault(shards, sched);
+      const auto label = [&] {
+        return "shards " + std::to_string(shards) + " sched " +
+               to_string(sched);
+      };
+      EXPECT_EQ(sharded.digest, serial.digest) << label();
+      EXPECT_EQ(sharded.events, serial.events) << label();
+      EXPECT_EQ(sharded.forged, serial.forged) << label();
+    }
   }
 }
 
@@ -386,6 +417,112 @@ TEST(ShardEngineTest, SingleShardDirectConstructionMatchesSerial) {
   for (NodeId id = 0; id < wc.n; ++id) {
     EXPECT_EQ(sharded.local_now(id), serial.local_now(id)) << "node " << id;
   }
+}
+
+// --- adaptive scheduling pins ----------------------------------------------
+
+/// Self-clocking behavior whose work rate is its timer period — the knob
+/// that makes one node arbitrarily heavier than the rest.
+class SkewedTicker final : public NodeBehavior {
+ public:
+  explicit SkewedTicker(Duration period) : period_(period) {}
+  void on_start(NodeContext& ctx) override {
+    ctx.set_timer_after(period_, 1);
+  }
+  void on_message(NodeContext&, const WireMessage&) override {}
+  void on_timer(NodeContext& ctx, std::uint64_t) override {
+    ctx.send(NodeId((ctx.id() + 1) % ctx.n()), WireMessage{});
+    ctx.set_timer_after(period_, 1);
+  }
+
+ private:
+  Duration period_;
+};
+
+// A grossly skewed load (node 0 ticks 25× faster than the rest) on the
+// equal-width initial partition: the cost-aware policies must actually
+// repartition, and — the whole point of the design — the answer must not
+// move by a single event or nanosecond relative to the serial engine.
+TEST(ShardSchedTest, SkewedLoadForcesRepartitionAndKeepsParity) {
+  WorldConfig wc;
+  wc.n = 8;
+  wc.shards = 4;
+  wc.link_delay = DelayModel::uniform(microseconds(100), milliseconds(1));
+  wc.proc_delay = DelayModel::uniform(Duration::zero(), microseconds(50));
+  wc.has_delay_models = true;
+  const auto build = [&wc](WorldBase& w) {
+    for (NodeId id = 0; id < wc.n; ++id) {
+      w.set_behavior(id, std::make_unique<SkewedTicker>(
+                             id == 0 ? microseconds(200) : milliseconds(5)));
+    }
+  };
+  const RealTime horizon = RealTime::zero() + milliseconds(50);
+
+  World serial(wc);
+  build(serial);
+  serial.start();
+  serial.run_until(horizon);
+
+  for (const ShardSched sched :
+       {ShardSched::kBalance, ShardSched::kSteal, ShardSched::kLax}) {
+    WorldConfig swc = wc;
+    swc.shard_sched = sched;
+    ShardWorld sharded(swc);
+    ASSERT_EQ(sharded.shard_count(), 4u);
+    ASSERT_EQ(sharded.sched(), sched);
+    build(sharded);
+    sharded.start();
+    sharded.run_until(horizon);
+
+    const auto label = [&] { return std::string("sched ") + to_string(sched); };
+    EXPECT_EQ(sharded.now(), serial.now()) << label();
+    EXPECT_EQ(sharded.dispatched(), serial.dispatched()) << label();
+    EXPECT_EQ(sharded.net_stats().sent, serial.net_stats().sent) << label();
+    EXPECT_EQ(sharded.net_stats().delivered, serial.net_stats().delivered)
+        << label();
+    for (NodeId id = 0; id < wc.n; ++id) {
+      EXPECT_EQ(sharded.local_now(id), serial.local_now(id))
+          << label() << " node " << id;
+    }
+
+    const ShardSchedStats& st = sharded.sched_stats();
+    EXPECT_GT(st.windows, 0u) << label();
+    EXPECT_LE(st.measured_windows, st.windows) << label();
+    EXPECT_GE(st.imbalance_max, 1.0) << label();
+    // The skew dwarfs the 1.25× hysteresis threshold — every cost-aware
+    // policy must have rebalanced at least once over ~500 windows.
+    EXPECT_GE(st.repartitions, 1u) << label();
+    if (sched == ShardSched::kSteal) {
+      // An idle worker next to a 25×-hot shard must have stolen something.
+      EXPECT_GT(st.steals, 0u) << label();
+      EXPECT_GT(st.stolen_events, 0u) << label();
+      EXPECT_LE(st.stolen_events, sharded.dispatched()) << label();
+    }
+  }
+}
+
+// The zero-overhead contract of the default policy: a static ShardWorld
+// tracks no costs, never repartitions, never steals — the stats stay zero
+// apart from the window counter.
+TEST(ShardSchedTest, StaticPolicyKeepsSchedulerOff) {
+  WorldConfig wc;
+  wc.n = 8;
+  wc.shards = 4;
+  wc.link_delay = DelayModel::uniform(microseconds(100), milliseconds(1));
+  wc.proc_delay = DelayModel::uniform(Duration::zero(), microseconds(50));
+  wc.has_delay_models = true;
+  ShardWorld sharded(wc);
+  ASSERT_EQ(sharded.sched(), ShardSched::kStatic);
+  for (NodeId id = 0; id < wc.n; ++id) {
+    sharded.set_behavior(id, std::make_unique<SkewedTicker>(milliseconds(1)));
+  }
+  sharded.start();
+  sharded.run_until(RealTime::zero() + milliseconds(10));
+  const ShardSchedStats& st = sharded.sched_stats();
+  EXPECT_GT(st.windows, 0u);
+  EXPECT_EQ(st.repartitions, 0u);
+  EXPECT_EQ(st.steals, 0u);
+  EXPECT_EQ(st.stolen_events, 0u);
 }
 
 // --- per-entity stream regression pins -------------------------------------

@@ -18,6 +18,16 @@ committed in the repository:
     invalidates every measurement in the file.
   * metrics present in the baseline but missing fresh are hard failures
     too (a silently dropped bench is a silently dropped gate).
+  * ``speedup`` metrics are compared only when both artifacts report the
+    same top-level ``hardware_threads``: a parallel-engine speedup
+    measured on an 8-core runner says nothing against a 1-core baseline,
+    so a core-count mismatch warn-skips those comparisons instead of
+    failing them. With matching cores, a speedup below 0.9× of the
+    baseline warns and below ``--fail-ratio`` fails.
+  * ``imbalance_mean`` (per-window max/min worker dispatches from the
+    shard scheduler) fails when the fresh value is both > 2× the
+    baseline and > 1.2 — a cost-aware policy that stopped balancing is
+    a silent perf regression even when throughput wobble hides it.
 
 stdlib-only by design: CI runs it straight from the checkout.
 
@@ -37,6 +47,11 @@ import tempfile
 THROUGHPUT_SUFFIX = "events_per_sec"
 THROUGHPUT_EXTRA = ("scenarios_per_sec",)
 PARITY_KEYS = ("deterministic", "digest_parity", "parity")
+SPEEDUP_KEY = "speedup"
+IMBALANCE_KEY = "imbalance_mean"
+SPEEDUP_WARN_RATIO = 0.9
+IMBALANCE_FAIL_RATIO = 2.0
+IMBALANCE_FAIL_FLOOR = 1.2
 
 OK, WARN, FAIL = "ok", "WARN", "FAIL"
 
@@ -64,10 +79,35 @@ def is_parity(path):
     return path.rsplit(".", 1)[-1] in PARITY_KEYS
 
 
+def is_speedup(path):
+    return path.rsplit(".", 1)[-1] == SPEEDUP_KEY
+
+
+def is_imbalance(path):
+    return path.rsplit(".", 1)[-1] == IMBALANCE_KEY
+
+
+def hardware_threads(artifact):
+    return artifact.get("hardware_threads") if isinstance(artifact, dict) \
+        else None
+
+
 def check_file(name, baseline, fresh, fail_ratio, warn_ratio):
     """Compare one artifact; returns a list of (severity, message)."""
     results = []
     fresh_leaves = dict(walk(fresh))
+
+    # Speedups only transfer between machines with the same core count: a
+    # 1-core container legitimately measures ≈ 1× where an 8-core baseline
+    # measured 3×. Warn-skip those comparisons instead of failing them.
+    base_threads = hardware_threads(baseline)
+    fresh_threads = hardware_threads(fresh)
+    threads_differ = (base_threads is not None and fresh_threads is not None
+                      and base_threads != fresh_threads)
+    if threads_differ:
+        results.append(
+            (WARN, f"{name}: hardware_threads {fresh_threads} vs baseline "
+                   f"{base_threads} — speedup comparisons skipped"))
 
     # Digest parity: checked on the FRESH artifact — the baseline being
     # green is not evidence about this run.
@@ -88,9 +128,12 @@ def check_file(name, baseline, fresh, fail_ratio, warn_ratio):
                 (FAIL, f"{name}:{path} parity flag present in baseline but "
                        f"missing from the fresh artifact"))
             continue
-        if not is_throughput(path):
-            continue
         if not isinstance(base_value, (int, float)) or base_value <= 0:
+            continue
+        throughput = is_throughput(path)
+        speedup = is_speedup(path)
+        imbalance = is_imbalance(path)
+        if not (throughput or speedup or imbalance):
             continue
         fresh_value = fresh_leaves.get(path)
         if fresh_value is None:
@@ -98,12 +141,29 @@ def check_file(name, baseline, fresh, fail_ratio, warn_ratio):
                 (FAIL, f"{name}:{path} present in baseline but missing from "
                        f"the fresh artifact"))
             continue
+        if imbalance:
+            # Higher is worse here: imbalance is the scheduler's max/min
+            # per-worker dispatch ratio, 1.0 = perfectly balanced.
+            line = (f"{name}:{path} {float(fresh_value):.2f} vs baseline "
+                    f"{float(base_value):.2f}")
+            if (float(fresh_value) > IMBALANCE_FAIL_RATIO * float(base_value)
+                    and float(fresh_value) > IMBALANCE_FAIL_FLOOR):
+                results.append(
+                    (FAIL, f"{line} — shard imbalance regressed (> "
+                           f"{IMBALANCE_FAIL_RATIO}x baseline and > "
+                           f"{IMBALANCE_FAIL_FLOOR})"))
+            else:
+                results.append((OK, line))
+            continue
+        if speedup and threads_differ:
+            continue  # warned once above
         ratio = float(fresh_value) / float(base_value)
-        line = (f"{name}:{path} {float(fresh_value):.0f} vs baseline "
-                f"{float(base_value):.0f} ({ratio:.2f}x)")
+        line = (f"{name}:{path} {float(fresh_value):.2f} vs baseline "
+                f"{float(base_value):.2f} ({ratio:.2f}x)")
+        effective_warn = SPEEDUP_WARN_RATIO if speedup else warn_ratio
         if ratio < fail_ratio:
             results.append((FAIL, f"{line} — below the {fail_ratio}x floor"))
-        elif ratio < warn_ratio:
+        elif ratio < effective_warn:
             results.append((WARN, line))
         else:
             results.append((OK, line))
@@ -200,6 +260,36 @@ def self_test():
     del unparitied["sweep"]["deterministic"]
     checks.append(("dropped parity flag fails",
                    run_cli(GOOD_BASELINE, unparitied) != 0))
+
+    # 7. Speedups are skipped (warn only) when the core counts differ —
+    #    a 1-core container vs an 8-core baseline is not a regression.
+    shard_base = {
+        "hardware_threads": 8,
+        "rows": [{"n": 32, "sched": "steal", "speedup": 3.1,
+                  "imbalance_mean": 1.05, "parity": True}],
+    }
+    one_core = copy.deepcopy(shard_base)
+    one_core["hardware_threads"] = 1
+    one_core["rows"][0]["speedup"] = 0.97
+    checks.append(("speedup skipped on core-count mismatch",
+                   run_cli(shard_base, one_core) == 0))
+
+    # 8. With MATCHING core counts a collapsed speedup fails.
+    slow = copy.deepcopy(shard_base)
+    slow["rows"][0]["speedup"] = 0.9  # 0.29x of the 3.1 baseline
+    checks.append(("speedup collapse fails on same hardware",
+                   run_cli(shard_base, slow) != 0))
+
+    # 9. A scheduler that stopped balancing fails the imbalance gate…
+    skewed = copy.deepcopy(shard_base)
+    skewed["rows"][0]["imbalance_mean"] = 6.0
+    checks.append(("imbalance regression fails",
+                   run_cli(shard_base, skewed) != 0))
+    #    …but wobble above a near-1.0 baseline stays below the 1.2 floor.
+    wobble = copy.deepcopy(shard_base)
+    wobble["rows"][0]["imbalance_mean"] = 1.15
+    checks.append(("imbalance wobble under the floor passes",
+                   run_cli(shard_base, wobble) == 0))
 
     failed = [name for name, ok in checks if not ok]
     for name, ok in checks:

@@ -7,11 +7,16 @@
 //             [--adversary KIND] [--seed S] [--delta-us US] [--scramble]
 //             [--chaos-ms MS] [--chaos-count K] [--chaos-duty MS]
 //             [--proposals K] [--run-ms MS] [--depth D]
-//             [--shards S] [--link-min-us US] [--trace] [--verbose]
+//             [--shards S] [--shard-sched MODE] [--link-min-us US]
+//             [--trace] [--verbose]
 //
 // --shards S deploys on the conservative-parallel engine (S shards,
 // bit-identical results). It needs a lookahead: a link-delay distribution
-// with a positive minimum, e.g. --link-min-us 100. Without one the run
+// with a positive minimum, e.g. --link-min-us 100. --shard-sched picks the
+// scheduling policy for those shards — static (fixed equal blocks),
+// balance (cost-aware repartitioning), steal (deterministic work
+// stealing), or lax (slack-barrier windows); digests are identical under
+// every mode, and the adaptive ones print a scheduler report. Without one the run
 // degrades to the serial engine. Combined with --chaos-ms the run
 // alternates: each chaos window executes on the serial engine, the
 // complete in-flight state migrates to the windowed engine for the
@@ -51,6 +56,8 @@
 #include "harness/runner.hpp"
 #include "harness/sweep.hpp"
 #include "pulse/pulse_sync.hpp"
+#include "sim/duty_world.hpp"
+#include "sim/shard_world.hpp"
 #include "sim/tap.hpp"
 #include "util/csv.hpp"
 
@@ -65,12 +72,14 @@ using namespace ssbft;
                "          [--scramble] [--chaos-ms MS] [--chaos-count K]\n"
                "          [--chaos-duty MS] [--proposals K]\n"
                "          [--run-ms MS] [--depth D] [--shards S]\n"
-               "          [--link-min-us US] [--trace] [--verbose]\n"
+               "          [--shard-sched MODE] [--link-min-us US]\n"
+               "          [--trace] [--verbose]\n"
                "       %s --sweep [--sweep-n LIST] [--sweep-f LIST]\n"
                "          [--sweep-adversary LIST] [--seeds K] [--threads T]\n"
                "          [--csv PATH] [--json PATH]\n"
                "STACK: agree|pulse|clock|log|pipeline|tps\n"
-               "ADVERSARY: silent|noise|equivocate|stagger|spam|replay|faker\n",
+               "ADVERSARY: silent|noise|equivocate|stagger|spam|replay|faker\n"
+               "MODE: static|balance|steal|lax\n",
                argv0, argv0);
   std::exit(2);
 }
@@ -83,6 +92,14 @@ AdversaryKind parse_adversary(const std::string& name, const char* argv0) {
   if (name == "spam") return AdversaryKind::kSpamGeneral;
   if (name == "replay") return AdversaryKind::kReplay;
   if (name == "faker") return AdversaryKind::kQuorumFaker;
+  usage(argv0);
+}
+
+ShardSched parse_shard_sched(const std::string& name, const char* argv0) {
+  if (name == "static") return ShardSched::kStatic;
+  if (name == "balance") return ShardSched::kBalance;
+  if (name == "steal") return ShardSched::kSteal;
+  if (name == "lax") return ShardSched::kLax;
   usage(argv0);
 }
 
@@ -544,6 +561,8 @@ int main(int argc, char** argv) {
       sc.pipeline.depth = parse_u32(next(), argv[0], 1, 65'536);
     } else if (arg == "--shards") {
       sc.shards = parse_u32(next(), argv[0], 0, 4096);
+    } else if (arg == "--shard-sched") {
+      sc.shard_sched = parse_shard_sched(next(), argv[0]);
     } else if (arg == "--link-min-us") {
       link_min = microseconds(parse_u32(next(), argv[0], 1, 1'000'000'000));
     } else if (arg == "--trace") {
@@ -653,20 +672,50 @@ int main(int argc, char** argv) {
   const std::vector<ChaosWindow> chaos = sc.chaos_windows();
   if (cluster.sharded() && !chaos.empty()) {
     std::printf("engine: alternating (%zu chaos window(s) of %.1f ms on the "
-                "serial engine, stabilization on %u shards, lookahead "
-                "%.0f us)\n\n",
+                "serial engine, stabilization on %u shards, sched %s, "
+                "lookahead %.0f us)\n",
                 chaos.size(), sc.chaos_period.millis(), cluster.shards(),
+                to_string(sc.shard_sched),
                 cluster.world().config().lookahead().micros());
   } else if (cluster.sharded()) {
-    std::printf("engine: sharded (%u shards, lookahead %.0f us)\n\n",
-                cluster.shards(),
+    std::printf("engine: sharded (%u shards, sched %s, lookahead %.0f us)\n",
+                cluster.shards(), to_string(sc.shard_sched),
                 cluster.world().config().lookahead().micros());
   } else {
-    std::printf("engine: serial%s\n\n",
+    std::printf("engine: serial%s\n",
                 sc.shards > 1 ? " (no lookahead; --shards needs "
                                 "--link-min-us)"
                               : "");
   }
+  if (cluster.sharded() && sc.shard_sched != ShardSched::kStatic) {
+    // Scheduler observability: how balanced the windows ran and what the
+    // adaptive machinery did about it. Alternating runs also show the
+    // engine-switch overhead and the per-segment shard counts the adaptive
+    // sizing picked.
+    ShardSchedStats ss;
+    if (auto* duty = dynamic_cast<DutyWorld*>(&cluster.world())) {
+      ss = duty->sched_stats();
+      std::string segments;
+      for (const std::uint32_t s : duty->segment_shards()) {
+        if (!segments.empty()) segments += ',';
+        segments += std::to_string(s);
+      }
+      std::printf("sched: migrations %zu (%.2f ms switch overhead), "
+                  "segment shards [%s]\n",
+                  duty->migrations(), double(duty->migration_ns()) * 1e-6,
+                  segments.c_str());
+    } else if (auto* sharded = dynamic_cast<ShardWorld*>(&cluster.world())) {
+      ss = sharded->sched_stats();
+    }
+    std::printf("sched: %llu windows, imbalance mean %.2f max %.2f, "
+                "repartitions %llu, steals %llu (%llu events stolen)\n",
+                static_cast<unsigned long long>(ss.windows),
+                ss.imbalance_mean(), ss.imbalance_max,
+                static_cast<unsigned long long>(ss.repartitions),
+                static_cast<unsigned long long>(ss.steals),
+                static_cast<unsigned long long>(ss.stolen_events));
+  }
+  std::printf("\n");
 
   int exit_code = 0;
   switch (sc.stack) {
