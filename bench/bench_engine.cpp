@@ -28,9 +28,12 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <thread>
 
+#include "harness/runner.hpp"
 #include "harness/sweep.hpp"
 #include "harness/report.hpp"
+#include "harness/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/wire.hpp"
 #include "sim/world.hpp"
@@ -256,6 +259,42 @@ SweepResult measure_sweeps(std::uint32_t seeds) {
   return result;
 }
 
+// -------------------------------------------------------- trace cost --
+
+/// Events/sec of the scenario hot path with tracing compiled in but
+/// disarmed (Scenario::trace = false, the shipping default) vs armed.
+/// The disarmed figure is the perf-gated one: emission sites cost one
+/// thread-local load and a branch, so it must track the untraced baseline
+/// within noise (tools/bench_check.py fails a >5% dip on identical
+/// hardware). The armed figure documents what full recording costs.
+struct TraceOverheadResult {
+  double off_eps = 0;
+  double on_eps = 0;
+};
+
+TraceOverheadResult measure_trace_overhead() {
+  const auto events_per_sec = [](bool traced) {
+    double best = 0;
+    for (int pass = 0; pass < 3; ++pass) {  // best-of-three, like the others
+      Scenario sc = engine_scenario();
+      sc.trace = traced;
+      Cluster cluster(sc);
+      const auto start = std::chrono::steady_clock::now();
+      cluster.run();
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      best = std::max(best, double(cluster.world().dispatched()) / secs);
+    }
+    return best;
+  };
+  TraceOverheadResult r;
+  r.off_eps = events_per_sec(false);
+  r.on_eps = events_per_sec(true);
+  return r;
+}
+
 void print_and_record() {
   std::printf("\nengine: raw dispatch — slab event core vs seed design "
               "(std::function heap in a copying priority_queue)\n");
@@ -288,6 +327,16 @@ void print_and_record() {
   }
   timer_table.print();
 
+  const TraceOverheadResult trace = measure_trace_overhead();
+  std::printf("\nengine: tracing cost — disarmed emission sites vs full "
+              "recording (SSBFT_TRACING=%d)\n", SSBFT_TRACING);
+  std::printf("tracing off: %.2f Mevents/s   tracing on: %.2f Mevents/s "
+              "(%.1f%% overhead when armed)\n",
+              trace.off_eps / 1e6, trace.on_eps / 1e6,
+              trace.off_eps > 0
+                  ? (1.0 - trace.on_eps / trace.off_eps) * 100.0
+                  : 0.0);
+
   const SweepResult sweeps = measure_sweeps(40);
   std::printf("\nengine: scenario hot path (n=7, f=2, noise adversary, one "
               "agreement per run)\n");
@@ -303,6 +352,7 @@ void print_and_record() {
     std::fprintf(
         out,
         "{\n"
+        "  \"hardware_threads\": %u,\n"
         "  \"raw_dispatch\": {\n"
         "    \"in_flight_64\": {\"legacy_events_per_sec\": %.0f, "
         "\"slab_events_per_sec\": %.0f, \"speedup\": %.3f},\n"
@@ -321,6 +371,10 @@ void print_and_record() {
         "    \"events_per_sec\": %.0f,\n"
         "    \"latency_p50_ms\": %.6f\n"
         "  },\n"
+        "  \"trace_overhead\": {\n"
+        "    \"traceoff_events_per_sec\": %.0f,\n"
+        "    \"traceon_events_per_sec\": %.0f\n"
+        "  },\n"
         "  \"sweep\": {\n"
         "    \"scenarios_per_sec_t1\": %.2f,\n"
         "    \"scenarios_per_sec_t2\": %.2f,\n"
@@ -328,6 +382,7 @@ void print_and_record() {
         "    \"deterministic\": %s\n"
         "  }\n"
         "}\n",
+        std::thread::hardware_concurrency(),
         raw_small.legacy_eps, raw_small.slab_eps, raw_small.speedup(),
         raw_large.legacy_eps, raw_large.slab_eps, raw_large.speedup(),
         timer_rows[0].heap_eps, timer_rows[0].wheel_eps,
@@ -336,6 +391,7 @@ void print_and_record() {
         timer_rows[2].heap_eps, timer_rows[2].wheel_eps,
         timer_rows[2].speedup(),
         sweeps.events_per_sec_serial, sweeps.latency_p50_ms,
+        trace.off_eps, trace.on_eps,
         sweeps.scenarios_per_sec[0], sweeps.scenarios_per_sec[1],
         sweeps.scenarios_per_sec[2], sweeps.deterministic ? "true" : "false");
     std::fclose(out);

@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "harness/trace.hpp"
 #include "util/assert.hpp"
 
 namespace ssbft {
@@ -64,6 +65,11 @@ void SsByzAgree::on_i_accept(Value m, LocalTime tau_g) {
   const LocalTime now = ctx.local_now();
   tau_g_ = tau_g;
   ia_value_ = m;
+  // Round span: anchored (I-accept fixed τG) → return. Async, keyed by
+  // (node, General): one node may serve many Generals' instances at once.
+  trace::async_begin(TraceLayer::kProtocol, TraceName::kAgreeRound,
+                     (std::uint64_t(ctx.id()) << 32) | general_.node, ctx.id(),
+                     std::int64_t(m));
   // Decay stale accepts_ before anchoring: scrambled accept records from a
   // transient fault must not feed Block S when the replay below re-enters
   // check_block_s (the per-message cleanup never ran if this instance was
@@ -122,6 +128,8 @@ void SsByzAgree::on_bcast_accept(NodeId p, Value m, std::uint32_t k) {
   auto& rec = accepts_[m];
   rec.rounds[k].insert(p);
   rec.last_update = ctx.local_now();
+  trace::instant(TraceLayer::kProtocol, TraceName::kQuorumProgress, ctx.id(),
+                 std::int64_t(k));
   if (!returned_ && tau_g_.has_value()) check_block_s(ctx);
 }
 
@@ -270,6 +278,9 @@ void SsByzAgree::do_return(NodeContext& ctx, Value value) {
   result.tau_g = tau_g_.value_or(LocalTime{});
   result.returned_at = ctx.local_now();
   last_result_ = result;
+  trace::async_end(TraceLayer::kProtocol, TraceName::kAgreeRound,
+                   (std::uint64_t(ctx.id()) << 32) | general_.node, ctx.id(),
+                   std::int64_t(value));
   ctx.log().logf(LogLevel::kDebug, ctx.id(),
                  "return (G=%u, value=%llu, decided=%d)", general_.node,
                  static_cast<unsigned long long>(value),

@@ -1,5 +1,6 @@
 #include "harness/probe.hpp"
 
+#include "harness/trace.hpp"
 #include "util/assert.hpp"
 
 namespace ssbft {
@@ -21,32 +22,62 @@ void ProbeHub::attach(Probe* probe) {
   probes_.push_back(probe);
 }
 
+// Trace emission rides the publication path: every stream already funnels
+// through the hub with a real-time stamp, so one emit_at per record covers
+// all six stacks without touching protocol code. Publication happens on the
+// dispatching thread, whose trace context the engine armed (or didn't — the
+// emits below are no-ops on untraced runs).
+
 void ProbeHub::on_decision(const TimedDecision& d) {
+  trace::emit_at(d.real_at, TraceLayer::kProtocol, TraceName::kDecision,
+                 TraceKind::kInstant, d.decision.node, 0,
+                 std::int64_t(d.decision.value));
   const std::lock_guard<std::mutex> lock(mutex_);
   for (Probe* p : probes_) p->on_decision(d);
 }
 
 void ProbeHub::on_proposal(const TimedProposal& p) {
+  // Log commit latency span: propose → first commit (closed in on_commit;
+  // the writer drops surplus ends from the other replicas and auto-closes
+  // proposals that never commit).
+  trace::emit_at(p.real_at, TraceLayer::kProtocol, TraceName::kLogCommit,
+                 TraceKind::kAsyncBegin, p.general, p.value,
+                 std::int64_t(p.status));
   const std::lock_guard<std::mutex> lock(mutex_);
   for (Probe* probe : probes_) probe->on_proposal(p);
 }
 
 void ProbeHub::on_pulse(const TimedPulse& p) {
+  trace::emit_at(p.real_at, TraceLayer::kProtocol, TraceName::kPulse,
+                 TraceKind::kInstant, p.node, 0,
+                 std::int64_t(p.event.counter));
   const std::lock_guard<std::mutex> lock(mutex_);
   for (Probe* probe : probes_) probe->on_pulse(p);
 }
 
 void ProbeHub::on_adjustment(const TimedAdjustment& a) {
+  trace::emit_at(a.real_at, TraceLayer::kProtocol, TraceName::kClockSnap,
+                 TraceKind::kInstant, a.node, 0,
+                 a.adjustment.amount.ns());
   const std::lock_guard<std::mutex> lock(mutex_);
   for (Probe* p : probes_) p->on_adjustment(a);
 }
 
 void ProbeHub::on_commit(const TimedCommit& c) {
+  trace::emit_at(c.real_at, TraceLayer::kProtocol, TraceName::kCommit,
+                 TraceKind::kInstant, c.node, 0,
+                 std::int64_t(c.entry.command));
+  trace::emit_at(c.real_at, TraceLayer::kProtocol, TraceName::kLogCommit,
+                 TraceKind::kAsyncEnd, c.node, c.entry.command,
+                 std::int64_t(c.entry.slot));
   const std::lock_guard<std::mutex> lock(mutex_);
   for (Probe* p : probes_) p->on_commit(c);
 }
 
 void ProbeHub::on_delivery(const TimedDelivery& d) {
+  trace::emit_at(d.real_at, TraceLayer::kProtocol, TraceName::kDelivery,
+                 TraceKind::kInstant, d.node, 0,
+                 std::int64_t(d.entry.slot));
   const std::lock_guard<std::mutex> lock(mutex_);
   for (Probe* p : probes_) p->on_delivery(d);
 }

@@ -7,7 +7,10 @@
 // event (which the nodes themselves never see). The Cluster wires the
 // stack's sinks into a Probe at build time; RecordingProbe accumulates the
 // streams for post-run analysis, and ProbeHub fans events out to any number
-// of additional observers (live dashboards, trace writers, assertions).
+// of additional observers (assertions, live dashboards). The hub is also
+// where the structured tracer (harness/trace.hpp) taps the protocol
+// streams: every publication doubles as a timeline record, exported by
+// TraceWriter as Perfetto JSON via `ssbft_cli --trace out.json`.
 #pragma once
 
 #include <mutex>

@@ -4,6 +4,7 @@
 
 #include "adversary/adversaries.hpp"
 #include "harness/stack_registry.hpp"
+#include "harness/trace.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/duty_world.hpp"
 #include "sim/shard_world.hpp"
@@ -81,6 +82,10 @@ void Cluster::build() {
   wc.shards = scenario_.shards;
   wc.shard_sched = scenario_.shard_sched;
   wc.timer_wheel = scenario_.timer_wheel;
+  if (scenario_.trace) {
+    tracer_ = std::make_unique<Tracer>();
+    wc.tracer = tracer_.get();
+  }
   wc.resolve_delay_models();
   // A malformed chaos duty cycle (overlapping windows, negative knobs)
   // must never silently run — refuse at build time. Degenerate-but-sound
@@ -140,6 +145,8 @@ void Cluster::inject(NodeId target, Value value) {
       StackRegistry::instance().entry(scenario_.stack).injector;
   if (!injector) return;  // self-clocking stack: no external workload
   const auto status = injector(*behavior, value);
+  trace::instant(TraceLayer::kWorkload, TraceName::kInject, target,
+                 std::int64_t(value));
   if (status) {
     hub_.on_proposal(TimedProposal{world_->now(), target, value, *status});
   }

@@ -19,6 +19,8 @@
 
 namespace ssbft {
 
+class Tracer;  // harness/trace.hpp
+
 class Cluster {
  public:
   explicit Cluster(const Scenario& scenario);
@@ -78,6 +80,9 @@ class Cluster {
   [[nodiscard]] const RecordingProbe& probe() const { return recording_; }
   /// Attach an additional observer (not owned; must outlive the run).
   void add_probe(Probe* probe) { hub_.attach(probe); }
+  /// The structured-trace collector, or nullptr unless Scenario::trace was
+  /// set. Export with TraceWriter::write_json after the run.
+  [[nodiscard]] Tracer* tracer() const { return tracer_.get(); }
 
   /// Convenience accessors for the agreement streams (every stack publishes
   /// them — for layered stacks, via the embedded agreement node's tap).
@@ -99,6 +104,9 @@ class Cluster {
   // must outlive every behavior the world owns.
   ProbeHub hub_;
   RecordingProbe recording_;
+  // Tracer before the world: engines cache per-thread buffers while
+  // dispatching, so the collector must outlive the engine.
+  std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<WorldBase> world_;
   std::vector<NodeBehavior*> stack_nodes_;  // indexed by NodeId, may be null
   std::uint32_t correct_count_ = 0;

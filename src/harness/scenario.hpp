@@ -171,6 +171,12 @@ struct Scenario {
   /// Node timers ride the hierarchical timer wheel (WorldConfig doc).
   /// false ⇒ legacy heap-resident timers; observable histories identical.
   bool timer_wheel = true;
+  /// Record a structured trace of the run (harness/trace.hpp): protocol
+  /// round spans, engine window/steal/migration events, workload and chaos
+  /// instants. Observation only — digests are bit-identical either way
+  /// (test_trace pins it); read the timeline via Cluster::tracer() and
+  /// export with TraceWriter. Builds with -DSSBFT_TRACING=0 record nothing.
+  bool trace = false;
 
   [[nodiscard]] Params make_params() const;
   [[nodiscard]] bool is_byzantine(NodeId id) const;

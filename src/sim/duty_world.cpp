@@ -5,6 +5,7 @@
 #include <cmath>
 #include <utility>
 
+#include "harness/trace.hpp"
 #include "util/assert.hpp"
 
 namespace ssbft {
@@ -27,6 +28,22 @@ DutyWorld::DutyWorld(WorldConfig config,
     }
     cuts_.push_back(w.end);
   }
+#if SSBFT_TRACING
+  if (config_.tracer != nullptr) {
+    // The whole chaos schedule is known up front; emit the window spans now
+    // so the timeline shows them even if the run stops early. The writer
+    // auto-closes / clips nothing here — both edges are real schedule times.
+    TraceBuffer* buf = config_.tracer->keyed_buffer(kLaneDuty);
+    for (const ChaosWindow& w : windows_) {
+      buf->push(TraceRecord{w.start.ns(), 0, 0, kLaneDuty,
+                            TraceName::kChaosWindow, TraceKind::kSpanBegin,
+                            TraceLayer::kEngine});
+      buf->push(TraceRecord{w.end.ns(), 0, 0, kLaneDuty,
+                            TraceName::kChaosWindow, TraceKind::kSpanEnd,
+                            TraceLayer::kEngine});
+    }
+  }
+#endif
   if (windows_.front().start == RealTime::zero()) {
     serial_ = std::make_unique<World>(config_);
     // Before ANY traffic: in-flight messages must be exportable at the cut.
@@ -74,6 +91,7 @@ void DutyWorld::migrate_to(RealTime cut) {
   // deliveries for the NEXT export; on the final segment the tracking slab
   // (pure overhead by then) stays off.
   const bool more = cursor_ < cuts_.size();
+  [[maybe_unused]] const bool to_sharded = serial_ != nullptr;
   // Drain the retiring segment first (that is dispatch work, not switch
   // overhead), then clock the export → adopt → re-register span.
   if (serial_) {
@@ -85,9 +103,11 @@ void DutyWorld::migrate_to(RealTime cut) {
     sharded_->run_before(cut);
   }
   const auto wall_start = std::chrono::steady_clock::now();
+  auto wall_export = wall_start;
   if (serial_) {
     WorldMigration m = serial_->export_migration();
     serial_.reset();
+    wall_export = std::chrono::steady_clock::now();
     // Adaptive policies size the stabilization segment's shard count from
     // the chaos segment's event rate; static keeps the configured count.
     WorldConfig wc = config_;
@@ -100,6 +120,7 @@ void DutyWorld::migrate_to(RealTime cut) {
     sched_total_ += sharded_->sched_stats();
     WorldMigration m = sharded_->export_migration();
     sharded_.reset();
+    wall_export = std::chrono::steady_clock::now();
     serial_ = std::make_unique<World>(config_, std::move(m), more);
     // Window membership is decided at SEND time against absolute real time,
     // so the full schedule transfers as-is; the cursor re-advances cheaply.
@@ -117,10 +138,39 @@ void DutyWorld::migrate_to(RealTime cut) {
       sharded_->schedule_keyed(a.when, a.key, a.target, std::move(wrapper));
     }
   }
-  migration_ns_ += std::uint64_t(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - wall_start)
-          .count());
+  const auto wall_end = std::chrono::steady_clock::now();
+  const auto ns_between = [](auto from, auto to) {
+    return std::int64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            to - from)
+                            .count());
+  };
+  migration_ns_ += std::uint64_t(ns_between(wall_start, wall_end));
+#if SSBFT_TRACING
+  if (config_.tracer != nullptr) {
+    // The migration is a simulation-time instant (everything lands at the
+    // cut), so the spans are zero-width on the timeline; the wall-clock cost
+    // of each half rides in the args instead.
+    TraceBuffer* buf = config_.tracer->keyed_buffer(kLaneDuty);
+    const TraceName name = to_sharded ? TraceName::kMigrateToSharded
+                                      : TraceName::kMigrateToSerial;
+    const std::int64_t cut_ns = cut.ns();
+    buf->push(TraceRecord{cut_ns, 0, ns_between(wall_start, wall_end),
+                          kLaneDuty, name, TraceKind::kSpanBegin,
+                          TraceLayer::kEngine});
+    buf->push(TraceRecord{cut_ns, 0, ns_between(wall_start, wall_export),
+                          kLaneDuty, TraceName::kMigrateExport,
+                          TraceKind::kSpanBegin, TraceLayer::kEngine});
+    buf->push(TraceRecord{cut_ns, 0, 0, kLaneDuty, TraceName::kMigrateExport,
+                          TraceKind::kSpanEnd, TraceLayer::kEngine});
+    buf->push(TraceRecord{cut_ns, 0, ns_between(wall_export, wall_end),
+                          kLaneDuty, TraceName::kMigrateAdopt,
+                          TraceKind::kSpanBegin, TraceLayer::kEngine});
+    buf->push(TraceRecord{cut_ns, 0, 0, kLaneDuty, TraceName::kMigrateAdopt,
+                          TraceKind::kSpanEnd, TraceLayer::kEngine});
+    buf->push(TraceRecord{cut_ns, 0, 0, kLaneDuty, name, TraceKind::kSpanEnd,
+                          TraceLayer::kEngine});
+  }
+#endif
   // Rate-estimation bookkeeping: the next segment starts at this cut.
   segment_dispatch_base_ = dispatched();
   segment_start_ = cut;

@@ -123,6 +123,10 @@ class EventQueue {
   /// Current simulation time (time of the last dispatched event).
   [[nodiscard]] RealTime now() const { return now_; }
 
+  /// Stable pointer to the clock, for observers that sample it across many
+  /// dispatches (the tracer's armed Scope). Valid for the queue's lifetime.
+  [[nodiscard]] const RealTime* now_ptr() const { return &now_; }
+
   /// Number of events dispatched so far.
   [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "harness/trace.hpp"
 #include "util/assert.hpp"
 
 namespace ssbft {
@@ -121,6 +122,8 @@ void Network::inject_raw(NodeId dest, WireMessage msg, Duration delay) {
   SSBFT_EXPECTS(dest < n_);
   ++stats_.forged;
   tap(TapEvent::Kind::kForged, kNoNode, dest, msg);
+  trace::instant(TraceLayer::kWorkload, TraceName::kForged, dest,
+                 std::int64_t(delay.ns()));
   schedule_delivery(queue_.now() + delay, EventKey{kForgedCreator, forged_seq_++},
                     dest, msg, /*forged=*/true);
 }
@@ -133,18 +136,23 @@ void Network::route(NodeId from, NodeId dest, WireMessage msg) {
     if (rng.next_bool(chaos_.drop_prob)) {
       ++stats_.dropped;
       tap(TapEvent::Kind::kDropped, msg.sender, dest, msg);
+      trace::instant(TraceLayer::kWorkload, TraceName::kChaosDrop, dest);
       return;
     }
     if (rng.next_bool(chaos_.corrupt_prob)) {
       // A faulty network may tamper with anything, including the sender.
       corrupt(from, msg);
       ++stats_.corrupted;
+      trace::instant(TraceLayer::kWorkload, TraceName::kChaosCorrupt, dest);
     }
     const Duration delay{rng.next_in(0, chaos_.max_delay.ns())};
+    trace::instant(TraceLayer::kWorkload, TraceName::kChaosDelay, dest,
+                   std::int64_t(delay.ns()));
     schedule_delivery(queue_.now() + delay, next_key(from), dest, msg,
                       /*forged=*/false);
     if (rng.next_bool(chaos_.duplicate_prob)) {
       ++stats_.duplicated;
+      trace::instant(TraceLayer::kWorkload, TraceName::kChaosDuplicate, dest);
       const Duration dup_delay{rng.next_in(0, chaos_.max_delay.ns())};
       schedule_delivery(queue_.now() + dup_delay, next_key(from), dest, msg,
                         /*forged=*/false);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "harness/trace.hpp"
 #include "sim/shard_world.hpp"
 #include "util/assert.hpp"
 
@@ -403,6 +404,7 @@ void Shard::fire_timer(TimerHandle handle) {
 }
 
 void Shard::process_until(RealTime end, bool inclusive) {
+  const trace::Scope traced(world_.config().tracer, queue_.now_ptr());
   logger_.set_now(queue_.now());
   while (true) {
     // Hand due timers to the queue inside the window (same shared policy
@@ -440,6 +442,7 @@ void Shard::build_steal_items(RealTime end, bool inclusive) {
 
 std::uint64_t Shard::run_node_window(NodeId id, RealTime end, bool inclusive) {
   EventQueue& queue = node_queue(id);
+  const trace::Scope traced(world_.config().tracer, queue.now_ptr());
   ShardWorld::ExecContext* exec = ShardWorld::tl_exec_;
   const std::uint64_t before = queue.dispatched();
   while (!queue.empty()) {

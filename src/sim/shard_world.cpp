@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "harness/trace.hpp"
 #include "util/assert.hpp"
 
 namespace ssbft {
@@ -173,6 +174,7 @@ NodeBehavior* ShardWorld::behavior(NodeId id) {
 
 void ShardWorld::start() {
   started_ = true;
+  const trace::Scope traced(config_.tracer, &global_now_);
   // Same node order as the serial World::start — on_start handlers may send
   // immediately, and those sends must mint the same keys and stream draws.
   for (NodeId id = 0; id < config_.n; ++id) shard_of(id).start_node(id);
@@ -288,14 +290,33 @@ EventQueue& ShardWorld::queue() {
 }
 
 void ShardWorld::account_window() {
-  std::uint64_t max_e = 0;
-  std::uint64_t min_e = std::numeric_limits<std::uint64_t>::max();
-  std::uint64_t total = 0;
+  // Owner-attributed view: a node's queue stays resident on its owning
+  // shard even when a thief worker runs it, so each shard's dispatched()
+  // delta counts the work its OWN nodes consumed this window regardless of
+  // which worker executed it. This is the load signal boundaries can act
+  // on — moving nodes changes owner load, not worker luck.
+  std::uint64_t owner_max = 0;
+  std::uint64_t owner_min = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t owner_total = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::uint64_t d = shards_[s]->dispatched();
+    const std::uint64_t e = d - last_shard_dispatched_[s];
+    last_shard_dispatched_[s] = d;
+    owner_max = std::max(owner_max, e);
+    owner_min = std::min(owner_min, e);
+    owner_total += e;
+  }
+  std::uint64_t max_e = owner_max;
+  std::uint64_t min_e = owner_min;
+  std::uint64_t total = owner_total;
   if (sched_ == ShardSched::kSteal) {
-    // Steal windows spread one shard's nodes across many workers, so the
-    // balance that matters (and that stealing is supposed to fix) is
-    // per-WORKER dispatches. Fold the exec-context counters into the world
-    // totals while we are single-threaded at the barrier.
+    // Executor view: steal windows spread one shard's nodes across many
+    // workers, so per-WORKER dispatches measure what stealing achieved.
+    // Fold the exec-context counters into the world totals while we are
+    // single-threaded at the barrier.
+    max_e = 0;
+    min_e = std::numeric_limits<std::uint64_t>::max();
+    total = 0;
     for (auto& exec : exec_) {
       const std::uint64_t e = exec->window_events;
       exec->window_events = 0;
@@ -309,29 +330,64 @@ void ShardWorld::account_window() {
       min_e = std::min(min_e, e);
       total += e;
     }
-  } else {
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-      const std::uint64_t d = shards_[s]->dispatched();
-      const std::uint64_t e = d - last_shard_dispatched_[s];
-      last_shard_dispatched_[s] = d;
-      max_e = std::max(max_e, e);
-      min_e = std::min(min_e, e);
-      total += e;
-    }
   }
   ++sched_stats_.windows;
-  if (total == 0) return;  // empty windows say nothing about balance
+  if (total == 0 && owner_total == 0) {
+    return;  // empty windows say nothing about balance
+  }
   const double imbalance =
       double(max_e) / double(std::max<std::uint64_t>(min_e, 1));
+  const double owner_imbalance =
+      double(owner_max) / double(std::max<std::uint64_t>(owner_min, 1));
   ++sched_stats_.measured_windows;
+  sched_stats_.window_events += std::max(total, owner_total);
   sched_stats_.imbalance_max = std::max(sched_stats_.imbalance_max, imbalance);
   sched_stats_.imbalance_sum += imbalance;
-  hysteresis_sum_ += imbalance;
+  sched_stats_.owner_imbalance_max =
+      std::max(sched_stats_.owner_imbalance_max, owner_imbalance);
+  sched_stats_.owner_imbalance_sum += owner_imbalance;
+  // The repartition hysteresis feeds on the OWNER view: under kSteal the
+  // thieves equalize the executor counts, which used to mask exactly the
+  // skew the repartitioner exists to remove — heavy stealing looked like
+  // balance, so the boundaries never moved and every window paid the steal
+  // overhead again.
+  hysteresis_sum_ += owner_imbalance;
   ++hysteresis_windows_;
+#if SSBFT_TRACING
+  if (config_.tracer != nullptr) {
+    // Retroactive window span: emitted once per accounted window, from the
+    // single-threaded barrier-completion step. A keyed buffer (not the
+    // thread buffer): completion runs on whichever worker arrives last, and
+    // the merge order must not depend on that race.
+    TraceBuffer* buf = config_.tracer->keyed_buffer(kLaneWindows);
+    const std::int64_t events = std::int64_t(std::max(total, owner_total));
+    buf->push(TraceRecord{window_start_.ns(), 0, events, kLaneWindows,
+                          TraceName::kWindow, TraceKind::kSpanBegin,
+                          TraceLayer::kEngine});
+    buf->push(TraceRecord{window_end_.ns(), 0, events, kLaneWindows,
+                          TraceName::kWindow, TraceKind::kSpanEnd,
+                          TraceLayer::kEngine});
+    buf->push(TraceRecord{window_end_.ns(), 0, events, kLaneWindows,
+                          TraceName::kWindowEvents, TraceKind::kCounter,
+                          TraceLayer::kEngine});
+    buf->push(TraceRecord{window_end_.ns(), 0,
+                          std::int64_t(owner_imbalance * 1000.0), kLaneWindows,
+                          TraceName::kOwnerImbalance, TraceKind::kCounter,
+                          TraceLayer::kEngine});
+  }
+#endif
 }
 
 void ShardWorld::repartition() {
   ++sched_stats_.repartitions;
+#if SSBFT_TRACING
+  if (config_.tracer != nullptr) {
+    // Keyed buffer: plan-time work runs on the last worker to arrive.
+    config_.tracer->keyed_buffer(kLaneWindows)->push(TraceRecord{
+        window_end_.ns(), 0, std::int64_t(shards_.size()), kLaneWindows,
+        TraceName::kRepartition, TraceKind::kInstant, TraceLayer::kEngine});
+  }
+#endif
   // Tear the live shards down exactly like an engine handoff, except the
   // snapshot never leaves this engine: fold counters, export deliveries /
   // timers / nodes, rebuild on cost-balanced boundaries, re-adopt.
@@ -515,6 +571,14 @@ void ShardWorld::run_steal_window(std::uint32_t worker) {
     if (victim != worker) {
       ++exec->steals;
       exec->stolen_events += ran;
+#if SSBFT_TRACING
+      if (config_.tracer != nullptr) {
+        config_.tracer->emit(TraceRecord{
+            window_start_.ns(), node, std::int64_t(ran),
+            kLaneWorker0 + worker, TraceName::kSteal, TraceKind::kInstant,
+            TraceLayer::kEngine});
+      }
+#endif
     }
   }
   exec->window_events += events;
@@ -548,6 +612,14 @@ void ShardWorld::lax_run(Shard* shard) {
     shard->process_until(horizon, /*inclusive=*/false);
     mine = horizon.ns();
     lax_frontier_[self].store(mine, std::memory_order_release);
+#if SSBFT_TRACING
+    if (config_.tracer != nullptr) {
+      config_.tracer->emit(TraceRecord{mine, 0, 0, kLaneWorker0 + self,
+                                       TraceName::kLaxPublish,
+                                       TraceKind::kInstant,
+                                       TraceLayer::kEngine});
+    }
+#endif
   }
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "harness/trace.hpp"
 #include "util/assert.hpp"
 
 namespace ssbft {
@@ -184,6 +185,7 @@ NodeBehavior* World::behavior(NodeId id) {
 
 void World::start() {
   started_ = true;
+  const trace::Scope traced(config_.tracer, queue_.now_ptr());
   for (auto& slot : nodes_) {
     if (slot.behavior && !slot.started) {
       slot.behavior->on_start(*slot.context);
@@ -214,6 +216,7 @@ void World::fire_timer(TimerHandle handle) {
 
 void World::run_until(RealTime t) {
   SSBFT_EXPECTS(!exported_);
+  const trace::Scope traced(config_.tracer, queue_.now_ptr());
   logger_.set_now(queue_.now());
   while (true) {
     // Batched hand-over (timer_pump_bound): due wheel timers move to the
@@ -234,6 +237,7 @@ void World::run_until(RealTime t) {
 
 void World::run_before(RealTime t) {
   SSBFT_EXPECTS(!exported_);
+  const trace::Scope traced(config_.tracer, queue_.now_ptr());
   logger_.set_now(queue_.now());
   while (true) {
     const RealTime bound = timer_pump_bound(queue_, timers_, t);
@@ -280,6 +284,7 @@ WorldMigration World::export_migration() {
 
 void World::run_to_quiescence(RealTime hard_deadline) {
   SSBFT_EXPECTS(!exported_);
+  const trace::Scope traced(config_.tracer, queue_.now_ptr());
   while (true) {
     const RealTime bound = timer_pump_bound(queue_, timers_, hard_deadline);
     if (bound != RealTime::max()) {

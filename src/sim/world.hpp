@@ -31,6 +31,8 @@
 
 namespace ssbft {
 
+class Tracer;  // harness/trace.hpp; engines only carry the pointer
+
 /// Scheduling policy for the conservative-parallel engine's shards. All
 /// four policies produce bit-identical observable histories (digest parity
 /// with the serial engine is the hard gate); they differ only in how the
@@ -77,14 +79,30 @@ struct ShardSchedStats {
   std::uint64_t repartitions = 0;      // cost-aware boundary recomputations
   std::uint64_t steals = 0;            // foreign-shard node claims
   std::uint64_t stolen_events = 0;     // events executed on a thief worker
+  std::uint64_t window_events = 0;     // dispatches over measured windows
   /// Per-window imbalance = max/min per-worker dispatch count (min clamped
-  /// to 1), sampled over measured windows only.
+  /// to 1), sampled over measured windows only. Under kSteal this is the
+  /// EXECUTOR view — what the workers actually ran, post-stealing.
   double imbalance_max = 0.0;
   double imbalance_sum = 0.0;
+  /// Per-window imbalance attributed to the OWNING shard, counting a
+  /// stolen node's events against its owner. This is the signal the
+  /// repartitioner acts on: stealing equalizes the executor view by
+  /// design, which would otherwise mask exactly the imbalance a boundary
+  /// move could fix. Identical to the executor view for non-steal
+  /// policies.
+  double owner_imbalance_max = 0.0;
+  double owner_imbalance_sum = 0.0;
 
   [[nodiscard]] double imbalance_mean() const {
     return measured_windows == 0 ? 0.0
                                  : imbalance_sum / double(measured_windows);
+  }
+
+  [[nodiscard]] double owner_imbalance_mean() const {
+    return measured_windows == 0
+               ? 0.0
+               : owner_imbalance_sum / double(measured_windows);
   }
 
   ShardSchedStats& operator+=(const ShardSchedStats& o) {
@@ -93,8 +111,13 @@ struct ShardSchedStats {
     repartitions += o.repartitions;
     steals += o.steals;
     stolen_events += o.stolen_events;
+    window_events += o.window_events;
     if (o.imbalance_max > imbalance_max) imbalance_max = o.imbalance_max;
     imbalance_sum += o.imbalance_sum;
+    if (o.owner_imbalance_max > owner_imbalance_max) {
+      owner_imbalance_max = o.owner_imbalance_max;
+    }
+    owner_imbalance_sum += o.owner_imbalance_sum;
     return *this;
   }
 };
@@ -145,6 +168,12 @@ struct WorldConfig {
   /// sharded engine actually runs with more than one shard; results are
   /// bit-identical across all policies.
   ShardSched shard_sched = ShardSched::kStatic;
+
+  /// Structured tracer (harness/trace.hpp), or nullptr for untraced runs.
+  /// Engines arm a trace::Scope around their dispatch loops and emit their
+  /// own engine-layer records. Observation only: digests are bit-identical
+  /// with or without it (test_trace pins the matrix).
+  Tracer* tracer = nullptr;
 
   /// d = (δ+π)(1+ρ), the paper's bound on send+process as measured on any
   /// non-faulty local timer.
@@ -335,6 +364,8 @@ class World final : public WorldBase {
   [[nodiscard]] DriftingClock& clock(NodeId id) override;
   [[nodiscard]] Network& network() override { return *network_; }
   [[nodiscard]] EventQueue& queue() override { return queue_; }
+  /// Timer-wheel occupancy gauges (StatsRegistry).
+  [[nodiscard]] const TimerWheel& timers() const { return timers_; }
   [[nodiscard]] Rng& rng() override { return rng_; }
   [[nodiscard]] Logger& log() override { return logger_; }
 

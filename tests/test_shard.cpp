@@ -501,6 +501,65 @@ TEST(ShardSchedTest, SkewedLoadForcesRepartitionAndKeepsParity) {
   }
 }
 
+// Steal-aware cost attribution: work stealing EQUALIZES the executor view
+// of a skewed load — thieves run the hot nodes, so per-worker dispatch
+// counts look balanced even when one shard owns all the work. Costs are
+// therefore attributed to the OWNING shard (whose nodes generated the
+// events) when feeding the repartition hysteresis; a steal-heavy run must
+// still see the ownership imbalance and move the boundaries. Both hot
+// nodes sit on shard 0's initial block, so steals can spread the execution
+// almost perfectly — exactly the case where executor-view accounting used
+// to starve the repartitioner.
+TEST(ShardSchedTest, StealingDoesNotMaskOwnerImbalanceFromRepartitioner) {
+  WorldConfig wc;
+  wc.n = 8;
+  wc.shards = 4;
+  wc.link_delay = DelayModel::uniform(microseconds(100), milliseconds(1));
+  wc.proc_delay = DelayModel::uniform(Duration::zero(), microseconds(50));
+  wc.has_delay_models = true;
+  const auto build = [&wc](WorldBase& w) {
+    for (NodeId id = 0; id < wc.n; ++id) {
+      // Nodes 0 and 1 — shard 0's whole initial block — carry ~25× the
+      // load of everyone else.
+      w.set_behavior(id, std::make_unique<SkewedTicker>(
+                             id < 2 ? microseconds(200) : milliseconds(5)));
+    }
+  };
+  const RealTime horizon = RealTime::zero() + milliseconds(50);
+
+  World serial(wc);
+  build(serial);
+  serial.start();
+  serial.run_until(horizon);
+
+  WorldConfig swc = wc;
+  swc.shard_sched = ShardSched::kSteal;
+  ShardWorld sharded(swc);
+  build(sharded);
+  sharded.start();
+  sharded.run_until(horizon);
+
+  // Attribution changes accounting only — the physics stay bit-identical.
+  EXPECT_EQ(sharded.now(), serial.now());
+  EXPECT_EQ(sharded.dispatched(), serial.dispatched());
+  EXPECT_EQ(sharded.net_stats().sent, serial.net_stats().sent);
+  EXPECT_EQ(sharded.net_stats().delivered, serial.net_stats().delivered);
+  for (NodeId id = 0; id < wc.n; ++id) {
+    EXPECT_EQ(sharded.local_now(id), serial.local_now(id)) << "node " << id;
+  }
+
+  const ShardSchedStats& st = sharded.sched_stats();
+  // Stealing happened at scale...
+  EXPECT_GT(st.steals, 0u);
+  EXPECT_GT(st.stolen_events, 0u);
+  // ...yet the owner-attributed view still registered the skew (shard 0
+  // owns ~25× the per-window events of an idle shard)...
+  EXPECT_GE(st.owner_imbalance_max, 2.0);
+  EXPECT_GT(st.owner_imbalance_mean(), 1.0);
+  // ...and drove the repartitioner despite the balanced executor counts.
+  EXPECT_GE(st.repartitions, 1u);
+}
+
 // The zero-overhead contract of the default policy: a static ShardWorld
 // tracks no costs, never repartitions, never steals — the stats stay zero
 // apart from the window counter.

@@ -49,9 +49,16 @@ THROUGHPUT_EXTRA = ("scenarios_per_sec",)
 PARITY_KEYS = ("deterministic", "digest_parity", "parity")
 SPEEDUP_KEY = "speedup"
 IMBALANCE_KEY = "imbalance_mean"
+TRACEOFF_PREFIX = "traceoff_"
 SPEEDUP_WARN_RATIO = 0.9
 IMBALANCE_FAIL_RATIO = 2.0
 IMBALANCE_FAIL_FLOOR = 1.2
+# Tracing compiled in but DISARMED must stay within noise of the baseline:
+# its contract is one thread-local load and a branch per emission site, so a
+# >5% dip on identical hardware means the tracer leaked onto the hot path.
+# Only enforced when hardware_threads match — cross-machine, the generous
+# standard ratios apply instead.
+TRACEOFF_FAIL_RATIO = 0.95
 
 OK, WARN, FAIL = "ok", "WARN", "FAIL"
 
@@ -85,6 +92,10 @@ def is_speedup(path):
 
 def is_imbalance(path):
     return path.rsplit(".", 1)[-1] == IMBALANCE_KEY
+
+
+def is_traceoff(path):
+    return path.rsplit(".", 1)[-1].startswith(TRACEOFF_PREFIX)
 
 
 def hardware_threads(artifact):
@@ -160,6 +171,18 @@ def check_file(name, baseline, fresh, fail_ratio, warn_ratio):
         ratio = float(fresh_value) / float(base_value)
         line = (f"{name}:{path} {float(fresh_value):.2f} vs baseline "
                 f"{float(base_value):.2f} ({ratio:.2f}x)")
+        threads_match = (base_threads is not None
+                         and base_threads == fresh_threads)
+        if throughput and is_traceoff(path) and threads_match:
+            if ratio < TRACEOFF_FAIL_RATIO:
+                results.append(
+                    (FAIL, f"{line} — tracing-off throughput regressed >"
+                           f"{(1 - TRACEOFF_FAIL_RATIO) * 100:.0f}% on "
+                           f"identical hardware: disarmed emission sites "
+                           f"leaked onto the hot path"))
+            else:
+                results.append((OK, line))
+            continue
         effective_warn = SPEEDUP_WARN_RATIO if speedup else warn_ratio
         if ratio < fail_ratio:
             results.append((FAIL, f"{line} — below the {fail_ratio}x floor"))
@@ -290,6 +313,34 @@ def self_test():
     wobble["rows"][0]["imbalance_mean"] = 1.15
     checks.append(("imbalance wobble under the floor passes",
                    run_cli(shard_base, wobble) == 0))
+
+    # 10. The disarmed-tracer gate: on identical hardware a 7% traceoff dip
+    #     fails even though it is far above the generous 0.5x floor…
+    trace_base = {
+        "hardware_threads": 8,
+        "trace_overhead": {"traceoff_events_per_sec": 3.0e6,
+                           "traceon_events_per_sec": 2.7e6},
+    }
+    leaked = copy.deepcopy(trace_base)
+    leaked["trace_overhead"]["traceoff_events_per_sec"] *= 0.93
+    checks.append(("traceoff 7% dip fails on same hardware",
+                   run_cli(trace_base, leaked) != 0))
+    #     …a 3% wobble passes…
+    wobbly = copy.deepcopy(trace_base)
+    wobbly["trace_overhead"]["traceoff_events_per_sec"] *= 0.97
+    checks.append(("traceoff 3% wobble passes",
+                   run_cli(trace_base, wobbly) == 0))
+    #     …and across different machines only the standard ratios apply.
+    other_machine = copy.deepcopy(leaked)
+    other_machine["hardware_threads"] = 2
+    checks.append(("traceoff dip tolerated across machines",
+                   run_cli(trace_base, other_machine) == 0))
+    #     traceon throughput stays under the standard generous gate: tracing
+    #     ON is allowed to cost something.
+    traced_slower = copy.deepcopy(trace_base)
+    traced_slower["trace_overhead"]["traceon_events_per_sec"] *= 0.85
+    checks.append(("traceon dip stays a warning",
+                   run_cli(trace_base, traced_slower) == 0))
 
     failed = [name for name, ok in checks if not ok]
     for name, ok in checks:

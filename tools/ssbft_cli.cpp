@@ -8,7 +8,23 @@
 //             [--chaos-ms MS] [--chaos-count K] [--chaos-duty MS]
 //             [--proposals K] [--run-ms MS] [--depth D]
 //             [--shards S] [--shard-sched MODE] [--link-min-us US]
-//             [--trace] [--verbose]
+//             [--trace PATH] [--stats-json PATH] [--json PATH]
+//             [--wire-trace] [--verbose]
+//
+// Observability outputs (single-run mode, any engine):
+//   --trace PATH      record a structured timeline (harness/trace.hpp) and
+//                     export it as Perfetto / chrome://tracing JSON — open
+//                     at https://ui.perfetto.dev. Protocol round spans,
+//                     engine window/steal/repartition/migration events,
+//                     workload and chaos instants. Digests are bit-identical
+//                     with or without it (test_trace pins that).
+//   --stats-json PATH dump the self-describing stats registry (engine,
+//                     network, scheduler, tracer counters with units+help).
+//   --json PATH       machine-readable run report: outcome, net/sched
+//                     stats (executor AND owner imbalance views), and the
+//                     per-chaos-window stabilization rows.
+//   --wire-trace      print every wire event to stdout (serial engine only;
+//                     the old --trace flag).
 //
 // --shards S deploys on the conservative-parallel engine (S shards,
 // bit-identical results). It needs a lookahead: a link-delay distribution
@@ -54,7 +70,9 @@
 #include "harness/metrics.hpp"
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
+#include "harness/stats_registry.hpp"
 #include "harness/sweep.hpp"
+#include "harness/trace.hpp"
 #include "pulse/pulse_sync.hpp"
 #include "sim/duty_world.hpp"
 #include "sim/shard_world.hpp"
@@ -73,7 +91,8 @@ using namespace ssbft;
                "          [--chaos-duty MS] [--proposals K]\n"
                "          [--run-ms MS] [--depth D] [--shards S]\n"
                "          [--shard-sched MODE] [--link-min-us US]\n"
-               "          [--trace] [--verbose]\n"
+               "          [--trace PATH] [--stats-json PATH] [--json PATH]\n"
+               "          [--wire-trace] [--verbose]\n"
                "       %s --sweep [--sweep-n LIST] [--sweep-f LIST]\n"
                "          [--sweep-adversary LIST] [--seeds K] [--threads T]\n"
                "          [--csv PATH] [--json PATH]\n"
@@ -361,6 +380,103 @@ int report_pipeline(Cluster& cluster) {
   return evaluate_stack(cluster).pass ? 0 : 1;
 }
 
+/// Single-run --json: one machine-readable document per run — the outcome,
+/// the model point, engine + scheduler statistics (executor AND owner
+/// imbalance views), duty-cycle migration costs, the per-chaos-window
+/// stabilization rows, and the wire totals. Schema is flat on purpose:
+/// every value also exists in the human report above it.
+bool write_single_run_json(const std::string& path, Cluster& cluster,
+                           bool pass,
+                           const std::vector<WindowStabilization>& windows) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  const Scenario& sc = cluster.scenario();
+  const NetworkStats net = cluster.world().net_stats();
+  std::fprintf(out,
+               "{\n"
+               "  \"stack\": \"%s\",\n"
+               "  \"adversary\": \"%s\",\n"
+               "  \"n\": %u,\n"
+               "  \"f\": %u,\n"
+               "  \"seed\": %llu,\n"
+               "  \"shards\": %u,\n"
+               "  \"shard_sched\": \"%s\",\n"
+               "  \"pass\": %s,\n"
+               "  \"events\": %llu,\n",
+               to_string(sc.stack), to_string(sc.adversary), sc.n, sc.f,
+               static_cast<unsigned long long>(sc.seed), cluster.shards(),
+               to_string(sc.shard_sched), pass ? "true" : "false",
+               static_cast<unsigned long long>(cluster.world().dispatched()));
+  std::fprintf(out,
+               "  \"net\": {\"sent\": %llu, \"delivered\": %llu, "
+               "\"dropped\": %llu, \"corrupted\": %llu, "
+               "\"duplicated\": %llu, \"forged\": %llu},\n",
+               static_cast<unsigned long long>(net.sent),
+               static_cast<unsigned long long>(net.delivered),
+               static_cast<unsigned long long>(net.dropped),
+               static_cast<unsigned long long>(net.corrupted),
+               static_cast<unsigned long long>(net.duplicated),
+               static_cast<unsigned long long>(net.forged));
+  ShardSchedStats ss;
+  bool have_sched = false;
+  auto* duty = dynamic_cast<DutyWorld*>(&cluster.world());
+  if (duty != nullptr) {
+    ss = duty->sched_stats();
+    have_sched = true;
+  } else if (auto* sharded = dynamic_cast<ShardWorld*>(&cluster.world())) {
+    ss = sharded->sched_stats();
+    have_sched = true;
+  }
+  if (have_sched) {
+    std::fprintf(
+        out,
+        "  \"sched_stats\": {\"windows\": %llu, \"measured_windows\": %llu, "
+        "\"window_events\": %llu, \"repartitions\": %llu, \"steals\": %llu, "
+        "\"stolen_events\": %llu, \"imbalance_mean\": %.6f, "
+        "\"imbalance_max\": %.6f, \"owner_imbalance_mean\": %.6f, "
+        "\"owner_imbalance_max\": %.6f},\n",
+        static_cast<unsigned long long>(ss.windows),
+        static_cast<unsigned long long>(ss.measured_windows),
+        static_cast<unsigned long long>(ss.window_events),
+        static_cast<unsigned long long>(ss.repartitions),
+        static_cast<unsigned long long>(ss.steals),
+        static_cast<unsigned long long>(ss.stolen_events), ss.imbalance_mean(),
+        ss.imbalance_max, ss.owner_imbalance_mean(), ss.owner_imbalance_max);
+  }
+  if (duty != nullptr) {
+    std::fprintf(out,
+                 "  \"migrations\": %zu,\n"
+                 "  \"migration_ns\": %llu,\n"
+                 "  \"segment_shards\": [",
+                 duty->migrations(),
+                 static_cast<unsigned long long>(duty->migration_ns()));
+    for (std::size_t i = 0; i < duty->segment_shards().size(); ++i) {
+      std::fprintf(out, "%s%u", i ? ", " : "", duty->segment_shards()[i]);
+    }
+    std::fprintf(out, "],\n");
+  }
+  std::fprintf(out, "  \"windows\": [");
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    const WindowStabilization& win = windows[w];
+    std::fprintf(out,
+                 "%s\n    {\"index\": %zu, \"chaos_start_ms\": %.6f, "
+                 "\"chaos_end_ms\": %.6f, \"recovery_ms\": ",
+                 w ? "," : "", w,
+                 double((win.chaos_start - RealTime::zero()).ns()) * 1e-6,
+                 double((win.chaos_end - RealTime::zero()).ns()) * 1e-6);
+    if (win.recovery) {
+      std::fprintf(out, "%.6f", double(win.recovery->ns()) * 1e-6);
+    } else {
+      std::fprintf(out, "null");
+    }
+    std::fprintf(out, ", \"events\": %u, \"digest\": \"%016llx\"}", win.events,
+                 static_cast<unsigned long long>(win.digest));
+  }
+  std::fprintf(out, "%s]\n}\n", windows.empty() ? "" : "\n  ");
+  std::fclose(out);
+  return true;
+}
+
 /// --sweep mode: expand the grid, pool-execute, report aggregates, and
 /// optionally dump per-run CSV rows and an aggregate JSON document.
 int run_sweep(const Scenario& base, const std::vector<std::uint32_t>& ns,
@@ -511,7 +627,9 @@ int main(int argc, char** argv) {
   Scenario sc;
   std::uint32_t byz = 0;
   std::uint32_t proposals = 1;
-  bool trace = false;
+  bool wire_trace = false;
+  std::string trace_path;
+  std::string stats_json_path;
   bool f_set = false;
   std::int64_t run_ms = 0;
   Duration link_min = Duration::zero();
@@ -566,7 +684,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--link-min-us") {
       link_min = microseconds(parse_u32(next(), argv[0], 1, 1'000'000'000));
     } else if (arg == "--trace") {
-      trace = true;
+      trace_path = next();
+    } else if (arg == "--stats-json") {
+      stats_json_path = next();
+    } else if (arg == "--wire-trace") {
+      wire_trace = true;
     } else if (arg == "--verbose") {
       sc.log_level = LogLevel::kDebug;
     } else if (arg == "--sweep") {
@@ -619,10 +741,10 @@ int main(int argc, char** argv) {
                            "(cells run f tail faults)\n");
       return 2;
     }
-    if (trace) {
+    if (wire_trace || !trace_path.empty() || !stats_json_path.empty()) {
       std::fprintf(stderr,
-                   "error: --trace is single-run only (a sweep has no single "
-                   "wire history); drop --sweep or --trace\n");
+                   "error: --trace/--stats-json/--wire-trace are single-run "
+                   "only (a sweep has no single run history); drop --sweep\n");
       return 2;
     }
     if (sweep_fs.empty() && f_set) sweep_fs = {sc.f};
@@ -653,14 +775,17 @@ int main(int argc, char** argv) {
   const Duration run_for = shape_workload(sc, proposals);
   sc.run_for = run_ms > 0 ? milliseconds(run_ms) : run_for;
 
+  sc.trace = !trace_path.empty();
+
   Cluster cluster(sc);
-  if (trace && cluster.sharded()) {
-    std::fprintf(stderr, "error: --trace taps the serial engine's wire; "
-                         "drop --shards (results are identical)\n");
+  if (wire_trace && cluster.sharded()) {
+    std::fprintf(stderr, "error: --wire-trace taps the serial engine's wire; "
+                         "drop --shards (or use --trace PATH, which records "
+                         "on every engine)\n");
     return 2;
   }
   TraceRecorder recorder;
-  if (trace) cluster.world().network().set_tap(recorder.tap());
+  if (wire_trace) cluster.world().network().set_tap(recorder.tap());
   cluster.run();
 
   std::printf("stack: %s   model: n=%u f=%u (actual byz %u, %s), d=%.3fms, "
@@ -767,7 +892,28 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.dropped),
               static_cast<unsigned long long>(stats.forged));
 
-  if (trace) {
+  if (!trace_path.empty()) {
+    if (TraceWriter::write_json(*cluster.tracer(), trace_path)) {
+      std::printf("trace: %llu records (%llu dropped) -> %s\n",
+                  static_cast<unsigned long long>(cluster.tracer()->recorded()),
+                  static_cast<unsigned long long>(cluster.tracer()->dropped()),
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n", trace_path.c_str());
+    }
+  }
+  if (!stats_json_path.empty()) {
+    if (!collect_run_stats(cluster).write_json(stats_json_path)) {
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   stats_json_path.c_str());
+    }
+  }
+  if (!json_path.empty() &&
+      !write_single_run_json(json_path, cluster, exit_code == 0, windows)) {
+    std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
+  }
+
+  if (wire_trace) {
     std::printf("\nwire trace (%zu events%s):\n", recorder.events().size(),
                 recorder.dropped_records() ? ", truncated" : "");
     for (const auto& event : recorder.events()) {

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Structural validator for traces produced by ``ssbft_cli --trace``.
+
+Checks the Perfetto / chrome://tracing JSON artifact the TraceWriter
+emits (``{"traceEvents": [...]}``) for the invariants the writer is
+supposed to normalize into existence, so CI can gate on a traced run
+without loading the file into a UI:
+
+  * document shape: a JSON object with a ``traceEvents`` list; every
+    event is an object with the keys its phase requires (``name``,
+    ``ph``, ``ts``, ``pid``, ``tid``; ``cat`` for non-metadata phases;
+    ``id`` for async phases);
+  * known phases only: B/E (sync spans), b/e (async spans), i (instant),
+    C (counter), M (metadata);
+  * sync-span balance: per (pid, tid) the B/E events form a proper
+    stack — every E matches the name of the innermost open B, and
+    nothing is left open at the end of the file;
+  * async-span balance: per (cat, name, id) the b/e counts match;
+  * monotone timestamps: ``ts`` never decreases over the event list
+    (metadata events carry no meaningful ts and are skipped).
+
+Any violation prints a line per defect and exits 1; malformed input
+(unreadable file, not JSON, wrong shape) exits 2; a clean trace prints
+a one-line summary and exits 0. stdlib-only by design: CI runs it
+straight from the checkout.
+
+Usage:
+  tools/trace_check.py trace.json [trace2.json ...]
+  tools/trace_check.py --self-test
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+KNOWN_PHASES = {"B", "E", "b", "e", "i", "C", "M"}
+REQUIRED_KEYS = {"name", "ph", "ts", "pid", "tid"}
+METADATA_KEYS = {"name", "ph", "pid"}  # M events carry no timeline position
+ASYNC_PHASES = {"b", "e"}
+
+
+def check_events(events: list, errors: list[str]) -> int:
+    """Validate one traceEvents list; append defect lines to `errors`.
+
+    Returns the number of non-metadata events checked.
+    """
+    open_spans: dict[tuple, list[str]] = {}  # (pid, tid) -> stack of names
+    async_depth: dict[tuple, int] = {}       # (cat, name, id) -> open count
+    last_ts = None
+    checked = 0
+    for index, event in enumerate(events):
+        where = f"event {index}"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        missing = (METADATA_KEYS if ph == "M" else REQUIRED_KEYS) - event.keys()
+        if missing:
+            errors.append(f"{where}: missing keys {sorted(missing)}")
+            continue
+        if ph == "M":
+            continue  # metadata: no cat or ts, tid optional (process_name)
+        checked += 1
+        where = f"event {index} ({event['name']!r})"
+        if "cat" not in event:
+            errors.append(f"{where}: missing category")
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)):
+            errors.append(f"{where}: non-numeric ts {ts!r}")
+            continue
+        if last_ts is not None and ts < last_ts:
+            errors.append(f"{where}: ts {ts} < previous {last_ts}")
+        last_ts = ts
+        if ph == "B":
+            open_spans.setdefault((event["pid"], event["tid"]), []).append(
+                event["name"])
+        elif ph == "E":
+            stack = open_spans.get((event["pid"], event["tid"]), [])
+            if not stack:
+                errors.append(f"{where}: span end with no open span")
+            elif stack[-1] != event["name"]:
+                errors.append(
+                    f"{where}: span end crosses open span {stack[-1]!r}")
+                stack.pop()
+            else:
+                stack.pop()
+        elif ph in ASYNC_PHASES:
+            if "id" not in event:
+                errors.append(f"{where}: async event without id")
+                continue
+            key = (event.get("cat"), event["name"], event["id"])
+            depth = async_depth.get(key, 0)
+            if ph == "b":
+                async_depth[key] = depth + 1
+            elif depth == 0:
+                errors.append(f"{where}: async end with no open span id="
+                              f"{event['id']!r}")
+            else:
+                async_depth[key] = depth - 1
+    for (pid, tid), stack in sorted(open_spans.items(), key=repr):
+        for name in stack:
+            errors.append(
+                f"end of trace: span {name!r} still open on {pid}/{tid}")
+    for (cat, name, span_id), depth in sorted(async_depth.items(), key=repr):
+        if depth != 0:
+            errors.append(f"end of trace: async span {name!r} id={span_id!r} "
+                          f"left open {depth}x")
+    return checked
+
+
+def check_file(path: str) -> int:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"{path}: unreadable: {err}")
+        return 2
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"),
+                                                   list):
+        print(f"{path}: not a traceEvents document")
+        return 2
+    errors: list[str] = []
+    checked = check_events(doc["traceEvents"], errors)
+    for line in errors:
+        print(f"{path}: {line}")
+    if errors:
+        print(f"{path}: FAIL ({len(errors)} defect(s) over {checked} events)")
+        return 1
+    print(f"{path}: OK ({checked} events)")
+    return 0
+
+
+# --- self test --------------------------------------------------------------
+
+def _event(ph, name="x", ts=0, pid=1, tid=1, cat="engine", **extra):
+    event = {"name": name, "ph": ph, "ts": ts, "pid": pid, "tid": tid}
+    if ph != "M":
+        event["cat"] = cat
+    event.update(extra)
+    return event
+
+
+def self_test() -> int:
+    good = [
+        _event("M", name="thread_name", args={"name": "windows"}),
+        _event("B", "window", ts=0),
+        _event("b", "round", ts=1, id="0x1"),
+        _event("i", "steal", ts=2, s="t"),
+        _event("C", "events", ts=3, args={"events": 4}),
+        _event("e", "round", ts=4, id="0x1"),
+        _event("E", "window", ts=5),
+    ]
+    cases = [
+        ("balanced trace", good, 0),
+        ("unclosed sync span", good[:2], 1),
+        ("orphan sync end", [_event("E", "window", ts=0)], 1),
+        ("crossed sync spans",
+         [_event("B", "a", ts=0), _event("B", "b", ts=1),
+          _event("E", "a", ts=2), _event("E", "b", ts=3)], 1),
+        ("unclosed async span", good[:3] + [good[6]], 1),
+        ("async end without begin",
+         [_event("e", "round", ts=0, id="0x9")], 1),
+        ("time runs backwards",
+         [_event("i", "a", ts=5), _event("i", "b", ts=4)], 1),
+        ("unknown phase", [_event("Z", ts=0)], 1),
+        ("missing keys", [{"ph": "i", "ts": 0}], 1),
+        ("async without id", [_event("b", "round", ts=0)], 1),
+    ]
+    failures = 0
+    for label, events, expected in cases:
+        errors: list[str] = []
+        check_events(list(events), errors)
+        got = 1 if errors else 0
+        status = "ok" if got == expected else "MISMATCH"
+        if got != expected:
+            failures += 1
+        print(f"self-test: {label}: {status}")
+    print(f"self-test: {len(cases) - failures}/{len(cases)} cases passed")
+    return 0 if failures == 0 else 1
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[0])
+        print("usage: trace_check.py TRACE.json [...] | --self-test")
+        return 2
+    if argv[1] == "--self-test":
+        return self_test()
+    worst = 0
+    for path in argv[1:]:
+        worst = max(worst, check_file(path))
+    return worst
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
