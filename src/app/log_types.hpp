@@ -23,6 +23,11 @@ struct CommittedEntry {
   std::uint64_t slot = 0;
   std::uint32_t command = 0;
   NodeId proposer = kNoNode;
+  /// FNV checksum of the command's application body as observed on the
+  /// proposer's Initiator broadcast (0 ⇒ bare command). Folded into run
+  /// digests; excluded from log-identity comparison like `at` (the digest
+  /// pins cross-engine parity, operator== pins protocol-level identity).
+  std::uint64_t payload_crc = 0;
   LocalTime at{};
 
   friend bool operator==(const CommittedEntry& a, const CommittedEntry& b) {
@@ -48,6 +53,8 @@ struct PipelinedEntry {
   std::uint64_t slot = 0;
   std::uint32_t command = 0;
   NodeId proposer = kNoNode;
+  /// Body checksum, as CommittedEntry::payload_crc (0 for skips).
+  std::uint64_t payload_crc = 0;
   bool skipped = false;  // true ⇒ no commit; hole released in order
 
   friend bool operator==(const PipelinedEntry& a, const PipelinedEntry& b) {

@@ -1,0 +1,50 @@
+// Bounded value → body-checksum cache for the log stacks.
+//
+// A decision record (core/node.hpp) carries only the agreed VALUE; the
+// command's application body rides the proposer's Initiator broadcast as a
+// shared-pool payload (sim/payload.hpp) and is not echoed through the
+// agreement rounds. Every correct node therefore remembers the checksum of
+// the body it saw on each recent Initiator, keyed by agreement value, and
+// stamps it onto the committed entry when that value's decision arrives.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "sim/wire.hpp"
+#include "util/types.hpp"
+
+namespace ssbft {
+
+/// Deterministic and bounded: at most kCapacity entries, evicting the
+/// smallest value first; transient-fault scrambles clear it (a stale
+/// checksum is corruptible state like any other, and the digest must not
+/// depend on pre-scramble observations). A Byzantine Initiator can poison
+/// the entry for a value it broadcast — deterministically, and only within
+/// the sending power the authenticated-Byzantine model already grants it;
+/// under AuthKind::kHmac third parties cannot (forged bodies are discarded
+/// before delivery).
+class PayloadCrcCache {
+ public:
+  static constexpr std::size_t kCapacity = 64;
+
+  /// Record `msg`'s body checksum if it is an Initiator carrying one.
+  void observe(const WireMessage& msg) {
+    if (msg.kind != MsgKind::kInitiator || msg.payload.empty()) return;
+    crc_[msg.value] = msg.payload.checksum();
+    if (crc_.size() > kCapacity) crc_.erase(crc_.begin());
+  }
+
+  /// Checksum cached for `value`, or 0 when no body was observed.
+  [[nodiscard]] std::uint64_t lookup(Value value) const {
+    const auto it = crc_.find(value);
+    return it == crc_.end() ? 0 : it->second;
+  }
+
+  void clear() { crc_.clear(); }
+
+ private:
+  std::map<Value, std::uint64_t> crc_;
+};
+
+}  // namespace ssbft

@@ -52,6 +52,7 @@ void PipelinedLogNode::on_start(NodeContext& ctx) {
 }
 
 void PipelinedLogNode::on_message(NodeContext& ctx, const WireMessage& msg) {
+  payload_crcs_.observe(msg);  // remember Initiator bodies for on_decision
   agree_->on_message(ctx, msg);
 }
 
@@ -88,8 +89,8 @@ void PipelinedLogNode::on_timer(NodeContext& ctx, std::uint64_t cookie) {
   }
 }
 
-void PipelinedLogNode::submit(std::uint32_t command) {
-  pending_.push_back(command);
+void PipelinedLogNode::submit(std::uint32_t command, Payload payload) {
+  pending_.push_back(PendingCommand{command, std::move(payload)});
   propose_owned_slots();
 }
 
@@ -104,19 +105,20 @@ void PipelinedLogNode::propose_owned_slots() {
     if (settled_.count(slot) != 0) continue;
     if (assigned_.count(slot) == 0) {
       if (pending_.empty()) continue;
-      assigned_[slot] = pending_.front();
+      assigned_[slot] = std::move(pending_.front());
       pending_.pop_front();
     }
     if (proposed_.count(slot) != 0) continue;
-    const Value value =
-        ReplicatedLogNode::encode(slot, assigned_[slot]);
-    const ProposeStatus status = agree_->propose(value, index_for(slot));
+    const PendingCommand& cmd = assigned_[slot];
+    const Value value = ReplicatedLogNode::encode(slot, cmd.command);
+    const ProposeStatus status =
+        agree_->propose(value, index_for(slot), cmd.payload);
     if (status == ProposeStatus::kSent) {
       proposed_.insert(slot);
       ctx_->log().logf(LogLevel::kDebug, ctx_->id(),
-                       "pipeline propose slot=%llu idx=%u cmd=%u",
+                       "pipeline propose slot=%llu idx=%u cmd=%u |b|=%u",
                        static_cast<unsigned long long>(slot),
-                       index_for(slot), assigned_[slot]);
+                       index_for(slot), cmd.command, cmd.payload.size());
     } else {
       // Pacing refusal (healing after a scramble, or the previous wave on
       // this index is younger than ∆0): retry shortly — the watchdog caps
@@ -136,12 +138,13 @@ void PipelinedLogNode::on_decision(const Decision& decision) {
   // designated proposer through its designated instance index.
   if (proposer_for(slot) != decision.general.node) return;
   if (index_for(slot) != decision.general.index) return;
-  settle(slot, command, decision.general.node);
+  settle(slot, command, decision.general.node,
+         payload_crcs_.lookup(decision.value));
 }
 
 void PipelinedLogNode::settle(std::uint64_t slot,
                               std::optional<std::uint32_t> command,
-                              NodeId proposer) {
+                              NodeId proposer, std::uint64_t payload_crc) {
   if (const auto it = settled_.find(slot); it != settled_.end()) {
     // Duplicate/late copy — except a genuine commit arriving for a slot we
     // grace-holed: window bases can drift apart for arbitrarily long after
@@ -154,6 +157,7 @@ void PipelinedLogNode::settle(std::uint64_t slot,
     if (command.has_value() && it->second.skipped) {
       it->second.command = *command;
       it->second.proposer = proposer;
+      it->second.payload_crc = payload_crc;
       it->second.skipped = false;
       // Not re-delivered: the sink's stream stays strictly in slot order.
       // If the hole already went out, the correction lives only in
@@ -177,14 +181,16 @@ void PipelinedLogNode::settle(std::uint64_t slot,
   entry.slot = slot;
   entry.command = command.value_or(0);
   entry.proposer = proposer;
+  entry.payload_crc = payload_crc;
   entry.skipped = !command.has_value();
   settled_.emplace(slot, entry);
 
   // A committed own slot consumes its command; a skipped own slot releases
-  // the command back to the queue head for the next owned slot.
+  // the command (body included) back to the queue head for the next owned
+  // slot.
   const auto assigned = assigned_.find(slot);
   if (assigned != assigned_.end()) {
-    if (!command.has_value()) pending_.push_front(assigned->second);
+    if (!command.has_value()) pending_.push_front(std::move(assigned->second));
     assigned_.erase(assigned);
   }
   proposed_.erase(slot);
@@ -269,6 +275,7 @@ void PipelinedLogNode::arm_watchdog() {
 
 void PipelinedLogNode::scramble(NodeContext& ctx, Rng& rng) {
   agree_->scramble(ctx, rng);
+  payload_crcs_.clear();
   low_ = rng.next_below(64);
   deliver_next_ = std::min(low_, std::uint64_t(rng.next_below(64)));
   if (rng.next_bool(0.4)) {

@@ -31,6 +31,7 @@
 #include <set>
 
 #include "app/log_types.hpp"
+#include "app/payload_cache.hpp"
 #include "core/node.hpp"
 #include "core/params.hpp"
 #include "sim/node.hpp"
@@ -58,7 +59,10 @@ class PipelinedLogNode : public NodeBehavior {
 
   // --- application API -----------------------------------------------------
   /// Queue a command; it is proposed in the next owned slot with capacity.
-  void submit(std::uint32_t command);
+  /// The optional payload is the command's application body (see
+  /// ReplicatedLogNode::submit); it stays bound to the command through slot
+  /// assignment, skip-release, and re-proposal.
+  void submit(std::uint32_t command, Payload payload = {});
 
   /// Next slot to be delivered (everything below is settled and flushed).
   [[nodiscard]] std::uint64_t delivered_upto() const { return deliver_next_; }
@@ -90,12 +94,17 @@ class PipelinedLogNode : public NodeBehavior {
     kHoleGrace = 3,
   };
 
+  struct PendingCommand {
+    std::uint32_t command = 0;
+    Payload payload;  // application body (pool reference; may be empty)
+  };
+
   void on_decision(const Decision& decision);
   void propose_owned_slots();
   void arm_watchdog();
   void flush_deliveries();
   void settle(std::uint64_t slot, std::optional<std::uint32_t> command,
-              NodeId proposer);
+              NodeId proposer, std::uint64_t payload_crc = 0);
   /// Mark unsettled slots in [from, to) as hole candidates: if still
   /// unsettled after the grace period (≥ ∆agr + relay margin, so any
   /// in-flight agreement has landed at every correct node), they settle as
@@ -118,8 +127,9 @@ class PipelinedLogNode : public NodeBehavior {
   NodeContext* ctx_ = nullptr;
 
   std::map<std::uint64_t, PipelinedEntry> settled_;
-  std::deque<std::uint32_t> pending_;
-  std::map<std::uint64_t, std::uint32_t> assigned_;  // slot → queued command
+  std::deque<PendingCommand> pending_;
+  std::map<std::uint64_t, PendingCommand> assigned_;  // slot → queued command
+  PayloadCrcCache payload_crcs_;  // value → body checksum, from Initiators
   std::set<std::uint64_t> proposed_;                 // sent to agreement
   std::map<std::uint64_t, LocalTime> hole_due_;      // grace deadlines
   std::uint64_t low_ = 0;           // window base (proposals start here)

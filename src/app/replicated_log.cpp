@@ -49,6 +49,7 @@ void ReplicatedLogNode::on_start(NodeContext& ctx) {
 }
 
 void ReplicatedLogNode::on_message(NodeContext& ctx, const WireMessage& msg) {
+  payload_crcs_.observe(msg);  // remember Initiator bodies for on_decision
   agree_->on_message(ctx, msg);
 }
 
@@ -77,8 +78,8 @@ void ReplicatedLogNode::on_timer(NodeContext& ctx, std::uint64_t cookie) {
   }
 }
 
-void ReplicatedLogNode::submit(std::uint32_t command) {
-  pending_.push_back(command);
+void ReplicatedLogNode::submit(std::uint32_t command, Payload payload) {
+  pending_.push_back(PendingCommand{command, std::move(payload)});
 }
 
 void ReplicatedLogNode::maybe_propose() {
@@ -86,13 +87,14 @@ void ReplicatedLogNode::maybe_propose() {
   if (proposer_for(cursor_) != ctx_->id()) return;
   if (pending_.empty()) return;  // nothing to say; watchdog will skip us
   if (log_.count(cursor_) != 0) return;  // already settled
-  const Value value = encode(cursor_, pending_.front());
-  const ProposeStatus status = agree_->propose(value);
+  const Value value = encode(cursor_, pending_.front().command);
+  const ProposeStatus status =
+      agree_->propose(value, 0, pending_.front().payload);
   if (status == ProposeStatus::kSent) {
     ctx_->log().logf(LogLevel::kDebug, ctx_->id(),
-                     "log propose slot=%llu cmd=%u",
+                     "log propose slot=%llu cmd=%u |b|=%u",
                      static_cast<unsigned long long>(cursor_),
-                     pending_.front());
+                     pending_.front().command, pending_.front().payload.size());
     return;
   }
   // Refused (General-pacing state still healing after a scramble). Retry
@@ -117,6 +119,7 @@ void ReplicatedLogNode::on_decision(const Decision& decision) {
   entry.slot = slot;
   entry.command = command;
   entry.proposer = decision.general.node;
+  entry.payload_crc = payload_crcs_.lookup(decision.value);
   entry.at = ctx_ ? ctx_->local_now() : LocalTime{};
   log_.emplace(slot, entry);
   last_activity_ = entry.at;
@@ -124,7 +127,7 @@ void ReplicatedLogNode::on_decision(const Decision& decision) {
 
   // Consume our own command once it is committed.
   if (ctx_ && entry.proposer == ctx_->id() && !pending_.empty() &&
-      pending_.front() == command) {
+      pending_.front().command == command) {
     pending_.erase(pending_.begin());
   }
   arm_watchdog();
@@ -152,6 +155,7 @@ void ReplicatedLogNode::arm_watchdog() {
 void ReplicatedLogNode::scramble(NodeContext& ctx, Rng& rng) {
   agree_->scramble(ctx, rng);
   // Application state is fair game for a transient fault too.
+  payload_crcs_.clear();
   cursor_ = rng.next_below(64);
   if (rng.next_bool(0.3)) {
     CommittedEntry junk;

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "app/log_types.hpp"
+#include "app/payload_cache.hpp"
 #include "core/node.hpp"
 #include "core/params.hpp"
 #include "sim/node.hpp"
@@ -54,8 +55,11 @@ class ReplicatedLogNode : public NodeBehavior {
   }
 
   // --- application API -----------------------------------------------------
-  /// Queue a command; it is proposed when this node's slot comes up.
-  void submit(std::uint32_t command);
+  /// Queue a command; it is proposed when this node's slot comes up. The
+  /// optional payload is the command's application body: it rides the
+  /// proposal's Initiator broadcast through the shared payload pool, and
+  /// its checksum lands on every correct node's CommittedEntry.
+  void submit(std::uint32_t command, Payload payload = {});
 
   /// Committed entries by slot. Identical (up to local commit times) at all
   /// correct nodes for every settled slot.
@@ -89,8 +93,14 @@ class ReplicatedLogNode : public NodeBehavior {
   std::unique_ptr<SsByzNode> agree_;
   NodeContext* ctx_ = nullptr;
 
+  struct PendingCommand {
+    std::uint32_t command = 0;
+    Payload payload;  // application body (pool reference; may be empty)
+  };
+
   Log log_;
-  std::vector<std::uint32_t> pending_;
+  std::vector<PendingCommand> pending_;
+  PayloadCrcCache payload_crcs_;  // value → body checksum, from Initiators
   std::uint64_t cursor_ = 0;  // next slot this node expects to settle
   std::optional<LocalTime> last_activity_;
   TimerHandle watchdog_timer_{};  // re-arming cancels the predecessor

@@ -31,7 +31,10 @@ void TpsNode::on_start(NodeContext& ctx) {
   }
 }
 
-void TpsNode::propose(Value m) { propose_value_ = m; }
+void TpsNode::propose(Value m, Payload payload) {
+  propose_value_ = m;
+  propose_payload_ = std::move(payload);
+}
 
 void TpsNode::on_message(NodeContext& /*ctx*/, const WireMessage& msg) {
   if (msg.general != general_) return;
@@ -70,6 +73,7 @@ void TpsNode::on_phase(NodeContext& ctx, std::uint32_t j) {
     msg.kind = MsgKind::kTpsGeneral;
     msg.general = general_;
     msg.value = *propose_value_;
+    msg.payload = propose_payload_;
     ctx.send_all(msg);
   }
 

@@ -43,7 +43,8 @@ class TpsNode : public NodeBehavior {
   void rebind(NodeContext& ctx) override { ctx_ = &ctx; }
 
   /// General role: queue value for dissemination at the phase-0 boundary.
-  void propose(Value m);
+  /// The optional application payload rides the dissemination broadcast.
+  void propose(Value m, Payload payload = {});
 
   [[nodiscard]] bool returned() const { return returned_; }
   [[nodiscard]] std::optional<Decision> result() const { return result_; }
@@ -65,6 +66,7 @@ class TpsNode : public NodeBehavior {
 
   std::unique_ptr<TpsBroadcast> bcast_;
   std::optional<Value> propose_value_;       // General only
+  Payload propose_payload_;                  // body for the dissemination
   std::optional<Value> general_value_;       // received round-0 value
   bool general_value_equivocation_ = false;  // saw two different values
   std::map<Value, std::map<std::uint32_t, std::set<NodeId>>> accepts_;

@@ -129,7 +129,8 @@ void SsByzNode::on_timer(NodeContext& ctx, std::uint64_t cookie) {
   }
 }
 
-ProposeStatus SsByzNode::propose(Value m, std::uint32_t index) {
+ProposeStatus SsByzNode::propose(Value m, std::uint32_t index,
+                                 Payload payload) {
   if (ctx_ == nullptr) return ProposeStatus::kNotStarted;
   SSBFT_EXPECTS(index < params_.max_indices());
   NodeContext& ctx = *ctx_;
@@ -194,6 +195,7 @@ ProposeStatus SsByzNode::propose(Value m, std::uint32_t index) {
   msg.kind = MsgKind::kInitiator;
   msg.general = self;
   msg.value = m;
+  msg.payload = std::move(payload);  // application body; opaque to agreement
   ctx.send_all(msg);
   ctx.log().logf(LogLevel::kInfo, ctx.id(), "propose m=%llu",
                  static_cast<unsigned long long>(m));

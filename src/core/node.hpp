@@ -72,8 +72,12 @@ class SsByzNode : public NodeBehavior {
   /// protocol). The Sending Validity Criteria (IG1–IG3) are tracked per
   /// index: each (G, index) instance has independent message logs and
   /// freshness windows, so pacing one instance has nothing to protect in
-  /// another. Call only from within the event loop.
-  ProposeStatus propose(Value m, std::uint32_t index = 0);
+  /// another. Call only from within the event loop. An optional application
+  /// `payload` rides the Initiator broadcast (shared payload pool) — the
+  /// agreement logic never reads it; log stacks bind it to the committed
+  /// command.
+  ProposeStatus propose(Value m, std::uint32_t index = 0,
+                        Payload payload = {});
 
   /// IG-criteria bookkeeping reset (used by tests that replay histories).
   void clear_general_state();

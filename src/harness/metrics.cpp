@@ -342,6 +342,7 @@ std::vector<WindowStabilization> window_stabilization(
               f.word(c.entry.slot);
               f.word(c.entry.command);
               f.word(c.entry.proposer);
+              f.word(c.entry.payload_crc);
               f.time(c.entry.at);
               f.time(c.real_at);
             },
@@ -356,6 +357,7 @@ std::vector<WindowStabilization> window_stabilization(
               f.word(d.entry.slot);
               f.word(d.entry.command);
               f.word(d.entry.proposer);
+              f.word(d.entry.payload_crc);
               f.word(d.entry.skipped ? 1 : 0);
               f.time(d.real_at);
             },
@@ -417,6 +419,7 @@ std::uint64_t run_digest(const RecordingProbe& probe,
     fnv.word(c.entry.slot);
     fnv.word(c.entry.command);
     fnv.word(c.entry.proposer);
+    fnv.word(c.entry.payload_crc);
     fnv.time(c.entry.at);
     fnv.time(c.real_at);
   }
@@ -428,6 +431,7 @@ std::uint64_t run_digest(const RecordingProbe& probe,
     fnv.word(d.entry.slot);
     fnv.word(d.entry.command);
     fnv.word(d.entry.proposer);
+    fnv.word(d.entry.payload_crc);
     fnv.word(d.entry.skipped ? 1 : 0);
     fnv.time(d.real_at);
   }
@@ -437,6 +441,8 @@ std::uint64_t run_digest(const RecordingProbe& probe,
   fnv.word(net.duplicated);
   fnv.word(net.corrupted);
   fnv.word(net.forged);
+  fnv.word(net.auth_rejected);
+  fnv.word(net.payload_bytes);
   for (const auto k : net.per_kind) fnv.word(k);
   return fnv.h;
 }

@@ -79,6 +79,7 @@ void Cluster::build() {
   }
   wc.seed = scenario_.seed;
   wc.log_level = scenario_.log_level;
+  wc.auth = scenario_.auth;
   wc.shards = scenario_.shards;
   wc.shard_sched = scenario_.shard_sched;
   wc.timer_wheel = scenario_.timer_wheel;
@@ -144,7 +145,14 @@ void Cluster::inject(NodeId target, Value value) {
   const StackInjector& injector =
       StackRegistry::instance().entry(scenario_.stack).injector;
   if (!injector) return;  // self-clocking stack: no external workload
-  const auto status = injector(*behavior, value);
+  // The command body: a deterministic pattern derived from the value, so
+  // every engine builds bit-identical bytes (and every correct node can be
+  // checked against the same checksum downstream).
+  const Payload payload = scenario_.payload_bytes == 0
+                              ? Payload{}
+                              : make_patterned_payload(scenario_.payload_bytes,
+                                                       value);
+  const auto status = injector(*behavior, value, payload);
   trace::instant(TraceLayer::kWorkload, TraceName::kInject, target,
                  std::int64_t(value));
   if (status) {

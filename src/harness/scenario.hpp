@@ -140,6 +140,18 @@ struct Scenario {
   /// kMajority = ⌊(n+f)/2⌋+1 / f+1.
   QuorumPolicy quorum_policy = QuorumPolicy::kOptimal;
 
+  // --- wire authentication / payloads --------------------------------------
+  /// Message-authentication scheme (sim/auth.hpp). kNull keeps the legacy
+  /// abstract-authentication model; kHmac tags every send with a keyed
+  /// deterministic MAC and discards tag mismatches at delivery, so chaos
+  /// corruption and fault-injector forgeries become measurably rejectable
+  /// (net_stats().auth_rejected).
+  AuthKind auth = AuthKind::kNull;
+  /// Attach a deterministic application payload of this many bytes to each
+  /// workload injection (0 ⇒ legacy bare commands). Bodies ride the shared
+  /// payload pool end to end; the log stacks hash them into the digest.
+  std::uint32_t payload_bytes = 0;
+
   // --- workload ----------------------------------------------------------
   /// One workload injection. Meaning is stack-dependent: a General-role
   /// propose() for kAgree/kBaselineTps, a client submit() for the log

@@ -92,31 +92,34 @@ std::unique_ptr<NodeBehavior> make_baseline_tps(const StackBuild& b) {
 // factory without replacing the injector; nullopt then surfaces as "nothing
 // injected" rather than a bad cast.
 
-std::optional<ProposeStatus> inject_agree(NodeBehavior& behavior, Value v) {
+std::optional<ProposeStatus> inject_agree(NodeBehavior& behavior, Value v,
+                                          const Payload& payload) {
   auto* node = dynamic_cast<SsByzNode*>(&behavior);
   if (node == nullptr) return std::nullopt;
-  return node->propose(v);
+  return node->propose(v, 0, payload);
 }
 
-std::optional<ProposeStatus> inject_tps(NodeBehavior& behavior, Value v) {
+std::optional<ProposeStatus> inject_tps(NodeBehavior& behavior, Value v,
+                                        const Payload& payload) {
   auto* node = dynamic_cast<TpsNode*>(&behavior);
   if (node == nullptr) return std::nullopt;
-  node->propose(v);
+  node->propose(v, payload);
   return ProposeStatus::kSent;
 }
 
-std::optional<ProposeStatus> inject_log(NodeBehavior& behavior, Value v) {
+std::optional<ProposeStatus> inject_log(NodeBehavior& behavior, Value v,
+                                        const Payload& payload) {
   auto* node = dynamic_cast<ReplicatedLogNode*>(&behavior);
   if (node == nullptr) return std::nullopt;
-  node->submit(std::uint32_t(v));
+  node->submit(std::uint32_t(v), payload);
   return ProposeStatus::kSent;
 }
 
-std::optional<ProposeStatus> inject_pipelined(NodeBehavior& behavior,
-                                              Value v) {
+std::optional<ProposeStatus> inject_pipelined(NodeBehavior& behavior, Value v,
+                                              const Payload& payload) {
   auto* node = dynamic_cast<PipelinedLogNode*>(&behavior);
   if (node == nullptr) return std::nullopt;
-  node->submit(std::uint32_t(v));
+  node->submit(std::uint32_t(v), payload);
   return ProposeStatus::kSent;
 }
 

@@ -36,11 +36,14 @@ using StackFactory =
     std::function<std::unique_ptr<NodeBehavior>(const StackBuild&)>;
 
 /// Injects one workload value into a behavior this stack's factory built:
-/// propose() for agreement-style stacks, submit() for logs. Returns the
-/// admitted status, or nullopt when nothing was injected (the stack takes
-/// no external workload, or the behavior is not this stack's type).
-using StackInjector =
-    std::function<std::optional<ProposeStatus>(NodeBehavior&, Value)>;
+/// propose() for agreement-style stacks, submit() for logs. The payload is
+/// the command's application body (empty under the legacy bare-command
+/// workload); stacks attach it to the initiating broadcast, where it rides
+/// the shared payload pool. Returns the admitted status, or nullopt when
+/// nothing was injected (the stack takes no external workload, or the
+/// behavior is not this stack's type).
+using StackInjector = std::function<std::optional<ProposeStatus>(
+    NodeBehavior&, Value, const Payload&)>;
 
 /// One deployable stack: how to build a correct node, and how to feed it
 /// workload. `injector` may be null for self-clocking stacks.

@@ -5,6 +5,7 @@
 #include "harness/runner.hpp"
 #include "harness/trace.hpp"
 #include "sim/duty_world.hpp"
+#include "sim/payload.hpp"
 #include "sim/shard_world.hpp"
 
 namespace ssbft {
@@ -92,6 +93,12 @@ StatsRegistry collect_run_stats(Cluster& cluster) {
           "chaos-duplicated messages");
   reg.add("net.forged", double(net.forged), "count",
           "forged deliveries on the reserved channel");
+  reg.add("net.auth_rejected", double(net.auth_rejected), "count",
+          "deliveries discarded by the authenticator check");
+  reg.add("net.payload_bytes", double(net.payload_bytes), "bytes",
+          "application payload bytes admitted at send (per unicast copy)");
+  reg.add("net.payload_live", double(payload_pool().live()), "slots",
+          "pool slots still referenced at collection time (0 = no leaks)");
 
   if (auto* duty = dynamic_cast<DutyWorld*>(&world)) {
     reg.add("duty.migrations", double(duty->migrations()), "count",

@@ -45,6 +45,7 @@ const char* to_string(TraceName name) {
     case TraceName::kChaosDelay: return "chaos_delay";
     case TraceName::kChaosDuplicate: return "chaos_duplicate";
     case TraceName::kForged: return "forged";
+    case TraceName::kAuthReject: return "auth_reject";
   }
   return "?";
 }

@@ -97,6 +97,7 @@ enum class TraceName : std::uint16_t {
   kChaosDelay,      // instant: chaos window delayed a message (arg = delay ns)
   kChaosDuplicate,  // instant: chaos window duplicated a message
   kForged,          // instant: forged delivery planted (reserved channel)
+  kAuthReject,      // instant: authenticator check failed at delivery
 };
 
 [[nodiscard]] const char* to_string(TraceName name);

@@ -63,9 +63,11 @@ class EventQueue {
  public:
   /// Closures up to this size (and std::max_align_t alignment) are stored
   /// inline in a slab slot; larger ones fall back to one boxed allocation.
-  /// 64 bytes covers every closure the simulator schedules on its hot path
-  /// (the largest is a network delivery: this + destination + WireMessage).
-  static constexpr std::size_t kInlineCapacity = 64;
+  /// 192 bytes covers every closure the simulator schedules on its hot path
+  /// (the largest is a network delivery: this + destination + WireMessage,
+  /// whose payload handle carries an inline body up to one cacheline —
+  /// pooled bodies ride as a slot reference, so the closure stays flat).
+  static constexpr std::size_t kInlineCapacity = 192;
 
   EventQueue() = default;
   ~EventQueue() { clear(); }

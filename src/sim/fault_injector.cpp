@@ -1,5 +1,7 @@
 #include "sim/fault_injector.hpp"
 
+#include "sim/payload.hpp"
+
 namespace ssbft {
 
 WireMessage FaultInjector::random_message(Rng& rng) const {
@@ -12,6 +14,16 @@ WireMessage FaultInjector::random_message(Rng& rng) const {
   msg.value = rng.next_bool(0.5) ? rng.next_below(4) : rng.next_u64();
   msg.broadcaster = NodeId(rng.next_below(world_.n()));
   msg.round = std::uint32_t(rng.next_below(2 * world_.n() + 2));
+  // A forged body, sized to straddle the Payload inline/pooled threshold
+  // (exercises pool slots on the forged path), plus a guessed tag. The
+  // adversary cannot evaluate the keyed tag function, so under
+  // AuthKind::kHmac the guess is (deterministically) wrong and the plant is
+  // discarded at delivery; under kNull both fields are ignored/accepted.
+  const auto size = std::uint32_t(rng.next_below(97));
+  if (size > 0) {
+    msg.payload = make_patterned_payload(size, rng.next_u64());
+  }
+  msg.auth = rng.next_u64();
   return msg;
 }
 

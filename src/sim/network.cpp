@@ -10,14 +10,15 @@ namespace ssbft {
 
 Network::Network(EventQueue& queue, std::uint32_t n, DelayModel link_delay,
                  DelayModel proc_delay, ChaosConfig chaos, std::uint64_t seed,
-                 DeliverFn deliver)
+                 DeliverFn deliver, AuthKind auth)
     : queue_(queue),
       n_(n),
       link_delay_(link_delay),
       proc_delay_(proc_delay),
       chaos_(chaos),
       send_seq_(n, 0),
-      deliver_(std::move(deliver)) {
+      deliver_(std::move(deliver)),
+      auth_(auth, seed) {
   SSBFT_EXPECTS(n_ > 0);
   SSBFT_EXPECTS(chaos_.max_delay >= Duration::zero());
   if (chaos_.max_delay == Duration::zero()) {
@@ -37,70 +38,22 @@ Network::Network(EventQueue& queue, std::uint32_t n, DelayModel link_delay,
 void Network::send(NodeId from, NodeId dest, WireMessage msg) {
   SSBFT_EXPECTS(dest < n_);
   msg.sender = from;  // authenticated identity (Def. 2.2)
+  auth_.sign(msg);    // tag at origin (binds the sender)
   ++stats_.sent;
   stats_.per_kind[std::size_t(msg.kind)]++;
+  stats_.payload_bytes += msg.payload.size();
   tap(TapEvent::Kind::kSent, from, dest, msg);
   route(from, dest, std::move(msg));
 }
 
 void Network::send_all(NodeId from, const WireMessage& msg) {
-  if (faulty_now()) {
-    // A faulty network may corrupt each destination's copy independently,
-    // so chaos fans out through the per-copy unicast path.
-    for (NodeId dest = 0; dest < n_; ++dest) send(from, dest, msg);
-    return;
-  }
-  // Non-faulty fan-out: ONE authenticated payload copy into a pooled slot,
-  // shared by all n delivery events. Per-destination bookkeeping (stats,
-  // tap, delay sampling) runs in the same order as n unicast sends so a
-  // seeded run is bit-identical to the per-copy path.
-  const std::uint32_t index = acquire_payload();
-  SharedPayload& shared = payload(index);
-  shared.msg = msg;
-  shared.msg.sender = from;  // authenticated identity (Def. 2.2)
-  shared.refs = n_;
-  for (NodeId dest = 0; dest < n_; ++dest) {
-    ++stats_.sent;
-    stats_.per_kind[std::size_t(shared.msg.kind)]++;
-    tap(TapEvent::Kind::kSent, from, dest, shared.msg);
-    const Duration delay = sample_delay(from, dest, shared.msg);
-    queue_.schedule(queue_.now() + delay, next_key(from), [this, dest, index] {
-      const SharedPayload& p = payload(index);
-      ++stats_.delivered;
-      tap(TapEvent::Kind::kDelivered, p.msg.sender, dest, p.msg);
-      deliver_(dest, p.msg);
-      release_payload(index);
-    });
-  }
-}
-
-std::uint32_t Network::acquire_payload() {
-  if (payload_free_ != kNullPayload) {
-    const std::uint32_t index = payload_free_;
-    payload_free_ = payload(index).next_free;
-    ++live_payloads_;
-    return index;
-  }
-  chunks_.push_back(std::make_unique<PayloadChunk>());
-  const std::uint32_t base = std::uint32_t(chunks_.size() - 1) * kPayloadChunk;
-  // Thread slots [base+1, base+kPayloadChunk) onto the free list; hand out
-  // the first one.
-  for (std::uint32_t i = kPayloadChunk; i-- > 1;) {
-    payload(base + i).next_free = payload_free_;
-    payload_free_ = base + i;
-  }
-  ++live_payloads_;
-  return base;
-}
-
-void Network::release_payload(std::uint32_t index) {
-  SharedPayload& p = payload(index);
-  SSBFT_EXPECTS(p.refs > 0);
-  if (--p.refs == 0) {
-    p.next_free = payload_free_;
-    payload_free_ = index;
-    --live_payloads_;
-  }
+  // Plain per-destination fan-out. The payload pool makes this zero-copy
+  // already: each unicast copy of `msg` shares the pooled body by
+  // reference, so broadcast needs no separate pooled path (and the chaos /
+  // handoff-export machinery has exactly one delivery funnel to reason
+  // about). Bookkeeping order (stats, tap, delay draws) per destination is
+  // the historical pooled-broadcast order, bit-identical by construction.
+  for (NodeId dest = 0; dest < n_; ++dest) send(from, dest, msg);
 }
 
 Duration Network::sample_delay(NodeId from, NodeId dest,
@@ -170,11 +123,25 @@ void Network::route(NodeId from, NodeId dest, WireMessage msg) {
 
 void Network::schedule_delivery(RealTime when, EventKey key, NodeId dest,
                                 const WireMessage& msg, bool forged) {
+  // Delivery-side verification happens inside the closure (i.e. at the
+  // delivery instant) in every variant below: the check is a pure function
+  // of message content, so serial, sharded, and migrated runs reject the
+  // same copies at the same points of the total order.
   if (!handoff_export_) {
     if (forged) {
-      queue_.schedule(when, key, [this, dest, msg] { deliver_(dest, msg); });
+      queue_.schedule(when, key, [this, dest, msg] {
+        if (!auth_.verify(msg)) {
+          reject(dest, msg);
+          return;
+        }
+        deliver_(dest, msg);
+      });
     } else {
       queue_.schedule(when, key, [this, dest, msg] {
+        if (!auth_.verify(msg)) {
+          reject(dest, msg);
+          return;
+        }
         ++stats_.delivered;
         tap(TapEvent::Kind::kDelivered, msg.sender, dest, msg);
         deliver_(dest, msg);
@@ -182,12 +149,16 @@ void Network::schedule_delivery(RealTime when, EventKey key, NodeId dest,
     }
     return;
   }
-  // Handoff-export mode: the payload rides in the tracking slab, the event
+  // Handoff-export mode: the message rides in the tracking slab, the event
   // closure carries only the slot index. Whatever is still in the slab when
   // the run is exported IS the in-flight message set.
   const std::uint32_t index = track(PendingDelivery{when, key, dest, msg, forged});
   queue_.schedule(when, key, [this, index] {
     const PendingDelivery pending = untrack(index);
+    if (!auth_.verify(pending.msg)) {
+      reject(pending.dest, pending.msg);
+      return;
+    }
     if (!pending.forged) {
       ++stats_.delivered;
       tap(TapEvent::Kind::kDelivered, pending.msg.sender, pending.dest,
@@ -195,6 +166,12 @@ void Network::schedule_delivery(RealTime when, EventKey key, NodeId dest,
     }
     deliver_(pending.dest, pending.msg);
   });
+}
+
+void Network::reject(NodeId dest, const WireMessage& msg) {
+  ++stats_.auth_rejected;
+  tap(TapEvent::Kind::kRejected, msg.sender, dest, msg);
+  trace::instant(TraceLayer::kWorkload, TraceName::kAuthReject, dest);
 }
 
 void Network::enable_handoff_export() {
@@ -233,13 +210,32 @@ std::vector<Network::PendingDelivery> Network::pending_deliveries() const {
 }
 
 void Network::corrupt(NodeId from, WireMessage& msg) {
+  // Any tampering here leaves msg.auth stale, so under AuthKind::kHmac the
+  // verifier discards the copy at delivery (auth_rejected) — the faulty
+  // network garbles traffic but cannot mint valid tags.
   Rng& rng = link_rng_[from];
-  switch (rng.next_below(5)) {
+  switch (rng.next_below(7)) {
     case 0: msg.kind = MsgKind(rng.next_below(std::uint64_t(MsgKind::kNumKinds))); break;
     case 1: msg.sender = NodeId(rng.next_below(n_)); break;
     case 2: msg.value = rng.next_u64(); break;
     case 3: msg.general = GeneralId{NodeId(rng.next_below(n_))}; break;
     case 4: msg.round = std::uint32_t(rng.next_below(64)); break;
+    case 5: msg.auth = rng.next_u64(); break;  // tag tamper
+    case 6: {
+      // Payload tamper. Shared pool slots are immutable, so the corrupted
+      // copy gets its OWN (cloned or fabricated) body; other recipients of
+      // the same broadcast keep the original bytes. One draw either way.
+      const std::uint64_t r = rng.next_u64();
+      if (msg.payload.empty()) {
+        msg.payload = Payload{&r, sizeof r};
+      } else {
+        std::vector<std::uint8_t> bytes(msg.payload.data(),
+                                        msg.payload.data() + msg.payload.size());
+        bytes[r % bytes.size()] ^= std::uint8_t((r >> 32) | 1);
+        msg.payload = Payload{bytes.data(), std::uint32_t(bytes.size())};
+      }
+      break;
+    }
   }
 }
 

@@ -5,6 +5,15 @@
 // *faulty* (the transient period before ι0), the network may drop, delay
 // beyond δ, duplicate, or corrupt messages — and the fault injector may
 // plant messages with forged senders, modelling arbitrary in-flight state.
+//
+// Bytes and tags: every send path signs at origin under the configured
+// AuthKind (sim/auth.hpp) and every delivery closure verifies — a failed
+// check counts as auth_rejected, taps kRejected, and never reaches the
+// behavior. Message bodies ride as Payload handles (sim/payload.hpp): the
+// process-wide refcounted pool owns all in-flight bytes, so unicast send,
+// broadcast fan-out, chaos duplicates, and handoff-export snapshots all
+// share one copy of a pooled body — copying a WireMessage bumps a refcount,
+// it never copies payload bytes. See docs/wire-format.md.
 #pragma once
 
 #include <array>
@@ -14,8 +23,10 @@
 #include <optional>
 #include <vector>
 
+#include "sim/auth.hpp"
 #include "sim/delay_model.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/payload.hpp"
 #include "sim/tap.hpp"
 #include "sim/wire.hpp"
 #include "util/assert.hpp"
@@ -55,6 +66,8 @@ struct NetworkStats {
   std::uint64_t duplicated = 0;
   std::uint64_t corrupted = 0;
   std::uint64_t forged = 0;      // injected with a fake sender
+  std::uint64_t auth_rejected = 0;  // failed the authenticator at delivery
+  std::uint64_t payload_bytes = 0;  // per-copy payload bytes admitted
   std::array<std::uint64_t, std::size_t(MsgKind::kNumKinds)> per_kind{};
 
   /// Field-wise sum — how the sharded engine aggregates per-shard counters.
@@ -67,6 +80,8 @@ struct NetworkStats {
     duplicated += other.duplicated;
     corrupted += other.corrupted;
     forged += other.forged;
+    auth_rejected += other.auth_rejected;
+    payload_bytes += other.payload_bytes;
     for (std::size_t k = 0; k < per_kind.size(); ++k) {
       per_kind[k] += other.per_kind[k];
     }
@@ -86,17 +101,19 @@ class Network {
   /// the sharded engine mirrors these streams shard-locally.
   Network(EventQueue& queue, std::uint32_t n, DelayModel link_delay,
           DelayModel proc_delay, ChaosConfig chaos, std::uint64_t seed,
-          DeliverFn deliver);
+          DeliverFn deliver, AuthKind auth = AuthKind::kNull);
 
-  /// Authenticated send: `msg.sender` is overwritten with `from`.
+  /// Authenticated send: `msg.sender` is overwritten with `from` and the
+  /// tag stamped under the configured scheme. A pooled payload body is
+  /// never copied — every delivery event (and any chaos duplicate) shares
+  /// the sender's pool slot by reference.
   void send(NodeId from, NodeId dest, WireMessage msg);
 
-  /// Broadcast to every node (self included). While the network is
-  /// non-faulty the payload is copied ONCE into a refcounted pool slot
-  /// shared by all n delivery events (zero per-destination copies); the
-  /// chaos path falls back to per-destination routing because each copy may
-  /// be corrupted independently. Delay sampling, stats, and tap order are
-  /// identical to n unicast sends, so seeded runs are bit-exact either way.
+  /// Broadcast to every node (self included): n unicast sends in
+  /// destination order, all sharing the message's pooled payload slot. The
+  /// fan-out copies no payload bytes for pooled bodies — exactly the
+  /// unicast path run n times, so seeded runs are bit-exact with it by
+  /// construction.
   void send_all(NodeId from, const WireMessage& msg);
 
   /// Fault-injector backdoor: place a message (possibly with a forged
@@ -150,8 +167,14 @@ class Network {
   /// The resolved chaos delay cap (fallback applied, floor clamped).
   [[nodiscard]] Duration chaos_max_delay() const { return chaos_.max_delay; }
 
-  /// Live shared-payload pool slots (diagnostics/tests).
-  [[nodiscard]] std::uint32_t live_payloads() const { return live_payloads_; }
+  /// Live slots in the process-wide payload pool (diagnostics/tests; zero
+  /// after a run once every queue closure, snapshot, and probe let go).
+  [[nodiscard]] std::uint32_t live_payloads() const {
+    return payload_pool().live();
+  }
+
+  /// The delivery-side verifier (tests; key derives from the world seed).
+  [[nodiscard]] const Authenticator& authenticator() const { return auth_; }
 
   // --- engine-migration surface (sim/duty_world.hpp) -----------------------
 
@@ -217,27 +240,6 @@ class Network {
   }
 
  private:
-  // Refcounted broadcast payloads, stored in chunked (address-stable) slabs
-  // recycled through a free list: a warm pool performs no allocation, and
-  // delivery handlers may trigger nested send_all (growing the pool)
-  // while a reference to their own payload is still in use.
-  struct SharedPayload {
-    WireMessage msg{};
-    std::uint32_t refs = 0;
-    std::uint32_t next_free = kNullPayload;
-  };
-  static constexpr std::uint32_t kNullPayload = ~std::uint32_t{0};
-  static constexpr std::uint32_t kPayloadChunk = 64;
-  struct PayloadChunk {
-    SharedPayload slots[kPayloadChunk];
-  };
-
-  [[nodiscard]] std::uint32_t acquire_payload();
-  [[nodiscard]] SharedPayload& payload(std::uint32_t index) {
-    return chunks_[index / kPayloadChunk]->slots[index % kPayloadChunk];
-  }
-  void release_payload(std::uint32_t index);
-
   /// Sample (or ask the oracle for) one non-faulty link+processing delay,
   /// drawn from `from`'s stream.
   [[nodiscard]] Duration sample_delay(NodeId from, NodeId dest,
@@ -264,14 +266,14 @@ class Network {
   void tap(TapEvent::Kind kind, NodeId from, NodeId to, const WireMessage& msg);
 
   /// Schedule one per-copy delivery event, through the tracking slab when
-  /// handoff export is enabled. Every non-pooled delivery path (non-faulty
-  /// unicast, chaos, duplicates, forged plants) funnels through here; the
-  /// pooled send_all path stays separate — it is a non-faulty-phase
-  /// mechanism, unreachable during a chaos segment (the only serial phase a
-  /// duty-cycle run ever exports: serial segments coincide exactly with the
-  /// chaos windows, so every send inside one takes the faulty path).
+  /// handoff export is enabled. EVERY delivery path (non-faulty unicast and
+  /// broadcast fan-out, chaos, duplicates, forged plants) funnels through
+  /// here, so handoff-export reasoning covers them all; a pooled payload
+  /// body rides each copy as a slot reference, never re-copied.
   void schedule_delivery(RealTime when, EventKey key, NodeId dest,
                          const WireMessage& msg, bool forged);
+  /// Delivery-side authenticator failure: count, tap, trace, discard.
+  void reject(NodeId dest, const WireMessage& msg);
   [[nodiscard]] std::uint32_t track(const PendingDelivery& pending);
   [[nodiscard]] PendingDelivery untrack(std::uint32_t index);
 
@@ -291,9 +293,7 @@ class Network {
   TapFn tap_;
   DelayOracle oracle_;
   std::uint64_t oracle_seq_ = 0;
-  std::vector<std::unique_ptr<PayloadChunk>> chunks_;
-  std::uint32_t payload_free_ = kNullPayload;
-  std::uint32_t live_payloads_ = 0;
+  Authenticator auth_;
 
   // Handoff-export tracking slab (enable_handoff_export). `pending_live_`
   // marks occupied slots; dead slots wait on `pending_free_` for reuse.

@@ -114,6 +114,7 @@ Shard::Shard(ShardWorld& world, std::uint32_t index, std::uint32_t shard_count,
              shard_count > 1),
       lax_(world.config().shard_sched == ShardSched::kLax && shard_count > 1),
       logger_(world.config().log_level),
+      auth_(world.config().auth, world.config().seed),
       outbox_(shard_count) {
   SSBFT_EXPECTS(first_node_ < end_node_);
   const WorldConfig& config = world_.config();
@@ -222,9 +223,11 @@ Duration Shard::sample_delay(NodeSlot& from) {
 void Shard::send(NodeId from, NodeId dest, WireMessage msg) {
   SSBFT_EXPECTS(dest < world_.n());
   msg.sender = from;  // authenticated identity (Def. 2.2)
+  auth_.sign(msg);    // tag at origin (binds the sender)
   NetworkStats& stats = wire_stats();
   ++stats.sent;
   stats.per_kind[std::size_t(msg.kind)]++;
+  stats.payload_bytes += msg.payload.size();
   NodeSlot& sender = slot(from);
   const Duration delay = sample_delay(sender);
   const RealTime when = world_.now() + delay;
@@ -235,12 +238,12 @@ void Shard::send(NodeId from, NodeId dest, WireMessage msg) {
     // outbox and merges at the barrier. The heap's key order makes the
     // detour unobservable.
     SSBFT_ASSERT(delay >= world_.lookahead());
-    ShardWorld::tl_exec_->outbox[world_.shard_index_[dest]].push_back(
-        Pending{when, key, dest, msg});
+    ShardWorld::tl_exec_->outbox[world_.shard_index_[dest]].push(
+        Pending{when, key, dest, std::move(msg)});
     return;
   }
   if (owns(dest)) {
-    schedule_delivery(when, key, dest, msg);
+    schedule_delivery(when, key, dest, std::move(msg));
     return;
   }
   Shard& target = world_.shard_of(dest);
@@ -251,14 +254,14 @@ void Shard::send(NodeId from, NodeId dest, WireMessage msg) {
     if (lax_) {
       // Lax window: hand it to the destination NOW (under its inbox lock)
       // so the receiver's slack horizon can run ahead past the λ edge.
-      target.push_lax(Pending{when, key, dest, msg});
+      target.push_lax(Pending{when, key, dest, std::move(msg)});
     } else {
-      outbox_[target.index_].push_back(Pending{when, key, dest, msg});
+      outbox_[target.index_].push(Pending{when, key, dest, std::move(msg)});
     }
   } else {
     // Serial phase (on_start, piecewise runs): no concurrency, insert
     // straight into the owning shard.
-    target.schedule_delivery(when, key, dest, msg);
+    target.schedule_delivery(when, key, dest, std::move(msg));
   }
 }
 
@@ -270,12 +273,20 @@ void Shard::send_all(NodeId from, const WireMessage& msg) {
 }
 
 void Shard::schedule_delivery(RealTime when, EventKey key, NodeId dest,
-                              const WireMessage& msg) {
+                              WireMessage msg) {
   SSBFT_EXPECTS(owns(dest));
   Shard* shard = this;
   EventQueue& queue = dest_queue(dest);
+  // The authenticator check runs inside the closure — at the delivery
+  // instant — as a pure function of message content, so serial, sharded,
+  // and migrated runs reject the same copies at the same points of the
+  // total order (see Network::schedule_delivery).
   if (!handoff_export_) {
-    queue.schedule(when, key, [shard, dest, msg] {
+    queue.schedule(when, key, [shard, dest, msg = std::move(msg)] {
+      if (!shard->auth_.verify(msg)) {
+        shard->reject(dest);
+        return;
+      }
       ++shard->wire_stats().delivered;
       shard->deliver(dest, msg);
     });
@@ -284,29 +295,42 @@ void Shard::schedule_delivery(RealTime when, EventKey key, NodeId dest,
   // Export mode: the payload rides in the tracking slab, the closure
   // carries only the slot index — whatever is still tracked at a cut IS
   // this shard's in-flight message set (see Network::schedule_delivery).
-  const std::uint32_t index =
-      track(Network::PendingDelivery{when, key, dest, msg, /*forged=*/false});
+  const std::uint32_t index = track(Network::PendingDelivery{
+      when, key, dest, std::move(msg), /*forged=*/false});
   queue.schedule(when, key, [shard, index] {
     const Network::PendingDelivery pending = shard->untrack(index);
+    if (!shard->auth_.verify(pending.msg)) {
+      shard->reject(pending.dest);
+      return;
+    }
     ++shard->wire_stats().delivered;
     shard->deliver(pending.dest, pending.msg);
   });
 }
 
 void Shard::schedule_forged(RealTime when, EventKey key, NodeId dest,
-                            const WireMessage& msg) {
+                            WireMessage msg) {
   SSBFT_EXPECTS(owns(dest));
   Shard* shard = this;
   EventQueue& queue = dest_queue(dest);
   if (!handoff_export_) {
-    queue.schedule(when, key,
-                   [shard, dest, msg] { shard->deliver(dest, msg); });
+    queue.schedule(when, key, [shard, dest, msg = std::move(msg)] {
+      if (!shard->auth_.verify(msg)) {
+        shard->reject(dest);
+        return;
+      }
+      shard->deliver(dest, msg);
+    });
     return;
   }
-  const std::uint32_t index =
-      track(Network::PendingDelivery{when, key, dest, msg, /*forged=*/true});
+  const std::uint32_t index = track(
+      Network::PendingDelivery{when, key, dest, std::move(msg), /*forged=*/true});
   queue.schedule(when, key, [shard, index] {
     const Network::PendingDelivery pending = shard->untrack(index);
+    if (!shard->auth_.verify(pending.msg)) {
+      shard->reject(pending.dest);
+      return;
+    }
     shard->deliver(pending.dest, pending.msg);
   });
 }
@@ -371,6 +395,11 @@ void Shard::deliver(NodeId dest, const WireMessage& msg) {
   world_.note_cost(dest);
   NodeSlot& s = slot(dest);
   if (s.behavior) s.behavior->on_message(*s.context, msg);
+}
+
+void Shard::reject(NodeId dest) {
+  ++wire_stats().auth_rejected;
+  trace::instant(TraceLayer::kWorkload, TraceName::kAuthReject, dest);
 }
 
 void Shard::pump_timers(RealTime bound) {
@@ -454,9 +483,9 @@ std::uint64_t Shard::run_node_window(NodeId id, RealTime end, bool inclusive) {
   return queue.dispatched() - before;
 }
 
-void Shard::push_lax(const Pending& p) {
+void Shard::push_lax(Pending&& p) {
   std::lock_guard<std::mutex> lock(exec_mutex_);
-  lax_inbox_.push_back(p);
+  lax_inbox_.push(std::move(p));
 }
 
 void Shard::drain_lax_inbox() {
@@ -464,10 +493,9 @@ void Shard::drain_lax_inbox() {
     std::lock_guard<std::mutex> lock(exec_mutex_);
     lax_scratch_.swap(lax_inbox_);
   }
-  for (const Pending& p : lax_scratch_) {
-    schedule_delivery(p.when, p.key, p.dest, p.msg);
-  }
-  lax_scratch_.clear();
+  lax_scratch_.drain([this](Pending&& p) {
+    schedule_delivery(p.when, p.key, p.dest, std::move(p.msg));
+  });
 }
 
 void Shard::adopt_node(NodeId id, WorldMigration::NodeState&& state) {
@@ -493,24 +521,19 @@ void Shard::import_timers(
 }
 
 void Shard::drain_inboxes() {
+  const auto sink = [this](Pending&& p) {
+    schedule_delivery(p.when, p.key, p.dest, std::move(p.msg));
+  };
   for (const auto& peer : world_.shards_) {
     if (peer.get() == this) continue;
-    std::vector<Pending>& inbox = peer->outbox_[index_];
-    for (const Pending& p : inbox) {
-      schedule_delivery(p.when, p.key, p.dest, p.msg);
-    }
-    inbox.clear();
+    peer->outbox_[index_].drain(sink);
   }
   if (steal_) {
     // Merge the per-worker execution outboxes, in worker order. Key order
     // makes the merge order unobservable; worker order keeps it
     // deterministic anyway.
     for (auto& exec : world_.exec_) {
-      std::vector<Pending>& inbox = exec->outbox[index_];
-      for (const Pending& p : inbox) {
-        schedule_delivery(p.when, p.key, p.dest, p.msg);
-      }
-      inbox.clear();
+      exec->outbox[index_].drain(sink);
     }
   }
   if (lax_) {

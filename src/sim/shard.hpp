@@ -30,6 +30,7 @@
 #include <mutex>
 #include <vector>
 
+#include "sim/auth.hpp"
 #include "sim/clock.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"  // NetworkStats
@@ -53,6 +54,35 @@ class Shard {
     EventKey key;
     NodeId dest;
     WireMessage msg;
+  };
+
+  /// A batch of cross-shard deliveries moving between execution contexts
+  /// under the engine's SPSC discipline: exactly one producer fills it
+  /// (the sending shard inside a window, or one worker's private execution
+  /// context under kSteal) and exactly one consumer drains it (the owning
+  /// shard at a barrier, or under `exec_mutex_` for the lax inbox). Entries
+  /// are MOVED through, never copied: a Pending's WireMessage holds its
+  /// body as a refcounted pool handle (sim/payload.hpp), so the handoff
+  /// transfers the reference instead of bouncing the slot's refcount — the
+  /// pool slot filled at send() is the same one the destination behavior
+  /// reads.
+  class Mailbox {
+   public:
+    void push(Pending&& p) { items_.push_back(std::move(p)); }
+    [[nodiscard]] bool empty() const { return items_.empty(); }
+    /// Hand every buffered delivery to `sink` by move, then reset (the
+    /// backing capacity is kept for the next window).
+    template <typename Sink>
+    void drain(Sink&& sink) {
+      for (Pending& p : items_) sink(std::move(p));
+      items_.clear();
+    }
+    /// O(1) handoff of the whole batch (the lax double-buffer swaps under
+    /// the mutex, then drains outside it).
+    void swap(Mailbox& other) noexcept { items_.swap(other.items_); }
+
+   private:
+    std::vector<Pending> items_;
   };
 
   Shard(ShardWorld& world, std::uint32_t index, std::uint32_t shard_count,
@@ -115,14 +145,18 @@ class Shard {
 
   /// Schedule a delivery on THIS shard (dest must be owned). Used by the
   /// local send path, by drain_inboxes, and by ShardWorld for serial-phase
-  /// cross-shard sends.
+  /// cross-shard sends. Takes the message by value so in-engine callers can
+  /// move the pool reference straight into the event closure. The
+  /// authenticator check runs inside the closure, at the delivery instant,
+  /// mirroring Network::schedule_delivery.
   void schedule_delivery(RealTime when, EventKey key, NodeId dest,
-                         const WireMessage& msg);
+                         WireMessage msg);
 
   /// Fault-injector plant: deliver without the delivered/tap accounting,
-  /// mirroring Network::inject_raw.
+  /// mirroring Network::inject_raw. Forged copies face the same delivery-
+  /// instant authenticator check as authentic traffic.
   void schedule_forged(RealTime when, EventKey key, NodeId dest,
-                       const WireMessage& msg);
+                       WireMessage msg);
 
   /// Park a world-level action for `target` in the queue that owns it (the
   /// central queue, or target's node queue under kSteal). Serial phases /
@@ -147,8 +181,8 @@ class Shard {
   /// from this shard's worker mid-window (senders push under the mutex).
   void drain_lax_inbox();
   /// Push a delivery into this shard's lax inbox (called by PEER workers
-  /// mid-window, under the mutex).
-  void push_lax(const Pending& p);
+  /// mid-window, under the mutex). Moves the pool reference in.
+  void push_lax(Pending&& p);
 
   // --- engine-migration surface (serial segment ⇄ windowed segment) -------
 
@@ -228,6 +262,11 @@ class Shard {
 
   void deliver(NodeId dest, const WireMessage& msg);
 
+  /// Delivery-instant authenticator failure: count it (in the CURRENT
+  /// execution context's counters) and emit the trace instant. The copy is
+  /// discarded — the behavior never sees it.
+  void reject(NodeId dest);
+
   [[nodiscard]] std::uint32_t track(const Network::PendingDelivery& pending);
   [[nodiscard]] Network::PendingDelivery untrack(std::uint32_t index);
   [[nodiscard]] Network::PendingDelivery untrack_unlocked(std::uint32_t index);
@@ -253,17 +292,20 @@ class Shard {
   std::vector<TimerWheel::Due> due_batch_;  // advance() scratch, reused
   std::uint64_t suppressed_timers_ = 0;     // cancelled-after-hand-over pops
   Logger logger_;
+  /// Same scheme + key as the serial Network's (both derive from the world
+  /// seed), so a migrated run keeps verifying its own traffic.
+  Authenticator auth_;
   NetworkStats stats_;
-  std::vector<NodeSlot> slots_;            // [first_node_, end_node_)
-  std::vector<std::vector<Pending>> outbox_;  // indexed by destination shard
+  std::vector<NodeSlot> slots_;  // [first_node_, end_node_)
+  std::vector<Mailbox> outbox_;  // indexed by destination shard
 
   /// kSteal: serializes wheel arm/cancel/claim and tracking-slab untrack —
   /// a thief executing this shard's node touches them concurrently with
   /// the owner. kLax: guards lax_inbox_. Uncontended in other modes (never
   /// taken).
   std::mutex exec_mutex_;
-  std::vector<Pending> lax_inbox_;   // kLax: mid-window cross-shard arrivals
-  std::vector<Pending> lax_scratch_;  // drain double-buffer (keeps capacity)
+  Mailbox lax_inbox_;   // kLax: mid-window cross-shard arrivals
+  Mailbox lax_scratch_;  // drain double-buffer (keeps capacity)
 
   // Handoff-export tracking slab, mirroring Network's: `pending_live_`
   // marks occupied slots, dead slots wait on `pending_free_` for reuse,

@@ -262,7 +262,7 @@ void ShardWorld::inject_raw(NodeId dest, WireMessage msg, Duration delay) {
   // this plant (engine-independent dispatch order; see kForgedCreator).
   shard_of(dest).schedule_forged(now() + delay,
                                  EventKey{kForgedCreator, forged_seq_++}, dest,
-                                 msg);
+                                 std::move(msg));
 }
 
 NetworkStats ShardWorld::net_stats() const {

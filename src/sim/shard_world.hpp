@@ -178,7 +178,7 @@ class ShardWorld final : public WorldBase {
   struct ExecContext {
     ExecContext(LogLevel level, std::uint32_t shard_count)
         : outbox(shard_count), logger(level) {}
-    std::vector<std::vector<Shard::Pending>> outbox;  // by destination shard
+    std::vector<Shard::Mailbox> outbox;  // by destination shard
     NetworkStats stats;
     std::uint64_t steals = 0;
     std::uint64_t stolen_events = 0;

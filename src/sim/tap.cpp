@@ -8,6 +8,7 @@ const char* to_string(TapEvent::Kind kind) {
     case TapEvent::Kind::kDelivered: return "delivered";
     case TapEvent::Kind::kDropped: return "dropped";
     case TapEvent::Kind::kForged: return "forged";
+    case TapEvent::Kind::kRejected: return "rejected";
   }
   return "?";
 }

@@ -20,6 +20,7 @@ struct TapEvent {
     kDelivered,  // handed to the destination (post processing delay)
     kDropped,    // lost during a network-faulty period
     kForged,     // injected by the fault injector (sender unauthenticated)
+    kRejected,   // authenticator check failed at delivery; discarded
   };
 
   Kind kind = Kind::kSent;

@@ -25,6 +25,10 @@ std::string to_string(const WireMessage& m) {
   s += ", m=" + std::to_string(m.value);
   if (m.broadcaster != kNoNode) s += ", p=" + std::to_string(m.broadcaster);
   if (m.round != 0) s += ", k=" + std::to_string(m.round);
+  if (!m.payload.empty()) {
+    s += ", |b|=" + std::to_string(m.payload.size());
+  }
+  if (m.auth != 0) s += ", auth";
   s += ", from=" + std::to_string(m.sender);
   s += ")";
   return s;

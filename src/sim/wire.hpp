@@ -2,15 +2,26 @@
 //
 // Every protocol in the repository (Initiator-Accept, msgd-broadcast,
 // ss-Byz-Agree bookkeeping, and the TPS'87 baseline) exchanges instances of
-// one flat POD message. A single flat struct keeps the simulator protocol-
-// agnostic, lets the Byzantine adversary forge arbitrary content, and makes
+// one flat message. A single struct keeps the simulator protocol-agnostic,
+// lets the Byzantine adversary forge arbitrary content, and makes
 // "arbitrary spurious messages in flight" (the transient-fault model)
 // trivially expressible.
+//
+// The fixed header (kind/sender/general/value/broadcaster/round) is what the
+// protocols consume. Two carried extras make "production traffic"
+// representable (see docs/wire-format.md for the byte-level layout):
+//   auth     the authenticator tag (sim/auth.hpp) — stamped by the network's
+//            send paths, checked at delivery; 0 under the null scheme.
+//   payload  a variable-size application body (sim/payload.hpp) — a value
+//            handle whose bytes live inline (≤ one cacheline) or in a
+//            refcounted slot of the process-wide payload pool, so copying a
+//            WireMessage never copies a pooled body.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
+#include "sim/payload.hpp"
 #include "util/types.hpp"
 
 namespace ssbft {
@@ -37,7 +48,9 @@ enum class MsgKind : std::uint8_t {
 
 /// One message on the wire. `sender` is authenticated by the network when it
 /// is non-faulty (Def. 2.2): Network::send overwrites it with the true
-/// origin. Only the transient-fault injector may plant forged senders.
+/// origin and signs (`auth`) under the configured scheme. Only the
+/// transient-fault injector may plant forged senders — and under AuthKind::
+/// kHmac its plants carry tags the verifier rejects.
 struct WireMessage {
   MsgKind kind = MsgKind::kInitiator;
   NodeId sender = kNoNode;
@@ -45,6 +58,8 @@ struct WireMessage {
   Value value = kBottom;   // m
   NodeId broadcaster = kNoNode;  // p in (p, m, k); unused by Initiator-Accept
   std::uint32_t round = 0;       // k in (p, m, k); unused by Initiator-Accept
+  std::uint64_t auth = 0;        // authenticator tag (0 = untagged)
+  Payload payload;               // application body (may be empty)
 
   friend bool operator==(const WireMessage&, const WireMessage&) = default;
 };

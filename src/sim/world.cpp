@@ -117,7 +117,8 @@ World::World(WorldConfig config)
   network_ = std::make_unique<Network>(
       queue_, config_.n, config_.link_delay, config_.proc_delay, config_.chaos,
       config_.seed,
-      [this](NodeId dest, const WireMessage& msg) { deliver(dest, msg); });
+      [this](NodeId dest, const WireMessage& msg) { deliver(dest, msg); },
+      config_.auth);
 
   nodes_.resize(config_.n);
   for (NodeId id = 0; id < config_.n; ++id) {

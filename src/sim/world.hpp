@@ -145,6 +145,11 @@ struct WorldConfig {
   std::uint64_t seed = 1;
   LogLevel log_level = LogLevel::kWarn;
 
+  /// Message-authentication scheme (sim/auth.hpp). Both engines derive the
+  /// signing key from `seed`, so a migrated run keeps verifying its own
+  /// traffic. kNull ⇒ the legacy untagged model.
+  AuthKind auth = AuthKind::kNull;
+
   /// Route node timers (Context::set_timer) through the hierarchical timer
   /// wheel: O(1) arm/cancel, batched hand-over to the event heap (see
   /// sim/timer_wheel.hpp). false ⇒ the legacy path that parks every timer

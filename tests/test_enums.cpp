@@ -14,6 +14,7 @@
 
 #include "core/node.hpp"
 #include "harness/scenario.hpp"
+#include "sim/auth.hpp"
 
 namespace ssbft {
 namespace {
@@ -46,6 +47,10 @@ TEST(EnumToStringTest, ShardSchedExhaustive) {
 
 TEST(EnumToStringTest, ProposeStatusExhaustive) {
   expect_exhaustive<ProposeStatus>(kProposeStatusCount);
+}
+
+TEST(EnumToStringTest, AuthKindExhaustive) {
+  expect_exhaustive<AuthKind>(kAuthKindCount);
 }
 
 TEST(EnumToStringTest, SpecificNamesStable) {

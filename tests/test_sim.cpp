@@ -495,26 +495,46 @@ TEST(NetworkTest, SendAllSharesOnePayloadAndRecyclesIt) {
   }
   world.start();
 
+  // A body past Payload::kInlineCapacity, so it lives in the shared pool;
+  // broadcast fan-out must share the ONE slot by refcount, not copy bytes.
   WireMessage msg;
   msg.kind = MsgKind::kApprove;
   msg.value = 9;
+  msg.payload = make_patterned_payload(Payload::kInlineCapacity + 33, 9);
+  const std::uint64_t copied_before = payload_pool().bytes_copied();
   world.network().send_all(1, msg);
-  EXPECT_EQ(world.network().live_payloads(), 1u);  // one copy for all 5
+  EXPECT_EQ(world.network().live_payloads(), 1u);  // one slot for all 5
   EXPECT_EQ(world.network().stats().sent, 5u);
+  // Fan-out + per-delivery closures bumped refcounts only: zero new byte
+  // copies after the original acquire.
+  EXPECT_EQ(payload_pool().bytes_copied(), copied_before);
 
   world.run_for(milliseconds(2));
-  EXPECT_EQ(world.network().live_payloads(), 0u);  // recycled after delivery
+  // Receivers recorded their copies, which still pin the ONE shared slot.
+  EXPECT_EQ(world.network().live_payloads(), 1u);
   for (auto* r : receivers) {
     ASSERT_EQ(r->received.size(), 1u);
     EXPECT_EQ(r->received[0].value, 9u);
     EXPECT_EQ(r->received[0].sender, 1u);  // authenticated on the shared copy
+    EXPECT_EQ(r->received[0].payload,
+              make_patterned_payload(Payload::kInlineCapacity + 33, 9));
   }
   EXPECT_EQ(world.network().stats().delivered, 5u);
+  EXPECT_EQ(world.network().stats().payload_bytes,
+            5u * (Payload::kInlineCapacity + 33));
+  // Dropping every reference recycles the slot.
+  msg.payload = Payload{};
+  for (auto* r : receivers) r->received.clear();
+  EXPECT_EQ(world.network().live_payloads(), 0u);
 
-  // A second broadcast reuses the pooled slot rather than growing the pool.
+  // A second broadcast reuses the recycled pool slot rather than growing
+  // the pool.
+  msg.payload = make_patterned_payload(Payload::kInlineCapacity + 33, 10);
   world.network().send_all(0, msg);
   EXPECT_EQ(world.network().live_payloads(), 1u);
+  msg.payload = Payload{};
   world.run_for(milliseconds(2));
+  for (auto* r : receivers) r->received.clear();
   EXPECT_EQ(world.network().live_payloads(), 0u);
 }
 

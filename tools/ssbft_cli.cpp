@@ -7,9 +7,20 @@
 //             [--adversary KIND] [--seed S] [--delta-us US] [--scramble]
 //             [--chaos-ms MS] [--chaos-count K] [--chaos-duty MS]
 //             [--proposals K] [--run-ms MS] [--depth D]
+//             [--auth KIND] [--payload-bytes N]
 //             [--shards S] [--shard-sched MODE] [--link-min-us US]
 //             [--trace PATH] [--stats-json PATH] [--json PATH]
-//             [--wire-trace] [--verbose]
+//             [--wire-trace] [--verbose] [--help]
+//
+// Authenticated payloads (single run or sweep, any engine):
+//   --auth hmac       tag every send with the deterministic keyed scheme
+//                     (sim/auth.hpp); deliveries whose tag does not verify
+//                     are discarded and counted (net auth_rejected). The
+//                     default, --auth null, is the legacy untagged model.
+//   --payload-bytes N attach an N-byte patterned command body to every
+//                     injected proposal. Bodies ride the shared payload
+//                     pool (zero-copy fan-out); the log stacks fold each
+//                     committed body's checksum into the run digest.
 //
 // Observability outputs (single-run mode, any engine):
 //   --trace PATH      record a structured timeline (harness/trace.hpp) and
@@ -75,6 +86,7 @@
 #include "harness/trace.hpp"
 #include "pulse/pulse_sync.hpp"
 #include "sim/duty_world.hpp"
+#include "sim/payload.hpp"
 #include "sim/shard_world.hpp"
 #include "sim/tap.hpp"
 #include "util/csv.hpp"
@@ -83,23 +95,29 @@ namespace {
 
 using namespace ssbft;
 
-[[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr,
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
                "usage: %s [--stack KIND] [--n N] [--f F] [--byz COUNT]\n"
                "          [--adversary KIND] [--seed S] [--delta-us US]\n"
                "          [--scramble] [--chaos-ms MS] [--chaos-count K]\n"
                "          [--chaos-duty MS] [--proposals K]\n"
                "          [--run-ms MS] [--depth D] [--shards S]\n"
+               "          [--auth KIND] [--payload-bytes N]\n"
                "          [--shard-sched MODE] [--link-min-us US]\n"
                "          [--trace PATH] [--stats-json PATH] [--json PATH]\n"
-               "          [--wire-trace] [--verbose]\n"
+               "          [--wire-trace] [--verbose] [--help]\n"
                "       %s --sweep [--sweep-n LIST] [--sweep-f LIST]\n"
                "          [--sweep-adversary LIST] [--seeds K] [--threads T]\n"
                "          [--csv PATH] [--json PATH]\n"
                "STACK: agree|pulse|clock|log|pipeline|tps\n"
                "ADVERSARY: silent|noise|equivocate|stagger|spam|replay|faker\n"
-               "MODE: static|balance|steal|lax\n",
+               "MODE: static|balance|steal|lax\n"
+               "AUTH: null|hmac\n",
                argv0, argv0);
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  print_usage(stderr, argv0);
   std::exit(2);
 }
 
@@ -111,6 +129,12 @@ AdversaryKind parse_adversary(const std::string& name, const char* argv0) {
   if (name == "spam") return AdversaryKind::kSpamGeneral;
   if (name == "replay") return AdversaryKind::kReplay;
   if (name == "faker") return AdversaryKind::kQuorumFaker;
+  usage(argv0);
+}
+
+AuthKind parse_auth(const std::string& name, const char* argv0) {
+  if (name == "null") return AuthKind::kNull;
+  if (name == "hmac") return AuthKind::kHmac;
   usage(argv0);
 }
 
@@ -408,15 +432,21 @@ bool write_single_run_json(const std::string& path, Cluster& cluster,
                to_string(sc.shard_sched), pass ? "true" : "false",
                static_cast<unsigned long long>(cluster.world().dispatched()));
   std::fprintf(out,
+               "  \"auth\": \"%s\",\n"
+               "  \"payload_bytes_per_proposal\": %u,\n"
                "  \"net\": {\"sent\": %llu, \"delivered\": %llu, "
                "\"dropped\": %llu, \"corrupted\": %llu, "
-               "\"duplicated\": %llu, \"forged\": %llu},\n",
+               "\"duplicated\": %llu, \"forged\": %llu, "
+               "\"auth_rejected\": %llu, \"payload_bytes\": %llu},\n",
+               to_string(sc.auth), sc.payload_bytes,
                static_cast<unsigned long long>(net.sent),
                static_cast<unsigned long long>(net.delivered),
                static_cast<unsigned long long>(net.dropped),
                static_cast<unsigned long long>(net.corrupted),
                static_cast<unsigned long long>(net.duplicated),
-               static_cast<unsigned long long>(net.forged));
+               static_cast<unsigned long long>(net.forged),
+               static_cast<unsigned long long>(net.auth_rejected),
+               static_cast<unsigned long long>(net.payload_bytes));
   ShardSchedStats ss;
   bool have_sched = false;
   auto* duty = dynamic_cast<DutyWorld*>(&cluster.world());
@@ -677,6 +707,13 @@ int main(int argc, char** argv) {
       run_ms = parse_u32(next(), argv[0], 1, 10'000'000);
     } else if (arg == "--depth") {
       sc.pipeline.depth = parse_u32(next(), argv[0], 1, 65'536);
+    } else if (arg == "--auth") {
+      sc.auth = parse_auth(next(), argv[0]);
+    } else if (arg == "--payload-bytes") {
+      sc.payload_bytes = parse_u32(next(), argv[0], 0, 1'048'576);
+    } else if (arg == "--help") {
+      print_usage(stdout, argv[0]);
+      return 0;
     } else if (arg == "--shards") {
       sc.shards = parse_u32(next(), argv[0], 0, 4096);
     } else if (arg == "--shard-sched") {
@@ -891,6 +928,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.delivered),
               static_cast<unsigned long long>(stats.dropped),
               static_cast<unsigned long long>(stats.forged));
+  if (sc.auth != AuthKind::kNull || sc.payload_bytes > 0) {
+    std::printf("auth: %s, %llu rejected   payload: %u B/proposal, "
+                "%llu B admitted, %llu pool slots live\n",
+                to_string(sc.auth),
+                static_cast<unsigned long long>(stats.auth_rejected),
+                sc.payload_bytes,
+                static_cast<unsigned long long>(stats.payload_bytes),
+                static_cast<unsigned long long>(payload_pool().live()));
+  }
 
   if (!trace_path.empty()) {
     if (TraceWriter::write_json(*cluster.tracer(), trace_path)) {

@@ -6,6 +6,7 @@
 //
 //   ssbft_explore [--n N] [--f F] [--byz COUNT] [--adversary KIND]
 //                 [--trials T] [--depth K] [--scramble] [--quorum POLICY]
+//                 [--help]
 //
 // KIND ∈ silent | noise | equivocate | faker       (default: silent)
 // POLICY ∈ optimal | majority                       (default: optimal)
@@ -25,13 +26,17 @@ namespace {
 
 using namespace ssbft;
 
-[[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr,
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
                "usage: %s [--n N] [--f F] [--byz COUNT] [--adversary KIND]\n"
                "          [--trials T] [--depth K] [--scramble]\n"
-               "          [--quorum optimal|majority]\n"
+               "          [--quorum optimal|majority] [--help]\n"
                "KIND: silent|noise|equivocate|faker\n",
                argv0);
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  print_usage(stderr, argv0);
   std::exit(2);
 }
 
@@ -63,6 +68,9 @@ int main(int argc, char** argv) {
       config.systematic_depth = std::uint32_t(std::atoi(next()));
     } else if (arg == "--scramble") {
       scramble = true;
+    } else if (arg == "--help") {
+      print_usage(stdout, argv[0]);
+      return 0;
     } else if (arg == "--adversary") {
       const std::string kind = next();
       if (kind == "silent") {
