@@ -26,10 +26,14 @@
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <map>
 #include <memory>
 #include <queue>
+#include <set>
 #include <thread>
 
+#include "core/flat_map.hpp"
+#include "core/node_set.hpp"
 #include "harness/runner.hpp"
 #include "harness/sweep.hpp"
 #include "harness/report.hpp"
@@ -210,6 +214,94 @@ TimerResult measure_timers(std::uint32_t in_flight, std::uint64_t total) {
   return r;
 }
 
+// ---------------------------------------------------- quorum tracking --
+// The flat-state refactor's hot shape: ss-Byz-Agree's per-round accept
+// records. Every delivered (support/ready, round, sender) lands in a
+// per-round distinct-sender set, then the quorum threshold is probed. The
+// seed kept these as std::map<round, std::set<NodeId>> — preserved here
+// verbatim (the LegacyEventQueue idiom) — the refactor moved them onto
+// FlatMap<round, NodeSet> (sorted vector + inline/bitset membership).
+// Workload: rounds advance in a sliding live window (old rounds erased,
+// Fig. 2/3-style cleanup), senders arrive round-robin with a stride so
+// insertion order is not presorted.
+struct LegacyQuorumTracker {
+  std::map<std::uint32_t, std::set<NodeId>> rounds;
+  std::uint64_t note(std::uint32_t round, NodeId sender,
+                     std::uint32_t quorum) {
+    std::set<NodeId>& senders = rounds[round];
+    senders.insert(sender);
+    return senders.size() >= quorum ? 1 : 0;
+  }
+  void forget_before(std::uint32_t round) {
+    for (auto it = rounds.begin(); it != rounds.end();) {
+      if (it->first < round) {
+        it = rounds.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+};
+
+struct FlatQuorumTracker {
+  FlatMap<std::uint32_t, NodeSet> rounds;
+  std::uint64_t note(std::uint32_t round, NodeId sender,
+                     std::uint32_t quorum) {
+    NodeSet& senders = rounds[round];
+    senders.insert(sender);
+    return senders.size() >= quorum ? 1 : 0;
+  }
+  void forget_before(std::uint32_t round) {
+    for (auto it = rounds.begin(); it != rounds.end();) {
+      if (it->first < round) {
+        it = rounds.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+};
+
+template <class Tracker>
+double quorum_updates_per_sec(std::uint32_t n, std::uint64_t total) {
+  constexpr std::uint32_t kLiveRounds = 8;  // sliding cleanup window
+  Tracker tracker;
+  const std::uint32_t quorum = n - n / 3;
+  std::uint64_t hits = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint32_t base_round = 0;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const std::uint32_t round = base_round + std::uint32_t(i % kLiveRounds);
+    const NodeId sender = NodeId((i * 17) % n);  // not presorted
+    hits += tracker.note(round, sender, quorum);
+    if (i % (std::uint64_t(n) * kLiveRounds) == 0 && i > 0) {
+      ++base_round;
+      tracker.forget_before(base_round);
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(hits);
+  return double(total) / std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct QuorumResult {
+  std::uint32_t n;
+  double map_ups = 0;
+  double flat_ups = 0;
+  [[nodiscard]] double speedup() const { return flat_ups / map_ups; }
+};
+
+QuorumResult measure_quorum(std::uint32_t n, std::uint64_t total) {
+  QuorumResult r{n};
+  for (int pass = 0; pass < 3; ++pass) {  // interleaved best-of-three
+    r.map_ups = std::max(
+        r.map_ups, quorum_updates_per_sec<LegacyQuorumTracker>(n, total));
+    r.flat_ups = std::max(
+        r.flat_ups, quorum_updates_per_sec<FlatQuorumTracker>(n, total));
+  }
+  return r;
+}
+
 // ------------------------------------------------------------- sweeps --
 
 Scenario engine_scenario() {
@@ -377,6 +469,22 @@ void print_and_record() {
   }
   timer_table.print();
 
+  std::printf("\nengine: quorum tracking — flat accept records "
+              "(FlatMap+NodeSet) vs seed design (map<round, set<NodeId>>)\n");
+  Table quorum_table({"n", "map Mup/s", "flat Mup/s", "speedup"});
+  const QuorumResult quorum_rows[] = {
+      measure_quorum(16, 4'000'000),
+      measure_quorum(256, 4'000'000),
+  };
+  for (const QuorumResult& r : quorum_rows) {
+    char map_s[32], flat_s[32], speedup[32];
+    std::snprintf(map_s, sizeof map_s, "%.1f", r.map_ups / 1e6);
+    std::snprintf(flat_s, sizeof flat_s, "%.1f", r.flat_ups / 1e6);
+    std::snprintf(speedup, sizeof speedup, "%.2fx", r.speedup());
+    quorum_table.add_row({std::to_string(r.n), map_s, flat_s, speedup});
+  }
+  quorum_table.print();
+
   const TraceOverheadResult trace = measure_trace_overhead();
   std::printf("\nengine: tracing cost — disarmed emission sites vs full "
               "recording (SSBFT_TRACING=%d)\n", SSBFT_TRACING);
@@ -442,6 +550,12 @@ void print_and_record() {
         "    \"in_flight_8192\": {\"heap_events_per_sec\": %.0f, "
         "\"wheel_events_per_sec\": %.0f, \"speedup\": %.3f}\n"
         "  },\n"
+        "  \"quorum_tracking\": {\n"
+        "    \"n_16\": {\"map_events_per_sec\": %.0f, "
+        "\"flat_events_per_sec\": %.0f, \"speedup\": %.3f},\n"
+        "    \"n_256\": {\"map_events_per_sec\": %.0f, "
+        "\"flat_events_per_sec\": %.0f, \"speedup\": %.3f}\n"
+        "  },\n"
         "  \"scenario_hot_path\": {\n"
         "    \"events_per_sec\": %.0f,\n"
         "    \"latency_p50_ms\": %.6f\n"
@@ -476,6 +590,10 @@ void print_and_record() {
         timer_rows[1].wheel_eps, timer_rows[1].speedup(),
         timer_rows[2].heap_eps, timer_rows[2].wheel_eps,
         timer_rows[2].speedup(),
+        quorum_rows[0].map_ups, quorum_rows[0].flat_ups,
+        quorum_rows[0].speedup(),
+        quorum_rows[1].map_ups, quorum_rows[1].flat_ups,
+        quorum_rows[1].speedup(),
         sweeps.events_per_sec_serial, sweeps.latency_p50_ms,
         trace.off_eps, trace.on_eps,
         payload_rows[0].eps,

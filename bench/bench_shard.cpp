@@ -23,6 +23,8 @@
 // tracked in-repo so future PRs can diff the perf trajectory).
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -55,6 +57,15 @@ Duration bench_horizon(std::uint32_t n) {
   return microseconds(2200);
 }
 
+/// Process-wide peak resident set, in kilobytes (Linux ru_maxrss unit).
+/// Sampled after the large-n runs, so it reflects the high-water mark the
+/// 4096-node worlds actually reached — the memory half of the scale pin.
+std::uint64_t peak_rss_kb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return std::uint64_t(usage.ru_maxrss);
+}
+
 Scenario shard_bench_scenario(std::uint32_t n, std::uint32_t shards,
                               ShardSched sched) {
   Scenario sc;
@@ -70,6 +81,25 @@ Scenario shard_bench_scenario(std::uint32_t n, std::uint32_t shards,
   sc.with_proposal(milliseconds(1), 0, 100);
   sc.run_for = bench_horizon(n);
   sc.seed = 1;
+  return sc;
+}
+
+/// The scale pin: a 4096-node agreement world on the federated overlay
+/// (64 contiguous clusters of 64), where the flat-state protocol cores and
+/// the topology layer have to carry their weight together. Flat fan-out at
+/// this n would cost the origin 4096 unicasts per broadcast; federated
+/// drops the origin's out-degree to 64 + 63 and lets cluster
+/// representatives relay. The horizon is a bounded slice of the
+/// first broadcast storm — enough deliveries (millions) to measure a
+/// steady events/sec, short enough that the row stays runnable in CI.
+constexpr std::uint32_t kLargeN = 4096;
+constexpr std::uint32_t kLargeClusterSize = 64;
+
+Scenario large_n_scenario(std::uint32_t shards, ShardSched sched) {
+  Scenario sc = shard_bench_scenario(kLargeN, shards, sched);
+  sc.topology = Topology::kFederated;
+  sc.cluster_size = kLargeClusterSize;
+  sc.run_for = microseconds(1800);
   return sc;
 }
 
@@ -232,9 +262,37 @@ void print_table() {
   }
   chaos_table.print();
 
+  // Scale pin: n = 4096 on the federated overlay, serial vs sharded, with
+  // the process peak RSS recorded alongside throughput. bench_check.py
+  // gates both against the committed baseline (throughput floor, 2x RSS
+  // ceiling) and hard-fails on parity.
+  std::printf("\nLarge-n scale pin (n = %u, federated overlay, cluster size "
+              "%u, %u us slice of the broadcast storm)\n",
+              kLargeN, kLargeClusterSize, 1800u);
+  Table large_table({"n", "topology", "events", "serial Mev/s",
+                     "sharded Mev/s", "speedup", "peak RSS MB",
+                     "digest parity"});
+  Row large_row;
+  large_row.n = kLargeN;
+  large_row.mode = ShardSched::kStatic;
+  large_row.serial = run_engine(large_n_scenario(0, ShardSched::kStatic));
+  large_row.sharded =
+      run_engine(large_n_scenario(kShards, ShardSched::kStatic));
+  const std::uint64_t large_rss_kb = peak_rss_kb();
+  large_table.add_row(
+      {std::to_string(large_row.n), "federated/64",
+       Table::fmt_int(large_row.serial.events),
+       fmt2(large_row.serial.events_per_sec / 1e6),
+       fmt2(large_row.sharded.events_per_sec / 1e6),
+       fmt2(large_row.speedup()) + "x",
+       Table::fmt_int(large_rss_kb / 1024),
+       large_row.parity() ? "yes" : "NO — BUG"});
+  large_table.print();
+
   bool all_parity = true;
   for (const Row& row : rows) all_parity = all_parity && row.parity();
   for (const Row& row : chaos_rows) all_parity = all_parity && row.parity();
+  all_parity = all_parity && large_row.parity();
 
   if (std::FILE* out = std::fopen("BENCH_shard.json", "w")) {
     std::fprintf(out, "{\n  \"shards\": %u,\n  \"hardware_threads\": %u,\n",
@@ -287,7 +345,30 @@ void print_table() {
                    row.parity() ? "true" : "false",
                    i + 1 < chaos_rows.size() ? "," : "");
     }
-    std::fprintf(out, "  ]\n}\n");
+    std::fprintf(out, "  ],\n");
+    // The map-based protocol cores this PR's flat structures replaced,
+    // measured on the n = 512 row at the commit that still carried them.
+    // bench_check.py compares the fresh n = 512 serial throughput against
+    // this pin (>= 1.2x) when hardware_threads match.
+    std::fprintf(out,
+                 "  \"flat_state_baseline\": {\"commit\": \"d9dfa12\", "
+                 "\"hardware_threads\": 1, "
+                 "\"n512_serial_events_per_sec\": 158726},\n");
+    std::fprintf(out,
+                 "  \"large_n\": {\"n\": %u, \"topology\": \"federated\", "
+                 "\"cluster_size\": %u, \"sched\": \"%s\", "
+                 "\"events\": %llu, "
+                 "\"serial_events_per_sec\": %.0f, "
+                 "\"sharded_events_per_sec\": %.0f, "
+                 "\"speedup\": %.3f, \"peak_rss_kb\": %llu, "
+                 "\"parity\": %s}\n",
+                 large_row.n, kLargeClusterSize, to_string(large_row.mode),
+                 static_cast<unsigned long long>(large_row.serial.events),
+                 large_row.serial.events_per_sec,
+                 large_row.sharded.events_per_sec, large_row.speedup(),
+                 static_cast<unsigned long long>(large_rss_kb),
+                 large_row.parity() ? "true" : "false");
+    std::fprintf(out, "}\n");
     std::fclose(out);
     std::printf("(wrote BENCH_shard.json)\n");
   }

@@ -202,7 +202,7 @@ void InitiatorAccept::evaluate_value(NodeContext& ctx, Value m,
   }
 
   // --- Block N (untimed: spread-out nodes must be able to collect) ------
-  const bool is_ready = ready_since_.count(m) != 0;
+  const bool is_ready = ready_since_.contains(m);
   if (is_ready &&
       log_.distinct_total(ready) >= params_.q_low()) {
     // N2: amplify.

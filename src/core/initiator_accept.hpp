@@ -20,9 +20,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
+#include <utility>
 
+#include "core/flat_map.hpp"
 #include "core/message_log.hpp"
 #include "core/params.hpp"
 #include "core/timed_var.hpp"
@@ -61,7 +62,7 @@ class InitiatorAccept {
   /// (after cleanup); `why` receives a short diagnostic when they fail.
   [[nodiscard]] bool k1_would_pass(LocalTime now, Value m,
                                    std::string* why = nullptr) const;
-  [[nodiscard]] bool ready_set(Value m) const { return ready_since_.count(m) != 0; }
+  [[nodiscard]] bool ready_set(Value m) const { return ready_since_.contains(m); }
   [[nodiscard]] std::size_t log_size() const { return log_.total_arrivals(); }
   /// Count of N4 executions whose i_values entry had already decayed — can
   /// only happen outside stability; surfaced for diagnostics.
@@ -81,14 +82,17 @@ class InitiatorAccept {
   GeneralId general_;
   IAcceptFn on_accept_;
 
+  // Per-value tables are sorted FlatMaps: a handful of live values probed
+  // on every message, iterated in the same ascending order the std::map
+  // originals had (evaluate()'s candidate loop sends while walking them).
   ArrivalLog log_;                                // support/approve/ready
-  std::map<Value, LocalTime> i_values_;           // i_values[G,m]
+  FlatMap<Value, LocalTime> i_values_;            // i_values[G,m]
   TimedVar last_g_;                               // lastq(G)
-  std::map<Value, TimedVar> last_gm_;             // lastq(G,m)
-  std::map<Value, LocalTime> ready_since_;        // ready_{G,m} set-time
-  std::map<Value, LocalTime> ignore_until_;       // N4's 3d ignore window
+  FlatMap<Value, TimedVar> last_gm_;              // lastq(G,m)
+  FlatMap<Value, LocalTime> ready_since_;         // ready_{G,m} set-time
+  FlatMap<Value, LocalTime> ignore_until_;        // N4's 3d ignore window
   std::optional<LocalTime> last_support_sent_;    // any (support, G, *)
-  std::map<std::pair<std::uint8_t, Value>, LocalTime> last_sent_;  // resend cap
+  FlatMap<std::pair<std::uint8_t, Value>, LocalTime> last_sent_;  // resend cap
 
   std::optional<LocalTime> last_l4_;
   std::optional<LocalTime> last_m4_;

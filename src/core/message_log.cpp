@@ -5,9 +5,7 @@
 namespace ssbft {
 
 void ArrivalLog::note(const ArrivalKey& key, NodeId sender, LocalTime at) {
-  auto& senders = map_[key];
-  auto [it, inserted] = senders.try_emplace(sender, at);
-  if (!inserted && it->second < at) it->second = at;
+  map_[key].note(sender, at);
 }
 
 std::uint32_t ArrivalLog::distinct_in_window(const ArrivalKey& key,
@@ -16,9 +14,9 @@ std::uint32_t ArrivalLog::distinct_in_window(const ArrivalKey& key,
   const auto it = map_.find(key);
   if (it == map_.end()) return 0;
   std::uint32_t count = 0;
-  for (const auto& [sender, at] : it->second) {
+  it->second.for_each([&](NodeId, LocalTime at) {
     if (at >= from && at <= to) ++count;
-  }
+  });
   return count;
 }
 
@@ -35,9 +33,9 @@ std::optional<Duration> ArrivalLog::shortest_window(const ArrivalKey& key,
   // determines the minimal α.
   std::vector<LocalTime> latest;
   latest.reserve(it->second.size());
-  for (const auto& [sender, at] : it->second) {
+  it->second.for_each([&](NodeId, LocalTime at) {
     if (at <= now && at >= now - max_window) latest.push_back(at);
-  }
+  });
   if (latest.size() < quorum) return std::nullopt;
   std::nth_element(latest.begin(), latest.begin() + (quorum - 1), latest.end(),
                    [](LocalTime a, LocalTime b) { return a > b; });
@@ -46,7 +44,7 @@ std::optional<Duration> ArrivalLog::shortest_window(const ArrivalKey& key,
 
 std::uint32_t ArrivalLog::distinct_total(const ArrivalKey& key) const {
   const auto it = map_.find(key);
-  return it == map_.end() ? 0 : std::uint32_t(it->second.size());
+  return it == map_.end() ? 0 : it->second.size();
 }
 
 std::vector<Value> ArrivalLog::values_with(MsgKind kind) const {
@@ -72,15 +70,8 @@ void ArrivalLog::erase_if(const std::function<bool(const ArrivalKey&)>& pred) {
 
 void ArrivalLog::decay(LocalTime now, Duration keep) {
   for (auto it = map_.begin(); it != map_.end();) {
-    auto& senders = it->second;
-    for (auto s = senders.begin(); s != senders.end();) {
-      if (s->second > now || s->second < now - keep) {
-        s = senders.erase(s);
-      } else {
-        ++s;
-      }
-    }
-    if (senders.empty()) {
+    it->second.decay(now, keep);
+    if (it->second.empty()) {
       it = map_.erase(it);
     } else {
       ++it;

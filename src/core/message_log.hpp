@@ -46,6 +46,88 @@ struct ArrivalKeyHash {
   }
 };
 
+/// Flat latest-arrival-per-sender table: one open-addressed array of
+/// (sender, at) slots instead of a node-based unordered_map. Every query
+/// (window counts, quorum windows, decay) is a linear sweep over
+/// contiguous 16-byte slots — the hot path of Initiator-Accept's per-
+/// message rule evaluation — and the table stays exact under the same
+/// latest-per-sender contract as before. Deletion (decay) rebuilds the
+/// table in place, which costs the same O(capacity) as the sweep that
+/// found the stale entries.
+class SenderTable {
+ public:
+  /// Keep the latest arrival for `sender`.
+  void note(NodeId sender, LocalTime at) {
+    if (slots_.empty()) rehash(kMinCapacity);
+    Slot& s = probe(sender);
+    if (s.used) {
+      if (s.at < at) s.at = at;
+      return;
+    }
+    s.used = true;
+    s.sender = sender;
+    s.at = at;
+    ++count_;
+    if (count_ * 4 >= slots_.size() * 3) rehash(slots_.size() * 2);
+  }
+
+  [[nodiscard]] std::uint32_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  /// Visits every (sender, latest-arrival) pair; order unspecified (all
+  /// consumers aggregate, none observe order).
+  template <class F>
+  void for_each(F&& f) const {
+    for (const Slot& s : slots_) {
+      if (s.used) f(s.sender, s.at);
+    }
+  }
+
+  /// Drops entries with `at > now || at < now - keep`; rebuilds on erase.
+  void decay(LocalTime now, Duration keep) {
+    bool stale = false;
+    for (const Slot& s : slots_) {
+      if (s.used && (s.at > now || s.at < now - keep)) {
+        stale = true;
+        break;
+      }
+    }
+    if (!stale) return;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.clear();
+    count_ = 0;
+    for (const Slot& s : old) {
+      if (s.used && s.at <= now && s.at >= now - keep) note(s.sender, s.at);
+    }
+  }
+
+ private:
+  struct Slot {
+    LocalTime at{};
+    NodeId sender = 0;
+    bool used = false;
+  };
+  static constexpr std::size_t kMinCapacity = 8;  // power of two
+
+  [[nodiscard]] Slot& probe(NodeId sender) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = (sender * std::uint64_t{0x9E3779B97F4A7C15}) & mask;
+    while (slots_[i].used && slots_[i].sender != sender) i = (i + 1) & mask;
+    return slots_[i];
+  }
+
+  void rehash(std::size_t capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(capacity, Slot{});
+    for (const Slot& s : old) {
+      if (s.used) probe(s.sender) = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::uint32_t count_ = 0;
+};
+
 class ArrivalLog {
  public:
   /// Record an arrival at local time `at` (keeps the latest per sender).
@@ -90,8 +172,13 @@ class ArrivalLog {
                 std::uint32_t entries);
 
  private:
-  using SenderMap = std::unordered_map<NodeId, LocalTime>;
-  std::unordered_map<ArrivalKey, SenderMap, ArrivalKeyHash> map_;
+  // The outer index stays an unordered_map on purpose: values_with()
+  // exposes its iteration order to Initiator-Accept's candidate loop
+  // (visit order decides send order, which decides digests), and that
+  // order is a function of the key insert/erase sequence alone — which
+  // this refactor leaves untouched. The hot per-message work (window
+  // counts, decay sweeps) all lives in the flat SenderTable values.
+  std::unordered_map<ArrivalKey, SenderTable, ArrivalKeyHash> map_;
 };
 
 }  // namespace ssbft

@@ -21,10 +21,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
-#include <set>
 
+#include "core/flat_map.hpp"
+#include "core/node_set.hpp"
 #include "core/params.hpp"
 #include "sim/node.hpp"
 #include "util/types.hpp"
@@ -49,9 +49,7 @@ class MsgdBroadcast {
   /// Feed an init/echo/init'/echo' message.
   void on_message(NodeContext& ctx, const WireMessage& msg);
 
-  [[nodiscard]] const std::set<NodeId>& broadcasters() const {
-    return broadcasters_;
-  }
+  [[nodiscard]] const NodeSet& broadcasters() const { return broadcasters_; }
   [[nodiscard]] bool has_accepted(NodeId p, Value m, std::uint32_t k) const;
 
   void reset();
@@ -67,11 +65,14 @@ class MsgdBroadcast {
     auto operator<=>(const Key&) const = default;
   };
 
+  // Per-instance sender tracking is flat NodeSets: blocks W/X/Y/Z only
+  // insert and compare cardinality against the quorums, so membership
+  // bits + a popcount-backed count replace three node-based std::sets.
   struct Instance {
     bool init_from_p = false;        // received (init,p,m,k) from p itself
-    std::set<NodeId> echo_senders;
-    std::set<NodeId> init_prime_senders;
-    std::set<NodeId> echo_prime_senders;
+    NodeSet echo_senders;
+    NodeSet init_prime_senders;
+    NodeSet echo_prime_senders;
     bool echo_sent = false;
     bool init_prime_sent = false;
     bool echo_prime_sent = false;
@@ -90,8 +91,10 @@ class MsgdBroadcast {
   GeneralId general_;
   AcceptFn on_accept_;
   std::optional<LocalTime> tau_g_;
-  std::map<Key, Instance> insts_;
-  std::set<NodeId> broadcasters_;
+  // Instance records live contiguously in one sorted arena (FlatMap):
+  // evaluate_all walks them in the exact Key order the std::map had.
+  FlatMap<Key, Instance> insts_;
+  NodeSet broadcasters_;
 };
 
 }  // namespace ssbft

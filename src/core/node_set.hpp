@@ -1,0 +1,132 @@
+// Flat membership set over dense NodeIds — the quorum/vote-tracking
+// replacement for the per-instance std::set<NodeId> in the hot protocol
+// structs (msgd-broadcast echo/init tracking, ss-Byz-Agree accept records).
+//
+// Small sets (the common case per broadcast instance at small n, and for
+// adversarial instances that never gather a quorum) live in an inline
+// sorted array — no allocation at all. Past kInlineCapacity distinct ids
+// the set promotes to a dynamic bitset whose word array is sized once to
+// the highest id seen (rounded to 64) and grows on demand; membership is
+// a single bit test, thresholds come from a cached cardinality that a
+// popcount sweep (`popcount_words()`) can audit at any time.
+//
+// Iteration (`for_each`) is always in ascending id order — identical to
+// the std::set iteration order it replaces, so consumers that walk the
+// members (e.g. the chain-length matching in ss_byz_agree) see the exact
+// sequence the ordered-container implementation produced.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ssbft {
+
+class NodeSet {
+ public:
+  /// Distinct ids held inline before promoting to the bitset.
+  static constexpr std::uint32_t kInlineCapacity = 8;
+
+  /// Inserts `id`; returns true when it was not already present.
+  bool insert(NodeId id) {
+    if (!promoted()) {
+      std::uint32_t pos = 0;
+      while (pos < count_ && inline_[pos] < id) ++pos;
+      if (pos < count_ && inline_[pos] == id) return false;
+      if (count_ < kInlineCapacity) {
+        for (std::uint32_t i = count_; i > pos; --i) {
+          inline_[i] = inline_[i - 1];
+        }
+        inline_[pos] = id;
+        ++count_;
+        return true;
+      }
+      promote(id);
+    }
+    std::uint64_t& word = word_for(id);
+    const std::uint64_t mask = std::uint64_t{1} << (id & 63u);
+    if (word & mask) return false;
+    word |= mask;
+    ++count_;
+    return true;
+  }
+
+  /// std::set-compatible membership probe: 1 when present, else 0.
+  [[nodiscard]] std::uint32_t count(NodeId id) const {
+    if (!promoted()) {
+      for (std::uint32_t i = 0; i < count_; ++i) {
+        if (inline_[i] == id) return 1;
+      }
+      return 0;
+    }
+    const std::uint32_t w = id >> 6;
+    if (w >= words_.size()) return 0;
+    return (words_[w] >> (id & 63u)) & 1u;
+  }
+
+  [[nodiscard]] bool contains(NodeId id) const { return count(id) != 0; }
+
+  /// Cardinality — O(1); `popcount_words()` recomputes it from the bits.
+  [[nodiscard]] std::uint32_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  /// The popcount form of size(), for threshold checks that want to read
+  /// straight off the bit words (and for auditing the cached count).
+  [[nodiscard]] std::uint32_t popcount_words() const {
+    if (!promoted()) return count_;
+    std::uint32_t total = 0;
+    for (const std::uint64_t w : words_) total += std::popcount(w);
+    return total;
+  }
+
+  void clear() {
+    words_.clear();
+    words_.shrink_to_fit();
+    count_ = 0;
+  }
+
+  /// Visits members in ascending id order (the std::set iteration order).
+  template <class F>
+  void for_each(F&& f) const {
+    if (!promoted()) {
+      for (std::uint32_t i = 0; i < count_; ++i) f(inline_[i]);
+      return;
+    }
+    for (std::uint32_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        f(NodeId((w << 6) + std::uint32_t(b)));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] bool promoted() const { return !words_.empty(); }
+
+  std::uint64_t& word_for(NodeId id) {
+    const std::uint32_t w = id >> 6;
+    if (w >= words_.size()) words_.resize(w + 1, 0);
+    return words_[w];
+  }
+
+  void promote(NodeId incoming) {
+    NodeId max_id = incoming;
+    for (std::uint32_t i = 0; i < count_; ++i) {
+      if (inline_[i] > max_id) max_id = inline_[i];
+    }
+    words_.resize((max_id >> 6) + 1, 0);
+    for (std::uint32_t i = 0; i < count_; ++i) {
+      words_[inline_[i] >> 6] |= std::uint64_t{1} << (inline_[i] & 63u);
+    }
+  }
+
+  NodeId inline_[kInlineCapacity] = {};
+  std::vector<std::uint64_t> words_;  // empty until promoted
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace ssbft

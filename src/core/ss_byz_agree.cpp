@@ -133,9 +133,8 @@ void SsByzAgree::on_bcast_accept(NodeId p, Value m, std::uint32_t k) {
   if (!returned_ && tau_g_.has_value()) check_block_s(ctx);
 }
 
-std::uint32_t SsByzAgree::chain_length(
-    const std::map<std::uint32_t, std::set<NodeId>>& rounds,
-    std::uint32_t max_r) const {
+std::uint32_t SsByzAgree::chain_length(const RoundTable& rounds,
+                                       std::uint32_t max_r) const {
   // Rounds 1..r must each contribute a *distinct* broadcaster p_i ≠ G
   // (S1's "∀i,j: p_i ≠ p_j ≠ G"). Greedy fails on adversarial overlap, so
   // run augmenting-path bipartite matching round→broadcaster; tiny sizes
@@ -145,28 +144,32 @@ std::uint32_t SsByzAgree::chain_length(
     const auto it = rounds.find(r);
     if (it == rounds.end()) break;
     std::vector<NodeId> nodes;
-    for (NodeId p : it->second) {
+    it->second.for_each([&](NodeId p) {
       if (p != general_.node) nodes.push_back(p);
-    }
+    });
     if (nodes.empty()) break;
     cand.push_back(std::move(nodes));
   }
 
-  std::map<NodeId, std::uint32_t> matched_to;  // broadcaster → round index
+  FlatMap<NodeId, std::uint32_t> matched_to;  // broadcaster → round index
   std::uint32_t matched_rounds = 0;
   for (std::uint32_t round = 0; round < cand.size(); ++round) {
-    std::set<NodeId> visited;
+    NodeSet visited;
     // Try to find an augmenting path for `round`.
     std::function<bool(std::uint32_t)> augment = [&](std::uint32_t r) -> bool {
       for (NodeId p : cand[r]) {
-        if (visited.count(p)) continue;
+        if (visited.contains(p)) continue;
         visited.insert(p);
         const auto it = matched_to.find(p);
-        if (it == matched_to.end() || augment(it->second)) {
+        if (it == matched_to.end()) {
           matched_to[p] = r;
-          if (it != matched_to.end()) {
-            // Reassigned: update mapping (already done above).
-          }
+          return true;
+        }
+        // Recursing can insert into matched_to (invalidating `it`), so
+        // take the displaced round out first and re-probe to reassign.
+        const std::uint32_t displaced = it->second;
+        if (augment(displaced)) {
+          matched_to[p] = r;
           return true;
         }
       }

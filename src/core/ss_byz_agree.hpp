@@ -21,11 +21,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
-#include <set>
 #include <vector>
 
+#include "core/flat_map.hpp"
 #include "core/initiator_accept.hpp"
 #include "core/msgd_broadcast.hpp"
 #include "core/params.hpp"
@@ -105,11 +104,14 @@ class SsByzAgree {
   void check_deadline_state(NodeContext& ctx);
   void do_return(NodeContext& ctx, Value value);
   void cleanup(LocalTime now);
+  /// Per-round broadcaster sets: sparse sorted round index (wire rounds
+  /// are attacker-controlled — no dense array) over flat bitset members.
+  using RoundTable = FlatMap<std::uint32_t, NodeSet>;
+
   /// Largest r such that rounds 1..r of `rounds` admit distinct
   /// representatives (a bipartite matching), capped at `max_r`.
-  [[nodiscard]] std::uint32_t chain_length(
-      const std::map<std::uint32_t, std::set<NodeId>>& rounds,
-      std::uint32_t max_r) const;
+  [[nodiscard]] std::uint32_t chain_length(const RoundTable& rounds,
+                                           std::uint32_t max_r) const;
 
   const Params& params_;
   GeneralId general_;
@@ -131,13 +133,14 @@ class SsByzAgree {
   bool returned_ = false;
   std::optional<AgreeResult> last_result_;
 
-  // Accepted broadcasts: value → round → broadcasters. Entries decay after
-  // (2f+1)Φ + 3d (Fig. 1 cleanup).
+  // Accepted broadcasts: value → round → broadcasters, all flat (sorted
+  // value/round slots, bitset members). Entries decay after (2f+1)Φ + 3d
+  // (Fig. 1 cleanup).
   struct AcceptRec {
-    std::map<std::uint32_t, std::set<NodeId>> rounds;
+    RoundTable rounds;
     LocalTime last_update{};
   };
-  std::map<Value, AcceptRec> accepts_;
+  FlatMap<Value, AcceptRec> accepts_;
 };
 
 }  // namespace ssbft

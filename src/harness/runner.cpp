@@ -92,6 +92,10 @@ void Cluster::build() {
   // must never silently run — refuse at build time. Degenerate-but-sound
   // cycles normalize to fewer (possibly zero) windows instead.
   SSBFT_EXPECTS(scenario_.validate_chaos() == nullptr);
+  // Same contract for the dissemination overlay: malformed knobs refuse,
+  // chaos schedules degrade non-flat topologies to flat (effective_topology).
+  SSBFT_EXPECTS(scenario_.validate_topology() == nullptr);
+  wc.topology = scenario_.effective_topology();
   const std::vector<ChaosWindow> windows = scenario_.chaos_windows();
   // Engine selection — schedule-aware: the sharded engine needs a
   // conservative lookahead (positive delay floor); without one, sharding

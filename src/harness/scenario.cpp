@@ -63,6 +63,33 @@ const char* Scenario::validate_chaos() const {
   return nullptr;
 }
 
+const char* Scenario::validate_topology() const {
+  if (topology == Topology::kFederated) {
+    if (cluster_size == 0) {
+      return "federated topology requires cluster_size >= 1";
+    }
+    if (n % cluster_size != 0) {
+      return "cluster_size must divide n exactly";
+    }
+  }
+  if (topology == Topology::kGossip && gossip_fanout == 0) {
+    return "gossip topology requires gossip_fanout >= 1";
+  }
+  return nullptr;
+}
+
+TopologyConfig Scenario::effective_topology() const {
+  SSBFT_EXPECTS(validate_topology() == nullptr);
+  if (topology != Topology::kFlat && !chaos_windows().empty()) {
+    // A chaos window drops/corrupts per HOP: one lost relay copy would
+    // silently orphan a whole subtree of destinations. Under chaos the
+    // overlay degrades to the flat fan-out — every destination keeps its
+    // own independent chance of delivery — never to wrongness.
+    return TopologyConfig{};
+  }
+  return TopologyConfig{topology, cluster_size, gossip_fanout};
+}
+
 std::vector<ChaosWindow> Scenario::chaos_windows() const {
   SSBFT_EXPECTS(validate_chaos() == nullptr);
   std::vector<ChaosWindow> out;

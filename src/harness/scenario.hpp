@@ -20,6 +20,7 @@
 #include "sim/delay_model.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/network.hpp"  // ChaosWindow
+#include "sim/topology.hpp"
 #include "sim/world.hpp"    // ShardSched
 #include "util/time.hpp"
 #include "util/types.hpp"
@@ -92,6 +93,28 @@ struct Scenario {
   /// Spread of initial clock offsets. Unset ⇒ the World default, except
   /// kBaselineTps, whose synchrony assumption forces zero offset.
   std::optional<Duration> max_clock_offset;
+
+  // --- dissemination overlay (sim/topology.hpp) ---------------------------
+  /// Broadcast fan-out shape: flat all-to-all (the default, byte-identical
+  /// to the pre-topology engine), federated two-level clusters, or a gossip
+  /// relay tree. Non-flat topologies DEGRADE TO FLAT when the scenario has
+  /// a chaos schedule (relay subtrees must not silently vanish to chaos
+  /// drops) — degrade, never wrongness. See validate_topology().
+  Topology topology = Topology::kFlat;
+  /// kFederated: nodes per contiguous cluster; must be ≥ 1 and divide n.
+  std::uint32_t cluster_size = 0;
+  /// kGossip: relay-tree arity; must be ≥ 1.
+  std::uint32_t gossip_fanout = 0;
+
+  /// nullptr when the topology knobs are well-formed; otherwise a static
+  /// message naming the violation. Cluster::build refuses malformed knobs
+  /// up front, mirroring validate_chaos.
+  [[nodiscard]] const char* validate_topology() const;
+  /// The overlay the engines actually run: the configured topology, except
+  /// any non-flat choice degrades to flat when chaos windows exist.
+  /// Degenerate-but-sound knobs degrade further inside
+  /// TopologyConfig::resolved at engine construction.
+  [[nodiscard]] TopologyConfig effective_topology() const;
 
   // --- faults ------------------------------------------------------------
   std::vector<NodeId> byz_nodes;  // which nodes are Byzantine (may be empty)

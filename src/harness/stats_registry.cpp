@@ -99,6 +99,12 @@ StatsRegistry collect_run_stats(Cluster& cluster) {
           "application payload bytes admitted at send (per unicast copy)");
   reg.add("net.payload_live", double(payload_pool().live()), "slots",
           "pool slots still referenced at collection time (0 = no leaks)");
+  reg.add("net.pool_peak_bytes", double(payload_pool().peak_bytes()), "bytes",
+          "high-water mark of payload bytes resident in live pool slots");
+  reg.add("net.topology_hops", double(net.topology_hops), "count",
+          "deliveries that arrived via a topology relay (route != direct)");
+  reg.add("net.fanout_msgs", double(net.fanout_msgs), "count",
+          "message copies forwarded by topology relay duty");
 
   if (auto* duty = dynamic_cast<DutyWorld*>(&world)) {
     reg.add("duty.migrations", double(duty->migrations()), "count",
@@ -117,10 +123,15 @@ StatsRegistry collect_run_stats(Cluster& cluster) {
             "events pending in the heap");
     reg.add("queue.slab_capacity", double(serial->queue().slab_capacity()),
             "slots", "slab slots allocated (peak in-flight, chunk-rounded)");
+    reg.add("queue.peak_bytes", double(serial->queue().peak_bytes()), "bytes",
+            "queue backing-store footprint (closure slab + heap; grow-only, "
+            "so current = peak)");
     reg.add("wheel.armed", double(serial->timers().armed()), "count",
             "timer records still armed in the wheel");
     reg.add("wheel.live", double(serial->timers().live()), "count",
             "live timer slab records (armed + handed over)");
+    reg.add("wheel.peak_records", double(serial->timers().peak_live()),
+            "count", "high-water mark of live timer records");
     reg.add("wheel.overflow", double(serial->timers().overflow_size()),
             "count", "records parked in the overflow level");
   }

@@ -46,6 +46,7 @@ const char* to_string(TraceName name) {
     case TraceName::kChaosDuplicate: return "chaos_duplicate";
     case TraceName::kForged: return "forged";
     case TraceName::kAuthReject: return "auth_reject";
+    case TraceName::kRelay: return "topology_relay";
   }
   return "?";
 }

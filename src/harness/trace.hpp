@@ -98,6 +98,7 @@ enum class TraceName : std::uint16_t {
   kChaosDuplicate,  // instant: chaos window duplicated a message
   kForged,          // instant: forged delivery planted (reserved channel)
   kAuthReject,      // instant: authenticator check failed at delivery
+  kRelay,           // instant: topology relay duty executed (arg = route)
 };
 
 [[nodiscard]] const char* to_string(TraceName name);

@@ -154,6 +154,13 @@ class EventQueue {
     return slab_.size() * kSlotChunk;
   }
 
+  /// Bytes resident in the queue's backing stores (closure slab + heap
+  /// array). Both structures are grow-only, so the current footprint IS
+  /// the peak footprint — no per-operation tracking needed.
+  [[nodiscard]] std::size_t peak_bytes() const {
+    return slab_capacity() * sizeof(Slot) + heap_.capacity() * sizeof(Entry);
+  }
+
  private:
   static constexpr std::uint32_t kNullSlot = ~std::uint32_t{0};
 

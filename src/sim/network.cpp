@@ -36,9 +36,17 @@ Network::Network(EventQueue& queue, std::uint32_t n, DelayModel link_delay,
 }
 
 void Network::send(NodeId from, NodeId dest, WireMessage msg) {
+  // Unicast copies are always direct — a behavior echoing back a received
+  // relay copy must not re-disseminate it.
+  admit(from, dest, std::move(msg), kRouteDirect);
+}
+
+void Network::admit(NodeId from, NodeId dest, WireMessage msg,
+                    std::uint8_t route_mark) {
   SSBFT_EXPECTS(dest < n_);
-  msg.sender = from;  // authenticated identity (Def. 2.2)
-  auth_.sign(msg);    // tag at origin (binds the sender)
+  msg.sender = from;        // authenticated identity (Def. 2.2)
+  msg.route = route_mark;   // dissemination duty; outside the signed fields
+  auth_.sign(msg);          // tag at origin (binds the sender)
   ++stats_.sent;
   stats_.per_kind[std::size_t(msg.kind)]++;
   stats_.payload_bytes += msg.payload.size();
@@ -47,13 +55,40 @@ void Network::send(NodeId from, NodeId dest, WireMessage msg) {
 }
 
 void Network::send_all(NodeId from, const WireMessage& msg) {
-  // Plain per-destination fan-out. The payload pool makes this zero-copy
-  // already: each unicast copy of `msg` shares the pooled body by
+  // Flat: plain per-destination fan-out. The payload pool makes this
+  // zero-copy already: each unicast copy of `msg` shares the pooled body by
   // reference, so broadcast needs no separate pooled path (and the chaos /
   // handoff-export machinery has exactly one delivery funnel to reason
   // about). Bookkeeping order (stats, tap, delay draws) per destination is
   // the historical pooled-broadcast order, bit-identical by construction.
-  for (NodeId dest = 0; dest < n_; ++dest) send(from, dest, msg);
+  if (!topo_.active()) {
+    for (NodeId dest = 0; dest < n_; ++dest) send(from, dest, msg);
+    return;
+  }
+  // Overlay: the origin emits only its own share of the fan-out; receivers
+  // of route-marked copies forward the rest at delivery (relay()).
+  topology_origin_targets(topo_, n_, from,
+                          [&](NodeId dest, std::uint8_t route_mark) {
+                            admit(from, dest, msg, route_mark);
+                          });
+}
+
+void Network::relay(NodeId self, const WireMessage& msg) {
+  if (!topo_.active() || msg.route == kRouteDirect) return;
+  ++stats_.topology_hops;
+  trace::instant(TraceLayer::kWorkload, TraceName::kRelay, self,
+                 std::int64_t(msg.route));
+  topology_relay_targets(
+      topo_, n_, self, msg.sender, msg.route,
+      [&](NodeId dest, std::uint8_t route_mark) {
+        // Forwarded bytes keep the ORIGIN's sender and tag (a relay cannot
+        // re-sign); delay/key draws come from the relay's own streams, and
+        // the copy is not re-counted as sent — fanout_msgs tracks it.
+        WireMessage copy = msg;
+        copy.route = route_mark;
+        ++stats_.fanout_msgs;
+        route(self, dest, std::move(copy));
+      });
 }
 
 Duration Network::sample_delay(NodeId from, NodeId dest,
@@ -134,6 +169,7 @@ void Network::schedule_delivery(RealTime when, EventKey key, NodeId dest,
           reject(dest, msg);
           return;
         }
+        relay(dest, msg);  // relay duty precedes local processing
         deliver_(dest, msg);
       });
     } else {
@@ -142,6 +178,7 @@ void Network::schedule_delivery(RealTime when, EventKey key, NodeId dest,
           reject(dest, msg);
           return;
         }
+        relay(dest, msg);  // relay duty precedes local processing
         ++stats_.delivered;
         tap(TapEvent::Kind::kDelivered, msg.sender, dest, msg);
         deliver_(dest, msg);
@@ -159,6 +196,7 @@ void Network::schedule_delivery(RealTime when, EventKey key, NodeId dest,
       reject(pending.dest, pending.msg);
       return;
     }
+    relay(pending.dest, pending.msg);  // relay duty precedes local processing
     if (!pending.forged) {
       ++stats_.delivered;
       tap(TapEvent::Kind::kDelivered, pending.msg.sender, pending.dest,

@@ -28,6 +28,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/payload.hpp"
 #include "sim/tap.hpp"
+#include "sim/topology.hpp"
 #include "sim/wire.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -68,6 +69,13 @@ struct NetworkStats {
   std::uint64_t forged = 0;      // injected with a fake sender
   std::uint64_t auth_rejected = 0;  // failed the authenticator at delivery
   std::uint64_t payload_bytes = 0;  // per-copy payload bytes admitted
+  /// Topology overlay counters (sim/topology.hpp) — deliveries that arrived
+  /// via a relayed route, and copies put on the wire by relay duty. Both are
+  /// zero under the flat topology and deliberately OUTSIDE run_digest: the
+  /// digest's field list predates the overlay, and flat runs must keep
+  /// digest parity with pre-topology builds.
+  std::uint64_t topology_hops = 0;
+  std::uint64_t fanout_msgs = 0;
   std::array<std::uint64_t, std::size_t(MsgKind::kNumKinds)> per_kind{};
 
   /// Field-wise sum — how the sharded engine aggregates per-shard counters.
@@ -82,6 +90,8 @@ struct NetworkStats {
     forged += other.forged;
     auth_rejected += other.auth_rejected;
     payload_bytes += other.payload_bytes;
+    topology_hops += other.topology_hops;
+    fanout_msgs += other.fanout_msgs;
     for (std::size_t k = 0; k < per_kind.size(); ++k) {
       per_kind[k] += other.per_kind[k];
     }
@@ -109,12 +119,23 @@ class Network {
   /// the sender's pool slot by reference.
   void send(NodeId from, NodeId dest, WireMessage msg);
 
-  /// Broadcast to every node (self included): n unicast sends in
-  /// destination order, all sharing the message's pooled payload slot. The
-  /// fan-out copies no payload bytes for pooled bodies — exactly the
-  /// unicast path run n times, so seeded runs are bit-exact with it by
-  /// construction.
+  /// Broadcast to every node (self included). Flat topology: n unicast
+  /// sends in destination order, all sharing the message's pooled payload
+  /// slot — exactly the unicast path run n times, so seeded runs are
+  /// bit-exact with it by construction. Non-flat topologies
+  /// (set_topology) move the fan-out onto the dissemination overlay: the
+  /// origin emits only its topology_origin_targets and receivers forward
+  /// route-marked copies at delivery — every node still gets exactly one
+  /// copy.
   void send_all(NodeId from, const WireMessage& msg);
+
+  /// Install the dissemination overlay (sim/topology.hpp). Must precede
+  /// all traffic; pass the resolved config. Default: flat (all-to-all).
+  void set_topology(const TopologyConfig& topo) {
+    SSBFT_EXPECTS(stats_.sent == 0 && stats_.forged == 0);
+    topo_ = topo;
+  }
+  [[nodiscard]] const TopologyConfig& topology() const { return topo_; }
 
   /// Fault-injector backdoor: place a message (possibly with a forged
   /// sender) on the wire, delivered after `delay`. Scheduled under the
@@ -261,6 +282,15 @@ class Network {
            queue_.now() >= windows_[window_cursor_].start;
   }
 
+  /// Sign-and-admit one copy with the given route marker — the shared body
+  /// of send() (kRouteDirect) and the overlay fan-out paths.
+  void admit(NodeId from, NodeId dest, WireMessage msg, std::uint8_t route);
+  /// Relay duty at the delivery instant: a verified copy whose route marker
+  /// is non-direct is forwarded (topology_relay_targets) BEFORE the
+  /// behavior sees it, preserving the origin's sender and tag. Runs first
+  /// so the relay node's outgoing stream/key draws are a pure function of
+  /// its arrival order — identical on both engines.
+  void relay(NodeId self, const WireMessage& msg);
   void route(NodeId from, NodeId dest, WireMessage msg);
   void corrupt(NodeId from, WireMessage& msg);
   void tap(TapEvent::Kind kind, NodeId from, NodeId to, const WireMessage& msg);
@@ -290,6 +320,7 @@ class Network {
   std::vector<ChaosWindow> windows_;
   std::size_t window_cursor_ = 0;
   NetworkStats stats_;
+  TopologyConfig topo_{};  // resolved dissemination overlay (default: flat)
   TapFn tap_;
   DelayOracle oracle_;
   std::uint64_t oracle_seq_ = 0;

@@ -52,6 +52,13 @@ std::uint32_t PayloadPool::acquire(const void* data, std::uint32_t size) {
   }
   live_.fetch_add(1, std::memory_order_relaxed);
   bytes_copied_.fetch_add(size, std::memory_order_relaxed);
+  const std::uint64_t resident =
+      resident_bytes_.fetch_add(size, std::memory_order_relaxed) + size;
+  std::uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (resident > peak &&
+         !peak_bytes_.compare_exchange_weak(peak, resident,
+                                            std::memory_order_relaxed)) {
+  }
   return index;
 }
 
@@ -68,6 +75,7 @@ void PayloadPool::release(std::uint32_t index) {
     free_head_ = index;
   }
   live_.fetch_sub(1, std::memory_order_relaxed);
+  resident_bytes_.fetch_sub(s.size, std::memory_order_relaxed);
 }
 
 const std::uint8_t* PayloadPool::data(std::uint32_t index) const {

@@ -59,6 +59,12 @@ class PayloadPool {
   [[nodiscard]] std::uint64_t bytes_copied() const {
     return bytes_copied_.load(std::memory_order_relaxed);
   }
+  /// High-water mark of bytes resident in live slots — how much payload
+  /// memory the run actually needed at once (stats_registry leaf
+  /// net.pool_peak_bytes). Monotone over the process, like the pool.
+  [[nodiscard]] std::uint64_t peak_bytes() const {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Chunked, address-stable slabs recycled through a free list (the same
@@ -91,6 +97,8 @@ class PayloadPool {
   std::uint32_t free_head_ = kNullSlot;
   std::atomic<std::uint32_t> live_{0};
   std::atomic<std::uint64_t> bytes_copied_{0};
+  std::atomic<std::uint64_t> resident_bytes_{0};  // sum of live slot sizes
+  std::atomic<std::uint64_t> peak_bytes_{0};      // max resident ever seen
 };
 
 /// FNV-1a over a byte range (the payload checksum; also reused by the

@@ -113,6 +113,7 @@ Shard::Shard(ShardWorld& world, std::uint32_t index, std::uint32_t shard_count,
       steal_(world.config().shard_sched == ShardSched::kSteal &&
              shard_count > 1),
       lax_(world.config().shard_sched == ShardSched::kLax && shard_count > 1),
+      topo_(world.config().topology.resolved(world.config().n)),
       logger_(world.config().log_level),
       auth_(world.config().auth, world.config().seed),
       outbox_(shard_count) {
@@ -221,9 +222,17 @@ Duration Shard::sample_delay(NodeSlot& from) {
 }
 
 void Shard::send(NodeId from, NodeId dest, WireMessage msg) {
+  // Unicast copies are always direct — a behavior echoing back a received
+  // relay copy must not re-disseminate it (see Network::send).
+  admit(from, dest, std::move(msg), kRouteDirect);
+}
+
+void Shard::admit(NodeId from, NodeId dest, WireMessage msg,
+                  std::uint8_t route_mark) {
   SSBFT_EXPECTS(dest < world_.n());
-  msg.sender = from;  // authenticated identity (Def. 2.2)
-  auth_.sign(msg);    // tag at origin (binds the sender)
+  msg.sender = from;       // authenticated identity (Def. 2.2)
+  msg.route = route_mark;  // dissemination duty; outside the signed fields
+  auth_.sign(msg);         // tag at origin (binds the sender)
   NetworkStats& stats = wire_stats();
   ++stats.sent;
   stats.per_kind[std::size_t(msg.kind)]++;
@@ -232,6 +241,13 @@ void Shard::send(NodeId from, NodeId dest, WireMessage msg) {
   const Duration delay = sample_delay(sender);
   const RealTime when = world_.now() + delay;
   const EventKey key{from, sender.send_seq++ * 2};  // even channel: network
+  dispatch_send(dest, when, key, std::move(msg));
+}
+
+void Shard::dispatch_send(NodeId dest, RealTime when, EventKey key,
+                          WireMessage msg) {
+  // Delay recomputed only for the lookahead assertions below.
+  [[maybe_unused]] const Duration delay = when - world_.now();
   if (steal_ && ShardWorld::tl_exec_ != nullptr) {
     // Steal window: even a same-shard destination may be executing on
     // another worker right now, so EVERY send parks in the worker's private
@@ -266,10 +282,43 @@ void Shard::send(NodeId from, NodeId dest, WireMessage msg) {
 }
 
 void Shard::send_all(NodeId from, const WireMessage& msg) {
-  // Same per-destination loop as the serial Network::send_all (which shares
-  // one payload but samples, counts, and keys per destination in this exact
-  // order), so a seeded run is bit-identical either way.
-  for (NodeId dest = 0; dest < world_.n(); ++dest) send(from, dest, msg);
+  // Flat: same per-destination loop as the serial Network::send_all (which
+  // shares one payload but samples, counts, and keys per destination in
+  // this exact order), so a seeded run is bit-identical either way.
+  if (!topo_.active()) {
+    for (NodeId dest = 0; dest < world_.n(); ++dest) send(from, dest, msg);
+    return;
+  }
+  // Overlay: the origin emits only its own share; receivers of route-marked
+  // copies forward the rest at delivery — same targets, same order as the
+  // serial engine's Network::send_all.
+  topology_origin_targets(topo_, world_.n(), from,
+                          [&](NodeId dest, std::uint8_t route_mark) {
+                            admit(from, dest, msg, route_mark);
+                          });
+}
+
+void Shard::relay(NodeId self, const WireMessage& msg) {
+  if (!topo_.active() || msg.route == kRouteDirect) return;
+  ++wire_stats().topology_hops;
+  trace::instant(TraceLayer::kWorkload, TraceName::kRelay, self,
+                 std::int64_t(msg.route));
+  topology_relay_targets(
+      topo_, world_.n(), self, msg.sender, msg.route,
+      [&](NodeId dest, std::uint8_t route_mark) {
+        // Forwarded bytes keep the ORIGIN's sender and tag; the relay node
+        // pays the delay/key draws from its own streams (which this shard —
+        // or the executing steal worker — owns at the delivery instant), so
+        // both engines draw identically. Not re-counted as sent.
+        WireMessage copy = msg;
+        copy.route = route_mark;
+        ++wire_stats().fanout_msgs;
+        NodeSlot& relay_slot = slot(self);
+        const Duration delay = sample_delay(relay_slot);
+        const RealTime when = world_.now() + delay;
+        const EventKey key{self, relay_slot.send_seq++ * 2};
+        dispatch_send(dest, when, key, std::move(copy));
+      });
 }
 
 void Shard::schedule_delivery(RealTime when, EventKey key, NodeId dest,
@@ -287,6 +336,7 @@ void Shard::schedule_delivery(RealTime when, EventKey key, NodeId dest,
         shard->reject(dest);
         return;
       }
+      shard->relay(dest, msg);  // relay duty precedes local processing
       ++shard->wire_stats().delivered;
       shard->deliver(dest, msg);
     });
@@ -303,6 +353,7 @@ void Shard::schedule_delivery(RealTime when, EventKey key, NodeId dest,
       shard->reject(pending.dest);
       return;
     }
+    shard->relay(pending.dest, pending.msg);
     ++shard->wire_stats().delivered;
     shard->deliver(pending.dest, pending.msg);
   });
@@ -319,6 +370,7 @@ void Shard::schedule_forged(RealTime when, EventKey key, NodeId dest,
         shard->reject(dest);
         return;
       }
+      shard->relay(dest, msg);  // relay duty precedes local processing
       shard->deliver(dest, msg);
     });
     return;
@@ -331,6 +383,7 @@ void Shard::schedule_forged(RealTime when, EventKey key, NodeId dest,
       shard->reject(pending.dest);
       return;
     }
+    shard->relay(pending.dest, pending.msg);
     shard->deliver(pending.dest, pending.msg);
   });
 }

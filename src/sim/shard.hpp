@@ -258,6 +258,20 @@ class Shard {
   /// into the destination shard (serial phases).
   void send(NodeId from, NodeId dest, WireMessage msg);
   void send_all(NodeId from, const WireMessage& msg);
+  /// Sign-and-admit one copy with a route marker — the shared body of
+  /// send() (kRouteDirect) and the topology fan-out (see Network::admit).
+  void admit(NodeId from, NodeId dest, WireMessage msg, std::uint8_t route);
+  /// Park one keyed delivery where it belongs: the steal-window outbox, the
+  /// local queue, a peer's mailbox/lax inbox, or (serial phases) straight
+  /// into the owning shard — the routing tail shared by admit() and
+  /// relay().
+  void dispatch_send(NodeId dest, RealTime when, EventKey key,
+                     WireMessage msg);
+  /// Relay duty at the delivery instant (mirrors Network::relay): forward a
+  /// verified route-marked copy BEFORE the behavior sees it, preserving the
+  /// origin's sender/tag, drawing delays and keys from the relay node's own
+  /// streams.
+  void relay(NodeId self, const WireMessage& msg);
   [[nodiscard]] Duration sample_delay(NodeSlot& from);
 
   void deliver(NodeId dest, const WireMessage& msg);
@@ -282,6 +296,7 @@ class Shard {
   NodeId end_node_;
   bool steal_ = false;  // ShardSched::kSteal with >1 shard
   bool lax_ = false;    // ShardSched::kLax with >1 shard
+  TopologyConfig topo_{};  // resolved dissemination overlay (default: flat)
 
   EventQueue queue_;
   /// kSteal only: one queue per owned node, indexed by id − first_node_.

@@ -191,6 +191,7 @@ void TimerWheel::import_records(const std::vector<ExportedRecord>& records,
     r.node = rec.node;
     r.cookie = rec.cookie;
     ++live_;
+    if (live_ > peak_live_) peak_live_ = live_;
     place(rec.handle.index, nullptr);
   }
   // Partition the recyclable space: this importer may reuse only the

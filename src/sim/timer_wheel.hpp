@@ -121,6 +121,10 @@ class TimerWheel {
   [[nodiscard]] std::size_t armed() const { return armed_; }
   /// Records alive in the slab (armed + handed-over-but-unclaimed).
   [[nodiscard]] std::size_t live() const { return live_; }
+  /// High-water mark of live(): the most timer records this wheel ever
+  /// held at once (capacity-planning gauge; stats_registry leaf
+  /// wheel.peak_records).
+  [[nodiscard]] std::size_t peak_live() const { return peak_live_; }
   /// Far-future records parked beyond the wheel horizon.
   [[nodiscard]] std::size_t overflow_size() const { return overflow_count_; }
 
@@ -239,6 +243,7 @@ class TimerWheel {
   std::uint64_t overflow_min_tick_ = ~std::uint64_t{0};  // lower bound
   std::size_t armed_ = 0;
   std::size_t live_ = 0;
+  std::size_t peak_live_ = 0;
   std::size_t overflow_count_ = 0;
 };
 
@@ -246,6 +251,7 @@ class TimerWheel {
 
 inline std::uint32_t TimerWheel::alloc_record() {
   ++live_;
+  if (live_ > peak_live_) peak_live_ = live_;
   if (free_head_ != kNull) {
     const std::uint32_t index = free_head_;
     free_head_ = records_[index].next;

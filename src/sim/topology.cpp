@@ -1,0 +1,14 @@
+#include "sim/topology.hpp"
+
+namespace ssbft {
+
+const char* to_string(Topology topology) {
+  switch (topology) {
+    case Topology::kFlat: return "flat";
+    case Topology::kFederated: return "federated";
+    case Topology::kGossip: return "gossip";
+  }
+  return "?";
+}
+
+}  // namespace ssbft

@@ -59,6 +59,13 @@ struct WireMessage {
   NodeId broadcaster = kNoNode;  // p in (p, m, k); unused by Initiator-Accept
   std::uint32_t round = 0;       // k in (p, m, k); unused by Initiator-Accept
   std::uint64_t auth = 0;        // authenticator tag (0 = untagged)
+  /// Dissemination-layer relay marker (sim/topology.hpp): kRouteDirect for
+  /// final copies, kRouteGossip/kRouteFederated for copies the receiver
+  /// forwards at delivery. Network metadata, not message content: it is
+  /// outside the authenticated field set (a relay forwards another node's
+  /// signed bytes and cannot re-sign), never consulted by protocols, and
+  /// always kRouteDirect under the flat topology.
+  std::uint8_t route = 0;
   Payload payload;               // application body (may be empty)
 
   friend bool operator==(const WireMessage&, const WireMessage&) = default;

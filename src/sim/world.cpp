@@ -119,6 +119,7 @@ World::World(WorldConfig config)
       config_.seed,
       [this](NodeId dest, const WireMessage& msg) { deliver(dest, msg); },
       config_.auth);
+  network_->set_topology(config_.topology.resolved(config_.n));
 
   nodes_.resize(config_.n);
   for (NodeId id = 0; id < config_.n; ++id) {

@@ -174,6 +174,13 @@ struct WorldConfig {
   /// bit-identical across all policies.
   ShardSched shard_sched = ShardSched::kStatic;
 
+  /// Dissemination overlay for broadcast fan-out (sim/topology.hpp):
+  /// all-to-all (flat, the default — byte-identical to the pre-topology
+  /// engine), two-level federated clusters, or a gossip relay tree. Both
+  /// engines resolve it against n at construction; malformed knobs refuse
+  /// to build, degenerate ones degrade to flat.
+  TopologyConfig topology{};
+
   /// Structured tracer (harness/trace.hpp), or nullptr for untraced runs.
   /// Engines arm a trace::Scope around their dispatch loops and emit their
   /// own engine-layer records. Observation only: digests are bit-identical

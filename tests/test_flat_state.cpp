@@ -1,0 +1,223 @@
+// Differential tests for the flat protocol-state containers (core/node_set,
+// core/flat_map, core/message_log's SenderTable) against the std:: ordered
+// containers they replaced. The refactor's contract is behavioral identity:
+// same membership answers, same cardinalities, and — where protocol code
+// walks the structure — the SAME ascending iteration order std::set/std::map
+// produced (visit order decides send order, which decides run digests).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/flat_map.hpp"
+#include "core/node_set.hpp"
+#include "core/message_log.hpp"
+#include "util/rng.hpp"
+
+namespace ssbft {
+namespace {
+
+std::vector<NodeId> members(const NodeSet& set) {
+  std::vector<NodeId> out;
+  set.for_each([&](NodeId id) { out.push_back(id); });
+  return out;
+}
+
+// --- NodeSet vs std::set<NodeId> -------------------------------------------
+
+TEST(NodeSet, MatchesStdSetThroughRandomInserts) {
+  Rng rng(0x5eed);
+  NodeSet flat;
+  std::set<NodeId> ref;
+  for (int op = 0; op < 4000; ++op) {
+    const NodeId id = NodeId(std::uint64_t(rng.next_in(0, 511)));
+    const bool inserted_flat = flat.insert(id);
+    const bool inserted_ref = ref.insert(id).second;
+    ASSERT_EQ(inserted_flat, inserted_ref) << "id " << id << " op " << op;
+    ASSERT_EQ(flat.size(), ref.size());
+    ASSERT_EQ(flat.popcount_words(), ref.size());
+    const NodeId probe = NodeId(std::uint64_t(rng.next_in(0, 511)));
+    ASSERT_EQ(flat.count(probe), ref.count(probe) != 0 ? 1u : 0u);
+  }
+  EXPECT_EQ(members(flat), std::vector<NodeId>(ref.begin(), ref.end()));
+}
+
+TEST(NodeSet, AscendingOrderAcrossThePromoteBoundary) {
+  // Iteration order must be the std::set order on BOTH sides of the
+  // inline-array → bitset promotion, and at the boundary itself.
+  const std::vector<NodeId> ids = {90, 5, 63, 64, 7, 200, 1, 42, 150, 0};
+  NodeSet flat;
+  std::set<NodeId> ref;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    flat.insert(ids[i]);
+    ref.insert(ids[i]);
+    ASSERT_EQ(members(flat), std::vector<NodeId>(ref.begin(), ref.end()))
+        << "after " << (i + 1) << " inserts";
+  }
+}
+
+TEST(NodeSet, ExactlyInlineCapacityStaysUnpromoted) {
+  NodeSet set;
+  for (NodeId id = 0; id < NodeSet::kInlineCapacity; ++id) {
+    EXPECT_TRUE(set.insert(id * 3));
+    EXPECT_FALSE(set.insert(id * 3));  // duplicate rejected at every size
+  }
+  EXPECT_EQ(set.size(), NodeSet::kInlineCapacity);
+  // One more distinct id forces the promotion; nothing may be lost.
+  EXPECT_TRUE(set.insert(1000));
+  EXPECT_EQ(set.size(), NodeSet::kInlineCapacity + 1);
+  EXPECT_EQ(set.popcount_words(), NodeSet::kInlineCapacity + 1);
+  for (NodeId id = 0; id < NodeSet::kInlineCapacity; ++id) {
+    EXPECT_TRUE(set.contains(id * 3));
+  }
+  EXPECT_TRUE(set.contains(1000));
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(members(set), std::vector<NodeId>{});
+}
+
+// --- FlatMap vs std::map ----------------------------------------------------
+
+TEST(FlatMap, MatchesStdMapThroughRandomOps) {
+  Rng rng(0xf1a7);
+  FlatMap<std::uint32_t, std::uint64_t> flat;
+  std::map<std::uint32_t, std::uint64_t> ref;
+  for (int op = 0; op < 6000; ++op) {
+    const std::uint32_t key = std::uint32_t(std::uint64_t(rng.next_in(0, 127)));
+    switch (std::uint64_t(rng.next_in(0, 3))) {
+      case 0: {  // operator[] insert-or-update
+        const std::uint64_t v = std::uint64_t(rng.next_in(0, 1 << 20));
+        flat[key] += v;
+        ref[key] += v;
+        break;
+      }
+      case 1: {  // try_emplace: must NOT clobber an existing value
+        const auto [fit, finserted] = flat.try_emplace(key, op);
+        const auto [rit, rinserted] = ref.try_emplace(key, op);
+        ASSERT_EQ(finserted, rinserted);
+        ASSERT_EQ(fit->second, rit->second);
+        break;
+      }
+      case 2: {  // erase by key
+        ASSERT_EQ(flat.erase(key), ref.erase(key));
+        break;
+      }
+      default: {  // find
+        const auto fit = flat.find(key);
+        const auto rit = ref.find(key);
+        ASSERT_EQ(fit != flat.end(), rit != ref.end());
+        if (rit != ref.end()) {
+          ASSERT_EQ(fit->second, rit->second);
+        }
+        ASSERT_EQ(flat.contains(key), ref.count(key) != 0);
+        break;
+      }
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+  // Full-sweep parity: same pairs, same ascending order.
+  ASSERT_TRUE(std::equal(flat.begin(), flat.end(), ref.begin(), ref.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first == b.first && a.second == b.second;
+                         }));
+}
+
+TEST(FlatMap, EraseWhileIteratingMatchesStdMap) {
+  // The decay/cleanup idiom: walk the table erasing stale entries via the
+  // iterator-returning erase, keeping the rest.
+  FlatMap<std::uint32_t, std::uint32_t> flat;
+  std::map<std::uint32_t, std::uint32_t> ref;
+  for (std::uint32_t k = 0; k < 40; ++k) {
+    flat[k] = k * 7;
+    ref[k] = k * 7;
+  }
+  for (auto it = flat.begin(); it != flat.end();) {
+    if (it->first % 3 == 0) {
+      it = flat.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = ref.begin(); it != ref.end();) {
+    if (it->first % 3 == 0) {
+      it = ref.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ASSERT_EQ(flat.size(), ref.size());
+  EXPECT_TRUE(std::equal(flat.begin(), flat.end(), ref.begin(), ref.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first == b.first && a.second == b.second;
+                         }));
+}
+
+// --- SenderTable vs map<NodeId, LocalTime> ---------------------------------
+
+std::map<NodeId, LocalTime> snapshot(const SenderTable& table) {
+  std::map<NodeId, LocalTime> out;
+  table.for_each([&](NodeId sender, LocalTime at) {
+    // Open addressing must never yield a sender twice.
+    EXPECT_TRUE(out.emplace(sender, at).second) << "duplicate " << sender;
+  });
+  return out;
+}
+
+TEST(SenderTable, KeepsLatestArrivalPerSender) {
+  Rng rng(0xab1e);
+  SenderTable table;
+  std::map<NodeId, LocalTime> ref;
+  for (int op = 0; op < 3000; ++op) {
+    const NodeId sender = NodeId(std::uint64_t(rng.next_in(0, 200)));
+    const LocalTime at =
+        LocalTime{} + microseconds(std::int64_t(std::uint64_t(rng.next_in(0, 100000))));
+    table.note(sender, at);
+    auto [it, inserted] = ref.emplace(sender, at);
+    if (!inserted && it->second < at) it->second = at;
+    ASSERT_EQ(table.size(), ref.size());
+  }
+  EXPECT_EQ(snapshot(table), ref);
+}
+
+TEST(SenderTable, DecayMatchesReferenceFilter) {
+  Rng rng(0xdeca);
+  SenderTable table;
+  std::map<NodeId, LocalTime> ref;
+  const LocalTime base{};
+  for (NodeId sender = 0; sender < 64; ++sender) {
+    const LocalTime at =
+        base + microseconds(std::int64_t(std::uint64_t(rng.next_in(0, 1000))));
+    table.note(sender, at);
+    ref[sender] = at;
+  }
+  const LocalTime now = base + microseconds(600);
+  const Duration keep = microseconds(250);
+  table.decay(now, keep);
+  std::erase_if(ref, [&](const auto& e) {
+    return e.second > now || e.second < now - keep;
+  });
+  EXPECT_EQ(snapshot(table), ref);
+  // Survivors must stay notable after the in-place rebuild.
+  table.note(999, now);
+  ref[999] = now;
+  EXPECT_EQ(snapshot(table), ref);
+}
+
+TEST(SenderTable, DecayPurgesFutureStamps) {
+  // Post-transient state: scramble() can plant future arrivals; decay must
+  // treat them as stale even though they are "recent".
+  SenderTable table;
+  const LocalTime now = LocalTime{} + microseconds(100);
+  table.note(1, now);
+  table.note(2, now + microseconds(500));  // the future
+  table.decay(now, microseconds(50));
+  const std::map<NodeId, LocalTime> got = snapshot(table);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_TRUE(got.contains(1));
+}
+
+}  // namespace
+}  // namespace ssbft

@@ -395,6 +395,29 @@ TEST(StatsRegistryTest, CollectsEngineNetworkSchedAndTracerStats) {
   EXPECT_NE(json.find("\"help\""), std::string::npos);
 }
 
+TEST(StatsRegistryTest, ExportsPeakGaugesAndTopologyCounters) {
+  // Serial engine: the queue/wheel capacity gauges only exist there.
+  Scenario sc =
+      trace_scenario(StackKind::kAgree, 1, false, ShardSched::kStatic);
+  sc.payload_bytes = 256;  // above Payload::kInlineCapacity ⇒ pooled
+  Cluster cluster(sc);
+  cluster.run();
+  const StatsRegistry stats = collect_run_stats(cluster);
+  const auto value = [&](const char* path) {
+    const StatsEntry* entry = stats.find(path);
+    EXPECT_NE(entry, nullptr) << path;
+    return entry == nullptr ? -1.0 : entry->value;
+  };
+  EXPECT_GT(value("queue.peak_bytes"), 0.0);
+  EXPECT_GT(value("wheel.peak_records"), 0.0);
+  EXPECT_GE(value("wheel.peak_records"), value("wheel.live"));
+  // The pool is process-wide, so the peak is ≥ this run's pooled bodies.
+  EXPECT_GT(value("net.pool_peak_bytes"), 0.0);
+  // Flat topology: overlay counters exist and stay zero.
+  EXPECT_EQ(value("net.topology_hops"), 0.0);
+  EXPECT_EQ(value("net.fanout_msgs"), 0.0);
+}
+
 TEST(StatsRegistryTest, FindMissesReturnNull) {
   StatsRegistry stats;
   stats.add("a.b", 1.0, "count", "help");

@@ -28,6 +28,15 @@ committed in the repository:
     shard scheduler) fails when the fresh value is both > 2× the
     baseline and > 1.2 — a cost-aware policy that stopped balancing is
     a silent perf regression even when throughput wobble hides it.
+  * ``peak_rss_kb`` (the large-n scale pin's process high-water mark)
+    fails above 2× the baseline: memory is the other axis the flat-state
+    refactor is accountable for, and a doubled footprint at n = 4096
+    means a per-node structure quietly went quadratic.
+  * the ``flat_state_baseline`` pin (BENCH_shard.json): the fresh n = 512
+    serial throughput must be ≥ 1.2× the recorded map-based-core
+    throughput — but only when the fresh run's ``hardware_threads``
+    matches the pin's; cross-machine the comparison is meaningless and
+    warn-skips.
 
 stdlib-only by design: CI runs it straight from the checkout.
 
@@ -53,6 +62,10 @@ TRACEOFF_PREFIX = "traceoff_"
 SPEEDUP_WARN_RATIO = 0.9
 IMBALANCE_FAIL_RATIO = 2.0
 IMBALANCE_FAIL_FLOOR = 1.2
+RSS_KEY = "peak_rss_kb"
+RSS_FAIL_RATIO = 2.0
+FLAT_STATE_KEY = "flat_state_baseline"
+FLAT_STATE_MIN_RATIO = 1.2
 # Tracing compiled in but DISARMED must stay within noise of the baseline:
 # its contract is one thread-local load and a branch per emission site, so a
 # >5% dip on identical hardware means the tracer leaked onto the hot path.
@@ -94,6 +107,10 @@ def is_imbalance(path):
     return path.rsplit(".", 1)[-1] == IMBALANCE_KEY
 
 
+def is_rss(path):
+    return path.rsplit(".", 1)[-1] == RSS_KEY
+
+
 def is_traceoff(path):
     return path.rsplit(".", 1)[-1].startswith(TRACEOFF_PREFIX)
 
@@ -103,10 +120,44 @@ def hardware_threads(artifact):
         else None
 
 
+def check_flat_state_pin(name, fresh):
+    """The flat-state refactor's own acceptance gate: the fresh n = 512
+    serial throughput must clear FLAT_STATE_MIN_RATIO x the recorded
+    map-based-core throughput pinned in ``flat_state_baseline`` — on
+    matching hardware only."""
+    pin = fresh.get(FLAT_STATE_KEY) if isinstance(fresh, dict) else None
+    if not isinstance(pin, dict):
+        return []
+    map_eps = pin.get("n512_serial_events_per_sec")
+    if not isinstance(map_eps, (int, float)) or map_eps <= 0:
+        return [(FAIL, f"{name}: {FLAT_STATE_KEY} present but carries no "
+                       f"positive n512_serial_events_per_sec")]
+    if pin.get("hardware_threads") != hardware_threads(fresh):
+        return [(WARN, f"{name}: flat-state pin skipped — fresh run's "
+                       f"hardware_threads {hardware_threads(fresh)} differs "
+                       f"from the pin's {pin.get('hardware_threads')}")]
+    eps = [row.get("serial_events_per_sec")
+           for row in (fresh.get("rows") or [])
+           if isinstance(row, dict) and row.get("n") == 512
+           and isinstance(row.get("serial_events_per_sec"), (int, float))]
+    if not eps:
+        return [(FAIL, f"{name}: {FLAT_STATE_KEY} pinned but no n = 512 row "
+                       f"reports serial_events_per_sec — the gated bench "
+                       f"silently vanished")]
+    ratio = max(eps) / float(map_eps)
+    line = (f"{name}: flat-state n512 serial {max(eps):.0f} ev/s vs "
+            f"map-based pin {float(map_eps):.0f} ({ratio:.2f}x)")
+    if ratio < FLAT_STATE_MIN_RATIO:
+        return [(FAIL, f"{line} — below the {FLAT_STATE_MIN_RATIO}x "
+                       f"flat-state floor on identical hardware")]
+    return [(OK, line)]
+
+
 def check_file(name, baseline, fresh, fail_ratio, warn_ratio):
     """Compare one artifact; returns a list of (severity, message)."""
     results = []
     fresh_leaves = dict(walk(fresh))
+    results.extend(check_flat_state_pin(name, fresh))
 
     # Speedups only transfer between machines with the same core count: a
     # 1-core container legitimately measures ≈ 1× where an 8-core baseline
@@ -144,7 +195,8 @@ def check_file(name, baseline, fresh, fail_ratio, warn_ratio):
         throughput = is_throughput(path)
         speedup = is_speedup(path)
         imbalance = is_imbalance(path)
-        if not (throughput or speedup or imbalance):
+        rss = is_rss(path)
+        if not (throughput or speedup or imbalance or rss):
             continue
         fresh_value = fresh_leaves.get(path)
         if fresh_value is None:
@@ -163,6 +215,17 @@ def check_file(name, baseline, fresh, fail_ratio, warn_ratio):
                     (FAIL, f"{line} — shard imbalance regressed (> "
                            f"{IMBALANCE_FAIL_RATIO}x baseline and > "
                            f"{IMBALANCE_FAIL_FLOOR})"))
+            else:
+                results.append((OK, line))
+            continue
+        if rss:
+            # Higher is worse: the large-n scale pin's memory ceiling.
+            line = (f"{name}:{path} {float(fresh_value):.0f} kB vs baseline "
+                    f"{float(base_value):.0f} kB")
+            if float(fresh_value) > RSS_FAIL_RATIO * float(base_value):
+                results.append(
+                    (FAIL, f"{line} — peak RSS above the {RSS_FAIL_RATIO}x "
+                           f"ceiling: the large-n world's footprint blew up"))
             else:
                 results.append((OK, line))
             continue
@@ -341,6 +404,51 @@ def self_test():
     traced_slower["trace_overhead"]["traceon_events_per_sec"] *= 0.85
     checks.append(("traceon dip stays a warning",
                    run_cli(trace_base, traced_slower) == 0))
+
+    # 11. The large-n RSS ceiling: within 2x passes, above it fails, and a
+    #     dropped peak_rss_kb is a dropped gate.
+    rss_base = {
+        "hardware_threads": 8,
+        "large_n": {"n": 4096, "serial_events_per_sec": 1.0e5,
+                    "peak_rss_kb": 900_000, "parity": True},
+    }
+    heavier = copy.deepcopy(rss_base)
+    heavier["large_n"]["peak_rss_kb"] = 1_500_000
+    checks.append(("peak RSS within 2x passes",
+                   run_cli(rss_base, heavier) == 0))
+    blown = copy.deepcopy(rss_base)
+    blown["large_n"]["peak_rss_kb"] = 2_000_000
+    checks.append(("peak RSS above 2x ceiling fails",
+                   run_cli(rss_base, blown) != 0))
+    no_rss = copy.deepcopy(rss_base)
+    del no_rss["large_n"]["peak_rss_kb"]
+    checks.append(("dropped peak RSS metric fails",
+                   run_cli(rss_base, no_rss) != 0))
+
+    # 12. The flat-state pin: on the pin's hardware the n = 512 serial row
+    #     must clear 1.2x the recorded map-based throughput; cross-machine
+    #     the pin warn-skips; a vanished n = 512 row fails.
+    flat_base = {
+        "hardware_threads": 1,
+        "rows": [{"n": 512, "sched": "static",
+                  "serial_events_per_sec": 200_000.0, "parity": True}],
+        "flat_state_baseline": {"commit": "d9dfa12", "hardware_threads": 1,
+                                "n512_serial_events_per_sec": 158_726},
+    }
+    checks.append(("flat-state pin passes at 1.26x",
+                   run_cli(flat_base, flat_base) == 0))
+    too_slow = copy.deepcopy(flat_base)
+    too_slow["rows"][0]["serial_events_per_sec"] = 170_000.0  # 1.07x
+    checks.append(("flat-state pin fails below 1.2x",
+                   run_cli(flat_base, too_slow) != 0))
+    other_hw = copy.deepcopy(flat_base)
+    other_hw["hardware_threads"] = 8
+    checks.append(("flat-state pin skipped cross-machine",
+                   run_cli(flat_base, other_hw) == 0))
+    no_row = copy.deepcopy(flat_base)
+    no_row["rows"] = []
+    checks.append(("flat-state pin fails when the n512 row vanished",
+                   run_cli(flat_base, no_row) != 0))
 
     failed = [name for name, ok in checks if not ok]
     for name, ok in checks:

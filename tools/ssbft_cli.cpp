@@ -8,6 +8,7 @@
 //             [--chaos-ms MS] [--chaos-count K] [--chaos-duty MS]
 //             [--proposals K] [--run-ms MS] [--depth D]
 //             [--auth KIND] [--payload-bytes N]
+//             [--topology KIND] [--cluster-size C] [--gossip-fanout F]
 //             [--shards S] [--shard-sched MODE] [--link-min-us US]
 //             [--trace PATH] [--stats-json PATH] [--json PATH]
 //             [--wire-trace] [--verbose] [--help]
@@ -36,6 +37,19 @@
 //                     per-chaos-window stabilization rows.
 //   --wire-trace      print every wire event to stdout (serial engine only;
 //                     the old --trace flag).
+//
+// Dissemination overlay (sim/topology.hpp), single run or sweep:
+//   --topology flat       all-to-all fan-out (the default)
+//   --topology federated  two-level clusters: the origin reaches its own
+//                         cluster plus one representative per foreign
+//                         cluster; representatives relay locally. Needs
+//                         --cluster-size C with C dividing n.
+//   --topology gossip     fanout-F relay tree rooted at the origin. Needs
+//                         --gossip-fanout F >= 1.
+// Overlays change who fans a broadcast out, never who receives it; relays
+// forward the origin's authenticated message unchanged. Same seed => same
+// digest on every engine. With a chaos schedule non-flat overlays degrade
+// to flat (a dropped relay copy would orphan a whole subtree).
 //
 // --shards S deploys on the conservative-parallel engine (S shards,
 // bit-identical results). It needs a lookahead: a link-delay distribution
@@ -103,6 +117,8 @@ void print_usage(std::FILE* out, const char* argv0) {
                "          [--chaos-duty MS] [--proposals K]\n"
                "          [--run-ms MS] [--depth D] [--shards S]\n"
                "          [--auth KIND] [--payload-bytes N]\n"
+               "          [--topology KIND] [--cluster-size C]\n"
+               "          [--gossip-fanout F]\n"
                "          [--shard-sched MODE] [--link-min-us US]\n"
                "          [--trace PATH] [--stats-json PATH] [--json PATH]\n"
                "          [--wire-trace] [--verbose] [--help]\n"
@@ -112,7 +128,8 @@ void print_usage(std::FILE* out, const char* argv0) {
                "STACK: agree|pulse|clock|log|pipeline|tps\n"
                "ADVERSARY: silent|noise|equivocate|stagger|spam|replay|faker\n"
                "MODE: static|balance|steal|lax\n"
-               "AUTH: null|hmac\n",
+               "AUTH: null|hmac\n"
+               "TOPOLOGY: flat|federated|gossip\n",
                argv0, argv0);
 }
 
@@ -135,6 +152,13 @@ AdversaryKind parse_adversary(const std::string& name, const char* argv0) {
 AuthKind parse_auth(const std::string& name, const char* argv0) {
   if (name == "null") return AuthKind::kNull;
   if (name == "hmac") return AuthKind::kHmac;
+  usage(argv0);
+}
+
+Topology parse_topology(const std::string& name, const char* argv0) {
+  if (name == "flat") return Topology::kFlat;
+  if (name == "federated") return Topology::kFederated;
+  if (name == "gossip") return Topology::kGossip;
   usage(argv0);
 }
 
@@ -711,6 +735,12 @@ int main(int argc, char** argv) {
       sc.auth = parse_auth(next(), argv[0]);
     } else if (arg == "--payload-bytes") {
       sc.payload_bytes = parse_u32(next(), argv[0], 0, 1'048'576);
+    } else if (arg == "--topology") {
+      sc.topology = parse_topology(next(), argv[0]);
+    } else if (arg == "--cluster-size") {
+      sc.cluster_size = parse_u32(next(), argv[0], 1, 1'000'000);
+    } else if (arg == "--gossip-fanout") {
+      sc.gossip_fanout = parse_u32(next(), argv[0], 1, 1'000'000);
     } else if (arg == "--help") {
       print_usage(stdout, argv[0]);
       return 0;
@@ -765,6 +795,11 @@ int main(int argc, char** argv) {
   // Catch malformed duty cycles here with a readable message — the Cluster
   // would refuse them anyway, but with a precondition abort.
   if (const char* err = sc.validate_chaos()) {
+    std::fprintf(stderr, "error: %s\n", err);
+    return 2;
+  }
+  // Same courtesy for malformed overlay knobs.
+  if (const char* err = sc.validate_topology()) {
     std::fprintf(stderr, "error: %s\n", err);
     return 2;
   }
